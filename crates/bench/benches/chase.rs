@@ -1,0 +1,47 @@
+//! E5 kernel timings: chase and acyclic fast path (Criterion precision
+//! companion to `experiments e5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ids_acyclic::{full_reduce, is_pairwise_consistent, join_tree};
+use ids_chase::{satisfies, ChaseConfig};
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, Universe};
+use ids_workloads::states::random_locally_satisfying_state;
+
+fn chain_schema(k: usize) -> DatabaseSchema {
+    let names: Vec<String> = (0..=k).map(|i| format!("A{i}")).collect();
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let specs: Vec<(String, String)> = (0..k)
+        .map(|i| (format!("R{i}"), format!("A{i} A{}", i + 1)))
+        .collect();
+    let refs: Vec<(&str, &str)> = specs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    DatabaseSchema::parse(u, &refs).unwrap()
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_chase");
+    let fds = FdSet::new();
+    let cfg = ChaseConfig {
+        max_rows: 500_000,
+        max_passes: 1_000,
+    };
+    for k in [3usize, 5] {
+        let schema = chain_schema(k);
+        let p = random_locally_satisfying_state(&schema, &fds, 40, 4, 7);
+        g.bench_with_input(BenchmarkId::new("chain_chase", k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(satisfies(&schema, &fds, &p, &cfg).unwrap()))
+        });
+        let tree = join_tree(&schema.join_dependency_components()).unwrap();
+        g.bench_with_input(BenchmarkId::new("chain_reducer", k), &k, |b, _| {
+            b.iter(|| {
+                let mut q = p.clone();
+                full_reduce(&mut q, &tree);
+                std::hint::black_box(is_pairwise_consistent(&q))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

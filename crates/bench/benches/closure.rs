@@ -1,0 +1,45 @@
+//! E6 kernel timings: FD closure and the \[MSY\] block closure (Criterion
+//! precision companion to `experiments e6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ids_deps::{closure_with_jd, Fd, FdSet, JoinDependency};
+use ids_relational::{AttrId, AttrSet, Universe};
+
+fn setup(n: usize) -> (Universe, FdSet, JoinDependency, AttrSet) {
+    let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let comps: Vec<AttrSet> = (0..n)
+        .map(|i| {
+            let mut c = AttrSet::singleton(AttrId::from_index(i));
+            c.insert(AttrId::from_index((i + 1) % n));
+            c
+        })
+        .collect();
+    let jd = JoinDependency::new(comps);
+    let mut fds = FdSet::new();
+    for i in 0..n / 2 {
+        fds.insert(Fd::new(
+            AttrSet::singleton(AttrId::from_index(i)),
+            AttrSet::singleton(AttrId::from_index(n - 1 - i)),
+        ));
+    }
+    let x = AttrSet::singleton(AttrId::from_index(0));
+    (u, fds, jd, x)
+}
+
+fn bench_closures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_closure");
+    for n in [8usize, 32, 128] {
+        let (_, fds, jd, x) = setup(n);
+        g.bench_with_input(BenchmarkId::new("fd_closure", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(fds.closure(x)))
+        });
+        g.bench_with_input(BenchmarkId::new("block_closure", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(closure_with_jd(fds.as_slice(), &jd, x)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_closures);
+criterion_main!(benches);

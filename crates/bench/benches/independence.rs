@@ -1,0 +1,38 @@
+//! E1 kernel timings: the full decision procedure across the scaling
+//! families (Criterion precision companion to `experiments e1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ids_core::analyze;
+use ids_workloads::families::{double_path, key_chain, key_star, tableau_conflict};
+
+fn bench_independence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_independence");
+    for n in [4usize, 16, 64] {
+        let inst = key_chain(n);
+        g.bench_with_input(BenchmarkId::new("key_chain", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(analyze(&inst.schema, &inst.fds)))
+        });
+    }
+    for n in [4usize, 16] {
+        let inst = key_star(n);
+        g.bench_with_input(BenchmarkId::new("key_star", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(analyze(&inst.schema, &inst.fds)))
+        });
+    }
+    for m in [2usize, 8, 16] {
+        let inst = tableau_conflict(m);
+        g.bench_with_input(BenchmarkId::new("tableau_conflict", m), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(analyze(&inst.schema, &inst.fds)))
+        });
+    }
+    for n in [4usize, 16] {
+        let inst = double_path(n);
+        g.bench_with_input(BenchmarkId::new("double_path", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(analyze(&inst.schema, &inst.fds)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_independence);
+criterion_main!(benches);

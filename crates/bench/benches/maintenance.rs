@@ -1,0 +1,76 @@
+//! E2 kernel timings: per-insert maintenance cost, local engine vs chase
+//! baseline (Criterion precision companion to `experiments e2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ids_chase::ChaseConfig;
+use ids_core::{analyze, ChaseMaintainer, LocalMaintainer, Maintainer};
+use ids_workloads::examples::registrar;
+use ids_workloads::states::{insert_stream, random_satisfying_state};
+
+fn bench_maintenance(c: &mut Criterion) {
+    let inst = registrar();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    let mut g = c.benchmark_group("e2_maintenance");
+
+    for preload in [100usize, 1000] {
+        let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 64, 1);
+        let ops = insert_stream(&inst.schema, 64, 64, 2);
+
+        g.bench_with_input(
+            BenchmarkId::new("local_insert", preload),
+            &preload,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        LocalMaintainer::from_analysis(
+                            &inst.schema,
+                            &analysis,
+                            base.clone(),
+                        )
+                        .unwrap()
+                    },
+                    |mut m| {
+                        for op in &ops {
+                            let _ = std::hint::black_box(
+                                m.insert(op.scheme, op.tuple.clone()).unwrap(),
+                            );
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("chase_insert", preload),
+            &preload,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        ChaseMaintainer::new(
+                            &inst.schema,
+                            &inst.fds,
+                            base.clone(),
+                            ChaseConfig {
+                                max_rows: 2_000_000,
+                                max_passes: 10_000,
+                            },
+                        )
+                    },
+                    |mut m| {
+                        for op in ops.iter().take(4) {
+                            let _ = std::hint::black_box(
+                                m.insert(op.scheme, op.tuple.clone()).unwrap(),
+                            );
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

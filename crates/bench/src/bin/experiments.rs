@@ -1,0 +1,699 @@
+//! Regenerates every experiment of EXPERIMENTS.md.
+//!
+//! The paper (pure theory) has no numbered tables or figures; the
+//! experiment suite operationalizes its worked examples (X1–X3) and
+//! complexity claims (E1–E6).  Run all or one:
+//!
+//! ```text
+//! cargo run --release -p ids-bench --bin experiments            # all
+//! cargo run --release -p ids-bench --bin experiments -- e1 e3   # subset
+//! ```
+
+use std::time::Instant;
+
+use ids_bench::{fmt_duration, print_table, time_median};
+use ids_chase::{fd_implied_explicit, ChaseConfig};
+use ids_core::{
+    analyze, theorem1_reduction, tuple_in_projected_join, verify_witness,
+    ChaseMaintainer, CoverEmbedding, FdOnlyMaintainer, InsertOutcome,
+    JoinMembershipInstance, LocalMaintainer, Maintainer, Verdict,
+};
+use ids_deps::{closure_with_jd, Fd, FdSet, JoinDependency};
+use ids_relational::{
+    AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, Universe, Value,
+};
+use ids_workloads::examples::{
+    all_examples, example1, example1_state, example2, example2_extended, example3,
+    registrar,
+};
+use ids_workloads::families::{double_path, key_chain, key_star, tableau_conflict};
+use ids_workloads::generators::{random_embedded_fds, random_schema, SchemaParams};
+use ids_workloads::states::{insert_stream, random_satisfying_state};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(k));
+
+    println!("# Independent Database Schemas — experiment suite");
+    println!("# (Graham & Yannakakis, PODS 1982 / JCSS 1984)");
+
+    if want("x1") {
+        x1_example1();
+    }
+    if want("x2") {
+        x2_example2();
+    }
+    if want("x3") {
+        x3_example3();
+    }
+    if want("e1") {
+        e1_independence_scaling();
+    }
+    if want("e2") {
+        e2_maintenance();
+    }
+    if want("e3") {
+        e3_np_gadget();
+    }
+    if want("e4") {
+        e4_cover_size();
+    }
+    if want("e5") {
+        e5_acyclic_vs_cyclic();
+    }
+    if want("e6") {
+        e6_ablations();
+    }
+}
+
+/// X1 — Example 1: the CD/CT/TD state is locally fine, globally broken.
+fn x1_example1() {
+    let inst = example1();
+    let mut pool = ids_relational::ValuePool::new();
+    let p = example1_state(&inst, &mut pool);
+    let cfg = ChaseConfig::default();
+    let lsat = ids_chase::locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap();
+    let wsat = ids_chase::satisfies(&inst.schema, &inst.fds, &p, &cfg)
+        .unwrap()
+        .is_satisfying();
+    let verdict = analyze(&inst.schema, &inst.fds);
+    print_table(
+        "X1 — Example 1 (CD, CT, TD with C→D, C→T, T→D)",
+        &["check", "paper", "measured"],
+        &[
+            vec!["state locally satisfying".into(), "yes".into(), yn(lsat)],
+            vec!["state globally satisfying".into(), "no".into(), yn(wsat)],
+            vec![
+                "schema independent".into(),
+                "no".into(),
+                yn(verdict.is_independent()),
+            ],
+        ],
+    );
+}
+
+/// X2 — Example 2 and its SH→R extension.
+fn x2_example2() {
+    let base = example2();
+    let ext = example2_extended();
+    let a1 = analyze(&base.schema, &base.fds);
+    let a2 = analyze(&ext.schema, &ext.fds);
+    let reason2 = match &a2.verdict {
+        Verdict::NotIndependent { reason, .. } => format!("{reason:?}")
+            .split_whitespace()
+            .next()
+            .unwrap_or("?")
+            .trim_start_matches("CoverNotEmbedded")
+            .to_string(),
+        Verdict::Independent { .. } => "—".into(),
+    };
+    let _ = reason2;
+    let cond1_fails = matches!(
+        a2.verdict,
+        Verdict::NotIndependent {
+            reason: ids_core::NotIndependentReason::CoverNotEmbedded { .. },
+            ..
+        }
+    );
+    print_table(
+        "X2 — Example 2 ({CT, CS, CHR}; C→T, CH→R [+ SH→R])",
+        &["instance", "paper", "measured"],
+        &[
+            vec![
+                "C→T, CH→R independent".into(),
+                "yes".into(),
+                yn(a1.is_independent()),
+            ],
+            vec![
+                "+ SH→R independent".into(),
+                "no".into(),
+                yn(a2.is_independent()),
+            ],
+            vec![
+                "+ SH→R fails condition (1)".into(),
+                "yes".into(),
+                yn(cond1_fails),
+            ],
+        ],
+    );
+}
+
+/// X3 — Example 3: rejection at line 4 or line 5 depending on the pick.
+fn x3_example3() {
+    use ids_core::algorithm::{run_loop_with_picker, RejectLine};
+    use ids_deps::partition_embedded;
+    let inst = example3();
+    let u = inst.schema.universe();
+    let partition =
+        partition_embedded(&inst.fds, &inst.schema.join_dependency_components()).unwrap();
+    let r1 = inst.schema.scheme_by_name("R1").unwrap();
+    let a2b2 = u.parse_set("A2 B2").unwrap();
+    let a1b1 = u.parse_set("A1 B1").unwrap();
+
+    let run = |prefer: AttrSet| {
+        let mut picker = |min: &[usize], lr: &ids_core::algorithm::LoopRun<'_>| {
+            min.iter()
+                .copied()
+                .find(|&i| lr.lhs_info(i).attrs == prefer)
+                .unwrap_or(min[0])
+        };
+        let (outcome, _) =
+            run_loop_with_picker(&inst.schema, &partition, r1, &mut picker);
+        outcome.err()
+    };
+
+    let rej_a2b2 = run(a2b2).expect("rejects");
+    let rej_a1b1 = run(a1b1).expect("rejects");
+    let line = |r: &ids_core::RejectInfo| match r.line {
+        RejectLine::Line4 => "line 4",
+        RejectLine::Line5 { .. } => "line 5",
+    };
+    print_table(
+        "X3 — Example 3 (reconstructed; run for R1)",
+        &["pick at 3rd iteration", "paper", "measured"],
+        &[
+            vec![
+                "A2B2 → rejection at".into(),
+                "line 4".into(),
+                line(&rej_a2b2).into(),
+            ],
+            vec![
+                "A1B1 → rejection at".into(),
+                "line 5".into(),
+                line(&rej_a1b1).into(),
+            ],
+            vec![
+                "(A2B2)*old".into(),
+                "A2B2".into(),
+                u.render(rej_a2b2.x_old),
+            ],
+            vec![
+                "(A2B2)*new".into(),
+                "A1B1C".into(),
+                u.render(rej_a2b2.x_new),
+            ],
+        ],
+    );
+}
+
+/// E1 — polynomial scaling of the full decision procedure.
+fn e1_independence_scaling() {
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let inst = key_chain(n);
+        let d = time_median(5, || {
+            std::hint::black_box(analyze(&inst.schema, &inst.fds));
+        });
+        times.push(d.as_secs_f64());
+        rows.push(vec![
+            inst.name.clone(),
+            format!("{}", inst.schema.universe().len()),
+            format!("{}", inst.schema.len()),
+            format!("{}", inst.fds.len()),
+            "independent".into(),
+            fmt_duration(d),
+        ]);
+    }
+    for n in [4usize, 8, 16, 32, 64] {
+        let inst = key_star(n);
+        let d = time_median(5, || {
+            std::hint::black_box(analyze(&inst.schema, &inst.fds));
+        });
+        rows.push(vec![
+            inst.name.clone(),
+            format!("{}", inst.schema.universe().len()),
+            format!("{}", inst.schema.len()),
+            format!("{}", inst.fds.len()),
+            "independent".into(),
+            fmt_duration(d),
+        ]);
+    }
+    for m in [2usize, 4, 8, 16, 32] {
+        let inst = tableau_conflict(m);
+        let d = time_median(5, || {
+            std::hint::black_box(analyze(&inst.schema, &inst.fds));
+        });
+        rows.push(vec![
+            inst.name.clone(),
+            format!("{}", inst.schema.universe().len()),
+            format!("{}", inst.schema.len()),
+            format!("{}", inst.fds.len()),
+            "NOT independent".into(),
+            fmt_duration(d),
+        ]);
+    }
+    for n in [4usize, 8, 16, 32, 64] {
+        let inst = double_path(n);
+        let d = time_median(5, || {
+            std::hint::black_box(analyze(&inst.schema, &inst.fds));
+        });
+        rows.push(vec![
+            inst.name.clone(),
+            format!("{}", inst.schema.universe().len()),
+            format!("{}", inst.schema.len()),
+            format!("{}", inst.fds.len()),
+            "NOT independent".into(),
+            fmt_duration(d),
+        ]);
+    }
+    print_table(
+        "E1 — independence decision scaling (claim: polynomial; Corollary §4)",
+        &["family", "|U|", "|D|", "|F|", "verdict", "analyze time"],
+        &rows,
+    );
+    let ratios: Vec<String> = ids_bench::growth_ratios(&times)
+        .iter()
+        .map(|r| format!("{r:.1}x"))
+        .collect();
+    println!(
+        "key-chain time growth per size doubling: {} (polynomial: bounded ratios)",
+        ratios.join(", ")
+    );
+}
+
+/// E2 — maintenance throughput: local Fi checks vs whole-state re-chase.
+fn e2_maintenance() {
+    let inst = registrar();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    let mut rows = Vec::new();
+    for preload in [100usize, 300, 1_000, 3_000] {
+        // Preload a satisfying state.
+        let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 64, 1);
+        let ops = insert_stream(&inst.schema, 400, 64, 2);
+
+        let mut local =
+            LocalMaintainer::from_analysis(&inst.schema, &analysis, base.clone()).unwrap();
+        let t0 = Instant::now();
+        let mut accepted = 0usize;
+        for op in &ops {
+            if local.insert(op.scheme, op.tuple.clone()).unwrap() == InsertOutcome::Accepted
+            {
+                accepted += 1;
+            }
+        }
+        let local_t = t0.elapsed();
+
+        let mut fd_only = FdOnlyMaintainer::new(&inst.schema, &inst.fds, base.clone());
+        let fd_ops = &ops[..100.min(ops.len())];
+        let t2 = Instant::now();
+        for op in fd_ops {
+            let _ = fd_only.insert(op.scheme, op.tuple.clone()).unwrap();
+        }
+        let fd_t = t2.elapsed();
+
+        let mut chaser = ChaseMaintainer::new(
+            &inst.schema,
+            &inst.fds,
+            base,
+            ChaseConfig {
+                max_rows: 2_000_000,
+                max_passes: 10_000,
+            },
+        );
+        let chase_ops = &ops[..100.min(ops.len())];
+        let t1 = Instant::now();
+        for op in chase_ops {
+            let _ = chaser.insert(op.scheme, op.tuple.clone()).unwrap();
+        }
+        let chase_t = t1.elapsed();
+
+        let local_per = local_t.as_secs_f64() / ops.len() as f64;
+        let fd_per = fd_t.as_secs_f64() / fd_ops.len() as f64;
+        let chase_per = chase_t.as_secs_f64() / chase_ops.len() as f64;
+        rows.push(vec![
+            format!("{preload}"),
+            format!("{accepted}/{}", ops.len()),
+            fmt_duration(std::time::Duration::from_secs_f64(local_per)),
+            fmt_duration(std::time::Duration::from_secs_f64(fd_per)),
+            fmt_duration(std::time::Duration::from_secs_f64(chase_per)),
+            format!("{:.0}x", chase_per / local_per),
+        ]);
+    }
+    print_table(
+        "E2 — maintenance per insert, registrar schema (claim: independent ⇒ local check suffices, §1/§3)",
+        &["preloaded tuples", "accepted", "local/insert", "fd-only chase/insert", "full chase/insert", "full/local speedup"],
+        &rows,
+    );
+}
+
+/// E3 — Theorem 1: the general maintenance wall.
+fn e3_np_gadget() {
+    // Hub family: D0 = {H·A1, .., H·Ak}, r = m universal tuples sharing H.
+    // The projected join has m^k tuples; the brute-force solver and the
+    // chase both hit exponential work, while the independent control
+    // schema answers each insert in O(1).
+    let mut rows = Vec::new();
+    for k in [3usize, 4, 5, 6] {
+        let m = 2u64;
+        let mut names = vec!["H".to_string()];
+        for i in 1..=k {
+            names.push(format!("A{i}"));
+        }
+        let u0 = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+        let mut r = Relation::new(u0.all());
+        for row_idx in 0..m {
+            let mut row = vec![Value::int(0)]; // shared hub value
+            for i in 0..k {
+                row.push(Value::int(10 + row_idx * k as u64 + i as u64));
+            }
+            r.insert(row).unwrap();
+        }
+        let components: Vec<AttrSet> = (1..=k)
+            .map(|i| {
+                let mut c = AttrSet::singleton(AttrId::from_index(0));
+                c.insert(AttrId::from_index(i));
+                c
+            })
+            .collect();
+        // Ask for a combination mixing both rows at every position — in
+        // the join (all combinations share H=0), so the gadget's insert
+        // must be rejected, which requires exploring the join.
+        let x: AttrSet = (1..=k).map(AttrId::from_index).collect();
+        let t: Vec<Value> = (0..k)
+            .map(|i| Value::int(10 + (i as u64 % m) * k as u64 + i as u64))
+            .collect();
+        let inst = JoinMembershipInstance {
+            r,
+            components,
+            x,
+            t,
+        };
+
+        let t0 = Instant::now();
+        let in_join = tuple_in_projected_join(&inst);
+        let solve_t = t0.elapsed();
+
+        let g = theorem1_reduction(&u0, &inst);
+        let mut p_prime = g.base.clone();
+        p_prime
+            .insert(g.insert_scheme, g.insert_tuple.clone())
+            .unwrap();
+        let cfg = ChaseConfig {
+            max_rows: 300_000,
+            max_passes: 10_000,
+        };
+        let t1 = Instant::now();
+        let verdict = ids_chase::satisfies(&g.schema, &g.fds, &p_prime, &cfg);
+        let chase_t = t1.elapsed();
+        let chase_outcome = match verdict {
+            Ok(s) => yn(s.is_satisfying()),
+            Err(_) => "budget!".into(),
+        };
+
+        // Independent control: key-chain of the same universe size.
+        let control = key_chain(k);
+        let c_analysis = analyze(&control.schema, &control.fds);
+        let mut local = LocalMaintainer::from_analysis(
+            &control.schema,
+            &c_analysis,
+            DatabaseState::empty(&control.schema),
+        )
+        .unwrap();
+        let ops = insert_stream(&control.schema, 200, 8, 3);
+        let t2 = Instant::now();
+        for op in &ops {
+            let _ = local.insert(op.scheme, op.tuple.clone()).unwrap();
+        }
+        let local_per = t2.elapsed() / ops.len() as u32;
+
+        rows.push(vec![
+            format!("{k}"),
+            format!("{}", 1u64 << k),
+            yn(in_join),
+            fmt_duration(solve_t),
+            chase_outcome,
+            fmt_duration(chase_t),
+            fmt_duration(local_per),
+        ]);
+    }
+    print_table(
+        "E3 — Theorem 1 gadget: general maintenance explodes with the join (m=2 rows, k hub components)",
+        &[
+            "k",
+            "join size 2^k",
+            "t in join",
+            "brute-force",
+            "p' satisfies",
+            "chase check",
+            "indep. control/insert",
+        ],
+        &rows,
+    );
+}
+
+/// E4 — the embedded cover H: existence, extraction cost, |H| ≤ |F|·|U|.
+fn e4_cover_size() {
+    let mut rows = Vec::new();
+    let mut checked = 0usize;
+    for seed in 0..200u64 {
+        let params = SchemaParams {
+            attrs: 12,
+            schemes: 5,
+            max_scheme_size: 5,
+        };
+        let schema = random_schema(params, seed);
+        let fds = random_embedded_fds(&schema, 8, 2, seed * 3 + 1);
+        if fds.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        let result = ids_core::test_cover_embedding(&schema, &fds);
+        let t = t0.elapsed();
+        if let CoverEmbedding::Embedded { cover } = &result {
+            checked += 1;
+            if checked <= 8 {
+                let bound = fds.len() * schema.universe().len();
+                rows.push(vec![
+                    format!("seed {seed}"),
+                    format!("{}", fds.len()),
+                    format!("{}", schema.universe().len()),
+                    format!("{}", cover.len()),
+                    format!("{bound}"),
+                    yn(cover.len() <= bound),
+                    fmt_duration(t),
+                ]);
+            }
+            assert!(cover.len() <= fds.len() * schema.universe().len());
+        }
+    }
+    print_table(
+        "E4 — embedded cover extraction (claim: |H| ≤ |F|·|U|, §3)",
+        &["instance", "|F|", "|U|", "|H|", "|F|·|U|", "bound holds", "time"],
+        &rows,
+    );
+    println!("bound verified on {checked} random cover-embedding instances");
+}
+
+/// E5 — chase cost: acyclic vs cyclic schemas of the same size.
+fn e5_acyclic_vs_cyclic() {
+    let mut rows = Vec::new();
+    for k in [3usize, 4, 5] {
+        for tuples in [10usize, 30] {
+            // Acyclic chain A0..Ak and cyclic ring on the same attributes.
+            let names: Vec<String> = (0..=k).map(|i| format!("A{i}")).collect();
+            let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+            let chain_specs: Vec<(String, String)> = (0..k)
+                .map(|i| (format!("R{i}"), format!("A{i} A{}", i + 1)))
+                .collect();
+            let chain_refs: Vec<(&str, &str)> = chain_specs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            let chain = DatabaseSchema::parse(u.clone(), &chain_refs).unwrap();
+            let mut ring_specs = chain_specs.clone();
+            ring_specs.push((format!("R{k}"), format!("A{k} A0")));
+            let ring_refs: Vec<(&str, &str)> = ring_specs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            let ring = DatabaseSchema::parse(u, &ring_refs).unwrap();
+
+            let fds = FdSet::new();
+            let cfg = ChaseConfig {
+                max_rows: 200_000,
+                max_passes: 1_000,
+            };
+            // Same random (locally plausible) data in both: small domain to
+            // force mixing.
+            let mk_state = |schema: &DatabaseSchema| {
+                ids_workloads::states::random_locally_satisfying_state(
+                    schema, &fds, tuples, 4, 7,
+                )
+            };
+            let p_chain = mk_state(&chain);
+            let p_ring = mk_state(&ring);
+
+            let t_chain = time_median(3, || {
+                let _ = std::hint::black_box(ids_chase::satisfies(
+                    &chain, &fds, &p_chain, &cfg,
+                ));
+            });
+            let t_ring = time_median(3, || {
+                let _ = std::hint::black_box(ids_chase::satisfies(
+                    &ring, &fds, &p_ring, &cfg,
+                ));
+            });
+            let acyclic_fast = {
+                use ids_acyclic::{full_reduce, is_pairwise_consistent, join_tree};
+                let tree = join_tree(&chain.join_dependency_components()).unwrap();
+                time_median(3, || {
+                    let mut q = p_chain.clone();
+                    full_reduce(&mut q, &tree);
+                    std::hint::black_box(is_pairwise_consistent(&q));
+                })
+            };
+            rows.push(vec![
+                format!("{k}"),
+                format!("{tuples}"),
+                yn(ids_acyclic::is_acyclic(&chain.join_dependency_components())),
+                fmt_duration(t_chain),
+                fmt_duration(acyclic_fast),
+                yn(ids_acyclic::is_acyclic(&ring.join_dependency_components())),
+                fmt_duration(t_ring),
+            ]);
+        }
+    }
+    print_table(
+        "E5 — chase vs acyclic fast path (claim: acyclic schemes are polynomial, remark after Thm 1)",
+        &[
+            "k",
+            "tuples/rel",
+            "chain acyclic",
+            "chain chase",
+            "chain reducer+pairwise",
+            "ring acyclic",
+            "ring chase",
+        ],
+        &rows,
+    );
+}
+
+/// E6 — ablations: block closure vs explicit chase; indexed vs scan
+/// maintenance.
+fn e6_ablations() {
+    // (i) [MSY] block closure vs the explicit two-row FD+JD chase.
+    let mut rows = Vec::new();
+    for n in [4usize, 6, 8, 10, 12] {
+        let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+        let _u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+        // Ring JD (worst case for the explicit chase's mixes).
+        let comps: Vec<AttrSet> = (0..n)
+            .map(|i| {
+                let mut c = AttrSet::singleton(AttrId::from_index(i));
+                c.insert(AttrId::from_index((i + 1) % n));
+                c
+            })
+            .collect();
+        let jd = JoinDependency::new(comps);
+        let mut fds = FdSet::new();
+        for i in 0..n / 2 {
+            fds.insert(Fd::new(
+                AttrSet::singleton(AttrId::from_index(i)),
+                AttrSet::singleton(AttrId::from_index(n - 1 - i)),
+            ));
+        }
+        let x = AttrSet::singleton(AttrId::from_index(0));
+        let t_block = time_median(9, || {
+            std::hint::black_box(closure_with_jd(fds.as_slice(), &jd, x));
+        });
+        let cfg = ChaseConfig {
+            max_rows: 2_000_000,
+            max_passes: 1_000,
+        };
+        let target = Fd::new(x, AttrSet::singleton(AttrId::from_index(n - 1)));
+        let t0 = Instant::now();
+        let explicit = fd_implied_explicit(
+            fds.as_slice(),
+            std::slice::from_ref(&jd),
+            target,
+            n,
+            &cfg,
+        );
+        let t_chase = t0.elapsed();
+        let agree = match explicit {
+            Ok(b) => yn(b == closure_with_jd(fds.as_slice(), &jd, x)
+                .contains(AttrId::from_index(n - 1))),
+            Err(_) => "budget!".into(),
+        };
+        rows.push(vec![
+            format!("{n}"),
+            fmt_duration(t_block),
+            fmt_duration(t_chase),
+            agree,
+        ]);
+    }
+    print_table(
+        "E6a — FD+JD inference: polynomial block closure vs explicit chase (ring JD)",
+        &["|U|", "block closure", "explicit chase", "agree"],
+        &rows,
+    );
+
+    // (ii) maintenance: hash-indexed Fi checks vs re-scanning the relation.
+    let inst = registrar();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    let Verdict::Independent { enforcement } = &analysis.verdict else {
+        unreachable!("registrar is independent");
+    };
+    let mut rows = Vec::new();
+    for preload in [100usize, 1_000, 10_000] {
+        let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 128, 11);
+        let ops = insert_stream(&inst.schema, 500, 128, 12);
+
+        let mut indexed =
+            LocalMaintainer::from_analysis(&inst.schema, &analysis, base.clone()).unwrap();
+        let t0 = Instant::now();
+        for op in &ops {
+            let _ = indexed.insert(op.scheme, op.tuple.clone()).unwrap();
+        }
+        let t_indexed = t0.elapsed() / ops.len() as u32;
+
+        // Scan variant: tentative insert + full satisfies_fd scan.
+        let mut state = base;
+        let t1 = Instant::now();
+        for op in &ops {
+            state.insert(op.scheme, op.tuple.clone()).unwrap();
+            let fi = &enforcement[op.scheme.index()];
+            let rel = state.relation(op.scheme);
+            let ok = fi.iter().all(|fd| rel.satisfies_fd(fd.lhs, fd.rhs));
+            if !ok {
+                state.relation_mut(op.scheme).remove(&op.tuple);
+            }
+        }
+        let t_scan = t1.elapsed() / ops.len() as u32;
+        rows.push(vec![
+            format!("{preload}"),
+            fmt_duration(t_indexed),
+            fmt_duration(t_scan),
+            format!(
+                "{:.1}x",
+                t_scan.as_secs_f64() / t_indexed.as_secs_f64().max(1e-12)
+            ),
+        ]);
+    }
+    print_table(
+        "E6b — local maintenance: hash index vs per-insert relation scan",
+        &["preloaded tuples", "indexed/insert", "scan/insert", "speedup"],
+        &rows,
+    );
+
+    // (iii) sanity: every verdict in the example set matches the paper.
+    let mut ok = 0;
+    let mut total = 0;
+    for e in all_examples() {
+        total += 1;
+        let a = analyze(&e.schema, &e.fds);
+        if a.is_independent() == e.expect_independent {
+            ok += 1;
+        }
+        if let Some(w) = a.witness() {
+            assert!(verify_witness(&e.schema, &e.fds, &w.state, &ChaseConfig::default())
+                .unwrap());
+        }
+    }
+    println!("\nverdict agreement across the example corpus: {ok}/{total}");
+}
+
+fn yn(b: bool) -> String {
+    if b { "yes".into() } else { "no".into() }
+}

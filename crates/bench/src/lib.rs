@@ -1,0 +1,97 @@
+//! Shared harness utilities for the experiment suite: wall-clock timing
+//! with warmup and median-of-N, and aligned table output matching the
+//! EXPERIMENTS.md format.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once for warmup, then `reps` times, returning the median
+/// duration.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration compactly (µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1_000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+/// Prints an experiment table (markdown-style, aligned).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let hs: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let mut widths: Vec<usize> = hs.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&hs);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Growth-ratio helper: consecutive ratios of a series (for judging
+/// polynomial vs. exponential shapes in the tables).
+pub fn growth_ratios(series: &[f64]) -> Vec<f64> {
+    series
+        .windows(2)
+        .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { f64::NAN })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_timing_is_positive() {
+        let d = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+
+    #[test]
+    fn ratios() {
+        let r = growth_ratios(&[1.0, 2.0, 8.0]);
+        assert_eq!(r, vec![2.0, 4.0]);
+    }
+}

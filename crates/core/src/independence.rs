@@ -1,0 +1,310 @@
+//! Top-level API: the polynomial independence test of Theorems 2–5.
+//!
+//! ```text
+//! analyze(D, F):
+//!   1. Section 3 — does D embed a cover H of G = FDs(F ∪ {*D})?
+//!      no  → NOT independent (Lemma 3 witness)
+//!   2. partition H into per-scheme F1..Fk
+//!   3. crossing derivation across components? (Lemma 7)
+//!      yes → NOT independent (Lemma 7 witness)
+//!   4. Section 4 Loop for every scheme
+//!      reject → NOT independent (Theorem 4 witness)
+//!      accept → INDEPENDENT; each Fi covers Σi, enabling O(1) maintenance
+//! ```
+//!
+//! Step 3 is not needed for the *decision* (the Loop alone is complete, by
+//! Theorems 4+5) but yields the cleanest witness when a cross-component
+//! derivation exists — exactly the situation Theorem 4's construction
+//! assumes away.
+
+use ids_deps::FdSet;
+use ids_relational::{AttrId, AttrSet, DatabaseSchema, SchemeId};
+
+use crate::algorithm::{run_all, LoopTrace, RejectInfo};
+use crate::crossing::find_crossing;
+use crate::embedded_cover::{test_cover_embedding, CoverEmbedding};
+use crate::witness::{lemma3_witness, lemma7_witness, theorem4_witness, Witness};
+
+/// Why a schema fails to be independent.
+#[derive(Clone, Debug)]
+pub enum NotIndependentReason {
+    /// Condition (1) of Theorem 2 fails: `F`'s consequence `failing`
+    /// escapes every relation scheme.
+    CoverNotEmbedded {
+        /// The FD of `F` not implied by the embedded consequences.
+        failing: ids_deps::Fd,
+        /// `cl_G1(lhs)` — the largest embedded-derivable set.
+        closed: AttrSet,
+    },
+    /// A function on one scheme is computed through other components
+    /// (Lemma 7) — the paper's "multiple relationships" smell.
+    CrossingDerivation {
+        /// The scheme owning the crossed function.
+        scheme: SchemeId,
+        /// The attribute computed two ways.
+        attr: AttrId,
+    },
+    /// The Section 4 Loop rejected: two incomparable minimal calculations.
+    LoopRejection(Box<RejectInfo>),
+}
+
+/// The decision with its supporting data.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// `LSAT = WSAT`: local checks are complete.  `enforcement[i]` is the
+    /// FD set `Fi` to check on relation `ri` (a cover of `Σi`, Theorem 3).
+    Independent {
+        /// Per-scheme enforcement covers.
+        enforcement: Vec<FdSet>,
+    },
+    /// `LSAT ⊋ WSAT`, with a machine-checkable counterexample.
+    NotIndependent {
+        /// The failing condition.
+        reason: NotIndependentReason,
+        /// A state in `LSAT ∖ WSAT`.
+        witness: Witness,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Independent`].
+    pub fn is_independent(&self) -> bool {
+        matches!(self, Verdict::Independent { .. })
+    }
+}
+
+/// Full analysis result.
+#[derive(Clone, Debug)]
+pub struct IndependenceAnalysis {
+    /// The decision.
+    pub verdict: Verdict,
+    /// The embedded cover `H` of `G` (when condition (1) holds).
+    pub embedded_cover: Option<FdSet>,
+    /// The per-scheme partition of `H`.
+    pub partition: Option<Vec<FdSet>>,
+    /// Per-scheme Loop traces (empty when rejected before the Loop).
+    pub traces: Vec<LoopTrace>,
+}
+
+impl IndependenceAnalysis {
+    /// True when the schema is independent.
+    pub fn is_independent(&self) -> bool {
+        self.verdict.is_independent()
+    }
+
+    /// The counterexample state, if not independent.
+    pub fn witness(&self) -> Option<&Witness> {
+        match &self.verdict {
+            Verdict::NotIndependent { witness, .. } => Some(witness),
+            Verdict::Independent { .. } => None,
+        }
+    }
+}
+
+/// Decides whether `schema` is independent w.r.t. `fds ∪ {*D}` and
+/// assembles covers, witnesses and traces.  Polynomial time.
+pub fn analyze(schema: &DatabaseSchema, fds: &FdSet) -> IndependenceAnalysis {
+    // Step 1: Section 3.
+    let embedding = test_cover_embedding(schema, fds);
+    let cover_steps = match embedding {
+        CoverEmbedding::NotEmbedded { failing, closed } => {
+            let witness = lemma3_witness(schema, failing, closed);
+            return IndependenceAnalysis {
+                verdict: Verdict::NotIndependent {
+                    reason: NotIndependentReason::CoverNotEmbedded { failing, closed },
+                    witness,
+                },
+                embedded_cover: None,
+                partition: None,
+                traces: Vec::new(),
+            };
+        }
+        CoverEmbedding::Embedded { cover } => cover,
+    };
+
+    // Step 2: partition H by the scheme that fired each step.
+    let mut partition: Vec<FdSet> = schema.ids().map(|_| FdSet::new()).collect();
+    let mut h = FdSet::new();
+    for step in &cover_steps {
+        partition[step.scheme.index()].insert(step.fd);
+        h.insert(step.fd);
+    }
+    debug_assert!(h.implies_all(fds), "H must cover F (Lemma 2)");
+
+    // Step 3: Lemma 7 — cross-component derivations.
+    if let Some(crossing) = find_crossing(schema, &partition) {
+        let witness = lemma7_witness(schema, &h, &crossing);
+        return IndependenceAnalysis {
+            verdict: Verdict::NotIndependent {
+                reason: NotIndependentReason::CrossingDerivation {
+                    scheme: crossing.scheme,
+                    attr: crossing.attr,
+                },
+                witness,
+            },
+            embedded_cover: Some(h),
+            partition: Some(partition),
+            traces: Vec::new(),
+        };
+    }
+
+    // Step 4: the Loop for every scheme.
+    let (outcome, traces) = run_all(schema, &partition);
+    match outcome {
+        Ok(()) => IndependenceAnalysis {
+            verdict: Verdict::Independent {
+                enforcement: partition.clone(),
+            },
+            embedded_cover: Some(h),
+            partition: Some(partition),
+            traces,
+        },
+        Err(reject) => {
+            let witness = theorem4_witness(schema, &reject);
+            IndependenceAnalysis {
+                verdict: Verdict::NotIndependent {
+                    reason: NotIndependentReason::LoopRejection(reject),
+                    witness,
+                },
+                embedded_cover: Some(h),
+                partition: Some(partition),
+                traces,
+            }
+        }
+    }
+}
+
+/// Convenience predicate.
+pub fn is_independent(schema: &DatabaseSchema, fds: &FdSet) -> bool {
+    analyze(schema, fds).is_independent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::verify_witness;
+    use ids_chase::ChaseConfig;
+    use ids_relational::Universe;
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn example2_is_independent() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        let analysis = analyze(&schema, &fds);
+        assert!(analysis.is_independent());
+        let Verdict::Independent { enforcement } = &analysis.verdict else {
+            unreachable!()
+        };
+        // Enforcement covers: CT checks C→T, CHR checks CH→R, CS nothing.
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let cs = schema.scheme_by_name("CS").unwrap();
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        assert!(!enforcement[ct.index()].is_empty());
+        assert!(enforcement[cs.index()].is_empty());
+        assert!(!enforcement[chr.index()].is_empty());
+    }
+
+    #[test]
+    fn example2_plus_sh_r_is_not_independent() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds =
+            FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+        let analysis = analyze(&schema, &fds);
+        assert!(!analysis.is_independent());
+        assert!(matches!(
+            analysis.verdict,
+            Verdict::NotIndependent {
+                reason: NotIndependentReason::CoverNotEmbedded { .. },
+                ..
+            }
+        ));
+        let w = analysis.witness().unwrap();
+        assert!(verify_witness(&schema, &fds, &w.state, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn example1_is_not_independent_via_crossing() {
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds =
+            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let analysis = analyze(&schema, &fds);
+        assert!(!analysis.is_independent());
+        assert!(matches!(
+            analysis.verdict,
+            Verdict::NotIndependent {
+                reason: NotIndependentReason::CrossingDerivation { .. },
+                ..
+            }
+        ));
+        let w = analysis.witness().unwrap();
+        assert!(verify_witness(&schema, &fds, &w.state, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn example3_is_not_independent_via_loop() {
+        let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(
+            u,
+            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
+        )
+        .unwrap();
+        let fds = FdSet::parse(
+            schema.universe(),
+            &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
+        )
+        .unwrap();
+        let analysis = analyze(&schema, &fds);
+        assert!(!analysis.is_independent());
+        assert!(matches!(
+            analysis.verdict,
+            Verdict::NotIndependent {
+                reason: NotIndependentReason::LoopRejection(_),
+                ..
+            }
+        ));
+        let w = analysis.witness().unwrap();
+        assert!(verify_witness(&schema, &fds, &w.state, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn empty_fd_set_is_independent() {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
+        let analysis = analyze(&schema, &FdSet::new());
+        assert!(analysis.is_independent());
+    }
+
+    #[test]
+    fn single_scheme_schema_is_always_independent() {
+        // With one relation, local = global trivially.
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("ALL", "ABC")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["A -> B", "B -> C"]).unwrap();
+        assert!(is_independent(&schema, &fds));
+    }
+
+    #[test]
+    fn paper_example_from_section_2_cthr() {
+        // Schemes CT, CHR with C→T, TH→R: TH→R not embedded and not
+        // recoverable — not independent.
+        let u = Universe::from_names(["C", "T", "H", "R"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CHR", "CHR")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "TH -> R"]).unwrap();
+        let analysis = analyze(&schema, &fds);
+        assert!(!analysis.is_independent());
+        let w = analysis.witness().unwrap();
+        assert!(verify_witness(&schema, &fds, &w.state, &cfg()).unwrap());
+    }
+}

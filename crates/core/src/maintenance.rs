@@ -1,0 +1,539 @@
+//! The maintenance problem (Theorem 1 and Section 3's payoff).
+//!
+//! After a single-tuple insert, is the new state still satisfying?
+//! Theorem 1 makes this coNP-hard in general; for **independent** schemas
+//! Theorem 3 reduces it to checking the per-scheme cover `Fi` on the one
+//! touched relation — constant work per insert with hash indexes.
+//!
+//! Two engines share the [`Maintainer`] interface:
+//! * [`LocalMaintainer`] — the independent-schema fast path;
+//! * [`ChaseMaintainer`] — the honest general baseline: re-chase the whole
+//!   state after every modification.
+//!
+//! Deletions are always safe under weak-instance semantics (a weak instance
+//! for `p` is one for any `p' ⊆ p`), so both engines accept them outright.
+
+use std::collections::HashMap;
+
+use ids_chase::{ChaseConfig, ChaseError};
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, DatabaseState, RelationalError, SchemeId, Value};
+
+/// Outcome of an attempted insert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The tuple is compatible; the state was updated.
+    Accepted,
+    /// The tuple was already present (state unchanged).
+    Duplicate,
+    /// The tuple would make the state unsatisfying; state unchanged.
+    Rejected {
+        /// The violated FD, when a specific one is known (local engine).
+        violated: Option<ids_deps::Fd>,
+    },
+}
+
+/// Common interface of the two maintenance engines.
+pub trait Maintainer {
+    /// Attempts to insert `tuple` (scheme order) into relation `id`.
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError>;
+
+    /// Removes a tuple; always satisfaction-preserving.
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool;
+
+    /// The current state.
+    fn state(&self) -> &DatabaseState;
+}
+
+/// Errors of the maintenance engines.
+#[derive(Debug)]
+pub enum MaintenanceError {
+    /// Tuple arity or scheme mismatch.
+    Relational(RelationalError),
+    /// The chase baseline exceeded its budget.
+    Chase(ChaseError),
+}
+
+impl std::fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Relational(e) => write!(f, "{e}"),
+            Self::Chase(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+impl From<RelationalError> for MaintenanceError {
+    fn from(e: RelationalError) -> Self {
+        Self::Relational(e)
+    }
+}
+
+impl From<ChaseError> for MaintenanceError {
+    fn from(e: ChaseError) -> Self {
+        Self::Chase(e)
+    }
+}
+
+/// Per-FD hash index: lhs projection → (rhs projection, tuple count).
+type FdIndex = HashMap<Vec<Value>, (Vec<Value>, usize)>;
+
+/// The independent-schema fast path: each insert checks only the touched
+/// relation's enforcement cover `Fi`, in O(|Fi|) hash probes.
+///
+/// Sound and complete **only** when the schema is independent w.r.t. the
+/// dependencies — construct it from a successful
+/// [`crate::analyze`] via [`LocalMaintainer::from_analysis`].
+pub struct LocalMaintainer<'a> {
+    schema: &'a DatabaseSchema,
+    enforcement: Vec<FdSet>,
+    state: DatabaseState,
+    indexes: Vec<Vec<FdIndex>>,
+}
+
+impl<'a> LocalMaintainer<'a> {
+    /// Builds the engine from per-scheme enforcement covers, starting from
+    /// an existing (locally satisfying) state.
+    pub fn new(
+        schema: &'a DatabaseSchema,
+        enforcement: Vec<FdSet>,
+        state: DatabaseState,
+    ) -> Self {
+        let mut m = LocalMaintainer {
+            indexes: enforcement
+                .iter()
+                .map(|fi| fi.iter().map(|_| FdIndex::new()).collect())
+                .collect(),
+            schema,
+            enforcement,
+            state: DatabaseState::empty(schema),
+        };
+        for (id, rel) in state.iter() {
+            for t in rel.iter() {
+                let outcome = m
+                    .insert(id, t.to_vec())
+                    .expect("rebuilding from a valid state");
+                debug_assert!(!matches!(outcome, InsertOutcome::Rejected { .. }));
+            }
+        }
+        m
+    }
+
+    /// Builds the engine from a successful independence analysis.
+    ///
+    /// Returns `None` when the analysis says the schema is not independent
+    /// (local maintenance would be unsound).
+    pub fn from_analysis(
+        schema: &'a DatabaseSchema,
+        analysis: &crate::IndependenceAnalysis,
+        state: DatabaseState,
+    ) -> Option<Self> {
+        match &analysis.verdict {
+            crate::Verdict::Independent { enforcement } => {
+                Some(Self::new(schema, enforcement.clone(), state))
+            }
+            crate::Verdict::NotIndependent { .. } => None,
+        }
+    }
+
+    fn project(&self, id: SchemeId, tuple: &[Value], attrs: ids_relational::AttrSet) -> Vec<Value> {
+        let scheme = self.schema.attrs(id);
+        attrs.iter().map(|a| tuple[scheme.rank(a)]).collect()
+    }
+}
+
+impl Maintainer for LocalMaintainer<'_> {
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        if tuple.len() != self.schema.attrs(id).len() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.attrs(id).len(),
+                found: tuple.len(),
+            }
+            .into());
+        }
+        if self.state.relation(id).contains(&tuple) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        // Probe every FD of Fi.
+        let fi = self.enforcement[id.index()].clone();
+        for (k, fd) in fi.iter().enumerate() {
+            let key = self.project(id, &tuple, fd.lhs);
+            let val = self.project(id, &tuple, fd.rhs);
+            if let Some((existing, _)) = self.indexes[id.index()][k].get(&key) {
+                if *existing != val {
+                    return Ok(InsertOutcome::Rejected {
+                        violated: Some(*fd),
+                    });
+                }
+            }
+        }
+        // Commit.
+        for (k, fd) in fi.iter().enumerate() {
+            let key = self.project(id, &tuple, fd.lhs);
+            let val = self.project(id, &tuple, fd.rhs);
+            self.indexes[id.index()][k]
+                .entry(key)
+                .and_modify(|(_, n)| *n += 1)
+                .or_insert((val, 1));
+        }
+        self.state.insert(id, tuple)?;
+        Ok(InsertOutcome::Accepted)
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
+        if !self.state.relation_mut(id).remove(tuple) {
+            return false;
+        }
+        let fi = self.enforcement[id.index()].clone();
+        for (k, fd) in fi.iter().enumerate() {
+            let key = self.project(id, tuple, fd.lhs);
+            if let Some((_, n)) = self.indexes[id.index()][k].get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.indexes[id.index()][k].remove(&key);
+                }
+            }
+        }
+        true
+    }
+
+    fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+}
+
+/// The general baseline: validate every insert by re-chasing the whole
+/// state under `F ∪ {*D}`.
+pub struct ChaseMaintainer<'a> {
+    schema: &'a DatabaseSchema,
+    fds: &'a FdSet,
+    state: DatabaseState,
+    config: ChaseConfig,
+}
+
+impl<'a> ChaseMaintainer<'a> {
+    /// Builds the baseline engine over an existing satisfying state.
+    pub fn new(
+        schema: &'a DatabaseSchema,
+        fds: &'a FdSet,
+        state: DatabaseState,
+        config: ChaseConfig,
+    ) -> Self {
+        ChaseMaintainer {
+            schema,
+            fds,
+            state,
+            config,
+        }
+    }
+}
+
+impl Maintainer for ChaseMaintainer<'_> {
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        if self.state.relation(id).contains(&tuple) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        self.state.insert(id, tuple.clone())?;
+        let sat = ids_chase::satisfies(self.schema, self.fds, &self.state, &self.config)?;
+        if sat.is_satisfying() {
+            Ok(InsertOutcome::Accepted)
+        } else {
+            self.state.relation_mut(id).remove(&tuple);
+            Ok(InsertOutcome::Rejected { violated: None })
+        }
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
+        self.state.relation_mut(id).remove(tuple)
+    }
+
+    fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use ids_relational::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn independent_setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        (schema, fds)
+    }
+
+    #[test]
+    fn local_maintainer_enforces_fi() {
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let mut m =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        assert_eq!(m.insert(ct, vec![v(1), v(10)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(m.insert(ct, vec![v(1), v(10)]).unwrap(), InsertOutcome::Duplicate);
+        // Second teacher for course 1: violates C→T.
+        let out = m.insert(ct, vec![v(1), v(11)]).unwrap();
+        assert!(matches!(out, InsertOutcome::Rejected { violated: Some(_) }));
+        // Remove and retry: accepted.
+        assert!(m.remove(ct, &[v(1), v(10)]));
+        assert_eq!(m.insert(ct, vec![v(1), v(11)]).unwrap(), InsertOutcome::Accepted);
+    }
+
+    #[test]
+    fn local_and_chase_engines_agree_on_independent_schema() {
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let mut local =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
+        let mut chase = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let cs = schema.scheme_by_name("CS").unwrap();
+        let script: Vec<(SchemeId, Vec<Value>)> = vec![
+            (ct, vec![v(1), v(20)]),
+            (chr, vec![v(1), v(30), v(40)]),
+            (chr, vec![v(1), v(30), v(41)]), // violates CH→R
+            (chr, vec![v(1), v(31), v(41)]),
+            (cs, vec![v(1), v(50)]),
+            (cs, vec![v(1), v(51)]), // CS has no FDs: fine
+            (ct, vec![v(1), v(21)]), // violates C→T
+        ];
+        for (id, tuple) in script {
+            let a = local.insert(id, tuple.clone()).unwrap();
+            let b = chase.insert(id, tuple).unwrap();
+            let same = matches!(
+                (&a, &b),
+                (InsertOutcome::Accepted, InsertOutcome::Accepted)
+                    | (InsertOutcome::Duplicate, InsertOutcome::Duplicate)
+                    | (
+                        InsertOutcome::Rejected { .. },
+                        InsertOutcome::Rejected { .. }
+                    )
+            );
+            assert!(same, "engines disagree: {a:?} vs {b:?}");
+        }
+        assert_eq!(local.state().total_tuples(), chase.state().total_tuples());
+    }
+
+    #[test]
+    fn chase_engine_catches_cross_relation_violation_local_would_miss() {
+        // Example 1 (not independent): the cross-relation contradiction is
+        // invisible to per-relation FD checks, visible to the chase.
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds =
+            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let mut chase = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let cd = schema.scheme_by_name("CD").unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let td = schema.scheme_by_name("TD").unwrap();
+        assert_eq!(chase.insert(cd, vec![v(1), v(2)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(chase.insert(ct, vec![v(1), v(3)]).unwrap(), InsertOutcome::Accepted);
+        // (T=3, D=4) forces course 1's department to be 4, contradicting 2.
+        let out = chase.insert(td, vec![v(4), v(3)]).unwrap();
+        assert_eq!(out, InsertOutcome::Rejected { violated: None });
+        // State rolled back.
+        assert_eq!(chase.state().total_tuples(), 2);
+        // LocalMaintainer cannot even be constructed for this schema.
+        let analysis = analyze(&schema, &fds);
+        assert!(LocalMaintainer::from_analysis(
+            &schema,
+            &analysis,
+            DatabaseState::empty(&schema)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rebuilding_from_existing_state_indexes_correctly() {
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let mut base = DatabaseState::empty(&schema);
+        base.insert(ct, vec![v(9), v(90)]).unwrap();
+        let mut m = LocalMaintainer::from_analysis(&schema, &analysis, base).unwrap();
+        let out = m.insert(ct, vec![v(9), v(91)]).unwrap();
+        assert!(matches!(out, InsertOutcome::Rejected { .. }));
+    }
+}
+
+/// The Honeyman middle ground: validate inserts by chasing the FDs
+/// **without** the join dependency (polynomial, \[H\]).
+///
+/// Sound for rejection (an FD-only contradiction already kills every weak
+/// instance) but *incomplete*: states whose violation needs `*D` to
+/// surface are accepted.  On independent schemas it coincides with the
+/// full chase; on dependent schemas it sits strictly between the local
+/// and full engines — the E2/E3 benches use it as the middle line.
+pub struct FdOnlyMaintainer<'a> {
+    schema: &'a DatabaseSchema,
+    fds: &'a FdSet,
+    state: DatabaseState,
+}
+
+impl<'a> FdOnlyMaintainer<'a> {
+    /// Builds the engine over an existing state.
+    pub fn new(schema: &'a DatabaseSchema, fds: &'a FdSet, state: DatabaseState) -> Self {
+        FdOnlyMaintainer { schema, fds, state }
+    }
+}
+
+impl Maintainer for FdOnlyMaintainer<'_> {
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        if self.state.relation(id).contains(&tuple) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        self.state.insert(id, tuple.clone())?;
+        let sat = ids_chase::satisfies_fds_only(self.schema, self.fds, &self.state);
+        if sat.is_satisfying() {
+            Ok(InsertOutcome::Accepted)
+        } else {
+            self.state.relation_mut(id).remove(&tuple);
+            Ok(InsertOutcome::Rejected { violated: None })
+        }
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
+        self.state.relation_mut(id).remove(tuple)
+    }
+
+    fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod fd_only_tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    #[test]
+    fn fd_only_catches_example1_style_violations() {
+        // Example 1's contradiction is FD-only reachable (padding + FDs);
+        // the middle engine rejects it just like the full chase.
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds =
+            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let mut m = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let cd = schema.scheme_by_name("CD").unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let td = schema.scheme_by_name("TD").unwrap();
+        assert_eq!(m.insert(cd, vec![v(1), v(2)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(m.insert(ct, vec![v(1), v(3)]).unwrap(), InsertOutcome::Accepted);
+        let out = m.insert(td, vec![v(4), v(3)]).unwrap();
+        assert_eq!(out, InsertOutcome::Rejected { violated: None });
+    }
+
+    #[test]
+    fn fd_only_misses_jd_induced_violations() {
+        // {AB, BC} with A→C: the violation needs the join dependency to
+        // reassemble tuples; the FD-only engine accepts what the full
+        // chase rejects — the documented incompleteness.
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["A -> C"]).unwrap();
+
+        let script: Vec<(SchemeId, Vec<Value>)> = vec![
+            (SchemeId(0), vec![v(1), v(2)]),
+            (SchemeId(1), vec![v(2), v(3)]),
+            (SchemeId(1), vec![v(2), v(4)]),
+        ];
+        let mut fd_only =
+            FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let mut full = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let mut fd_only_outcomes = Vec::new();
+        let mut full_outcomes = Vec::new();
+        for (id, t) in script {
+            fd_only_outcomes.push(fd_only.insert(id, t.clone()).unwrap());
+            full_outcomes.push(full.insert(id, t).unwrap());
+        }
+        // FD-only accepts all three; the full chase rejects the last.
+        assert!(fd_only_outcomes
+            .iter()
+            .all(|o| *o == InsertOutcome::Accepted));
+        assert_eq!(
+            *full_outcomes.last().unwrap(),
+            InsertOutcome::Rejected { violated: None }
+        );
+    }
+
+    #[test]
+    fn engines_coincide_on_independent_schema() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        let mut fd_only =
+            FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let mut full = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        for (id, t) in [
+            (ct, vec![v(1), v(2)]),
+            (ct, vec![v(1), v(3)]),
+            (chr, vec![v(1), v(5), v(6)]),
+            (chr, vec![v(1), v(5), v(7)]),
+        ] {
+            let a = fd_only.insert(id, t.clone()).unwrap();
+            let b = full.insert(id, t).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

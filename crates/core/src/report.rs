@@ -1,0 +1,205 @@
+//! Human-readable rendering of an independence analysis.
+
+use std::fmt::Write as _;
+
+use ids_relational::display::render_state;
+use ids_relational::{DatabaseSchema, ValuePool};
+
+use crate::independence::{IndependenceAnalysis, NotIndependentReason, Verdict};
+
+/// Renders a full diagnosis: verdict, embedded cover, per-scheme
+/// enforcement, witness state and Loop trace summary.
+pub fn render_analysis(schema: &DatabaseSchema, analysis: &IndependenceAnalysis) -> String {
+    let u = schema.universe();
+    let mut out = String::new();
+    let _ = writeln!(out, "schema:");
+    for (_, s) in schema.iter() {
+        let _ = writeln!(out, "  {} = {}", s.name, u.render(s.attrs));
+    }
+    match &analysis.verdict {
+        Verdict::Independent { enforcement } => {
+            let _ = writeln!(out, "verdict: INDEPENDENT");
+            let _ = writeln!(
+                out,
+                "maintenance: check only the touched relation's cover on insert"
+            );
+            for (id, s) in schema.iter() {
+                let fi = &enforcement[id.index()];
+                let fd_text = if fi.is_empty() {
+                    "(nothing to check)".to_string()
+                } else {
+                    fi.render(u)
+                };
+                let _ = writeln!(out, "  enforce on {}: {}", s.name, fd_text);
+            }
+        }
+        Verdict::NotIndependent { reason, witness } => {
+            let _ = writeln!(out, "verdict: NOT independent");
+            match reason {
+                NotIndependentReason::CoverNotEmbedded { failing, closed } => {
+                    let _ = writeln!(
+                        out,
+                        "reason: dependency {} is not implied by the embedded \
+                         consequences (Lemma 3); cl_G1(lhs) = {}",
+                        failing.render(u),
+                        u.render(*closed)
+                    );
+                }
+                NotIndependentReason::CrossingDerivation { scheme, attr } => {
+                    let _ = writeln!(
+                        out,
+                        "reason: the function {} -> {} is computed through other \
+                         relation schemes (Lemma 7) — overloaded attributes / \
+                         multiple relationships",
+                        schema.scheme(*scheme).name,
+                        u.name(*attr)
+                    );
+                }
+                NotIndependentReason::LoopRejection(reject) => {
+                    let line = match reject.line {
+                        crate::algorithm::RejectLine::Line4 => "line 4",
+                        crate::algorithm::RejectLine::Line5 { .. } => "line 5",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "reason: Section 4 algorithm rejects at {line} while running \
+                         for {}: l.h.s. {} of {} has X*new = {} overlapping the \
+                         available attributes",
+                        schema.scheme(reject.run_for).name,
+                        u.render(reject.picked.attrs),
+                        schema.scheme(reject.picked.scheme).name,
+                        u.render(reject.x_new),
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "counterexample state (locally satisfying, no weak instance):"
+            );
+            let pool = ValuePool::new();
+            out.push_str(&render_state(schema, &pool, &witness.state));
+        }
+    }
+    if let Some(h) = &analysis.embedded_cover {
+        let _ = writeln!(out, "embedded cover H: {}", h.render(u));
+    }
+    if !analysis.traces.is_empty() {
+        let total: usize = analysis.traces.iter().map(|t| t.iterations.len()).sum();
+        let _ = writeln!(
+            out,
+            "loop runs: {} schemes, {} iterations total",
+            analysis.traces.len(),
+            total
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use ids_deps::FdSet;
+    use ids_relational::Universe;
+
+    #[test]
+    fn independent_report_mentions_enforcement() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        let text = render_analysis(&schema, &analyze(&schema, &fds));
+        assert!(text.contains("INDEPENDENT"));
+        assert!(text.contains("enforce on CT"));
+        assert!(text.contains("C -> T"));
+    }
+
+    #[test]
+    fn dependent_report_shows_witness() {
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds =
+            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let text = render_analysis(&schema, &analyze(&schema, &fds));
+        assert!(text.contains("NOT independent"));
+        assert!(text.contains("counterexample state"));
+        assert!(text.contains("Lemma 7") || text.contains("other relation schemes"));
+    }
+}
+
+/// Renders the per-iteration trace of the Section 4 Loop runs — the
+/// paper's presentation of Example 3 ("pick a weakest l.h.s., compute
+/// E(X), W(X), X*old, X*new") for arbitrary inputs.
+pub fn render_traces(schema: &DatabaseSchema, analysis: &IndependenceAnalysis) -> String {
+    let u = schema.universe();
+    let mut out = String::new();
+    for trace in &analysis.traces {
+        let _ = writeln!(
+            out,
+            "run for {} ({}):",
+            schema.scheme(trace.run_for).name,
+            if trace.accepted { "accepted" } else { "REJECTED" }
+        );
+        for (i, it) in trace.iterations.iter().enumerate() {
+            let fmt_lhs = |e: &crate::algorithm::LhsInfo| {
+                format!("{}@{}", u.render(e.attrs), schema.scheme(e.scheme).name)
+            };
+            let e_set: Vec<String> = it.equivalent.iter().map(fmt_lhs).collect();
+            let w_set: Vec<String> = it.weaker.iter().map(fmt_lhs).collect();
+            let _ = writeln!(
+                out,
+                "  [{}] pick {}  E = {{{}}}  W = {{{}}}  X*old = {}  X*new = {}",
+                i + 1,
+                fmt_lhs(&it.picked),
+                e_set.join(", "),
+                w_set.join(", "),
+                u.render(it.x_old),
+                u.render(it.x_new),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::analyze;
+    use ids_deps::FdSet;
+    use ids_relational::Universe;
+
+    #[test]
+    fn trace_rendering_replays_example3() {
+        let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(
+            u,
+            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
+        )
+        .unwrap();
+        let fds = FdSet::parse(
+            schema.universe(),
+            &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
+        )
+        .unwrap();
+        let analysis = analyze(&schema, &fds);
+        let text = render_traces(&schema, &analysis);
+        assert!(text.contains("run for R1 (REJECTED)"));
+        assert!(text.contains("pick A1@R2"));
+        // The fatal iteration mentions the equivalent pair.
+        assert!(text.contains("A1 B1@R2") && text.contains("A2 B2@R2"));
+    }
+
+    #[test]
+    fn accepted_trace_renders_all_schemes() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+                .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        let analysis = analyze(&schema, &fds);
+        let text = render_traces(&schema, &analysis);
+        assert_eq!(text.matches("accepted").count(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Covers of FD sets: nonredundant, left-reduced and canonical covers.
+
+use ids_relational::AttrSet;
+
+use crate::fd::Fd;
+use crate::fdset::FdSet;
+
+impl FdSet {
+    /// A *nonredundant* cover: drops every FD that is implied by the others.
+    ///
+    /// Scans in insertion order, so the result is deterministic.
+    pub fn nonredundant_cover(&self) -> FdSet {
+        let mut keep: Vec<Fd> = self.iter().copied().collect();
+        let mut i = 0;
+        while i < keep.len() {
+            let candidate = keep[i];
+            let rest: Vec<Fd> = keep
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, f)| *f)
+                .collect();
+            let rest_set = FdSet::from_fds(rest);
+            if rest_set.implies(candidate) {
+                keep.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        FdSet::from_fds(keep)
+    }
+
+    /// Left-reduces every FD: removes *extraneous* attributes from
+    /// left-hand sides (`B ∈ X` is extraneous in `X → Y` when
+    /// `(X−B)⁺ ⊇ Y` under the full set).
+    pub fn left_reduced(&self) -> FdSet {
+        let mut out = Vec::with_capacity(self.len());
+        for fd in self.iter() {
+            let mut lhs = fd.lhs;
+            for b in fd.lhs {
+                let mut candidate = lhs;
+                candidate.remove(b);
+                if candidate != lhs && fd.rhs.is_subset(self.closure(candidate)) {
+                    lhs = candidate;
+                }
+            }
+            out.push(Fd::new(lhs, fd.rhs));
+        }
+        FdSet::from_fds(out)
+    }
+
+    /// A *canonical cover*: single-attribute right-hand sides, left-reduced,
+    /// nonredundant.
+    pub fn canonical_cover(&self) -> FdSet {
+        self.split().left_reduced().split().nonredundant_cover()
+    }
+
+    /// Merges FDs sharing a left-hand side into one `X → Y1..Yn` each
+    /// (useful for display and for 3NF synthesis).
+    pub fn merged_by_lhs(&self) -> FdSet {
+        let mut groups: Vec<(AttrSet, AttrSet)> = Vec::new();
+        for fd in self.iter() {
+            match groups.iter_mut().find(|(l, _)| *l == fd.lhs) {
+                Some((_, r)) => {
+                    r.union_in_place(fd.rhs);
+                }
+                None => groups.push((fd.lhs, fd.rhs)),
+            }
+        }
+        FdSet::from_fds(groups.into_iter().map(|(l, r)| Fd::new(l, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn u() -> Universe {
+        Universe::from_names(["A", "B", "C", "D"]).unwrap()
+    }
+
+    #[test]
+    fn nonredundant_drops_implied() {
+        let u = u();
+        let f = FdSet::parse(&u, &["A -> B", "B -> C", "A -> C"]).unwrap();
+        let nr = f.nonredundant_cover();
+        assert_eq!(nr.len(), 2);
+        assert!(nr.equivalent(&f));
+    }
+
+    #[test]
+    fn left_reduction_strips_extraneous_attributes() {
+        let u = u();
+        // In AB -> C with A -> B, the B is extraneous.
+        let f = FdSet::parse(&u, &["AB -> C", "A -> B"]).unwrap();
+        let lr = f.left_reduced();
+        assert!(lr.equivalent(&f));
+        assert!(lr.iter().any(|fd| fd.lhs == u.parse_set("A").unwrap()
+            && fd.rhs == u.parse_set("C").unwrap()));
+    }
+
+    #[test]
+    fn canonical_cover_shape() {
+        let u = u();
+        let f = FdSet::parse(&u, &["A -> BC", "B -> C", "AB -> D"]).unwrap();
+        let cc = f.canonical_cover();
+        assert!(cc.equivalent(&f));
+        assert!(cc.iter().all(|fd| fd.rhs.len() == 1));
+        // AB -> D reduces to A -> D; A -> C is redundant via B.
+        assert!(cc
+            .iter()
+            .any(|fd| fd.lhs == u.parse_set("A").unwrap()
+                && fd.rhs == u.parse_set("D").unwrap()));
+        assert!(!cc
+            .iter()
+            .any(|fd| fd.lhs == u.parse_set("A").unwrap()
+                && fd.rhs == u.parse_set("C").unwrap()));
+    }
+
+    #[test]
+    fn merged_by_lhs_groups() {
+        let u = u();
+        let f = FdSet::parse(&u, &["A -> B", "A -> C", "B -> D"]).unwrap();
+        let m = f.merged_by_lhs();
+        assert_eq!(m.len(), 2);
+        assert!(m.equivalent(&f));
+    }
+
+    #[test]
+    fn empty_set_covers() {
+        let f = FdSet::new();
+        assert!(f.nonredundant_cover().is_empty());
+        assert!(f.canonical_cover().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Join dependencies.
+
+use ids_relational::{AttrSet, DatabaseSchema, Universe};
+
+/// A join dependency `*{S1, .., Sn}` over a universe.
+///
+/// Holds in a universal instance `r` iff `π_S1(r) ⋈ … ⋈ π_Sn(r) = r`.
+/// The paper's central object is the join dependency *of the database
+/// schema*, `*D`, whose components are exactly the relation schemes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinDependency {
+    components: Vec<AttrSet>,
+}
+
+impl JoinDependency {
+    /// Creates a JD from components.  Empty components are dropped.
+    pub fn new(components: impl IntoIterator<Item = AttrSet>) -> Self {
+        JoinDependency {
+            components: components.into_iter().filter(|c| !c.is_empty()).collect(),
+        }
+    }
+
+    /// The join dependency `*D` of a database schema.
+    pub fn of_schema(schema: &DatabaseSchema) -> Self {
+        Self::new(schema.join_dependency_components())
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[AttrSet] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The union of all components (must equal `U` for a JD over `U`).
+    pub fn attrs(&self) -> AttrSet {
+        self.components
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, c| acc.union(*c))
+    }
+
+    /// Renders with attribute names.
+    pub fn render(&self, universe: &Universe) -> String {
+        let parts: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| universe.render(*c))
+            .collect();
+        format!("*[{}]", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_schema_components() {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let d = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
+        let jd = JoinDependency::of_schema(&d);
+        assert_eq!(jd.len(), 2);
+        assert_eq!(jd.attrs(), d.universe().all());
+        assert_eq!(jd.render(d.universe()), "*[AB, BC]");
+    }
+
+    #[test]
+    fn empty_components_dropped() {
+        let jd = JoinDependency::new([AttrSet::EMPTY]);
+        assert!(jd.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Keys and superkeys.
+
+use ids_relational::AttrSet;
+
+use crate::fdset::FdSet;
+
+impl FdSet {
+    /// True when `x` is a superkey of scheme `r` under this FD set:
+    /// `X⁺ ⊇ R`.
+    pub fn is_superkey(&self, x: AttrSet, r: AttrSet) -> bool {
+        r.is_subset(self.closure(x))
+    }
+
+    /// True when `x` is a (candidate) key of `r`: a superkey with no proper
+    /// superkey subset.
+    pub fn is_key(&self, x: AttrSet, r: AttrSet) -> bool {
+        if !self.is_superkey(x, r) {
+            return false;
+        }
+        x.iter().all(|a| {
+            let mut smaller = x;
+            smaller.remove(a);
+            !self.is_superkey(smaller, r)
+        })
+    }
+
+    /// Enumerates all candidate keys of `r` (Lucchesi–Osborn style search).
+    ///
+    /// Exponential in the worst case — callers should keep `r` small; the
+    /// optional `limit` aborts early returning what was found.
+    pub fn candidate_keys(&self, r: AttrSet, limit: Option<usize>) -> Vec<AttrSet> {
+        let local = self.embedded_in(r);
+        // Start from one key obtained by shrinking R.
+        let shrink = |mut x: AttrSet| {
+            for a in x {
+                let mut smaller = x;
+                smaller.remove(a);
+                if local.is_superkey(smaller, r) {
+                    x = smaller;
+                }
+            }
+            x
+        };
+        let mut keys = vec![shrink(r)];
+        let mut queue = 0usize;
+        while queue < keys.len() {
+            if limit.is_some_and(|l| keys.len() >= l) {
+                break;
+            }
+            let k = keys[queue];
+            queue += 1;
+            // Every key K' satisfies: for each fd X→Y with Y ∩ K ≠ ∅,
+            // X ∪ (K − Y) contains a key; seed candidates from those.
+            for fd in local.iter() {
+                if fd.rhs.intersects(k) {
+                    let seed = fd.lhs.union(k.difference(fd.rhs));
+                    let candidate = shrink(seed);
+                    if !keys.contains(&candidate) {
+                        keys.push(candidate);
+                    }
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// The *prime* attributes of `r`: members of at least one candidate key.
+    pub fn prime_attrs(&self, r: AttrSet, limit: Option<usize>) -> AttrSet {
+        self.candidate_keys(r, limit)
+            .into_iter()
+            .fold(AttrSet::EMPTY, |acc, k| acc.union(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn u() -> Universe {
+        Universe::from_names(["A", "B", "C", "D"]).unwrap()
+    }
+
+    #[test]
+    fn superkey_and_key() {
+        let u = u();
+        let f = FdSet::parse(&u, &["A -> B", "B -> C"]).unwrap();
+        let r = u.parse_set("ABC").unwrap();
+        assert!(f.is_superkey(u.parse_set("A").unwrap(), r));
+        assert!(f.is_superkey(u.parse_set("AB").unwrap(), r));
+        assert!(f.is_key(u.parse_set("A").unwrap(), r));
+        assert!(!f.is_key(u.parse_set("AB").unwrap(), r));
+    }
+
+    #[test]
+    fn multiple_candidate_keys() {
+        let u = u();
+        // Cyclic: A→B, B→A give two keys {A,C}, {B,C} of ABC.
+        let f = FdSet::parse(&u, &["A -> B", "B -> A"]).unwrap();
+        let r = u.parse_set("ABC").unwrap();
+        let keys = f.candidate_keys(r, None);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&u.parse_set("AC").unwrap()));
+        assert!(keys.contains(&u.parse_set("BC").unwrap()));
+        assert_eq!(f.prime_attrs(r, None), r);
+    }
+
+    #[test]
+    fn key_of_whole_scheme_without_fds() {
+        let u = u();
+        let f = FdSet::new();
+        let r = u.parse_set("AB").unwrap();
+        assert_eq!(f.candidate_keys(r, None), vec![r]);
+    }
+
+    #[test]
+    fn limit_bounds_enumeration() {
+        let u = u();
+        let f = FdSet::parse(&u, &["A -> B", "B -> A", "C -> D", "D -> C"]).unwrap();
+        let r = u.parse_set("ABCD").unwrap();
+        let all = f.candidate_keys(r, None);
+        assert_eq!(all.len(), 4); // {A,C},{A,D},{B,C},{B,D}
+        let some = f.candidate_keys(r, Some(2));
+        assert!(some.len() >= 2 && some.len() <= all.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Attribute identifiers.
+
+use std::fmt;
+
+/// Identifier of an attribute within a [`crate::Universe`].
+///
+/// Attribute ids are dense indexes assigned in insertion order, so they can
+/// be used directly as bit positions in [`crate::AttrSet`] and as column
+/// indexes of universal tuples.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u16::MAX as usize);
+        AttrId(i as u16)
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let a = AttrId::from_index(42);
+        assert_eq!(a.index(), 42);
+        assert_eq!(format!("{a:?}"), "#42");
+    }
+}

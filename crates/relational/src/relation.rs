@@ -1,0 +1,481 @@
+//! Relation instances.
+
+use std::collections::HashSet;
+
+use crate::attr::AttrId;
+use crate::attrset::AttrSet;
+use crate::error::RelationalError;
+use crate::value::Value;
+
+/// A tuple of a relation scheme: values laid out in ascending attribute-id
+/// order of the scheme.
+pub type Tuple = Box<[Value]>;
+
+/// An instance of a relation scheme: a duplicate-free set of tuples.
+///
+/// Tuples are stored in insertion order (deterministic iteration for
+/// reproducible tests and benchmarks) with a hash set for O(1) membership.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    attrs: AttrSet,
+    tuples: Vec<Tuple>,
+    present: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty instance over the given scheme attributes.
+    pub fn new(attrs: AttrSet) -> Self {
+        Relation {
+            attrs,
+            tuples: Vec::new(),
+            present: HashSet::new(),
+        }
+    }
+
+    /// The scheme attributes.
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// Scheme width (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple given in scheme order; returns `true` when new.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> Result<bool, RelationalError> {
+        if tuple.len() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.arity(),
+                found: tuple.len(),
+            });
+        }
+        let t: Tuple = tuple.into_boxed_slice();
+        if self.present.contains(&t) {
+            return Ok(false);
+        }
+        self.present.insert(t.clone());
+        self.tuples.push(t);
+        Ok(true)
+    }
+
+    /// Inserts a tuple described by a value function over the scheme's
+    /// attributes.
+    pub fn insert_with(
+        &mut self,
+        mut value_of: impl FnMut(AttrId) -> Value,
+    ) -> Result<bool, RelationalError> {
+        let vals: Vec<Value> = self.attrs.iter().map(&mut value_of).collect();
+        self.insert(vals)
+    }
+
+    /// Removes a tuple; returns `true` when it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        if !self.present.remove(tuple) {
+            return false;
+        }
+        let pos = self
+            .tuples
+            .iter()
+            .position(|t| &**t == tuple)
+            .expect("present-set and tuple list out of sync");
+        self.tuples.remove(pos);
+        true
+    }
+
+    /// Membership test for a tuple in scheme order.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.present.contains(tuple)
+    }
+
+    /// Iterates over tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The value of `tuple` at `attr` (which must belong to the scheme).
+    pub fn value_at(&self, tuple: &[Value], attr: AttrId) -> Value {
+        debug_assert!(self.attrs.contains(attr));
+        tuple[self.attrs.rank(attr)]
+    }
+
+    /// Projects a tuple of this relation onto `x ⊆ attrs`, in `x`'s scheme
+    /// order.
+    pub fn project_tuple(&self, tuple: &[Value], x: AttrSet) -> Vec<Value> {
+        debug_assert!(x.is_subset(self.attrs));
+        x.iter().map(|a| tuple[self.attrs.rank(a)]).collect()
+    }
+
+    /// The projection `π_X(r)` as a new relation.
+    pub fn project(&self, x: AttrSet) -> Relation {
+        debug_assert!(x.is_subset(self.attrs));
+        let mut out = Relation::new(x);
+        for t in &self.tuples {
+            let projected = self.project_tuple(t, x);
+            out.insert(projected).expect("projection preserves arity");
+        }
+        out
+    }
+
+    /// Natural join `self ⋈ other` (hash join on the common attributes).
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let common = self.attrs.intersect(other.attrs);
+        let out_attrs = self.attrs.union(other.attrs);
+        let mut out = Relation::new(out_attrs);
+
+        // Index `other` by its projection onto the common attributes.
+        let mut index: std::collections::HashMap<Vec<Value>, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for t in &other.tuples {
+            index
+                .entry(other.project_tuple(t, common))
+                .or_default()
+                .push(t);
+        }
+
+        for t in &self.tuples {
+            let key = self.project_tuple(t, common);
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for u in matches {
+                let combined: Vec<Value> = out_attrs
+                    .iter()
+                    .map(|a| {
+                        if self.attrs.contains(a) {
+                            t[self.attrs.rank(a)]
+                        } else {
+                            u[other.attrs.rank(a)]
+                        }
+                    })
+                    .collect();
+                out.insert(combined).expect("join preserves arity");
+            }
+        }
+        out
+    }
+
+    /// Semijoin `self ⋉ other`: the tuples of `self` that join with at least
+    /// one tuple of `other`.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let common = self.attrs.intersect(other.attrs);
+        let keys: HashSet<Vec<Value>> = other
+            .tuples
+            .iter()
+            .map(|t| other.project_tuple(t, common))
+            .collect();
+        let mut out = Relation::new(self.attrs);
+        for t in &self.tuples {
+            if keys.contains(&self.project_tuple(t, common)) {
+                out.insert(t.to_vec()).expect("same scheme");
+            }
+        }
+        out
+    }
+
+    /// True when the functional dependency `lhs → rhs` holds in this
+    /// instance (both sides must be subsets of the scheme).
+    pub fn satisfies_fd(&self, lhs: AttrSet, rhs: AttrSet) -> bool {
+        debug_assert!(lhs.union(rhs).is_subset(self.attrs));
+        let mut seen: std::collections::HashMap<Vec<Value>, Vec<Value>> =
+            std::collections::HashMap::new();
+        for t in &self.tuples {
+            let key = self.project_tuple(t, lhs);
+            let val = self.project_tuple(t, rhs);
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+
+    /// True when `self` and `other` hold exactly the same tuples over the
+    /// same scheme.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs
+            && self.len() == other.len()
+            && self.tuples.iter().all(|t| other.contains(t))
+    }
+
+    /// True when every tuple of `self` appears in `other` (same scheme).
+    pub fn is_subinstance_of(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs && self.tuples.iter().all(|t| other.contains(t))
+    }
+}
+
+/// Joins a non-empty sequence of relations left to right: `r1 ⋈ r2 ⋈ … ⋈ rn`.
+///
+/// Returns `None` for an empty input (the natural join has no neutral
+/// element over an unknown scheme).
+pub fn join_all<'a>(mut rels: impl Iterator<Item = &'a Relation>) -> Option<Relation> {
+    let first = rels.next()?.clone();
+    Some(rels.fold(first, |acc, r| acc.natural_join(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn abc() -> (Universe, AttrSet, AttrSet, AttrSet) {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let a = AttrSet::singleton(u.attr("A").unwrap());
+        let b = AttrSet::singleton(u.attr("B").unwrap());
+        let c = AttrSet::singleton(u.attr("C").unwrap());
+        (u, a, b, c)
+    }
+
+    #[test]
+    fn insert_dedup_and_contains() {
+        let (_, a, b, _) = abc();
+        let mut r = Relation::new(a.union(b));
+        assert!(r.insert(vec![v(1), v(2)]).unwrap());
+        assert!(!r.insert(vec![v(1), v(2)]).unwrap());
+        assert!(r.insert(vec![v(1), v(3)]).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v(1), v(2)]));
+        assert!(!r.contains(&[v(9), v(9)]));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (_, a, b, _) = abc();
+        let mut r = Relation::new(a.union(b));
+        assert!(matches!(
+            r.insert(vec![v(1)]),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_keeps_order() {
+        let (_, a, _, _) = abc();
+        let mut r = Relation::new(a);
+        r.insert(vec![v(1)]).unwrap();
+        r.insert(vec![v(2)]).unwrap();
+        r.insert(vec![v(3)]).unwrap();
+        assert!(r.remove(&[v(2)]));
+        assert!(!r.remove(&[v(2)]));
+        let vals: Vec<u64> = r.iter().map(|t| t[0].0).collect();
+        assert_eq!(vals, vec![1, 3]);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let (_, a, b, _) = abc();
+        let mut r = Relation::new(a.union(b));
+        r.insert(vec![v(1), v(10)]).unwrap();
+        r.insert(vec![v(1), v(20)]).unwrap();
+        let p = r.project(a);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&[v(1)]));
+    }
+
+    #[test]
+    fn natural_join_matches_on_common_attributes() {
+        let (_, a, b, c) = abc();
+        let mut ab = Relation::new(a.union(b));
+        ab.insert(vec![v(1), v(2)]).unwrap();
+        ab.insert(vec![v(3), v(4)]).unwrap();
+        let mut bc = Relation::new(b.union(c));
+        bc.insert(vec![v(2), v(5)]).unwrap();
+        bc.insert(vec![v(2), v(6)]).unwrap();
+        bc.insert(vec![v(9), v(9)]).unwrap();
+
+        let j = ab.natural_join(&bc);
+        assert_eq!(j.attrs(), a.union(b).union(c));
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&[v(1), v(2), v(5)]));
+        assert!(j.contains(&[v(1), v(2), v(6)]));
+    }
+
+    #[test]
+    fn join_with_disjoint_schemes_is_cartesian_product() {
+        let (_, a, _, c) = abc();
+        let mut ra = Relation::new(a);
+        ra.insert(vec![v(1)]).unwrap();
+        ra.insert(vec![v(2)]).unwrap();
+        let mut rc = Relation::new(c);
+        rc.insert(vec![v(7)]).unwrap();
+        rc.insert(vec![v(8)]).unwrap();
+        assert_eq!(ra.natural_join(&rc).len(), 4);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let (_, a, b, _) = abc();
+        let mut ab = Relation::new(a.union(b));
+        ab.insert(vec![v(1), v(2)]).unwrap();
+        ab.insert(vec![v(3), v(4)]).unwrap();
+        let mut rb = Relation::new(b);
+        rb.insert(vec![v(2)]).unwrap();
+        let s = ab.semijoin(&rb);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[v(1), v(2)]));
+    }
+
+    #[test]
+    fn satisfies_fd_detects_violation() {
+        let (_, a, b, c) = abc();
+        let mut r = Relation::new(a.union(b).union(c));
+        r.insert(vec![v(1), v(2), v(3)]).unwrap();
+        r.insert(vec![v(1), v(2), v(4)]).unwrap();
+        assert!(r.satisfies_fd(a, b));
+        assert!(!r.satisfies_fd(a, c));
+        assert!(!r.satisfies_fd(a.union(b), c));
+        assert!(r.satisfies_fd(c, a.union(b)));
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let (_, a, b, c) = abc();
+        let mut ab = Relation::new(a.union(b));
+        ab.insert(vec![v(1), v(2)]).unwrap();
+        let mut bc = Relation::new(b.union(c));
+        bc.insert(vec![v(2), v(3)]).unwrap();
+        let mut ca = Relation::new(c.union(a));
+        ca.insert(vec![v(1), v(3)]).unwrap();
+        let j = join_all([&ab, &bc, &ca].into_iter()).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[v(1), v(2), v(3)]));
+        assert!(join_all([].into_iter()).is_none());
+    }
+
+    #[test]
+    fn projection_join_round_trip_contains_original() {
+        // r ⊆ π_AB(r) ⋈ π_BC(r): the classic lossy-join inequality, with
+        // equality exactly when the decomposition is lossless for r.
+        let (_, a, b, c) = abc();
+        let mut r = Relation::new(a.union(b).union(c));
+        r.insert(vec![v(1), v(0), v(1)]).unwrap();
+        r.insert(vec![v(2), v(0), v(2)]).unwrap();
+        let ab = r.project(a.union(b));
+        let bc = r.project(b.union(c));
+        let j = ab.natural_join(&bc);
+        assert!(r.iter().all(|t| j.contains(t)));
+        assert_eq!(j.len(), 4); // strictly lossy here
+    }
+}
+
+impl Relation {
+    /// Set union of two instances over the same scheme.
+    pub fn union_rel(&self, other: &Relation) -> Relation {
+        debug_assert_eq!(self.attrs, other.attrs);
+        let mut out = self.clone();
+        for t in other.iter() {
+            out.insert(t.to_vec()).expect("same scheme");
+        }
+        out
+    }
+
+    /// Set intersection of two instances over the same scheme.
+    pub fn intersect_rel(&self, other: &Relation) -> Relation {
+        debug_assert_eq!(self.attrs, other.attrs);
+        let mut out = Relation::new(self.attrs);
+        for t in self.iter() {
+            if other.contains(t) {
+                out.insert(t.to_vec()).expect("same scheme");
+            }
+        }
+        out
+    }
+
+    /// Set difference `self − other` over the same scheme.
+    pub fn difference_rel(&self, other: &Relation) -> Relation {
+        debug_assert_eq!(self.attrs, other.attrs);
+        let mut out = Relation::new(self.attrs);
+        for t in self.iter() {
+            if !other.contains(t) {
+                out.insert(t.to_vec()).expect("same scheme");
+            }
+        }
+        out
+    }
+
+    /// Selection `σ_{attr = value}(r)`.
+    pub fn select_eq(&self, attr: AttrId, value: Value) -> Relation {
+        debug_assert!(self.attrs.contains(attr));
+        let pos = self.attrs.rank(attr);
+        let mut out = Relation::new(self.attrs);
+        for t in self.iter() {
+            if t[pos] == value {
+                out.insert(t.to_vec()).expect("same scheme");
+            }
+        }
+        out
+    }
+
+    /// The active domain of one attribute: the distinct values it takes.
+    pub fn active_domain(&self, attr: AttrId) -> Vec<Value> {
+        let pos = self.attrs.rank(attr);
+        let mut vals: Vec<Value> = self.iter().map(|t| t[pos]).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod algebra_tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn two_rels() -> (Relation, Relation) {
+        let u = Universe::from_names(["A", "B"]).unwrap();
+        let mut r = Relation::new(u.all());
+        r.insert(vec![v(1), v(2)]).unwrap();
+        r.insert(vec![v(3), v(4)]).unwrap();
+        let mut s = Relation::new(u.all());
+        s.insert(vec![v(3), v(4)]).unwrap();
+        s.insert(vec![v(5), v(6)]).unwrap();
+        (r, s)
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let (r, s) = two_rels();
+        assert_eq!(r.union_rel(&s).len(), 3);
+        let i = r.intersect_rel(&s);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&[v(3), v(4)]));
+        let d = r.difference_rel(&s);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[v(1), v(2)]));
+        // r = (r − s) ∪ (r ∩ s).
+        assert!(r.set_eq(&d.union_rel(&i)));
+    }
+
+    #[test]
+    fn selection_and_active_domain() {
+        let (r, _) = two_rels();
+        let a = AttrId::from_index(0);
+        let sel = r.select_eq(a, v(1));
+        assert_eq!(sel.len(), 1);
+        assert_eq!(r.active_domain(a), vec![v(1), v(3)]);
+    }
+}

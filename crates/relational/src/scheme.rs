@@ -1,0 +1,221 @@
+//! Relation schemes and database schemas.
+
+use std::fmt;
+
+use crate::attrset::AttrSet;
+use crate::error::RelationalError;
+use crate::universe::Universe;
+
+/// Index of a relation scheme within its [`DatabaseSchema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SchemeId(pub u16);
+
+impl SchemeId {
+    /// The id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u16::MAX as usize);
+        SchemeId(i as u16)
+    }
+}
+
+impl fmt::Debug for SchemeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A relation scheme: a named, nonempty subset of the universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationScheme {
+    /// Display name (`CT`, `Enrollment`, ..).
+    pub name: String,
+    /// The attributes of the scheme.
+    pub attrs: AttrSet,
+}
+
+/// A database schema `D = {R1, .., Rk}`.
+///
+/// The schema owns its [`Universe`].  Construction validates the conventions
+/// of the paper: at least one scheme, every scheme nonempty, and the schemes
+/// jointly covering `U` (so that `*D` is a join dependency over `U`).
+#[derive(Clone, Debug)]
+pub struct DatabaseSchema {
+    universe: Universe,
+    schemes: Vec<RelationScheme>,
+}
+
+impl DatabaseSchema {
+    /// Builds and validates a schema from named attribute sets.
+    pub fn new(
+        universe: Universe,
+        schemes: Vec<RelationScheme>,
+    ) -> Result<Self, RelationalError> {
+        if schemes.is_empty() {
+            return Err(RelationalError::EmptySchema);
+        }
+        let mut covered = AttrSet::new();
+        let mut names: Vec<&str> = Vec::with_capacity(schemes.len());
+        for s in &schemes {
+            if s.attrs.is_empty() {
+                return Err(RelationalError::EmptyScheme(s.name.clone()));
+            }
+            if names.contains(&s.name.as_str()) {
+                return Err(RelationalError::DuplicateScheme(s.name.clone()));
+            }
+            names.push(&s.name);
+            covered.union_in_place(s.attrs);
+        }
+        if covered != universe.all() {
+            let missing = universe.render(universe.all().difference(covered));
+            return Err(RelationalError::SchemaDoesNotCoverUniverse { missing });
+        }
+        Ok(DatabaseSchema { universe, schemes })
+    }
+
+    /// Convenience builder: schemes given as `(name, attribute-spec)` pairs,
+    /// attribute specs in [`Universe::parse_set`] syntax.
+    pub fn parse(
+        universe: Universe,
+        specs: &[(&str, &str)],
+    ) -> Result<Self, RelationalError> {
+        let mut schemes = Vec::with_capacity(specs.len());
+        for (name, spec) in specs {
+            let attrs = universe.parse_set(spec)?;
+            schemes.push(RelationScheme {
+                name: (*name).to_string(),
+                attrs,
+            });
+        }
+        Self::new(universe, schemes)
+    }
+
+    /// The schema's universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Number of relation schemes.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// True when the schema is empty (never, post-validation).
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The scheme with the given id.
+    pub fn scheme(&self, id: SchemeId) -> &RelationScheme {
+        &self.schemes[id.index()]
+    }
+
+    /// Attribute set of the scheme with the given id.
+    pub fn attrs(&self, id: SchemeId) -> AttrSet {
+        self.schemes[id.index()].attrs
+    }
+
+    /// All schemes with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (SchemeId, &RelationScheme)> {
+        self.schemes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SchemeId::from_index(i), s))
+    }
+
+    /// All scheme ids.
+    pub fn ids(&self) -> impl Iterator<Item = SchemeId> {
+        (0..self.schemes.len()).map(SchemeId::from_index)
+    }
+
+    /// Looks a scheme up by name.
+    pub fn scheme_by_name(&self, name: &str) -> Option<SchemeId> {
+        self.schemes
+            .iter()
+            .position(|s| s.name == name)
+            .map(SchemeId::from_index)
+    }
+
+    /// The components of the schema's join dependency `*D`.
+    pub fn join_dependency_components(&self) -> Vec<AttrSet> {
+        self.schemes.iter().map(|s| s.attrs).collect()
+    }
+}
+
+impl fmt::Display for DatabaseSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.universe)?;
+        for (id, s) in self.iter() {
+            writeln!(
+                f,
+                "  {:?} {} = {}",
+                id,
+                s.name,
+                self.universe.render(s.attrs)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cthr_universe() -> Universe {
+        Universe::from_names(["C", "T", "H", "R"]).unwrap()
+    }
+
+    #[test]
+    fn parse_builds_valid_schema() {
+        let d = DatabaseSchema::parse(cthr_universe(), &[("CT", "CT"), ("CHR", "CHR")]).unwrap();
+        assert_eq!(d.len(), 2);
+        let ct = d.scheme_by_name("CT").unwrap();
+        assert_eq!(d.attrs(ct).len(), 2);
+        assert_eq!(d.join_dependency_components().len(), 2);
+    }
+
+    #[test]
+    fn schema_must_cover_universe() {
+        let err = DatabaseSchema::parse(cthr_universe(), &[("CT", "CT")]).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::SchemaDoesNotCoverUniverse { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_schema_and_empty_scheme_rejected() {
+        assert!(matches!(
+            DatabaseSchema::parse(cthr_universe(), &[]),
+            Err(RelationalError::EmptySchema)
+        ));
+        assert!(matches!(
+            DatabaseSchema::parse(cthr_universe(), &[("E", ""), ("ALL", "CTHR")]),
+            Err(RelationalError::EmptyScheme(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_scheme_names_rejected() {
+        assert!(matches!(
+            DatabaseSchema::parse(cthr_universe(), &[("X", "CT"), ("X", "CHR")]),
+            Err(RelationalError::DuplicateScheme(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_sets_allowed_under_distinct_names() {
+        // The paper treats D as a collection; distinct appearances of the
+        // same attribute set are legal.
+        let d =
+            DatabaseSchema::parse(cthr_universe(), &[("A1", "CTHR"), ("A2", "CTHR")]).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

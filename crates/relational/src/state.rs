@@ -1,0 +1,176 @@
+//! Database states.
+
+use crate::attrset::AttrSet;
+use crate::error::RelationalError;
+use crate::relation::{join_all, Relation};
+use crate::scheme::{DatabaseSchema, SchemeId};
+use crate::value::Value;
+
+/// A state `p` of a database schema: one relation instance per scheme.
+#[derive(Clone, Debug)]
+pub struct DatabaseState {
+    relations: Vec<Relation>,
+}
+
+impl DatabaseState {
+    /// Creates the empty state of a schema.
+    pub fn empty(schema: &DatabaseSchema) -> Self {
+        DatabaseState {
+            relations: schema.ids().map(|id| Relation::new(schema.attrs(id))).collect(),
+        }
+    }
+
+    /// The state obtained by projecting a universal instance onto every
+    /// scheme: `π_D(I)`.  Such a state is *join consistent* by construction.
+    pub fn project_universal(schema: &DatabaseSchema, universal: &Relation) -> Self {
+        debug_assert_eq!(universal.attrs(), schema.universe().all());
+        DatabaseState {
+            relations: schema
+                .ids()
+                .map(|id| universal.project(schema.attrs(id)))
+                .collect(),
+        }
+    }
+
+    /// Number of relations (= number of schemes).
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the state has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// The instance assigned to a scheme.
+    pub fn relation(&self, id: SchemeId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Mutable access to the instance assigned to a scheme.
+    pub fn relation_mut(&mut self, id: SchemeId) -> &mut Relation {
+        &mut self.relations[id.index()]
+    }
+
+    /// Iterates over `(scheme id, instance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SchemeId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (SchemeId::from_index(i), r))
+    }
+
+    /// Inserts a tuple (scheme order) into the instance of `id`.
+    pub fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<bool, RelationalError> {
+        self.relations[id.index()].insert(tuple)
+    }
+
+    /// The join of the whole state, `*p = r1 ⋈ … ⋈ rk`.
+    pub fn join(&self) -> Option<Relation> {
+        join_all(self.relations.iter())
+    }
+
+    /// True when the state is *join consistent*: it is the set of
+    /// projections of a single universal instance, i.e. `π_Ri(*p) = ri` for
+    /// every `i`.
+    pub fn is_join_consistent(&self) -> bool {
+        let Some(j) = self.join() else {
+            return true;
+        };
+        self.relations
+            .iter()
+            .all(|r| j.project(r.attrs()).set_eq(r))
+    }
+
+    /// The tuples of `relation(id)` that are *dangling*: lost in `*p`
+    /// because they join with nothing.
+    pub fn dangling_tuples(&self, id: SchemeId) -> Vec<Vec<Value>> {
+        let Some(j) = self.join() else {
+            return Vec::new();
+        };
+        let r = &self.relations[id.index()];
+        let pj = j.project(r.attrs());
+        r.iter()
+            .filter(|t| !pj.contains(t))
+            .map(|t| t.to_vec())
+            .collect()
+    }
+
+    /// Per-relation local FD check: `true` when for every supplied pair
+    /// `(id, fds)` the instance of `id` satisfies all FDs in the list.
+    pub fn satisfies_local_fds(
+        &self,
+        fds: impl IntoIterator<Item = (SchemeId, AttrSet, AttrSet)>,
+    ) -> bool {
+        fds.into_iter()
+            .all(|(id, lhs, rhs)| self.relations[id.index()].satisfies_fd(lhs, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn schema() -> DatabaseSchema {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        DatabaseSchema::parse(u, &[("AB", "A B"), ("BC", "B C")]).unwrap()
+    }
+
+    #[test]
+    fn empty_state_shape() {
+        let d = schema();
+        let p = DatabaseState::empty(&d);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_tuples(), 0);
+        assert!(p.is_join_consistent());
+    }
+
+    #[test]
+    fn projection_of_universal_is_join_consistent() {
+        let d = schema();
+        let mut univ = Relation::new(d.universe().all());
+        univ.insert(vec![v(1), v(2), v(3)]).unwrap();
+        univ.insert(vec![v(4), v(5), v(6)]).unwrap();
+        let p = DatabaseState::project_universal(&d, &univ);
+        assert!(p.is_join_consistent());
+        assert_eq!(p.total_tuples(), 4);
+        assert!(p.dangling_tuples(SchemeId(0)).is_empty());
+    }
+
+    #[test]
+    fn dangling_tuple_detected() {
+        let d = schema();
+        let mut p = DatabaseState::empty(&d);
+        p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
+        p.insert(SchemeId(1), vec![v(9), v(3)]).unwrap(); // B=9 joins nothing
+        assert!(!p.is_join_consistent());
+        assert_eq!(p.dangling_tuples(SchemeId(0)).len(), 1);
+        assert_eq!(p.dangling_tuples(SchemeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn join_reassembles() {
+        let d = schema();
+        let mut p = DatabaseState::empty(&d);
+        p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
+        p.insert(SchemeId(1), vec![v(2), v(3)]).unwrap();
+        let j = p.join().unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[v(1), v(2), v(3)]));
+        assert!(p.is_join_consistent());
+    }
+}

@@ -1,0 +1,210 @@
+//! The universe of attributes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::attr::AttrId;
+use crate::attrset::{AttrSet, MAX_ATTRS};
+use crate::error::RelationalError;
+
+/// The universe `U = {A1, .., Ak}`: an ordered collection of named
+/// attributes.
+///
+/// All schemes, dependencies and instances in a database refer to attributes
+/// of one universe by [`AttrId`].  The universe also provides name-based
+/// lookup and pretty-printing.
+#[derive(Clone, Debug, Default)]
+pub struct Universe {
+    names: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe from a list of distinct attribute names.
+    pub fn from_names<I, S>(names: I) -> Result<Self, RelationalError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut u = Self::new();
+        for n in names {
+            u.add(n)?;
+        }
+        Ok(u)
+    }
+
+    /// Adds an attribute, returning its id.
+    ///
+    /// Fails when the name is already taken or the universe is full
+    /// ([`MAX_ATTRS`] attributes).
+    pub fn add(&mut self, name: impl Into<String>) -> Result<AttrId, RelationalError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(RelationalError::DuplicateAttribute(name));
+        }
+        if self.names.len() >= MAX_ATTRS {
+            return Err(RelationalError::UniverseFull);
+        }
+        let id = AttrId::from_index(self.names.len());
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the universe has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The full attribute set `U`.
+    pub fn all(&self) -> AttrSet {
+        AttrSet::first_n(self.names.len())
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks an attribute up by name, failing with a descriptive error.
+    pub fn require(&self, name: &str) -> Result<AttrId, RelationalError> {
+        self.attr(name)
+            .ok_or_else(|| RelationalError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The name of an attribute.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to this universe.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId::from_index(i), n.as_str()))
+    }
+
+    /// Parses a set of attributes from whitespace- or comma-separated names.
+    ///
+    /// As a convenience for the single-letter convention of the paper
+    /// (`"CTHRS"`), a token that is not an attribute name is re-tried
+    /// character by character.
+    pub fn parse_set(&self, spec: &str) -> Result<AttrSet, RelationalError> {
+        let mut out = AttrSet::new();
+        for token in spec.split([' ', ',', '\t']).filter(|t| !t.is_empty()) {
+            if let Some(id) = self.attr(token) {
+                out.insert(id);
+            } else if token.chars().count() > 1
+                && token
+                    .chars()
+                    .all(|c| self.attr(&c.to_string()).is_some())
+            {
+                for c in token.chars() {
+                    out.insert(self.attr(&c.to_string()).expect("checked above"));
+                }
+            } else {
+                return Err(RelationalError::UnknownAttribute(token.to_string()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders an attribute set with this universe's names.
+    pub fn render(&self, set: AttrSet) -> String {
+        let mut parts = Vec::with_capacity(set.len());
+        for a in set {
+            parts.push(self.name(a).to_string());
+        }
+        // Single-letter universes read better in the paper's concatenated
+        // style (`CTH`), multi-letter ones need separators.
+        if parts.iter().all(|p| p.chars().count() == 1) {
+            parts.concat()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U = {{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut u = Universe::new();
+        let c = u.add("C").unwrap();
+        let t = u.add("T").unwrap();
+        assert_eq!(u.attr("C"), Some(c));
+        assert_eq!(u.attr("T"), Some(t));
+        assert_eq!(u.attr("X"), None);
+        assert_eq!(u.name(c), "C");
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.all().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut u = Universe::new();
+        u.add("A").unwrap();
+        assert!(matches!(
+            u.add("A"),
+            Err(RelationalError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn parse_set_handles_tokens_and_concatenation() {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let s1 = u.parse_set("C T H").unwrap();
+        let s2 = u.parse_set("CTH").unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 3);
+        assert!(u.parse_set("C X").is_err());
+    }
+
+    #[test]
+    fn parse_set_prefers_whole_names() {
+        let u = Universe::from_names(["AB", "A", "B"]).unwrap();
+        let s = u.parse_set("AB").unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(u.attr("AB").unwrap()));
+    }
+
+    #[test]
+    fn render_concatenates_single_letters() {
+        let u = Universe::from_names(["C", "T", "D"]).unwrap();
+        let s = u.parse_set("CD").unwrap();
+        assert_eq!(u.render(s), "CD");
+        let u2 = Universe::from_names(["Course", "Dept"]).unwrap();
+        assert_eq!(u2.render(u2.all()), "Course Dept");
+    }
+
+    #[test]
+    fn universe_full() {
+        let mut u = Universe::new();
+        for i in 0..MAX_ATTRS {
+            u.add(format!("A{i}")).unwrap();
+        }
+        assert!(matches!(u.add("overflow"), Err(RelationalError::UniverseFull)));
+    }
+}

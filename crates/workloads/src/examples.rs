@@ -1,0 +1,202 @@
+//! The paper's worked examples as ready-made instances.
+
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, DatabaseState, Universe, ValuePool};
+
+/// A named `(schema, FDs)` instance with its expected verdict.
+pub struct PaperInstance {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// The database schema `D`.
+    pub schema: DatabaseSchema,
+    /// The functional dependencies `F`.
+    pub fds: FdSet,
+    /// The paper's verdict on independence w.r.t. `F ∪ {*D}`.
+    pub expect_independent: bool,
+}
+
+/// Example 1 (Section 2): `U = {C, D, T}`, `D = {CD, CT, TD}`,
+/// `F = {C→D, C→T, T→D}` — two functions from courses to departments;
+/// **not** independent.
+pub fn example1() -> PaperInstance {
+    let u = Universe::from_names(["C", "D", "T"]).unwrap();
+    let schema =
+        DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+    let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+    PaperInstance {
+        name: "example1",
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// The concrete Example 1 state: `(CS402, CS)`, `(CS402, Jones)`,
+/// `(Jones, EE)` — locally satisfying, globally contradictory.
+pub fn example1_state(inst: &PaperInstance, pool: &mut ValuePool) -> DatabaseState {
+    let schema = &inst.schema;
+    let cs402 = pool.value("CS402");
+    let cs = pool.value("CS");
+    let jones = pool.value("Jones");
+    let ee = pool.value("EE");
+    let mut p = DatabaseState::empty(schema);
+    let cd = schema.scheme_by_name("CD").unwrap();
+    let ct = schema.scheme_by_name("CT").unwrap();
+    let td = schema.scheme_by_name("TD").unwrap();
+    p.insert(cd, vec![cs402, cs]).unwrap();
+    p.insert(ct, vec![cs402, jones]).unwrap();
+    p.insert(td, vec![ee, jones]).unwrap(); // scheme order: D, T
+    p
+}
+
+/// Example 2 (Section 3): `D = {CT, CS, CHR}`, `F = {C→T, CH→R}` —
+/// independent.
+pub fn example2() -> PaperInstance {
+    let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+    let schema =
+        DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+    PaperInstance {
+        name: "example2",
+        schema,
+        fds,
+        expect_independent: true,
+    }
+}
+
+/// Example 2 extended with `SH→R`: condition (1) of Theorem 2 fails —
+/// a student taking two courses meeting at the same hour breaks it.
+pub fn example2_extended() -> PaperInstance {
+    let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+    let schema =
+        DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let fds =
+        FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+    PaperInstance {
+        name: "example2+SH->R",
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// Example 3 (Section 4), reconstructed (DESIGN.md):
+/// `D = {R1 = A1B1, R2 = A1B1A2B2C}`,
+/// `F = {A1→A2, B1→B2, A1B1→C, A2B2→A1B1C}` — rejected by the Loop.
+pub fn example3() -> PaperInstance {
+    let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
+    let schema =
+        DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
+    let fds = FdSet::parse(
+        schema.universe(),
+        &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
+    )
+    .unwrap();
+    PaperInstance {
+        name: "example3",
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// The Section 2 motivating schema: `{CT, CHR}` with `F = {C→T, TH→R}` —
+/// `TH→R` cannot be enforced in any single relation; not independent.
+pub fn section2_cthr() -> PaperInstance {
+    let u = Universe::from_names(["C", "T", "H", "R"]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CHR", "CHR")]).unwrap();
+    let fds = FdSet::parse(schema.universe(), &["C -> T", "TH -> R"]).unwrap();
+    PaperInstance {
+        name: "section2-cthr",
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// A realistic university registrar schema (independent by design):
+/// courses, offerings, rooms and enrollment — used by the example
+/// binaries and the maintenance benches.
+pub fn registrar() -> PaperInstance {
+    let u = Universe::from_names([
+        "Course", "Title", "Dept", "Section", "Room", "Slot", "Student", "Grade",
+    ])
+    .unwrap();
+    let schema = DatabaseSchema::parse(
+        u,
+        &[
+            ("Catalog", "Course Title Dept"),
+            ("Meeting", "Course Section Room Slot"),
+            ("Enrollment", "Course Section Student Grade"),
+        ],
+    )
+    .unwrap();
+    let fds = FdSet::parse(
+        schema.universe(),
+        &[
+            "Course -> Title Dept",
+            "Course Section -> Room Slot",
+            "Course Section Student -> Grade",
+        ],
+    )
+    .unwrap();
+    PaperInstance {
+        name: "registrar",
+        schema,
+        fds,
+        expect_independent: true,
+    }
+}
+
+/// All named instances.
+pub fn all_examples() -> Vec<PaperInstance> {
+    vec![
+        example1(),
+        example2(),
+        example2_extended(),
+        example3(),
+        section2_cthr(),
+        registrar(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_chase::{locally_satisfies, satisfies, ChaseConfig};
+
+    #[test]
+    fn verdicts_match_the_paper() {
+        for inst in all_examples() {
+            let got = ids_core::is_independent(&inst.schema, &inst.fds);
+            assert_eq!(
+                got, inst.expect_independent,
+                "verdict mismatch for {}",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn example1_state_is_lsat_not_wsat() {
+        let inst = example1();
+        let mut pool = ValuePool::new();
+        let p = example1_state(&inst, &mut pool);
+        let cfg = ChaseConfig::default();
+        assert!(locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap());
+        assert!(!satisfies(&inst.schema, &inst.fds, &p, &cfg)
+            .unwrap()
+            .is_satisfying());
+    }
+
+    #[test]
+    fn registrar_covers_each_relation() {
+        let inst = registrar();
+        let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+        let ids_core::Verdict::Independent { enforcement } = &analysis.verdict else {
+            panic!("registrar must be independent");
+        };
+        // Every relation has its key dependency to enforce.
+        assert!(enforcement.iter().all(|fi| !fi.is_empty()));
+    }
+}

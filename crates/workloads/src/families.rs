@@ -1,0 +1,378 @@
+//! Parameterized schema families with known verdicts — the scaling axes of
+//! the experiment suite.
+
+use ids_deps::{Fd, FdSet};
+use ids_relational::{AttrSet, DatabaseSchema, RelationScheme, Universe};
+
+/// A generated family member.
+pub struct FamilyInstance {
+    /// Family and parameter, e.g. `key-chain(32)`.
+    pub name: String,
+    /// The schema.
+    pub schema: DatabaseSchema,
+    /// The dependencies.
+    pub fds: FdSet,
+    /// Expected verdict (validated by tests for small sizes).
+    pub expect_independent: bool,
+}
+
+/// Independent chain: `Ri = {Ai, Ai+1}` with `Ai → Ai+1`, `i = 0..n-1`.
+///
+/// Every FD is embedded, no derivation crosses components, and the Loop
+/// accepts — the canonical *independent* scaling family.
+pub fn key_chain(n: usize) -> FamilyInstance {
+    assert!(n >= 1);
+    let names: Vec<String> = (0..=n).map(|i| format!("A{i}")).collect();
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let mut schemes = Vec::with_capacity(n);
+    let mut fds = FdSet::new();
+    for i in 0..n {
+        let attrs = u.parse_set(&format!("A{i} A{}", i + 1)).unwrap();
+        schemes.push(RelationScheme {
+            name: format!("R{i}"),
+            attrs,
+        });
+        fds.insert(Fd::parse(&u, &format!("A{i} -> A{}", i + 1)).unwrap());
+    }
+    let schema = DatabaseSchema::new(u, schemes).unwrap();
+    FamilyInstance {
+        name: format!("key-chain({n})"),
+        schema,
+        fds,
+        expect_independent: true,
+    }
+}
+
+/// Independent star: hub `R0 = {K, A1..An}` with `K → A1..An`, satellites
+/// `Ri = {Ai, Bi}` with `Ai → Bi`.
+pub fn key_star(n: usize) -> FamilyInstance {
+    assert!(n >= 1);
+    let mut names: Vec<String> = vec!["K".to_string()];
+    for i in 1..=n {
+        names.push(format!("A{i}"));
+        names.push(format!("B{i}"));
+    }
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let hub_attrs: AttrSet = std::iter::once(u.attr("K").unwrap())
+        .chain((1..=n).map(|i| u.attr(&format!("A{i}")).unwrap()))
+        .collect();
+    let mut schemes = vec![RelationScheme {
+        name: "Hub".to_string(),
+        attrs: hub_attrs,
+    }];
+    let mut fds = FdSet::new();
+    let hub_rhs: AttrSet = (1..=n).map(|i| u.attr(&format!("A{i}")).unwrap()).collect();
+    fds.insert(Fd::new(AttrSet::singleton(u.attr("K").unwrap()), hub_rhs));
+    for i in 1..=n {
+        let attrs = u.parse_set(&format!("A{i} B{i}")).unwrap();
+        schemes.push(RelationScheme {
+            name: format!("S{i}"),
+            attrs,
+        });
+        fds.insert(Fd::parse(&u, &format!("A{i} -> B{i}")).unwrap());
+    }
+    let schema = DatabaseSchema::new(u, schemes).unwrap();
+    FamilyInstance {
+        name: format!("key-star({n})"),
+        schema,
+        fds,
+        expect_independent: true,
+    }
+}
+
+/// Non-independent double path (Example 1 generalized): `CD` plus a chain
+/// `C → T1 → … → Tn → D` spread over `n+1` two-attribute schemes.  The
+/// crossing derivation has length `n+1`.
+pub fn double_path(n: usize) -> FamilyInstance {
+    assert!(n >= 1);
+    let mut names = vec!["C".to_string(), "D".to_string()];
+    for i in 1..=n {
+        names.push(format!("T{i}"));
+    }
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let mut schemes = vec![
+        RelationScheme {
+            name: "CD".to_string(),
+            attrs: u.parse_set("C D").unwrap(),
+        },
+        RelationScheme {
+            name: "CT1".to_string(),
+            attrs: u.parse_set("C T1").unwrap(),
+        },
+    ];
+    let mut fds = FdSet::parse(&u, &["C -> D", "C -> T1"]).unwrap();
+    for i in 1..n {
+        schemes.push(RelationScheme {
+            name: format!("T{i}T{}", i + 1),
+            attrs: u.parse_set(&format!("T{i} T{}", i + 1)).unwrap(),
+        });
+        fds.insert(Fd::parse(&u, &format!("T{i} -> T{}", i + 1)).unwrap());
+    }
+    schemes.push(RelationScheme {
+        name: format!("T{n}D"),
+        attrs: u.parse_set(&format!("T{n} D")).unwrap(),
+    });
+    fds.insert(Fd::parse(&u, &format!("T{n} -> D")).unwrap());
+    let schema = DatabaseSchema::new(u, schemes).unwrap();
+    FamilyInstance {
+        name: format!("double-path({n})"),
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// Non-independent family failing condition (1): `{CT, CHR}`-style with a
+/// chain of `n` teachers — `F = {C→T1, T1→T2, .., T(n-1)H→R}` where the
+/// last FD is embedded nowhere.
+pub fn non_embedded(n: usize) -> FamilyInstance {
+    assert!(n >= 1);
+    let mut names = vec!["C".to_string(), "H".to_string(), "R".to_string()];
+    for i in 1..=n {
+        names.push(format!("T{i}"));
+    }
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let mut schemes = vec![RelationScheme {
+        name: "CHR".to_string(),
+        attrs: u.parse_set("C H R").unwrap(),
+    }];
+    let mut fds = FdSet::parse(&u, &["C -> T1"]).unwrap();
+    schemes.push(RelationScheme {
+        name: "CT1".to_string(),
+        attrs: u.parse_set("C T1").unwrap(),
+    });
+    for i in 1..n {
+        schemes.push(RelationScheme {
+            name: format!("T{i}T{}", i + 1),
+            attrs: u.parse_set(&format!("T{i} T{}", i + 1)).unwrap(),
+        });
+        fds.insert(Fd::parse(&u, &format!("T{i} -> T{}", i + 1)).unwrap());
+    }
+    fds.insert(Fd::parse(&u, &format!("T{n} H -> R")).unwrap());
+    let schema = DatabaseSchema::new(u, schemes).unwrap();
+    FamilyInstance {
+        name: format!("non-embedded({n})"),
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+/// Example 3 generalized: `R1 = {A1, B1}`,
+/// `R2 = {A1..Am, B1..Bm, C}` with
+/// `F = {Ai→Ai+1, Bi→Bi+1 (i<m), A1B1→C, AmBm→A1B1C}` — the Loop rejects
+/// after processing a chain of length `m`.
+pub fn tableau_conflict(m: usize) -> FamilyInstance {
+    assert!(m >= 2);
+    let mut names = Vec::new();
+    for i in 1..=m {
+        names.push(format!("A{i}"));
+        names.push(format!("B{i}"));
+    }
+    names.push("C".to_string());
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let r1 = u.parse_set("A1 B1").unwrap();
+    let r2 = u.all();
+    let schema = DatabaseSchema::new(
+        u,
+        vec![
+            RelationScheme {
+                name: "R1".to_string(),
+                attrs: r1,
+            },
+            RelationScheme {
+                name: "R2".to_string(),
+                attrs: r2,
+            },
+        ],
+    )
+    .unwrap();
+    let u = schema.universe();
+    let mut fds = FdSet::new();
+    for i in 1..m {
+        fds.insert(Fd::parse(u, &format!("A{i} -> A{}", i + 1)).unwrap());
+        fds.insert(Fd::parse(u, &format!("B{i} -> B{}", i + 1)).unwrap());
+    }
+    fds.insert(Fd::parse(u, "A1 B1 -> C").unwrap());
+    fds.insert(Fd::parse(u, &format!("A{m} B{m} -> A1 B1 C")).unwrap());
+    FamilyInstance {
+        name: format!("tableau-conflict({m})"),
+        schema,
+        fds,
+        expect_independent: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_verdicts_hold_on_small_sizes() {
+        for n in 1..=6 {
+            let inst = key_chain(n);
+            assert_eq!(
+                ids_core::is_independent(&inst.schema, &inst.fds),
+                inst.expect_independent,
+                "{}",
+                inst.name
+            );
+        }
+        for n in 1..=4 {
+            for inst in [key_star(n), double_path(n), non_embedded(n)] {
+                assert_eq!(
+                    ids_core::is_independent(&inst.schema, &inst.fds),
+                    inst.expect_independent,
+                    "{}",
+                    inst.name
+                );
+            }
+        }
+        for m in 2..=5 {
+            let inst = tableau_conflict(m);
+            assert_eq!(
+                ids_core::is_independent(&inst.schema, &inst.fds),
+                inst.expect_independent,
+                "{}",
+                inst.name
+            );
+        }
+    }
+
+    #[test]
+    fn tableau_conflict_rejects_in_the_loop_not_earlier() {
+        // The whole point of the family: condition (1) holds, no crossing
+        // derivation, but the tableau algorithm rejects.
+        for m in 2..=4 {
+            let inst = tableau_conflict(m);
+            let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+            assert!(matches!(
+                analysis.verdict,
+                ids_core::Verdict::NotIndependent {
+                    reason: ids_core::NotIndependentReason::LoopRejection(_),
+                    ..
+                }
+            ), "{} must reject in the Loop", inst.name);
+        }
+    }
+
+    #[test]
+    fn double_path_rejects_via_crossing() {
+        for n in 1..=3 {
+            let inst = double_path(n);
+            let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+            assert!(matches!(
+                analysis.verdict,
+                ids_core::Verdict::NotIndependent {
+                    reason: ids_core::NotIndependentReason::CrossingDerivation { .. },
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn non_embedded_rejects_via_condition_1() {
+        for n in 1..=3 {
+            let inst = non_embedded(n);
+            let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+            assert!(matches!(
+                analysis.verdict,
+                ids_core::Verdict::NotIndependent {
+                    reason: ids_core::NotIndependentReason::CoverNotEmbedded { .. },
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn witnesses_verify_across_families() {
+        for inst in [double_path(2), non_embedded(2), tableau_conflict(3)] {
+            let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+            let w = analysis.witness().expect("not independent");
+            assert!(
+                ids_core::verify_witness(
+                    &inst.schema,
+                    &inst.fds,
+                    &w.state,
+                    &ids_chase::ChaseConfig::default()
+                )
+                .unwrap(),
+                "witness must verify for {}",
+                inst.name
+            );
+        }
+    }
+}
+
+/// Independent join-tree family: a complete `fanout`-ary tree of depth
+/// `depth`, one scheme per edge `{parent, child}`, one key FD
+/// `parent → child` per edge — the "BCNF forest" shape that schema-design
+/// folklore expects to behave well, confirmed by the decision procedure.
+pub fn bcnf_tree(depth: usize, fanout: usize) -> FamilyInstance {
+    assert!(depth >= 1 && fanout >= 1);
+    // Node count: 1 + f + f² + … + f^depth, attribute per node.
+    let mut nodes = vec![0usize]; // indexes into name table, BFS order
+    let mut names = vec!["N0".to_string()];
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            for _ in 0..fanout {
+                let id = names.len();
+                names.push(format!("N{id}"));
+                nodes.push(p);
+                next.push(id);
+            }
+        }
+        frontier = next;
+    }
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let mut schemes = Vec::new();
+    let mut fds = FdSet::new();
+    for (child, &parent) in nodes.iter().enumerate().skip(1) {
+        let pa = AttrSet::singleton(ids_relational::AttrId::from_index(parent));
+        let ca = AttrSet::singleton(ids_relational::AttrId::from_index(child));
+        schemes.push(RelationScheme {
+            name: format!("E{parent}_{child}"),
+            attrs: pa.union(ca),
+        });
+        fds.insert(Fd::new(pa, ca));
+    }
+    if schemes.is_empty() {
+        // depth/fanout degenerate: single node, single unary scheme.
+        schemes.push(RelationScheme {
+            name: "E0".to_string(),
+            attrs: AttrSet::singleton(ids_relational::AttrId::from_index(0)),
+        });
+    }
+    let schema = DatabaseSchema::new(u, schemes).unwrap();
+    FamilyInstance {
+        name: format!("bcnf-tree({depth},{fanout})"),
+        schema,
+        fds,
+        expect_independent: true,
+    }
+}
+
+#[cfg(test)]
+mod bcnf_tree_tests {
+    use super::*;
+
+    #[test]
+    fn bcnf_trees_are_independent() {
+        for (d, f) in [(1, 2), (2, 2), (2, 3), (3, 2)] {
+            let inst = bcnf_tree(d, f);
+            assert!(
+                ids_core::is_independent(&inst.schema, &inst.fds),
+                "{}",
+                inst.name
+            );
+            // The schema is acyclic (it is a tree of binary edges).
+            assert!(ids_acyclic::is_acyclic(
+                &inst.schema.join_dependency_components()
+            ));
+        }
+    }
+}

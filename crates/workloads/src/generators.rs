@@ -1,0 +1,213 @@
+//! Random schema and FD generators for property testing.
+
+use ids_deps::{Fd, FdSet};
+use ids_relational::{AttrId, AttrSet, DatabaseSchema, RelationScheme, Universe};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of [`random_schema`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchemaParams {
+    /// Universe size.
+    pub attrs: usize,
+    /// Number of relation schemes.
+    pub schemes: usize,
+    /// Maximum attributes per scheme (min is 1).
+    pub max_scheme_size: usize,
+}
+
+/// A random covering schema: each scheme draws a random nonempty subset,
+/// then uncovered attributes are distributed round-robin so `∪ Ri = U`.
+pub fn random_schema(params: SchemaParams, seed: u64) -> DatabaseSchema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..params.attrs).map(|i| format!("A{i}")).collect();
+    let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
+    let mut schemes: Vec<AttrSet> = Vec::with_capacity(params.schemes);
+    for _ in 0..params.schemes {
+        let size = rng.gen_range(1..=params.max_scheme_size.min(params.attrs));
+        let mut s = AttrSet::new();
+        while s.len() < size {
+            s.insert(AttrId::from_index(rng.gen_range(0..params.attrs)));
+        }
+        schemes.push(s);
+    }
+    // Cover the universe.
+    let covered = schemes.iter().fold(AttrSet::EMPTY, |acc, s| acc.union(*s));
+    for (i, a) in u.all().difference(covered).iter().enumerate() {
+        let k = i % schemes.len();
+        schemes[k].insert(a);
+    }
+    let relation_schemes = schemes
+        .into_iter()
+        .enumerate()
+        .map(|(i, attrs)| RelationScheme {
+            name: format!("R{i}"),
+            attrs,
+        })
+        .collect();
+    DatabaseSchema::new(u, relation_schemes).expect("covering by construction")
+}
+
+/// Random FDs **embedded** in the schema: each picks a scheme, a small
+/// left-hand side inside it and a right-hand attribute inside it.
+pub fn random_embedded_fds(
+    schema: &DatabaseSchema,
+    count: usize,
+    max_lhs: usize,
+    seed: u64,
+) -> FdSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = FdSet::new();
+    let mut guard = 0;
+    while out.len() < count && guard < count * 20 {
+        guard += 1;
+        let id = ids_relational::SchemeId::from_index(rng.gen_range(0..schema.len()));
+        let attrs: Vec<AttrId> = schema.attrs(id).iter().collect();
+        if attrs.len() < 2 {
+            continue;
+        }
+        let lhs_size = rng.gen_range(1..=max_lhs.min(attrs.len() - 1));
+        let mut lhs = AttrSet::new();
+        while lhs.len() < lhs_size {
+            lhs.insert(attrs[rng.gen_range(0..attrs.len())]);
+        }
+        let rhs_candidates: Vec<AttrId> = schema
+            .attrs(id)
+            .difference(lhs)
+            .iter()
+            .collect();
+        if rhs_candidates.is_empty() {
+            continue;
+        }
+        let rhs = rhs_candidates[rng.gen_range(0..rhs_candidates.len())];
+        out.insert(Fd::new(lhs, AttrSet::singleton(rhs)));
+    }
+    out
+}
+
+/// Random FDs over the whole universe (possibly non-embedded).
+pub fn random_fds(
+    universe: &Universe,
+    count: usize,
+    max_lhs: usize,
+    seed: u64,
+) -> FdSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = universe.len();
+    let mut out = FdSet::new();
+    let mut guard = 0;
+    while out.len() < count && guard < count * 20 {
+        guard += 1;
+        let lhs_size = rng.gen_range(1..=max_lhs.min(n.saturating_sub(1)).max(1));
+        let mut lhs = AttrSet::new();
+        while lhs.len() < lhs_size {
+            lhs.insert(AttrId::from_index(rng.gen_range(0..n)));
+        }
+        let rhs = AttrId::from_index(rng.gen_range(0..n));
+        out.insert(Fd::new(lhs, AttrSet::singleton(rhs)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schema_covers_universe() {
+        for seed in 0..10 {
+            let params = SchemaParams {
+                attrs: 12,
+                schemes: 5,
+                max_scheme_size: 4,
+            };
+            let d = random_schema(params, seed);
+            let covered = d
+                .iter()
+                .fold(AttrSet::EMPTY, |acc, (_, s)| acc.union(s.attrs));
+            assert_eq!(covered, d.universe().all());
+            assert_eq!(d.len(), 5);
+        }
+    }
+
+    #[test]
+    fn embedded_fds_are_embedded() {
+        let params = SchemaParams {
+            attrs: 10,
+            schemes: 4,
+            max_scheme_size: 5,
+        };
+        for seed in 0..10 {
+            let d = random_schema(params, seed);
+            let fds = random_embedded_fds(&d, 6, 2, seed);
+            for fd in fds.iter() {
+                assert!(
+                    d.iter().any(|(_, s)| fd.embedded_in(s.attrs)),
+                    "fd must be embedded somewhere"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = SchemaParams {
+            attrs: 8,
+            schemes: 3,
+            max_scheme_size: 4,
+        };
+        let a = random_schema(params, 5);
+        let b = random_schema(params, 5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.1.attrs, y.1.attrs);
+        }
+        let fa = random_embedded_fds(&a, 5, 2, 9);
+        let fb = random_embedded_fds(&b, 5, 2, 9);
+        assert_eq!(fa, fb);
+    }
+}
+
+/// Generates a random schema + embedded FDs that the decision procedure
+/// certifies **independent**, by rejection sampling (up to `attempts`
+/// seeds derived from `seed`).  Returns `None` when none of the attempts
+/// is independent — rare for small FD counts.
+pub fn random_independent_instance(
+    params: SchemaParams,
+    fd_count: usize,
+    seed: u64,
+    attempts: usize,
+) -> Option<(DatabaseSchema, FdSet)> {
+    for k in 0..attempts as u64 {
+        let s = seed.wrapping_mul(1_000_003).wrapping_add(k);
+        let schema = random_schema(params, s);
+        let fds = random_embedded_fds(&schema, fd_count, 2, s ^ 0xABCD);
+        if ids_core::is_independent(&schema, &fds) {
+            return Some((schema, fds));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod independent_sampler_tests {
+    use super::*;
+
+    #[test]
+    fn sampler_returns_certified_instances() {
+        let params = SchemaParams {
+            attrs: 8,
+            schemes: 3,
+            max_scheme_size: 4,
+        };
+        let mut found = 0;
+        for seed in 0..10 {
+            if let Some((schema, fds)) =
+                random_independent_instance(params, 3, seed, 20)
+            {
+                assert!(ids_core::is_independent(&schema, &fds));
+                found += 1;
+            }
+        }
+        assert!(found >= 5, "sampler should usually succeed");
+    }
+}

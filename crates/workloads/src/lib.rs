@@ -1,0 +1,14 @@
+//! # ids-workloads
+//!
+//! Instances, generators and parameter sweeps for the experiment suite:
+//! the paper's worked examples ([`examples`]), parameterized schema
+//! families with known verdicts ([`families`]), random schema/FD
+//! generators for property testing ([`generators`]) and satisfying /
+//! locally-satisfying state and insert-stream generators ([`states`]).
+
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod families;
+pub mod generators;
+pub mod states;

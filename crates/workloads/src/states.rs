@@ -1,0 +1,237 @@
+//! State and insert-stream generators.
+
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, DatabaseState, Relation, SchemeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Generates a random universal instance over `schema.universe()` that
+/// satisfies `fds`, by FD-repair: tuples are drawn uniformly from
+/// `0..domain` per attribute, then right-hand sides are overwritten from
+/// previously recorded left-hand-side images until a fixpoint.
+pub fn random_satisfying_universal(
+    schema: &DatabaseSchema,
+    fds: &FdSet,
+    tuples: usize,
+    domain: u64,
+    seed: u64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = schema.universe().len();
+    let all = schema.universe().all();
+    let mut rel = Relation::new(all);
+    // One memo per FD: lhs values → rhs values.
+    let mut memos: Vec<HashMap<Vec<Value>, Vec<Value>>> =
+        fds.iter().map(|_| HashMap::new()).collect();
+    for _ in 0..tuples {
+        let mut row: Vec<Value> =
+            (0..width).map(|_| Value::int(rng.gen_range(0..domain))).collect();
+        // Repair to the recorded images (at most |U| × |F| changes).
+        loop {
+            let mut changed = false;
+            for (k, fd) in fds.iter().enumerate() {
+                let key: Vec<Value> =
+                    fd.lhs.iter().map(|a| row[a.index()]).collect();
+                if let Some(rhs) = memos[k].get(&key) {
+                    for (a, v) in fd.rhs.iter().zip(rhs.iter()) {
+                        if row[a.index()] != *v {
+                            row[a.index()] = *v;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Record the final images.
+        for (k, fd) in fds.iter().enumerate() {
+            let key: Vec<Value> = fd.lhs.iter().map(|a| row[a.index()]).collect();
+            let val: Vec<Value> = fd.rhs.iter().map(|a| row[a.index()]).collect();
+            memos[k].entry(key).or_insert(val);
+        }
+        rel.insert(row).expect("width");
+    }
+    debug_assert!(fds.iter().all(|fd| rel.satisfies_fd(fd.lhs, fd.rhs)));
+    rel
+}
+
+/// A random **globally satisfying** state: the projection of a random
+/// satisfying universal instance (join consistent by construction; a weak
+/// instance exists whenever `fds` is embedded in the schema).
+pub fn random_satisfying_state(
+    schema: &DatabaseSchema,
+    fds: &FdSet,
+    tuples: usize,
+    domain: u64,
+    seed: u64,
+) -> DatabaseState {
+    let universal = random_satisfying_universal(schema, fds, tuples, domain, seed);
+    DatabaseState::project_universal(schema, &universal)
+}
+
+/// A random **locally satisfying** state: per relation, tuples drawn
+/// independently and FD-repaired against that relation's embedded FDs
+/// only.  On a *non-independent* schema such states are frequently not
+/// globally satisfying — the raw material for the semantic validation of
+/// the decision procedure.
+pub fn random_locally_satisfying_state(
+    schema: &DatabaseSchema,
+    fds: &FdSet,
+    tuples_per_relation: usize,
+    domain: u64,
+    seed: u64,
+) -> DatabaseState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = DatabaseState::empty(schema);
+    for (id, scheme) in schema.iter() {
+        let local = fds.embedded_in(scheme.attrs);
+        let mut memos: Vec<HashMap<Vec<Value>, Vec<Value>>> =
+            local.iter().map(|_| HashMap::new()).collect();
+        for _ in 0..tuples_per_relation {
+            let mut row: Vec<Value> = scheme
+                .attrs
+                .iter()
+                .map(|_| Value::int(rng.gen_range(0..domain)))
+                .collect();
+            loop {
+                let mut changed = false;
+                for (k, fd) in local.iter().enumerate() {
+                    let key: Vec<Value> = fd
+                        .lhs
+                        .iter()
+                        .map(|a| row[scheme.attrs.rank(a)])
+                        .collect();
+                    if let Some(rhs) = memos[k].get(&key) {
+                        for (a, v) in fd.rhs.iter().zip(rhs.iter()) {
+                            let pos = scheme.attrs.rank(a);
+                            if row[pos] != *v {
+                                row[pos] = *v;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for (k, fd) in local.iter().enumerate() {
+                let key: Vec<Value> =
+                    fd.lhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
+                let val: Vec<Value> =
+                    fd.rhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
+                memos[k].entry(key).or_insert(val);
+            }
+            state.relation_mut(id).insert(row).expect("width");
+        }
+    }
+    state
+}
+
+/// One step of an insert workload.
+#[derive(Clone, Debug)]
+pub struct InsertOp {
+    /// Target relation.
+    pub scheme: SchemeId,
+    /// Tuple in scheme order.
+    pub tuple: Vec<Value>,
+}
+
+/// A stream of random insert operations over a schema: a mix of fresh
+/// tuples and near-duplicates (same left-hand sides with new right-hand
+/// sides, likely violating key FDs).
+pub fn insert_stream(
+    schema: &DatabaseSchema,
+    n: usize,
+    domain: u64,
+    seed: u64,
+) -> Vec<InsertOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = SchemeId::from_index(rng.gen_range(0..schema.len()));
+        let width = schema.attrs(id).len();
+        let tuple: Vec<Value> = (0..width)
+            .map(|_| Value::int(rng.gen_range(0..domain)))
+            .collect();
+        out.push(InsertOp { scheme: id, tuple });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{example1, example2};
+    use ids_chase::{locally_satisfies, satisfies, ChaseConfig};
+
+    #[test]
+    fn satisfying_universal_satisfies_fds() {
+        let inst = example2();
+        let rel =
+            random_satisfying_universal(&inst.schema, &inst.fds, 200, 8, 42);
+        for fd in inst.fds.iter() {
+            assert!(rel.satisfies_fd(fd.lhs, fd.rhs));
+        }
+        assert!(rel.len() > 100, "most random tuples should be distinct");
+    }
+
+    #[test]
+    fn projected_state_globally_satisfies() {
+        let inst = example2();
+        let p = random_satisfying_state(&inst.schema, &inst.fds, 50, 6, 7);
+        let cfg = ChaseConfig::default();
+        assert!(satisfies(&inst.schema, &inst.fds, &p, &cfg)
+            .unwrap()
+            .is_satisfying());
+    }
+
+    #[test]
+    fn locally_satisfying_generator_is_locally_satisfying() {
+        let inst = example1();
+        let cfg = ChaseConfig::default();
+        for seed in 0..5 {
+            let p =
+                random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
+            assert!(
+                locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn example1_local_states_often_violate_globally() {
+        // The statistical heart of non-independence: locally valid data,
+        // globally contradictory.
+        let inst = example1();
+        let cfg = ChaseConfig::default();
+        let mut violations = 0;
+        for seed in 0..20 {
+            let p =
+                random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
+            if !satisfies(&inst.schema, &inst.fds, &p, &cfg)
+                .unwrap()
+                .is_satisfying()
+            {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected some global violations");
+    }
+
+    #[test]
+    fn insert_stream_is_deterministic() {
+        let inst = example2();
+        let a = insert_stream(&inst.schema, 10, 5, 1);
+        let b = insert_stream(&inst.schema, 10, 5, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.scheme, y.scheme);
+            assert_eq!(x.tuple, y.tuple);
+        }
+    }
+}

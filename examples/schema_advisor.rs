@@ -1,0 +1,47 @@
+//! Schema advisor: diagnose a batch of schemas for independence.
+//!
+//! Runs the full analysis on every worked example of the paper plus the
+//! parameterized families, printing the verdict, the reason, the embedded
+//! cover and (for dependent schemas) a machine-checked counterexample
+//! state — the kind of report a design tool would show a schema author.
+//!
+//! Run with: `cargo run --example schema_advisor`
+
+use independent_schemas::prelude::*;
+use independent_schemas::workloads::{examples, families};
+
+fn main() {
+    let mut instances: Vec<(String, DatabaseSchema, FdSet)> = Vec::new();
+    for inst in examples::all_examples() {
+        instances.push((inst.name.to_string(), inst.schema, inst.fds));
+    }
+    for inst in [
+        families::key_chain(4),
+        families::key_star(3),
+        families::double_path(3),
+        families::non_embedded(2),
+        families::tableau_conflict(3),
+    ] {
+        instances.push((inst.name, inst.schema, inst.fds));
+    }
+
+    let cfg = ChaseConfig::default();
+    for (name, schema, fds) in &instances {
+        println!("==================================================================");
+        println!("instance: {name}");
+        println!("F = {}", fds.render(schema.universe()));
+        let analysis = analyze(schema, fds);
+        print!("{}", render_analysis(schema, &analysis));
+        if !analysis.traces.is_empty() && !analysis.is_independent() {
+            println!("loop trace:");
+            print!("{}", independent_schemas::core::render_traces(schema, &analysis));
+        }
+        if let Some(w) = analysis.witness() {
+            let checked = verify_witness(schema, fds, &w.state, &cfg).unwrap();
+            println!("witness verified by the chase: {checked}");
+            assert!(checked, "every emitted witness must verify");
+        }
+        println!();
+    }
+    println!("{} instances diagnosed.", instances.len());
+}

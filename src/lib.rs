@@ -1,0 +1,77 @@
+//! # independent-schemas
+//!
+//! A complete Rust reproduction of **Graham & Yannakakis, "Independent
+//! Database Schemas"** (PODS 1982; JCSS 28(1):121–141, 1984).
+//!
+//! A database schema `D` is *independent* w.r.t. a set of dependencies
+//! when enforcing each relation's own constraints suffices to guarantee
+//! global consistency under weak-instance semantics
+//! (`LSAT(D,Σ) = WSAT(D,Σ)`).  This crate implements the paper's
+//! polynomial-time decision procedure for `Σ = F ∪ {*D}` (functional
+//! dependencies plus the schema's join dependency), along with every
+//! substrate it rests on: the relational algebra, FD/JD dependency theory,
+//! the chase, acyclicity tooling, constructive counterexamples, the
+//! maintenance engines and the Theorem 1 hardness gadget.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use independent_schemas::prelude::*;
+//!
+//! // The paper's Example 2: courses, students, rooms.
+//! let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+//! let schema = DatabaseSchema::parse(u, &[
+//!     ("CT", "CT"),    // teacher of the course
+//!     ("CS", "CS"),    // students of the course
+//!     ("CHR", "CHR"),  // room of the course at each hour
+//! ]).unwrap();
+//! let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+//!
+//! let analysis = analyze(&schema, &fds);
+//! assert!(analysis.is_independent());
+//!
+//! // Adding SH -> R (a student can't be in two rooms at once) breaks
+//! // independence — and the analysis hands back a counterexample state.
+//! let fds2 = FdSet::parse(schema.universe(),
+//!     &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+//! let analysis2 = analyze(&schema, &fds2);
+//! assert!(!analysis2.is_independent());
+//! let witness = analysis2.witness().unwrap();
+//! assert!(verify_witness(&schema, &fds2, &witness.state,
+//!                        &ChaseConfig::default()).unwrap());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`relational`] | universes, schemes, schemas, relations, states |
+//! | [`deps`] | FDs, closures, covers, keys, JDs, FD+JD inference |
+//! | [`chase`] | `I(p)`, FD/JD rules, WSAT/LSAT, tagged tableaux |
+//! | [`acyclic`] | GYO, join trees, full reducer, consistency |
+//! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
+//! | [`workloads`] | paper examples, families, random generators |
+
+pub use ids_acyclic as acyclic;
+pub use ids_chase as chase;
+pub use ids_core as core;
+pub use ids_deps as deps;
+pub use ids_relational as relational;
+pub use ids_workloads as workloads;
+
+/// The common imports for working with the library.
+pub mod prelude {
+    pub use ids_chase::{
+        locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction,
+    };
+    pub use ids_core::{
+        analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
+        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer,
+        NotIndependentReason, Verdict, Witness,
+    };
+    pub use ids_deps::{Fd, FdSet, JoinDependency};
+    pub use ids_relational::{
+        AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme,
+        SchemeId, Universe, Value, ValuePool,
+    };
+}

@@ -1,0 +1,128 @@
+//! Full-pipeline scenarios: design-time analysis feeding run-time
+//! maintenance, across engine boundaries.
+
+use independent_schemas::prelude::*;
+use independent_schemas::workloads::examples::registrar;
+use independent_schemas::workloads::families::key_star;
+use independent_schemas::workloads::states::{insert_stream, random_satisfying_state};
+
+#[test]
+fn registrar_lifecycle() {
+    let inst = registrar();
+    let schema = &inst.schema;
+
+    // Design time: the schema is certified independent.
+    let analysis = analyze(schema, &inst.fds);
+    assert!(analysis.is_independent());
+
+    // Load a consistent snapshot, then run a mixed workload.
+    let base = random_satisfying_state(schema, &inst.fds, 500, 40, 99);
+    let cfg = ChaseConfig::default();
+    assert!(satisfies(schema, &inst.fds, &base, &cfg)
+        .unwrap()
+        .is_satisfying());
+
+    let mut m = LocalMaintainer::from_analysis(schema, &analysis, base).unwrap();
+    let mut accepted = Vec::new();
+    for op in insert_stream(schema, 600, 40, 100) {
+        if m.insert(op.scheme, op.tuple.clone()).unwrap() == InsertOutcome::Accepted {
+            accepted.push(op);
+        }
+    }
+    assert!(!accepted.is_empty());
+
+    // The final state is still globally satisfying — the whole point of
+    // independence: local acceptance implies global consistency.
+    assert!(satisfies(schema, &inst.fds, m.state(), &cfg)
+        .unwrap()
+        .is_satisfying());
+
+    // Deletions never hurt.
+    for op in accepted.iter().take(20) {
+        assert!(m.remove(op.scheme, &op.tuple));
+    }
+    assert!(satisfies(schema, &inst.fds, m.state(), &cfg)
+        .unwrap()
+        .is_satisfying());
+}
+
+#[test]
+fn key_star_lifecycle_with_engine_cross_check() {
+    let inst = key_star(3);
+    let schema = &inst.schema;
+    let analysis = analyze(schema, &inst.fds);
+    assert!(analysis.is_independent());
+
+    let mut local =
+        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema))
+            .unwrap();
+    let mut chaser = ChaseMaintainer::new(
+        schema,
+        &inst.fds,
+        DatabaseState::empty(schema),
+        ChaseConfig::default(),
+    );
+    for op in insert_stream(schema, 120, 5, 4242) {
+        let a = local.insert(op.scheme, op.tuple.clone()).unwrap();
+        let b = chaser.insert(op.scheme, op.tuple.clone()).unwrap();
+        assert_eq!(std::mem::discriminant(&a), std::mem::discriminant(&b));
+    }
+    // Both engines end in the same state.
+    for (id, rel) in local.state().iter() {
+        assert!(rel.set_eq(chaser.state().relation(id)));
+    }
+}
+
+#[test]
+fn dependent_schema_blocks_local_engine_but_report_explains() {
+    use independent_schemas::workloads::examples::example1;
+    let inst = example1();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    assert!(LocalMaintainer::from_analysis(
+        &inst.schema,
+        &analysis,
+        DatabaseState::empty(&inst.schema)
+    )
+    .is_none());
+
+    let report = render_analysis(&inst.schema, &analysis);
+    assert!(report.contains("NOT independent"));
+    assert!(report.contains("counterexample state"));
+}
+
+#[test]
+fn analysis_to_enforcement_round_trip() {
+    // The enforcement covers returned by the analysis are exactly what the
+    // relations must check: a state accepted relation-by-relation against
+    // them is globally satisfying.
+    let inst = registrar();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    let Verdict::Independent { enforcement } = &analysis.verdict else {
+        panic!()
+    };
+    let p = random_satisfying_state(&inst.schema, &inst.fds, 200, 30, 17);
+    for (id, rel) in p.iter() {
+        for fd in enforcement[id.index()].iter() {
+            assert!(rel.satisfies_fd(fd.lhs, fd.rhs));
+        }
+    }
+    // And a state violating one enforcement FD is locally (hence globally)
+    // unsatisfying.
+    let mut bad = p.clone();
+    let meeting = inst.schema.scheme_by_name("Meeting").unwrap();
+    let tuple: Vec<Value> = bad
+        .relation(meeting)
+        .iter()
+        .next()
+        .expect("nonempty")
+        .to_vec();
+    let mut clash = tuple.clone();
+    let last = clash.len() - 1;
+    clash[last] = Value::int(clash[last].0 + 1_000_000);
+    bad.insert(meeting, clash).unwrap();
+    let cfg = ChaseConfig::default();
+    assert!(!locally_satisfies(&inst.schema, &inst.fds, &bad, &cfg).unwrap());
+    assert!(!satisfies(&inst.schema, &inst.fds, &bad, &cfg)
+        .unwrap()
+        .is_satisfying());
+}

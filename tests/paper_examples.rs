@@ -1,0 +1,130 @@
+//! End-to-end replay of every worked example in the paper.
+
+use independent_schemas::prelude::*;
+use independent_schemas::workloads::examples::{
+    all_examples, example1, example1_state, example2, example3,
+};
+
+#[test]
+fn all_paper_verdicts_reproduce() {
+    for inst in all_examples() {
+        let analysis = analyze(&inst.schema, &inst.fds);
+        assert_eq!(
+            analysis.is_independent(),
+            inst.expect_independent,
+            "verdict mismatch on {}",
+            inst.name
+        );
+        if let Some(w) = analysis.witness() {
+            assert!(
+                verify_witness(&inst.schema, &inst.fds, &w.state, &ChaseConfig::default())
+                    .unwrap(),
+                "witness of {} must chase-verify",
+                inst.name
+            );
+        }
+    }
+}
+
+#[test]
+fn example1_narrative() {
+    // "Note, however, that every relation of p satisfies the fd's embedded
+    // in its scheme" — yet p is not satisfying.
+    let inst = example1();
+    let mut pool = ValuePool::new();
+    let p = example1_state(&inst, &mut pool);
+    let cfg = ChaseConfig::default();
+
+    for (id, rel) in p.iter() {
+        for fd in inst.fds.embedded_in(inst.schema.attrs(id)).iter() {
+            assert!(rel.satisfies_fd(fd.lhs, fd.rhs));
+        }
+    }
+    assert!(locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap());
+
+    let Satisfaction::NotSatisfying(c) =
+        satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap()
+    else {
+        panic!("Example 1's state must not satisfy");
+    };
+    // The contradiction is on a department attribute: CS vs EE.
+    assert_eq!(inst.schema.universe().name(c.attr), "D");
+}
+
+#[test]
+fn example2_join_dependency_is_implied_lossless() {
+    // {CT, CS, CHR} has a lossless join under C→T, CH→R?  C is shared by
+    // all three; C→T covers CT.  Verify with the ABU chase.
+    let inst = example2();
+    let jd = JoinDependency::of_schema(&inst.schema);
+    // *D here is NOT implied by F alone (CS brings an MVD-style split),
+    // but the weak-instance framework never needs it to be; just exercise
+    // the ABU test and record the answer is stable.
+    let implied = independent_schemas::chase::jd_implied_by_fds(
+        &inst.fds,
+        &jd,
+        inst.schema.universe().len(),
+    );
+    assert!(!implied);
+}
+
+#[test]
+fn example3_reconstruction_details() {
+    // The reconstruction satisfies condition (1) and has no crossing
+    // derivation — rejection happens inside the Loop, as in the paper.
+    let inst = example3();
+    let analysis = analyze(&inst.schema, &inst.fds);
+    assert!(matches!(
+        analysis.verdict,
+        Verdict::NotIndependent {
+            reason: NotIndependentReason::LoopRejection(_),
+            ..
+        }
+    ));
+    // The embedded cover H exists and covers F.
+    let h = analysis.embedded_cover.as_ref().unwrap();
+    assert!(h.implies_all(&inst.fds));
+}
+
+#[test]
+fn independence_is_invariant_under_fd_cover_choice() {
+    // Equivalent FD sets must yield the same verdict (independence is a
+    // semantic property of Σ).
+    let inst = example2();
+    let split = inst.fds.canonical_cover();
+    assert!(split.equivalent(&inst.fds));
+    assert_eq!(
+        is_independent(&inst.schema, &inst.fds),
+        is_independent(&inst.schema, &split)
+    );
+
+    let inst3 = example3();
+    let split3 = inst3.fds.canonical_cover();
+    assert_eq!(
+        is_independent(&inst3.schema, &inst3.fds),
+        is_independent(&inst3.schema, &split3)
+    );
+}
+
+#[test]
+fn scheme_order_does_not_change_verdicts() {
+    // Re-list the schemas in a different order: verdicts must not change.
+    let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+    let forward =
+        DatabaseSchema::parse(u.clone(), &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
+            .unwrap();
+    let backward =
+        DatabaseSchema::parse(u, &[("CHR", "CHR"), ("CS", "CS"), ("CT", "CT")]).unwrap();
+    let fds = FdSet::parse(forward.universe(), &["C -> T", "CH -> R"]).unwrap();
+    assert_eq!(
+        is_independent(&forward, &fds),
+        is_independent(&backward, &fds)
+    );
+
+    let fds2 =
+        FdSet::parse(forward.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+    assert_eq!(
+        is_independent(&forward, &fds2),
+        is_independent(&backward, &fds2)
+    );
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the substrate invariants.
+
+use independent_schemas::chase::{jd_implied_by_fds, GeneralTableau, TaggedRow, TaggedTableau};
+use independent_schemas::deps::{closure_with_jd, jd_blocks};
+use independent_schemas::prelude::*;
+use proptest::prelude::*;
+
+const WIDTH: usize = 6;
+
+fn arb_attrset() -> impl Strategy<Value = AttrSet> {
+    (0u32..(1 << WIDTH)).prop_map(|mask| {
+        (0..WIDTH)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(AttrId::from_index)
+            .collect()
+    })
+}
+
+fn arb_nonempty_attrset() -> impl Strategy<Value = AttrSet> {
+    (1u32..(1 << WIDTH)).prop_map(|mask| {
+        (0..WIDTH)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(AttrId::from_index)
+            .collect()
+    })
+}
+
+fn arb_fd() -> impl Strategy<Value = Fd> {
+    (arb_nonempty_attrset(), arb_nonempty_attrset())
+        .prop_map(|(lhs, rhs)| Fd::new(lhs, rhs))
+}
+
+fn arb_fdset(max: usize) -> impl Strategy<Value = FdSet> {
+    proptest::collection::vec(arb_fd(), 0..max).prop_map(FdSet::from_fds)
+}
+
+fn arb_covering_jd() -> impl Strategy<Value = JoinDependency> {
+    proptest::collection::vec(arb_nonempty_attrset(), 1..4).prop_map(|mut comps| {
+        // Ensure the components cover the 6-attribute universe.
+        let covered = comps
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, c| acc.union(*c));
+        let missing = AttrSet::first_n(WIDTH).difference(covered);
+        if !missing.is_empty() {
+            let first = &mut comps[0];
+            first.union_in_place(missing);
+        }
+        JoinDependency::new(comps)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Armstrong closure laws: extensive, monotone, idempotent.
+    #[test]
+    fn closure_laws(fds in arb_fdset(6), x in arb_attrset(), y in arb_attrset()) {
+        let cx = fds.closure(x);
+        prop_assert!(x.is_subset(cx));
+        prop_assert_eq!(fds.closure(cx), cx);
+        if x.is_subset(y) {
+            prop_assert!(cx.is_subset(fds.closure(y)));
+        }
+    }
+
+    /// Every cover construction preserves equivalence.
+    #[test]
+    fn covers_preserve_equivalence(fds in arb_fdset(6)) {
+        prop_assert!(fds.nonredundant_cover().equivalent(&fds));
+        prop_assert!(fds.left_reduced().equivalent(&fds));
+        prop_assert!(fds.canonical_cover().equivalent(&fds));
+        prop_assert!(fds.merged_by_lhs().equivalent(&fds));
+    }
+
+    /// The FD+JD closure dominates the FD closure and is idempotent;
+    /// blocks partition `U − E`.
+    #[test]
+    fn jd_closure_laws(fds in arb_fdset(5), jd in arb_covering_jd(), x in arb_attrset()) {
+        let slice = fds.as_slice();
+        let cl = closure_with_jd(slice, &jd, x);
+        prop_assert!(fds.closure(x).is_subset(cl));
+        prop_assert_eq!(closure_with_jd(slice, &jd, cl), cl);
+
+        let blocks = jd_blocks(&jd, x);
+        let mut union = AttrSet::EMPTY;
+        for b in &blocks {
+            prop_assert!(!b.is_empty());
+            prop_assert!(union.is_disjoint(*b), "blocks must be disjoint");
+            union.union_in_place(*b);
+        }
+        prop_assert_eq!(union, jd.attrs().difference(x));
+    }
+
+    /// ABU lossless-join test is monotone in the FD set and accepts the
+    /// trivial JD.
+    #[test]
+    fn abu_monotone(fds in arb_fdset(4), jd in arb_covering_jd()) {
+        let trivial = JoinDependency::new([AttrSet::first_n(WIDTH)]);
+        prop_assert!(jd_implied_by_fds(&fds, &trivial, WIDTH));
+        if jd_implied_by_fds(&FdSet::new(), &jd, WIDTH) {
+            // Implied with no FDs ⇒ implied with any FDs.
+            prop_assert!(jd_implied_by_fds(&fds, &jd, WIDTH));
+        }
+    }
+
+    /// Projection then join never loses tuples (r ⊆ ⋈ π(r)); equality
+    /// holds when the ABU test says the JD is implied and r satisfies F.
+    #[test]
+    fn join_of_projections_contains_original(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, WIDTH), 0..6),
+        jd in arb_covering_jd(),
+    ) {
+        let mut r = Relation::new(AttrSet::first_n(WIDTH));
+        for row in rows {
+            r.insert(row.into_iter().map(Value::int).collect()).unwrap();
+        }
+        let projections: Vec<Relation> =
+            jd.components().iter().map(|c| r.project(*c)).collect();
+        if let Some(joined) = independent_schemas::relational::join_all(projections.iter()) {
+            for t in r.iter() {
+                prop_assert!(joined.contains(t));
+            }
+        } else {
+            prop_assert_eq!(r.len(), 0);
+        }
+    }
+
+    /// The Observation's row-cover shortcut coincides with the general
+    /// homomorphism on canonical tableaux.
+    #[test]
+    fn weakness_shortcut_equals_homomorphism(
+        rows_a in proptest::collection::vec((0u16..2, 0u32..(1 << WIDTH)), 0..3),
+        rows_b in proptest::collection::vec((0u16..2, 0u32..(1 << WIDTH)), 0..3),
+    ) {
+        let build = |rows: &[(u16, u32)]| {
+            TaggedTableau::from_rows(rows.iter().map(|(tag, mask)| TaggedRow {
+                tag: SchemeId(*tag),
+                dvs: (0..WIDTH)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(AttrId::from_index)
+                    .collect(),
+            }))
+        };
+        let a = build(&rows_a);
+        let b = build(&rows_b);
+        let shortcut = a.weaker_eq(&b);
+        let hom = GeneralTableau::from_canonical(&a, WIDTH)
+            .homomorphic_into(&GeneralTableau::from_canonical(&b, WIDTH));
+        prop_assert_eq!(shortcut, hom);
+    }
+
+    /// Weakness is a preorder: reflexive and transitive.
+    #[test]
+    fn weakness_is_a_preorder(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u16..2, 0u32..(1 << WIDTH)), 0..3), 3..=3),
+    ) {
+        let build = |rows: &[(u16, u32)]| {
+            TaggedTableau::from_rows(rows.iter().map(|(tag, mask)| TaggedRow {
+                tag: SchemeId(*tag),
+                dvs: (0..WIDTH)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(AttrId::from_index)
+                    .collect(),
+            }))
+        };
+        let t: Vec<TaggedTableau> = rows.iter().map(|r| build(r)).collect();
+        prop_assert!(t[0].weaker_eq(&t[0]));
+        if t[0].weaker_eq(&t[1]) && t[1].weaker_eq(&t[2]) {
+            prop_assert!(t[0].weaker_eq(&t[2]));
+        }
+    }
+}
+
+proptest! {
+    // The full pipeline is more expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The decision procedure is total on random covering schemas with
+    /// embedded FDs, and its witnesses always verify.
+    #[test]
+    fn analysis_total_and_witnesses_sound(seed in 0u64..10_000) {
+        use independent_schemas::workloads::generators::*;
+        let params = SchemaParams { attrs: 6, schemes: 3, max_scheme_size: 4 };
+        let schema = random_schema(params, seed);
+        let fds = random_embedded_fds(&schema, 3, 2, seed.wrapping_mul(31) + 1);
+        let analysis = analyze(&schema, &fds);
+        if let Some(w) = analysis.witness() {
+            prop_assert!(verify_witness(
+                &schema, &fds, &w.state, &ChaseConfig::default()).unwrap());
+        } else {
+            // Independent: enforcement covers exist for every scheme.
+            let Verdict::Independent { enforcement } = &analysis.verdict else {
+                unreachable!()
+            };
+            prop_assert_eq!(enforcement.len(), schema.len());
+        }
+    }
+}

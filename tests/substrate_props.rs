@@ -1,0 +1,189 @@
+//! Model-based property tests for the substrate: `AttrSet` against
+//! `BTreeSet`, relational algebra laws, chase soundness, and acyclicity
+//! invariants.
+
+use std::collections::BTreeSet;
+
+use independent_schemas::acyclic::{
+    full_reduce, is_acyclic, is_pairwise_consistent, join_tree, naive_join,
+    yannakakis_join,
+};
+use independent_schemas::prelude::*;
+use independent_schemas::chase::is_weak_instance;
+use proptest::prelude::*;
+
+const WIDTH: usize = 8;
+
+fn arb_ids() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..WIDTH, 0..WIDTH)
+}
+
+fn to_attrset(ids: &[usize]) -> AttrSet {
+    ids.iter().map(|&i| AttrId::from_index(i)).collect()
+}
+
+fn to_model(ids: &[usize]) -> BTreeSet<usize> {
+    ids.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// AttrSet behaves exactly like a BTreeSet<usize> model.
+    #[test]
+    fn attrset_matches_btreeset_model(a in arb_ids(), b in arb_ids()) {
+        let (sa, sb) = (to_attrset(&a), to_attrset(&b));
+        let (ma, mb) = (to_model(&a), to_model(&b));
+
+        prop_assert_eq!(sa.len(), ma.len());
+        let union: Vec<usize> = sa.union(sb).iter().map(|x| x.index()).collect();
+        let m_union: Vec<usize> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(union, m_union);
+        let inter: Vec<usize> = sa.intersect(sb).iter().map(|x| x.index()).collect();
+        let m_inter: Vec<usize> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(inter, m_inter);
+        let diff: Vec<usize> = sa.difference(sb).iter().map(|x| x.index()).collect();
+        let m_diff: Vec<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(diff, m_diff);
+        prop_assert_eq!(sa.is_subset(sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(sb), ma.is_disjoint(&mb));
+        prop_assert_eq!(sa.first().map(|x| x.index()), ma.first().copied());
+        // Rank = position in sorted order.
+        for (pos, x) in ma.iter().enumerate() {
+            prop_assert_eq!(sa.rank(AttrId::from_index(*x)), pos);
+        }
+    }
+
+    /// Projection laws: π_X(π_Y(r)) = π_X(r) for X ⊆ Y; projection is
+    /// monotone in the tuple set.
+    #[test]
+    fn projection_composes(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..4, 4), 0..8),
+        x_mask in 1u32..16,
+        y_mask in 1u32..16,
+    ) {
+        let y_mask = x_mask | y_mask; // ensure X ⊆ Y
+        let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
+        let mut r = Relation::new(u.all());
+        for row in rows {
+            r.insert(row.into_iter().map(Value::int).collect()).unwrap();
+        }
+        let x: AttrSet = (0..4).filter(|i| x_mask >> i & 1 == 1)
+            .map(AttrId::from_index).collect();
+        let y: AttrSet = (0..4).filter(|i| y_mask >> i & 1 == 1)
+            .map(AttrId::from_index).collect();
+        prop_assert!(r.project(y).project(x).set_eq(&r.project(x)));
+    }
+
+    /// Join laws: commutativity (as sets) and the semijoin identity
+    /// r ⋉ s = π_{attrs(r)}(r ⋈ s).
+    #[test]
+    fn join_laws(
+        rows_a in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, 2), 0..6),
+        rows_b in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, 2), 0..6),
+    ) {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let ab = u.parse_set("AB").unwrap();
+        let bc = u.parse_set("BC").unwrap();
+        let mut r = Relation::new(ab);
+        for row in rows_a {
+            r.insert(row.into_iter().map(Value::int).collect()).unwrap();
+        }
+        let mut s = Relation::new(bc);
+        for row in rows_b {
+            s.insert(row.into_iter().map(Value::int).collect()).unwrap();
+        }
+        prop_assert!(r.natural_join(&s).set_eq(&s.natural_join(&r)));
+        let semi = r.semijoin(&s);
+        let via_join = r.natural_join(&s).project(ab);
+        prop_assert!(semi.set_eq(&via_join));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chase soundness: on random two-relation states, a `Satisfying`
+    /// verdict always comes with a genuine weak instance, and any
+    /// substate of a satisfying state is satisfying (monotonicity).
+    #[test]
+    fn chase_soundness_and_monotonicity(
+        rows_a in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, 2), 0..5),
+        rows_b in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, 2), 0..5),
+        drop_first in proptest::bool::ANY,
+    ) {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["A -> C", "B -> C"]).unwrap();
+        let mut p = DatabaseState::empty(&schema);
+        for row in &rows_a {
+            p.insert(SchemeId(0), row.iter().map(|v| Value::int(*v)).collect())
+                .unwrap();
+        }
+        for row in &rows_b {
+            p.insert(SchemeId(1), row.iter().map(|v| Value::int(*v)).collect())
+                .unwrap();
+        }
+        let cfg = ChaseConfig::default();
+        match satisfies(&schema, &fds, &p, &cfg).unwrap() {
+            Satisfaction::Satisfying(w) => {
+                prop_assert!(is_weak_instance(&schema, &fds, &p, &w));
+                // Monotonicity: drop one tuple, still satisfying.
+                let mut q = p.clone();
+                let target = if drop_first { SchemeId(0) } else { SchemeId(1) };
+                let first = q.relation(target).iter().next().map(|t| t.to_vec());
+                if let Some(t) = first {
+                    q.relation_mut(target).remove(&t);
+                    prop_assert!(satisfies(&schema, &fds, &q, &cfg)
+                        .unwrap().is_satisfying());
+                }
+            }
+            Satisfaction::NotSatisfying(_) => {
+                // A superstate can't become satisfying: re-adding is a
+                // no-op here, nothing to check.
+            }
+        }
+    }
+
+    /// Acyclic invariants on random chain states: full reduction is
+    /// idempotent, only removes tuples, and yields pairwise = global
+    /// consistency; Yannakakis join equals the naive join.
+    #[test]
+    fn acyclic_invariants(
+        rows in proptest::collection::vec(
+            (0u64..3, 0u64..3, proptest::sample::select(vec![0usize, 1, 2])),
+            0..12),
+    ) {
+        let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
+        let schema = DatabaseSchema::parse(
+            u, &[("AB", "AB"), ("BC", "BC"), ("CD", "CD")]).unwrap();
+        prop_assert!(is_acyclic(&schema.join_dependency_components()));
+        let tree = join_tree(&schema.join_dependency_components()).unwrap();
+        prop_assert!(tree.has_running_intersection());
+
+        let mut p = DatabaseState::empty(&schema);
+        for (x, y, which) in rows {
+            p.insert(SchemeId::from_index(which), vec![Value::int(x), Value::int(y)])
+                .unwrap();
+        }
+        let before = p.total_tuples();
+        let mut q = p.clone();
+        let removed = full_reduce(&mut q, &tree);
+        prop_assert_eq!(q.total_tuples(), before - removed);
+        // Idempotent.
+        let mut q2 = q.clone();
+        prop_assert_eq!(full_reduce(&mut q2, &tree), 0);
+        // Reduced acyclic state: pairwise ⇔ global.
+        prop_assert_eq!(is_pairwise_consistent(&q), q.is_join_consistent());
+        // Yannakakis = naive join.
+        let (yj, _) = yannakakis_join(&p, &tree);
+        if let Some(nj) = naive_join(&p) {
+            prop_assert!(yj.set_eq(&nj));
+        }
+    }
+}

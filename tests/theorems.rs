@@ -1,0 +1,200 @@
+//! Empirical validation of the paper's lemmas and theorems across crates.
+
+use independent_schemas::chase::fd_implied_explicit;
+use independent_schemas::deps::{closure_with_jd, implies_with_jd};
+use independent_schemas::prelude::*;
+use independent_schemas::workloads::generators::{
+    random_embedded_fds, random_fds, random_schema, SchemaParams,
+};
+use independent_schemas::workloads::states::random_locally_satisfying_state;
+
+fn small_params() -> SchemaParams {
+    SchemaParams {
+        attrs: 7,
+        schemes: 3,
+        max_scheme_size: 4,
+    }
+}
+
+/// Lemma 1: for FDs embedded in `D`, `F ⊨ f ⟺ F ∪ {*D} ⊨ f`.
+#[test]
+fn lemma1_embedded_fds_unchanged_by_jd() {
+    for seed in 0..30 {
+        let schema = random_schema(small_params(), seed);
+        let fds = random_embedded_fds(&schema, 5, 2, seed * 7 + 1);
+        let jd = JoinDependency::of_schema(&schema);
+        for probe_seed in 0..3 {
+            let probe = random_fds(schema.universe(), 4, 2, seed * 31 + probe_seed);
+            for f in probe.iter() {
+                assert_eq!(
+                    fds.implies(*f),
+                    implies_with_jd(fds.as_slice(), &jd, *f),
+                    "seed {seed}: Lemma 1 violated for {:?}",
+                    f
+                );
+            }
+        }
+    }
+}
+
+/// The \[MSY\] block closure agrees with the explicit exponential FD+JD
+/// chase on random instances.
+#[test]
+fn block_closure_matches_explicit_chase() {
+    let cfg = ChaseConfig {
+        max_rows: 100_000,
+        max_passes: 1_000,
+    };
+    for seed in 0..25 {
+        let params = SchemaParams {
+            attrs: 5,
+            schemes: 3,
+            max_scheme_size: 3,
+        };
+        let schema = random_schema(params, seed);
+        let fds = random_fds(schema.universe(), 3, 2, seed * 13 + 3);
+        let jd = JoinDependency::of_schema(&schema);
+        let width = schema.universe().len();
+        for lhs_seed in 0..3u64 {
+            let lhs_probe = random_fds(schema.universe(), 1, 2, seed * 97 + lhs_seed);
+            let Some(first) = lhs_probe.iter().next() else {
+                continue;
+            };
+            let x = first.lhs;
+            let fast = closure_with_jd(fds.as_slice(), &jd, x);
+            for a in schema.universe().all() {
+                let target = Fd::new(x, AttrSet::singleton(a));
+                let slow = fd_implied_explicit(
+                    fds.as_slice(),
+                    std::slice::from_ref(&jd),
+                    target,
+                    width,
+                    &cfg,
+                )
+                .expect("budget ample for 5 attrs");
+                assert_eq!(
+                    slow,
+                    fast.contains(a),
+                    "seed {seed}: block closure disagrees with chase on \
+                     {} -> {}",
+                    schema.universe().render(x),
+                    schema.universe().name(a)
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 3 (semantic side): when the procedure accepts, every random
+/// locally-satisfying state is globally satisfying.
+#[test]
+fn accepted_schemas_have_no_lsat_wsat_gap() {
+    let cfg = ChaseConfig::default();
+    let mut accepted = 0;
+    for seed in 0..60 {
+        let schema = random_schema(small_params(), seed);
+        let fds = random_embedded_fds(&schema, 4, 2, seed * 11 + 5);
+        let analysis = analyze(&schema, &fds);
+        if !analysis.is_independent() {
+            continue;
+        }
+        accepted += 1;
+        for state_seed in 0..4 {
+            let p = random_locally_satisfying_state(&schema, &fds, 4, 3, state_seed);
+            if !locally_satisfies(&schema, &fds, &p, &cfg).unwrap() {
+                continue; // generator only repairs embedded FDs; skip
+            }
+            assert!(
+                satisfies(&schema, &fds, &p, &cfg).unwrap().is_satisfying(),
+                "seed {seed}/{state_seed}: independent schema with an \
+                 LSAT∖WSAT state — Theorem 5 violated"
+            );
+        }
+    }
+    assert!(accepted >= 5, "want a meaningful number of accepted schemas");
+}
+
+/// Theorem 4 (constructive side): when the procedure rejects, the produced
+/// witness is a genuine `LSAT ∖ WSAT` state.
+#[test]
+fn rejected_schemas_produce_verified_witnesses() {
+    let cfg = ChaseConfig::default();
+    let mut rejected = 0;
+    for seed in 0..60 {
+        let schema = random_schema(small_params(), seed);
+        let fds = random_embedded_fds(&schema, 4, 2, seed * 11 + 5);
+        let analysis = analyze(&schema, &fds);
+        let Some(w) = analysis.witness() else { continue };
+        rejected += 1;
+        assert!(
+            verify_witness(&schema, &fds, &w.state, &cfg).unwrap(),
+            "seed {seed}: emitted witness failed chase verification"
+        );
+    }
+    assert!(rejected >= 5, "want a meaningful number of rejections");
+}
+
+/// Theorem 3 (1) ⇔ (2): independence w.r.t. `F ∪ {*D}` coincides with
+/// independence w.r.t. the embedded `F` alone — checked via the agreement
+/// of the analysis on `F` and on its extracted embedded cover `H`.
+#[test]
+fn verdict_stable_under_embedded_cover_swap() {
+    for seed in 0..40 {
+        let schema = random_schema(small_params(), seed);
+        let fds = random_embedded_fds(&schema, 4, 2, seed * 17 + 2);
+        let analysis = analyze(&schema, &fds);
+        let Some(h) = analysis.embedded_cover.clone() else {
+            continue; // embedding failed; nothing to swap
+        };
+        let again = analyze(&schema, &h);
+        assert_eq!(
+            analysis.is_independent(),
+            again.is_independent(),
+            "seed {seed}: verdict changed when replacing F by its embedded \
+             cover H"
+        );
+    }
+}
+
+/// The maintenance engines agree insert-by-insert on independent schemas
+/// (the operational content of Theorem 3's "Fi covers Σi").
+#[test]
+fn maintenance_engines_agree_on_independent_schemas() {
+    use independent_schemas::workloads::states::insert_stream;
+    let mut checked = 0;
+    for seed in 0..40 {
+        let schema = random_schema(small_params(), seed);
+        let fds = random_embedded_fds(&schema, 3, 2, seed * 29 + 7);
+        let analysis = analyze(&schema, &fds);
+        if !analysis.is_independent() {
+            continue;
+        }
+        checked += 1;
+        let mut local = LocalMaintainer::from_analysis(
+            &schema,
+            &analysis,
+            DatabaseState::empty(&schema),
+        )
+        .unwrap();
+        let mut chaser = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        for op in insert_stream(&schema, 25, 3, seed) {
+            let a = local.insert(op.scheme, op.tuple.clone()).unwrap();
+            let b = chaser.insert(op.scheme, op.tuple.clone()).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&a),
+                std::mem::discriminant(&b),
+                "seed {seed}: engines diverged on {:?} (local {a:?}, chase {b:?})",
+                op
+            );
+        }
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 3);
+}
