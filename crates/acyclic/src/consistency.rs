@@ -35,9 +35,7 @@ pub fn full_reduce(state: &mut DatabaseState, tree: &JoinTree) -> usize {
     for (target, source) in semijoin_program(tree) {
         let reduced = {
             let src = state.relation(SchemeId::from_index(source));
-            state
-                .relation(SchemeId::from_index(target))
-                .semijoin(src)
+            state.relation(SchemeId::from_index(target)).semijoin(src)
         };
         *state.relation_mut(SchemeId::from_index(target)) = reduced;
     }
@@ -98,7 +96,8 @@ mod tests {
         let mut p = DatabaseState::empty(&d);
         for i in 0..10u64 {
             p.insert(SchemeId(0), vec![v(i), v(100 + i % 3)]).unwrap();
-            p.insert(SchemeId(1), vec![v(100 + i % 3), v(200 + i)]).unwrap();
+            p.insert(SchemeId(1), vec![v(100 + i % 3), v(200 + i)])
+                .unwrap();
         }
         full_reduce(&mut p, &tree);
         assert_eq!(is_pairwise_consistent(&p), p.is_join_consistent());
@@ -110,8 +109,7 @@ mod tests {
         // The classic cyclic counterexample: pairwise consistent but no
         // universal instance projects onto all three relations.
         let u = Universe::from_names(["A", "B", "C"]).unwrap();
-        let d =
-            DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC"), ("CA", "CA")]).unwrap();
+        let d = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC"), ("CA", "CA")]).unwrap();
         let mut p = DatabaseState::empty(&d);
         // A parity gadget: each pair joins, the triangle does not close.
         p.insert(SchemeId(0), vec![v(0), v(0)]).unwrap();
@@ -127,8 +125,7 @@ mod tests {
     #[test]
     fn semijoin_program_touches_every_non_root_edge_twice() {
         let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
-        let d = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC"), ("CD", "CD")])
-            .unwrap();
+        let d = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC"), ("CD", "CD")]).unwrap();
         let tree = join_tree(&d.join_dependency_components()).unwrap();
         let prog = semijoin_program(&tree);
         assert_eq!(prog.len(), 2 * (d.len() - 1));

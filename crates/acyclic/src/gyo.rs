@@ -77,11 +77,9 @@ impl JoinTree {
             .iter()
             .find(|x| cb.contains(x))
             .expect("single tree: LCA exists");
-        let mut path: Vec<usize> =
-            ca.iter().take_while(|x| **x != lca).copied().collect();
+        let mut path: Vec<usize> = ca.iter().take_while(|x| **x != lca).copied().collect();
         path.push(lca);
-        let tail: Vec<usize> =
-            cb.iter().take_while(|x| **x != lca).copied().collect();
+        let tail: Vec<usize> = cb.iter().take_while(|x| **x != lca).copied().collect();
         path.extend(tail.into_iter().rev());
         path
     }

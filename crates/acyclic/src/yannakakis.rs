@@ -6,9 +6,9 @@
 //! plus output (\[Y\]).  This is the constructive content of "acyclic
 //! schemes are easy" that the paper's Theorem 1 discussion points to.
 
-use ids_relational::{DatabaseState, Relation};
 #[cfg(test)]
 use ids_relational::SchemeId;
+use ids_relational::{DatabaseState, Relation};
 
 use crate::consistency::full_reduce;
 use crate::gyo::JoinTree;
@@ -23,10 +23,7 @@ pub fn yannakakis_join(state: &DatabaseState, tree: &JoinTree) -> (Relation, usi
     full_reduce(&mut reduced, tree);
 
     // Current relation per tree node; children merge into parents.
-    let mut current: Vec<Relation> = reduced
-        .iter()
-        .map(|(_, r)| r.clone())
-        .collect();
+    let mut current: Vec<Relation> = reduced.iter().map(|(_, r)| r.clone()).collect();
     let mut max_intermediate = current.iter().map(Relation::len).max().unwrap_or(0);
 
     for &i in &tree.elimination_order {

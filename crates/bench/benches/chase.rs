@@ -14,7 +14,10 @@ fn chain_schema(k: usize) -> DatabaseSchema {
     let specs: Vec<(String, String)> = (0..k)
         .map(|i| (format!("R{i}"), format!("A{i} A{}", i + 1)))
         .collect();
-    let refs: Vec<(&str, &str)> = specs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let refs: Vec<(&str, &str)> = specs
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     DatabaseSchema::parse(u, &refs).unwrap()
 }
 

@@ -22,12 +22,8 @@ fn bench_maintenance(c: &mut Criterion) {
             |b, _| {
                 b.iter_batched(
                     || {
-                        LocalMaintainer::from_analysis(
-                            &inst.schema,
-                            &analysis,
-                            base.clone(),
-                        )
-                        .unwrap()
+                        LocalMaintainer::from_analysis(&inst.schema, &analysis, base.clone())
+                            .unwrap()
                     },
                     |mut m| {
                         for op in &ops {

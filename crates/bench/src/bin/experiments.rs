@@ -7,24 +7,27 @@
 //! ```text
 //! cargo run --release -p ids-bench --bin experiments            # all
 //! cargo run --release -p ids-bench --bin experiments -- e1 e3   # subset
+//! cargo run --release -p ids-bench --bin experiments -- --smoke # tiny sizes
 //! ```
+//!
+//! `--smoke` shrinks every workload to its smallest size so the whole
+//! suite finishes in well under a second — CI uses it to prove the
+//! experiment code paths run end to end without paying for the full
+//! parameter sweeps.
 
 use std::time::Instant;
 
 use ids_bench::{fmt_duration, print_table, time_median};
 use ids_chase::{fd_implied_explicit, ChaseConfig};
 use ids_core::{
-    analyze, theorem1_reduction, tuple_in_projected_join, verify_witness,
-    ChaseMaintainer, CoverEmbedding, FdOnlyMaintainer, InsertOutcome,
-    JoinMembershipInstance, LocalMaintainer, Maintainer, Verdict,
+    analyze, theorem1_reduction, tuple_in_projected_join, verify_witness, ChaseMaintainer,
+    CoverEmbedding, FdOnlyMaintainer, InsertOutcome, JoinMembershipInstance, LocalMaintainer,
+    Maintainer, Verdict,
 };
 use ids_deps::{closure_with_jd, Fd, FdSet, JoinDependency};
-use ids_relational::{
-    AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, Universe, Value,
-};
+use ids_relational::{AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, Universe, Value};
 use ids_workloads::examples::{
-    all_examples, example1, example1_state, example2, example2_extended, example3,
-    registrar,
+    all_examples, example1, example1_state, example2, example2_extended, example3, registrar,
 };
 use ids_workloads::families::{double_path, key_chain, key_star, tableau_conflict};
 use ids_workloads::generators::{random_embedded_fds, random_schema, SchemaParams};
@@ -32,10 +35,15 @@ use ids_workloads::states::{insert_stream, random_satisfying_state};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |k: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(k));
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let keys: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |k: &str| keys.is_empty() || keys.iter().any(|a| a.eq_ignore_ascii_case(k));
 
     println!("# Independent Database Schemas — experiment suite");
     println!("# (Graham & Yannakakis, PODS 1982 / JCSS 1984)");
+    if smoke {
+        println!("# [--smoke: minimum workload sizes]");
+    }
 
     if want("x1") {
         x1_example1();
@@ -47,22 +55,31 @@ fn main() {
         x3_example3();
     }
     if want("e1") {
-        e1_independence_scaling();
+        e1_independence_scaling(smoke);
     }
     if want("e2") {
-        e2_maintenance();
+        e2_maintenance(smoke);
     }
     if want("e3") {
-        e3_np_gadget();
+        e3_np_gadget(smoke);
     }
     if want("e4") {
-        e4_cover_size();
+        e4_cover_size(smoke);
     }
     if want("e5") {
-        e5_acyclic_vs_cyclic();
+        e5_acyclic_vs_cyclic(smoke);
     }
     if want("e6") {
-        e6_ablations();
+        e6_ablations(smoke);
+    }
+}
+
+/// Truncates a size sweep to its first element in `--smoke` mode.
+fn sweep(full: &[usize], smoke: bool) -> Vec<usize> {
+    if smoke {
+        full[..1].to_vec()
+    } else {
+        full.to_vec()
     }
 }
 
@@ -157,8 +174,7 @@ fn x3_example3() {
                 .find(|&i| lr.lhs_info(i).attrs == prefer)
                 .unwrap_or(min[0])
         };
-        let (outcome, _) =
-            run_loop_with_picker(&inst.schema, &partition, r1, &mut picker);
+        let (outcome, _) = run_loop_with_picker(&inst.schema, &partition, r1, &mut picker);
         outcome.err()
     };
 
@@ -182,11 +198,7 @@ fn x3_example3() {
                 "line 5".into(),
                 line(&rej_a1b1).into(),
             ],
-            vec![
-                "(A2B2)*old".into(),
-                "A2B2".into(),
-                u.render(rej_a2b2.x_old),
-            ],
+            vec!["(A2B2)*old".into(), "A2B2".into(), u.render(rej_a2b2.x_old)],
             vec![
                 "(A2B2)*new".into(),
                 "A1B1C".into(),
@@ -197,10 +209,15 @@ fn x3_example3() {
 }
 
 /// E1 — polynomial scaling of the full decision procedure.
-fn e1_independence_scaling() {
+fn e1_independence_scaling(smoke: bool) {
     let mut rows = Vec::new();
     let mut times = Vec::new();
-    for n in [4usize, 8, 16, 32, 64, 128] {
+    let chain_sizes = if smoke {
+        vec![4usize, 8]
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+    for n in chain_sizes {
         let inst = key_chain(n);
         let d = time_median(5, || {
             std::hint::black_box(analyze(&inst.schema, &inst.fds));
@@ -215,7 +232,7 @@ fn e1_independence_scaling() {
             fmt_duration(d),
         ]);
     }
-    for n in [4usize, 8, 16, 32, 64] {
+    for n in sweep(&[4, 8, 16, 32, 64], smoke) {
         let inst = key_star(n);
         let d = time_median(5, || {
             std::hint::black_box(analyze(&inst.schema, &inst.fds));
@@ -229,7 +246,7 @@ fn e1_independence_scaling() {
             fmt_duration(d),
         ]);
     }
-    for m in [2usize, 4, 8, 16, 32] {
+    for m in sweep(&[2, 4, 8, 16, 32], smoke) {
         let inst = tableau_conflict(m);
         let d = time_median(5, || {
             std::hint::black_box(analyze(&inst.schema, &inst.fds));
@@ -243,7 +260,7 @@ fn e1_independence_scaling() {
             fmt_duration(d),
         ]);
     }
-    for n in [4usize, 8, 16, 32, 64] {
+    for n in sweep(&[4, 8, 16, 32, 64], smoke) {
         let inst = double_path(n);
         let d = time_median(5, || {
             std::hint::black_box(analyze(&inst.schema, &inst.fds));
@@ -273,22 +290,22 @@ fn e1_independence_scaling() {
 }
 
 /// E2 — maintenance throughput: local Fi checks vs whole-state re-chase.
-fn e2_maintenance() {
+fn e2_maintenance(smoke: bool) {
     let inst = registrar();
     let analysis = analyze(&inst.schema, &inst.fds);
     let mut rows = Vec::new();
-    for preload in [100usize, 300, 1_000, 3_000] {
+    let n_ops = if smoke { 40 } else { 400 };
+    for preload in sweep(&[100, 300, 1_000, 3_000], smoke) {
         // Preload a satisfying state.
         let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 64, 1);
-        let ops = insert_stream(&inst.schema, 400, 64, 2);
+        let ops = insert_stream(&inst.schema, n_ops, 64, 2);
 
         let mut local =
             LocalMaintainer::from_analysis(&inst.schema, &analysis, base.clone()).unwrap();
         let t0 = Instant::now();
         let mut accepted = 0usize;
         for op in &ops {
-            if local.insert(op.scheme, op.tuple.clone()).unwrap() == InsertOutcome::Accepted
-            {
+            if local.insert(op.scheme, op.tuple.clone()).unwrap() == InsertOutcome::Accepted {
                 accepted += 1;
             }
         }
@@ -338,13 +355,13 @@ fn e2_maintenance() {
 }
 
 /// E3 — Theorem 1: the general maintenance wall.
-fn e3_np_gadget() {
+fn e3_np_gadget(smoke: bool) {
     // Hub family: D0 = {H·A1, .., H·Ak}, r = m universal tuples sharing H.
     // The projected join has m^k tuples; the brute-force solver and the
     // chase both hit exponential work, while the independent control
     // schema answers each insert in O(1).
     let mut rows = Vec::new();
-    for k in [3usize, 4, 5, 6] {
+    for k in sweep(&[3, 4, 5, 6], smoke) {
         let m = 2u64;
         let mut names = vec!["H".to_string()];
         for i in 1..=k {
@@ -410,7 +427,7 @@ fn e3_np_gadget() {
             DatabaseState::empty(&control.schema),
         )
         .unwrap();
-        let ops = insert_stream(&control.schema, 200, 8, 3);
+        let ops = insert_stream(&control.schema, if smoke { 20 } else { 200 }, 8, 3);
         let t2 = Instant::now();
         for op in &ops {
             let _ = local.insert(op.scheme, op.tuple.clone()).unwrap();
@@ -443,10 +460,10 @@ fn e3_np_gadget() {
 }
 
 /// E4 — the embedded cover H: existence, extraction cost, |H| ≤ |F|·|U|.
-fn e4_cover_size() {
+fn e4_cover_size(smoke: bool) {
     let mut rows = Vec::new();
     let mut checked = 0usize;
-    for seed in 0..200u64 {
+    for seed in 0..if smoke { 20u64 } else { 200 } {
         let params = SchemaParams {
             attrs: 12,
             schemes: 5,
@@ -479,17 +496,25 @@ fn e4_cover_size() {
     }
     print_table(
         "E4 — embedded cover extraction (claim: |H| ≤ |F|·|U|, §3)",
-        &["instance", "|F|", "|U|", "|H|", "|F|·|U|", "bound holds", "time"],
+        &[
+            "instance",
+            "|F|",
+            "|U|",
+            "|H|",
+            "|F|·|U|",
+            "bound holds",
+            "time",
+        ],
         &rows,
     );
     println!("bound verified on {checked} random cover-embedding instances");
 }
 
 /// E5 — chase cost: acyclic vs cyclic schemas of the same size.
-fn e5_acyclic_vs_cyclic() {
+fn e5_acyclic_vs_cyclic(smoke: bool) {
     let mut rows = Vec::new();
-    for k in [3usize, 4, 5] {
-        for tuples in [10usize, 30] {
+    for k in sweep(&[3, 4, 5], smoke) {
+        for tuples in sweep(&[10, 30], smoke) {
             // Acyclic chain A0..Ak and cyclic ring on the same attributes.
             let names: Vec<String> = (0..=k).map(|i| format!("A{i}")).collect();
             let u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
@@ -517,22 +542,16 @@ fn e5_acyclic_vs_cyclic() {
             // Same random (locally plausible) data in both: small domain to
             // force mixing.
             let mk_state = |schema: &DatabaseSchema| {
-                ids_workloads::states::random_locally_satisfying_state(
-                    schema, &fds, tuples, 4, 7,
-                )
+                ids_workloads::states::random_locally_satisfying_state(schema, &fds, tuples, 4, 7)
             };
             let p_chain = mk_state(&chain);
             let p_ring = mk_state(&ring);
 
             let t_chain = time_median(3, || {
-                let _ = std::hint::black_box(ids_chase::satisfies(
-                    &chain, &fds, &p_chain, &cfg,
-                ));
+                let _ = std::hint::black_box(ids_chase::satisfies(&chain, &fds, &p_chain, &cfg));
             });
             let t_ring = time_median(3, || {
-                let _ = std::hint::black_box(ids_chase::satisfies(
-                    &ring, &fds, &p_ring, &cfg,
-                ));
+                let _ = std::hint::black_box(ids_chase::satisfies(&ring, &fds, &p_ring, &cfg));
             });
             let acyclic_fast = {
                 use ids_acyclic::{full_reduce, is_pairwise_consistent, join_tree};
@@ -571,10 +590,10 @@ fn e5_acyclic_vs_cyclic() {
 
 /// E6 — ablations: block closure vs explicit chase; indexed vs scan
 /// maintenance.
-fn e6_ablations() {
+fn e6_ablations(smoke: bool) {
     // (i) [MSY] block closure vs the explicit two-row FD+JD chase.
     let mut rows = Vec::new();
-    for n in [4usize, 6, 8, 10, 12] {
+    for n in sweep(&[4, 6, 8, 10, 12], smoke) {
         let names: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
         let _u = Universe::from_names(names.iter().map(String::as_str)).unwrap();
         // Ring JD (worst case for the explicit chase's mixes).
@@ -603,17 +622,13 @@ fn e6_ablations() {
         };
         let target = Fd::new(x, AttrSet::singleton(AttrId::from_index(n - 1)));
         let t0 = Instant::now();
-        let explicit = fd_implied_explicit(
-            fds.as_slice(),
-            std::slice::from_ref(&jd),
-            target,
-            n,
-            &cfg,
-        );
+        let explicit =
+            fd_implied_explicit(fds.as_slice(), std::slice::from_ref(&jd), target, n, &cfg);
         let t_chase = t0.elapsed();
         let agree = match explicit {
-            Ok(b) => yn(b == closure_with_jd(fds.as_slice(), &jd, x)
-                .contains(AttrId::from_index(n - 1))),
+            Ok(b) => yn(
+                b == closure_with_jd(fds.as_slice(), &jd, x).contains(AttrId::from_index(n - 1))
+            ),
             Err(_) => "budget!".into(),
         };
         rows.push(vec![
@@ -636,9 +651,9 @@ fn e6_ablations() {
         unreachable!("registrar is independent");
     };
     let mut rows = Vec::new();
-    for preload in [100usize, 1_000, 10_000] {
+    for preload in sweep(&[100, 1_000, 10_000], smoke) {
         let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 128, 11);
-        let ops = insert_stream(&inst.schema, 500, 128, 12);
+        let ops = insert_stream(&inst.schema, if smoke { 50 } else { 500 }, 128, 12);
 
         let mut indexed =
             LocalMaintainer::from_analysis(&inst.schema, &analysis, base.clone()).unwrap();
@@ -673,7 +688,12 @@ fn e6_ablations() {
     }
     print_table(
         "E6b — local maintenance: hash index vs per-insert relation scan",
-        &["preloaded tuples", "indexed/insert", "scan/insert", "speedup"],
+        &[
+            "preloaded tuples",
+            "indexed/insert",
+            "scan/insert",
+            "speedup",
+        ],
         &rows,
     );
 
@@ -687,13 +707,16 @@ fn e6_ablations() {
             ok += 1;
         }
         if let Some(w) = a.witness() {
-            assert!(verify_witness(&e.schema, &e.fds, &w.state, &ChaseConfig::default())
-                .unwrap());
+            assert!(verify_witness(&e.schema, &e.fds, &w.state, &ChaseConfig::default()).unwrap());
         }
     }
     println!("\nverdict agreement across the example corpus: {ok}/{total}");
 }
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }

@@ -1,0 +1,47 @@
+//! Smoke test for the experiment suite: runs the `experiments` binary
+//! with `--smoke` (minimum workload sizes) and checks that every
+//! experiment section prints.  This keeps the whole E1–E6 pipeline
+//! exercised by `cargo test` without paying for the full sweeps, which
+//! belong to `cargo bench` / a manual `experiments` run.
+
+use std::process::Command;
+
+#[test]
+fn experiments_smoke_covers_all_sections() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--smoke")
+        .output()
+        .expect("experiments binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "experiments --smoke failed.\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for section in ["X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b"] {
+        assert!(
+            stdout.contains(&format!("{section} —")),
+            "missing section {section} in output:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("verdict agreement across the example corpus"),
+        "missing corpus sanity line:\n{stdout}"
+    );
+}
+
+#[test]
+fn experiments_accepts_section_filters() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--smoke", "x1", "e4"])
+        .output()
+        .expect("experiments binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("X1 —"));
+    assert!(stdout.contains("E4 —"));
+    assert!(
+        !stdout.contains("E5 —"),
+        "filter leaked other sections:\n{stdout}"
+    );
+}

@@ -186,8 +186,7 @@ impl ChaseInstance {
         let mut seen: HashSet<Box<[SymId]>> = HashSet::with_capacity(self.rows.len());
         let mut kept: Vec<Box<[SymId]>> = Vec::with_capacity(self.rows.len());
         for row in std::mem::take(&mut self.rows) {
-            let canon: Box<[SymId]> =
-                row.iter().map(|s| self.symbols.find(*s)).collect();
+            let canon: Box<[SymId]> = row.iter().map(|s| self.symbols.find(*s)).collect();
             if seen.insert(canon.clone()) {
                 kept.push(canon);
             }
@@ -267,19 +266,18 @@ impl ChaseInstance {
         // Fold a hash join over the components, tracking the covered
         // attribute set.  Row layout within a partial result: symbols in
         // ascending attribute order of the covered set.
-        let project =
-            |rows: &[Box<[SymId]>], attrs: AttrSet| -> Vec<Vec<SymId>> {
-                let cols: Vec<usize> = attrs.iter().map(|a| a.index()).collect();
-                let mut seen = HashSet::new();
-                let mut out = Vec::new();
-                for r in rows {
-                    let p: Vec<SymId> = cols.iter().map(|c| r[*c]).collect();
-                    if seen.insert(p.clone()) {
-                        out.push(p);
-                    }
+        let project = |rows: &[Box<[SymId]>], attrs: AttrSet| -> Vec<Vec<SymId>> {
+            let cols: Vec<usize> = attrs.iter().map(|a| a.index()).collect();
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for r in rows {
+                let p: Vec<SymId> = cols.iter().map(|c| r[*c]).collect();
+                if seen.insert(p.clone()) {
+                    out.push(p);
                 }
-                out
-            };
+            }
+            out
+        };
 
         let mut acc_attrs = comps[0];
         let mut acc: Vec<Vec<SymId>> = project(&self.rows, comps[0]);
@@ -290,15 +288,15 @@ impl ChaseInstance {
             // Index side rows by the common columns.
             let mut index: HashMap<Vec<SymId>, Vec<usize>> = HashMap::new();
             for (i, row) in side.iter().enumerate() {
-                let key: Vec<SymId> =
-                    common.iter().map(|a| row[comp.rank(a)]).collect();
+                let key: Vec<SymId> = common.iter().map(|a| row[comp.rank(a)]).collect();
                 index.entry(key).or_default().push(i);
             }
             let mut next: Vec<Vec<SymId>> = Vec::new();
             for arow in &acc {
-                let key: Vec<SymId> =
-                    common.iter().map(|a| arow[acc_attrs.rank(a)]).collect();
-                let Some(matches) = index.get(&key) else { continue };
+                let key: Vec<SymId> = common.iter().map(|a| arow[acc_attrs.rank(a)]).collect();
+                let Some(matches) = index.get(&key) else {
+                    continue;
+                };
                 for &m in matches {
                     let brow = &side[m];
                     let merged: Vec<SymId> = out_attrs
@@ -327,8 +325,7 @@ impl ChaseInstance {
         }
 
         debug_assert_eq!(acc_attrs.len(), self.width);
-        let existing: HashSet<&[SymId]> =
-            self.rows.iter().map(|r| r.as_ref()).collect();
+        let existing: HashSet<&[SymId]> = self.rows.iter().map(|r| r.as_ref()).collect();
         let mut fresh: Vec<Box<[SymId]>> = Vec::new();
         for row in acc {
             let boxed: Box<[SymId]> = row.into_boxed_slice();
@@ -436,12 +433,11 @@ mod tests {
     #[test]
     fn consistent_state_chases_to_weak_instance() {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let fds: Vec<Fd> =
-            ids_deps::FdSet::parse(&u, &["C -> D", "C -> T", "T -> D"])
-                .unwrap()
-                .iter()
-                .copied()
-                .collect();
+        let fds: Vec<Fd> = ids_deps::FdSet::parse(&u, &["C -> D", "C -> T", "T -> D"])
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
         let mut inst = ChaseInstance::new(3);
         inst.add_padded_tuple(u.parse_set("CD").unwrap(), &[v(1), v(2)]);
         inst.add_padded_tuple(u.parse_set("CT").unwrap(), &[v(1), v(3)]);
@@ -485,10 +481,7 @@ mod tests {
         for i in 0..20 {
             inst.add_padded_tuple(u.all(), &[v(i), v(100 + i)]);
         }
-        let jd = JoinDependency::new([
-            u.parse_set("A").unwrap(),
-            u.parse_set("B").unwrap(),
-        ]);
+        let jd = JoinDependency::new([u.parse_set("A").unwrap(), u.parse_set("B").unwrap()]);
         let tight = ChaseConfig {
             max_rows: 50,
             max_passes: 10,

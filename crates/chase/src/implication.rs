@@ -46,9 +46,10 @@ pub fn fd_implied_explicit(
     inst.add_raw_row(v_row);
 
     let agree = |inst: &mut ChaseInstance| -> bool {
-        target.rhs.iter().all(|a| {
-            inst.resolve_sym(u_syms[a.index()]) == inst.resolve_sym(v_syms[a.index()])
-        })
+        target
+            .rhs
+            .iter()
+            .all(|a| inst.resolve_sym(u_syms[a.index()]) == inst.resolve_sym(v_syms[a.index()]))
     };
 
     for _ in 0..config.max_passes {
@@ -84,9 +85,9 @@ pub fn jd_implied_by_fds(fds: &FdSet, jd: &JoinDependency, width: usize) -> bool
     let dvs: Vec<SymId> = (0..width).map(|_| inst.fresh_var()).collect();
     for comp in jd.components() {
         let mut row = Vec::with_capacity(width);
-        for col in 0..width {
+        for (col, dv) in dvs.iter().enumerate() {
             if comp.contains(AttrId::from_index(col)) {
-                row.push(dvs[col]);
+                row.push(*dv);
             } else {
                 row.push(inst.fresh_var());
             }
@@ -96,9 +97,7 @@ pub fn jd_implied_by_fds(fds: &FdSet, jd: &JoinDependency, width: usize) -> bool
     inst.fd_fixpoint(fds.as_slice())
         .expect("no constants, no contradiction");
     let dv_roots: Vec<SymId> = dvs.iter().map(|s| inst.resolve_sym(*s)).collect();
-    (0..inst.row_count()).any(|r| {
-        (0..width).all(|c| inst.resolved(r, c) == dv_roots[c])
-    })
+    (0..inst.row_count()).any(|r| (0..width).all(|c| inst.resolved(r, c) == dv_roots[c]))
 }
 
 /// Classic corollary used as a sanity check: the decomposition of `U` into
@@ -169,14 +168,9 @@ mod tests {
             let cl = closure_with_jd(f.as_slice(), &jd, lhs);
             for a in u.all() {
                 let target = Fd::new(lhs, ids_relational::AttrSet::singleton(a));
-                let explicit = fd_implied_explicit(
-                    f.as_slice(),
-                    std::slice::from_ref(&jd),
-                    target,
-                    4,
-                    &cfg(),
-                )
-                .unwrap();
+                let explicit =
+                    fd_implied_explicit(f.as_slice(), std::slice::from_ref(&jd), target, 4, &cfg())
+                        .unwrap();
                 assert_eq!(
                     explicit,
                     cl.contains(a),
@@ -195,8 +189,7 @@ mod tests {
         let jd = JoinDependency::new([u.parse_set("CT").unwrap(), u.parse_set("CHR").unwrap()]);
         assert!(jd_implied_by_fds(&f, &jd, 4));
         // {TH, CHR} is lossy: overlap H determines neither side.
-        let lossy =
-            JoinDependency::new([u.parse_set("TH").unwrap(), u.parse_set("CHR").unwrap()]);
+        let lossy = JoinDependency::new([u.parse_set("TH").unwrap(), u.parse_set("CHR").unwrap()]);
         assert!(!jd_implied_by_fds(&f, &lossy, 4));
     }
 

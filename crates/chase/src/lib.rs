@@ -20,20 +20,17 @@ mod symbol;
 mod tagged;
 mod weak_instance;
 
-pub use engine::{
-    ChaseConfig, ChaseError, ChaseInstance, ChaseVerdict, ContradictionInfo,
-};
+pub use engine::{ChaseConfig, ChaseError, ChaseInstance, ChaseVerdict, ContradictionInfo};
 pub use implication::{binary_lossless, fd_implied_explicit, jd_implied_by_fds};
 pub use local::{
-    locally_satisfies, locally_violating, relation_locally_satisfies,
-    satisfies_projection_fds,
+    locally_satisfies, locally_violating, relation_locally_satisfies, satisfies_projection_fds,
 };
 pub use symbol::{Contradiction, SymId, SymbolTable};
 pub use tagged::{
-    collect_valuations, find_valuation, DvAssignment, GSym, GeneralTableau,
-    TaggedRow, TaggedTableau,
+    collect_valuations, find_valuation, DvAssignment, GSym, GeneralTableau, TaggedRow,
+    TaggedTableau,
 };
 pub use weak_instance::{
-    is_weak_instance, satisfies, satisfies_fds_only, satisfies_with,
-    universal_tableau, Satisfaction,
+    is_weak_instance, satisfies, satisfies_fds_only, satisfies_with, universal_tableau,
+    Satisfaction,
 };

@@ -111,14 +111,9 @@ mod tests {
         let mut rel = Relation::new(schema.attrs(id));
         rel.insert(vec![v(1), v(2), v(3)]).unwrap();
         rel.insert(vec![v(1), v(2), v(4)]).unwrap(); // same C,H, different R
-        assert!(!relation_locally_satisfies(
-            &schema,
-            &fds,
-            id,
-            &rel,
-            &ChaseConfig::default()
-        )
-        .unwrap());
+        assert!(
+            !relation_locally_satisfies(&schema, &fds, id, &rel, &ChaseConfig::default()).unwrap()
+        );
         assert!(!satisfies_projection_fds(&fds, &rel));
     }
 
@@ -129,14 +124,9 @@ mod tests {
         let mut rel = Relation::new(schema.attrs(id));
         rel.insert(vec![v(1), v(2), v(3)]).unwrap();
         rel.insert(vec![v(1), v(5), v(6)]).unwrap();
-        assert!(relation_locally_satisfies(
-            &schema,
-            &fds,
-            id,
-            &rel,
-            &ChaseConfig::default()
-        )
-        .unwrap());
+        assert!(
+            relation_locally_satisfies(&schema, &fds, id, &rel, &ChaseConfig::default()).unwrap()
+        );
         assert!(satisfies_projection_fds(&fds, &rel));
     }
 
@@ -144,17 +134,17 @@ mod tests {
     fn lsat_is_weaker_than_wsat() {
         // Example 1 shape: locally satisfying, globally not.
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let mut p = DatabaseState::empty(&schema);
         p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
         p.insert(SchemeId(1), vec![v(1), v(3)]).unwrap();
         p.insert(SchemeId(2), vec![v(4), v(3)]).unwrap();
         let cfg = ChaseConfig::default();
         assert!(locally_satisfies(&schema, &fds, &p, &cfg).unwrap());
-        assert!(locally_violating(&schema, &fds, &p, &cfg).unwrap().is_empty());
+        assert!(locally_violating(&schema, &fds, &p, &cfg)
+            .unwrap()
+            .is_empty());
         assert!(!satisfies(&schema, &fds, &p, &cfg).unwrap().is_satisfying());
     }
 

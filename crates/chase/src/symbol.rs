@@ -114,9 +114,7 @@ impl SymbolTable {
         let ca = self.constant[ra as usize];
         let cb = self.constant[rb as usize];
         let merged_const = match (ca, cb) {
-            (Some(x), Some(y)) if x != y => {
-                return Err(Contradiction { left: x, right: y })
-            }
+            (Some(x), Some(y)) if x != y => return Err(Contradiction { left: x, right: y }),
             (Some(x), _) => Some(x),
             (_, Some(y)) => Some(y),
             (None, None) => None,
@@ -170,9 +168,7 @@ mod tests {
         let a = t.fresh_const(v(1));
         let b = t.fresh_const(v(2));
         let err = t.union(a, b).unwrap_err();
-        assert!(
-            (err.left, err.right) == (v(1), v(2)) || (err.left, err.right) == (v(2), v(1))
-        );
+        assert!((err.left, err.right) == (v(1), v(2)) || (err.left, err.right) == (v(2), v(1)));
         // Same constants in different symbols merge fine.
         let c = t.fresh_const(v(1));
         assert!(t.union(a, c).unwrap());

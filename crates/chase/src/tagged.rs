@@ -270,15 +270,7 @@ pub fn collect_valuations(
         }
     }
     let mut binding = fixed.clone();
-    go(
-        schema,
-        state,
-        &tableau.rows,
-        0,
-        &mut binding,
-        limit,
-        out,
-    );
+    go(schema, state, &tableau.rows, 0, &mut binding, limit, out);
     // Strip the caller's fixed entries? No: keep full assignments — callers
     // read the dv values directly.
 }
@@ -372,8 +364,7 @@ mod tests {
     #[test]
     fn valuation_binds_dvs_to_matching_tuples() {
         let u = Universe::from_names(["A", "B", "C"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("AB", "AB"), ("BC", "BC")]).unwrap();
         let mut p = DatabaseState::empty(&schema);
         let v = |n: u64| Value::int(n);
         p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();

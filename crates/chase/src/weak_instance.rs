@@ -126,13 +126,8 @@ mod tests {
     /// Example 1 of the paper as schema + FDs + state.
     fn example1() -> (DatabaseSchema, FdSet, DatabaseState) {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds = FdSet::parse(
-            schema.universe(),
-            &["C -> D", "C -> T", "T -> D"],
-        )
-        .unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let mut p = DatabaseState::empty(&schema);
         // (CS402, CS) ∈ CD, (CS402, Jones) ∈ CT, (Jones, EE) ∈ TD.
         let (cs402, cs, jones, ee) = (v(1), v(2), v(3), v(4));

@@ -116,10 +116,7 @@ impl<'a> LoopRun<'a> {
             }
             let fi = &partition[id.index()];
             for fd in fi.iter() {
-                if lhs
-                    .iter()
-                    .any(|e| e.scheme == id && e.attrs == fd.lhs)
-                {
+                if lhs.iter().any(|e| e.scheme == id && e.attrs == fd.lhs) {
                     continue;
                 }
                 lhs.push(LhsInfo {
@@ -239,9 +236,9 @@ impl<'a> LoopRun<'a> {
                 .iter()
                 .copied()
                 .filter(|&i| {
-                    !candidates.iter().any(|&j| {
-                        j != i && self.tableau(j).strictly_weaker(self.tableau(i))
-                    })
+                    !candidates
+                        .iter()
+                        .any(|&j| j != i && self.tableau(j).strictly_weaker(self.tableau(i)))
                 })
                 .collect();
             debug_assert!(!minimal.is_empty());
@@ -287,9 +284,7 @@ impl<'a> LoopRun<'a> {
                 if y_new != x_new {
                     // Theorem 4 case 2: picking Y would have rejected at
                     // line 4 — find the available attribute in Y*new.
-                    let conflict = y_new
-                        .iter()
-                        .find(|a| self.available_attrs.contains(*a));
+                    let conflict = y_new.iter().find(|a| self.available_attrs.contains(*a));
                     debug_assert!(
                         conflict.is_some(),
                         "line-5 rejection must expose an available attribute in Y*new"
@@ -408,23 +403,13 @@ mod tests {
     /// `F = F2 = {A1→A2, B1→B2, A1B1→C, A2B2→A1B1C}`.
     fn example3() -> (DatabaseSchema, Vec<FdSet>) {
         let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
-        let schema = DatabaseSchema::parse(
-            u,
-            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
-        )
-        .unwrap();
+        let schema = DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
         let fds = FdSet::parse(
             schema.universe(),
-            &[
-                "A1 -> A2",
-                "B1 -> B2",
-                "A1 B1 -> C",
-                "A2 B2 -> A1 B1 C",
-            ],
+            &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
         )
         .unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         (schema, partition)
     }
 
@@ -455,8 +440,7 @@ mod tests {
                 .find(|&i| run.lhs_info(i).attrs == a2b2)
                 .unwrap_or(min[0])
         };
-        let (outcome, trace) =
-            run_loop_with_picker(&schema, &partition, r1, &mut pick_a2b2);
+        let (outcome, trace) = run_loop_with_picker(&schema, &partition, r1, &mut pick_a2b2);
         let reject = outcome.unwrap_err();
         assert_eq!(reject.line, RejectLine::Line4);
         assert_eq!(reject.picked.attrs, a2b2);
@@ -484,8 +468,7 @@ mod tests {
                 .find(|&i| run.lhs_info(i).attrs == a1b1)
                 .unwrap_or(min[0])
         };
-        let (outcome, _) =
-            run_loop_with_picker(&schema, &partition, r1, &mut pick_a1b1);
+        let (outcome, _) = run_loop_with_picker(&schema, &partition, r1, &mut pick_a1b1);
         let reject = outcome.unwrap_err();
         match reject.line {
             RejectLine::Line5 { original_pick } => {
@@ -503,11 +486,9 @@ mod tests {
         // must accept for every scheme.
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         let (outcome, traces) = run_all(&schema, &partition);
         assert!(outcome.is_ok());
         assert_eq!(traces.len(), 3);

@@ -32,10 +32,7 @@ pub struct CrossingDerivation {
 
 /// Searches for a crossing derivation given the per-scheme partition
 /// `F = ∪ Fi`.  Returns the first one found (deterministic order).
-pub fn find_crossing(
-    schema: &DatabaseSchema,
-    partition: &[FdSet],
-) -> Option<CrossingDerivation> {
+pub fn find_crossing(schema: &DatabaseSchema, partition: &[FdSet]) -> Option<CrossingDerivation> {
     debug_assert_eq!(partition.len(), schema.len());
     for (id, scheme) in schema.iter() {
         // FDs outside Fi, with their home schemes.
@@ -59,8 +56,7 @@ pub fn find_crossing(
             if !closure_of(&others, x).contains(a) {
                 continue;
             }
-            let derivation =
-                derive(&others, x, a).expect("closure said A is derivable");
+            let derivation = derive(&others, x, a).expect("closure said A is derivable");
             let step_homes = derivation
                 .steps
                 .iter()
@@ -81,10 +77,7 @@ pub fn find_crossing(
 /// every scheme iff no crossing derivation exists **through that scheme's
 /// attributes**.  (Exact for detection; used in tests against
 /// `ids_deps::projection_cover` on small schemes.)
-pub fn partition_is_locally_complete(
-    schema: &DatabaseSchema,
-    partition: &[FdSet],
-) -> bool {
+pub fn partition_is_locally_complete(schema: &DatabaseSchema, partition: &[FdSet]) -> bool {
     find_crossing(schema, partition).is_none()
 }
 
@@ -105,12 +98,9 @@ mod tests {
     /// Example 1 of the paper: CD, CT, TD with C→D, C→T, T→D.
     fn example1() -> (DatabaseSchema, Vec<FdSet>) {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         (schema, partition)
     }
 
@@ -122,10 +112,7 @@ mod tests {
         let crossing = find_crossing(&schema, &partition).expect("must cross");
         let cd = schema.scheme_by_name("CD").unwrap();
         assert_eq!(crossing.scheme, cd);
-        assert_eq!(
-            crossing.attr,
-            schema.universe().attr("D").unwrap()
-        );
+        assert_eq!(crossing.attr, schema.universe().attr("D").unwrap());
         assert_eq!(crossing.derivation.steps.len(), 2);
         assert!(crossing.derivation.is_nonredundant());
         assert!(!partition_is_locally_complete(&schema, &partition));
@@ -135,11 +122,9 @@ mod tests {
     fn independent_example_has_no_crossing() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         assert!(find_crossing(&schema, &partition).is_none());
     }
 
@@ -150,8 +135,7 @@ mod tests {
         let u = Universe::from_names(["A", "B"]).unwrap();
         let schema = DatabaseSchema::parse(u, &[("R1", "AB"), ("R2", "AB")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["A -> B"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         // A→B lives in F1; R2 sees it as crossing.
         let crossing = find_crossing(&schema, &partition).expect("must cross");
         assert_eq!(crossing.scheme, schema.scheme_by_name("R2").unwrap());
@@ -164,8 +148,7 @@ mod tests {
         let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
         let schema = DatabaseSchema::parse(u, &[("AB", "AB"), ("CD", "CD")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["A -> B", "C -> D"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         assert!(find_crossing(&schema, &partition).is_none());
     }
 }

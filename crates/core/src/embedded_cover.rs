@@ -104,9 +104,7 @@ impl CoverEmbedding {
     /// The extracted cover as an [`FdSet`] (empty for `NotEmbedded`).
     pub fn cover_fds(&self) -> FdSet {
         match self {
-            CoverEmbedding::Embedded { cover } => {
-                cover.iter().map(|s| s.fd).collect()
-            }
+            CoverEmbedding::Embedded { cover } => cover.iter().map(|s| s.fd).collect(),
             CoverEmbedding::NotEmbedded { .. } => FdSet::new(),
         }
     }
@@ -130,7 +128,9 @@ pub fn test_cover_embedding(schema: &DatabaseSchema, fds: &FdSet) -> CoverEmbedd
         let mut needed = fd.rhs.difference(fd.lhs);
         for step in steps.iter().rev() {
             if step.fd.rhs.intersects(needed) {
-                needed = needed.difference(step.fd.rhs).union(step.fd.lhs.difference(fd.lhs));
+                needed = needed
+                    .difference(step.fd.rhs)
+                    .union(step.fd.lhs.difference(fd.lhs));
                 if !cover.contains(step) {
                     cover.push(*step);
                 }
@@ -143,10 +143,7 @@ pub fn test_cover_embedding(schema: &DatabaseSchema, fds: &FdSet) -> CoverEmbedd
 /// The Beeri–Honeyman variant: does `D` embed a cover of `F⁺` *without*
 /// help from the join dependency?  Provided for comparison — the paper's
 /// point is precisely that `*D` can strengthen the embedded consequences.
-pub fn test_cover_embedding_fds_only(
-    schema: &DatabaseSchema,
-    fds: &FdSet,
-) -> CoverEmbedding {
+pub fn test_cover_embedding_fds_only(schema: &DatabaseSchema, fds: &FdSet) -> CoverEmbedding {
     let cl = |y: AttrSet| fds.closure(y);
     let mut cover: Vec<ClosureStep> = Vec::new();
     for fd in fds.iter() {
@@ -175,8 +172,7 @@ mod tests {
     fn example2() -> (DatabaseSchema, FdSet) {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
         (schema, fds)
     }
@@ -201,11 +197,7 @@ mod tests {
         // Adding SH→R: "the new dependency cannot be derived from the
         // embedded ones, and therefore condition (1) is not satisfied."
         let (schema, _) = example2();
-        let fds = FdSet::parse(
-            schema.universe(),
-            &["C -> T", "CH -> R", "SH -> R"],
-        )
-        .unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
         let res = test_cover_embedding(&schema, &fds);
         match res {
             CoverEmbedding::NotEmbedded { failing, .. } => {

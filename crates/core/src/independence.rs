@@ -194,8 +194,7 @@ mod tests {
     fn example2_is_independent() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
         let analysis = analyze(&schema, &fds);
         assert!(analysis.is_independent());
@@ -215,10 +214,8 @@ mod tests {
     fn example2_plus_sh_r_is_not_independent() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
         let analysis = analyze(&schema, &fds);
         assert!(!analysis.is_independent());
         assert!(matches!(
@@ -235,10 +232,8 @@ mod tests {
     #[test]
     fn example1_is_not_independent_via_crossing() {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let analysis = analyze(&schema, &fds);
         assert!(!analysis.is_independent());
         assert!(matches!(
@@ -255,11 +250,7 @@ mod tests {
     #[test]
     fn example3_is_not_independent_via_loop() {
         let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
-        let schema = DatabaseSchema::parse(
-            u,
-            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
-        )
-        .unwrap();
+        let schema = DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
         let fds = FdSet::parse(
             schema.universe(),
             &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],

@@ -36,14 +36,13 @@ pub use independence::{
     analyze, is_independent, IndependenceAnalysis, NotIndependentReason, Verdict,
 };
 pub use maintenance::{
-    ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, MaintenanceError,
-    Maintainer,
+    ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
 };
-pub use oracle::{exhaustive_oracle, OracleOutcome};
 pub use np_hardness::{
     theorem1_reduction, tuple_in_projected_join, tuple_in_projected_join_materialized,
     JoinMembershipInstance, MaintenanceGadget,
 };
+pub use oracle::{exhaustive_oracle, OracleOutcome};
 pub use report::{render_analysis, render_traces};
 pub use witness::{
     lemma3_witness, lemma7_witness, theorem4_witness, verify_witness, Witness, WitnessKind,

@@ -100,11 +100,7 @@ pub struct LocalMaintainer<'a> {
 impl<'a> LocalMaintainer<'a> {
     /// Builds the engine from per-scheme enforcement covers, starting from
     /// an existing (locally satisfying) state.
-    pub fn new(
-        schema: &'a DatabaseSchema,
-        enforcement: Vec<FdSet>,
-        state: DatabaseState,
-    ) -> Self {
+    pub fn new(schema: &'a DatabaseSchema, enforcement: Vec<FdSet>, state: DatabaseState) -> Self {
         let mut m = LocalMaintainer {
             indexes: enforcement
                 .iter()
@@ -279,8 +275,7 @@ mod tests {
     fn independent_setup() -> (DatabaseSchema, FdSet) {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
         (schema, fds)
     }
@@ -293,14 +288,23 @@ mod tests {
             LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
                 .unwrap();
         let ct = schema.scheme_by_name("CT").unwrap();
-        assert_eq!(m.insert(ct, vec![v(1), v(10)]).unwrap(), InsertOutcome::Accepted);
-        assert_eq!(m.insert(ct, vec![v(1), v(10)]).unwrap(), InsertOutcome::Duplicate);
+        assert_eq!(
+            m.insert(ct, vec![v(1), v(10)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        assert_eq!(
+            m.insert(ct, vec![v(1), v(10)]).unwrap(),
+            InsertOutcome::Duplicate
+        );
         // Second teacher for course 1: violates C→T.
         let out = m.insert(ct, vec![v(1), v(11)]).unwrap();
         assert!(matches!(out, InsertOutcome::Rejected { violated: Some(_) }));
         // Remove and retry: accepted.
         assert!(m.remove(ct, &[v(1), v(10)]));
-        assert_eq!(m.insert(ct, vec![v(1), v(11)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(
+            m.insert(ct, vec![v(1), v(11)]).unwrap(),
+            InsertOutcome::Accepted
+        );
     }
 
     #[test]
@@ -350,10 +354,8 @@ mod tests {
         // Example 1 (not independent): the cross-relation contradiction is
         // invisible to per-relation FD checks, visible to the chase.
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let mut chase = ChaseMaintainer::new(
             &schema,
             &fds,
@@ -363,8 +365,14 @@ mod tests {
         let cd = schema.scheme_by_name("CD").unwrap();
         let ct = schema.scheme_by_name("CT").unwrap();
         let td = schema.scheme_by_name("TD").unwrap();
-        assert_eq!(chase.insert(cd, vec![v(1), v(2)]).unwrap(), InsertOutcome::Accepted);
-        assert_eq!(chase.insert(ct, vec![v(1), v(3)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(
+            chase.insert(cd, vec![v(1), v(2)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        assert_eq!(
+            chase.insert(ct, vec![v(1), v(3)]).unwrap(),
+            InsertOutcome::Accepted
+        );
         // (T=3, D=4) forces course 1's department to be 4, contradicting 2.
         let out = chase.insert(td, vec![v(4), v(3)]).unwrap();
         assert_eq!(out, InsertOutcome::Rejected { violated: None });
@@ -372,12 +380,10 @@ mod tests {
         assert_eq!(chase.state().total_tuples(), 2);
         // LocalMaintainer cannot even be constructed for this schema.
         let analysis = analyze(&schema, &fds);
-        assert!(LocalMaintainer::from_analysis(
-            &schema,
-            &analysis,
-            DatabaseState::empty(&schema)
-        )
-        .is_none());
+        assert!(
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .is_none()
+        );
     }
 
     #[test]
@@ -456,16 +462,20 @@ mod fd_only_tests {
         // Example 1's contradiction is FD-only reachable (padding + FDs);
         // the middle engine rejects it just like the full chase.
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let mut m = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
         let cd = schema.scheme_by_name("CD").unwrap();
         let ct = schema.scheme_by_name("CT").unwrap();
         let td = schema.scheme_by_name("TD").unwrap();
-        assert_eq!(m.insert(cd, vec![v(1), v(2)]).unwrap(), InsertOutcome::Accepted);
-        assert_eq!(m.insert(ct, vec![v(1), v(3)]).unwrap(), InsertOutcome::Accepted);
+        assert_eq!(
+            m.insert(cd, vec![v(1), v(2)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        assert_eq!(
+            m.insert(ct, vec![v(1), v(3)]).unwrap(),
+            InsertOutcome::Accepted
+        );
         let out = m.insert(td, vec![v(4), v(3)]).unwrap();
         assert_eq!(out, InsertOutcome::Rejected { violated: None });
     }
@@ -484,8 +494,7 @@ mod fd_only_tests {
             (SchemeId(1), vec![v(2), v(3)]),
             (SchemeId(1), vec![v(2), v(4)]),
         ];
-        let mut fd_only =
-            FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let mut fd_only = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
         let mut full = ChaseMaintainer::new(
             &schema,
             &fds,
@@ -512,11 +521,9 @@ mod fd_only_tests {
     fn engines_coincide_on_independent_schema() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
-        let mut fd_only =
-            FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let mut fd_only = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
         let mut full = ChaseMaintainer::new(
             &schema,
             &fds,

@@ -13,8 +13,8 @@
 
 use ids_deps::{Fd, FdSet};
 use ids_relational::{
-    AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId,
-    Universe, Value,
+    AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId, Universe,
+    Value,
 };
 
 /// An instance of the membership-in-projected-join problem.
@@ -40,11 +40,7 @@ pub fn tuple_in_projected_join(inst: &JoinMembershipInstance) -> bool {
     for (a, v) in inst.x.iter().zip(inst.t.iter()) {
         assignment[a.index()] = Some(*v);
     }
-    let projections: Vec<Relation> = inst
-        .components
-        .iter()
-        .map(|c| inst.r.project(*c))
-        .collect();
+    let projections: Vec<Relation> = inst.components.iter().map(|c| inst.r.project(*c)).collect();
     search(&projections, &inst.components, 0, &mut assignment)
 }
 
@@ -89,11 +85,7 @@ fn search(
 /// Reference implementation: materialize the whole join (exponential
 /// memory) — used to validate the backtracking solver on small inputs.
 pub fn tuple_in_projected_join_materialized(inst: &JoinMembershipInstance) -> bool {
-    let projections: Vec<Relation> = inst
-        .components
-        .iter()
-        .map(|c| inst.r.project(*c))
-        .collect();
+    let projections: Vec<Relation> = inst.components.iter().map(|c| inst.r.project(*c)).collect();
     let Some(join) = ids_relational::join_all(projections.iter()) else {
         return false;
     };
@@ -273,8 +265,7 @@ mod tests {
         for flag in [true, false] {
             let (u0, inst) = small_instance(flag);
             let g = theorem1_reduction(&u0, &inst);
-            let sat = satisfies(&g.schema, &g.fds, &g.base, &ChaseConfig::default())
-                .unwrap();
+            let sat = satisfies(&g.schema, &g.fds, &g.base, &ChaseConfig::default()).unwrap();
             assert!(sat.is_satisfying(), "p must satisfy Σ (claim 1)");
         }
     }
@@ -290,8 +281,7 @@ mod tests {
             p_prime
                 .insert(g.insert_scheme, g.insert_tuple.clone())
                 .unwrap();
-            let sat = satisfies(&g.schema, &g.fds, &p_prime, &ChaseConfig::default())
-                .unwrap();
+            let sat = satisfies(&g.schema, &g.fds, &p_prime, &ChaseConfig::default()).unwrap();
             assert_eq!(
                 sat.is_satisfying(),
                 !in_join,

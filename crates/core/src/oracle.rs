@@ -167,17 +167,17 @@ mod tests {
     #[test]
     fn oracle_refutes_example1() {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let out = exhaustive_oracle(&schema, &fds, 2, 1, &cfg()).unwrap();
         let OracleOutcome::GapFound(state) = out else {
             panic!("the Example 1 gap exists with one tuple per relation");
         };
         // The found state is genuinely a gap.
         assert!(locally_satisfies(&schema, &fds, &state, &cfg()).unwrap());
-        assert!(!satisfies(&schema, &fds, &state, &cfg()).unwrap().is_satisfying());
+        assert!(!satisfies(&schema, &fds, &state, &cfg())
+            .unwrap()
+            .is_satisfying());
         // And the polynomial algorithm agrees.
         assert!(!crate::is_independent(&schema, &fds));
     }

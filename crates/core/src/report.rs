@@ -106,8 +106,7 @@ mod tests {
     fn independent_report_mentions_enforcement() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
         let text = render_analysis(&schema, &analyze(&schema, &fds));
         assert!(text.contains("INDEPENDENT"));
@@ -118,10 +117,8 @@ mod tests {
     #[test]
     fn dependent_report_shows_witness() {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
         let text = render_analysis(&schema, &analyze(&schema, &fds));
         assert!(text.contains("NOT independent"));
         assert!(text.contains("counterexample state"));
@@ -140,7 +137,11 @@ pub fn render_traces(schema: &DatabaseSchema, analysis: &IndependenceAnalysis) -
             out,
             "run for {} ({}):",
             schema.scheme(trace.run_for).name,
-            if trace.accepted { "accepted" } else { "REJECTED" }
+            if trace.accepted {
+                "accepted"
+            } else {
+                "REJECTED"
+            }
         );
         for (i, it) in trace.iterations.iter().enumerate() {
             let fmt_lhs = |e: &crate::algorithm::LhsInfo| {
@@ -173,11 +174,7 @@ mod trace_tests {
     #[test]
     fn trace_rendering_replays_example3() {
         let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
-        let schema = DatabaseSchema::parse(
-            u,
-            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
-        )
-        .unwrap();
+        let schema = DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
         let fds = FdSet::parse(
             schema.universe(),
             &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
@@ -195,8 +192,7 @@ mod trace_tests {
     fn accepted_trace_renders_all_schemes() {
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
         let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
         let analysis = analyze(&schema, &fds);
         let text = render_traces(&schema, &analysis);

@@ -57,11 +57,7 @@ pub struct Witness {
 
 /// Lemma 3 witness: two tuples agreeing exactly on the `G1`-closed set
 /// `closed = cl_G1(X)`, distinct values elsewhere, projected onto `D`.
-pub fn lemma3_witness(
-    schema: &DatabaseSchema,
-    failing: ids_deps::Fd,
-    closed: AttrSet,
-) -> Witness {
+pub fn lemma3_witness(schema: &DatabaseSchema, failing: ids_deps::Fd, closed: AttrSet) -> Witness {
     let width = schema.universe().len();
     let mut universal = ids_relational::Relation::new(schema.universe().all());
     let row = |base: u64| -> Vec<Value> {
@@ -229,15 +225,9 @@ mod tests {
         // locally satisfying but globally contradictory.
         let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
         let schema =
-            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-                .unwrap();
-        let fds = FdSet::parse(
-            schema.universe(),
-            &["C -> T", "CH -> R", "SH -> R"],
-        )
-        .unwrap();
-        let CoverEmbedding::NotEmbedded { failing, closed } =
-            test_cover_embedding(&schema, &fds)
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+        let CoverEmbedding::NotEmbedded { failing, closed } = test_cover_embedding(&schema, &fds)
         else {
             panic!("SH->R cannot embed");
         };
@@ -248,12 +238,9 @@ mod tests {
     #[test]
     fn lemma7_witness_verifies_for_example1() {
         let u = Universe::from_names(["C", "D", "T"]).unwrap();
-        let schema =
-            DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-        let fds =
-            FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         let crossing = find_crossing(&schema, &partition).unwrap();
         let w = lemma7_witness(&schema, &fds, &crossing);
         assert!(verify_witness(&schema, &fds, &w.state, &cfg()).unwrap());
@@ -265,18 +252,13 @@ mod tests {
     #[test]
     fn theorem4_witness_verifies_for_example3() {
         let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
-        let schema = DatabaseSchema::parse(
-            u,
-            &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")],
-        )
-        .unwrap();
+        let schema = DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
         let fds = FdSet::parse(
             schema.universe(),
             &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],
         )
         .unwrap();
-        let partition =
-            partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
+        let partition = partition_embedded(&fds, &schema.join_dependency_components()).unwrap();
         let r1 = schema.scheme_by_name("R1").unwrap();
         let (outcome, _) = crate::algorithm::run_loop(&schema, &partition, r1);
         let reject = outcome.unwrap_err();

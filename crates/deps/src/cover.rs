@@ -96,8 +96,9 @@ mod tests {
         let f = FdSet::parse(&u, &["AB -> C", "A -> B"]).unwrap();
         let lr = f.left_reduced();
         assert!(lr.equivalent(&f));
-        assert!(lr.iter().any(|fd| fd.lhs == u.parse_set("A").unwrap()
-            && fd.rhs == u.parse_set("C").unwrap()));
+        assert!(lr
+            .iter()
+            .any(|fd| fd.lhs == u.parse_set("A").unwrap() && fd.rhs == u.parse_set("C").unwrap()));
     }
 
     #[test]
@@ -110,12 +111,10 @@ mod tests {
         // AB -> D reduces to A -> D; A -> C is redundant via B.
         assert!(cc
             .iter()
-            .any(|fd| fd.lhs == u.parse_set("A").unwrap()
-                && fd.rhs == u.parse_set("D").unwrap()));
+            .any(|fd| fd.lhs == u.parse_set("A").unwrap() && fd.rhs == u.parse_set("D").unwrap()));
         assert!(!cc
             .iter()
-            .any(|fd| fd.lhs == u.parse_set("A").unwrap()
-                && fd.rhs == u.parse_set("C").unwrap()));
+            .any(|fd| fd.lhs == u.parse_set("A").unwrap() && fd.rhs == u.parse_set("C").unwrap()));
     }
 
     #[test]

@@ -87,7 +87,11 @@ mod tests {
         let f = FdSet::parse(&u, &["C -> T", "TH -> R"]).unwrap();
         let chr = u.parse_set("CHR").unwrap();
         // {C,H} is NOT closed under F⁺|CHR (CH → R).
-        assert!(!closed_under_projection(&f, chr, u.parse_set("CH").unwrap()));
+        assert!(!closed_under_projection(
+            &f,
+            chr,
+            u.parse_set("CH").unwrap()
+        ));
         // {H} is closed.
         assert!(closed_under_projection(&f, chr, u.parse_set("H").unwrap()));
         // {C, H, R} is closed (it is all of CHR... minus nothing): CHR itself.

@@ -24,11 +24,9 @@ pub use embedded::{closed_under_projection, partition_embedded, projection_cover
 pub use fd::Fd;
 pub use fdset::{closure_linear, closure_of, FdSet};
 pub use jd::JoinDependency;
-pub use jd_closure::{
-    block_of, closure_with_jd, dependency_basis, implies_with_jd, jd_blocks,
-};
+pub use jd_closure::{block_of, closure_with_jd, dependency_basis, implies_with_jd, jd_blocks};
 pub use mvd::{
-    binary_jd_as_mvd, closure_with_mvds, dependency_basis_mvds, fd_implied_with_mvds,
-    implied_mvds, mvd_implied, Mvd,
+    binary_jd_as_mvd, closure_with_mvds, dependency_basis_mvds, fd_implied_with_mvds, implied_mvds,
+    mvd_implied, Mvd,
 };
 pub use normal_forms::{is_3nf, is_bcnf, synthesize_3nf};

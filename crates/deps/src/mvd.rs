@@ -153,12 +153,7 @@ pub fn mvd_implied(mvds: &[Mvd], universe: AttrSet, x: AttrSet, y: AttrSet) -> b
 /// Complete mixed inference: the closure `X⁺` under FDs **and** MVDs
 /// (Beeri 1980): alternate the FD closure with the mixed rule
 /// "`X →→ W` (a basis block), `Y → Z`, `Y ∩ W = ∅` ⊢ `X → Z ∩ W`".
-pub fn closure_with_mvds(
-    fds: &FdSet,
-    mvds: &[Mvd],
-    universe: AttrSet,
-    x: AttrSet,
-) -> AttrSet {
+pub fn closure_with_mvds(fds: &FdSet, mvds: &[Mvd], universe: AttrSet, x: AttrSet) -> AttrSet {
     // Each FD X→Y also acts as the MVD X→→Y.
     let mut all_mvds: Vec<Mvd> = mvds.to_vec();
     for fd in fds.iter() {
@@ -187,12 +182,7 @@ pub fn closure_with_mvds(
 }
 
 /// FD-implication under FDs + MVDs: `fds ∪ mvds ⊨ fd`.
-pub fn fd_implied_with_mvds(
-    fds: &FdSet,
-    mvds: &[Mvd],
-    universe: AttrSet,
-    fd: Fd,
-) -> bool {
+pub fn fd_implied_with_mvds(fds: &FdSet, mvds: &[Mvd], universe: AttrSet, fd: Fd) -> bool {
     fd.rhs
         .is_subset(closure_with_mvds(fds, mvds, universe, fd.lhs))
 }
@@ -225,8 +215,7 @@ mod tests {
             u.parse_set("A").unwrap(),
             u.parse_set("B").unwrap(),
         )];
-        let basis =
-            dependency_basis_mvds(&mvds, u.all(), u.parse_set("A").unwrap());
+        let basis = dependency_basis_mvds(&mvds, u.all(), u.parse_set("A").unwrap());
         // U − A splits into {B} and {C,D}.
         assert_eq!(basis.len(), 2);
         assert!(basis.contains(&u.parse_set("B").unwrap()));
@@ -242,10 +231,25 @@ mod tests {
         ];
         // A →→ BC follows (union of blocks); A →→ BD does not… B|C|D all
         // separate blocks: BD is a union of blocks {B},{D}: implied!
-        assert!(mvd_implied(&mvds, u.all(), u.parse_set("A").unwrap(), u.parse_set("BC").unwrap()));
-        assert!(mvd_implied(&mvds, u.all(), u.parse_set("A").unwrap(), u.parse_set("BD").unwrap()));
+        assert!(mvd_implied(
+            &mvds,
+            u.all(),
+            u.parse_set("A").unwrap(),
+            u.parse_set("BC").unwrap()
+        ));
+        assert!(mvd_implied(
+            &mvds,
+            u.all(),
+            u.parse_set("A").unwrap(),
+            u.parse_set("BD").unwrap()
+        ));
         // B →→ C is not implied (no MVD with lhs ⊆ B).
-        assert!(!mvd_implied(&mvds, u.all(), u.parse_set("B").unwrap(), u.parse_set("C").unwrap()));
+        assert!(!mvd_implied(
+            &mvds,
+            u.all(),
+            u.parse_set("B").unwrap(),
+            u.parse_set("C").unwrap()
+        ));
     }
 
     #[test]
@@ -280,10 +284,7 @@ mod tests {
         // the same semantics.
         let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
         for (c1, c2) in [("AB", "BCD"), ("ABC", "CD"), ("AD", "BCD"), ("ABD", "BC")] {
-            let jd = JoinDependency::new([
-                u.parse_set(c1).unwrap(),
-                u.parse_set(c2).unwrap(),
-            ]);
+            let jd = JoinDependency::new([u.parse_set(c1).unwrap(), u.parse_set(c2).unwrap()]);
             let mvd = binary_jd_as_mvd(&jd, u.all()).unwrap();
             for fd_specs in [
                 vec!["A -> C"],
@@ -308,15 +309,10 @@ mod tests {
     #[test]
     fn implied_mvds_of_schema_jd() {
         let u = u3();
-        let jd = JoinDependency::new([
-            u.parse_set("AB").unwrap(),
-            u.parse_set("BC").unwrap(),
-        ]);
+        let jd = JoinDependency::new([u.parse_set("AB").unwrap(), u.parse_set("BC").unwrap()]);
         let mvds = implied_mvds(&jd, None);
         // Non-trivial splits of two components: B →→ A (and its dual form).
-        assert!(mvds
-            .iter()
-            .any(|m| m.lhs == u.parse_set("B").unwrap()));
+        assert!(mvds.iter().any(|m| m.lhs == u.parse_set("B").unwrap()));
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub fn is_bcnf(fds: &FdSet, r: AttrSet, max_scheme_size: usize) -> Option<bool> 
 pub fn is_3nf(fds: &FdSet, r: AttrSet, max_scheme_size: usize) -> Option<bool> {
     let proj = projection_cover(fds, r, max_scheme_size)?;
     let prime = proj.prime_attrs(r, None);
-    let ok = proj.iter().all(|fd| {
-        fd.is_trivial() || proj.is_superkey(fd.lhs, r) || fd.rhs.is_subset(prime)
-    });
+    let ok = proj
+        .iter()
+        .all(|fd| fd.is_trivial() || proj.is_superkey(fd.lhs, r) || fd.rhs.is_subset(prime));
     Some(ok)
 }
 
@@ -52,13 +52,9 @@ pub fn synthesize_3nf(universe: &Universe, fds: &FdSet) -> DatabaseSchema {
         }
     }
     // Attributes mentioned by no FD must still be covered.
-    let mentioned = schemes
-        .iter()
-        .fold(AttrSet::EMPTY, |acc, s| acc.union(*s));
+    let mentioned = schemes.iter().fold(AttrSet::EMPTY, |acc, s| acc.union(*s));
     let loose = universe.all().difference(mentioned);
-    let has_key = schemes
-        .iter()
-        .any(|s| fds.is_superkey(*s, universe.all()));
+    let has_key = schemes.iter().any(|s| fds.is_superkey(*s, universe.all()));
     if !loose.is_empty() || !has_key {
         // Add one key scheme (a candidate key of U, extended by the loose
         // attributes, which belong to every key).
@@ -139,7 +135,8 @@ mod tests {
         let f = FdSet::parse(&u, &["A -> B"]).unwrap();
         let d = synthesize_3nf(&u, &f);
         assert_eq!(
-            d.iter().fold(AttrSet::EMPTY, |acc, (_, s)| acc.union(s.attrs)),
+            d.iter()
+                .fold(AttrSet::EMPTY, |acc, (_, s)| acc.union(s.attrs)),
             u.all()
         );
     }

@@ -141,10 +141,7 @@ impl AttrSet {
 
     /// Subset test `self ⊆ other`.
     pub fn is_subset(self, other: Self) -> bool {
-        self.words
-            .iter()
-            .zip(other.words)
-            .all(|(a, b)| a & !b == 0)
+        self.words.iter().zip(other.words).all(|(a, b)| a & !b == 0)
     }
 
     /// Strict subset test `self ⊂ other`.

@@ -29,11 +29,7 @@ pub fn render_relation(
 }
 
 /// Renders a whole database state, one table per relation.
-pub fn render_state(
-    schema: &DatabaseSchema,
-    pool: &ValuePool,
-    state: &DatabaseState,
-) -> String {
+pub fn render_state(schema: &DatabaseSchema, pool: &ValuePool, state: &DatabaseState) -> String {
     let mut out = String::new();
     for (id, rel) in state.iter() {
         let name = &schema.scheme(id).name;

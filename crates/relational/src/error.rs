@@ -48,7 +48,10 @@ impl fmt::Display for RelationalError {
                 "schema does not cover the universe; missing attributes: {missing}"
             ),
             Self::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected}, found {found}"
+                )
             }
             Self::SchemaMismatch(what) => write!(f, "objects belong to different {what}"),
         }

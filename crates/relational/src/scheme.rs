@@ -53,10 +53,7 @@ pub struct DatabaseSchema {
 
 impl DatabaseSchema {
     /// Builds and validates a schema from named attribute sets.
-    pub fn new(
-        universe: Universe,
-        schemes: Vec<RelationScheme>,
-    ) -> Result<Self, RelationalError> {
+    pub fn new(universe: Universe, schemes: Vec<RelationScheme>) -> Result<Self, RelationalError> {
         if schemes.is_empty() {
             return Err(RelationalError::EmptySchema);
         }
@@ -81,10 +78,7 @@ impl DatabaseSchema {
 
     /// Convenience builder: schemes given as `(name, attribute-spec)` pairs,
     /// attribute specs in [`Universe::parse_set`] syntax.
-    pub fn parse(
-        universe: Universe,
-        specs: &[(&str, &str)],
-    ) -> Result<Self, RelationalError> {
+    pub fn parse(universe: Universe, specs: &[(&str, &str)]) -> Result<Self, RelationalError> {
         let mut schemes = Vec::with_capacity(specs.len());
         for (name, spec) in specs {
             let attrs = universe.parse_set(spec)?;
@@ -214,8 +208,7 @@ mod tests {
     fn duplicate_attribute_sets_allowed_under_distinct_names() {
         // The paper treats D as a collection; distinct appearances of the
         // same attribute set are legal.
-        let d =
-            DatabaseSchema::parse(cthr_universe(), &[("A1", "CTHR"), ("A2", "CTHR")]).unwrap();
+        let d = DatabaseSchema::parse(cthr_universe(), &[("A1", "CTHR"), ("A2", "CTHR")]).unwrap();
         assert_eq!(d.len(), 2);
     }
 }

@@ -16,7 +16,10 @@ impl DatabaseState {
     /// Creates the empty state of a schema.
     pub fn empty(schema: &DatabaseSchema) -> Self {
         DatabaseState {
-            relations: schema.ids().map(|id| Relation::new(schema.attrs(id))).collect(),
+            relations: schema
+                .ids()
+                .map(|id| Relation::new(schema.attrs(id)))
+                .collect(),
         }
     }
 
@@ -66,11 +69,7 @@ impl DatabaseState {
     }
 
     /// Inserts a tuple (scheme order) into the instance of `id`.
-    pub fn insert(
-        &mut self,
-        id: SchemeId,
-        tuple: Vec<Value>,
-    ) -> Result<bool, RelationalError> {
+    pub fn insert(&mut self, id: SchemeId, tuple: Vec<Value>) -> Result<bool, RelationalError> {
         self.relations[id.index()].insert(tuple)
     }
 

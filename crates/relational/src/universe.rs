@@ -109,9 +109,7 @@ impl Universe {
             if let Some(id) = self.attr(token) {
                 out.insert(id);
             } else if token.chars().count() > 1
-                && token
-                    .chars()
-                    .all(|c| self.attr(&c.to_string()).is_some())
+                && token.chars().all(|c| self.attr(&c.to_string()).is_some())
             {
                 for c in token.chars() {
                     out.insert(self.attr(&c.to_string()).expect("checked above"));
@@ -205,6 +203,9 @@ mod tests {
         for i in 0..MAX_ATTRS {
             u.add(format!("A{i}")).unwrap();
         }
-        assert!(matches!(u.add("overflow"), Err(RelationalError::UniverseFull)));
+        assert!(matches!(
+            u.add("overflow"),
+            Err(RelationalError::UniverseFull)
+        ));
     }
 }

@@ -20,8 +20,7 @@ pub struct PaperInstance {
 /// **not** independent.
 pub fn example1() -> PaperInstance {
     let u = Universe::from_names(["C", "D", "T"]).unwrap();
-    let schema =
-        DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
     let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
     PaperInstance {
         name: "example1",
@@ -53,8 +52,7 @@ pub fn example1_state(inst: &PaperInstance, pool: &mut ValuePool) -> DatabaseSta
 /// independent.
 pub fn example2() -> PaperInstance {
     let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
-    let schema =
-        DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
     let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
     PaperInstance {
         name: "example2",
@@ -68,10 +66,8 @@ pub fn example2() -> PaperInstance {
 /// a student taking two courses meeting at the same hour breaks it.
 pub fn example2_extended() -> PaperInstance {
     let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
-    let schema =
-        DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
-    let fds =
-        FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
     PaperInstance {
         name: "example2+SH->R",
         schema,
@@ -85,8 +81,7 @@ pub fn example2_extended() -> PaperInstance {
 /// `F = {A1→A2, B1→B2, A1B1→C, A2B2→A1B1C}` — rejected by the Loop.
 pub fn example3() -> PaperInstance {
     let u = Universe::from_names(["A1", "B1", "A2", "B2", "C"]).unwrap();
-    let schema =
-        DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("R1", "A1 B1"), ("R2", "A1 B1 A2 B2 C")]).unwrap();
     let fds = FdSet::parse(
         schema.universe(),
         &["A1 -> A2", "B1 -> B2", "A1 B1 -> C", "A2 B2 -> A1 B1 C"],

@@ -246,13 +246,17 @@ mod tests {
         for m in 2..=4 {
             let inst = tableau_conflict(m);
             let analysis = ids_core::analyze(&inst.schema, &inst.fds);
-            assert!(matches!(
-                analysis.verdict,
-                ids_core::Verdict::NotIndependent {
-                    reason: ids_core::NotIndependentReason::LoopRejection(_),
-                    ..
-                }
-            ), "{} must reject in the Loop", inst.name);
+            assert!(
+                matches!(
+                    analysis.verdict,
+                    ids_core::Verdict::NotIndependent {
+                        reason: ids_core::NotIndependentReason::LoopRejection(_),
+                        ..
+                    }
+                ),
+                "{} must reject in the Loop",
+                inst.name
+            );
         }
     }
 

@@ -71,11 +71,7 @@ pub fn random_embedded_fds(
         while lhs.len() < lhs_size {
             lhs.insert(attrs[rng.gen_range(0..attrs.len())]);
         }
-        let rhs_candidates: Vec<AttrId> = schema
-            .attrs(id)
-            .difference(lhs)
-            .iter()
-            .collect();
+        let rhs_candidates: Vec<AttrId> = schema.attrs(id).difference(lhs).iter().collect();
         if rhs_candidates.is_empty() {
             continue;
         }
@@ -86,12 +82,7 @@ pub fn random_embedded_fds(
 }
 
 /// Random FDs over the whole universe (possibly non-embedded).
-pub fn random_fds(
-    universe: &Universe,
-    count: usize,
-    max_lhs: usize,
-    seed: u64,
-) -> FdSet {
+pub fn random_fds(universe: &Universe, count: usize, max_lhs: usize, seed: u64) -> FdSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = universe.len();
     let mut out = FdSet::new();
@@ -201,9 +192,7 @@ mod independent_sampler_tests {
         };
         let mut found = 0;
         for seed in 0..10 {
-            if let Some((schema, fds)) =
-                random_independent_instance(params, 3, seed, 20)
-            {
+            if let Some((schema, fds)) = random_independent_instance(params, 3, seed, 20) {
                 assert!(ids_core::is_independent(&schema, &fds));
                 found += 1;
             }

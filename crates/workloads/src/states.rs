@@ -1,15 +1,63 @@
 //! State and insert-stream generators.
 
 use ids_deps::FdSet;
-use ids_relational::{DatabaseSchema, DatabaseState, Relation, SchemeId, Value};
+use ids_relational::{AttrId, DatabaseSchema, DatabaseState, Relation, SchemeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// How many fresh redraws a generator spends on a row whose FD repair
+/// oscillates before giving up on that row.
+const MAX_REDRAWS: usize = 32;
+
+/// Overwrites `row`'s right-hand sides from the recorded per-FD images
+/// until a fixpoint, mapping attributes to row positions via `pos`.
+///
+/// Returns `false` when the repair *oscillates* instead of converging:
+/// two FDs whose right-hand sides overlap can fight over an attribute
+/// whenever their memos hold different images (e.g. `CE → D` and
+/// `B → D` with `memo[CE]` and `memo[B]` disagreeing about `D`), and
+/// the naive chase-to-fixpoint then flips the attribute forever.  The
+/// pass budget is generous for every genuine cascade — a change chain
+/// is at most one step per (attribute, FD) pair — so hitting it means
+/// the row is irreparable against the current memos and must be
+/// redrawn.
+fn repair_to_memos(
+    row: &mut [Value],
+    fds: &FdSet,
+    memos: &[HashMap<Vec<Value>, Vec<Value>>],
+    pos: impl Fn(AttrId) -> usize,
+) -> bool {
+    for _ in 0..row.len() * fds.len() + 2 {
+        let mut changed = false;
+        for (k, fd) in fds.iter().enumerate() {
+            let key: Vec<Value> = fd.lhs.iter().map(|a| row[pos(a)]).collect();
+            if let Some(rhs) = memos[k].get(&key) {
+                for (a, v) in fd.rhs.iter().zip(rhs.iter()) {
+                    let p = pos(a);
+                    if row[p] != *v {
+                        row[p] = *v;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+    false
+}
 
 /// Generates a random universal instance over `schema.universe()` that
 /// satisfies `fds`, by FD-repair: tuples are drawn uniformly from
 /// `0..domain` per attribute, then right-hand sides are overwritten from
 /// previously recorded left-hand-side images until a fixpoint.
+///
+/// `tuples` is an upper bound: a draw whose repair oscillates between
+/// conflicting memo images (see [`repair_to_memos`]) is redrawn up to
+/// [`MAX_REDRAWS`] times and then skipped, and distinct draws can also
+/// collapse to duplicates, so the result may hold fewer rows.
 pub fn random_satisfying_universal(
     schema: &DatabaseSchema,
     fds: &FdSet,
@@ -25,26 +73,23 @@ pub fn random_satisfying_universal(
     let mut memos: Vec<HashMap<Vec<Value>, Vec<Value>>> =
         fds.iter().map(|_| HashMap::new()).collect();
     for _ in 0..tuples {
-        let mut row: Vec<Value> =
-            (0..width).map(|_| Value::int(rng.gen_range(0..domain))).collect();
-        // Repair to the recorded images (at most |U| × |F| changes).
-        loop {
-            let mut changed = false;
-            for (k, fd) in fds.iter().enumerate() {
-                let key: Vec<Value> =
-                    fd.lhs.iter().map(|a| row[a.index()]).collect();
-                if let Some(rhs) = memos[k].get(&key) {
-                    for (a, v) in fd.rhs.iter().zip(rhs.iter()) {
-                        if row[a.index()] != *v {
-                            row[a.index()] = *v;
-                            changed = true;
-                        }
-                    }
-                }
-            }
-            if !changed {
+        let mut row: Vec<Value> = (0..width)
+            .map(|_| Value::int(rng.gen_range(0..domain)))
+            .collect();
+        // Repair to the recorded images; redraw rows whose repair
+        // oscillates between conflicting memo entries.
+        let mut converged = repair_to_memos(&mut row, fds, &memos, |a| a.index());
+        for _ in 0..MAX_REDRAWS {
+            if converged {
                 break;
             }
+            row = (0..width)
+                .map(|_| Value::int(rng.gen_range(0..domain)))
+                .collect();
+            converged = repair_to_memos(&mut row, fds, &memos, |a| a.index());
+        }
+        if !converged {
+            continue; // irreparable against the current memos; skip
         }
         // Record the final images.
         for (k, fd) in fds.iter().enumerate() {
@@ -77,6 +122,10 @@ pub fn random_satisfying_state(
 /// only.  On a *non-independent* schema such states are frequently not
 /// globally satisfying — the raw material for the semantic validation of
 /// the decision procedure.
+///
+/// `tuples_per_relation` is an upper bound, as in
+/// [`random_satisfying_universal`]: irreparable draws are skipped after
+/// [`MAX_REDRAWS`] attempts.
 pub fn random_locally_satisfying_state(
     schema: &DatabaseSchema,
     fds: &FdSet,
@@ -91,38 +140,28 @@ pub fn random_locally_satisfying_state(
         let mut memos: Vec<HashMap<Vec<Value>, Vec<Value>>> =
             local.iter().map(|_| HashMap::new()).collect();
         for _ in 0..tuples_per_relation {
-            let mut row: Vec<Value> = scheme
-                .attrs
-                .iter()
-                .map(|_| Value::int(rng.gen_range(0..domain)))
-                .collect();
-            loop {
-                let mut changed = false;
-                for (k, fd) in local.iter().enumerate() {
-                    let key: Vec<Value> = fd
-                        .lhs
-                        .iter()
-                        .map(|a| row[scheme.attrs.rank(a)])
-                        .collect();
-                    if let Some(rhs) = memos[k].get(&key) {
-                        for (a, v) in fd.rhs.iter().zip(rhs.iter()) {
-                            let pos = scheme.attrs.rank(a);
-                            if row[pos] != *v {
-                                row[pos] = *v;
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-                if !changed {
+            let draw = |rng: &mut StdRng| -> Vec<Value> {
+                scheme
+                    .attrs
+                    .iter()
+                    .map(|_| Value::int(rng.gen_range(0..domain)))
+                    .collect()
+            };
+            let mut row = draw(&mut rng);
+            let mut converged = repair_to_memos(&mut row, &local, &memos, |a| scheme.attrs.rank(a));
+            for _ in 0..MAX_REDRAWS {
+                if converged {
                     break;
                 }
+                row = draw(&mut rng);
+                converged = repair_to_memos(&mut row, &local, &memos, |a| scheme.attrs.rank(a));
+            }
+            if !converged {
+                continue; // irreparable against the current memos; skip
             }
             for (k, fd) in local.iter().enumerate() {
-                let key: Vec<Value> =
-                    fd.lhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
-                let val: Vec<Value> =
-                    fd.rhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
+                let key: Vec<Value> = fd.lhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
+                let val: Vec<Value> = fd.rhs.iter().map(|a| row[scheme.attrs.rank(a)]).collect();
                 memos[k].entry(key).or_insert(val);
             }
             state.relation_mut(id).insert(row).expect("width");
@@ -143,12 +182,7 @@ pub struct InsertOp {
 /// A stream of random insert operations over a schema: a mix of fresh
 /// tuples and near-duplicates (same left-hand sides with new right-hand
 /// sides, likely violating key FDs).
-pub fn insert_stream(
-    schema: &DatabaseSchema,
-    n: usize,
-    domain: u64,
-    seed: u64,
-) -> Vec<InsertOp> {
+pub fn insert_stream(schema: &DatabaseSchema, n: usize, domain: u64, seed: u64) -> Vec<InsertOp> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -171,8 +205,7 @@ mod tests {
     #[test]
     fn satisfying_universal_satisfies_fds() {
         let inst = example2();
-        let rel =
-            random_satisfying_universal(&inst.schema, &inst.fds, 200, 8, 42);
+        let rel = random_satisfying_universal(&inst.schema, &inst.fds, 200, 8, 42);
         for fd in inst.fds.iter() {
             assert!(rel.satisfies_fd(fd.lhs, fd.rhs));
         }
@@ -194,8 +227,7 @@ mod tests {
         let inst = example1();
         let cfg = ChaseConfig::default();
         for seed in 0..5 {
-            let p =
-                random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
+            let p = random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
             assert!(
                 locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap(),
                 "seed {seed}"
@@ -211,8 +243,7 @@ mod tests {
         let cfg = ChaseConfig::default();
         let mut violations = 0;
         for seed in 0..20 {
-            let p =
-                random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
+            let p = random_locally_satisfying_state(&inst.schema, &inst.fds, 6, 3, seed);
             if !satisfies(&inst.schema, &inst.fds, &p, &cfg)
                 .unwrap()
                 .is_satisfying()

@@ -57,7 +57,11 @@ fn main() {
 
     // The padded tableau I(p) before chasing.
     let inst = universal_tableau(&schema, &p);
-    println!("I(p) has {} padded rows over {} columns", inst.row_count(), inst.width());
+    println!(
+        "I(p) has {} padded rows over {} columns",
+        inst.row_count(),
+        inst.width()
+    );
     let _ = inst; // (chased above through `satisfies`)
 
     // Lossless join: B→C makes *[AB, BC] implied (B is a key of BC).
@@ -71,8 +75,7 @@ fn main() {
     let comps = schema.join_dependency_components();
     println!("\n{{AB, BC}} acyclic: {}", is_acyclic(&comps));
     let u3 = Universe::from_names(["A", "B", "C"]).unwrap();
-    let tri =
-        DatabaseSchema::parse(u3, &[("AB", "AB"), ("BC", "BC"), ("CA", "CA")]).unwrap();
+    let tri = DatabaseSchema::parse(u3, &[("AB", "AB"), ("BC", "BC"), ("CA", "CA")]).unwrap();
     println!(
         "{{AB, BC, CA}} acyclic: {}",
         is_acyclic(&tri.join_dependency_components())

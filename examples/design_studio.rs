@@ -13,10 +13,7 @@ use independent_schemas::prelude::*;
 
 fn main() {
     // An order-management domain.
-    let u = Universe::from_names([
-        "Order", "Customer", "City", "Item", "Qty", "Price",
-    ])
-    .unwrap();
+    let u = Universe::from_names(["Order", "Customer", "City", "Item", "Qty", "Price"]).unwrap();
     let fds = FdSet::parse(
         &u,
         &[
@@ -67,8 +64,7 @@ fn main() {
     let analysis2 = analyze(&schema2, &fds2);
     print!("{}", render_analysis(&schema2, &analysis2));
     if let Some(w) = analysis2.witness() {
-        let ok =
-            verify_witness(&schema2, &fds2, &w.state, &ChaseConfig::default()).unwrap();
+        let ok = verify_witness(&schema2, &fds2, &w.state, &ChaseConfig::default()).unwrap();
         println!("\nwitness machine-checked: {ok}");
         println!(
             "diagnosis: City is reachable from Order through two different \

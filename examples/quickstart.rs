@@ -14,8 +14,7 @@ fn main() {
     // U = {C (course), D (department), T (teacher)}
     // D = {CD, CT, TD}, F = {C→D, C→T, T→D}.
     let u = Universe::from_names(["C", "D", "T"]).unwrap();
-    let schema =
-        DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
     let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
 
     println!("{schema}");

@@ -31,8 +31,7 @@ fn main() {
 
     // Fast path: local FD checks only.
     let mut local =
-        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema))
-            .unwrap();
+        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema)).unwrap();
     let t0 = Instant::now();
     let mut accepted = 0usize;
     let mut rejected = 0usize;
@@ -80,8 +79,7 @@ fn main() {
 
     // Independence guarantees both engines accept exactly the same inserts.
     let mut local2 =
-        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema))
-            .unwrap();
+        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema)).unwrap();
     let mut agree = true;
     let mut chaser2 = ChaseMaintainer::new(
         schema,

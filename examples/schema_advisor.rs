@@ -34,7 +34,10 @@ fn main() {
         print!("{}", render_analysis(schema, &analysis));
         if !analysis.traces.is_empty() && !analysis.is_independent() {
             println!("loop trace:");
-            print!("{}", independent_schemas::core::render_traces(schema, &analysis));
+            print!(
+                "{}",
+                independent_schemas::core::render_traces(schema, &analysis)
+            );
         }
         if let Some(w) = analysis.witness() {
             let checked = verify_witness(schema, fds, &w.state, &cfg).unwrap();

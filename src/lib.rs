@@ -61,17 +61,15 @@ pub use ids_workloads as workloads;
 
 /// The common imports for working with the library.
 pub mod prelude {
-    pub use ids_chase::{
-        locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction,
-    };
+    pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
     pub use ids_core::{
         analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
-        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer,
-        NotIndependentReason, Verdict, Witness,
+        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer, NotIndependentReason,
+        Verdict, Witness,
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
     pub use ids_relational::{
-        AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme,
-        SchemeId, Universe, Value, ValuePool,
+        AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId,
+        Universe, Value, ValuePool,
     };
 }

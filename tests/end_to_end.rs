@@ -54,8 +54,7 @@ fn key_star_lifecycle_with_engine_cross_check() {
     assert!(analysis.is_independent());
 
     let mut local =
-        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema))
-            .unwrap();
+        LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema)).unwrap();
     let mut chaser = ChaseMaintainer::new(
         schema,
         &inst.fds,

@@ -1,0 +1,69 @@
+//! Compile-time smoke test for the public API surface: the facade
+//! `prelude` must expose every symbol the integration test files
+//! (`end_to_end`, `paper_examples`, `properties`, `substrate_props`,
+//! `theorems`, `witness_roundtrip`) import, and the per-crate facade
+//! re-exports must resolve.  If a future PR drops a re-export, this
+//! file fails to compile with the symbol's name in the error instead of
+//! an opaque failure deep inside a test body.
+
+// Every prelude symbol the six integration test files use, imported by
+// name (a glob would hide removals).
+#[allow(unused_imports)]
+use independent_schemas::prelude::{
+    analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness, AttrId,
+    AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, DatabaseSchema, DatabaseState, Fd, FdSet,
+    IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
+    NotIndependentReason, Relation, RelationScheme, Satisfaction, SchemeId, Universe, Value,
+    ValuePool, Verdict, Witness,
+};
+
+// Crate-module paths the test files reach around the prelude for.
+#[allow(unused_imports)]
+use independent_schemas::{
+    acyclic::{
+        full_reduce, is_acyclic, is_pairwise_consistent, join_tree, naive_join, yannakakis_join,
+    },
+    chase::{
+        fd_implied_explicit, is_weak_instance, jd_implied_by_fds, GeneralTableau, TaggedRow,
+        TaggedTableau,
+    },
+    core::WitnessKind,
+    deps::{closure_with_jd, implies_with_jd, jd_blocks},
+    relational::join_all,
+    workloads::{
+        examples::{example1, registrar},
+        families::key_star,
+        generators::{random_embedded_fds, random_schema, SchemaParams},
+        states::{insert_stream, random_locally_satisfying_state, random_satisfying_state},
+    },
+};
+
+/// Signature pins for the core entry points: these fail to compile if a
+/// refactor changes arity or types, not just if a name disappears.
+#[test]
+fn entry_point_signatures_are_stable() {
+    let _analyze: fn(&DatabaseSchema, &FdSet) -> IndependenceAnalysis = analyze;
+    let _is_independent: fn(&DatabaseSchema, &FdSet) -> bool = is_independent;
+    let _verify: fn(
+        &DatabaseSchema,
+        &FdSet,
+        &DatabaseState,
+        &ChaseConfig,
+    ) -> Result<bool, ChaseError> = verify_witness;
+}
+
+/// The doctest's Example 2 scenario, reachable through prelude symbols
+/// alone — the minimum viable use of the facade.
+#[test]
+fn prelude_supports_the_quickstart() {
+    let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+    let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+    assert!(analyze(&schema, &fds).is_independent());
+
+    let fds2 = FdSet::parse(schema.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+    let analysis = analyze(&schema, &fds2);
+    assert!(!analysis.is_independent());
+    let witness = analysis.witness().expect("non-independent ⇒ witness");
+    assert!(verify_witness(&schema, &fds2, &witness.state, &ChaseConfig::default()).unwrap());
+}

@@ -17,8 +17,7 @@ fn all_paper_verdicts_reproduce() {
         );
         if let Some(w) = analysis.witness() {
             assert!(
-                verify_witness(&inst.schema, &inst.fds, &w.state, &ChaseConfig::default())
-                    .unwrap(),
+                verify_witness(&inst.schema, &inst.fds, &w.state, &ChaseConfig::default()).unwrap(),
                 "witness of {} must chase-verify",
                 inst.name
             );
@@ -42,8 +41,7 @@ fn example1_narrative() {
     }
     assert!(locally_satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap());
 
-    let Satisfaction::NotSatisfying(c) =
-        satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap()
+    let Satisfaction::NotSatisfying(c) = satisfies(&inst.schema, &inst.fds, &p, &cfg).unwrap()
     else {
         panic!("Example 1's state must not satisfy");
     };
@@ -60,11 +58,8 @@ fn example2_join_dependency_is_implied_lossless() {
     // *D here is NOT implied by F alone (CS brings an MVD-style split),
     // but the weak-instance framework never needs it to be; just exercise
     // the ABU test and record the answer is stable.
-    let implied = independent_schemas::chase::jd_implied_by_fds(
-        &inst.fds,
-        &jd,
-        inst.schema.universe().len(),
-    );
+    let implied =
+        independent_schemas::chase::jd_implied_by_fds(&inst.fds, &jd, inst.schema.universe().len());
     assert!(!implied);
 }
 
@@ -111,18 +106,15 @@ fn scheme_order_does_not_change_verdicts() {
     // Re-list the schemas in a different order: verdicts must not change.
     let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
     let forward =
-        DatabaseSchema::parse(u.clone(), &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")])
-            .unwrap();
-    let backward =
-        DatabaseSchema::parse(u, &[("CHR", "CHR"), ("CS", "CS"), ("CT", "CT")]).unwrap();
+        DatabaseSchema::parse(u.clone(), &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+    let backward = DatabaseSchema::parse(u, &[("CHR", "CHR"), ("CS", "CS"), ("CT", "CT")]).unwrap();
     let fds = FdSet::parse(forward.universe(), &["C -> T", "CH -> R"]).unwrap();
     assert_eq!(
         is_independent(&forward, &fds),
         is_independent(&backward, &fds)
     );
 
-    let fds2 =
-        FdSet::parse(forward.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
+    let fds2 = FdSet::parse(forward.universe(), &["C -> T", "CH -> R", "SH -> R"]).unwrap();
     assert_eq!(
         is_independent(&forward, &fds2),
         is_independent(&backward, &fds2)

@@ -26,8 +26,7 @@ fn arb_nonempty_attrset() -> impl Strategy<Value = AttrSet> {
 }
 
 fn arb_fd() -> impl Strategy<Value = Fd> {
-    (arb_nonempty_attrset(), arb_nonempty_attrset())
-        .prop_map(|(lhs, rhs)| Fd::new(lhs, rhs))
+    (arb_nonempty_attrset(), arb_nonempty_attrset()).prop_map(|(lhs, rhs)| Fd::new(lhs, rhs))
 }
 
 fn arb_fdset(max: usize) -> impl Strategy<Value = FdSet> {
@@ -37,9 +36,7 @@ fn arb_fdset(max: usize) -> impl Strategy<Value = FdSet> {
 fn arb_covering_jd() -> impl Strategy<Value = JoinDependency> {
     proptest::collection::vec(arb_nonempty_attrset(), 1..4).prop_map(|mut comps| {
         // Ensure the components cover the 6-attribute universe.
-        let covered = comps
-            .iter()
-            .fold(AttrSet::EMPTY, |acc, c| acc.union(*c));
+        let covered = comps.iter().fold(AttrSet::EMPTY, |acc, c| acc.union(*c));
         let missing = AttrSet::first_n(WIDTH).difference(covered);
         if !missing.is_empty() {
             let first = &mut comps[0];

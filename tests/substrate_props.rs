@@ -5,11 +5,10 @@
 use std::collections::BTreeSet;
 
 use independent_schemas::acyclic::{
-    full_reduce, is_acyclic, is_pairwise_consistent, join_tree, naive_join,
-    yannakakis_join,
+    full_reduce, is_acyclic, is_pairwise_consistent, join_tree, naive_join, yannakakis_join,
 };
-use independent_schemas::prelude::*;
 use independent_schemas::chase::is_weak_instance;
+use independent_schemas::prelude::*;
 use proptest::prelude::*;
 
 const WIDTH: usize = 8;

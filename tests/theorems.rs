@@ -111,7 +111,10 @@ fn accepted_schemas_have_no_lsat_wsat_gap() {
             );
         }
     }
-    assert!(accepted >= 5, "want a meaningful number of accepted schemas");
+    assert!(
+        accepted >= 5,
+        "want a meaningful number of accepted schemas"
+    );
 }
 
 /// Theorem 4 (constructive side): when the procedure rejects, the produced
@@ -124,7 +127,9 @@ fn rejected_schemas_produce_verified_witnesses() {
         let schema = random_schema(small_params(), seed);
         let fds = random_embedded_fds(&schema, 4, 2, seed * 11 + 5);
         let analysis = analyze(&schema, &fds);
-        let Some(w) = analysis.witness() else { continue };
+        let Some(w) = analysis.witness() else {
+            continue;
+        };
         rejected += 1;
         assert!(
             verify_witness(&schema, &fds, &w.state, &cfg).unwrap(),
@@ -170,12 +175,9 @@ fn maintenance_engines_agree_on_independent_schemas() {
             continue;
         }
         checked += 1;
-        let mut local = LocalMaintainer::from_analysis(
-            &schema,
-            &analysis,
-            DatabaseState::empty(&schema),
-        )
-        .unwrap();
+        let mut local =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
         let mut chaser = ChaseMaintainer::new(
             &schema,
             &fds,

@@ -78,7 +78,8 @@ fn independent_families_produce_no_witness() {
 #[test]
 fn witness_kinds_match_reasons() {
     use independent_schemas::core::WitnessKind;
-    let cases: Vec<(_, fn(&WitnessKind) -> bool)> = vec![
+    type KindPred = fn(&WitnessKind) -> bool;
+    let cases: Vec<(_, KindPred)> = vec![
         (non_embedded(2), |k| {
             matches!(k, WitnessKind::NonEmbeddedFd { .. })
         }),
@@ -92,6 +93,11 @@ fn witness_kinds_match_reasons() {
     for (inst, pred) in cases {
         let analysis = analyze(&inst.schema, &inst.fds);
         let w = analysis.witness().unwrap();
-        assert!(pred(&w.kind), "{}: wrong witness kind {:?}", inst.name, w.kind);
+        assert!(
+            pred(&w.kind),
+            "{}: wrong witness kind {:?}",
+            inst.name,
+            w.kind
+        );
     }
 }

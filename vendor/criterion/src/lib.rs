@@ -1,0 +1,295 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Keeps the call-site syntax of real criterion — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `BatchSize`, `black_box` — so the `benches/` targets compile and run
+//! without crates.io access.
+//!
+//! Instead of statistical reports it prints one compact line per
+//! benchmark (mean over a ~20 ms measurement window after one warmup).
+//! Passing `--smoke` (or setting `CRITERION_SMOKE=1`) runs every
+//! benchmark exactly once — CI uses this to exercise bench code without
+//! paying for full workloads.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost.  The stand-in runs one
+/// setup per routine call regardless, so the variants only exist for
+/// call-site compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::var("CRITERION_SMOKE").is_ok_and(|v| v != "0"),
+            measurement: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments, honoring `--smoke`
+    /// and ignoring the flags cargo and real criterion pass
+    /// (`--bench`, filters, etc.).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        if std::env::args().any(|a| a == "--smoke") {
+            c.smoke = true;
+        }
+        c
+    }
+
+    /// Whether `--smoke` / `CRITERION_SMOKE` is active.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = id.name.clone();
+        self.run_one(&full, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            smoke: self.smoke,
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32).max(1)
+        };
+        println!(
+            "bench {label:<48} {:>12} ({} iter{})",
+            fmt_duration(per_iter),
+            b.iters,
+            if b.iters == 1 { "" } else { "s" },
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in sizes its measurement
+    /// window by wall clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d.min(Duration::from_millis(200));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the timed routine.
+pub struct Bencher {
+    smoke: bool,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly (once in smoke mode).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.smoke {
+            let t = Instant::now();
+            black_box(routine());
+            self.record(1, t.elapsed());
+            return;
+        }
+        black_box(routine()); // warmup
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        self.record(iters, started.elapsed());
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.record(1, t.elapsed());
+            return;
+        }
+        black_box(routine(setup())); // warmup
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u64;
+        while busy < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            busy += t.elapsed();
+            iters += 1;
+        }
+        self.record(iters, busy);
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1_000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner (subset of
+/// `criterion::criterion_group!`; only the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running each group (subset of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies (`proptest::bool` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// The type of [`ANY`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Strategy yielding `true` or `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng_mut().gen_bool(0.5)
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Keeps the call-site syntax of real proptest — `proptest! { ... }`
+//! blocks with `pat in strategy` arguments, `prop_assert*!`, `Strategy`
+//! with `prop_map`, integer-range / tuple / `collection::vec` /
+//! `bool::ANY` / `sample::select` strategies and
+//! `ProptestConfig::with_cases` — so the property-test suites compile
+//! and run without crates.io access.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: every case's RNG is seeded from the test's
+//!   module path, name, and case index, so failures reproduce exactly
+//!   and CI runs are stable.  Set `PROPTEST_CASES` to override the
+//!   per-block case count (e.g. `PROPTEST_CASES=16` for a quick pass).
+//! * **No shrinking**: a failing case reports its case index and the
+//!   assertion message instead of a minimized input.
+
+#![warn(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines a block of property tests (subset of `proptest::proptest!`).
+///
+/// Supports an optional `#![proptest_config(..)]` inner attribute
+/// followed by any number of `#[test] fn name(pat in strategy, ...) { .. }`
+/// items, exactly like the real macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.effective_cases() {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(test_id, case);
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "{} failed at case {}/{}: {}",
+                            test_id, case, config.effective_cases(), msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (returns an error
+/// instead of panicking, like the real `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})", stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case unless the condition holds.  The stand-in
+/// treats a rejected case as trivially passing (no global rejection
+/// budget, unlike real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Sampling strategies (`proptest::sample` subset).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy that picks one element of `items` uniformly.  Panics on an
+/// empty vector, matching real proptest.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.rng_mut().gen_range(0..self.items.len())].clone()
+    }
+}

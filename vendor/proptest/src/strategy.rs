@@ -1,0 +1,142 @@
+//! The [`Strategy`] trait and the primitive strategy implementations.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type (subset of
+/// `proptest::strategy::Strategy`).  Generation is direct — there is no
+/// `ValueTree` layer and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (like `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Generates a value from `self`, then runs `f` on it to obtain the
+    /// strategy for the final value (like `Strategy::prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.map)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value (like
+/// `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng_mut().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng_mut().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);

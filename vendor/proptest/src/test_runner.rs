@@ -1,0 +1,66 @@
+//! Test configuration and the per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration (subset of
+/// `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override (useful to dial CI up or down without code changes).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies.  Seeded deterministically from the
+/// test's identity and the case index, so every run (and every CI
+/// machine) sees the same inputs and failures reproduce exactly.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `test_id`.
+    pub fn for_case(test_id: &str, case: u32) -> Self {
+        // FNV-1a over the test id, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 1 | 1)),
+        }
+    }
+
+    /// Mutable access to the underlying RNG.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a test case failed (minimal analogue of
+/// `proptest::test_runner::TestCaseError`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);

@@ -1,0 +1,94 @@
+//! Behavioral tests for the proptest stand-in itself: the macro must
+//! actually run cases, generated values must respect their strategies,
+//! and `prop_assert*` failures must surface as test panics.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn ranges_tuples_and_vecs_respect_bounds(
+        x in 3u64..17,
+        (a, b) in (0u32..4, 10usize..=12),
+        v in proptest::collection::vec(0i32..5, 2..6),
+        flag in proptest::bool::ANY,
+        pick in proptest::sample::select(vec!["alpha", "beta", "gamma"]),
+    ) {
+        CASES_RUN.fetch_add(1, Ordering::Relaxed);
+        prop_assert!((3..17).contains(&x));
+        prop_assert!(a < 4);
+        prop_assert!((10..=12).contains(&b));
+        prop_assert!((2..6).contains(&v.len()));
+        prop_assert!(v.iter().all(|e| (0..5).contains(e)));
+        let _: bool = flag;
+        prop_assert!(["alpha", "beta", "gamma"].contains(&pick));
+    }
+
+    #[test]
+    fn prop_map_and_just_compose(
+        doubled in (0u32..10).prop_map(|n| n * 2),
+        fixed in Just(7usize),
+    ) {
+        prop_assert!(doubled % 2 == 0);
+        prop_assert!(doubled < 20);
+        prop_assert_eq!(fixed, 7);
+    }
+}
+
+/// The macro must have driven every configured case by the time the
+/// test body returned (libtest runs tests in one process, so the
+/// counter is visible after the proptest-generated test completes —
+/// enforced here by running it directly).
+#[test]
+fn macro_runs_the_configured_case_count() {
+    ranges_tuples_and_vecs_respect_bounds();
+    assert!(CASES_RUN.load(Ordering::Relaxed) >= 50);
+}
+
+#[test]
+fn failing_property_panics_with_case_info() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+    let err = std::panic::catch_unwind(always_fails).expect_err("a failing property must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("failed at case"),
+        "unexpected panic payload: {msg}"
+    );
+    assert!(msg.contains("x was"), "assert message lost: {msg}");
+}
+
+#[test]
+fn failing_eq_reports_both_sides() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(1))]
+        fn eq_fails(x in 5u64..6) {
+            prop_assert_eq!(x, 99u64);
+        }
+    }
+    let err = std::panic::catch_unwind(eq_fails).expect_err("must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("99"), "expected rhs in message: {msg}");
+}
+
+#[test]
+fn generation_is_deterministic_per_test_and_case() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let strat = proptest::collection::vec(0u64..1000, 5..=5);
+    let a = strat.generate(&mut TestRng::for_case("some::test", 3));
+    let b = strat.generate(&mut TestRng::for_case("some::test", 3));
+    let c = strat.generate(&mut TestRng::for_case("some::test", 4));
+    let d = strat.generate(&mut TestRng::for_case("other::test", 3));
+    assert_eq!(a, b, "same test + case ⇒ same input");
+    assert_ne!(a, c, "different case ⇒ different input (w.h.p.)");
+    assert_ne!(a, d, "different test ⇒ different input (w.h.p.)");
+}
