@@ -72,6 +72,9 @@ fn main() {
     if want("e6") {
         e6_ablations(smoke);
     }
+    if want("e7") {
+        e7_store_throughput(smoke);
+    }
 }
 
 /// Truncates a size sweep to its first element in `--smoke` mode.
@@ -711,6 +714,39 @@ fn e6_ablations(smoke: bool) {
         }
     }
     println!("\nverdict agreement across the example corpus: {ok}/{total}");
+}
+
+/// E7 — concurrent store throughput: shard-per-relation parallelism
+/// (sound by Theorem 3) vs the single-threaded local engine.
+fn e7_store_throughput(smoke: bool) {
+    use ids_bench::throughput::{available_cpus, sweep, workload_sizes};
+    let (relations, preload, _) = workload_sizes(smoke);
+    let rows: Vec<Vec<String>> = sweep(smoke)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.engine.to_string(),
+                format!("{}", r.shards),
+                format!("{}", r.ops),
+                fmt_duration(r.elapsed),
+                format!("{:.2} Mops/s", r.ops_per_sec / 1e6),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E7 — store throughput, key-chain({relations}), preload {preload} \
+             (claim: independence ⇒ shard-per-relation parallelism, Thm 3)"
+        ),
+        &["engine", "shards", "ops", "time", "throughput", "speedup"],
+        &rows,
+    );
+    println!(
+        "host CPUs: {} (shard overlap is capped by this; ≥ 2x at 4 shards \
+         expects ≥ 4 CPUs)",
+        available_cpus()
+    );
 }
 
 fn yn(b: bool) -> String {

@@ -1,8 +1,11 @@
 //! Shared harness utilities for the experiment suite: wall-clock timing
-//! with warmup and median-of-N, and aligned table output matching the
-//! EXPERIMENTS.md format.
+//! with warmup and median-of-N, aligned table output matching the
+//! EXPERIMENTS.md format, and the E7 store-throughput kernel
+//! ([`throughput`]).
 
 #![warn(missing_docs)]
+
+pub mod throughput;
 
 use std::time::{Duration, Instant};
 

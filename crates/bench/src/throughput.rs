@@ -1,0 +1,260 @@
+//! E7 kernel: concurrent store throughput vs the single-threaded engine.
+//!
+//! One workload, three consumers: the Criterion bench
+//! (`benches/throughput.rs`), the `experiments e7` section, and the
+//! `--smoke` gate in `tests/smoke.rs` all call into here, so the numbers
+//! they report come from the same code path.
+//!
+//! The workload is a multi-relation insert stream over `key-chain(n)` —
+//! `n` relations, one key FD each — the shape where shard-per-relation
+//! parallelism has work to distribute.  The baseline is the sequential
+//! [`LocalMaintainer`]; the store runs the identical ops through
+//! [`Store::apply_batch`] at increasing shard counts.
+//!
+//! **Interpreting speedups:** shard workers only overlap when the host
+//! exposes more than one CPU ([`available_cpus`] is printed alongside the
+//! tables).  On a single-CPU host the store pays channel overhead with no
+//! overlap and lands below 1×; the ≥ 2× target for 4 shards assumes ≥ 4
+//! CPUs.
+
+use std::time::{Duration, Instant};
+
+use ids_core::{analyze, LocalMaintainer, Maintainer};
+use ids_relational::DatabaseState;
+use ids_store::{Store, StoreConfig, StoreOp};
+use ids_workloads::families::{key_chain, FamilyInstance};
+use ids_workloads::states::{insert_stream, random_satisfying_state};
+
+/// The throughput workload: a schema family instance, a preloaded
+/// satisfying state, and an insert-stream to push through an engine.
+pub struct ThroughputWorkload {
+    /// The (independent) schema family instance.
+    pub inst: FamilyInstance,
+    /// Preloaded satisfying state, shared by every engine under test.
+    pub base: DatabaseState,
+    /// The operations, in submission order.
+    pub ops: Vec<StoreOp>,
+}
+
+/// Default workload sizes: `(relations, preload, ops)`.
+pub fn workload_sizes(smoke: bool) -> (usize, usize, usize) {
+    if smoke {
+        (8, 64, 2_000)
+    } else {
+        (16, 2_000, 200_000)
+    }
+}
+
+/// Builds the standard multi-relation insert workload.
+pub fn build_workload(relations: usize, preload: usize, n_ops: usize) -> ThroughputWorkload {
+    let inst = key_chain(relations);
+    let base = random_satisfying_state(&inst.schema, &inst.fds, preload, 64, 1);
+    let ops = insert_stream(&inst.schema, n_ops, 64, 2)
+        .into_iter()
+        .map(|op| StoreOp::Insert {
+            scheme: op.scheme,
+            tuple: op.tuple,
+        })
+        .collect();
+    ThroughputWorkload { inst, base, ops }
+}
+
+/// Runs the ops through a fresh sequential [`LocalMaintainer`]; returns
+/// the elapsed wall-clock time of the op loop alone (engine construction
+/// and op cloning excluded — the store runs are measured the same way).
+pub fn run_local(w: &ThroughputWorkload) -> Duration {
+    let analysis = analyze(&w.inst.schema, &w.inst.fds);
+    let mut m = LocalMaintainer::from_analysis(&w.inst.schema, &analysis, w.base.clone())
+        .expect("family is independent");
+    let ops = w.ops.clone();
+    let t = Instant::now();
+    for op in ops {
+        match op {
+            StoreOp::Insert { scheme, tuple } => {
+                let _ = std::hint::black_box(m.insert(scheme, tuple).unwrap());
+            }
+            StoreOp::Remove { scheme, tuple } => {
+                let _ = std::hint::black_box(m.remove(scheme, &tuple));
+            }
+        }
+    }
+    t.elapsed()
+}
+
+/// Runs the ops through a fresh [`Store`] at the given shard count,
+/// batched `batch` ops at a time from one client thread; returns the
+/// elapsed time of the batched apply loop alone (open/shutdown and op
+/// cloning excluded).
+pub fn run_store(w: &ThroughputWorkload, shards: usize, batch: usize) -> Duration {
+    let store = open_store(w, shards);
+    let chunks: Vec<Vec<StoreOp>> = w.ops.chunks(batch).map(|c| c.to_vec()).collect();
+    let t = Instant::now();
+    for chunk in chunks {
+        let _ = std::hint::black_box(store.apply_batch(chunk).unwrap());
+    }
+    let elapsed = t.elapsed();
+    drop(store);
+    elapsed
+}
+
+/// Runs the ops through a fresh [`Store`], submitted by `clients`
+/// concurrent threads (ops dealt round-robin, so routing work overlaps
+/// with shard work); returns the elapsed time of the concurrent apply
+/// phase alone.
+pub fn run_store_concurrent(
+    w: &ThroughputWorkload,
+    shards: usize,
+    clients: usize,
+    batch: usize,
+) -> Duration {
+    let store = open_store(w, shards);
+    let mut scripts: Vec<Vec<Vec<StoreOp>>> = vec![Vec::new(); clients.max(1)];
+    for (i, chunk) in w.ops.chunks(batch).enumerate() {
+        scripts[i % clients.max(1)].push(chunk.to_vec());
+    }
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for script in scripts {
+            let store = &store;
+            s.spawn(move || {
+                for chunk in script {
+                    let _ = std::hint::black_box(store.apply_batch(chunk).unwrap());
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed();
+    drop(store);
+    elapsed
+}
+
+fn open_store(w: &ThroughputWorkload, shards: usize) -> Store {
+    Store::open_with(
+        &w.inst.schema,
+        &w.inst.fds,
+        StoreConfig {
+            shards,
+            initial_state: Some(w.base.clone()),
+        },
+    )
+    .expect("family is independent")
+}
+
+/// One row of the E7 sweep.
+pub struct ThroughputRow {
+    /// Engine label (`local`, `store`, or `store-mt` for the
+    /// multi-client submission mode).
+    pub engine: &'static str,
+    /// Shard count (1 for the sequential engine).
+    pub shards: usize,
+    /// Operations pushed.
+    pub ops: usize,
+    /// Wall-clock time of the op loop.
+    pub elapsed: Duration,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Speedup over the sequential engine (1.0 for the baseline itself).
+    pub speedup: f64,
+}
+
+/// CPUs the host exposes — the hard ceiling on shard overlap.
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The full sweep: sequential baseline, then the store at 1/2/4/8 shards.
+pub fn sweep(smoke: bool) -> Vec<ThroughputRow> {
+    let (relations, preload, n_ops) = workload_sizes(smoke);
+    let w = build_workload(relations, preload, n_ops);
+    let batch = if smoke { 256 } else { 4_096 };
+    let n = w.ops.len();
+    let mut rows = Vec::new();
+
+    let local = run_local(&w);
+    let base_secs = local.as_secs_f64();
+    rows.push(ThroughputRow {
+        engine: "local",
+        shards: 1,
+        ops: n,
+        elapsed: local,
+        ops_per_sec: n as f64 / base_secs,
+        speedup: 1.0,
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let d = run_store(&w, shards, batch);
+        let secs = d.as_secs_f64();
+        rows.push(ThroughputRow {
+            engine: "store",
+            shards,
+            ops: n,
+            elapsed: d,
+            ops_per_sec: n as f64 / secs,
+            speedup: base_secs / secs,
+        });
+    }
+    // Multi-client submission at 4 shards: routing overlaps shard work.
+    let d = run_store_concurrent(&w, 4, 4, batch);
+    let secs = d.as_secs_f64();
+    rows.push(ThroughputRow {
+        engine: "store-mt",
+        shards: 4,
+        ops: n,
+        elapsed: d,
+        ops_per_sec: n as f64 / secs,
+        speedup: base_secs / secs,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_ops_route_to_many_relations() {
+        let w = build_workload(4, 16, 200);
+        let mut touched = std::collections::HashSet::new();
+        for op in &w.ops {
+            touched.insert(op.scheme());
+        }
+        assert!(touched.len() >= 3, "ops should spread across relations");
+    }
+
+    #[test]
+    fn engines_agree_on_the_workload() {
+        // The timing harness must drive both engines to the same state,
+        // otherwise the "speedup" compares different work.
+        let w = build_workload(4, 32, 300);
+        let analysis = analyze(&w.inst.schema, &w.inst.fds);
+        let mut m =
+            LocalMaintainer::from_analysis(&w.inst.schema, &analysis, w.base.clone()).unwrap();
+        for op in &w.ops {
+            match op {
+                StoreOp::Insert { scheme, tuple } => {
+                    let _ = m.insert(*scheme, tuple.clone()).unwrap();
+                }
+                StoreOp::Remove { scheme, tuple } => {
+                    let _ = m.remove(*scheme, tuple);
+                }
+            }
+        }
+        let store = Store::open_with(
+            &w.inst.schema,
+            &w.inst.fds,
+            StoreConfig {
+                shards: 3,
+                initial_state: Some(w.base.clone()),
+            },
+        )
+        .unwrap();
+        for chunk in w.ops.chunks(64) {
+            store.apply_batch(chunk.to_vec()).unwrap();
+        }
+        let state = store.shutdown().unwrap();
+        for (id, rel) in m.state().iter() {
+            assert!(rel.set_eq(state.relation(id)));
+        }
+    }
+}

@@ -18,7 +18,9 @@ fn experiments_smoke_covers_all_sections() {
         "experiments --smoke failed.\nstdout:\n{stdout}\nstderr:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    for section in ["X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b"] {
+    for section in [
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7",
+    ] {
         assert!(
             stdout.contains(&format!("{section} —")),
             "missing section {section} in output:\n{stdout}"
@@ -28,6 +30,26 @@ fn experiments_smoke_covers_all_sections() {
         stdout.contains("verdict agreement across the example corpus"),
         "missing corpus sanity line:\n{stdout}"
     );
+}
+
+/// The throughput kernel itself (shared by the Criterion bench and E7)
+/// must run end to end at smoke sizes: baseline plus every shard count,
+/// store rows reaching the same op count as the sequential engine.
+#[test]
+fn throughput_smoke_covers_all_shard_counts() {
+    let rows = ids_bench::throughput::sweep(true);
+    assert_eq!(rows.len(), 6, "local + 4 store rows + store-mt");
+    assert_eq!(rows[0].engine, "local");
+    let shard_counts: Vec<usize> = rows
+        .iter()
+        .filter(|r| r.engine == "store")
+        .map(|r| r.shards)
+        .collect();
+    assert_eq!(shard_counts, vec![1, 2, 4, 8]);
+    for r in &rows {
+        assert_eq!(r.ops, rows[0].ops, "every engine pushes the same ops");
+        assert!(r.ops_per_sec > 0.0);
+    }
 }
 
 #[test]

@@ -27,6 +27,7 @@ pub mod maintenance;
 pub mod np_hardness;
 pub mod oracle;
 pub mod report;
+pub mod shard;
 pub mod witness;
 
 pub use algorithm::{run_all, run_loop, LoopTrace, RejectInfo, RejectLine};
@@ -44,6 +45,7 @@ pub use np_hardness::{
 };
 pub use oracle::{exhaustive_oracle, OracleOutcome};
 pub use report::{render_analysis, render_traces};
+pub use shard::RelationShard;
 pub use witness::{
     lemma3_witness, lemma7_witness, theorem4_witness, verify_witness, Witness, WitnessKind,
 };

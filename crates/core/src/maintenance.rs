@@ -13,11 +13,11 @@
 //! Deletions are always safe under weak-instance semantics (a weak instance
 //! for `p` is one for any `p' ⊆ p`), so both engines accept them outright.
 
-use std::collections::HashMap;
-
 use ids_chase::{ChaseConfig, ChaseError};
 use ids_deps::FdSet;
 use ids_relational::{DatabaseSchema, DatabaseState, RelationalError, SchemeId, Value};
+
+use crate::shard::RelationShard;
 
 /// Outcome of an attempted insert.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +56,23 @@ pub enum MaintenanceError {
     Relational(RelationalError),
     /// The chase baseline exceeded its budget.
     Chase(ChaseError),
+    /// The schema is not independent, so the local engine would be
+    /// unsound.  Carries the analysis's diagnosis and its machine-checkable
+    /// `LSAT ∖ WSAT` counterexample state.
+    NotIndependent {
+        /// Which condition of the decision procedure failed.
+        reason: crate::NotIndependentReason,
+        /// A state that is locally satisfying but not globally satisfying.
+        witness: Box<crate::Witness>,
+    },
+    /// The supplied base state violates a relation's enforcement cover
+    /// `Fi`; the engine refuses to start from unsatisfying data.
+    BaseStateViolation {
+        /// The offending relation.
+        scheme: SchemeId,
+        /// The FD of `Fi` the base state violates.
+        violated: ids_deps::Fd,
+    },
 }
 
 impl std::fmt::Display for MaintenanceError {
@@ -63,6 +80,14 @@ impl std::fmt::Display for MaintenanceError {
         match self {
             Self::Relational(e) => write!(f, "{e}"),
             Self::Chase(e) => write!(f, "{e}"),
+            Self::NotIndependent { reason, .. } => write!(
+                f,
+                "schema is not independent (local maintenance unsound): {reason:?}"
+            ),
+            Self::BaseStateViolation { scheme, .. } => write!(
+                f,
+                "base state violates the enforcement cover of scheme {scheme:?}"
+            ),
         }
     }
 }
@@ -81,126 +106,89 @@ impl From<ChaseError> for MaintenanceError {
     }
 }
 
-/// Per-FD hash index: lhs projection → (rhs projection, tuple count).
-type FdIndex = HashMap<Vec<Value>, (Vec<Value>, usize)>;
-
 /// The independent-schema fast path: each insert checks only the touched
 /// relation's enforcement cover `Fi`, in O(|Fi|) hash probes.
+///
+/// Internally one [`RelationShard`] per scheme does the probing and
+/// committing — the same machinery the concurrent `ids-store` workers
+/// run, here driven sequentially against a single [`DatabaseState`].
 ///
 /// Sound and complete **only** when the schema is independent w.r.t. the
 /// dependencies — construct it from a successful
 /// [`crate::analyze`] via [`LocalMaintainer::from_analysis`].
-pub struct LocalMaintainer<'a> {
-    schema: &'a DatabaseSchema,
-    enforcement: Vec<FdSet>,
+#[derive(Debug)]
+pub struct LocalMaintainer {
+    schema: DatabaseSchema,
+    shards: Vec<RelationShard>,
     state: DatabaseState,
-    indexes: Vec<Vec<FdIndex>>,
 }
 
-impl<'a> LocalMaintainer<'a> {
+impl LocalMaintainer {
     /// Builds the engine from per-scheme enforcement covers, starting from
-    /// an existing (locally satisfying) state.
-    pub fn new(schema: &'a DatabaseSchema, enforcement: Vec<FdSet>, state: DatabaseState) -> Self {
-        let mut m = LocalMaintainer {
-            indexes: enforcement
-                .iter()
-                .map(|fi| fi.iter().map(|_| FdIndex::new()).collect())
-                .collect(),
-            schema,
-            enforcement,
-            state: DatabaseState::empty(schema),
-        };
-        for (id, rel) in state.iter() {
-            for t in rel.iter() {
-                let outcome = m
-                    .insert(id, t.to_vec())
-                    .expect("rebuilding from a valid state");
-                debug_assert!(!matches!(outcome, InsertOutcome::Rejected { .. }));
-            }
-        }
-        m
+    /// an existing state, which every cover must accept
+    /// ([`MaintenanceError::BaseStateViolation`] otherwise).
+    pub fn new(
+        schema: &DatabaseSchema,
+        enforcement: Vec<FdSet>,
+        state: DatabaseState,
+    ) -> Result<Self, MaintenanceError> {
+        debug_assert_eq!(enforcement.len(), schema.len());
+        let shards = schema
+            .ids()
+            .zip(enforcement)
+            .map(|(id, fi)| RelationShard::with_relation(schema, id, fi, state.relation(id)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LocalMaintainer {
+            schema: schema.clone(),
+            shards,
+            state,
+        })
     }
 
-    /// Builds the engine from a successful independence analysis.
+    /// Builds the engine from an independence analysis.
     ///
-    /// Returns `None` when the analysis says the schema is not independent
-    /// (local maintenance would be unsound).
+    /// Fails with [`MaintenanceError::NotIndependent`] — carrying the
+    /// analysis's diagnosis and counterexample — when the schema is not
+    /// independent (local maintenance would be unsound).
     pub fn from_analysis(
-        schema: &'a DatabaseSchema,
+        schema: &DatabaseSchema,
         analysis: &crate::IndependenceAnalysis,
         state: DatabaseState,
-    ) -> Option<Self> {
+    ) -> Result<Self, MaintenanceError> {
         match &analysis.verdict {
             crate::Verdict::Independent { enforcement } => {
-                Some(Self::new(schema, enforcement.clone(), state))
+                Self::new(schema, enforcement.clone(), state)
             }
-            crate::Verdict::NotIndependent { .. } => None,
+            crate::Verdict::NotIndependent { reason, witness } => {
+                Err(MaintenanceError::NotIndependent {
+                    reason: reason.clone(),
+                    witness: Box::new(witness.clone()),
+                })
+            }
         }
     }
 
-    fn project(&self, id: SchemeId, tuple: &[Value], attrs: ids_relational::AttrSet) -> Vec<Value> {
-        let scheme = self.schema.attrs(id);
-        attrs.iter().map(|a| tuple[scheme.rank(a)]).collect()
+    /// The schema handle the engine carries.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
     }
 }
 
-impl Maintainer for LocalMaintainer<'_> {
+impl Maintainer for LocalMaintainer {
     fn insert(
         &mut self,
         id: SchemeId,
         tuple: Vec<Value>,
     ) -> Result<InsertOutcome, MaintenanceError> {
-        if tuple.len() != self.schema.attrs(id).len() {
-            return Err(RelationalError::ArityMismatch {
-                expected: self.schema.attrs(id).len(),
-                found: tuple.len(),
-            }
-            .into());
-        }
-        if self.state.relation(id).contains(&tuple) {
-            return Ok(InsertOutcome::Duplicate);
-        }
-        // Probe every FD of Fi.
-        let fi = self.enforcement[id.index()].clone();
-        for (k, fd) in fi.iter().enumerate() {
-            let key = self.project(id, &tuple, fd.lhs);
-            let val = self.project(id, &tuple, fd.rhs);
-            if let Some((existing, _)) = self.indexes[id.index()][k].get(&key) {
-                if *existing != val {
-                    return Ok(InsertOutcome::Rejected {
-                        violated: Some(*fd),
-                    });
-                }
-            }
-        }
-        // Commit.
-        for (k, fd) in fi.iter().enumerate() {
-            let key = self.project(id, &tuple, fd.lhs);
-            let val = self.project(id, &tuple, fd.rhs);
-            self.indexes[id.index()][k]
-                .entry(key)
-                .and_modify(|(_, n)| *n += 1)
-                .or_insert((val, 1));
-        }
-        self.state.insert(id, tuple)?;
-        Ok(InsertOutcome::Accepted)
+        // Split borrow: the shard (indexes) and the state (tuples) are
+        // disjoint fields, so nothing is cloned per operation.
+        let shard = &mut self.shards[id.index()];
+        shard.insert(self.state.relation_mut(id), tuple)
     }
 
     fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
-        if !self.state.relation_mut(id).remove(tuple) {
-            return false;
-        }
-        let fi = self.enforcement[id.index()].clone();
-        for (k, fd) in fi.iter().enumerate() {
-            let key = self.project(id, tuple, fd.lhs);
-            if let Some((_, n)) = self.indexes[id.index()][k].get_mut(&key) {
-                *n -= 1;
-                if *n == 0 {
-                    self.indexes[id.index()][k].remove(&key);
-                }
-            }
-        }
-        true
+        let shard = &mut self.shards[id.index()];
+        shard.remove(self.state.relation_mut(id), tuple)
     }
 
     fn state(&self) -> &DatabaseState {
@@ -378,12 +366,32 @@ mod tests {
         assert_eq!(out, InsertOutcome::Rejected { violated: None });
         // State rolled back.
         assert_eq!(chase.state().total_tuples(), 2);
-        // LocalMaintainer cannot even be constructed for this schema.
+        // LocalMaintainer cannot even be constructed for this schema; the
+        // error carries the diagnosis and a verifiable counterexample.
         let analysis = analyze(&schema, &fds);
+        let err = LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+            .unwrap_err();
+        let MaintenanceError::NotIndependent { witness, .. } = err else {
+            panic!("expected NotIndependent, got {err}");
+        };
         assert!(
-            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
-                .is_none()
+            crate::verify_witness(&schema, &fds, &witness.state, &ChaseConfig::default()).unwrap()
         );
+    }
+
+    #[test]
+    fn invalid_base_state_is_refused() {
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let mut base = DatabaseState::empty(&schema);
+        base.insert(ct, vec![v(1), v(10)]).unwrap();
+        base.insert(ct, vec![v(1), v(11)]).unwrap(); // violates C→T
+        let err = LocalMaintainer::from_analysis(&schema, &analysis, base).unwrap_err();
+        assert!(matches!(
+            err,
+            MaintenanceError::BaseStateViolation { scheme, .. } if scheme == ct
+        ));
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Per-relation enforcement shards — the unit of parallelism that
+//! independence buys.
+//!
+//! Theorem 3 reduces maintenance on an independent schema to probing the
+//! touched relation's cover `Fi`: no other relation's tuples or indexes
+//! are ever consulted.  That is a *soundness proof for sharding* — the
+//! per-relation probe/commit machinery can be moved onto its own thread
+//! with zero cross-shard coordination.  [`RelationShard`] packages that
+//! machinery so both the sequential [`crate::LocalMaintainer`] and the
+//! concurrent `ids-store` workers drive the exact same code.
+//!
+//! A shard owns a cheap [`DatabaseSchema`] handle (schemas are internally
+//! reference counted), its scheme's enforcement cover `Fi`, one hash index
+//! per FD of `Fi`, and the precomputed column positions of every FD's
+//! lhs/rhs projection.  It is `Send`: workers can own one per relation.
+//! The relation's tuples themselves are passed in by the caller
+//! ([`ids_relational::Relation`]), so a shard composes both with a
+//! [`ids_relational::DatabaseState`] (sequential engine: one state, many
+//! shards) and with a worker-owned `Relation` (concurrent store: each
+//! worker owns its relations outright).
+
+use std::collections::HashMap;
+
+use ids_deps::{Fd, FdSet};
+use ids_relational::{DatabaseSchema, Relation, RelationalError, SchemeId, Value};
+
+use crate::maintenance::{InsertOutcome, MaintenanceError};
+
+/// Per-FD hash index: lhs projection → (rhs projection, tuple count).
+type FdIndex = HashMap<Vec<Value>, (Vec<Value>, usize)>;
+
+/// The per-relation maintenance engine: probes and commits single-tuple
+/// modifications against one scheme's enforcement cover `Fi` in `O(|Fi|)`
+/// hash operations.
+///
+/// Sound and complete for global satisfaction **only** on independent
+/// schemas (Theorem 3), where `Fi` covers the scheme's projected
+/// dependencies `Σi` and `LSAT = WSAT`.
+#[derive(Debug)]
+pub struct RelationShard {
+    schema: DatabaseSchema,
+    id: SchemeId,
+    enforcement: FdSet,
+    /// One index per FD of `Fi`, aligned with `enforcement.iter()`.
+    indexes: Vec<FdIndex>,
+    /// Column positions (scheme ranks) of each FD's lhs, precomputed.
+    lhs_pos: Vec<Box<[usize]>>,
+    /// Column positions of each FD's rhs, precomputed.
+    rhs_pos: Vec<Box<[usize]>>,
+    /// Per-op scratch: the (key, value) projections computed by the probe
+    /// pass, reused by the commit pass so nothing is projected twice.
+    scratch: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+impl RelationShard {
+    /// Builds an empty shard for scheme `id` enforcing the cover `fi`.
+    ///
+    /// The schema handle is a cheap reference-counted clone; the shard
+    /// keeps it so callers never re-supply scheme metadata per operation.
+    pub fn new(schema: &DatabaseSchema, id: SchemeId, fi: FdSet) -> Self {
+        let attrs = schema.attrs(id);
+        let positions = |set: ids_relational::AttrSet| -> Box<[usize]> {
+            set.iter().map(|a| attrs.rank(a)).collect()
+        };
+        let lhs_pos = fi.iter().map(|fd| positions(fd.lhs)).collect();
+        let rhs_pos = fi.iter().map(|fd| positions(fd.rhs)).collect();
+        RelationShard {
+            schema: schema.clone(),
+            indexes: fi.iter().map(|_| FdIndex::new()).collect(),
+            lhs_pos,
+            rhs_pos,
+            scratch: Vec::with_capacity(fi.len()),
+            enforcement: fi,
+            id,
+        }
+    }
+
+    /// Builds a shard over an existing relation instance, indexing every
+    /// tuple.  Fails with [`MaintenanceError::BaseStateViolation`] when
+    /// the instance does not satisfy `fi` — a base state the local engine
+    /// must refuse rather than silently under-enforce.
+    pub fn with_relation(
+        schema: &DatabaseSchema,
+        id: SchemeId,
+        fi: FdSet,
+        rel: &Relation,
+    ) -> Result<Self, MaintenanceError> {
+        let mut shard = Self::new(schema, id, fi);
+        for t in rel.iter() {
+            if let Some(violated) = shard.index_tuple(t) {
+                return Err(MaintenanceError::BaseStateViolation {
+                    scheme: id,
+                    violated,
+                });
+            }
+        }
+        Ok(shard)
+    }
+
+    /// The scheme this shard enforces.
+    pub fn id(&self) -> SchemeId {
+        self.id
+    }
+
+    /// The enforcement cover `Fi`.
+    pub fn enforcement(&self) -> &FdSet {
+        &self.enforcement
+    }
+
+    /// The schema handle the shard carries.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Records a tuple in every FD index, returning the violated FD when
+    /// its projections contradict an already-indexed image.
+    fn index_tuple(&mut self, tuple: &[Value]) -> Option<Fd> {
+        for (k, fd) in self.enforcement.iter().enumerate() {
+            let key: Vec<Value> = self.lhs_pos[k].iter().map(|&p| tuple[p]).collect();
+            let val: Vec<Value> = self.rhs_pos[k].iter().map(|&p| tuple[p]).collect();
+            if let Some((existing, n)) = self.indexes[k].get_mut(&key) {
+                if *existing != val {
+                    return Some(*fd);
+                }
+                *n += 1;
+            } else {
+                self.indexes[k].insert(key, (val, 1));
+            }
+        }
+        None
+    }
+
+    /// Attempts to insert `tuple` (scheme order) into `rel`, probing every
+    /// FD of `Fi` before committing anything.  Each lhs/rhs projection is
+    /// computed exactly once: the probe pass parks them in scratch and the
+    /// commit pass moves them into the indexes.
+    pub fn insert(
+        &mut self,
+        rel: &mut Relation,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        if tuple.len() != self.schema.attrs(self.id).len() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.attrs(self.id).len(),
+                found: tuple.len(),
+            }
+            .into());
+        }
+        if rel.contains(&tuple) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        // Probe pass: project once per FD, check against the index.
+        self.scratch.clear();
+        for (k, fd) in self.enforcement.iter().enumerate() {
+            let key: Vec<Value> = self.lhs_pos[k].iter().map(|&p| tuple[p]).collect();
+            let val: Vec<Value> = self.rhs_pos[k].iter().map(|&p| tuple[p]).collect();
+            if let Some((existing, _)) = self.indexes[k].get(&key) {
+                if *existing != val {
+                    return Ok(InsertOutcome::Rejected {
+                        violated: Some(*fd),
+                    });
+                }
+            }
+            self.scratch.push((key, val));
+        }
+        // Commit: the relation first (it can still fail on a mismatched
+        // `rel`, and the indexes must never record a tuple the relation
+        // refused), then move the parked projections into the indexes.
+        rel.insert(tuple)?;
+        for (k, (key, val)) in self.scratch.drain(..).enumerate() {
+            if let Some((_, n)) = self.indexes[k].get_mut(&key) {
+                *n += 1;
+            } else {
+                self.indexes[k].insert(key, (val, 1));
+            }
+        }
+        Ok(InsertOutcome::Accepted)
+    }
+
+    /// Removes a tuple from `rel`; always satisfaction-preserving under
+    /// weak-instance semantics.  Returns `true` when the tuple existed.
+    pub fn remove(&mut self, rel: &mut Relation, tuple: &[Value]) -> bool {
+        if !rel.remove(tuple) {
+            return false;
+        }
+        for k in 0..self.enforcement.len() {
+            let key: Vec<Value> = self.lhs_pos[k].iter().map(|&p| tuple[p]).collect();
+            if let Some((_, n)) = self.indexes[k].get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.indexes[k].remove(&key);
+                }
+            }
+        }
+        true
+    }
+}
+
+// Compile-time guarantee that shards can move onto worker threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<RelationShard>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        (schema, fds)
+    }
+
+    #[test]
+    fn shard_enforces_fi_across_insert_and_remove() {
+        let (schema, fds) = setup();
+        let id = SchemeId(0);
+        let mut shard = RelationShard::new(&schema, id, fds);
+        let mut rel = Relation::new(schema.attrs(id));
+        assert_eq!(
+            shard.insert(&mut rel, vec![v(1), v(2)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        assert_eq!(
+            shard.insert(&mut rel, vec![v(1), v(2)]).unwrap(),
+            InsertOutcome::Duplicate
+        );
+        assert!(matches!(
+            shard.insert(&mut rel, vec![v(1), v(3)]).unwrap(),
+            InsertOutcome::Rejected { .. }
+        ));
+        // Remove frees the key.
+        assert!(shard.remove(&mut rel, &[v(1), v(2)]));
+        assert_eq!(
+            shard.insert(&mut rel, vec![v(1), v(3)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn with_relation_indexes_existing_tuples() {
+        let (schema, fds) = setup();
+        let id = SchemeId(0);
+        let mut rel = Relation::new(schema.attrs(id));
+        rel.insert(vec![v(7), v(70)]).unwrap();
+        let mut shard = RelationShard::with_relation(&schema, id, fds, &rel).unwrap();
+        assert!(matches!(
+            shard.insert(&mut rel, vec![v(7), v(71)]).unwrap(),
+            InsertOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn refcounted_insert_survives_duplicate_support() {
+        // Two tuples sharing a lhs image: removing one must not free the
+        // index entry the other still supports.
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("ABC", "ABC")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["A -> B"]).unwrap();
+        let id = SchemeId(0);
+        let mut shard = RelationShard::new(&schema, id, fds);
+        let mut rel = Relation::new(schema.attrs(id));
+        shard.insert(&mut rel, vec![v(1), v(2), v(3)]).unwrap();
+        shard.insert(&mut rel, vec![v(1), v(2), v(4)]).unwrap();
+        assert!(shard.remove(&mut rel, &[v(1), v(2), v(3)]));
+        // A→B still enforced from the surviving supporter.
+        assert!(matches!(
+            shard.insert(&mut rel, vec![v(1), v(9), v(5)]).unwrap(),
+            InsertOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_typed() {
+        let (schema, fds) = setup();
+        let mut shard = RelationShard::new(&schema, SchemeId(0), fds);
+        let mut rel = Relation::new(schema.attrs(SchemeId(0)));
+        assert!(shard.insert(&mut rel, vec![v(1)]).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! Relation schemes and database schemas.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::attrset::AttrSet;
 use crate::error::RelationalError;
@@ -45,8 +46,18 @@ pub struct RelationScheme {
 /// The schema owns its [`Universe`].  Construction validates the conventions
 /// of the paper: at least one scheme, every scheme nonempty, and the schemes
 /// jointly covering `U` (so that `*D` is a join dependency over `U`).
+///
+/// A schema is immutable after construction and internally reference
+/// counted: `clone()` is a cheap `Arc` bump, so handles can be shared
+/// freely across maintenance engines, shard worker threads and snapshots
+/// without copying the universe or scheme table.
 #[derive(Clone, Debug)]
 pub struct DatabaseSchema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
     universe: Universe,
     schemes: Vec<RelationScheme>,
 }
@@ -73,7 +84,9 @@ impl DatabaseSchema {
             let missing = universe.render(universe.all().difference(covered));
             return Err(RelationalError::SchemaDoesNotCoverUniverse { missing });
         }
-        Ok(DatabaseSchema { universe, schemes })
+        Ok(DatabaseSchema {
+            inner: Arc::new(SchemaInner { universe, schemes }),
+        })
     }
 
     /// Convenience builder: schemes given as `(name, attribute-spec)` pairs,
@@ -92,32 +105,33 @@ impl DatabaseSchema {
 
     /// The schema's universe.
     pub fn universe(&self) -> &Universe {
-        &self.universe
+        &self.inner.universe
     }
 
     /// Number of relation schemes.
     pub fn len(&self) -> usize {
-        self.schemes.len()
+        self.inner.schemes.len()
     }
 
     /// True when the schema is empty (never, post-validation).
     pub fn is_empty(&self) -> bool {
-        self.schemes.is_empty()
+        self.inner.schemes.is_empty()
     }
 
     /// The scheme with the given id.
     pub fn scheme(&self, id: SchemeId) -> &RelationScheme {
-        &self.schemes[id.index()]
+        &self.inner.schemes[id.index()]
     }
 
     /// Attribute set of the scheme with the given id.
     pub fn attrs(&self, id: SchemeId) -> AttrSet {
-        self.schemes[id.index()].attrs
+        self.inner.schemes[id.index()].attrs
     }
 
     /// All schemes with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (SchemeId, &RelationScheme)> {
-        self.schemes
+        self.inner
+            .schemes
             .iter()
             .enumerate()
             .map(|(i, s)| (SchemeId::from_index(i), s))
@@ -125,12 +139,13 @@ impl DatabaseSchema {
 
     /// All scheme ids.
     pub fn ids(&self) -> impl Iterator<Item = SchemeId> {
-        (0..self.schemes.len()).map(SchemeId::from_index)
+        (0..self.inner.schemes.len()).map(SchemeId::from_index)
     }
 
     /// Looks a scheme up by name.
     pub fn scheme_by_name(&self, name: &str) -> Option<SchemeId> {
-        self.schemes
+        self.inner
+            .schemes
             .iter()
             .position(|s| s.name == name)
             .map(SchemeId::from_index)
@@ -138,20 +153,20 @@ impl DatabaseSchema {
 
     /// The components of the schema's join dependency `*D`.
     pub fn join_dependency_components(&self) -> Vec<AttrSet> {
-        self.schemes.iter().map(|s| s.attrs).collect()
+        self.inner.schemes.iter().map(|s| s.attrs).collect()
     }
 }
 
 impl fmt::Display for DatabaseSchema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}", self.universe)?;
+        writeln!(f, "{}", self.inner.universe)?;
         for (id, s) in self.iter() {
             writeln!(
                 f,
                 "  {:?} {} = {}",
                 id,
                 s.name,
-                self.universe.render(s.attrs)
+                self.inner.universe.render(s.attrs)
             )?;
         }
         Ok(())
@@ -202,6 +217,13 @@ mod tests {
             DatabaseSchema::parse(cthr_universe(), &[("X", "CT"), ("X", "CHR")]),
             Err(RelationalError::DuplicateScheme(_))
         ));
+    }
+
+    #[test]
+    fn clones_share_the_inner_table() {
+        let d = DatabaseSchema::parse(cthr_universe(), &[("CT", "CT"), ("CHR", "CHR")]).unwrap();
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(&d.inner, &d2.inner));
     }
 
     #[test]

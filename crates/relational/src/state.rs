@@ -35,6 +35,31 @@ impl DatabaseState {
         }
     }
 
+    /// Reassembles a state from per-scheme relation instances, in scheme
+    /// order — the inverse of tearing a state apart across shards.
+    /// Validates the count and each instance's attribute set.
+    pub fn from_relations(
+        schema: &DatabaseSchema,
+        relations: Vec<Relation>,
+    ) -> Result<Self, RelationalError> {
+        if relations.len() != schema.len() {
+            return Err(RelationalError::SchemaMismatch("schemas"));
+        }
+        for (id, rel) in schema.ids().zip(relations.iter()) {
+            if rel.attrs() != schema.attrs(id) {
+                return Err(RelationalError::SchemaMismatch("schemes"));
+            }
+        }
+        Ok(DatabaseState { relations })
+    }
+
+    /// Tears the state apart into its per-scheme relation instances, in
+    /// scheme order — the counterpart of [`DatabaseState::from_relations`]
+    /// for handing each relation to its own shard.
+    pub fn into_relations(self) -> Vec<Relation> {
+        self.relations
+    }
+
     /// Number of relations (= number of schemes).
     pub fn len(&self) -> usize {
         self.relations.len()
@@ -159,6 +184,23 @@ mod tests {
         assert!(!p.is_join_consistent());
         assert_eq!(p.dangling_tuples(SchemeId(0)).len(), 1);
         assert_eq!(p.dangling_tuples(SchemeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn from_relations_roundtrips_and_validates() {
+        let d = schema();
+        let mut p = DatabaseState::empty(&d);
+        p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
+        let parts: Vec<Relation> = d.ids().map(|id| p.relation(id).clone()).collect();
+        let q = DatabaseState::from_relations(&d, parts).unwrap();
+        assert_eq!(q.total_tuples(), 1);
+        assert!(q.relation(SchemeId(0)).contains(&[v(1), v(2)]));
+        // Wrong count rejected.
+        assert!(DatabaseState::from_relations(&d, Vec::new()).is_err());
+        // Wrong scheme order rejected.
+        let mut swapped: Vec<Relation> = d.ids().map(|id| p.relation(id).clone()).collect();
+        swapped.reverse();
+        assert!(DatabaseState::from_relations(&d, swapped).is_err());
     }
 
     #[test]

@@ -1,0 +1,794 @@
+//! # ids-store
+//!
+//! A sharded, concurrent maintenance store that turns schema independence
+//! into parallelism.
+//!
+//! Theorem 3 of Graham & Yannakakis proves that on an **independent**
+//! schema every insert is validated by probing only the touched relation's
+//! enforcement cover `Fi`.  Read as a systems statement, that is a
+//! *soundness proof for sharding*: relations share no enforcement state,
+//! so each one can live on its own shard/thread with **zero cross-shard
+//! coordination** — no locks, no two-phase commit, no validation traffic
+//! between shards.  A dependent schema offers no such decomposition (a
+//! single insert may need the whole-state chase, Theorem 1), which is why
+//! [`Store::open`] refuses non-independent inputs with a typed error
+//! carrying the analysis's counterexample.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            clients (any number of threads, &Store is Sync)
+//!                │ insert / remove / apply_batch / snapshot
+//!                ▼
+//!        ┌─ route by relation ─┐        commands over std::sync::mpsc
+//!        ▼                     ▼
+//!   ┌─────────┐           ┌─────────┐
+//!   │ shard 0 │    ...    │ shard S │   one OS thread per shard
+//!   │ worker  │           │ worker  │
+//!   └─────────┘           └─────────┘
+//!     owns R0,R2,…          owns R1,R3,…   (round-robin assignment)
+//!     tuples + Fi           tuples + Fi
+//!     hash indexes          hash indexes
+//! ```
+//!
+//! Each worker owns its relations' tuples plus one
+//! [`ids_core::RelationShard`] per relation — the same probe/commit
+//! machinery the sequential [`ids_core::LocalMaintainer`] drives, which is
+//! exactly why differential tests can replay any trace sequentially and
+//! demand identical outcomes.  [`Store::snapshot`] performs a barrier
+//! across shards (every shard answers after draining the commands sent
+//! before it) and reassembles a consistent [`DatabaseState`];
+//! independence guarantees that state is **globally** satisfying, not just
+//! locally (`LSAT = WSAT`).
+//!
+//! ## Consistency model
+//!
+//! Per relation, operations are applied in submission order (each shard's
+//! command channel is FIFO).  Across relations there is no ordering — and
+//! independence is what makes that safe: every per-relation-order-
+//! preserving interleaving of a trace is a serialization the sequential
+//! engines would also accept, with the same outcomes and final state.
+
+#![warn(missing_docs)]
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationShard, Witness};
+use ids_deps::{Fd, FdSet};
+use ids_relational::{DatabaseSchema, DatabaseState, Relation, RelationalError, SchemeId, Value};
+
+/// One operation of a store workload, routed to its relation's shard.
+#[derive(Clone, Debug)]
+pub enum StoreOp {
+    /// Insert a tuple (scheme order) into a relation.
+    Insert {
+        /// Target relation.
+        scheme: SchemeId,
+        /// Tuple in scheme order.
+        tuple: Vec<Value>,
+    },
+    /// Remove a tuple from a relation (always satisfaction-preserving).
+    Remove {
+        /// Target relation.
+        scheme: SchemeId,
+        /// Tuple in scheme order.
+        tuple: Vec<Value>,
+    },
+}
+
+impl StoreOp {
+    /// The relation the operation touches.
+    pub fn scheme(&self) -> SchemeId {
+        match self {
+            StoreOp::Insert { scheme, .. } | StoreOp::Remove { scheme, .. } => *scheme,
+        }
+    }
+
+    fn tuple_len(&self) -> usize {
+        match self {
+            StoreOp::Insert { tuple, .. } | StoreOp::Remove { tuple, .. } => tuple.len(),
+        }
+    }
+}
+
+/// Per-operation result of [`Store::apply_batch`], aligned with the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// Outcome of an insert.
+    Insert(InsertOutcome),
+    /// Outcome of a remove: `true` when the tuple was present.
+    Remove(bool),
+}
+
+/// Errors of the concurrent store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The schema is not independent: sharded enforcement would be
+    /// unsound.  Carries the decision procedure's diagnosis and its
+    /// machine-checkable `LSAT ∖ WSAT` counterexample.
+    NotIndependent {
+        /// Which condition of the decision procedure failed.
+        reason: NotIndependentReason,
+        /// A locally-satisfying, globally-unsatisfying state.
+        witness: Box<Witness>,
+    },
+    /// The initial state handed to [`Store::open_with`] violates a
+    /// relation's enforcement cover.
+    InvalidBaseState {
+        /// The offending relation.
+        scheme: SchemeId,
+        /// The violated FD of its cover `Fi`.
+        violated: Fd,
+    },
+    /// An operation referenced a scheme outside the schema.
+    UnknownScheme(SchemeId),
+    /// An operation's tuple arity does not match its scheme.
+    Relational(RelationalError),
+    /// A shard worker is gone (panicked or already shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotIndependent { reason, .. } => write!(
+                f,
+                "schema is not independent (sharded enforcement unsound): {reason:?}"
+            ),
+            Self::InvalidBaseState { scheme, violated } => write!(
+                f,
+                "initial state violates the enforcement cover of {scheme:?} (FD {violated:?})"
+            ),
+            Self::UnknownScheme(id) => write!(f, "operation references unknown scheme {id:?}"),
+            Self::Relational(e) => write!(f, "{e}"),
+            Self::Disconnected => write!(f, "shard worker disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<RelationalError> for StoreError {
+    fn from(e: RelationalError) -> Self {
+        Self::Relational(e)
+    }
+}
+
+/// Configuration of [`Store::open_with`].
+#[derive(Debug, Default)]
+pub struct StoreConfig {
+    /// Number of shard worker threads.  Clamped to `1..=schema.len()`
+    /// (more shards than relations cannot help: a relation is never
+    /// split).  `0` (the default) picks `min(schema.len(), available
+    /// parallelism)`.
+    pub shards: usize,
+    /// Initial state to load; every relation must satisfy its cover.
+    pub initial_state: Option<DatabaseState>,
+}
+
+/// Commands a shard worker processes in FIFO order.
+enum Command {
+    /// Apply a run of operations; reply with per-op outcomes tagged by the
+    /// caller's indexes.
+    Apply {
+        ops: Vec<(u32, StoreOp)>,
+        reply: Sender<Vec<(u32, OpOutcome)>>,
+    },
+    /// Reply with a clone of every owned relation — the shard's part of a
+    /// consistent snapshot barrier.
+    Snapshot {
+        reply: Sender<Vec<(SchemeId, Relation)>>,
+    },
+}
+
+/// The state a worker thread owns: its relations and their shards.
+struct Worker {
+    /// `(scheme, enforcement shard, tuples)` for every owned relation.
+    slots: Vec<(SchemeId, RelationShard, Relation)>,
+    /// scheme index → slot index (dense, `None` for foreign schemes).
+    slot_of: Vec<Option<usize>>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Command>) -> Vec<(SchemeId, Relation)> {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Apply { ops, reply } => {
+                    let mut out = Vec::with_capacity(ops.len());
+                    for (idx, op) in ops {
+                        let slot = self.slot_of[op.scheme().index()]
+                            .expect("router sent an op for a foreign scheme");
+                        let (_, shard, rel) = &mut self.slots[slot];
+                        let outcome = match op {
+                            StoreOp::Insert { tuple, .. } => OpOutcome::Insert(
+                                shard
+                                    .insert(rel, tuple)
+                                    .expect("arity validated by the router"),
+                            ),
+                            StoreOp::Remove { tuple, .. } => {
+                                OpOutcome::Remove(shard.remove(rel, &tuple))
+                            }
+                        };
+                        out.push((idx, outcome));
+                    }
+                    // A client that hung up no longer needs the reply.
+                    let _ = reply.send(out);
+                }
+                Command::Snapshot { reply } => {
+                    let _ = reply.send(
+                        self.slots
+                            .iter()
+                            .map(|(id, _, rel)| (*id, rel.clone()))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        // All senders dropped: shutdown.  Hand the relations back.
+        self.slots
+            .into_iter()
+            .map(|(id, _, rel)| (id, rel))
+            .collect()
+    }
+}
+
+/// The concurrent maintenance store: one worker thread per shard, each
+/// exclusively owning a subset of the relations.
+///
+/// `&Store` is `Send + Sync`: any number of client threads may call
+/// [`Store::insert`] / [`Store::apply_batch`] / [`Store::snapshot`]
+/// concurrently.  See the crate docs for the consistency model.
+#[derive(Debug)]
+pub struct Store {
+    schema: DatabaseSchema,
+    enforcement: Vec<FdSet>,
+    /// scheme index → shard index.
+    assignment: Vec<usize>,
+    senders: Vec<Sender<Command>>,
+    handles: Vec<JoinHandle<Vec<(SchemeId, Relation)>>>,
+}
+
+impl Store {
+    /// Opens a store over `schema`, enforcing `fds ∪ {*D}`, with one
+    /// shard per relation (capped by available parallelism), starting
+    /// from the empty state.
+    ///
+    /// Runs the full independence analysis first and refuses
+    /// non-independent schemas with [`StoreError::NotIndependent`].
+    pub fn open(schema: &DatabaseSchema, fds: &FdSet) -> Result<Self, StoreError> {
+        Self::open_with(schema, fds, StoreConfig::default())
+    }
+
+    /// Opens a store with an explicit shard count and/or initial state.
+    pub fn open_with(
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let analysis = ids_core::analyze(schema, fds);
+        let enforcement = match analysis.verdict {
+            ids_core::Verdict::Independent { enforcement } => enforcement,
+            ids_core::Verdict::NotIndependent { reason, witness } => {
+                return Err(StoreError::NotIndependent {
+                    reason,
+                    witness: Box::new(witness),
+                })
+            }
+        };
+        let shard_count = if config.shards == 0 {
+            schema.len().min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        } else {
+            config.shards.min(schema.len())
+        }
+        .max(1);
+
+        // Tear the initial state into per-scheme relations.  Roundtrip
+        // through `from_relations` to revalidate the full shape — the
+        // state may come from a different schema handle, and a mismatched
+        // relation must be a typed error, not a worker panic.
+        let relations: Vec<Relation> = match config.initial_state {
+            Some(state) => {
+                DatabaseState::from_relations(schema, state.into_relations())?.into_relations()
+            }
+            None => schema
+                .ids()
+                .map(|id| Relation::new(schema.attrs(id)))
+                .collect(),
+        };
+
+        // Build each relation's shard (indexing + validating the preload)
+        // and distribute them round-robin over the workers.
+        let assignment: Vec<usize> = (0..schema.len()).map(|i| i % shard_count).collect();
+        let mut workers: Vec<Worker> = (0..shard_count)
+            .map(|_| Worker {
+                slots: Vec::new(),
+                slot_of: vec![None; schema.len()],
+            })
+            .collect();
+        for (id, rel) in schema.ids().zip(relations) {
+            let fi = enforcement[id.index()].clone();
+            let shard =
+                RelationShard::with_relation(schema, id, fi, &rel).map_err(|e| match e {
+                    MaintenanceError::BaseStateViolation { scheme, violated } => {
+                        StoreError::InvalidBaseState { scheme, violated }
+                    }
+                    MaintenanceError::Relational(e) => StoreError::Relational(e),
+                    other => unreachable!("with_relation cannot fail with {other}"),
+                })?;
+            let w = &mut workers[assignment[id.index()]];
+            w.slot_of[id.index()] = Some(w.slots.len());
+            w.slots.push((id, shard, rel));
+        }
+
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        for (i, worker) in workers.into_iter().enumerate() {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ids-shard-{i}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Ok(Store {
+            schema: schema.clone(),
+            enforcement,
+            assignment,
+            senders,
+            handles,
+        })
+    }
+
+    /// The schema handle the store serves.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The per-scheme enforcement covers `Fi` the shards probe.
+    pub fn enforcement(&self) -> &[FdSet] {
+        &self.enforcement
+    }
+
+    /// Number of shard worker threads.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Validates an operation's scheme and arity before it is routed.
+    fn validate(&self, op: &StoreOp) -> Result<(), StoreError> {
+        let id = op.scheme();
+        if id.index() >= self.schema.len() {
+            return Err(StoreError::UnknownScheme(id));
+        }
+        let expected = self.schema.attrs(id).len();
+        if op.tuple_len() != expected {
+            return Err(RelationalError::ArityMismatch {
+                expected,
+                found: op.tuple_len(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Attempts to insert `tuple` (scheme order) into relation `id`,
+    /// blocking until the owning shard answers.
+    ///
+    /// For throughput, prefer [`Store::apply_batch`]: a per-op round trip
+    /// pays one channel rendezvous per operation.
+    pub fn insert(&self, id: SchemeId, tuple: Vec<Value>) -> Result<InsertOutcome, StoreError> {
+        let outcomes = self.apply_batch(vec![StoreOp::Insert { scheme: id, tuple }])?;
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Insert(outcome)) => Ok(outcome),
+            _ => Err(StoreError::Disconnected),
+        }
+    }
+
+    /// Removes a tuple from relation `id`; `true` when it was present.
+    /// Always satisfaction-preserving under weak-instance semantics.
+    pub fn remove(&self, id: SchemeId, tuple: Vec<Value>) -> Result<bool, StoreError> {
+        let outcomes = self.apply_batch(vec![StoreOp::Remove { scheme: id, tuple }])?;
+        match outcomes.into_iter().next() {
+            Some(OpOutcome::Remove(present)) => Ok(present),
+            _ => Err(StoreError::Disconnected),
+        }
+    }
+
+    /// Applies a batch of operations, pipelined across shards: the batch
+    /// is partitioned by relation, each shard processes its part in
+    /// parallel, and the per-op outcomes come back aligned with the input.
+    ///
+    /// The whole batch is validated (scheme + arity) before anything is
+    /// sent, so a malformed batch mutates nothing.  Per-relation order
+    /// within the batch is preserved; FD violations are *outcomes*
+    /// ([`InsertOutcome::Rejected`]), not errors.
+    pub fn apply_batch(&self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, StoreError> {
+        for op in &ops {
+            self.validate(op)?;
+        }
+        let total = ops.len();
+        let mut per_shard: Vec<Vec<(u32, StoreOp)>> = (0..self.senders.len())
+            .map(|_| Vec::with_capacity(total / self.senders.len() + 1))
+            .collect();
+        for (idx, op) in ops.into_iter().enumerate() {
+            per_shard[self.assignment[op.scheme().index()]].push((idx as u32, op));
+        }
+        let (reply_tx, reply_rx) = channel();
+        let mut involved = 0usize;
+        for (shard, ops) in per_shard.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            involved += 1;
+            self.senders[shard]
+                .send(Command::Apply {
+                    ops,
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| StoreError::Disconnected)?;
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<OpOutcome>> = vec![None; total];
+        for _ in 0..involved {
+            let part = reply_rx.recv().map_err(|_| StoreError::Disconnected)?;
+            for (idx, outcome) in part {
+                out[idx as usize] = Some(outcome);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every op was routed to exactly one shard"))
+            .collect())
+    }
+
+    /// Takes a consistent snapshot: a barrier across all shards (each
+    /// answers after draining every command sent before the barrier), then
+    /// reassembles the relation clones into a [`DatabaseState`].
+    ///
+    /// On an independent schema the snapshot is globally satisfying — each
+    /// shard enforced its `Fi`, and `LSAT = WSAT` does the rest.
+    pub fn snapshot(&self) -> Result<DatabaseState, StoreError> {
+        let (reply_tx, reply_rx) = channel();
+        for tx in &self.senders {
+            tx.send(Command::Snapshot {
+                reply: reply_tx.clone(),
+            })
+            .map_err(|_| StoreError::Disconnected)?;
+        }
+        drop(reply_tx);
+        let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
+        for _ in 0..self.senders.len() {
+            for (id, rel) in reply_rx.recv().map_err(|_| StoreError::Disconnected)? {
+                parts[id.index()] = Some(rel);
+            }
+        }
+        let relations = parts
+            .into_iter()
+            .map(|r| r.expect("every scheme lives on exactly one shard"))
+            .collect();
+        DatabaseState::from_relations(&self.schema, relations).map_err(Into::into)
+    }
+
+    /// Shuts the store down: closes every command channel, joins the
+    /// workers, and hands back the final state.
+    pub fn shutdown(mut self) -> Result<DatabaseState, StoreError> {
+        let parts = self.shutdown_inner()?;
+        DatabaseState::from_relations(&self.schema, parts).map_err(Into::into)
+    }
+
+    /// Drains channels and joins workers; idempotent (a second call — the
+    /// `Drop` after an explicit `shutdown()` — is a no-op).  Returns the
+    /// final relations in scheme order.
+    fn shutdown_inner(&mut self) -> Result<Vec<Relation>, StoreError> {
+        if self.handles.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.senders.clear(); // closing the channels stops the workers
+        let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
+        let mut lost = false;
+        for handle in self.handles.drain(..) {
+            match handle.join() {
+                Ok(slots) => {
+                    for (id, rel) in slots {
+                        parts[id.index()] = Some(rel);
+                    }
+                }
+                Err(_) => lost = true,
+            }
+        }
+        if lost {
+            return Err(StoreError::Disconnected);
+        }
+        Ok(parts
+            .into_iter()
+            .map(|r| r.expect("every scheme lives on exactly one shard"))
+            .collect())
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort: stop the workers even when the caller skipped
+        // `shutdown()`.  Panics in workers surface there, not here.
+        let _ = self.shutdown_inner();
+    }
+}
+
+// The whole point: clients on many threads share one store.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Store>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    /// Example 2: {CT, CS, CHR} with C→T, CH→R — independent.
+    fn independent_setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema =
+            DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS"), ("CHR", "CHR")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+        (schema, fds)
+    }
+
+    #[test]
+    fn store_refuses_non_independent_schema_with_witness() {
+        // Example 1: cross-relation contradiction invisible to shards.
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let err = Store::open(&schema, &fds).unwrap_err();
+        let StoreError::NotIndependent { witness, .. } = err else {
+            panic!("expected NotIndependent, got {err}");
+        };
+        assert!(ids_chase::locally_satisfies(
+            &schema,
+            &fds,
+            &witness.state,
+            &ids_chase::ChaseConfig::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_and_fd_enforcement() {
+        let (schema, fds) = independent_setup();
+        let store = Store::open(&schema, &fds).unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        assert_eq!(
+            store.insert(ct, vec![v(1), v(10)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        assert_eq!(
+            store.insert(ct, vec![v(1), v(10)]).unwrap(),
+            InsertOutcome::Duplicate
+        );
+        assert!(matches!(
+            store.insert(ct, vec![v(1), v(11)]).unwrap(),
+            InsertOutcome::Rejected { violated: Some(_) }
+        ));
+        assert!(store.remove(ct, vec![v(1), v(10)]).unwrap());
+        assert!(!store.remove(ct, vec![v(1), v(10)]).unwrap());
+        assert_eq!(
+            store.insert(ct, vec![v(1), v(11)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        let state = store.shutdown().unwrap();
+        assert_eq!(state.total_tuples(), 1);
+        assert!(state.relation(ct).contains(&[v(1), v(11)]));
+    }
+
+    #[test]
+    fn batch_outcomes_align_with_input_across_shards() {
+        let (schema, fds) = independent_setup();
+        for shards in 1..=3 {
+            let store = Store::open_with(
+                &schema,
+                &fds,
+                StoreConfig {
+                    shards,
+                    initial_state: None,
+                },
+            )
+            .unwrap();
+            assert_eq!(store.shards(), shards);
+            let ct = schema.scheme_by_name("CT").unwrap();
+            let cs = schema.scheme_by_name("CS").unwrap();
+            let chr = schema.scheme_by_name("CHR").unwrap();
+            let outcomes = store
+                .apply_batch(vec![
+                    StoreOp::Insert {
+                        scheme: ct,
+                        tuple: vec![v(1), v(20)],
+                    },
+                    StoreOp::Insert {
+                        scheme: chr,
+                        tuple: vec![v(1), v(30), v(40)],
+                    },
+                    StoreOp::Insert {
+                        scheme: chr,
+                        tuple: vec![v(1), v(30), v(41)], // violates CH→R
+                    },
+                    StoreOp::Insert {
+                        scheme: cs,
+                        tuple: vec![v(1), v(50)],
+                    },
+                    StoreOp::Insert {
+                        scheme: ct,
+                        tuple: vec![v(1), v(21)], // violates C→T
+                    },
+                    StoreOp::Remove {
+                        scheme: cs,
+                        tuple: vec![v(1), v(50)],
+                    },
+                ])
+                .unwrap();
+            assert_eq!(outcomes.len(), 6);
+            assert_eq!(outcomes[0], OpOutcome::Insert(InsertOutcome::Accepted));
+            assert_eq!(outcomes[1], OpOutcome::Insert(InsertOutcome::Accepted));
+            assert!(matches!(
+                outcomes[2],
+                OpOutcome::Insert(InsertOutcome::Rejected { .. })
+            ));
+            assert_eq!(outcomes[3], OpOutcome::Insert(InsertOutcome::Accepted));
+            assert!(matches!(
+                outcomes[4],
+                OpOutcome::Insert(InsertOutcome::Rejected { .. })
+            ));
+            assert_eq!(outcomes[5], OpOutcome::Remove(true));
+            let state = store.shutdown().unwrap();
+            assert_eq!(state.total_tuples(), 2);
+        }
+    }
+
+    #[test]
+    fn malformed_batches_mutate_nothing() {
+        let (schema, fds) = independent_setup();
+        let store = Store::open(&schema, &fds).unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let err = store
+            .apply_batch(vec![
+                StoreOp::Insert {
+                    scheme: ct,
+                    tuple: vec![v(1), v(10)],
+                },
+                StoreOp::Insert {
+                    scheme: ct,
+                    tuple: vec![v(2)], // arity error
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Relational(_)));
+        let err = store
+            .apply_batch(vec![StoreOp::Insert {
+                scheme: SchemeId(99),
+                tuple: vec![v(1)],
+            }])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::UnknownScheme(_)));
+        assert_eq!(store.snapshot().unwrap().total_tuples(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_a_barrier_over_prior_batches() {
+        let (schema, fds) = independent_setup();
+        let store = Store::open(&schema, &fds).unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        store
+            .apply_batch(vec![
+                StoreOp::Insert {
+                    scheme: ct,
+                    tuple: vec![v(1), v(10)],
+                },
+                StoreOp::Insert {
+                    scheme: chr,
+                    tuple: vec![v(1), v(2), v(3)],
+                },
+            ])
+            .unwrap();
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.total_tuples(), 2);
+        // The snapshot is an independent copy: later writes don't leak in.
+        store.insert(ct, vec![v(2), v(20)]).unwrap();
+        assert_eq!(snap.total_tuples(), 2);
+        assert_eq!(store.snapshot().unwrap().total_tuples(), 3);
+    }
+
+    #[test]
+    fn preloaded_state_is_enforced_and_invalid_preloads_refused() {
+        let (schema, fds) = independent_setup();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let mut base = DatabaseState::empty(&schema);
+        base.insert(ct, vec![v(9), v(90)]).unwrap();
+        let store = Store::open_with(
+            &schema,
+            &fds,
+            StoreConfig {
+                shards: 2,
+                initial_state: Some(base.clone()),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            store.insert(ct, vec![v(9), v(91)]).unwrap(),
+            InsertOutcome::Rejected { .. }
+        ));
+        drop(store);
+
+        base.insert(ct, vec![v(9), v(91)]).unwrap(); // violates C→T
+        let err = Store::open_with(
+            &schema,
+            &fds,
+            StoreConfig {
+                shards: 2,
+                initial_state: Some(base),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::InvalidBaseState { scheme, .. } if scheme == ct
+        ));
+    }
+
+    #[test]
+    fn initial_state_from_a_different_schema_is_a_typed_error() {
+        let (schema, fds) = independent_setup();
+        // A state over a structurally different schema: same relation
+        // count, different attribute sets.
+        let u2 = Universe::from_names(["A", "B", "C"]).unwrap();
+        let other = DatabaseSchema::parse(u2, &[("AB", "AB"), ("BC", "BC"), ("AC", "AC")]).unwrap();
+        let mut foreign = DatabaseState::empty(&other);
+        foreign.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
+        let err = Store::open_with(
+            &schema,
+            &fds,
+            StoreConfig {
+                shards: 2,
+                initial_state: Some(foreign),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Relational(_)), "got {err}");
+    }
+
+    #[test]
+    fn concurrent_clients_on_disjoint_relations_are_deterministic() {
+        let (schema, fds) = independent_setup();
+        let store = Store::open(&schema, &fds).unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let cs = schema.scheme_by_name("CS").unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50u64 {
+                    // Every odd insert violates C→T against the even one.
+                    store.insert(ct, vec![v(i / 2), v(i)]).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for i in 0..50u64 {
+                    store.insert(cs, vec![v(i), v(i + 1)]).unwrap();
+                }
+            });
+        });
+        let state = store.shutdown().unwrap();
+        // CT: 25 accepted (one per C value); CS: all 50 (no FDs).
+        assert_eq!(state.relation(ct).len(), 25);
+        assert_eq!(state.relation(cs).len(), 50);
+    }
+}

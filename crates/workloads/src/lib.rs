@@ -3,8 +3,10 @@
 //! Instances, generators and parameter sweeps for the experiment suite:
 //! the paper's worked examples ([`examples`]), parameterized schema
 //! families with known verdicts ([`families`]), random schema/FD
-//! generators for property testing ([`generators`]) and satisfying /
-//! locally-satisfying state and insert-stream generators ([`states`]).
+//! generators for property testing ([`generators`]), satisfying /
+//! locally-satisfying state and insert-stream generators ([`states`]),
+//! and interleaved multi-client scripts for the concurrent store
+//! ([`traces`]).
 
 #![warn(missing_docs)]
 
@@ -12,3 +14,4 @@ pub mod examples;
 pub mod families;
 pub mod generators;
 pub mod states;
+pub mod traces;

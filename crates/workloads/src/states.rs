@@ -55,8 +55,8 @@ fn repair_to_memos(
 /// previously recorded left-hand-side images until a fixpoint.
 ///
 /// `tuples` is an upper bound: a draw whose repair oscillates between
-/// conflicting memo images (see [`repair_to_memos`]) is redrawn up to
-/// [`MAX_REDRAWS`] times and then skipped, and distinct draws can also
+/// conflicting memo images (see `repair_to_memos`) is redrawn up to
+/// `MAX_REDRAWS` times and then skipped, and distinct draws can also
 /// collapse to duplicates, so the result may hold fewer rows.
 pub fn random_satisfying_universal(
     schema: &DatabaseSchema,
@@ -125,7 +125,7 @@ pub fn random_satisfying_state(
 ///
 /// `tuples_per_relation` is an upper bound, as in
 /// [`random_satisfying_universal`]: irreparable draws are skipped after
-/// [`MAX_REDRAWS`] attempts.
+/// `MAX_REDRAWS` attempts.
 pub fn random_locally_satisfying_state(
     schema: &DatabaseSchema,
     fds: &FdSet,

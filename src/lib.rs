@@ -50,13 +50,15 @@
 //! | [`chase`] | `I(p)`, FD/JD rules, WSAT/LSAT, tagged tableaux |
 //! | [`acyclic`] | GYO, join trees, full reducer, consistency |
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
-//! | [`workloads`] | paper examples, families, random generators |
+//! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism) |
+//! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
 pub use ids_chase as chase;
 pub use ids_core as core;
 pub use ids_deps as deps;
 pub use ids_relational as relational;
+pub use ids_store as store;
 pub use ids_workloads as workloads;
 
 /// The common imports for working with the library.
@@ -64,12 +66,13 @@ pub mod prelude {
     pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
     pub use ids_core::{
         analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
-        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer, NotIndependentReason,
-        Verdict, Witness,
+        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
+        NotIndependentReason, RelationShard, Verdict, Witness,
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
     pub use ids_relational::{
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId,
         Universe, Value, ValuePool,
     };
+    pub use ids_store::{OpOutcome, Store, StoreConfig, StoreError, StoreOp};
 }

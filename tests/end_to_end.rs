@@ -82,7 +82,7 @@ fn dependent_schema_blocks_local_engine_but_report_explains() {
         &analysis,
         DatabaseState::empty(&inst.schema)
     )
-    .is_none());
+    .is_err());
 
     let report = render_analysis(&inst.schema, &analysis);
     assert!(report.contains("NOT independent"));

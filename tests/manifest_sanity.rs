@@ -13,8 +13,9 @@ use independent_schemas::prelude::{
     analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness, AttrId,
     AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, DatabaseSchema, DatabaseState, Fd, FdSet,
     IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
-    NotIndependentReason, Relation, RelationScheme, Satisfaction, SchemeId, Universe, Value,
-    ValuePool, Verdict, Witness,
+    MaintenanceError, NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard,
+    Satisfaction, SchemeId, Store, StoreConfig, StoreError, StoreOp, Universe, Value, ValuePool,
+    Verdict, Witness,
 };
 
 // Crate-module paths the test files reach around the prelude for.
@@ -35,6 +36,7 @@ use independent_schemas::{
         families::key_star,
         generators::{random_embedded_fds, random_schema, SchemaParams},
         states::{insert_stream, random_locally_satisfying_state, random_satisfying_state},
+        traces::{interleaved_trace, TraceKind, TraceOp, TraceParams},
     },
 };
 
@@ -50,6 +52,14 @@ fn entry_point_signatures_are_stable() {
         &DatabaseState,
         &ChaseConfig,
     ) -> Result<bool, ChaseError> = verify_witness;
+    let _open: fn(&DatabaseSchema, &FdSet) -> Result<Store, StoreError> = Store::open;
+    let _open_with: fn(&DatabaseSchema, &FdSet, StoreConfig) -> Result<Store, StoreError> =
+        Store::open_with;
+    let _from_analysis: fn(
+        &DatabaseSchema,
+        &IndependenceAnalysis,
+        DatabaseState,
+    ) -> Result<LocalMaintainer, MaintenanceError> = LocalMaintainer::from_analysis;
 }
 
 /// The doctest's Example 2 scenario, reachable through prelude symbols

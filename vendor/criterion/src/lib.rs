@@ -227,6 +227,28 @@ impl Bencher {
         self.record(iters, started.elapsed());
     }
 
+    /// Hands iteration counting to the routine: `routine(iters)` must
+    /// run the workload `iters` times and return the measured duration
+    /// (mirrors `criterion::Bencher::iter_custom`).  Lets benchmarks
+    /// exclude their own setup/teardown from the measurement.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        if self.smoke {
+            self.record(1, routine(1));
+            return;
+        }
+        black_box(routine(1)); // warmup
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u64;
+        while busy < self.measurement {
+            busy += routine(1);
+            iters += 1;
+        }
+        self.record(iters, busy);
+    }
+
     /// Times `routine` on fresh inputs from `setup`; setup time is
     /// excluded from the measurement.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
