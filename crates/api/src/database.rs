@@ -1,0 +1,472 @@
+//! The [`Database`] handle: relation names and string values in, rendered
+//! rows out — the interning [`ValuePool`] lives inside.
+
+use ids_chase::ChaseConfig;
+use ids_core::{ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer};
+use ids_relational::{DatabaseState, Relation, RelationalError, SchemeId, Value, ValuePool};
+use ids_store::{OpOutcome, Store, StoreOp};
+
+use crate::engine::{Engine, EngineKind};
+use crate::error::Error;
+use crate::schema::Schema;
+
+/// The engine a database runs on.  Only the sharded store stays
+/// concrete — so [`Database::store`] can hand it out for concurrent
+/// submission; every other engine (built-in or user-supplied) lives
+/// behind the one trait object.
+enum EngineBox {
+    Sharded(Store),
+    Boxed(Box<dyn Engine>),
+}
+
+impl EngineBox {
+    fn as_dyn(&self) -> &dyn Engine {
+        match self {
+            EngineBox::Sharded(e) => e,
+            EngineBox::Boxed(e) => e.as_ref(),
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn Engine {
+        match self {
+            EngineBox::Sharded(e) => e,
+            EngineBox::Boxed(e) => e.as_mut(),
+        }
+    }
+}
+
+/// A running database: one [`Schema`] handle, one engine, and the
+/// interning [`ValuePool`] owned internally — callers speak relation
+/// names and string values, never [`SchemeId`]s, [`Value`]s or pools.
+///
+/// ```
+/// use ids_api::{Database, EngineKind, Schema};
+///
+/// let schema = Schema::builder()
+///     .relation("CT", ["course", "teacher"])
+///     .relation("CS", ["course", "student"])
+///     .fd("course -> teacher")
+///     .build()?;
+/// let mut db = Database::open(schema, EngineKind::Local)?;
+///
+/// db.insert("CT", ["CS402", "Jones"])?;
+/// assert!(db.insert("CT", ["CS402", "Smith"])?.is_rejected()); // C → T
+/// assert_eq!(db.rows("CT")?, vec![vec!["CS402".to_string(), "Jones".to_string()]]);
+/// # Ok::<(), ids_api::Error>(())
+/// ```
+///
+/// ## Reading: `rows` vs `snapshot`
+///
+/// [`Database::rows`] / [`Database::read`] consult **one** relation
+/// without a global barrier — on the sharded engine only the owning
+/// shard answers, every other shard keeps streaming.  Per relation the
+/// result is exactly as fresh as a snapshot (operations submitted
+/// before the read are visible); what it does *not* give you is a
+/// cross-relation cut: two `rows` calls may observe states no single
+/// moment contained.  [`Database::snapshot`] is the barrier that does —
+/// one globally-satisfying [`DatabaseState`] across all relations.
+pub struct Database {
+    schema: Schema,
+    pool: ValuePool,
+    engine: EngineBox,
+}
+
+impl Database {
+    /// Opens a database over a built [`Schema`] on the selected engine.
+    ///
+    /// No analysis runs here: the handle carries the verdict from build
+    /// time.  Engines that require independence ([`EngineKind::Local`],
+    /// [`EngineKind::Sharded`]) refuse a dependent handle (reachable via
+    /// [`crate::SchemaBuilder::build_any`]) with
+    /// [`Error::NotIndependent`].
+    pub fn open(schema: Schema, kind: EngineKind) -> Result<Self, Error> {
+        let empty = DatabaseState::empty(&schema.definition);
+        let engine = match kind {
+            EngineKind::Local => EngineBox::Boxed(Box::new(LocalMaintainer::from_analysis(
+                &schema.definition,
+                &schema.analysis,
+                empty,
+            )?)),
+            EngineKind::Chase => EngineBox::Boxed(Box::new(ChaseMaintainer::new(
+                &schema.definition,
+                &schema.fds,
+                empty,
+                ChaseConfig::default(),
+            ))),
+            EngineKind::FdOnly => EngineBox::Boxed(Box::new(FdOnlyMaintainer::new(
+                &schema.definition,
+                &schema.fds,
+                empty,
+            ))),
+            EngineKind::Sharded(config) => EngineBox::Sharded(Store::from_analysis(
+                &schema.definition,
+                &schema.analysis,
+                config,
+            )?),
+        };
+        Ok(Database {
+            schema,
+            pool: ValuePool::new(),
+            engine,
+        })
+    }
+
+    /// Opens a database on a caller-supplied [`Engine`] implementation.
+    pub fn with_engine(schema: Schema, engine: Box<dyn Engine>) -> Self {
+        Database {
+            schema,
+            pool: ValuePool::new(),
+            engine: EngineBox::Boxed(engine),
+        }
+    }
+
+    /// The schema handle the database serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The interning pool (for rendering raw [`Value`]s a caller pulled
+    /// out of [`Database::snapshot`] or [`Database::read`]).
+    ///
+    /// Note on mixing levels: raw values that were never interned render
+    /// through their numeric id and are invisible to string-level
+    /// [`Database::remove`].  Code that mixes the raw and string APIs on
+    /// one database should obtain its values via [`Database::intern`].
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Interns a string value, returning the stable [`Value`] the
+    /// string-level API uses for it — the bridge for callers mixing the
+    /// raw paths ([`Database::insert_raw`], [`Database::apply_batch`],
+    /// [`Database::store`]) with string-level reads and removes.
+    pub fn intern(&mut self, value: impl AsRef<str>) -> Value {
+        self.pool.value(value.as_ref())
+    }
+
+    /// The underlying concurrent [`Store`], when the database runs on
+    /// [`EngineKind::Sharded`] — the escape hatch for many client
+    /// threads submitting batches concurrently (`&Store` is `Sync`;
+    /// the name-level `Database` methods need `&mut self` because they
+    /// intern).
+    pub fn store(&self) -> Option<&Store> {
+        match &self.engine {
+            EngineBox::Sharded(store) => Some(store),
+            _ => None,
+        }
+    }
+
+    /// Resolves a relation name and a declaration-order value row into
+    /// `(id, canonical tuple)`.  With `intern: true` unknown values are
+    /// added to the pool (writes); with `intern: false` a row mentioning
+    /// a never-seen value resolves to `None` (it cannot name a stored
+    /// tuple, so a remove of it is vacuously absent).
+    fn resolve<S: AsRef<str>>(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+        intern: bool,
+    ) -> Result<(SchemeId, Option<Vec<Value>>), Error> {
+        let id = self.schema.scheme_id(relation)?;
+        let layout = self.schema.layout(id);
+        let arity = layout.columns.len();
+        let mut tuple = vec![Value::int(0); arity];
+        let mut supplied = 0usize;
+        let mut all_known = true;
+        for (j, value) in values.into_iter().enumerate() {
+            if j < arity {
+                let resolved = if intern {
+                    Some(self.pool.value(value.as_ref()))
+                } else {
+                    self.pool.get(value.as_ref())
+                };
+                match resolved {
+                    Some(v) => tuple[layout.perm[j]] = v,
+                    None => all_known = false,
+                }
+            }
+            supplied += 1;
+        }
+        if supplied != arity {
+            return Err(RelationalError::ArityMismatch {
+                expected: arity,
+                found: supplied,
+            }
+            .into());
+        }
+        Ok((id, all_known.then_some(tuple)))
+    }
+
+    /// Inserts a row into a relation, values in the column order the
+    /// relation was declared with.  FD violations are outcomes
+    /// ([`InsertOutcome::Rejected`]), not errors.
+    pub fn insert<S: AsRef<str>>(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<InsertOutcome, Error> {
+        let (id, tuple) = self.resolve(relation, values, true)?;
+        let tuple = tuple.expect("interning resolves every value");
+        self.engine.as_dyn_mut().insert(id, tuple)
+    }
+
+    /// Removes a row; `Ok(true)` when it was present.  A row mentioning
+    /// a value this database has never *interned* is simply absent
+    /// (`false`) — string-level reasoning, sound for everything written
+    /// through the string API.  Rows written through the raw escape
+    /// hatches ([`Database::insert_raw`], [`Database::store`]) with
+    /// values that were never interned are outside the string value
+    /// space: remove them through the same raw paths (or bridge with
+    /// [`Database::intern`]).
+    pub fn remove<S: AsRef<str>>(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<bool, Error> {
+        match self.resolve(relation, values, false)? {
+            (id, Some(tuple)) => self.engine.as_dyn_mut().remove(id, &tuple),
+            (_, None) => Ok(false),
+        }
+    }
+
+    /// Reads one relation's rows as strings, columns in declaration
+    /// order, rows in insertion order — without a global barrier (see
+    /// the type-level docs for the consistency model).
+    pub fn rows(&self, relation: &str) -> Result<Vec<Vec<String>>, Error> {
+        let id = self.schema.scheme_id(relation)?;
+        let layout = self.schema.layout(id);
+        let rel = self.engine.as_dyn().read(id)?;
+        Ok(rel
+            .iter()
+            .map(|t| {
+                layout
+                    .perm
+                    .iter()
+                    .map(|&p| self.pool.render(t[p]))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Reads one relation without a global barrier, as raw typed data.
+    pub fn read(&self, relation: &str) -> Result<Relation, Error> {
+        let id = self.schema.scheme_id(relation)?;
+        self.engine.as_dyn().read(id)
+    }
+
+    /// Number of rows currently in a relation (barrier-free, and cheap:
+    /// no engine ships tuples to answer it).
+    pub fn count(&self, relation: &str) -> Result<usize, Error> {
+        let id = self.schema.scheme_id(relation)?;
+        self.engine.as_dyn().count(id)
+    }
+
+    /// A consistent cut of the whole database — the barrier read.  On an
+    /// independent schema the result is globally satisfying.
+    pub fn snapshot(&self) -> Result<DatabaseState, Error> {
+        self.engine.as_dyn().snapshot()
+    }
+
+    /// Typed-level insert for callers that already hold canonical
+    /// tuples (trace replay, migration tools).  To keep such rows
+    /// addressable by the string-level API, obtain the values through
+    /// [`Database::intern`].
+    pub fn insert_raw(&mut self, id: SchemeId, tuple: Vec<Value>) -> Result<InsertOutcome, Error> {
+        self.engine.as_dyn_mut().insert(id, tuple)
+    }
+
+    /// Typed-level remove, the counterpart of [`Database::insert_raw`].
+    pub fn remove_raw(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, Error> {
+        self.engine.as_dyn_mut().remove(id, tuple)
+    }
+
+    /// Typed-level batch application; outcomes align with the input and
+    /// a *malformed* batch (bad scheme id or arity) mutates nothing, on
+    /// every engine.  See [`Engine::apply_batch`] for the behavior on
+    /// engine-level errors mid-batch — batches are not transactions.
+    pub fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
+        self.engine.as_dyn_mut().apply_batch(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_store::StoreConfig;
+
+    fn example2() -> Schema {
+        Schema::builder()
+            .relation("CT", ["course", "teacher"])
+            .relation("CS", ["course", "student"])
+            .relation("CHR", ["course", "hour", "room"])
+            .fd("course -> teacher")
+            .fd("course hour -> room")
+            .build()
+            .unwrap()
+    }
+
+    fn all_kinds() -> Vec<EngineKind> {
+        vec![
+            EngineKind::Local,
+            EngineKind::Chase,
+            EngineKind::FdOnly,
+            EngineKind::Sharded(StoreConfig::default()),
+        ]
+    }
+
+    #[test]
+    fn string_level_roundtrip_on_every_engine() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            assert_eq!(
+                db.insert("CT", ["CS402", "Jones"]).unwrap(),
+                InsertOutcome::Accepted,
+                "{label}"
+            );
+            assert_eq!(
+                db.insert("CT", ["CS402", "Jones"]).unwrap(),
+                InsertOutcome::Duplicate,
+                "{label}"
+            );
+            assert!(
+                matches!(
+                    db.insert("CT", ["CS402", "Smith"]).unwrap(),
+                    InsertOutcome::Rejected { .. }
+                ),
+                "{label}: C → T must fire"
+            );
+            db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+            assert_eq!(
+                db.rows("CT").unwrap(),
+                vec![vec!["CS402".to_string(), "Jones".to_string()]],
+                "{label}"
+            );
+            assert_eq!(db.count("CHR").unwrap(), 1, "{label}");
+            assert_eq!(db.snapshot().unwrap().total_tuples(), 2, "{label}");
+            assert!(db.remove("CT", ["CS402", "Jones"]).unwrap(), "{label}");
+            assert!(!db.remove("CT", ["CS402", "Jones"]).unwrap(), "{label}");
+            // A never-seen value cannot name a present row.
+            assert!(!db.remove("CT", ["Nope", "Jones"]).unwrap(), "{label}");
+        }
+    }
+
+    #[test]
+    fn declaration_order_is_preserved_even_when_ids_invert() {
+        // "TR" declares (room, teacher); canonical order is (teacher,
+        // room).  The facade must hide that inversion completely.
+        let schema = Schema::builder()
+            .relation("CT", ["course", "teacher"])
+            .relation("TR", ["room", "teacher"])
+            .build()
+            .unwrap();
+        let mut db = Database::open(schema, EngineKind::Local).unwrap();
+        db.insert("TR", ["R128", "Jones"]).unwrap();
+        assert_eq!(
+            db.rows("TR").unwrap(),
+            vec![vec!["R128".to_string(), "Jones".to_string()]]
+        );
+        assert!(db.remove("TR", ["R128", "Jones"]).unwrap());
+    }
+
+    #[test]
+    fn error_paths_are_typed_on_every_engine() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            assert!(
+                matches!(
+                    db.insert("Enrollment", ["a", "b"]),
+                    Err(Error::UnknownRelation(name)) if name == "Enrollment"
+                ),
+                "{label}"
+            );
+            assert!(
+                matches!(
+                    db.insert("CT", ["only-one"]),
+                    Err(Error::Relational(RelationalError::ArityMismatch {
+                        expected: 2,
+                        found: 1,
+                    }))
+                ),
+                "{label}"
+            );
+            assert!(
+                matches!(
+                    db.remove("CT", ["a", "b", "c"]),
+                    Err(Error::Relational(RelationalError::ArityMismatch { .. }))
+                ),
+                "{label}"
+            );
+            assert!(
+                matches!(db.rows("nope"), Err(Error::UnknownRelation(_))),
+                "{label}"
+            );
+            assert_eq!(db.snapshot().unwrap().total_tuples(), 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn dependent_schemas_refuse_independence_engines_but_serve_chase() {
+        let schema = Schema::builder()
+            .relation("CD", ["course", "dept"])
+            .relation("CT", ["course", "teacher"])
+            .relation("TD", ["teacher", "dept"])
+            .fd("course -> dept")
+            .fd("course -> teacher")
+            .fd("teacher -> dept")
+            .build_any()
+            .unwrap();
+        assert!(!schema.is_independent());
+        assert!(matches!(
+            Database::open(schema.clone(), EngineKind::Local),
+            Err(Error::NotIndependent { .. })
+        ));
+        assert!(matches!(
+            Database::open(schema.clone(), EngineKind::Sharded(StoreConfig::default())),
+            Err(Error::NotIndependent { .. })
+        ));
+        // The chase engine serves it — and catches the cross-relation
+        // contradiction no local check can see (the paper's Example 1).
+        let mut db = Database::open(schema, EngineKind::Chase).unwrap();
+        db.insert("CD", ["CS402", "CS"]).unwrap();
+        db.insert("CT", ["CS402", "Jones"]).unwrap();
+        let out = db.insert("TD", ["Jones", "EE"]).unwrap();
+        assert!(matches!(out, InsertOutcome::Rejected { .. }));
+        assert_eq!(db.snapshot().unwrap().total_tuples(), 2);
+    }
+
+    #[test]
+    fn interned_raw_rows_stay_addressable_from_the_string_level() {
+        // The documented bridge: raw inserts made with `intern`ed values
+        // are visible to — and removable through — the string API.
+        let mut db = Database::open(example2(), EngineKind::Local).unwrap();
+        let cs402 = db.intern("CS402");
+        let jones = db.intern("Jones");
+        let ct = db.schema().scheme_id("CT").unwrap();
+        db.insert_raw(ct, vec![cs402, jones]).unwrap();
+        assert_eq!(
+            db.rows("CT").unwrap(),
+            vec![vec!["CS402".to_string(), "Jones".to_string()]]
+        );
+        assert!(db.remove("CT", ["CS402", "Jones"]).unwrap());
+        assert_eq!(db.count("CT").unwrap(), 0);
+    }
+
+    #[test]
+    fn sharded_store_stays_reachable_for_concurrent_clients() {
+        let schema = example2();
+        let mut db = Database::open(schema, EngineKind::Sharded(StoreConfig::default())).unwrap();
+        db.insert("CT", ["CS402", "Jones"]).unwrap();
+        let store = db.store().expect("sharded engine exposes its store");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(store.snapshot().unwrap().total_tuples(), 1);
+            });
+        });
+        assert!(db.store().is_some());
+        let mut local = Database::open(example2(), EngineKind::Local).unwrap();
+        assert!(local.store().is_none());
+        local.insert("CT", ["a", "b"]).unwrap();
+    }
+}

@@ -1,0 +1,295 @@
+//! The unified [`Engine`] trait and the [`EngineKind`] selector.
+
+use ids_core::{
+    ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
+};
+use ids_relational::{DatabaseState, Relation, SchemeId, Value};
+use ids_store::{OpOutcome, Store, StoreConfig, StoreOp};
+
+use crate::error::Error;
+
+/// Which maintenance engine a [`crate::Database`] runs on.
+///
+/// All four speak the same [`Engine`] interface; they differ in *how*
+/// an insert is validated and what the schema must satisfy:
+///
+/// | kind | validation | requires independence |
+/// |---|---|---|
+/// | `Local` | touched relation's cover `Fi`, O(1) hash probes | yes |
+/// | `Chase` | whole-state re-chase under `F ∪ {*D}` | no |
+/// | `FdOnly` | FD-only chase (sound, incomplete \[H\]) | no |
+/// | `Sharded` | `Fi` on the owning shard thread | yes |
+#[derive(Debug, Default)]
+pub enum EngineKind {
+    /// The independent-schema fast path ([`LocalMaintainer`]).
+    #[default]
+    Local,
+    /// The honest general baseline ([`ChaseMaintainer`]).
+    Chase,
+    /// Honeyman's FD-only middle ground ([`FdOnlyMaintainer`]).
+    FdOnly,
+    /// The concurrent sharded store ([`Store`]), with its configuration.
+    Sharded(StoreConfig),
+}
+
+/// The one interface every maintenance engine speaks — uniformly
+/// fallible, so no engine swallows errors another surfaces:
+///
+/// * [`insert`](Engine::insert) / [`remove`](Engine::remove) — single
+///   tuple modifications; FD violations are *outcomes*
+///   ([`InsertOutcome::Rejected`]), malformed operations are errors.
+/// * [`apply_batch`](Engine::apply_batch) — many operations at once; the
+///   whole batch is validated before anything is applied, so a malformed
+///   batch mutates nothing.  The sharded engine additionally pipelines
+///   the batch across its workers.
+/// * [`read`](Engine::read) — one relation, **without** a global
+///   barrier.  Freshness per relation, no cross-relation cut.
+/// * [`snapshot`](Engine::snapshot) — the whole state as one consistent
+///   (and, on an independent schema, globally satisfying) cut.
+///
+/// Implemented for [`LocalMaintainer`], [`ChaseMaintainer`],
+/// [`FdOnlyMaintainer`] and [`Store`]; custom engines can implement it
+/// and plug into [`crate::Database::with_engine`].
+pub trait Engine: Send {
+    /// Attempts to insert `tuple` (canonical scheme order) into `id`.
+    fn insert(&mut self, id: SchemeId, tuple: Vec<Value>) -> Result<InsertOutcome, Error>;
+
+    /// Removes a tuple; `Ok(true)` when it was present.  Always
+    /// satisfaction-preserving under weak-instance semantics.
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, Error>;
+
+    /// Applies a batch, outcomes aligned with the input.  Scheme ids and
+    /// arities are validated up front, so a *malformed* batch mutates
+    /// nothing on any engine.  An engine-level error mid-batch (e.g. the
+    /// chase baseline exceeding its budget) aborts the batch with the
+    /// failing operation rolled back, but operations already applied
+    /// remain applied — batches are not transactions.
+    fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error>;
+
+    /// Reads one relation without a global barrier.
+    fn read(&self, id: SchemeId) -> Result<Relation, Error>;
+
+    /// Number of tuples in one relation — the barrier-free cardinality
+    /// probe; no engine ships tuples to answer it.
+    fn count(&self, id: SchemeId) -> Result<usize, Error>;
+
+    /// The whole state as one consistent cut.
+    fn snapshot(&self) -> Result<DatabaseState, Error>;
+}
+
+/// Validates a batch against an engine's schema via the shared
+/// [`ids_core::validate_op`] contract, so the sequential engines reject
+/// a malformed batch exactly like the store's router: before any op is
+/// applied.
+fn validate_batch(schema: &ids_relational::DatabaseSchema, ops: &[StoreOp]) -> Result<(), Error> {
+    for op in ops {
+        let (StoreOp::Insert { scheme, tuple } | StoreOp::Remove { scheme, tuple }) = op;
+        ids_core::validate_op(schema, *scheme, tuple)?;
+    }
+    Ok(())
+}
+
+/// Implements [`Engine`] for a sequential [`Maintainer`]: per-op calls
+/// delegate, batches validate-then-loop, reads clone one relation from
+/// the owned state (trivially barrier-free — there is only one thread).
+macro_rules! impl_engine_for_maintainer {
+    ($($engine:ty),+ $(,)?) => {$(
+        impl Engine for $engine {
+            fn insert(
+                &mut self,
+                id: SchemeId,
+                tuple: Vec<Value>,
+            ) -> Result<InsertOutcome, Error> {
+                Maintainer::insert(self, id, tuple).map_err(Into::into)
+            }
+
+            fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, Error> {
+                Maintainer::remove(self, id, tuple).map_err(Into::into)
+            }
+
+            fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
+                validate_batch(self.schema(), &ops)?;
+                ops.into_iter()
+                    .map(|op| match op {
+                        StoreOp::Insert { scheme, tuple } => Maintainer::insert(self, scheme, tuple)
+                            .map(OpOutcome::Insert)
+                            .map_err(Into::into),
+                        StoreOp::Remove { scheme, tuple } => {
+                            Maintainer::remove(self, scheme, &tuple)
+                                .map(OpOutcome::Remove)
+                                .map_err(Into::into)
+                        }
+                    })
+                    .collect()
+            }
+
+            fn read(&self, id: SchemeId) -> Result<Relation, Error> {
+                self.state()
+                    .get_relation(id)
+                    .cloned()
+                    .ok_or_else(|| MaintenanceError::UnknownScheme(id).into())
+            }
+
+            fn count(&self, id: SchemeId) -> Result<usize, Error> {
+                self.state()
+                    .get_relation(id)
+                    .map(Relation::len)
+                    .ok_or_else(|| MaintenanceError::UnknownScheme(id).into())
+            }
+
+            fn snapshot(&self) -> Result<DatabaseState, Error> {
+                Ok(self.state().clone())
+            }
+        }
+    )+};
+}
+
+impl_engine_for_maintainer!(LocalMaintainer, ChaseMaintainer, FdOnlyMaintainer);
+
+impl Engine for Store {
+    fn insert(&mut self, id: SchemeId, tuple: Vec<Value>) -> Result<InsertOutcome, Error> {
+        Store::insert(self, id, tuple).map_err(Into::into)
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, Error> {
+        Store::remove(self, id, tuple.to_vec()).map_err(Into::into)
+    }
+
+    fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
+        Store::apply_batch(self, ops).map_err(Into::into)
+    }
+
+    fn read(&self, id: SchemeId) -> Result<Relation, Error> {
+        Store::read(self, id).map_err(Into::into)
+    }
+
+    fn count(&self, id: SchemeId) -> Result<usize, Error> {
+        Store::count(self, id).map_err(Into::into)
+    }
+
+    fn snapshot(&self) -> Result<DatabaseState, Error> {
+        Store::snapshot(self).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_chase::ChaseConfig;
+    use ids_core::analyze;
+    use ids_deps::FdSet;
+    use ids_relational::{DatabaseSchema, Universe};
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "S"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        (schema, fds)
+    }
+
+    /// Every engine behind the one trait: identical outcomes on a shared
+    /// script, including the batch path and the two read paths.
+    #[test]
+    fn all_four_engines_agree_behind_the_trait() {
+        let (schema, fds) = setup();
+        let analysis = analyze(&schema, &fds);
+        let empty = || DatabaseState::empty(&schema);
+        let mut engines: Vec<(&str, Box<dyn Engine>)> = vec![
+            (
+                "local",
+                Box::new(LocalMaintainer::from_analysis(&schema, &analysis, empty()).unwrap()),
+            ),
+            (
+                "chase",
+                Box::new(ChaseMaintainer::new(
+                    &schema,
+                    &fds,
+                    empty(),
+                    ChaseConfig::default(),
+                )),
+            ),
+            (
+                "fd-only",
+                Box::new(FdOnlyMaintainer::new(&schema, &fds, empty())),
+            ),
+            (
+                "sharded",
+                Box::new(Store::from_analysis(&schema, &analysis, StoreConfig::default()).unwrap()),
+            ),
+        ];
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let cs = schema.scheme_by_name("CS").unwrap();
+        for (name, engine) in &mut engines {
+            assert_eq!(
+                engine.insert(ct, vec![v(1), v(10)]).unwrap(),
+                InsertOutcome::Accepted,
+                "{name}"
+            );
+            let outcomes = engine
+                .apply_batch(vec![
+                    StoreOp::Insert {
+                        scheme: ct,
+                        tuple: vec![v(1), v(11)], // violates C→T
+                    },
+                    StoreOp::Insert {
+                        scheme: cs,
+                        tuple: vec![v(1), v(50)],
+                    },
+                    StoreOp::Remove {
+                        scheme: cs,
+                        tuple: vec![v(1), v(50)],
+                    },
+                ])
+                .unwrap();
+            assert!(
+                matches!(
+                    outcomes[0],
+                    OpOutcome::Insert(InsertOutcome::Rejected { .. })
+                ),
+                "{name}: {:?}",
+                outcomes[0]
+            );
+            assert_eq!(
+                outcomes[1],
+                OpOutcome::Insert(InsertOutcome::Accepted),
+                "{name}"
+            );
+            assert_eq!(outcomes[2], OpOutcome::Remove(true), "{name}");
+            assert!(engine.remove(ct, &[v(1), v(10)]).unwrap(), "{name}");
+            // Both read paths agree on the final (empty) state.
+            assert_eq!(engine.read(ct).unwrap().len(), 0, "{name}");
+            assert_eq!(engine.snapshot().unwrap().total_tuples(), 0, "{name}");
+        }
+    }
+
+    /// The store's malformed-batch atomicity holds for the sequential
+    /// engines too: validation precedes application.
+    #[test]
+    fn malformed_batches_mutate_nothing_on_sequential_engines() {
+        let (schema, fds) = setup();
+        let analysis = analyze(&schema, &fds);
+        let mut m =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
+        let engine: &mut dyn Engine = &mut m;
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let err = engine
+            .apply_batch(vec![
+                StoreOp::Insert {
+                    scheme: ct,
+                    tuple: vec![v(1), v(10)],
+                },
+                StoreOp::Remove {
+                    scheme: ct,
+                    tuple: vec![v(2)], // arity error — batch must be rejected whole
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, Error::Relational(_)), "got {err}");
+        assert_eq!(engine.snapshot().unwrap().total_tuples(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The one error type of the typed front-end.
+
+use ids_chase::ChaseError;
+use ids_core::{MaintenanceError, NotIndependentReason, Witness};
+use ids_relational::RelationalError;
+use ids_store::StoreError;
+
+/// Everything that can go wrong behind the [`crate::Database`] facade.
+///
+/// The four underlying crate error types convert in via `From`, so `?`
+/// works across every layer; the one cross-cutting failure — *the schema
+/// is not independent* — is normalized into its own variant no matter
+/// which engine surfaced it, always carrying the decision procedure's
+/// diagnosis and its machine-checkable `LSAT ∖ WSAT` counterexample.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
+/// arm, so new failure modes are not breaking changes.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A relational-substrate error (arity mismatch, schema shape, ..).
+    Relational(RelationalError),
+    /// The chase baseline exceeded its budget.
+    Chase(ChaseError),
+    /// A sequential maintenance engine error (other than independence).
+    Maintenance(MaintenanceError),
+    /// A concurrent store error (other than independence).
+    Store(StoreError),
+    /// The schema is not independent, so the requested construction would
+    /// be unsound — refused with the analysis's diagnosis and witness.
+    NotIndependent {
+        /// Which condition of the decision procedure failed.
+        reason: NotIndependentReason,
+        /// A locally-satisfying, globally-unsatisfying state.
+        witness: Box<Witness>,
+    },
+    /// A relation name that is not part of the schema.
+    UnknownRelation(String),
+}
+
+impl Error {
+    /// The `LSAT ∖ WSAT` counterexample, when the error is an
+    /// independence refusal.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            Error::NotIndependent { witness, .. } => Some(witness),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Relational(e) => write!(f, "{e}"),
+            Error::Chase(e) => write!(f, "{e}"),
+            Error::Maintenance(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "{e}"),
+            Error::NotIndependent { reason, .. } => write!(
+                f,
+                "schema is not independent (refused, with counterexample): {reason:?}"
+            ),
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Relational(e) => Some(e),
+            Error::Chase(e) => Some(e),
+            Error::Maintenance(e) => Some(e),
+            Error::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for Error {
+    fn from(e: RelationalError) -> Self {
+        Error::Relational(e)
+    }
+}
+
+impl From<ChaseError> for Error {
+    fn from(e: ChaseError) -> Self {
+        Error::Chase(e)
+    }
+}
+
+impl From<MaintenanceError> for Error {
+    fn from(e: MaintenanceError) -> Self {
+        match e {
+            MaintenanceError::NotIndependent { reason, witness } => {
+                Error::NotIndependent { reason, witness }
+            }
+            // Substrate errors are normalized to the one canonical
+            // variant, whichever layer surfaced them.
+            MaintenanceError::Relational(e) => Error::Relational(e),
+            MaintenanceError::Chase(e) => Error::Chase(e),
+            other => Error::Maintenance(other),
+        }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::NotIndependent { reason, witness } => {
+                Error::NotIndependent { reason, witness }
+            }
+            StoreError::Relational(e) => Error::Relational(e),
+            other => Error::Store(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_deps::FdSet;
+    use ids_relational::{DatabaseSchema, Universe};
+
+    #[test]
+    fn independence_refusals_normalize_across_engines() {
+        // Example 1, refused by both the local engine and the store: the
+        // facade error is the same variant either way, witness attached.
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let analysis = ids_core::analyze(&schema, &fds);
+
+        let from_local: Error = ids_core::LocalMaintainer::from_analysis(
+            &schema,
+            &analysis,
+            ids_relational::DatabaseState::empty(&schema),
+        )
+        .unwrap_err()
+        .into();
+        let from_store: Error =
+            ids_store::Store::from_analysis(&schema, &analysis, ids_store::StoreConfig::default())
+                .unwrap_err()
+                .into();
+        for err in [from_local, from_store] {
+            assert!(matches!(err, Error::NotIndependent { .. }), "got {err}");
+            assert!(err.witness().is_some());
+        }
+    }
+}

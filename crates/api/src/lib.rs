@@ -1,0 +1,60 @@
+//! # ids-api
+//!
+//! One typed `Database` front-end over every maintenance engine.
+//!
+//! The paper's point is that an independent schema lets each relation be
+//! maintained through one uniform local interface; this crate is that
+//! statement as an API.  Callers declare a schema fluently, the builder
+//! runs the independence analysis **exactly once**, and the resulting
+//! [`Database`] speaks relation names and string values over whichever
+//! engine fits — the O(1) local fast path, the honest chase baseline,
+//! the FD-only middle ground, or the concurrent sharded store — all
+//! behind the one [`Engine`] trait with uniform, fallible signatures.
+//!
+//! ```
+//! use ids_api::{Database, EngineKind, Schema};
+//!
+//! // Declare; the universe is collected from the columns, and the
+//! // independence analysis runs once, right here.
+//! let schema = Schema::builder()
+//!     .relation("CT", ["course", "teacher"])
+//!     .relation("CS", ["course", "student"])
+//!     .relation("CHR", ["course", "hour", "room"])
+//!     .fd("course -> teacher")
+//!     .fd("course hour -> room")
+//!     .build()?;                       // refused, with witness, if dependent
+//!
+//! // Open on any engine — here the independent-schema fast path.
+//! let mut db = Database::open(schema, EngineKind::Local)?;
+//! db.insert("CT", ["CS402", "Jones"])?;
+//! assert!(db.insert("CT", ["CS402", "Smith"])?.is_rejected());   // course → teacher
+//! assert_eq!(db.rows("CT")?, vec![vec!["CS402".to_string(), "Jones".to_string()]]);
+//! # Ok::<(), ids_api::Error>(())
+//! ```
+//!
+//! ## The pieces
+//!
+//! * [`SchemaBuilder`] → [`Schema`]: fluent declaration, automatic
+//!   universe, one analysis run, `LSAT ∖ WSAT` witness on refusal
+//!   ([`Error::witness`]).  [`SchemaBuilder::build_any`] keeps dependent
+//!   schemas serveable by the chase engines.
+//! * [`Engine`] + [`EngineKind`]: the unified interface all four engines
+//!   implement — `insert` / `remove` / `apply_batch` / `read` /
+//!   `snapshot`, all fallible, FD violations always *outcomes*.
+//! * [`Database`]: owns the interning `ValuePool`; string values in,
+//!   rendered rows out; `rows`/`read` are barrier-free per-relation
+//!   reads, `snapshot` is the consistent cross-relation barrier.
+//! * [`Error`]: the `#[non_exhaustive]` top-level error every layer
+//!   converts into.
+
+#![warn(missing_docs)]
+
+mod database;
+mod engine;
+mod error;
+mod schema;
+
+pub use database::Database;
+pub use engine::{Engine, EngineKind};
+pub use error::Error;
+pub use schema::{Schema, SchemaBuilder};

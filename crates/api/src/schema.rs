@@ -1,0 +1,339 @@
+//! The fluent schema builder and the validated [`Schema`] handle.
+
+use std::collections::HashMap;
+
+use ids_core::{analyze, IndependenceAnalysis, Verdict, Witness};
+use ids_deps::{Fd, FdSet};
+use ids_relational::{
+    AttrSet, DatabaseSchema, RelationScheme, RelationalError, SchemeId, Universe,
+};
+
+use crate::error::Error;
+
+/// How the user declared one relation: column names in declaration order,
+/// plus the permutation from declaration order to the scheme's canonical
+/// tuple order (ascending attribute id).
+///
+/// The two orders differ as soon as a relation mentions attributes first
+/// introduced by different relations — the layout is what lets
+/// [`crate::Database`] accept and render tuples in the order the user
+/// wrote, while every engine below sees canonical scheme order.
+#[derive(Clone, Debug)]
+pub(crate) struct RelationLayout {
+    /// Column names, in declaration order.
+    pub columns: Vec<String>,
+    /// `perm[j]` = position in the canonical tuple of declared column `j`.
+    pub perm: Vec<usize>,
+}
+
+/// A validated schema handle: the declared relations and dependencies,
+/// with the independence analysis already run — **exactly once**, at
+/// build time.  Every engine opened from this handle reuses the stored
+/// verdict and enforcement covers instead of re-deciding.
+///
+/// Cheap to clone (the underlying [`DatabaseSchema`] is reference
+/// counted; dependencies and analysis are small).
+#[derive(Clone, Debug)]
+pub struct Schema {
+    pub(crate) definition: DatabaseSchema,
+    pub(crate) fds: FdSet,
+    pub(crate) analysis: IndependenceAnalysis,
+    pub(crate) layouts: Vec<RelationLayout>,
+    /// name → id, precomputed: every string-level operation resolves its
+    /// relation through this map, so the per-op cost is one hash lookup,
+    /// not a linear scan of the scheme table.
+    pub(crate) by_name: HashMap<String, SchemeId>,
+}
+
+impl Schema {
+    /// Starts a fluent builder.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// The underlying schema definition (universe + schemes).
+    pub fn definition(&self) -> &DatabaseSchema {
+        &self.definition
+    }
+
+    /// The declared functional dependencies `F`.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// The independence analysis computed at build time.
+    pub fn analysis(&self) -> &IndependenceAnalysis {
+        &self.analysis
+    }
+
+    /// True when the schema is independent w.r.t. `F ∪ {*D}`.
+    pub fn is_independent(&self) -> bool {
+        self.analysis.is_independent()
+    }
+
+    /// The `LSAT ∖ WSAT` counterexample, when not independent (only
+    /// reachable through [`SchemaBuilder::build_any`]).
+    pub fn witness(&self) -> Option<&Witness> {
+        self.analysis.witness()
+    }
+
+    /// Per-scheme enforcement covers `Fi`, when independent.
+    pub fn enforcement(&self) -> Option<&[FdSet]> {
+        match &self.analysis.verdict {
+            Verdict::Independent { enforcement } => Some(enforcement),
+            Verdict::NotIndependent { .. } => None,
+        }
+    }
+
+    /// Resolves a relation name to its id — O(1), via the name map built
+    /// at `build` time.
+    pub fn scheme_id(&self, relation: &str) -> Result<SchemeId, Error> {
+        self.by_name
+            .get(relation)
+            .copied()
+            .ok_or_else(|| Error::UnknownRelation(relation.to_string()))
+    }
+
+    /// The declared column names of a relation, in declaration order.
+    pub fn columns(&self, relation: &str) -> Result<&[String], Error> {
+        let id = self.scheme_id(relation)?;
+        Ok(&self.layouts[id.index()].columns)
+    }
+
+    /// All relation names, in declaration order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.definition.iter().map(|(_, s)| s.name.as_str())
+    }
+
+    pub(crate) fn layout(&self, id: SchemeId) -> &RelationLayout {
+        &self.layouts[id.index()]
+    }
+}
+
+/// Fluent builder for a [`Schema`]: declare relations by column name,
+/// state dependencies as `"lhs -> rhs"` strings, and build.
+///
+/// The attribute universe is collected automatically from the declared
+/// columns (first appearance wins the id), so the schemes always cover it
+/// — no separate [`Universe`] bookkeeping, no positional ids.
+///
+/// ```
+/// use ids_api::Schema;
+///
+/// let schema = Schema::builder()
+///     .relation("CT", ["course", "teacher"])
+///     .relation("CS", ["course", "student"])
+///     .relation("CHR", ["course", "hour", "room"])
+///     .fd("course -> teacher")
+///     .fd("course hour -> room")
+///     .build()
+///     .expect("Example 2 is independent");
+/// assert!(schema.is_independent());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SchemaBuilder {
+    relations: Vec<(String, Vec<String>)>,
+    fds: Vec<String>,
+}
+
+impl SchemaBuilder {
+    /// Declares a relation with its column names, in the order tuples
+    /// will be written and read through the [`crate::Database`].
+    pub fn relation<N, C, S>(mut self, name: N, columns: C) -> Self
+    where
+        N: Into<String>,
+        C: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.relations
+            .push((name.into(), columns.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Declares a functional dependency, e.g. `"course -> teacher"` or
+    /// `"course hour -> room"` (column names separated by whitespace or
+    /// commas).  Parsed — and reported — at build time.
+    pub fn fd(mut self, spec: impl Into<String>) -> Self {
+        self.fds.push(spec.into());
+        self
+    }
+
+    /// Builds the schema and **refuses non-independent inputs**: the
+    /// error carries the decision procedure's diagnosis and its
+    /// `LSAT ∖ WSAT` counterexample ([`Error::witness`]).
+    ///
+    /// This is the front door: a handle from `build` can open every
+    /// engine, including the local fast path and the sharded store whose
+    /// soundness independence underwrites.
+    pub fn build(self) -> Result<Schema, Error> {
+        let schema = self.assemble()?;
+        match &schema.analysis.verdict {
+            Verdict::Independent { .. } => Ok(schema),
+            Verdict::NotIndependent { reason, witness } => Err(Error::NotIndependent {
+                reason: reason.clone(),
+                witness: Box::new(witness.clone()),
+            }),
+        }
+    }
+
+    /// Builds the schema **without** the independence gate: the verdict
+    /// (and witness, if any) stays available on the handle, and engines
+    /// that do not rely on independence — [`crate::EngineKind::Chase`],
+    /// [`crate::EngineKind::FdOnly`] — can still serve it.  Opening the
+    /// local or sharded engine on a dependent handle is a typed error.
+    pub fn build_any(self) -> Result<Schema, Error> {
+        self.assemble()
+    }
+
+    fn assemble(self) -> Result<Schema, Error> {
+        // Universe: every column name, id by first appearance.
+        let mut universe = Universe::new();
+        for (_, columns) in &self.relations {
+            for column in columns {
+                if universe.attr(column).is_none() {
+                    universe.add(column.clone())?;
+                }
+            }
+        }
+        // Schemes + layouts.  A column repeated within one relation is an
+        // error (the builder cannot know which position the user meant).
+        let mut schemes = Vec::with_capacity(self.relations.len());
+        let mut layouts = Vec::with_capacity(self.relations.len());
+        for (name, columns) in &self.relations {
+            let mut attrs = AttrSet::new();
+            for column in columns {
+                let id = universe.attr(column).expect("collected above");
+                if !attrs.insert(id) {
+                    return Err(RelationalError::DuplicateAttribute(column.clone()).into());
+                }
+            }
+            layouts.push(RelationLayout {
+                columns: columns.clone(),
+                perm: columns
+                    .iter()
+                    .map(|c| attrs.rank(universe.attr(c).expect("collected above")))
+                    .collect(),
+            });
+            schemes.push(RelationScheme {
+                name: name.clone(),
+                attrs,
+            });
+        }
+        let definition = DatabaseSchema::new(universe, schemes)?;
+        let mut fds = FdSet::new();
+        for spec in &self.fds {
+            fds.insert(Fd::parse(definition.universe(), spec)?);
+        }
+        let by_name = definition
+            .iter()
+            .map(|(id, s)| (s.name.clone(), id))
+            .collect();
+        // The one and only run of the decision procedure for this handle.
+        let analysis = analyze(&definition, &fds);
+        Ok(Schema {
+            definition,
+            fds,
+            analysis,
+            layouts,
+            by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example2() -> SchemaBuilder {
+        Schema::builder()
+            .relation("CT", ["course", "teacher"])
+            .relation("CS", ["course", "student"])
+            .relation("CHR", ["course", "hour", "room"])
+            .fd("course -> teacher")
+            .fd("course hour -> room")
+    }
+
+    #[test]
+    fn builder_collects_universe_and_certifies_independence() {
+        let schema = example2().build().unwrap();
+        assert!(schema.is_independent());
+        assert_eq!(schema.definition().universe().len(), 5);
+        assert_eq!(schema.definition().len(), 3);
+        assert_eq!(schema.columns("CHR").unwrap(), ["course", "hour", "room"]);
+        assert_eq!(
+            schema.relation_names().collect::<Vec<_>>(),
+            ["CT", "CS", "CHR"]
+        );
+        // Enforcement covers land on the declaring relations.
+        let covers = schema.enforcement().unwrap();
+        let cs = schema.scheme_id("CS").unwrap();
+        assert!(covers[cs.index()].is_empty());
+    }
+
+    #[test]
+    fn non_independent_schemas_are_refused_with_a_witness() {
+        // Example 2 + "a student is in one room per hour".
+        let err = example2().fd("student hour -> room").build().unwrap_err();
+        assert!(matches!(err, Error::NotIndependent { .. }), "got {err}");
+        let witness = err.witness().expect("refusal carries a witness");
+        assert!(witness.state.total_tuples() > 0);
+    }
+
+    #[test]
+    fn build_any_keeps_the_verdict_and_witness() {
+        let schema = example2().fd("student hour -> room").build_any().unwrap();
+        assert!(!schema.is_independent());
+        assert!(schema.witness().is_some());
+        assert!(schema.enforcement().is_none());
+    }
+
+    #[test]
+    fn layout_permutation_tracks_declaration_order() {
+        // "TR" declares (room, teacher) but `teacher` already has a lower
+        // attribute id from "CT" — the canonical tuple order is (teacher,
+        // room), and the layout must record that inversion.
+        let schema = Schema::builder()
+            .relation("CT", ["course", "teacher"])
+            .relation("TR", ["room", "teacher"])
+            .build()
+            .unwrap();
+        let tr = schema.scheme_id("TR").unwrap();
+        assert_eq!(schema.layout(tr).perm, vec![1, 0]);
+        assert_eq!(schema.columns("TR").unwrap(), ["room", "teacher"]);
+    }
+
+    #[test]
+    fn builder_error_paths_are_typed() {
+        // Duplicate column within one relation.
+        let err = Schema::builder()
+            .relation("R", ["a", "b", "a"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Relational(RelationalError::DuplicateAttribute(_))
+        ));
+        // FD mentioning an undeclared column.
+        let err = Schema::builder()
+            .relation("R", ["a", "b"])
+            .fd("a -> zz")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Relational(RelationalError::UnknownAttribute(_))
+        ));
+        // No relations at all.
+        let err = Schema::builder().build().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Relational(RelationalError::EmptySchema)
+        ));
+        // Unknown relation lookups on a good handle.
+        let schema = example2().build().unwrap();
+        assert!(matches!(
+            schema.scheme_id("nope"),
+            Err(Error::UnknownRelation(_))
+        ));
+    }
+}

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ids_chase::ChaseConfig;
-use ids_core::{analyze, ChaseMaintainer, LocalMaintainer, Maintainer};
+use ids_core::{analyze, ChaseMaintainer, LocalMaintainer};
 use ids_workloads::examples::registrar;
 use ids_workloads::states::{insert_stream, random_satisfying_state};
 

@@ -22,7 +22,7 @@ use ids_chase::{fd_implied_explicit, ChaseConfig};
 use ids_core::{
     analyze, theorem1_reduction, tuple_in_projected_join, verify_witness, ChaseMaintainer,
     CoverEmbedding, FdOnlyMaintainer, InsertOutcome, JoinMembershipInstance, LocalMaintainer,
-    Maintainer, Verdict,
+    Verdict,
 };
 use ids_deps::{closure_with_jd, Fd, FdSet, JoinDependency};
 use ids_relational::{AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, Universe, Value};
@@ -74,6 +74,9 @@ fn main() {
     }
     if want("e7") {
         e7_store_throughput(smoke);
+    }
+    if want("e8") {
+        e8_read_vs_snapshot(smoke);
     }
 }
 
@@ -745,6 +748,42 @@ fn e7_store_throughput(smoke: bool) {
     println!(
         "host CPUs: {} (shard overlap is capped by this; ≥ 2x at 4 shards \
          expects ≥ 4 CPUs)",
+        available_cpus()
+    );
+}
+
+/// E8 — per-relation barrier-free read vs full snapshot: the API payoff
+/// of independence (a read touches one shard, a snapshot all of them).
+fn e8_read_vs_snapshot(smoke: bool) {
+    use ids_bench::reads::sweep;
+    use ids_bench::throughput::available_cpus;
+    let rows: Vec<Vec<String>> = sweep(smoke)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.relations),
+                format!("{}", r.preloaded),
+                fmt_duration(r.read),
+                fmt_duration(r.snapshot),
+                format!("{:.1}x", r.snapshot_over_read),
+            ]
+        })
+        .collect();
+    print_table(
+        "E8 — barrier-free read(R) vs snapshot() barrier, key-chain stores at 4 shards \
+         (claim: independence ⇒ sound shard-local reads)",
+        &[
+            "relations",
+            "preloaded tuples",
+            "read(R)",
+            "snapshot()",
+            "snapshot/read",
+        ],
+        &rows,
+    );
+    println!(
+        "host CPUs: {} (the read advantage comes from touching 1/n of the \
+         data and 1 shard, so it holds even at 1 CPU)",
         available_cpus()
     );
 }

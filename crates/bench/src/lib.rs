@@ -1,10 +1,11 @@
 //! Shared harness utilities for the experiment suite: wall-clock timing
 //! with warmup and median-of-N, aligned table output matching the
-//! EXPERIMENTS.md format, and the E7 store-throughput kernel
-//! ([`throughput`]).
+//! EXPERIMENTS.md format, the E7 store-throughput kernel
+//! ([`throughput`]) and the E8 read-vs-snapshot kernel ([`reads`]).
 
 #![warn(missing_docs)]
 
+pub mod reads;
 pub mod throughput;
 
 use std::time::{Duration, Instant};

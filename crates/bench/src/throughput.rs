@@ -19,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 
-use ids_core::{analyze, LocalMaintainer, Maintainer};
+use ids_core::{analyze, LocalMaintainer};
 use ids_relational::DatabaseState;
 use ids_store::{Store, StoreConfig, StoreOp};
 use ids_workloads::families::{key_chain, FamilyInstance};
@@ -74,7 +74,7 @@ pub fn run_local(w: &ThroughputWorkload) -> Duration {
                 let _ = std::hint::black_box(m.insert(scheme, tuple).unwrap());
             }
             StoreOp::Remove { scheme, tuple } => {
-                let _ = std::hint::black_box(m.remove(scheme, &tuple));
+                let _ = std::hint::black_box(m.remove(scheme, &tuple).unwrap());
             }
         }
     }
@@ -236,7 +236,7 @@ mod tests {
                     let _ = m.insert(*scheme, tuple.clone()).unwrap();
                 }
                 StoreOp::Remove { scheme, tuple } => {
-                    let _ = m.remove(*scheme, tuple);
+                    let _ = m.remove(*scheme, tuple).unwrap();
                 }
             }
         }

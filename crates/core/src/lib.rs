@@ -37,7 +37,8 @@ pub use independence::{
     analyze, is_independent, IndependenceAnalysis, NotIndependentReason, Verdict,
 };
 pub use maintenance::{
-    ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
+    validate_op, ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer,
+    MaintenanceError,
 };
 pub use np_hardness::{
     theorem1_reduction, tuple_in_projected_join, tuple_in_projected_join_materialized,

@@ -33,7 +33,30 @@ pub enum InsertOutcome {
     },
 }
 
-/// Common interface of the two maintenance engines.
+impl InsertOutcome {
+    /// True for [`InsertOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, InsertOutcome::Accepted)
+    }
+
+    /// True for [`InsertOutcome::Duplicate`].
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, InsertOutcome::Duplicate)
+    }
+
+    /// True for [`InsertOutcome::Rejected`].
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, InsertOutcome::Rejected { .. })
+    }
+}
+
+/// Common interface of the sequential maintenance engines.
+///
+/// All three operations are *uniformly fallible*: a tuple of the wrong
+/// arity or an id outside the schema is a typed error from `remove`
+/// exactly as it is from `insert` — no engine silently swallows a
+/// malformed operation.  FD violations remain *outcomes*
+/// ([`InsertOutcome::Rejected`]), never errors.
 pub trait Maintainer {
     /// Attempts to insert `tuple` (scheme order) into relation `id`.
     fn insert(
@@ -42,8 +65,12 @@ pub trait Maintainer {
         tuple: Vec<Value>,
     ) -> Result<InsertOutcome, MaintenanceError>;
 
-    /// Removes a tuple; always satisfaction-preserving.
-    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool;
+    /// Removes a tuple; always satisfaction-preserving.  `Ok(true)` when
+    /// the tuple was present; arity/scheme mismatches are typed errors.
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError>;
+
+    /// The schema handle the engine serves.
+    fn schema(&self) -> &DatabaseSchema;
 
     /// The current state.
     fn state(&self) -> &DatabaseState;
@@ -54,6 +81,8 @@ pub trait Maintainer {
 pub enum MaintenanceError {
     /// Tuple arity or scheme mismatch.
     Relational(RelationalError),
+    /// An operation referenced a scheme id outside the schema.
+    UnknownScheme(SchemeId),
     /// The chase baseline exceeded its budget.
     Chase(ChaseError),
     /// The schema is not independent, so the local engine would be
@@ -79,6 +108,7 @@ impl std::fmt::Display for MaintenanceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Relational(e) => write!(f, "{e}"),
+            Self::UnknownScheme(id) => write!(f, "operation references unknown scheme {id:?}"),
             Self::Chase(e) => write!(f, "{e}"),
             Self::NotIndependent { reason, .. } => write!(
                 f,
@@ -126,13 +156,17 @@ pub struct LocalMaintainer {
 impl LocalMaintainer {
     /// Builds the engine from per-scheme enforcement covers, starting from
     /// an existing state, which every cover must accept
-    /// ([`MaintenanceError::BaseStateViolation`] otherwise).
+    /// ([`MaintenanceError::BaseStateViolation`] otherwise).  The cover
+    /// vector must have exactly one entry per scheme — a mismatch is a
+    /// typed error, never a silently under-enforced engine.
     pub fn new(
         schema: &DatabaseSchema,
         enforcement: Vec<FdSet>,
         state: DatabaseState,
     ) -> Result<Self, MaintenanceError> {
-        debug_assert_eq!(enforcement.len(), schema.len());
+        if enforcement.len() != schema.len() {
+            return Err(RelationalError::SchemaMismatch("enforcement covers").into());
+        }
         let shards = schema
             .ids()
             .zip(enforcement)
@@ -172,67 +206,140 @@ impl LocalMaintainer {
     pub fn schema(&self) -> &DatabaseSchema {
         &self.schema
     }
-}
 
-impl Maintainer for LocalMaintainer {
-    fn insert(
+    /// Attempts to insert `tuple` (scheme order) into relation `id`.
+    pub fn insert(
         &mut self,
         id: SchemeId,
         tuple: Vec<Value>,
     ) -> Result<InsertOutcome, MaintenanceError> {
         // Split borrow: the shard (indexes) and the state (tuples) are
         // disjoint fields, so nothing is cloned per operation.
-        let shard = &mut self.shards[id.index()];
+        let shard = self
+            .shards
+            .get_mut(id.index())
+            .ok_or(MaintenanceError::UnknownScheme(id))?;
         shard.insert(self.state.relation_mut(id), tuple)
     }
 
-    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
-        let shard = &mut self.shards[id.index()];
+    /// Removes a tuple; `Ok(true)` when it was present.
+    pub fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        let shard = self
+            .shards
+            .get_mut(id.index())
+            .ok_or(MaintenanceError::UnknownScheme(id))?;
         shard.remove(self.state.relation_mut(id), tuple)
     }
 
-    fn state(&self) -> &DatabaseState {
+    /// The current state.
+    pub fn state(&self) -> &DatabaseState {
         &self.state
     }
 }
 
-/// The general baseline: validate every insert by re-chasing the whole
-/// state under `F ∪ {*D}`.
-pub struct ChaseMaintainer<'a> {
-    schema: &'a DatabaseSchema,
-    fds: &'a FdSet,
-    state: DatabaseState,
-    config: ChaseConfig,
-}
-
-impl<'a> ChaseMaintainer<'a> {
-    /// Builds the baseline engine over an existing satisfying state.
-    pub fn new(
-        schema: &'a DatabaseSchema,
-        fds: &'a FdSet,
-        state: DatabaseState,
-        config: ChaseConfig,
-    ) -> Self {
-        ChaseMaintainer {
-            schema,
-            fds,
-            state,
-            config,
-        }
-    }
-}
-
-impl Maintainer for ChaseMaintainer<'_> {
+// The operations live as inherent methods (so callers never need a trait
+// in scope, and the `Maintainer`/`Engine` traits can coexist without
+// method-resolution ambiguity); the trait impl just delegates.
+impl Maintainer for LocalMaintainer {
     fn insert(
         &mut self,
         id: SchemeId,
         tuple: Vec<Value>,
     ) -> Result<InsertOutcome, MaintenanceError> {
+        LocalMaintainer::insert(self, id, tuple)
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        LocalMaintainer::remove(self, id, tuple)
+    }
+
+    fn schema(&self) -> &DatabaseSchema {
+        LocalMaintainer::schema(self)
+    }
+
+    fn state(&self) -> &DatabaseState {
+        LocalMaintainer::state(self)
+    }
+}
+
+/// Validates an operation against a schema before an engine touches any
+/// state: the id must name a scheme ([`MaintenanceError::UnknownScheme`]
+/// otherwise) and the tuple must match its arity
+/// ([`RelationalError::ArityMismatch`] otherwise).
+///
+/// This is *the* validation contract of the uniform engine interface —
+/// the whole-state engines here, the `ids-store` router, and the
+/// `ids-api` batch path all call it, so every engine rejects malformed
+/// operations identically.
+pub fn validate_op(
+    schema: &DatabaseSchema,
+    id: SchemeId,
+    tuple: &[Value],
+) -> Result<(), MaintenanceError> {
+    let scheme = schema
+        .get_scheme(id)
+        .ok_or(MaintenanceError::UnknownScheme(id))?;
+    if tuple.len() != scheme.attrs.len() {
+        return Err(RelationalError::ArityMismatch {
+            expected: scheme.attrs.len(),
+            found: tuple.len(),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// The general baseline: validate every insert by re-chasing the whole
+/// state under `F ∪ {*D}`.
+///
+/// Owns cheap handles to its schema and a clone of the dependencies, so
+/// the engine can move freely (into a `Database` facade, across threads)
+/// without borrowing the caller's analysis inputs.
+pub struct ChaseMaintainer {
+    schema: DatabaseSchema,
+    fds: FdSet,
+    state: DatabaseState,
+    config: ChaseConfig,
+}
+
+impl ChaseMaintainer {
+    /// Builds the baseline engine over an existing satisfying state.
+    pub fn new(
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        state: DatabaseState,
+        config: ChaseConfig,
+    ) -> Self {
+        ChaseMaintainer {
+            schema: schema.clone(),
+            fds: fds.clone(),
+            state,
+            config,
+        }
+    }
+
+    /// Attempts to insert `tuple` (scheme order) into relation `id`,
+    /// validating by a whole-state re-chase.
+    pub fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        validate_op(&self.schema, id, &tuple)?;
         if self.state.relation(id).contains(&tuple) {
             return Ok(InsertOutcome::Duplicate);
         }
         self.state.insert(id, tuple.clone())?;
-        let sat = ids_chase::satisfies(self.schema, self.fds, &self.state, &self.config)?;
+        // Roll the tentative tuple back on *any* non-accepting outcome —
+        // including a chase budget error: an unvalidated tuple must never
+        // survive in the state.
+        let sat = match ids_chase::satisfies(&self.schema, &self.fds, &self.state, &self.config) {
+            Ok(sat) => sat,
+            Err(e) => {
+                self.state.relation_mut(id).remove(&tuple);
+                return Err(e.into());
+            }
+        };
         if sat.is_satisfying() {
             Ok(InsertOutcome::Accepted)
         } else {
@@ -241,12 +348,42 @@ impl Maintainer for ChaseMaintainer<'_> {
         }
     }
 
-    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
-        self.state.relation_mut(id).remove(tuple)
+    /// Removes a tuple; `Ok(true)` when it was present.
+    pub fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        validate_op(&self.schema, id, tuple)?;
+        Ok(self.state.relation_mut(id).remove(tuple))
+    }
+
+    /// The schema handle the engine carries.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+}
+
+impl Maintainer for ChaseMaintainer {
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        ChaseMaintainer::insert(self, id, tuple)
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        ChaseMaintainer::remove(self, id, tuple)
+    }
+
+    fn schema(&self) -> &DatabaseSchema {
+        ChaseMaintainer::schema(self)
     }
 
     fn state(&self) -> &DatabaseState {
-        &self.state
+        ChaseMaintainer::state(self)
     }
 }
 
@@ -288,7 +425,7 @@ mod tests {
         let out = m.insert(ct, vec![v(1), v(11)]).unwrap();
         assert!(matches!(out, InsertOutcome::Rejected { violated: Some(_) }));
         // Remove and retry: accepted.
-        assert!(m.remove(ct, &[v(1), v(10)]));
+        assert!(m.remove(ct, &[v(1), v(10)]).unwrap());
         assert_eq!(
             m.insert(ct, vec![v(1), v(11)]).unwrap(),
             InsertOutcome::Accepted
@@ -380,6 +517,83 @@ mod tests {
     }
 
     #[test]
+    fn malformed_ops_are_typed_errors_on_every_engine() {
+        // The remove/insert asymmetry is gone: a bad arity or a foreign
+        // scheme id is a typed error from all three engines, both ways.
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let bogus = SchemeId(99);
+
+        let mut local =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
+        let mut chase = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let mut fd_only = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let engines: [&mut dyn Maintainer; 3] = [&mut local, &mut chase, &mut fd_only];
+        for m in engines {
+            assert!(matches!(
+                m.remove(ct, &[v(1)]),
+                Err(MaintenanceError::Relational(
+                    RelationalError::ArityMismatch { .. }
+                ))
+            ));
+            assert!(matches!(
+                m.remove(bogus, &[v(1)]),
+                Err(MaintenanceError::UnknownScheme(id)) if id == bogus
+            ));
+            assert!(matches!(
+                m.insert(bogus, vec![v(1)]),
+                Err(MaintenanceError::UnknownScheme(id)) if id == bogus
+            ));
+            assert_eq!(m.state().total_tuples(), 0, "errors must not mutate");
+        }
+    }
+
+    #[test]
+    fn chase_budget_error_rolls_back_the_tentative_tuple() {
+        // A starved chase budget must surface as an error *without*
+        // leaving the unvalidated tuple behind: retrying after the error
+        // must not claim Duplicate for a tuple that was never accepted.
+        let (schema, fds) = independent_setup();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        let mut m = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig {
+                max_rows: 1,
+                max_passes: 10,
+            },
+        );
+        // Force enough rows that the padded tableau blows the budget.
+        let mut errored = false;
+        for (id, tuple) in [
+            (ct, vec![v(1), v(10)]),
+            (chr, vec![v(1), v(2), v(3)]),
+            (chr, vec![v(2), v(2), v(3)]),
+        ] {
+            let before = m.state().total_tuples();
+            match m.insert(id, tuple.clone()) {
+                Ok(_) => {}
+                Err(MaintenanceError::Chase(_)) => {
+                    errored = true;
+                    assert_eq!(m.state().total_tuples(), before, "no tuple left behind");
+                    assert!(!m.state().relation(id).contains(&tuple));
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(errored, "budget of 1 row must starve the chase");
+    }
+
+    #[test]
     fn invalid_base_state_is_refused() {
         let (schema, fds) = independent_setup();
         let analysis = analyze(&schema, &fds);
@@ -415,30 +629,37 @@ mod tests {
 /// surface are accepted.  On independent schemas it coincides with the
 /// full chase; on dependent schemas it sits strictly between the local
 /// and full engines — the E2/E3 benches use it as the middle line.
-pub struct FdOnlyMaintainer<'a> {
-    schema: &'a DatabaseSchema,
-    fds: &'a FdSet,
+///
+/// Owns its schema handle and dependencies, like [`ChaseMaintainer`].
+pub struct FdOnlyMaintainer {
+    schema: DatabaseSchema,
+    fds: FdSet,
     state: DatabaseState,
 }
 
-impl<'a> FdOnlyMaintainer<'a> {
+impl FdOnlyMaintainer {
     /// Builds the engine over an existing state.
-    pub fn new(schema: &'a DatabaseSchema, fds: &'a FdSet, state: DatabaseState) -> Self {
-        FdOnlyMaintainer { schema, fds, state }
+    pub fn new(schema: &DatabaseSchema, fds: &FdSet, state: DatabaseState) -> Self {
+        FdOnlyMaintainer {
+            schema: schema.clone(),
+            fds: fds.clone(),
+            state,
+        }
     }
-}
 
-impl Maintainer for FdOnlyMaintainer<'_> {
-    fn insert(
+    /// Attempts to insert `tuple` (scheme order) into relation `id`,
+    /// validating by the FD-only chase.
+    pub fn insert(
         &mut self,
         id: SchemeId,
         tuple: Vec<Value>,
     ) -> Result<InsertOutcome, MaintenanceError> {
+        validate_op(&self.schema, id, &tuple)?;
         if self.state.relation(id).contains(&tuple) {
             return Ok(InsertOutcome::Duplicate);
         }
         self.state.insert(id, tuple.clone())?;
-        let sat = ids_chase::satisfies_fds_only(self.schema, self.fds, &self.state);
+        let sat = ids_chase::satisfies_fds_only(&self.schema, &self.fds, &self.state);
         if sat.is_satisfying() {
             Ok(InsertOutcome::Accepted)
         } else {
@@ -447,12 +668,42 @@ impl Maintainer for FdOnlyMaintainer<'_> {
         }
     }
 
-    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> bool {
-        self.state.relation_mut(id).remove(tuple)
+    /// Removes a tuple; `Ok(true)` when it was present.
+    pub fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        validate_op(&self.schema, id, tuple)?;
+        Ok(self.state.relation_mut(id).remove(tuple))
+    }
+
+    /// The schema handle the engine carries.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+}
+
+impl Maintainer for FdOnlyMaintainer {
+    fn insert(
+        &mut self,
+        id: SchemeId,
+        tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, MaintenanceError> {
+        FdOnlyMaintainer::insert(self, id, tuple)
+    }
+
+    fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
+        FdOnlyMaintainer::remove(self, id, tuple)
+    }
+
+    fn schema(&self) -> &DatabaseSchema {
+        FdOnlyMaintainer::schema(self)
     }
 
     fn state(&self) -> &DatabaseState {
-        &self.state
+        FdOnlyMaintainer::state(self)
     }
 }
 

@@ -178,10 +178,24 @@ impl RelationShard {
     }
 
     /// Removes a tuple from `rel`; always satisfaction-preserving under
-    /// weak-instance semantics.  Returns `true` when the tuple existed.
-    pub fn remove(&mut self, rel: &mut Relation, tuple: &[Value]) -> bool {
+    /// weak-instance semantics.  Returns `Ok(true)` when the tuple
+    /// existed; a tuple of the wrong arity is a typed error
+    /// ([`RelationalError::ArityMismatch`]), not a silent `false` — the
+    /// same contract as [`RelationShard::insert`].
+    pub fn remove(
+        &mut self,
+        rel: &mut Relation,
+        tuple: &[Value],
+    ) -> Result<bool, MaintenanceError> {
+        if tuple.len() != self.schema.attrs(self.id).len() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.attrs(self.id).len(),
+                found: tuple.len(),
+            }
+            .into());
+        }
         if !rel.remove(tuple) {
-            return false;
+            return Ok(false);
         }
         for k in 0..self.enforcement.len() {
             let key: Vec<Value> = self.lhs_pos[k].iter().map(|&p| tuple[p]).collect();
@@ -192,7 +206,7 @@ impl RelationShard {
                 }
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -237,7 +251,7 @@ mod tests {
             InsertOutcome::Rejected { .. }
         ));
         // Remove frees the key.
-        assert!(shard.remove(&mut rel, &[v(1), v(2)]));
+        assert!(shard.remove(&mut rel, &[v(1), v(2)]).unwrap());
         assert_eq!(
             shard.insert(&mut rel, vec![v(1), v(3)]).unwrap(),
             InsertOutcome::Accepted
@@ -269,7 +283,7 @@ mod tests {
         let mut rel = Relation::new(schema.attrs(id));
         shard.insert(&mut rel, vec![v(1), v(2), v(3)]).unwrap();
         shard.insert(&mut rel, vec![v(1), v(2), v(4)]).unwrap();
-        assert!(shard.remove(&mut rel, &[v(1), v(2), v(3)]));
+        assert!(shard.remove(&mut rel, &[v(1), v(2), v(3)]).unwrap());
         // A→B still enforced from the surviving supporter.
         assert!(matches!(
             shard.insert(&mut rel, vec![v(1), v(9), v(5)]).unwrap(),
@@ -283,5 +297,12 @@ mod tests {
         let mut shard = RelationShard::new(&schema, SchemeId(0), fds);
         let mut rel = Relation::new(schema.attrs(SchemeId(0)));
         assert!(shard.insert(&mut rel, vec![v(1)]).is_err());
+        // Remove surfaces the same error class instead of a silent false.
+        assert!(matches!(
+            shard.remove(&mut rel, &[v(1)]),
+            Err(MaintenanceError::Relational(
+                RelationalError::ArityMismatch { .. }
+            ))
+        ));
     }
 }

@@ -119,8 +119,20 @@ impl DatabaseSchema {
     }
 
     /// The scheme with the given id.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to this schema; use
+    /// [`DatabaseSchema::get_scheme`] at trust boundaries where the id
+    /// comes from outside (routers, deserialized operations).
     pub fn scheme(&self, id: SchemeId) -> &RelationScheme {
         &self.inner.schemes[id.index()]
+    }
+
+    /// The scheme with the given id, or `None` when the id is out of
+    /// range — the non-panicking lookup for ids that cross an API
+    /// boundary.
+    pub fn get_scheme(&self, id: SchemeId) -> Option<&RelationScheme> {
+        self.inner.schemes.get(id.index())
     }
 
     /// Attribute set of the scheme with the given id.
@@ -217,6 +229,15 @@ mod tests {
             DatabaseSchema::parse(cthr_universe(), &[("X", "CT"), ("X", "CHR")]),
             Err(RelationalError::DuplicateScheme(_))
         ));
+    }
+
+    #[test]
+    fn get_scheme_is_total_over_ids() {
+        let d = DatabaseSchema::parse(cthr_universe(), &[("CT", "CT"), ("CHR", "CHR")]).unwrap();
+        assert_eq!(d.get_scheme(SchemeId(0)).unwrap().name, "CT");
+        assert_eq!(d.get_scheme(SchemeId(1)).unwrap().name, "CHR");
+        assert!(d.get_scheme(SchemeId(2)).is_none());
+        assert!(d.get_scheme(SchemeId(u16::MAX)).is_none());
     }
 
     #[test]

@@ -76,13 +76,34 @@ impl DatabaseState {
     }
 
     /// The instance assigned to a scheme.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to this state's schema; use
+    /// [`DatabaseState::get_relation`] at trust boundaries where the id
+    /// comes from outside.
     pub fn relation(&self, id: SchemeId) -> &Relation {
         &self.relations[id.index()]
     }
 
     /// Mutable access to the instance assigned to a scheme.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to this state's schema; use
+    /// [`DatabaseState::get_relation_mut`] at trust boundaries.
     pub fn relation_mut(&mut self, id: SchemeId) -> &mut Relation {
         &mut self.relations[id.index()]
+    }
+
+    /// The instance assigned to a scheme, or `None` when the id is out of
+    /// range — the non-panicking lookup for ids that cross an API
+    /// boundary.
+    pub fn get_relation(&self, id: SchemeId) -> Option<&Relation> {
+        self.relations.get(id.index())
+    }
+
+    /// Mutable counterpart of [`DatabaseState::get_relation`].
+    pub fn get_relation_mut(&mut self, id: SchemeId) -> Option<&mut Relation> {
+        self.relations.get_mut(id.index())
     }
 
     /// Iterates over `(scheme id, instance)` pairs.
@@ -201,6 +222,21 @@ mod tests {
         let mut swapped: Vec<Relation> = d.ids().map(|id| p.relation(id).clone()).collect();
         swapped.reverse();
         assert!(DatabaseState::from_relations(&d, swapped).is_err());
+    }
+
+    #[test]
+    fn get_relation_is_total_over_ids() {
+        let d = schema();
+        let mut p = DatabaseState::empty(&d);
+        p.insert(SchemeId(0), vec![v(1), v(2)]).unwrap();
+        assert_eq!(p.get_relation(SchemeId(0)).unwrap().len(), 1);
+        assert!(p.get_relation(SchemeId(2)).is_none());
+        assert!(p.get_relation_mut(SchemeId(2)).is_none());
+        p.get_relation_mut(SchemeId(1))
+            .unwrap()
+            .insert(vec![v(2), v(3)])
+            .unwrap();
+        assert_eq!(p.total_tuples(), 2);
     }
 
     #[test]

@@ -48,6 +48,20 @@
 //! independence is what makes that safe: every per-relation-order-
 //! preserving interleaving of a trace is a serialization the sequential
 //! engines would also accept, with the same outcomes and final state.
+//!
+//! Two read paths follow from that model:
+//!
+//! * [`Store::snapshot`] — a **barrier**: every shard pauses to answer,
+//!   the result is one globally-satisfying state, cross-relation
+//!   consistent.  Cost scales with the whole database and stalls all
+//!   shards for the copy.
+//! * [`Store::read`] — **barrier-free**: only the owning shard answers;
+//!   the other shards never notice.  Per relation it is exactly as fresh
+//!   as a snapshot (FIFO read-your-writes), and because independent
+//!   relations share no enforcement state, the returned relation is one a
+//!   barrier snapshot could also have contained.  Two reads of different
+//!   relations, however, may observe cuts no single snapshot contains —
+//!   that is the (only) consistency you trade for not stopping the world.
 
 #![warn(missing_docs)]
 
@@ -82,12 +96,6 @@ impl StoreOp {
     pub fn scheme(&self) -> SchemeId {
         match self {
             StoreOp::Insert { scheme, .. } | StoreOp::Remove { scheme, .. } => *scheme,
-        }
-    }
-
-    fn tuple_len(&self) -> usize {
-        match self {
-            StoreOp::Insert { tuple, .. } | StoreOp::Remove { tuple, .. } => tuple.len(),
         }
     }
 }
@@ -175,6 +183,18 @@ enum Command {
         ops: Vec<(u32, StoreOp)>,
         reply: Sender<Vec<(u32, OpOutcome)>>,
     },
+    /// Reply with a clone of one owned relation — the barrier-free
+    /// per-relation read.  Only the owning shard ever sees this command.
+    Read {
+        scheme: SchemeId,
+        reply: Sender<Relation>,
+    },
+    /// Reply with one owned relation's cardinality — the O(1) probe
+    /// behind [`Store::count`]; no tuples cross the channel.
+    Count {
+        scheme: SchemeId,
+        reply: Sender<usize>,
+    },
     /// Reply with a clone of every owned relation — the shard's part of a
     /// consistent snapshot barrier.
     Snapshot {
@@ -206,14 +226,26 @@ impl Worker {
                                     .insert(rel, tuple)
                                     .expect("arity validated by the router"),
                             ),
-                            StoreOp::Remove { tuple, .. } => {
-                                OpOutcome::Remove(shard.remove(rel, &tuple))
-                            }
+                            StoreOp::Remove { tuple, .. } => OpOutcome::Remove(
+                                shard
+                                    .remove(rel, &tuple)
+                                    .expect("arity validated by the router"),
+                            ),
                         };
                         out.push((idx, outcome));
                     }
                     // A client that hung up no longer needs the reply.
                     let _ = reply.send(out);
+                }
+                Command::Read { scheme, reply } => {
+                    let slot = self.slot_of[scheme.index()]
+                        .expect("router sent a read for a foreign scheme");
+                    let _ = reply.send(self.slots[slot].2.clone());
+                }
+                Command::Count { scheme, reply } => {
+                    let slot = self.slot_of[scheme.index()]
+                        .expect("router sent a count for a foreign scheme");
+                    let _ = reply.send(self.slots[slot].2.len());
                 }
                 Command::Snapshot { reply } => {
                     let _ = reply.send(
@@ -266,16 +298,32 @@ impl Store {
         fds: &FdSet,
         config: StoreConfig,
     ) -> Result<Self, StoreError> {
-        let analysis = ids_core::analyze(schema, fds);
-        let enforcement = match analysis.verdict {
-            ids_core::Verdict::Independent { enforcement } => enforcement,
+        Self::from_analysis(schema, &ids_core::analyze(schema, fds), config)
+    }
+
+    /// Opens a store from an already-computed independence analysis,
+    /// without re-running the decision procedure — the path the `ids-api`
+    /// facade takes, where the builder analyzed the schema exactly once.
+    pub fn from_analysis(
+        schema: &DatabaseSchema,
+        analysis: &ids_core::IndependenceAnalysis,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let enforcement = match &analysis.verdict {
+            ids_core::Verdict::Independent { enforcement } => enforcement.clone(),
             ids_core::Verdict::NotIndependent { reason, witness } => {
                 return Err(StoreError::NotIndependent {
-                    reason,
-                    witness: Box::new(witness),
+                    reason: reason.clone(),
+                    witness: Box::new(witness.clone()),
                 })
             }
         };
+        // An analysis of a different schema must be a typed error, not an
+        // index panic while distributing covers (same guard as
+        // `LocalMaintainer::new`).
+        if enforcement.len() != schema.len() {
+            return Err(RelationalError::SchemaMismatch("enforcement covers").into());
+        }
         let shard_count = if config.shards == 0 {
             schema.len().min(
                 std::thread::available_parallelism()
@@ -361,21 +409,18 @@ impl Store {
         self.senders.len()
     }
 
-    /// Validates an operation's scheme and arity before it is routed.
+    /// Validates an operation's scheme and arity before it is routed, so
+    /// an out-of-range [`SchemeId`] is a typed error at the router
+    /// boundary rather than an index panic inside a worker.  Delegates to
+    /// [`ids_core::validate_op`] — the one validation contract every
+    /// engine shares.
     fn validate(&self, op: &StoreOp) -> Result<(), StoreError> {
-        let id = op.scheme();
-        if id.index() >= self.schema.len() {
-            return Err(StoreError::UnknownScheme(id));
-        }
-        let expected = self.schema.attrs(id).len();
-        if op.tuple_len() != expected {
-            return Err(RelationalError::ArityMismatch {
-                expected,
-                found: op.tuple_len(),
-            }
-            .into());
-        }
-        Ok(())
+        let (StoreOp::Insert { scheme, tuple } | StoreOp::Remove { scheme, tuple }) = op;
+        ids_core::validate_op(&self.schema, *scheme, tuple).map_err(|e| match e {
+            MaintenanceError::UnknownScheme(id) => StoreError::UnknownScheme(id),
+            MaintenanceError::Relational(e) => StoreError::Relational(e),
+            other => unreachable!("validate_op cannot fail with {other}"),
+        })
     }
 
     /// Attempts to insert `tuple` (scheme order) into relation `id`,
@@ -446,6 +491,53 @@ impl Store {
             .into_iter()
             .map(|o| o.expect("every op was routed to exactly one shard"))
             .collect())
+    }
+
+    /// Reads one relation **without a barrier**: only the owning shard is
+    /// consulted, so no other shard pauses, queues, or copies anything.
+    ///
+    /// This is sound precisely because the schema is independent:
+    /// relations share no enforcement state, so the cut "this relation at
+    /// its current point in its own FIFO, all others untouched" is a
+    /// prefix of a valid serialization — the returned relation is exactly
+    /// what some barrier snapshot would also contain for this scheme.
+    /// What you give up versus [`Store::snapshot`] is *cross-relation*
+    /// consistency: two `read` calls on different relations may observe
+    /// cuts no single snapshot contains.  Per relation you still get
+    /// read-your-writes: the owning shard drains every operation submitted
+    /// before the read (its command channel is FIFO).
+    pub fn read(&self, id: SchemeId) -> Result<Relation, StoreError> {
+        let _ = self
+            .schema
+            .get_scheme(id)
+            .ok_or(StoreError::UnknownScheme(id))?;
+        let (reply_tx, reply_rx) = channel();
+        self.senders[self.assignment[id.index()]]
+            .send(Command::Read {
+                scheme: id,
+                reply: reply_tx,
+            })
+            .map_err(|_| StoreError::Disconnected)?;
+        reply_rx.recv().map_err(|_| StoreError::Disconnected)
+    }
+
+    /// Number of tuples currently in one relation, consulting only the
+    /// owning shard — the cardinality probe to [`Store::read`]'s full
+    /// read.  No tuples are cloned or shipped; same consistency model as
+    /// `read` (per-relation FIFO freshness, no cross-relation cut).
+    pub fn count(&self, id: SchemeId) -> Result<usize, StoreError> {
+        let _ = self
+            .schema
+            .get_scheme(id)
+            .ok_or(StoreError::UnknownScheme(id))?;
+        let (reply_tx, reply_rx) = channel();
+        self.senders[self.assignment[id.index()]]
+            .send(Command::Count {
+                scheme: id,
+                reply: reply_tx,
+            })
+            .map_err(|_| StoreError::Disconnected)?;
+        reply_rx.recv().map_err(|_| StoreError::Disconnected)
     }
 
     /// Takes a consistent snapshot: a barrier across all shards (each
@@ -707,6 +799,82 @@ mod tests {
         store.insert(ct, vec![v(2), v(20)]).unwrap();
         assert_eq!(snap.total_tuples(), 2);
         assert_eq!(store.snapshot().unwrap().total_tuples(), 3);
+    }
+
+    #[test]
+    fn barrier_free_read_sees_prior_writes_on_its_relation() {
+        let (schema, fds) = independent_setup();
+        for shards in 1..=3 {
+            let store = Store::open_with(
+                &schema,
+                &fds,
+                StoreConfig {
+                    shards,
+                    initial_state: None,
+                },
+            )
+            .unwrap();
+            let ct = schema.scheme_by_name("CT").unwrap();
+            let cs = schema.scheme_by_name("CS").unwrap();
+            store.insert(ct, vec![v(1), v(10)]).unwrap();
+            store.insert(cs, vec![v(1), v(50)]).unwrap();
+            // Read-your-writes per relation, regardless of shard layout.
+            let rel = store.read(ct).unwrap();
+            assert_eq!(rel.len(), 1);
+            assert!(rel.contains(&[v(1), v(10)]));
+            // The read is an independent copy: later writes don't leak in.
+            store.insert(ct, vec![v(2), v(20)]).unwrap();
+            assert_eq!(rel.len(), 1);
+            assert_eq!(store.read(ct).unwrap().len(), 2);
+            // Agreement with the barrier path, relation by relation.
+            let snap = store.snapshot().unwrap();
+            assert!(store.read(cs).unwrap().set_eq(snap.relation(cs)));
+            // The cardinality probe agrees without shipping tuples.
+            assert_eq!(store.count(ct).unwrap(), 2);
+            assert_eq!(store.count(cs).unwrap(), 1);
+            // Foreign ids are typed errors, not worker panics.
+            assert!(matches!(
+                store.read(SchemeId(99)),
+                Err(StoreError::UnknownScheme(_))
+            ));
+            assert!(matches!(
+                store.count(SchemeId(99)),
+                Err(StoreError::UnknownScheme(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn from_analysis_skips_reanalysis_and_honors_the_verdict() {
+        let (schema, fds) = independent_setup();
+        let analysis = ids_core::analyze(&schema, &fds);
+        let store = Store::from_analysis(&schema, &analysis, StoreConfig::default()).unwrap();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        assert_eq!(
+            store.insert(ct, vec![v(1), v(10)]).unwrap(),
+            InsertOutcome::Accepted
+        );
+        drop(store);
+
+        // An analysis of a *different* schema is a typed error, not an
+        // index panic.
+        let u2 = Universe::from_names(["A", "B"]).unwrap();
+        let other = DatabaseSchema::parse(u2, &[("AB", "AB")]).unwrap();
+        let other_analysis = ids_core::analyze(&other, &FdSet::new());
+        assert!(matches!(
+            Store::from_analysis(&schema, &other_analysis, StoreConfig::default()),
+            Err(StoreError::Relational(RelationalError::SchemaMismatch(_)))
+        ));
+
+        // A dependent schema's stored verdict is surfaced unchanged.
+        let u = Universe::from_names(["C", "D", "T"]).unwrap();
+        let dep = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
+        let dep_fds = FdSet::parse(dep.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+        let dep_analysis = ids_core::analyze(&dep, &dep_fds);
+        assert!(matches!(
+            Store::from_analysis(&dep, &dep_analysis, StoreConfig::default()),
+            Err(StoreError::NotIndependent { .. })
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   Theorem 3), not merely per-relation consistent.
 
 use ids_chase::{satisfies, ChaseConfig};
-use ids_core::{ChaseMaintainer, LocalMaintainer, Maintainer};
+use ids_core::{ChaseMaintainer, LocalMaintainer};
 use ids_relational::DatabaseState;
 use ids_store::{OpOutcome, Store, StoreConfig, StoreOp};
 use ids_workloads::families::{bcnf_tree, key_chain, key_star};
@@ -54,7 +54,7 @@ fn sequential_replay(
         .iter()
         .map(|op| match op.kind {
             TraceKind::Insert => OpOutcome::Insert(m.insert(op.scheme, op.tuple.clone()).unwrap()),
-            TraceKind::Remove => OpOutcome::Remove(m.remove(op.scheme, &op.tuple)),
+            TraceKind::Remove => OpOutcome::Remove(m.remove(op.scheme, &op.tuple).unwrap()),
         })
         .collect();
     (outcomes, m.state().clone())
@@ -197,7 +197,7 @@ fn store_agrees_with_full_chase_on_example2() {
                 );
             }
             TraceKind::Remove => {
-                let c = chase.remove(op.scheme, &op.tuple);
+                let c = chase.remove(op.scheme, &op.tuple).unwrap();
                 assert_eq!(outcome, &OpOutcome::Remove(c));
             }
         }

@@ -1,72 +1,76 @@
-//! Quickstart: the paper's Example 1 end to end.
+//! Quickstart: the paper's Example 1 end to end — through the typed API.
 //!
 //! Three relations about courses, teachers and departments; every relation
 //! is locally fine, yet the database as a whole is contradictory — and the
 //! independence analysis explains why local checking was never going to be
-//! enough for this schema.
+//! enough for this schema.  No manual `Universe`, `ValuePool` or
+//! `SchemeId` juggling: the builder collects the universe from the
+//! columns, runs the analysis exactly once, and the `Database` speaks
+//! relation names and string values.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use independent_schemas::prelude::*;
-use independent_schemas::relational::display::render_state;
 
 fn main() {
-    // U = {C (course), D (department), T (teacher)}
-    // D = {CD, CT, TD}, F = {C→D, C→T, T→D}.
-    let u = Universe::from_names(["C", "D", "T"]).unwrap();
-    let schema = DatabaseSchema::parse(u, &[("CD", "CD"), ("CT", "CT"), ("TD", "TD")]).unwrap();
-    let fds = FdSet::parse(schema.universe(), &["C -> D", "C -> T", "T -> D"]).unwrap();
+    // U = {course, dept, teacher}; D = {CD, CT, TD}; F = {C→D, C→T, T→D}.
+    let declare = || {
+        Schema::builder()
+            .relation("CD", ["course", "dept"])
+            .relation("CT", ["course", "teacher"])
+            .relation("TD", ["dept", "teacher"])
+            .fd("course -> dept")
+            .fd("course -> teacher")
+            .fd("teacher -> dept")
+    };
 
-    println!("{schema}");
-    println!("F = {}\n", fds.render(schema.universe()));
+    // The front door refuses this schema: it is not independent, so local
+    // checking can never guarantee global consistency — and the error
+    // carries a machine-checkable `LSAT ∖ WSAT` counterexample.
+    let err = declare().build().unwrap_err();
+    println!("build() refused: {err}\n");
 
-    // The state from the paper: CS402 is a CS course, taught by Jones,
-    // and Jones belongs to EE.
-    let mut pool = ValuePool::new();
-    let (cs402, cs, jones, ee) = (
-        pool.value("CS402"),
-        pool.value("CS"),
-        pool.value("Jones"),
-        pool.value("EE"),
+    // Keep the handle anyway (verdict and witness included) to inspect
+    // the diagnosis and serve the schema on an engine that can handle it.
+    let schema = declare().build_any().unwrap();
+    println!("{}", schema.definition());
+    println!(
+        "F = {}\n",
+        schema.fds().render(schema.definition().universe())
     );
-    let mut p = DatabaseState::empty(&schema);
-    let cd = schema.scheme_by_name("CD").unwrap();
-    let ct = schema.scheme_by_name("CT").unwrap();
-    let td = schema.scheme_by_name("TD").unwrap();
-    p.insert(cd, vec![cs402, cs]).unwrap();
-    p.insert(ct, vec![cs402, jones]).unwrap();
-    p.insert(td, vec![ee, jones]).unwrap(); // scheme order: D, T
+    print!(
+        "{}",
+        render_analysis(schema.definition(), schema.analysis())
+    );
+    let witness = schema.witness().expect("not independent");
+    let ok = verify_witness(
+        schema.definition(),
+        schema.fds(),
+        &witness.state,
+        &ChaseConfig::default(),
+    )
+    .unwrap();
+    println!("\nwitness machine-checked (LSAT \\ WSAT): {ok}\n");
 
-    println!("{}", render_state(&schema, &pool, &p));
+    // Serve it on the honest whole-state chase engine.  The paper's
+    // state: CS402 is a CS course, taught by Jones… and each relation
+    // alone stays consistent.
+    let mut db = Database::open(schema, EngineKind::Chase).unwrap();
+    db.insert("CD", ["CS402", "CS"]).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
 
-    let cfg = ChaseConfig::default();
+    // …but "Jones belongs to EE" contradicts the first two rows through
+    // C→T and T→D: the chase catches at insert time what no per-relation
+    // check could see.
+    let out = db.insert("TD", ["EE", "Jones"]).unwrap();
+    println!("insert TD(EE, Jones): {out:?}");
+    println!("  (C→T and T→D force CS402's department to EE, contradicting CS)\n");
 
-    // Each relation alone is consistent…
-    let lsat = locally_satisfies(&schema, &fds, &p, &cfg).unwrap();
-    println!("locally satisfying (each relation alone): {lsat}");
-
-    // …but the chase combines C→T with T→D and derives that CS402's
-    // department must be EE, contradicting CS.
-    match satisfies(&schema, &fds, &p, &cfg).unwrap() {
-        Satisfaction::Satisfying(_) => println!("globally satisfying: true"),
-        Satisfaction::NotSatisfying(c) => {
-            println!(
-                "globally satisfying: false — chase contradiction on {} at {}: {} vs {}",
-                c.fd.render(schema.universe()),
-                schema.universe().name(c.attr),
-                pool.render(c.left),
-                pool.render(c.right),
-            );
-        }
+    for name in ["CD", "CT", "TD"] {
+        println!("{name}: {:?}", db.rows(name).unwrap());
     }
-
-    // The independence analysis predicts this gap without looking at any
-    // state, and produces its own counterexample.
-    println!();
-    let analysis = analyze(&schema, &fds);
-    print!("{}", render_analysis(&schema, &analysis));
-
-    let witness = analysis.witness().expect("not independent");
-    let ok = verify_witness(&schema, &fds, &witness.state, &cfg).unwrap();
-    println!("\nwitness machine-checked (LSAT \\ WSAT): {ok}");
+    println!(
+        "\nfinal state: {} rows — the contradictory row was rolled back",
+        db.snapshot().unwrap().total_tuples()
+    );
 }

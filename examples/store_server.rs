@@ -1,44 +1,63 @@
-//! A sharded store serving many concurrent clients.
+//! A sharded store serving many concurrent clients — opened through the
+//! typed `Database` API.
 //!
 //! Theorem 3's systems payoff: on an independent schema, relations share
 //! no enforcement state, so the store gives every relation its own
 //! shard/thread and lets any number of clients hammer it concurrently —
-//! no locks, no cross-shard coordination.  The example spawns a fleet of
-//! client threads submitting interleaved insert/remove batches, takes
-//! consistent snapshots mid-flight, and proves the final state is exactly
-//! what a sequential engine reaches, and globally satisfying under the
-//! full chase.
+//! no locks, no cross-shard coordination.  The example declares the
+//! schema fluently (analysis runs once, in `build`), opens the sharded
+//! engine via `Database::open`, spawns a fleet of client threads
+//! submitting interleaved insert/remove batches through the exposed
+//! `Store`, reads single relations barrier-free mid-flight, and proves
+//! the final state globally satisfying under the full chase.  (That the
+//! store reaches exactly the sequential engines' state is asserted by
+//! the differential suites in `crates/store/tests` and
+//! `crates/api/tests`, not re-proven here.)
 //!
 //! Run with: `cargo run --release --example store_server`
 
 use std::time::Instant;
 
 use independent_schemas::prelude::*;
-use independent_schemas::workloads::families::key_chain;
 use independent_schemas::workloads::traces::{interleaved_trace, TraceKind, TraceParams};
 
+/// Declares the key-chain(12) family through the fluent builder: 12
+/// relations `Ri = (Ai, Ai+1)` with `Ai → Ai+1` — certified independent
+/// by `build()` itself (a dependent schema would be refused here, with
+/// the counterexample attached).
+fn declare(n: usize) -> Schema {
+    let mut b = Schema::builder();
+    for i in 0..n {
+        b = b
+            .relation(format!("R{i}"), [format!("A{i}"), format!("A{}", i + 1)])
+            .fd(format!("A{i} -> A{}", i + 1));
+    }
+    b.build().expect("key-chain is independent")
+}
+
 fn main() {
-    // 12 relations, one key FD each — certified independent.
-    let inst = key_chain(12);
-    let schema = &inst.schema;
-    let fds = &inst.fds;
-    println!("{schema}");
-    println!("F = {}", fds.render(schema.universe()));
-    assert!(is_independent(schema, fds));
+    let schema = declare(12);
+    println!("{}", schema.definition());
+    println!(
+        "F = {}",
+        schema.fds().render(schema.definition().universe())
+    );
 
     let clients = 6usize;
-    let store = Store::open_with(
+    let db = Database::open(
         schema,
-        fds,
-        StoreConfig {
+        EngineKind::Sharded(StoreConfig {
             shards: 4,
             initial_state: None,
-        },
+        }),
     )
-    .expect("key-chain is independent");
+    .expect("build() already certified independence");
+    // The concurrent-submission escape hatch: `&Store` is Sync, so the
+    // client fleet shares it directly.
+    let store = db.store().expect("sharded engine");
     println!(
         "\nstore open: {} relations on {} shard threads, {} clients\n",
-        schema.len(),
+        db.schema().definition().len(),
         store.shards(),
         clients
     );
@@ -47,7 +66,7 @@ fn main() {
     let scripts: Vec<Vec<StoreOp>> = (0..clients)
         .map(|c| {
             interleaved_trace(
-                schema,
+                db.schema().definition(),
                 TraceParams {
                     clients: 1,
                     ops_per_client: 5_000,
@@ -73,7 +92,8 @@ fn main() {
     let total_ops: usize = scripts.iter().map(Vec::len).sum();
 
     // The fleet: every client batches its script through the shared store;
-    // one observer takes consistent snapshots while writes are in flight.
+    // one observer reads mid-flight — barrier-free single relations plus
+    // one full snapshot barrier for contrast.
     let t0 = Instant::now();
     let mut accepted = 0usize;
     std::thread::scope(|s| {
@@ -94,14 +114,21 @@ fn main() {
                 })
             })
             .collect();
-        // Mid-flight snapshots: always a consistent, locally-valid cut.
+        // Barrier-free reads: only R0's shard answers; the other eleven
+        // relations keep streaming untouched.
         for _ in 0..3 {
-            let snap = store.snapshot().unwrap();
+            let r0 = db.read("R0").unwrap();
             println!(
-                "mid-flight snapshot: {} tuples (consistent cut across shards)",
-                snap.total_tuples()
+                "mid-flight read(R0): {} rows (no barrier, one shard consulted)",
+                r0.len()
             );
         }
+        // The barrier, for contrast: a consistent cut across all shards.
+        let snap = db.snapshot().unwrap();
+        println!(
+            "mid-flight snapshot: {} tuples (consistent cut across shards)",
+            snap.total_tuples()
+        );
         for h in handles {
             accepted += h.join().unwrap();
         }
@@ -113,14 +140,19 @@ fn main() {
         total_ops as f64 / elapsed.as_secs_f64() / 1e6,
     );
 
-    let final_state = store.shutdown().unwrap();
+    let final_state = db.snapshot().unwrap();
     println!("final state: {} tuples", final_state.total_tuples());
 
     // Every snapshot of an independent store is *globally* satisfying —
     // local Fi enforcement plus LSAT = WSAT.  Verify with the full chase.
     let cfg = ChaseConfig::default();
-    assert!(satisfies(schema, fds, &final_state, &cfg)
-        .unwrap()
-        .is_satisfying());
+    assert!(satisfies(
+        db.schema().definition(),
+        db.schema().fds(),
+        &final_state,
+        &cfg
+    )
+    .unwrap()
+    .is_satisfying());
     println!("full chase agrees: final state is globally satisfying ✓");
 }

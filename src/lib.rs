@@ -11,34 +11,49 @@
 //! dependencies plus the schema's join dependency), along with every
 //! substrate it rests on: the relational algebra, FD/JD dependency theory,
 //! the chase, acyclicity tooling, constructive counterexamples, the
-//! maintenance engines and the Theorem 1 hardness gadget.
+//! maintenance engines and the Theorem 1 hardness gadget — and one typed
+//! [`Database`](prelude::Database) front-end over all of it.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use independent_schemas::prelude::*;
 //!
-//! // The paper's Example 2: courses, students, rooms.
-//! let u = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
-//! let schema = DatabaseSchema::parse(u, &[
-//!     ("CT", "CT"),    // teacher of the course
-//!     ("CS", "CS"),    // students of the course
-//!     ("CHR", "CHR"),  // room of the course at each hour
-//! ]).unwrap();
-//! let fds = FdSet::parse(schema.universe(), &["C -> T", "CH -> R"]).unwrap();
+//! // The paper's Example 2: courses, students, rooms.  The universe is
+//! // collected from the columns and the independence analysis runs
+//! // exactly once, inside `build` — refused with a counterexample if
+//! // the schema were dependent.
+//! let schema = Schema::builder()
+//!     .relation("CT", ["course", "teacher"])
+//!     .relation("CS", ["course", "student"])
+//!     .relation("CHR", ["course", "hour", "room"])
+//!     .fd("course -> teacher")
+//!     .fd("course hour -> room")
+//!     .build()?;
 //!
-//! let analysis = analyze(&schema, &fds);
-//! assert!(analysis.is_independent());
+//! // Independent ⇒ every engine is sound; pick the O(1) local path.
+//! let mut db = Database::open(schema, EngineKind::Local)?;
+//! db.insert("CT", ["CS402", "Jones"])?;
+//! assert!(db.insert("CT", ["CS402", "Smith"])?.is_rejected()); // course → teacher
+//! assert_eq!(db.rows("CT")?,
+//!            vec![vec!["CS402".to_string(), "Jones".to_string()]]);
 //!
-//! // Adding SH -> R (a student can't be in two rooms at once) breaks
-//! // independence — and the analysis hands back a counterexample state.
-//! let fds2 = FdSet::parse(schema.universe(),
-//!     &["C -> T", "CH -> R", "SH -> R"]).unwrap();
-//! let analysis2 = analyze(&schema, &fds2);
-//! assert!(!analysis2.is_independent());
-//! let witness = analysis2.witness().unwrap();
-//! assert!(verify_witness(&schema, &fds2, &witness.state,
-//!                        &ChaseConfig::default()).unwrap());
+//! // Adding "a student can't be in two rooms at once" breaks
+//! // independence — the analysis hands back a machine-checkable
+//! // `LSAT ∖ WSAT` counterexample state.
+//! let extended = Schema::builder()
+//!     .relation("CT", ["course", "teacher"])
+//!     .relation("CS", ["course", "student"])
+//!     .relation("CHR", ["course", "hour", "room"])
+//!     .fd("course -> teacher")
+//!     .fd("course hour -> room")
+//!     .fd("student hour -> room")
+//!     .build_any()?;                       // keep the handle, verdict and all
+//! assert!(!extended.is_independent());
+//! let witness = extended.witness().unwrap();
+//! assert!(verify_witness(extended.definition(), extended.fds(),
+//!                        &witness.state, &ChaseConfig::default()).unwrap());
+//! # Ok::<(), ApiError>(())
 //! ```
 //!
 //! ## Crate map
@@ -51,9 +66,11 @@
 //! | [`acyclic`] | GYO, join trees, full reducer, consistency |
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
 //! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism) |
+//! | [`api`] | `Schema` builder + typed `Database` over every engine |
 //! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
+pub use ids_api as api;
 pub use ids_chase as chase;
 pub use ids_core as core;
 pub use ids_deps as deps;
@@ -63,11 +80,12 @@ pub use ids_workloads as workloads;
 
 /// The common imports for working with the library.
 pub mod prelude {
+    pub use ids_api::{Database, Engine, EngineKind, Error as ApiError, Schema, SchemaBuilder};
     pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
     pub use ids_core::{
         analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
-        IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
-        NotIndependentReason, RelationShard, Verdict, Witness,
+        FdOnlyMaintainer, IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer,
+        MaintenanceError, NotIndependentReason, RelationShard, Verdict, Witness,
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
     pub use ids_relational::{

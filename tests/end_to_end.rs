@@ -39,7 +39,7 @@ fn registrar_lifecycle() {
 
     // Deletions never hurt.
     for op in accepted.iter().take(20) {
-        assert!(m.remove(op.scheme, &op.tuple));
+        assert!(m.remove(op.scheme, &op.tuple).unwrap());
     }
     assert!(satisfies(schema, &inst.fds, m.state(), &cfg)
         .unwrap()

@@ -10,11 +10,12 @@
 // name (a glob would hide removals).
 #[allow(unused_imports)]
 use independent_schemas::prelude::{
-    analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness, AttrId,
-    AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, DatabaseSchema, DatabaseState, Fd, FdSet,
-    IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
-    MaintenanceError, NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard,
-    Satisfaction, SchemeId, Store, StoreConfig, StoreError, StoreOp, Universe, Value, ValuePool,
+    analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
+    ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Database, DatabaseSchema,
+    DatabaseState, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet, IndependenceAnalysis,
+    InsertOutcome, JoinDependency, LocalMaintainer, Maintainer, MaintenanceError,
+    NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard, Satisfaction, Schema,
+    SchemaBuilder, SchemeId, Store, StoreConfig, StoreError, StoreOp, Universe, Value, ValuePool,
     Verdict, Witness,
 };
 
@@ -60,6 +61,28 @@ fn entry_point_signatures_are_stable() {
         &IndependenceAnalysis,
         DatabaseState,
     ) -> Result<LocalMaintainer, MaintenanceError> = LocalMaintainer::from_analysis;
+    // The ids-api surface: builder, database, unified engine selection.
+    let _builder: fn() -> SchemaBuilder = Schema::builder;
+    let _build: fn(SchemaBuilder) -> Result<Schema, ApiError> = SchemaBuilder::build;
+    let _build_any: fn(SchemaBuilder) -> Result<Schema, ApiError> = SchemaBuilder::build_any;
+    let _open: fn(Schema, EngineKind) -> Result<Database, ApiError> = Database::open;
+    let _with_engine: fn(Schema, Box<dyn Engine>) -> Database = Database::with_engine;
+    // Uniform fallibility: remove surfaces errors on every engine, and
+    // the store's per-relation read is part of the contract.
+    let _remove: fn(&mut LocalMaintainer, SchemeId, &[Value]) -> Result<bool, MaintenanceError> =
+        LocalMaintainer::remove;
+    let _read: fn(&Store, SchemeId) -> Result<Relation, StoreError> = Store::read;
+    let _count: fn(&Store, SchemeId) -> Result<usize, StoreError> = Store::count;
+    let _store_from_analysis: fn(
+        &DatabaseSchema,
+        &IndependenceAnalysis,
+        StoreConfig,
+    ) -> Result<Store, StoreError> = Store::from_analysis;
+    // Non-panicking boundary lookups.
+    let _get_scheme: fn(&DatabaseSchema, SchemeId) -> Option<&RelationScheme> =
+        DatabaseSchema::get_scheme;
+    let _get_relation: fn(&DatabaseState, SchemeId) -> Option<&Relation> =
+        DatabaseState::get_relation;
 }
 
 /// The doctest's Example 2 scenario, reachable through prelude symbols
@@ -76,4 +99,37 @@ fn prelude_supports_the_quickstart() {
     assert!(!analysis.is_independent());
     let witness = analysis.witness().expect("non-independent ⇒ witness");
     assert!(verify_witness(&schema, &fds2, &witness.state, &ChaseConfig::default()).unwrap());
+}
+
+/// The same scenario through the typed front-end: builder → database →
+/// string-level ops, reachable through prelude symbols alone.
+#[test]
+fn prelude_supports_the_database_quickstart() {
+    let schema = Schema::builder()
+        .relation("CT", ["course", "teacher"])
+        .relation("CS", ["course", "student"])
+        .relation("CHR", ["course", "hour", "room"])
+        .fd("course -> teacher")
+        .fd("course hour -> room")
+        .build()
+        .expect("Example 2 is independent");
+    let mut db = Database::open(schema, EngineKind::Local).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
+    assert!(db.insert("CT", ["CS402", "Smith"]).unwrap().is_rejected());
+    assert_eq!(
+        db.rows("CT").unwrap(),
+        vec![vec!["CS402".to_string(), "Jones".to_string()]]
+    );
+
+    let err = Schema::builder()
+        .relation("CT", ["course", "teacher"])
+        .relation("CS", ["course", "student"])
+        .relation("CHR", ["course", "hour", "room"])
+        .fd("course -> teacher")
+        .fd("course hour -> room")
+        .fd("student hour -> room")
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ApiError::NotIndependent { .. }));
+    assert!(err.witness().is_some());
 }

@@ -111,6 +111,19 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
 }
 
 /// Asserts inequality inside a [`proptest!`] body.
@@ -123,6 +136,18 @@ macro_rules! prop_assert_ne {
                 "assertion failed: `{} != {}`\n  both: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` ({})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format!($($fmt)+),
                 left
             ));
         }
