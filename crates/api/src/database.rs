@@ -1,10 +1,13 @@
 //! The [`Database`] handle: relation names and string values in, rendered
 //! rows out — the interning [`ValuePool`] lives inside.
 
+use std::path::Path;
+
 use ids_chase::ChaseConfig;
 use ids_core::{ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer};
 use ids_relational::{DatabaseState, Relation, RelationalError, SchemeId, Value, ValuePool};
-use ids_store::{OpOutcome, Store, StoreOp};
+use ids_store::{DurableConfig, OpOutcome, Store, StoreOp};
+use ids_wal::NameLog;
 
 use crate::engine::{Engine, EngineKind};
 use crate::error::Error;
@@ -69,6 +72,10 @@ pub struct Database {
     schema: Schema,
     pool: ValuePool,
     engine: EngineBox,
+    /// On a durable database: the append-only log that makes the
+    /// interning pool itself crash-safe (names are fsync'd *before*
+    /// any tuple referencing their values, see `ids_wal::NameLog`).
+    pool_log: Option<NameLog>,
 }
 
 impl Database {
@@ -108,7 +115,105 @@ impl Database {
             schema,
             pool: ValuePool::new(),
             engine,
+            pool_log: None,
         })
+    }
+
+    /// Opens (or reopens) a **durable** database at `path`, always on
+    /// the sharded store with a write-ahead log underneath.
+    ///
+    /// First open creates the directory: manifest (schema + FDs +
+    /// declaration-order layouts), one log per relation, and the name
+    /// log that makes the interning pool crash-safe.  Every later open
+    /// *recovers*: snapshot + log tails replay through the normal
+    /// probe/commit path (so the recovered state provably satisfies
+    /// every relation's cover), and the pool replays its name log — the
+    /// string-level surface comes back exactly as it was.  Reopening
+    /// under a different schema or FD set is a typed
+    /// [`Error::Wal`]`(`[`ids_wal::WalError::SchemaMismatch`]`)`.
+    pub fn open_at(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        config: DurableConfig,
+    ) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let config = DurableConfig {
+            // The manifest app blob carries the declared column order;
+            // it is only consulted at creation.
+            app: schema.encode_layouts(),
+            ..config
+        };
+        let store = Store::open_durable_from_analysis(
+            path,
+            &schema.definition,
+            &schema.fds,
+            &schema.analysis,
+            config,
+        )?;
+        Self::attach_pool_log(schema, store)
+    }
+
+    /// Recovers a durable database from `path` alone: the schema (and
+    /// its declared column order) is rebuilt from the manifest, then
+    /// the store recovers as in [`Database::open_at`].  Use this when
+    /// the caller has nothing but the directory — after a crash, on a
+    /// fresh process, on another machine.
+    pub fn recover(path: impl AsRef<Path>) -> Result<Self, Error> {
+        Self::recover_with(path, DurableConfig::default())
+    }
+
+    /// [`Database::recover`] with an explicit store/sync configuration.
+    pub fn recover_with(path: impl AsRef<Path>, config: DurableConfig) -> Result<Self, Error> {
+        let dir = ids_wal::WalDir::open(path.as_ref())?;
+        let manifest = dir.manifest();
+        let schema =
+            Schema::from_recovered(manifest.schema.clone(), manifest.fds.clone(), &manifest.app)?;
+        // The open directory handle is passed straight down, so the
+        // manifest is read and decoded exactly once per recover.
+        let store = Store::recover_durable_from_analysis(
+            dir,
+            &schema.definition,
+            &schema.fds,
+            &schema.analysis,
+            config,
+        )?;
+        Self::attach_pool_log(schema, store)
+    }
+
+    /// Shared tail of the durable constructors: replay the name log
+    /// into a fresh pool and assemble the handle.
+    fn attach_pool_log(schema: Schema, store: Store) -> Result<Self, Error> {
+        let pool_path = store
+            .pool_log_path()
+            .expect("open_durable always yields a durable store");
+        let fingerprint = ids_wal::fingerprint(&schema.definition, &schema.fds);
+        let (pool_log, names) = NameLog::open(&pool_path, fingerprint)?;
+        let mut pool = ValuePool::new();
+        for name in names {
+            pool.value(name);
+        }
+        Ok(Database {
+            schema,
+            pool,
+            engine: EngineBox::Sharded(store),
+            pool_log: Some(pool_log),
+        })
+    }
+
+    /// Checkpoints a durable database: seals every relation's log
+    /// segment, writes one snapshot, and truncates the covered log —
+    /// see [`Store::checkpoint`].  A typed error
+    /// ([`ids_store::StoreError::NotDurable`]) on in-memory engines.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        match &self.engine {
+            EngineBox::Sharded(store) => store.checkpoint().map_err(Into::into),
+            EngineBox::Boxed(_) => Err(ids_store::StoreError::NotDurable.into()),
+        }
+    }
+
+    /// True when this database persists through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.pool_log.is_some()
     }
 
     /// Opens a database on a caller-supplied [`Engine`] implementation.
@@ -117,6 +222,7 @@ impl Database {
             schema,
             pool: ValuePool::new(),
             engine: EngineBox::Boxed(engine),
+            pool_log: None,
         }
     }
 
@@ -140,8 +246,13 @@ impl Database {
     /// string-level API uses for it — the bridge for callers mixing the
     /// raw paths ([`Database::insert_raw`], [`Database::apply_batch`],
     /// [`Database::store`]) with string-level reads and removes.
-    pub fn intern(&mut self, value: impl AsRef<str>) -> Value {
-        self.pool.value(value.as_ref())
+    ///
+    /// Fallible because on a durable database a never-seen name is
+    /// appended to the on-disk name log (and fsync'd) before its value
+    /// exists anywhere — the order that keeps values from being
+    /// re-assigned to different strings after a crash.
+    pub fn intern(&mut self, value: impl AsRef<str>) -> Result<Value, Error> {
+        intern_name(&mut self.pool, &mut self.pool_log, value.as_ref())
     }
 
     /// The underlying concurrent [`Store`], when the database runs on
@@ -176,7 +287,11 @@ impl Database {
         for (j, value) in values.into_iter().enumerate() {
             if j < arity {
                 let resolved = if intern {
-                    Some(self.pool.value(value.as_ref()))
+                    Some(intern_name(
+                        &mut self.pool,
+                        &mut self.pool_log,
+                        value.as_ref(),
+                    )?)
                 } else {
                     self.pool.get(value.as_ref())
                 };
@@ -287,6 +402,26 @@ impl Database {
     pub fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
         self.engine.as_dyn_mut().apply_batch(ops)
     }
+}
+
+/// Interns a name, writing it through the durable name log first when
+/// one exists: the name must be stable *before* any operation that
+/// references its value can be logged, otherwise a crash could re-assign
+/// the id to a different string and alias stored tuples.  A free
+/// function (not a method) so callers holding a layout borrow on the
+/// schema can still reach the disjoint pool fields.
+fn intern_name(
+    pool: &mut ValuePool,
+    pool_log: &mut Option<NameLog>,
+    name: &str,
+) -> Result<Value, Error> {
+    if let Some(v) = pool.get(name) {
+        return Ok(v);
+    }
+    if let Some(log) = pool_log {
+        log.append(name)?;
+    }
+    Ok(pool.value(name))
 }
 
 #[cfg(test)]
@@ -441,8 +576,8 @@ mod tests {
         // The documented bridge: raw inserts made with `intern`ed values
         // are visible to — and removable through — the string API.
         let mut db = Database::open(example2(), EngineKind::Local).unwrap();
-        let cs402 = db.intern("CS402");
-        let jones = db.intern("Jones");
+        let cs402 = db.intern("CS402").unwrap();
+        let jones = db.intern("Jones").unwrap();
         let ct = db.schema().scheme_id("CT").unwrap();
         db.insert_raw(ct, vec![cs402, jones]).unwrap();
         assert_eq!(

@@ -4,6 +4,7 @@ use ids_chase::ChaseError;
 use ids_core::{MaintenanceError, NotIndependentReason, Witness};
 use ids_relational::RelationalError;
 use ids_store::StoreError;
+use ids_wal::WalError;
 
 /// Everything that can go wrong behind the [`crate::Database`] facade.
 ///
@@ -26,6 +27,11 @@ pub enum Error {
     Maintenance(MaintenanceError),
     /// A concurrent store error (other than independence).
     Store(StoreError),
+    /// A durability-layer error: I/O, on-disk corruption, or a log
+    /// written under a different schema/FD set
+    /// ([`WalError::SchemaMismatch`]) — normalized into this one
+    /// variant whichever layer surfaced it.
+    Wal(WalError),
     /// The schema is not independent, so the requested construction would
     /// be unsound — refused with the analysis's diagnosis and witness.
     NotIndependent {
@@ -56,6 +62,7 @@ impl std::fmt::Display for Error {
             Error::Chase(e) => write!(f, "{e}"),
             Error::Maintenance(e) => write!(f, "{e}"),
             Error::Store(e) => write!(f, "{e}"),
+            Error::Wal(e) => write!(f, "{e}"),
             Error::NotIndependent { reason, .. } => write!(
                 f,
                 "schema is not independent (refused, with counterexample): {reason:?}"
@@ -72,6 +79,7 @@ impl std::error::Error for Error {
             Error::Chase(e) => Some(e),
             Error::Maintenance(e) => Some(e),
             Error::Store(e) => Some(e),
+            Error::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -111,7 +119,19 @@ impl From<StoreError> for Error {
                 Error::NotIndependent { reason, witness }
             }
             StoreError::Relational(e) => Error::Relational(e),
+            // Durability failures normalize to the one canonical
+            // variant no matter which layer surfaced them.
+            StoreError::Wal(e) => Error::Wal(e),
             other => Error::Store(other),
+        }
+    }
+}
+
+impl From<WalError> for Error {
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Relational(e) => Error::Relational(e),
+            other => Error::Wal(other),
         }
     }
 }

@@ -108,6 +108,89 @@ impl Schema {
     pub(crate) fn layout(&self, id: SchemeId) -> &RelationLayout {
         &self.layouts[id.index()]
     }
+
+    /// Serializes the declaration-order column layouts — the manifest
+    /// `app` blob a durable database stores so [`crate::Database::recover`]
+    /// can rebuild the string-level surface exactly as declared.
+    pub(crate) fn encode_layouts(&self) -> Vec<u8> {
+        let mut e = ids_relational::codec::Encoder::new();
+        e.put_u16(self.layouts.len() as u16);
+        for layout in &self.layouts {
+            e.put_u16(layout.columns.len() as u16);
+            for c in &layout.columns {
+                e.put_str(c);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Rebuilds a `Schema` from a durable manifest: the decoded
+    /// definition + FDs, plus the layouts blob written at creation.  An
+    /// empty blob (a directory created below the api layer) falls back
+    /// to canonical column order.  The independence analysis runs here —
+    /// once, exactly like [`SchemaBuilder::build_any`].
+    pub(crate) fn from_recovered(
+        definition: DatabaseSchema,
+        fds: FdSet,
+        app: &[u8],
+    ) -> Result<Schema, Error> {
+        let layouts = if app.is_empty() {
+            definition
+                .iter()
+                .map(|(_, s)| RelationLayout {
+                    columns: s
+                        .attrs
+                        .iter()
+                        .map(|a| definition.universe().name(a).to_string())
+                        .collect(),
+                    perm: (0..s.attrs.len()).collect(),
+                })
+                .collect()
+        } else {
+            let mut d = ids_relational::codec::Decoder::new(app);
+            let bad = || RelationalError::Codec("manifest layout blob");
+            let n = d.get_u16()? as usize;
+            if n != definition.len() {
+                return Err(bad().into());
+            }
+            let mut layouts = Vec::with_capacity(n);
+            for (id, scheme) in definition.iter() {
+                let cols = d.get_u16()? as usize;
+                if cols != scheme.attrs.len() {
+                    return Err(bad().into());
+                }
+                let mut columns = Vec::with_capacity(cols);
+                let mut perm = Vec::with_capacity(cols);
+                let mut seen = ids_relational::AttrSet::new();
+                for _ in 0..cols {
+                    let name = d.get_str()?;
+                    let attr = definition.universe().require(&name)?;
+                    if !scheme.attrs.contains(attr) || !seen.insert(attr) {
+                        return Err(bad().into());
+                    }
+                    perm.push(definition.attrs(id).rank(attr));
+                    columns.push(name);
+                }
+                layouts.push(RelationLayout { columns, perm });
+            }
+            if !d.is_done() {
+                return Err(bad().into());
+            }
+            layouts
+        };
+        let by_name = definition
+            .iter()
+            .map(|(id, s)| (s.name.clone(), id))
+            .collect();
+        let analysis = analyze(&definition, &fds);
+        Ok(Schema {
+            definition,
+            fds,
+            analysis,
+            layouts,
+            by_name,
+        })
+    }
 }
 
 /// Fluent builder for a [`Schema`]: declare relations by column name,

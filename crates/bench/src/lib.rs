@@ -1,10 +1,12 @@
 //! Shared harness utilities for the experiment suite: wall-clock timing
 //! with warmup and median-of-N, aligned table output matching the
 //! EXPERIMENTS.md format, the E7 store-throughput kernel
-//! ([`throughput`]) and the E8 read-vs-snapshot kernel ([`reads`]).
+//! ([`throughput`]), the E8 read-vs-snapshot kernel ([`reads`]) and the
+//! E9 durability-overhead + recovery kernel ([`durability`]).
 
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod reads;
 pub mod throughput;
 

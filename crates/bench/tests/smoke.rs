@@ -19,7 +19,7 @@ fn experiments_smoke_covers_all_sections() {
         String::from_utf8_lossy(&out.stderr)
     );
     for section in [
-        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8",
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -66,6 +66,30 @@ fn read_vs_snapshot_smoke_runs_end_to_end() {
         assert!(row.snapshot > std::time::Duration::ZERO);
         assert!(row.snapshot_over_read > 0.0);
     }
+}
+
+/// The E9 kernel (shared with `experiments e9`) must run end to end at
+/// smoke sizes: the in-memory baseline plus every sync policy reach the
+/// same op count, and a recovery actually replays records.  Only
+/// structural properties are asserted — wall-clock ratios at smoke
+/// sizes are scheduler-noise-prone on loaded CI runners; the ≤ 2×
+/// overhead claim belongs to the full-size E9 experiment output.
+#[test]
+fn durability_smoke_covers_all_sync_policies() {
+    let (rows, recovery) = ids_bench::durability::sweep(true);
+    assert_eq!(rows.len(), 4, "memory + never + batch + always");
+    assert_eq!(rows[0].mode, "store (memory)");
+    let modes: Vec<&str> = rows.iter().map(|r| r.mode).collect();
+    assert!(modes.contains(&"wal-batch(4096)"));
+    assert!(modes.contains(&"wal-always"));
+    for r in &rows {
+        assert_eq!(r.ops, rows[0].ops, "every mode pushes the same ops");
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.overhead > 0.0);
+    }
+    assert!(recovery.records > 0, "recovery must replay logged records");
+    assert!(recovery.tuples > 0);
+    assert!(recovery.records_per_sec > 0.0);
 }
 
 #[test]

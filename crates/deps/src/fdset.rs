@@ -124,6 +124,40 @@ impl FdSet {
             .collect::<Vec<_>>()
             .join(", ")
     }
+
+    /// Serializes the set: `u32` count + per FD its lhs and rhs
+    /// attribute sets, in insertion order.
+    pub fn encode(&self, e: &mut ids_relational::codec::Encoder) {
+        e.put_u32(self.fds.len() as u32);
+        for fd in &self.fds {
+            e.put_attr_set(fd.lhs);
+            e.put_attr_set(fd.rhs);
+        }
+    }
+
+    /// Deserializes a set written by [`FdSet::encode`], re-normalizing
+    /// each FD (so arbitrary bytes cannot smuggle in trivial or
+    /// duplicate entries).
+    pub fn decode(d: &mut ids_relational::codec::Decoder<'_>) -> Result<Self, RelationalError> {
+        let n = d.get_u32()? as usize;
+        let mut set = FdSet::new();
+        for _ in 0..n {
+            let lhs = d.get_attr_set()?;
+            let rhs = d.get_attr_set()?;
+            set.insert(Fd::new(lhs, rhs));
+        }
+        Ok(set)
+    }
+
+    /// True when the two sets hold exactly the same FDs, order
+    /// ignored — the *syntactic* comparison durability layers use to
+    /// detect a log written under different dependencies (cheap, and
+    /// stricter than [`FdSet::equivalent`] on purpose: a semantically
+    /// equivalent but rewritten `F` still changes the enforcement
+    /// covers an operator reasons about).
+    pub fn same_fds(&self, other: &FdSet) -> bool {
+        self.fds.len() == other.fds.len() && self.fds.iter().all(|fd| other.fds.contains(fd))
+    }
 }
 
 impl FromIterator<Fd> for FdSet {

@@ -32,6 +32,8 @@ pub enum RelationalError {
     },
     /// An operation mixed objects from different universes or schemas.
     SchemaMismatch(&'static str),
+    /// A binary payload could not be decoded (see [`crate::codec`]).
+    Codec(&'static str),
 }
 
 impl fmt::Display for RelationalError {
@@ -54,6 +56,7 @@ impl fmt::Display for RelationalError {
                 )
             }
             Self::SchemaMismatch(what) => write!(f, "objects belong to different {what}"),
+            Self::Codec(what) => write!(f, "malformed binary payload: {what}"),
         }
     }
 }

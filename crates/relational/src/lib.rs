@@ -23,6 +23,7 @@
 
 mod attr;
 mod attrset;
+pub mod codec;
 pub mod display;
 mod error;
 mod relation;

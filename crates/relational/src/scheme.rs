@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::attrset::AttrSet;
+use crate::codec::{Decoder, Encoder};
 use crate::error::RelationalError;
 use crate::universe::Universe;
 
@@ -61,6 +62,19 @@ struct SchemaInner {
     universe: Universe,
     schemes: Vec<RelationScheme>,
 }
+
+/// Structural equality: same universe (names in the same id order) and
+/// the same named schemes in the same order.  Two handles cloned from
+/// one schema compare equal via the cheap `Arc` pointer check.
+impl PartialEq for DatabaseSchema {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.universe == other.inner.universe
+                && self.inner.schemes == other.inner.schemes)
+    }
+}
+
+impl Eq for DatabaseSchema {}
 
 impl DatabaseSchema {
     /// Builds and validates a schema from named attribute sets.
@@ -166,6 +180,34 @@ impl DatabaseSchema {
     /// The components of the schema's join dependency `*D`.
     pub fn join_dependency_components(&self) -> Vec<AttrSet> {
         self.inner.schemes.iter().map(|s| s.attrs).collect()
+    }
+
+    /// Serializes the schema: the universe, then `u16` scheme count +
+    /// per scheme its name and attribute set.
+    pub fn encode(&self, e: &mut Encoder) {
+        self.inner.universe.encode(e);
+        e.put_u16(self.inner.schemes.len() as u16);
+        for s in &self.inner.schemes {
+            e.put_str(&s.name);
+            e.put_attr_set(s.attrs);
+        }
+    }
+
+    /// Deserializes a schema written by [`DatabaseSchema::encode`],
+    /// re-running construction validation (coverage, nonempty schemes).
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, RelationalError> {
+        let universe = Universe::decode(d)?;
+        let n = d.get_u16()? as usize;
+        let mut schemes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.get_str()?;
+            let attrs = d.get_attr_set()?;
+            if !attrs.is_subset(universe.all()) {
+                return Err(RelationalError::Codec("scheme attrs outside universe"));
+            }
+            schemes.push(RelationScheme { name, attrs });
+        }
+        Self::new(universe, schemes)
     }
 }
 

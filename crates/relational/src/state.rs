@@ -1,6 +1,7 @@
 //! Database states.
 
 use crate::attrset::AttrSet;
+use crate::codec::{Decoder, Encoder};
 use crate::error::RelationalError;
 use crate::relation::{join_all, Relation};
 use crate::scheme::{DatabaseSchema, SchemeId};
@@ -148,6 +149,48 @@ impl DatabaseState {
             .filter(|t| !pj.contains(t))
             .map(|t| t.to_vec())
             .collect()
+    }
+
+    /// Serializes the state: `u16` relation count + per relation a
+    /// `u32` tuple count and the tuples as raw `u64` values in scheme
+    /// order.  Schemes themselves are *not* written — a state is only
+    /// meaningful against its schema, which the decoder requires (and
+    /// which durability layers persist separately, exactly once).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.put_u16(self.relations.len() as u16);
+        for rel in &self.relations {
+            e.put_u32(rel.len() as u32);
+            for t in rel.iter() {
+                for v in t.iter() {
+                    e.put_u64(v.0);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a state written by [`DatabaseState::encode`]
+    /// against its schema.  The relation count must match the schema
+    /// and every tuple is re-validated (arity, duplicates) on insert.
+    pub fn decode(d: &mut Decoder<'_>, schema: &DatabaseSchema) -> Result<Self, RelationalError> {
+        let n = d.get_u16()? as usize;
+        if n != schema.len() {
+            return Err(RelationalError::Codec("relation count differs from schema"));
+        }
+        let mut state = DatabaseState::empty(schema);
+        for id in schema.ids() {
+            let tuples = d.get_u32()? as usize;
+            let arity = schema.attrs(id).len();
+            for _ in 0..tuples {
+                let mut t = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    t.push(Value(d.get_u64()?));
+                }
+                if !state.insert(id, t)? {
+                    return Err(RelationalError::Codec("duplicate tuple in relation"));
+                }
+            }
+        }
+        Ok(state)
     }
 
     /// Per-relation local FD check: `true` when for every supplied pair

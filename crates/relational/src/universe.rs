@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::attr::AttrId;
 use crate::attrset::{AttrSet, MAX_ATTRS};
+use crate::codec::{Decoder, Encoder};
 use crate::error::RelationalError;
 
 /// The universe `U = {A1, .., Ak}`: an ordered collection of named
@@ -13,7 +14,7 @@ use crate::error::RelationalError;
 /// All schemes, dependencies and instances in a database refer to attributes
 /// of one universe by [`AttrId`].  The universe also provides name-based
 /// lookup and pretty-printing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Universe {
     names: Vec<String>,
     by_name: HashMap<String, AttrId>,
@@ -119,6 +120,25 @@ impl Universe {
             }
         }
         Ok(out)
+    }
+
+    /// Serializes the universe: `u16` count + names in id order (the
+    /// names *are* the ids — decoding re-adds them in order).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.put_u16(self.names.len() as u16);
+        for n in &self.names {
+            e.put_str(n);
+        }
+    }
+
+    /// Deserializes a universe written by [`Universe::encode`].
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, RelationalError> {
+        let n = d.get_u16()? as usize;
+        let mut u = Universe::new();
+        for _ in 0..n {
+            u.add(d.get_str()?)?;
+        }
+        Ok(u)
     }
 
     /// Renders an attribute set with this universe's names.

@@ -3,6 +3,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::codec::{Decoder, Encoder};
+use crate::error::RelationalError;
+
 /// A domain value.
 ///
 /// Values are opaque 64-bit identifiers; equality is all the relational
@@ -38,7 +41,7 @@ impl fmt::Display for Value {
 ///
 /// Named values are allocated from the bottom of the id space; anonymous
 /// fresh values from the top, so the two never collide in practice.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ValuePool {
     names: Vec<String>,
     by_name: HashMap<String, Value>,
@@ -78,6 +81,32 @@ impl ValuePool {
         let v = Value(self.next_fresh);
         self.next_fresh -= 1;
         v
+    }
+
+    /// Serializes the pool: `u32` count + names in interning order,
+    /// then the next-fresh counter.  Interning order *is* the value
+    /// assignment, so decoding reproduces identical `Value` ids.
+    pub fn encode(&self, e: &mut Encoder) {
+        e.put_u32(self.names.len() as u32);
+        for n in &self.names {
+            e.put_str(n);
+        }
+        e.put_u64(self.next_fresh);
+    }
+
+    /// Deserializes a pool written by [`ValuePool::encode`].
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, RelationalError> {
+        let n = d.get_u32()? as usize;
+        let mut pool = ValuePool::new();
+        for _ in 0..n {
+            let name = d.get_str()?;
+            if pool.by_name.contains_key(&name) {
+                return Err(RelationalError::Codec("duplicate name in value pool"));
+            }
+            pool.value(name);
+        }
+        pool.next_fresh = d.get_u64()?;
+        Ok(pool)
     }
 
     /// Renders a value: its interned name when known, otherwise the raw id.

@@ -62,15 +62,37 @@
 //!   barrier snapshot could also have contained.  Two reads of different
 //!   relations, however, may observe cuts no single snapshot contains —
 //!   that is the (only) consistency you trade for not stopping the world.
+//!
+//! ## Durability
+//!
+//! [`Store::open_durable`] adds a write-ahead log (`ids-wal`) *inside*
+//! each shard: Theorem 3 makes every accepted operation a local decision
+//! of one relation's cover `Fi`, so each relation gets its own
+//! append-only log with its own sequence numbers and **no ordering
+//! between logs** — the shard appends its acknowledged ops, group-fsyncs
+//! them per its [`SyncPolicy`], and never coordinates with any other
+//! shard.  [`Store::checkpoint`] rotates every log onto a fresh
+//! generation, writes one snapshot, and truncates the covered
+//! generations.  Reopening the same path replays snapshot + log tails
+//! through the same [`RelationShard`] probe/commit machinery the live
+//! store runs — replay is per-relation, embarrassingly parallel in
+//! principle, and doubles as an integrity check (every logged op must
+//! re-accept).  A log written under a different schema or FD set is
+//! refused with a typed [`WalError::SchemaMismatch`].
 
 #![warn(missing_docs)]
 
+use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationShard, Witness};
 use ids_deps::{Fd, FdSet};
 use ids_relational::{DatabaseSchema, DatabaseState, Relation, RelationalError, SchemeId, Value};
+use ids_wal::{WalDir, WalError, WalOp, WalWriter};
+
+pub use ids_wal::SyncPolicy;
 
 /// One operation of a store workload, routed to its relation's shard.
 #[derive(Clone, Debug)]
@@ -133,8 +155,17 @@ pub enum StoreError {
     UnknownScheme(SchemeId),
     /// An operation's tuple arity does not match its scheme.
     Relational(RelationalError),
-    /// A shard worker is gone (panicked or already shut down).
+    /// A shard worker is gone (panicked or already shut down).  On a
+    /// durable store this is also how a WAL I/O failure inside a shard
+    /// surfaces: the shard refuses to acknowledge what it could not log
+    /// and poisons itself instead.
     Disconnected,
+    /// A durability-layer failure (I/O, corruption, or a log written
+    /// under a different schema/FD set).
+    Wal(WalError),
+    /// [`Store::checkpoint`] was called on a store opened without a
+    /// write-ahead log.
+    NotDurable,
 }
 
 impl std::fmt::Display for StoreError {
@@ -151,6 +182,8 @@ impl std::fmt::Display for StoreError {
             Self::UnknownScheme(id) => write!(f, "operation references unknown scheme {id:?}"),
             Self::Relational(e) => write!(f, "{e}"),
             Self::Disconnected => write!(f, "shard worker disconnected"),
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::NotDurable => write!(f, "store was opened without a write-ahead log"),
         }
     }
 }
@@ -160,6 +193,12 @@ impl std::error::Error for StoreError {}
 impl From<RelationalError> for StoreError {
     fn from(e: RelationalError) -> Self {
         Self::Relational(e)
+    }
+}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
     }
 }
 
@@ -173,6 +212,22 @@ pub struct StoreConfig {
     pub shards: usize,
     /// Initial state to load; every relation must satisfy its cover.
     pub initial_state: Option<DatabaseState>,
+}
+
+/// Configuration of [`Store::open_durable_with`].
+#[derive(Debug, Default)]
+pub struct DurableConfig {
+    /// The in-memory store configuration.  `initial_state` only applies
+    /// when the directory is created — or re-opened with **no history**
+    /// (no snapshot, no records), which makes a creation that crashed
+    /// half-way repeatable.  Reopening a log that has real history with
+    /// an initial state is a typed error (the log *is* the state).
+    pub store: StoreConfig,
+    /// When acknowledged records reach stable storage.
+    pub sync: SyncPolicy,
+    /// Opaque application bytes stored in the manifest at creation
+    /// (the `ids-api` layer keeps its column layouts here).
+    pub app: Vec<u8>,
 }
 
 /// Commands a shard worker processes in FIFO order.
@@ -200,68 +255,137 @@ enum Command {
     Snapshot {
         reply: Sender<Vec<(SchemeId, Relation)>>,
     },
+    /// Seal every owned relation's current log segment and open a fresh
+    /// one at `new_gen`; reply with the relation clones and the sealed
+    /// sequence numbers — the shard's part of a checkpoint.  Only sent
+    /// to durable stores.
+    Rotate {
+        new_gen: u64,
+        reply: Sender<Vec<(SchemeId, Relation, u64)>>,
+    },
+}
+
+/// One relation a worker owns: its enforcement shard, its tuples, and —
+/// on a durable store — its write-ahead log writer.
+struct Slot {
+    id: SchemeId,
+    shard: RelationShard,
+    rel: Relation,
+    wal: Option<WalWriter>,
 }
 
 /// The state a worker thread owns: its relations and their shards.
 struct Worker {
-    /// `(scheme, enforcement shard, tuples)` for every owned relation.
-    slots: Vec<(SchemeId, RelationShard, Relation)>,
+    slots: Vec<Slot>,
     /// scheme index → slot index (dense, `None` for foreign schemes).
     slot_of: Vec<Option<usize>>,
+    /// Sync cadence for the slots' logs (irrelevant without logs).
+    sync: SyncPolicy,
 }
 
 impl Worker {
     fn run(mut self, rx: Receiver<Command>) -> Vec<(SchemeId, Relation)> {
+        // Scratch: which slots the current Apply touched with logged ops.
+        let mut dirty: Vec<usize> = Vec::new();
         while let Ok(cmd) = rx.recv() {
             match cmd {
                 Command::Apply { ops, reply } => {
                     let mut out = Vec::with_capacity(ops.len());
+                    dirty.clear();
                     for (idx, op) in ops {
-                        let slot = self.slot_of[op.scheme().index()]
+                        let si = self.slot_of[op.scheme().index()]
                             .expect("router sent an op for a foreign scheme");
-                        let (_, shard, rel) = &mut self.slots[slot];
+                        let slot = &mut self.slots[si];
                         let outcome = match op {
-                            StoreOp::Insert { tuple, .. } => OpOutcome::Insert(
-                                shard
-                                    .insert(rel, tuple)
-                                    .expect("arity validated by the router"),
-                            ),
-                            StoreOp::Remove { tuple, .. } => OpOutcome::Remove(
-                                shard
-                                    .remove(rel, &tuple)
-                                    .expect("arity validated by the router"),
-                            ),
+                            StoreOp::Insert { tuple, .. } => {
+                                // Clone for the log only when there is
+                                // one: the in-memory fast path stays
+                                // allocation-free per op.
+                                let to_log = slot.wal.is_some().then(|| tuple.clone());
+                                let outcome = slot
+                                    .shard
+                                    .insert(&mut slot.rel, tuple)
+                                    .expect("arity validated by the router");
+                                if outcome == InsertOutcome::Accepted {
+                                    if let Some(t) = to_log {
+                                        slot.log(WalOp::Insert(t), &mut dirty, si);
+                                    }
+                                }
+                                OpOutcome::Insert(outcome)
+                            }
+                            StoreOp::Remove { tuple, .. } => {
+                                let present = slot
+                                    .shard
+                                    .remove(&mut slot.rel, &tuple)
+                                    .expect("arity validated by the router");
+                                if present {
+                                    slot.log(WalOp::Remove(tuple), &mut dirty, si);
+                                }
+                                OpOutcome::Remove(present)
+                            }
                         };
                         out.push((idx, outcome));
+                    }
+                    // Group fsync: one pass over the touched logs per
+                    // batch, before anything is acknowledged.
+                    for &si in &dirty {
+                        if let Some(w) = &mut self.slots[si].wal {
+                            w.maybe_sync(self.sync)
+                                .unwrap_or_else(|e| panic!("wal sync failed: {e}"));
+                        }
                     }
                     // A client that hung up no longer needs the reply.
                     let _ = reply.send(out);
                 }
                 Command::Read { scheme, reply } => {
-                    let slot = self.slot_of[scheme.index()]
+                    let si = self.slot_of[scheme.index()]
                         .expect("router sent a read for a foreign scheme");
-                    let _ = reply.send(self.slots[slot].2.clone());
+                    let _ = reply.send(self.slots[si].rel.clone());
                 }
                 Command::Count { scheme, reply } => {
-                    let slot = self.slot_of[scheme.index()]
+                    let si = self.slot_of[scheme.index()]
                         .expect("router sent a count for a foreign scheme");
-                    let _ = reply.send(self.slots[slot].2.len());
+                    let _ = reply.send(self.slots[si].rel.len());
                 }
                 Command::Snapshot { reply } => {
-                    let _ = reply.send(
-                        self.slots
-                            .iter()
-                            .map(|(id, _, rel)| (*id, rel.clone()))
-                            .collect(),
-                    );
+                    let _ = reply.send(self.slots.iter().map(|s| (s.id, s.rel.clone())).collect());
+                }
+                Command::Rotate { new_gen, reply } => {
+                    let mut out = Vec::with_capacity(self.slots.len());
+                    for slot in &mut self.slots {
+                        let wal = slot
+                            .wal
+                            .as_mut()
+                            .expect("rotate sent to a store without logs");
+                        let sealed = wal
+                            .rotate(new_gen)
+                            .unwrap_or_else(|e| panic!("wal rotate failed: {e}"));
+                        out.push((slot.id, slot.rel.clone(), sealed));
+                    }
+                    let _ = reply.send(out);
                 }
             }
         }
-        // All senders dropped: shutdown.  Hand the relations back.
-        self.slots
-            .into_iter()
-            .map(|(id, _, rel)| (id, rel))
-            .collect()
+        // All senders dropped: shutdown.  Dropping a writer syncs its
+        // tail (best effort); hand the relations back.
+        self.slots.into_iter().map(|s| (s.id, s.rel)).collect()
+    }
+}
+
+impl Slot {
+    /// Appends an effective op to the slot's log (no-op without one)
+    /// and marks the slot dirty for the end-of-batch sync pass.
+    fn log(&mut self, op: WalOp, dirty: &mut Vec<usize>, si: usize) {
+        if let Some(w) = &mut self.wal {
+            // An op the shard cannot log must not be acknowledged:
+            // poisoning the worker turns the failure into
+            // `StoreError::Disconnected` at every caller.
+            w.append(op)
+                .unwrap_or_else(|e| panic!("wal append failed: {e}"));
+            if !dirty.contains(&si) {
+                dirty.push(si);
+            }
+        }
     }
 }
 
@@ -279,6 +403,18 @@ pub struct Store {
     assignment: Vec<usize>,
     senders: Vec<Sender<Command>>,
     handles: Vec<JoinHandle<Vec<(SchemeId, Relation)>>>,
+    /// Present on durable stores: the directory handle plus the current
+    /// segment generation, serialized under a mutex so checkpoints
+    /// cannot interleave.
+    durability: Option<Durability>,
+}
+
+/// The durable half of a [`Store`].
+#[derive(Debug)]
+struct Durability {
+    dir: WalDir,
+    /// Generation the live segments are on; advanced by checkpoints.
+    gen: Mutex<u64>,
 }
 
 impl Store {
@@ -309,32 +445,7 @@ impl Store {
         analysis: &ids_core::IndependenceAnalysis,
         config: StoreConfig,
     ) -> Result<Self, StoreError> {
-        let enforcement = match &analysis.verdict {
-            ids_core::Verdict::Independent { enforcement } => enforcement.clone(),
-            ids_core::Verdict::NotIndependent { reason, witness } => {
-                return Err(StoreError::NotIndependent {
-                    reason: reason.clone(),
-                    witness: Box::new(witness.clone()),
-                })
-            }
-        };
-        // An analysis of a different schema must be a typed error, not an
-        // index panic while distributing covers (same guard as
-        // `LocalMaintainer::new`).
-        if enforcement.len() != schema.len() {
-            return Err(RelationalError::SchemaMismatch("enforcement covers").into());
-        }
-        let shard_count = if config.shards == 0 {
-            schema.len().min(
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
-            )
-        } else {
-            config.shards.min(schema.len())
-        }
-        .max(1);
-
+        let enforcement = extract_enforcement(schema, analysis)?;
         // Tear the initial state into per-scheme relations.  Roundtrip
         // through `from_relations` to revalidate the full shape — the
         // state may come from a different schema handle, and a mismatched
@@ -349,30 +460,222 @@ impl Store {
                 .collect(),
         };
 
-        // Build each relation's shard (indexing + validating the preload)
-        // and distribute them round-robin over the workers.
+        // Build each relation's shard (indexing + validating the preload).
+        let mut parts = Vec::with_capacity(schema.len());
+        for (id, rel) in schema.ids().zip(relations) {
+            let fi = enforcement[id.index()].clone();
+            let shard =
+                RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
+            parts.push(Slot {
+                id,
+                shard,
+                rel,
+                wal: None,
+            });
+        }
+        Ok(Self::spawn(
+            schema,
+            enforcement,
+            parts,
+            config.shards,
+            SyncPolicy::Never,
+            None,
+        ))
+    }
+
+    /// Opens a durable store at `path` with the default configuration:
+    /// creates the write-ahead log directory on first open, recovers
+    /// (snapshot + log-tail replay through the normal probe/commit
+    /// path) on every later open.  See the crate docs' *Durability*
+    /// section.
+    pub fn open_durable(
+        path: impl AsRef<Path>,
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+    ) -> Result<Self, StoreError> {
+        Self::open_durable_with(path, schema, fds, DurableConfig::default())
+    }
+
+    /// Opens a durable store with an explicit configuration.
+    pub fn open_durable_with(
+        path: impl AsRef<Path>,
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        Self::open_durable_from_analysis(path, schema, fds, &ids_core::analyze(schema, fds), config)
+    }
+
+    /// Durable open from an already-computed independence analysis —
+    /// the path the `ids-api` facade takes.  `fds` must be the set the
+    /// analysis was computed from; it is pinned in the manifest so a
+    /// later open under different dependencies is refused.
+    pub fn open_durable_from_analysis(
+        path: impl AsRef<Path>,
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        analysis: &ids_core::IndependenceAnalysis,
+        config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        if WalDir::exists(path) {
+            return Self::recover_durable_from_analysis(
+                WalDir::open(path)?,
+                schema,
+                fds,
+                analysis,
+                config,
+            );
+        }
+        let enforcement = extract_enforcement(schema, analysis)?;
+        let DurableConfig { store, sync, app } = config;
+        let dir = WalDir::create(path, schema, fds, app)?;
+        let (relations, shards) = preload_parts(&dir, schema, &enforcement, store.initial_state)?;
+        let last_seqs = vec![0; schema.len()];
+        Self::finish_durable(
+            dir,
+            schema,
+            enforcement,
+            relations,
+            shards,
+            last_seqs,
+            1,
+            store.shards,
+            sync,
+        )
+    }
+
+    /// Durable reopen over an **already-open** directory handle — the
+    /// entry point `Database::recover` uses after reading the manifest,
+    /// so the manifest is decoded exactly once per open.  Refuses a
+    /// handle whose manifest disagrees with `schema`/`fds`, then
+    /// recovers: per-relation log tails replay through the normal
+    /// probe/commit machinery on top of the snapshot base.
+    pub fn recover_durable_from_analysis(
+        dir: WalDir,
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        analysis: &ids_core::IndependenceAnalysis,
+        config: DurableConfig,
+    ) -> Result<Self, StoreError> {
+        let enforcement = extract_enforcement(schema, analysis)?;
+        dir.check_identity(schema, fds)?;
+        let recovered = dir.recover()?;
+        if let Some(preload) = config.store.initial_state {
+            // The log *is* the state, so a preload is only accepted on a
+            // directory with no history — which makes a create that
+            // crashed between the manifest and the preload snapshot
+            // repeatable, instead of silently forking or losing data.
+            let virgin = !recovered.has_snapshot
+                && recovered.tail.iter().all(|t| t.is_empty())
+                && recovered.base_seqs.iter().all(|&s| s == 0);
+            if !virgin {
+                return Err(
+                    RelationalError::SchemaMismatch("initial state for an existing log").into(),
+                );
+            }
+            let (relations, shards) = preload_parts(&dir, schema, &enforcement, Some(preload))?;
+            let last_seqs = vec![0; schema.len()];
+            let next_gen = recovered.next_gen;
+            return Self::finish_durable(
+                dir,
+                schema,
+                enforcement,
+                relations,
+                shards,
+                last_seqs,
+                next_gen,
+                config.store.shards,
+                config.sync,
+            );
+        }
+        let last_seqs = recovered.last_seqs();
+        let next_gen = recovered.next_gen;
+        let (relations, shards) = replay_recovered(schema, &enforcement, recovered, dir.root())?;
+        Self::finish_durable(
+            dir,
+            schema,
+            enforcement,
+            relations,
+            shards,
+            last_seqs,
+            next_gen,
+            config.store.shards,
+            config.sync,
+        )
+    }
+
+    /// Shared tail of the durable opens: attach one segment writer per
+    /// relation and spawn the workers.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_durable(
+        dir: WalDir,
+        schema: &DatabaseSchema,
+        enforcement: Vec<FdSet>,
+        relations: Vec<Relation>,
+        shards: Vec<RelationShard>,
+        last_seqs: Vec<u64>,
+        next_gen: u64,
+        shard_count: usize,
+        sync: SyncPolicy,
+    ) -> Result<Self, StoreError> {
+        let mut parts = Vec::with_capacity(schema.len());
+        for ((id, rel), shard) in schema.ids().zip(relations).zip(shards) {
+            let writer = dir.segment_writer(id.index() as u16, next_gen, last_seqs[id.index()])?;
+            parts.push(Slot {
+                id,
+                shard,
+                rel,
+                wal: Some(writer),
+            });
+        }
+        let durability = Durability {
+            dir,
+            gen: Mutex::new(next_gen),
+        };
+        Ok(Self::spawn(
+            schema,
+            enforcement,
+            parts,
+            shard_count,
+            sync,
+            Some(durability),
+        ))
+    }
+
+    /// Distributes prepared slots round-robin over worker threads and
+    /// starts them.
+    fn spawn(
+        schema: &DatabaseSchema,
+        enforcement: Vec<FdSet>,
+        parts: Vec<Slot>,
+        shards: usize,
+        sync: SyncPolicy,
+        durability: Option<Durability>,
+    ) -> Store {
+        let shard_count = if shards == 0 {
+            schema.len().min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        } else {
+            shards.min(schema.len())
+        }
+        .max(1);
         let assignment: Vec<usize> = (0..schema.len()).map(|i| i % shard_count).collect();
         let mut workers: Vec<Worker> = (0..shard_count)
             .map(|_| Worker {
                 slots: Vec::new(),
                 slot_of: vec![None; schema.len()],
+                sync,
             })
             .collect();
-        for (id, rel) in schema.ids().zip(relations) {
-            let fi = enforcement[id.index()].clone();
-            let shard =
-                RelationShard::with_relation(schema, id, fi, &rel).map_err(|e| match e {
-                    MaintenanceError::BaseStateViolation { scheme, violated } => {
-                        StoreError::InvalidBaseState { scheme, violated }
-                    }
-                    MaintenanceError::Relational(e) => StoreError::Relational(e),
-                    other => unreachable!("with_relation cannot fail with {other}"),
-                })?;
-            let w = &mut workers[assignment[id.index()]];
-            w.slot_of[id.index()] = Some(w.slots.len());
-            w.slots.push((id, shard, rel));
+        for slot in parts {
+            let w = &mut workers[assignment[slot.id.index()]];
+            w.slot_of[slot.id.index()] = Some(w.slots.len());
+            w.slots.push(slot);
         }
-
         let mut senders = Vec::with_capacity(shard_count);
         let mut handles = Vec::with_capacity(shard_count);
         for (i, worker) in workers.into_iter().enumerate() {
@@ -385,13 +688,14 @@ impl Store {
                     .expect("spawn shard worker"),
             );
         }
-        Ok(Store {
+        Store {
             schema: schema.clone(),
             enforcement,
             assignment,
             senders,
             handles,
-        })
+            durability,
+        }
     }
 
     /// The schema handle the store serves.
@@ -407,6 +711,69 @@ impl Store {
     /// Number of shard worker threads.
     pub fn shards(&self) -> usize {
         self.senders.len()
+    }
+
+    /// True when the store was opened with a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Where a durable store's optional value-pool name log lives (the
+    /// `ids-api` layer writes it; the store itself never touches it).
+    pub fn pool_log_path(&self) -> Option<std::path::PathBuf> {
+        self.durability.as_ref().map(|d| d.dir.pool_log_path())
+    }
+
+    /// Checkpoints a durable store: every shard seals its relations'
+    /// current log segments (fsync'd) and hands back a per-relation cut;
+    /// the cut is written as one snapshot (atomically, temp + rename)
+    /// and the covered segments are deleted — the log truncation.
+    ///
+    /// Like [`Store::snapshot`], the cut is per-relation consistent,
+    /// which independence makes globally satisfying.  Safe to call
+    /// repeatedly (a checkpoint with no new records just rewrites an
+    /// identical snapshot) and concurrently (checkpoints serialize on an
+    /// internal lock).  A crash between the snapshot write and the
+    /// pruning leaves only covered segments behind, which recovery
+    /// skips.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let d = self.durability.as_ref().ok_or(StoreError::NotDurable)?;
+        let mut gen = d.gen.lock().map_err(|_| StoreError::Disconnected)?;
+        let old_gen = *gen;
+        let new_gen = old_gen + 1;
+        let (reply_tx, reply_rx) = channel();
+        for tx in &self.senders {
+            tx.send(Command::Rotate {
+                new_gen,
+                reply: reply_tx.clone(),
+            })
+            .map_err(|_| StoreError::Disconnected)?;
+        }
+        drop(reply_tx);
+        let mut parts: Vec<Option<(Relation, u64)>> = vec![None; self.schema.len()];
+        for _ in 0..self.senders.len() {
+            for (id, rel, sealed) in reply_rx.recv().map_err(|_| StoreError::Disconnected)? {
+                parts[id.index()] = Some((rel, sealed));
+            }
+        }
+        // The workers are on `new_gen` now, whatever happens below:
+        // advance the counter immediately so a snapshot/prune failure
+        // leaves the checkpoint *retryable* (the retry rotates onto yet
+        // another generation and its snapshot covers everything the
+        // failed attempt left behind) instead of colliding with the
+        // already-created segment files.
+        *gen = new_gen;
+        let mut relations = Vec::with_capacity(parts.len());
+        let mut seqs = Vec::with_capacity(parts.len());
+        for p in parts {
+            let (rel, sealed) = p.expect("every scheme lives on exactly one shard");
+            relations.push(rel);
+            seqs.push(sealed);
+        }
+        let state = DatabaseState::from_relations(&self.schema, relations)?;
+        d.dir.write_snapshot(&state, &seqs, old_gen)?;
+        d.dir.prune_segments(old_gen)?;
+        Ok(())
     }
 
     /// Validates an operation's scheme and arity before it is routed, so
@@ -611,6 +978,120 @@ impl Drop for Store {
         // `shutdown()`.  Panics in workers surface there, not here.
         let _ = self.shutdown_inner();
     }
+}
+
+/// Prepares the starting relations + shards of a durable store from an
+/// optional preload: the state is revalidated against the schema and
+/// every cover (typed errors, never worker panics), and a nonempty
+/// preload — which lives in no log — is pinned in an initial snapshot
+/// so recovery starts from it.  Shared by the fresh-create path and the
+/// repeat of a create that crashed before its snapshot landed.
+fn preload_parts(
+    dir: &WalDir,
+    schema: &DatabaseSchema,
+    enforcement: &[FdSet],
+    initial_state: Option<DatabaseState>,
+) -> Result<(Vec<Relation>, Vec<RelationShard>), StoreError> {
+    let relations: Vec<Relation> = match initial_state {
+        Some(state) => {
+            DatabaseState::from_relations(schema, state.into_relations())?.into_relations()
+        }
+        None => schema
+            .ids()
+            .map(|id| Relation::new(schema.attrs(id)))
+            .collect(),
+    };
+    let mut shards = Vec::with_capacity(schema.len());
+    for (id, rel) in schema.ids().zip(relations.iter()) {
+        let fi = enforcement[id.index()].clone();
+        shards.push(RelationShard::with_relation(schema, id, fi, rel).map_err(base_state_error)?);
+    }
+    if relations.iter().any(|r| !r.is_empty()) {
+        let state = DatabaseState::from_relations(schema, relations.clone())?;
+        dir.write_snapshot(&state, &vec![0; schema.len()], 0)?;
+    }
+    Ok((relations, shards))
+}
+
+/// Pulls the per-scheme enforcement covers out of an analysis verdict:
+/// a dependent schema is refused with its witness, and an analysis of a
+/// *different* schema is a typed error, not an index panic while
+/// distributing covers (same guard as `LocalMaintainer::new`).
+fn extract_enforcement(
+    schema: &DatabaseSchema,
+    analysis: &ids_core::IndependenceAnalysis,
+) -> Result<Vec<FdSet>, StoreError> {
+    let enforcement = match &analysis.verdict {
+        ids_core::Verdict::Independent { enforcement } => enforcement.clone(),
+        ids_core::Verdict::NotIndependent { reason, witness } => {
+            return Err(StoreError::NotIndependent {
+                reason: reason.clone(),
+                witness: Box::new(witness.clone()),
+            })
+        }
+    };
+    if enforcement.len() != schema.len() {
+        return Err(RelationalError::SchemaMismatch("enforcement covers").into());
+    }
+    Ok(enforcement)
+}
+
+/// Maps shard-construction failures (preload validation) to typed
+/// store errors.
+fn base_state_error(e: MaintenanceError) -> StoreError {
+    match e {
+        MaintenanceError::BaseStateViolation { scheme, violated } => {
+            StoreError::InvalidBaseState { scheme, violated }
+        }
+        MaintenanceError::Relational(e) => StoreError::Relational(e),
+        other => unreachable!("with_relation cannot fail with {other}"),
+    }
+}
+
+/// Replays a recovery result through the normal probe/commit machinery:
+/// the snapshot base builds each relation's shard (which validates it
+/// against the enforcement cover `Fi`), then the relation's log tail
+/// re-runs through the shard.  Every logged record was an accepted,
+/// effective operation, so replay must re-accept each one — anything
+/// else means the files contradict themselves and is reported as
+/// corruption, never silently patched.  One relation never consults
+/// another: recovery of an independent schema is per-relation by
+/// construction.
+fn replay_recovered(
+    schema: &DatabaseSchema,
+    enforcement: &[FdSet],
+    recovered: ids_wal::Recovered,
+    root: &Path,
+) -> Result<(Vec<Relation>, Vec<RelationShard>), StoreError> {
+    let base = recovered.base.into_relations();
+    let mut relations = Vec::with_capacity(schema.len());
+    let mut shards = Vec::with_capacity(schema.len());
+    for ((id, mut rel), records) in schema.ids().zip(base).zip(recovered.tail) {
+        let fi = enforcement[id.index()].clone();
+        let mut shard =
+            RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
+        for record in records {
+            let seq = record.seq;
+            let replayed = match record.op {
+                WalOp::Insert(t) => {
+                    matches!(shard.insert(&mut rel, t), Ok(InsertOutcome::Accepted))
+                }
+                WalOp::Remove(t) => matches!(shard.remove(&mut rel, &t), Ok(true)),
+            };
+            if !replayed {
+                return Err(WalError::Corrupt {
+                    path: root.to_path_buf(),
+                    detail: format!(
+                        "logged op did not replay cleanly (relation {id:?}, seq {seq})"
+                    ),
+                }
+                .into());
+            }
+        }
+        relations.push(rel);
+        shards.push(shard);
+    }
+    Ok((relations, shards))
 }
 
 // The whole point: clients on many threads share one store.
@@ -933,6 +1414,171 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, StoreError::Relational(_)), "got {err}");
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("ids-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn durable_store_recovers_across_reopens_and_checkpoints() {
+        let root = tmp_dir("recover");
+        let (schema, fds) = independent_setup();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let cs = schema.scheme_by_name("CS").unwrap();
+
+        // Session 1: a few ops, checkpoint mid-stream, more ops.
+        {
+            let store = Store::open_durable(&root, &schema, &fds).unwrap();
+            assert!(store.is_durable());
+            store.insert(ct, vec![v(1), v(10)]).unwrap();
+            store.insert(cs, vec![v(1), v(50)]).unwrap();
+            // Rejected/duplicate ops must not reach the log.
+            assert!(store.insert(ct, vec![v(1), v(11)]).unwrap().is_rejected());
+            store.insert(ct, vec![v(1), v(10)]).unwrap(); // duplicate
+            store.checkpoint().unwrap();
+            store.insert(cs, vec![v(2), v(51)]).unwrap();
+            assert!(store.remove(ct, vec![v(1), v(10)]).unwrap());
+            store.shutdown().unwrap();
+        }
+        // Session 2: recover, verify, extend, clean-shutdown again.
+        {
+            let store = Store::open_durable(&root, &schema, &fds).unwrap();
+            let state = store.snapshot().unwrap();
+            assert_eq!(state.relation(ct).len(), 0);
+            assert_eq!(state.relation(cs).len(), 2);
+            // The freed key is usable again — enforcement state was
+            // rebuilt through the same probe/commit path.
+            assert!(store.insert(ct, vec![v(1), v(12)]).unwrap().is_accepted());
+            // Double checkpoint is a semantic no-op.
+            store.checkpoint().unwrap();
+            store.checkpoint().unwrap();
+            store.shutdown().unwrap();
+        }
+        // Session 3: recover after clean shutdown is the identity.
+        {
+            let store = Store::open_durable(&root, &schema, &fds).unwrap();
+            let state = store.shutdown().unwrap();
+            assert_eq!(state.relation(ct).len(), 1);
+            assert!(state.relation(ct).contains(&[v(1), v(12)]));
+            assert_eq!(state.relation(cs).len(), 2);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn durable_store_refuses_foreign_logs_and_misuse() {
+        let root = tmp_dir("mismatch");
+        let (schema, fds) = independent_setup();
+        {
+            let store = Store::open_durable(&root, &schema, &fds).unwrap();
+            store
+                .insert(schema.scheme_by_name("CT").unwrap(), vec![v(1), v(10)])
+                .unwrap();
+            store.shutdown().unwrap();
+        }
+        // Different FD set: typed mismatch, no replay.
+        let other_fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        assert!(matches!(
+            Store::open_durable(&root, &schema, &other_fds),
+            Err(StoreError::Wal(ids_wal::WalError::SchemaMismatch { .. }))
+        ));
+        // Different schema: same refusal.
+        let u2 = Universe::from_names(["C", "T", "H", "R", "S"]).unwrap();
+        let schema2 =
+            DatabaseSchema::parse(u2, &[("CT", "CT"), ("CS", "CS"), ("CHRS", "CHRS")]).unwrap();
+        assert!(matches!(
+            Store::open_durable(&root, &schema2, &fds),
+            Err(StoreError::Wal(ids_wal::WalError::SchemaMismatch { .. }))
+        ));
+        // Preloading an existing log is refused.
+        assert!(Store::open_durable_with(
+            &root,
+            &schema,
+            &fds,
+            DurableConfig {
+                store: StoreConfig {
+                    shards: 0,
+                    initial_state: Some(DatabaseState::empty(&schema)),
+                },
+                ..DurableConfig::default()
+            },
+        )
+        .is_err());
+        // Checkpoint on an in-memory store is a typed error.
+        let mem = Store::open(&schema, &fds).unwrap();
+        assert!(!mem.is_durable());
+        assert!(matches!(mem.checkpoint(), Err(StoreError::NotDurable)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn preloaded_create_is_repeatable_after_a_crash_in_the_window() {
+        // A crash between manifest creation and the preload snapshot
+        // leaves a manifest with no history; re-running the same
+        // preloaded open must succeed (and land the preload), not error
+        // or silently yield an empty store.
+        let root = tmp_dir("create-window");
+        let (schema, fds) = independent_setup();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        // Simulate the torn create: manifest only, nothing else.
+        ids_wal::WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut base = DatabaseState::empty(&schema);
+        base.insert(ct, vec![v(9), v(90)]).unwrap();
+        let preloaded_open = || {
+            Store::open_durable_with(
+                &root,
+                &schema,
+                &fds,
+                DurableConfig {
+                    store: StoreConfig {
+                        shards: 2,
+                        initial_state: Some(base.clone()),
+                    },
+                    ..DurableConfig::default()
+                },
+            )
+        };
+        let store = preloaded_open().unwrap();
+        assert_eq!(store.count(ct).unwrap(), 1);
+        store.shutdown().unwrap();
+        // Once the store has history the same call is refused again.
+        assert!(preloaded_open().is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn durable_store_pins_a_nonempty_preload_in_an_initial_snapshot() {
+        let root = tmp_dir("preload");
+        let (schema, fds) = independent_setup();
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let mut base = DatabaseState::empty(&schema);
+        base.insert(ct, vec![v(9), v(90)]).unwrap();
+        {
+            let store = Store::open_durable_with(
+                &root,
+                &schema,
+                &fds,
+                DurableConfig {
+                    store: StoreConfig {
+                        shards: 2,
+                        initial_state: Some(base),
+                    },
+                    sync: SyncPolicy::Always,
+                    app: Vec::new(),
+                },
+            )
+            .unwrap();
+            store.insert(ct, vec![v(8), v(80)]).unwrap();
+            store.shutdown().unwrap();
+        }
+        let store = Store::open_durable(&root, &schema, &fds).unwrap();
+        let state = store.shutdown().unwrap();
+        assert_eq!(state.relation(ct).len(), 2);
+        assert!(state.relation(ct).contains(&[v(9), v(90)]));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

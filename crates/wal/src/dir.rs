@@ -1,0 +1,535 @@
+//! The on-disk directory of a durable database: manifest, snapshot,
+//! per-relation log segments, and crash recovery.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, DatabaseState};
+
+use crate::format::{frame, read_frame, FrameOutcome};
+use crate::records::{Manifest, SegmentHeader, Snapshot, WalRecord};
+use crate::writer::{parse_segment_file_name, WalWriter};
+use crate::{corrupt, io_err, WalError};
+
+/// Name of the manifest file inside the root.
+const MANIFEST_FILE: &str = "MANIFEST";
+/// Name the manifest is staged under before the atomic rename.
+const MANIFEST_TMP_FILE: &str = "MANIFEST.tmp";
+/// Name of the snapshot file inside the root.
+const SNAPSHOT_FILE: &str = "snapshot.ids";
+/// Name the snapshot is staged under before the atomic rename.
+const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
+/// Subdirectory holding the per-relation log segments.
+const WAL_SUBDIR: &str = "wal";
+/// Name of the optional value-pool log (see [`crate::NameLog`]).
+const POOL_FILE: &str = "pool.log";
+
+/// Handle to a durable database directory.
+///
+/// A `WalDir` owns no file descriptors — it is the *layout*: where the
+/// manifest, snapshot and segments live, and how to read them back.
+/// Writers ([`WalWriter`]) and the recovery pass are created from it.
+#[derive(Debug)]
+pub struct WalDir {
+    root: PathBuf,
+    manifest: Manifest,
+    fingerprint: u32,
+}
+
+/// What [`WalDir::recover`] found: the snapshot base plus, per
+/// relation, the log tail to replay through the normal probe/commit
+/// path.
+#[derive(Debug)]
+pub struct Recovered {
+    /// State restored from the snapshot (empty when none was taken).
+    pub base: DatabaseState,
+    /// Per-relation last sequence number folded into `base`.
+    pub base_seqs: Vec<u64>,
+    /// Per-relation records appended after the snapshot, in order.
+    /// Replaying them through each relation's shard *is* recovery; no
+    /// cross-relation ordering exists or is needed.
+    pub tail: Vec<Vec<WalRecord>>,
+    /// Generation the snapshot covers (0 when none was taken).
+    pub covered_gen: u64,
+    /// Generation fresh segments should be opened at.
+    pub next_gen: u64,
+    /// Whether a snapshot file existed (distinguishes "no snapshot yet"
+    /// from "snapshot of an empty state").
+    pub has_snapshot: bool,
+}
+
+impl Recovered {
+    /// Per-relation last durable sequence number after replaying the
+    /// tail.
+    pub fn last_seqs(&self) -> Vec<u64> {
+        self.base_seqs
+            .iter()
+            .zip(&self.tail)
+            .map(|(base, tail)| tail.last().map_or(*base, |r| r.seq))
+            .collect()
+    }
+}
+
+impl WalDir {
+    /// True when `root` already holds a durable database (its manifest
+    /// exists).
+    pub fn exists(root: &Path) -> bool {
+        root.join(MANIFEST_FILE).exists()
+    }
+
+    /// Creates a fresh durable directory: `root/`, `root/wal/`, and the
+    /// manifest (staged + renamed, so it is either absent or complete —
+    /// a crash mid-creation leaves a directory [`WalDir::exists`] still
+    /// reports as fresh).  Fails if a manifest is already present.
+    pub fn create(
+        root: &Path,
+        schema: &DatabaseSchema,
+        fds: &FdSet,
+        app: Vec<u8>,
+    ) -> Result<Self, WalError> {
+        if Self::exists(root) {
+            return Err(io_err(
+                &root.join(MANIFEST_FILE),
+                std::io::Error::new(std::io::ErrorKind::AlreadyExists, "manifest exists"),
+            ));
+        }
+        std::fs::create_dir_all(root.join(WAL_SUBDIR))
+            .map_err(|e| io_err(&root.join(WAL_SUBDIR), e))?;
+        let manifest = Manifest {
+            schema: schema.clone(),
+            fds: fds.clone(),
+            app,
+        };
+        let path = root.join(MANIFEST_FILE);
+        let tmp = root.join(MANIFEST_TMP_FILE);
+        let payload = manifest.encode();
+        crate::check_frame_size(&path, payload.len())?;
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&frame(&payload)).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        sync_dir(root);
+        let fingerprint = manifest.fingerprint();
+        Ok(WalDir {
+            root: root.to_path_buf(),
+            manifest,
+            fingerprint,
+        })
+    }
+
+    /// Opens an existing durable directory by reading its manifest.
+    pub fn open(root: &Path) -> Result<Self, WalError> {
+        let path = root.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let manifest = match read_frame(&bytes) {
+            FrameOutcome::Complete { payload, rest } => {
+                if !rest.is_empty() {
+                    return Err(corrupt(&path, "trailing bytes after manifest frame"));
+                }
+                Manifest::decode(&path, payload)?
+            }
+            FrameOutcome::Torn => return Err(corrupt(&path, "manifest frame truncated")),
+            FrameOutcome::CrcMismatch => return Err(corrupt(&path, "manifest checksum mismatch")),
+            FrameOutcome::Oversize => return Err(corrupt(&path, "manifest length corrupted")),
+        };
+        let fingerprint = manifest.fingerprint();
+        Ok(WalDir {
+            root: root.to_path_buf(),
+            manifest,
+            fingerprint,
+        })
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The manifest read at open / written at create.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The identity fingerprint every segment and snapshot carries.
+    pub fn fingerprint(&self) -> u32 {
+        self.fingerprint
+    }
+
+    /// Where the optional value-pool name log lives.
+    pub fn pool_log_path(&self) -> PathBuf {
+        self.root.join(POOL_FILE)
+    }
+
+    /// Checks that a caller-supplied schema + FD set is the one the
+    /// directory was created under; a disagreement is the typed
+    /// [`WalError::SchemaMismatch`] (replaying under different
+    /// dependencies would silently mis-enforce).
+    pub fn check_identity(&self, schema: &DatabaseSchema, fds: &FdSet) -> Result<(), WalError> {
+        if self.manifest.schema != *schema {
+            return Err(WalError::SchemaMismatch { detail: "schema" });
+        }
+        if !self.manifest.fds.same_fds(fds) {
+            return Err(WalError::SchemaMismatch { detail: "FD set" });
+        }
+        Ok(())
+    }
+
+    /// Opens a fresh log segment for one relation at `gen`, continuing
+    /// its sequence numbering from `last_seq`.
+    pub fn segment_writer(
+        &self,
+        scheme: u16,
+        gen: u64,
+        last_seq: u64,
+    ) -> Result<WalWriter, WalError> {
+        WalWriter::create(
+            &self.root.join(WAL_SUBDIR),
+            self.fingerprint,
+            scheme,
+            gen,
+            last_seq,
+        )
+    }
+
+    /// Atomically replaces the snapshot: write to a temp file, fsync,
+    /// rename over `snapshot.ids`, fsync the directory.  Readers only
+    /// ever see the old complete snapshot or the new complete one.
+    pub fn write_snapshot(
+        &self,
+        state: &DatabaseState,
+        last_seqs: &[u64],
+        covered_gen: u64,
+    ) -> Result<(), WalError> {
+        let snap = Snapshot {
+            fingerprint: self.fingerprint,
+            covered_gen,
+            last_seqs: last_seqs.to_vec(),
+            state: state.clone(),
+        };
+        let tmp = self.root.join(SNAPSHOT_TMP_FILE);
+        let dst = self.root.join(SNAPSHOT_FILE);
+        let payload = snap.encode();
+        // An unreadable-by-construction snapshot must fail the
+        // *checkpoint* (log intact) rather than the next recovery
+        // (log already pruned).
+        crate::check_frame_size(&dst, payload.len())?;
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&frame(&payload)).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &dst).map_err(|e| io_err(&dst, e))?;
+        sync_dir(&self.root);
+        Ok(())
+    }
+
+    /// Deletes every segment of a covered generation — the log
+    /// truncation half of a checkpoint.  Safe to call repeatedly; a
+    /// crash between snapshot and pruning only leaves covered segments
+    /// behind, which the next recovery skips and the next checkpoint
+    /// removes.
+    pub fn prune_segments(&self, covered_gen: u64) -> Result<(), WalError> {
+        let wal = self.root.join(WAL_SUBDIR);
+        for entry in std::fs::read_dir(&wal).map_err(|e| io_err(&wal, e))? {
+            let entry = entry.map_err(|e| io_err(&wal, e))?;
+            let name = entry.file_name();
+            let Some((_, gen)) = name.to_str().and_then(parse_segment_file_name) else {
+                continue;
+            };
+            if gen <= covered_gen {
+                std::fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+            }
+        }
+        sync_dir(&wal);
+        Ok(())
+    }
+
+    /// Reads the snapshot and every live segment back into a
+    /// [`Recovered`]: the base state plus per-relation tails.
+    ///
+    /// Torn tails (a frame cut short) end a segment cleanly at the
+    /// acknowledged-and-synced prefix — including a non-final segment,
+    /// whose leftover torn bytes a previous crash-recovery cycle may
+    /// have left behind: per-relation sequence numbers are contiguous
+    /// across segments, so a benign torn tail is distinguished from
+    /// genuine mid-stream loss by the *next* segment's header (it
+    /// continues from the clean prefix; anything else is a sequence
+    /// gap).  Everything else that is malformed — checksum mismatch,
+    /// sequence gaps, bad magic — is a typed [`WalError::Corrupt`].
+    pub fn recover(&self) -> Result<Recovered, WalError> {
+        let schema = &self.manifest.schema;
+        let k = schema.len();
+
+        // 1. Snapshot, if any.
+        let snap_path = self.root.join(SNAPSHOT_FILE);
+        let has_snapshot = snap_path.exists();
+        let (base, base_seqs, covered_gen) = if has_snapshot {
+            let bytes = std::fs::read(&snap_path).map_err(|e| io_err(&snap_path, e))?;
+            let snap = match read_frame(&bytes) {
+                FrameOutcome::Complete { payload, rest } => {
+                    if !rest.is_empty() {
+                        return Err(corrupt(&snap_path, "trailing bytes after snapshot frame"));
+                    }
+                    Snapshot::decode(&snap_path, payload, schema)?
+                }
+                // The snapshot is written atomically (temp + rename), so a
+                // short or mangled frame is corruption, not a crash artifact.
+                FrameOutcome::Torn => return Err(corrupt(&snap_path, "snapshot frame truncated")),
+                FrameOutcome::CrcMismatch => {
+                    return Err(corrupt(&snap_path, "snapshot checksum mismatch"))
+                }
+                FrameOutcome::Oversize => {
+                    return Err(corrupt(&snap_path, "snapshot length corrupted"))
+                }
+            };
+            if snap.fingerprint != self.fingerprint {
+                return Err(WalError::SchemaMismatch {
+                    detail: "schema/FD set (snapshot fingerprint)",
+                });
+            }
+            (snap.state, snap.last_seqs, snap.covered_gen)
+        } else {
+            (DatabaseState::empty(schema), vec![0; k], 0)
+        };
+
+        // 2. Discover live segments, newest generation last.
+        let wal = self.root.join(WAL_SUBDIR);
+        let mut segments: Vec<Vec<(u64, PathBuf)>> = vec![Vec::new(); k];
+        let mut max_gen = covered_gen;
+        if wal.exists() {
+            for entry in std::fs::read_dir(&wal).map_err(|e| io_err(&wal, e))? {
+                let entry = entry.map_err(|e| io_err(&wal, e))?;
+                let name = entry.file_name();
+                let Some((scheme, gen)) = name.to_str().and_then(parse_segment_file_name) else {
+                    continue;
+                };
+                if scheme as usize >= k {
+                    return Err(corrupt(
+                        &entry.path(),
+                        format!("segment for unknown relation index {scheme}"),
+                    ));
+                }
+                max_gen = max_gen.max(gen);
+                if gen > covered_gen {
+                    segments[scheme as usize].push((gen, entry.path()));
+                }
+            }
+        }
+
+        // 3. Replay each relation's segments independently.
+        let mut tail: Vec<Vec<WalRecord>> = Vec::with_capacity(k);
+        for (i, mut segs) in segments.into_iter().enumerate() {
+            segs.sort();
+            let mut records = Vec::new();
+            let mut last_seq = base_seqs[i];
+            for (gen, path) in segs {
+                let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+                let mut rest = bytes.as_slice();
+                // Header frame.  A torn header is a crash between
+                // segment creation and the header write landing: the
+                // segment is empty.  The torn bytes are left in place
+                // (recovery never writes) — a later segment after a
+                // torn one is fine, because its own header must
+                // continue the sequence from the clean prefix; genuine
+                // mid-stream loss surfaces as a sequence gap below.
+                match read_frame(rest) {
+                    FrameOutcome::Complete { payload, rest: r } => {
+                        let header = SegmentHeader::decode(&path, payload)?;
+                        if header.fingerprint != self.fingerprint {
+                            return Err(WalError::SchemaMismatch {
+                                detail: "schema/FD set (segment fingerprint)",
+                            });
+                        }
+                        if header.scheme as usize != i || header.gen != gen {
+                            return Err(corrupt(&path, "segment header disagrees with file name"));
+                        }
+                        if header.start_seq != last_seq + 1 {
+                            return Err(corrupt(
+                                &path,
+                                format!(
+                                    "sequence gap: segment starts at {} after {}",
+                                    header.start_seq, last_seq
+                                ),
+                            ));
+                        }
+                        rest = r;
+                    }
+                    FrameOutcome::Torn => continue,
+                    FrameOutcome::CrcMismatch => {
+                        return Err(corrupt(&path, "segment header checksum mismatch"))
+                    }
+                    FrameOutcome::Oversize => {
+                        return Err(corrupt(&path, "segment header length corrupted"))
+                    }
+                }
+                // Record frames.  A torn record ends this segment at
+                // the acknowledged-and-synced prefix; if records were
+                // really lost mid-stream (not just a torn append), the
+                // next segment's header start_seq exposes it as a
+                // sequence gap.
+                loop {
+                    match read_frame(rest) {
+                        FrameOutcome::Complete { payload, rest: r } => {
+                            let record = WalRecord::decode(&path, payload)?;
+                            if record.seq != last_seq + 1 {
+                                return Err(corrupt(
+                                    &path,
+                                    format!(
+                                        "sequence gap: record {} after {}",
+                                        record.seq, last_seq
+                                    ),
+                                ));
+                            }
+                            last_seq = record.seq;
+                            records.push(record);
+                            rest = r;
+                        }
+                        FrameOutcome::Torn => break,
+                        FrameOutcome::CrcMismatch => {
+                            return Err(corrupt(&path, "record checksum mismatch"))
+                        }
+                        FrameOutcome::Oversize => {
+                            return Err(corrupt(&path, "record length corrupted"))
+                        }
+                    }
+                }
+            }
+            tail.push(records);
+        }
+
+        Ok(Recovered {
+            base,
+            base_seqs,
+            tail,
+            covered_gen,
+            next_gen: max_gen + 1,
+            has_snapshot,
+        })
+    }
+}
+
+/// Best-effort directory fsync (makes creates/renames durable on
+/// filesystems that need it; ignored where unsupported).  Also called
+/// after every segment / name-log creation, so a power loss cannot
+/// erase a file whose contents were already fsync'd.
+pub(crate) fn sync_dir(path: &Path) {
+    if let Ok(f) = File::open(path) {
+        let _ = f.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::WalOp;
+    use ids_relational::{SchemeId, Universe, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ids-wal-dir-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "S"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        (schema, fds)
+    }
+
+    #[test]
+    fn create_open_identity_and_mismatch() {
+        let root = tmp("identity");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, vec![9]).unwrap();
+        assert!(WalDir::exists(&root));
+        assert!(WalDir::create(&root, &schema, &fds, vec![]).is_err());
+        let reopened = WalDir::open(&root).unwrap();
+        assert_eq!(reopened.fingerprint(), dir.fingerprint());
+        assert_eq!(reopened.manifest().app, vec![9]);
+        reopened.check_identity(&schema, &fds).unwrap();
+        let other_fds = FdSet::parse(schema.universe(), &["C -> S"]).unwrap();
+        assert!(matches!(
+            reopened.check_identity(&schema, &other_fds),
+            Err(WalError::SchemaMismatch { detail: "FD set" })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn write_replay_checkpoint_cycle() {
+        let root = tmp("cycle");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+
+        // Gen 1: two records on relation 0, one on relation 1.
+        let mut w0 = dir.segment_writer(0, 1, 0).unwrap();
+        let mut w1 = dir.segment_writer(1, 1, 0).unwrap();
+        w0.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w0.append(WalOp::Remove(vec![Value(1), Value(10)])).unwrap();
+        w1.append(WalOp::Insert(vec![Value(1), Value(50)])).unwrap();
+        w0.sync().unwrap();
+        w1.sync().unwrap();
+
+        let r = dir.recover().unwrap();
+        assert_eq!(r.covered_gen, 0);
+        assert_eq!(r.next_gen, 2);
+        assert_eq!(r.base.total_tuples(), 0);
+        assert_eq!(r.tail[0].len(), 2);
+        assert_eq!(r.tail[1].len(), 1);
+        assert_eq!(r.last_seqs(), vec![2, 1]);
+
+        // Checkpoint: rotate both writers to gen 2, snapshot, prune.
+        w0.rotate(2).unwrap();
+        w1.rotate(2).unwrap();
+        let mut state = DatabaseState::empty(&schema);
+        state
+            .insert(SchemeId(1), vec![Value(1), Value(50)])
+            .unwrap();
+        dir.write_snapshot(&state, &[2, 1], 1).unwrap();
+        dir.prune_segments(1).unwrap();
+
+        // Post-checkpoint records land in gen 2.
+        w1.append(WalOp::Insert(vec![Value(2), Value(60)])).unwrap();
+        w1.sync().unwrap();
+
+        let r = dir.recover().unwrap();
+        assert_eq!(r.covered_gen, 1);
+        assert_eq!(r.next_gen, 3);
+        assert_eq!(r.base.total_tuples(), 1);
+        assert_eq!(r.base_seqs, vec![2, 1]);
+        assert!(r.tail[0].is_empty());
+        assert_eq!(r.tail[1].len(), 1);
+        assert_eq!(r.tail[1][0].seq, 2);
+        assert_eq!(r.last_seqs(), vec![2, 2]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix_but_gap_is_corrupt() {
+        let root = tmp("torn");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w0 = dir.segment_writer(0, 1, 0).unwrap();
+        w0.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w0.append(WalOp::Insert(vec![Value(2), Value(20)])).unwrap();
+        w0.sync().unwrap();
+        let seg = root.join("wal").join("r00000-g0000000001.log");
+        let bytes = std::fs::read(&seg).unwrap();
+
+        // Truncating the last record (torn write) keeps the prefix.
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let r = dir.recover().unwrap();
+        assert_eq!(r.tail[0].len(), 1);
+
+        // Flipping a bit inside a record is corruption, not truncation.
+        let mut flipped = bytes.clone();
+        let n = flipped.len();
+        flipped[n - 1] ^= 0x80;
+        std::fs::write(&seg, &flipped).unwrap();
+        assert!(matches!(dir.recover(), Err(WalError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

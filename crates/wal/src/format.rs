@@ -1,0 +1,228 @@
+//! The pinned on-disk building blocks: magics, the format version, the
+//! CRC, and the frame.
+//!
+//! **This module is the format contract.**  The golden-file tests under
+//! `tests/golden.rs` assert these layouts byte for byte; change anything
+//! here and they fail loudly, which is the intended behavior — bump
+//! [`FORMAT_VERSION`] and teach the readers both layouts instead.
+//!
+//! ## The frame
+//!
+//! Every self-contained payload on disk — manifest, snapshot, segment
+//! header, each log record, each pool-log name — is wrapped in one
+//! frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length `n` (u32, little-endian)
+//! 4       4     CRC-32 (IEEE, reflected) of the length bytes ‖ payload
+//! 8       n     payload
+//! ```
+//!
+//! The CRC covers the **length field too**, so a corrupted length that
+//! still points inside the buffer is caught as corruption rather than
+//! re-framing the log; lengths above [`MAX_FRAME_PAYLOAD`] are rejected
+//! outright (no real payload is that large — only corruption is).
+//!
+//! Reading distinguishes four outcomes ([`FrameOutcome`]):
+//!
+//! * **Complete** — the full frame is present and the CRC matches;
+//! * **Torn** — the buffer ends before the frame does (a crashed append
+//!   or a truncated copy): replay stops cleanly *at the previous
+//!   record*, which is exactly the acknowledged-and-synced prefix;
+//! * **CrcMismatch** — the frame is fully present but its checksum
+//!   lies: that is corruption, reported as a typed error, never treated
+//!   as an end-of-log;
+//! * **Oversize** — the length field exceeds [`MAX_FRAME_PAYLOAD`]:
+//!   corruption of the length itself.
+//!
+//! One gray zone is unavoidable: if the **final** frame's length field
+//! is corrupted to a value that stays under the bound but runs past the
+//! end of the file, it is indistinguishable from a genuine torn write
+//! (the checksum cannot be verified without the bytes the length claims).
+//! Recovery prefers availability there and stops at the clean prefix —
+//! the affected record is by construction the last of one relation's
+//! log, and the cross-segment sequence-contiguity check still exposes
+//! the loss as soon as a later segment exists.
+
+/// Version written into every file header; readers refuse others.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Magic prefix of the `MANIFEST` payload.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"IDSM";
+
+/// Magic prefix of a log-segment header payload.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"IDSW";
+
+/// Magic prefix of the `snapshot.ids` payload.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"IDSS";
+
+/// Magic prefix of the `pool.log` header payload.
+pub const POOL_MAGIC: [u8; 4] = *b"IDSP";
+
+/// Hard upper bound on a frame payload (64 MiB).  Far above any real
+/// manifest, snapshot or record; a length field claiming more is
+/// corruption of the length itself, not a big payload.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 << 20;
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
+/// checksum inside every frame.  Implemented here so the format has no
+/// dependency to drift with.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0u32, data)
+}
+
+/// The frame checksum: CRC-32 over the little-endian length bytes
+/// followed by the payload, without materializing the concatenation.
+fn frame_crc(len_bytes: [u8; 4], payload: &[u8]) -> u32 {
+    !crc32_update(crc32_update(!0u32, &len_bytes), payload)
+}
+
+/// Wraps a payload in a frame: `[len][crc(len ‖ payload)][payload]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len_bytes = (payload.len() as u32).to_le_bytes();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&frame_crc(len_bytes, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What [`read_frame`] found at the head of a buffer.
+#[derive(Debug)]
+pub enum FrameOutcome<'a> {
+    /// A complete, checksum-valid frame, and the bytes after it.
+    Complete {
+        /// The frame's payload.
+        payload: &'a [u8],
+        /// Everything after the frame.
+        rest: &'a [u8],
+    },
+    /// The buffer ends mid-frame: a torn write.  Not an error.
+    Torn,
+    /// The frame is fully present but its CRC does not match: data
+    /// corruption.
+    CrcMismatch,
+    /// The length field exceeds [`MAX_FRAME_PAYLOAD`]: corruption of
+    /// the length itself.
+    Oversize,
+}
+
+/// Reads the frame at the head of `buf`.
+pub fn read_frame(buf: &[u8]) -> FrameOutcome<'_> {
+    if buf.len() < 8 {
+        return FrameOutcome::Torn;
+    }
+    let len_bytes: [u8; 4] = buf[0..4].try_into().unwrap();
+    let len = u32::from_le_bytes(len_bytes);
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameOutcome::Oversize;
+    }
+    let len = len as usize;
+    if buf.len() - 8 < len {
+        return FrameOutcome::Torn;
+    }
+    let payload = &buf[8..8 + len];
+    if frame_crc(len_bytes, payload) != crc {
+        return FrameOutcome::CrcMismatch;
+    }
+    FrameOutcome::Complete {
+        payload,
+        rest: &buf[8 + len..],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip_and_torn_detection() {
+        let f = frame(b"hello");
+        match read_frame(&f) {
+            FrameOutcome::Complete { payload, rest } => {
+                assert_eq!(payload, b"hello");
+                assert!(rest.is_empty());
+            }
+            other => panic!("expected complete frame, got {other:?}"),
+        }
+        // Every strict prefix is torn, never corrupt: truncation at an
+        // arbitrary byte offset must always read as a clean end-of-log.
+        for cut in 0..f.len() {
+            assert!(
+                matches!(read_frame(&f[..cut]), FrameOutcome::Torn),
+                "cut at {cut} should be torn"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_corruption_not_truncation() {
+        let mut f = frame(b"payload");
+        f[10] ^= 0x01;
+        assert!(matches!(read_frame(&f), FrameOutcome::CrcMismatch));
+    }
+
+    #[test]
+    fn corrupted_length_field_is_not_a_torn_write() {
+        // Length flipped smaller: the frame is still in the buffer, the
+        // length is covered by the CRC, so this is corruption.
+        let mut f = frame(b"a longer payload than one byte");
+        f[0] = 1;
+        assert!(matches!(read_frame(&f), FrameOutcome::CrcMismatch));
+        // Length flipped absurdly large: the bound catches it.
+        let mut f = frame(b"x");
+        f[3] = 0xFF;
+        assert!(matches!(read_frame(&f), FrameOutcome::Oversize));
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut buf = frame(b"a");
+        buf.extend_from_slice(&frame(b"bb"));
+        let FrameOutcome::Complete { payload, rest } = read_frame(&buf) else {
+            panic!("first frame");
+        };
+        assert_eq!(payload, b"a");
+        let FrameOutcome::Complete { payload, rest } = read_frame(rest) else {
+            panic!("second frame");
+        };
+        assert_eq!(payload, b"bb");
+        assert!(rest.is_empty());
+    }
+}

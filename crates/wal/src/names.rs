@@ -1,0 +1,229 @@
+//! A tiny append-only string log, used by the `ids-api` layer to make
+//! its interning `ValuePool` durable.
+//!
+//! Interning order *is* the value assignment, so replaying the names in
+//! append order reproduces identical `Value` ids.  The log is framed
+//! like every other durability file: a header frame (magic, version,
+//! fingerprint) followed by one frame per name.  A torn tail is a clean
+//! end; a checksum-valid prefix is always a prefix of the appended
+//! names.
+//!
+//! Appends are fsync'd unconditionally, regardless of the store's
+//! [`crate::SyncPolicy`]: a name must be stable *before* any WAL record
+//! referencing its value, otherwise a crash could re-assign the id to a
+//! different string and silently alias stored tuples.  New names are
+//! rare after warmup, so the cost amortizes to nothing.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ids_relational::codec::{Decoder, Encoder};
+
+use crate::format::{frame, read_frame, FrameOutcome, FORMAT_VERSION, POOL_MAGIC};
+use crate::{corrupt, io_err, WalError};
+
+/// The durable name log backing a `ValuePool`.
+#[derive(Debug)]
+pub struct NameLog {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl NameLog {
+    /// Opens (or creates) the log at `path` and replays its names in
+    /// append order.  `fingerprint` ties the log to its database; a log
+    /// carrying a different fingerprint is a typed
+    /// [`WalError::SchemaMismatch`].
+    pub fn open(path: &Path, fingerprint: u32) -> Result<(Self, Vec<String>), WalError> {
+        let mut names = Vec::new();
+        if path.exists() {
+            let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+            let mut rest = bytes.as_slice();
+            // Header frame.
+            match read_frame(rest) {
+                FrameOutcome::Complete { payload, rest: r } => {
+                    let mut d = Decoder::new(payload);
+                    let mut magic = [0u8; 4];
+                    for b in &mut magic {
+                        *b = d
+                            .get_u8()
+                            .map_err(|_| corrupt(path, "truncated pool header"))?;
+                    }
+                    if magic != POOL_MAGIC {
+                        return Err(corrupt(path, format!("bad pool magic {magic:?}")));
+                    }
+                    let version = d
+                        .get_u16()
+                        .map_err(|_| corrupt(path, "truncated pool version"))?;
+                    if version != FORMAT_VERSION {
+                        return Err(WalError::UnsupportedVersion {
+                            path: path.to_path_buf(),
+                            found: version,
+                        });
+                    }
+                    let found = d
+                        .get_u32()
+                        .map_err(|_| corrupt(path, "truncated pool fingerprint"))?;
+                    if found != fingerprint {
+                        return Err(WalError::SchemaMismatch {
+                            detail: "schema/FD set (pool log fingerprint)",
+                        });
+                    }
+                    rest = r;
+                }
+                FrameOutcome::Torn => {
+                    // Crash during creation: nothing was ever acknowledged
+                    // against this log, start over.
+                    return Self::create(path, fingerprint).map(|l| (l, Vec::new()));
+                }
+                FrameOutcome::CrcMismatch => {
+                    return Err(corrupt(path, "pool header checksum mismatch"))
+                }
+                FrameOutcome::Oversize => {
+                    return Err(corrupt(path, "pool header length corrupted"))
+                }
+            }
+            // Name frames until the (possibly torn) tail.
+            loop {
+                match read_frame(rest) {
+                    FrameOutcome::Complete { payload, rest: r } => {
+                        let mut d = Decoder::new(payload);
+                        let name = d
+                            .get_str()
+                            .map_err(|e| corrupt(path, format!("bad pool record: {e}")))?;
+                        names.push(name);
+                        rest = r;
+                    }
+                    FrameOutcome::Torn => break,
+                    FrameOutcome::CrcMismatch => {
+                        return Err(corrupt(path, "pool record checksum mismatch"))
+                    }
+                    FrameOutcome::Oversize => {
+                        return Err(corrupt(path, "pool record length corrupted"))
+                    }
+                }
+            }
+            let file = OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| io_err(path, e))?;
+            // Drop any torn tail so the next append starts on a frame
+            // boundary.
+            let keep = (bytes.len() - rest.len()) as u64;
+            file.set_len(keep).map_err(|e| io_err(path, e))?;
+            Ok((
+                NameLog {
+                    path: path.to_path_buf(),
+                    file,
+                },
+                names,
+            ))
+        } else {
+            Self::create(path, fingerprint).map(|l| (l, names))
+        }
+    }
+
+    fn create(path: &Path, fingerprint: u32) -> Result<Self, WalError> {
+        let mut e = Encoder::new();
+        for b in POOL_MAGIC {
+            e.put_u8(b);
+        }
+        e.put_u16(FORMAT_VERSION);
+        e.put_u32(fingerprint);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.write_all(&frame(&e.into_bytes()))
+            .map_err(|e| io_err(path, e))?;
+        file.sync_data().map_err(|e| io_err(path, e))?;
+        // Persist the directory entry too: losing pool.log wholesale
+        // after names were fsync'd into it would let recovery re-assign
+        // their value ids to different strings.
+        if let Some(parent) = path.parent() {
+            crate::dir::sync_dir(parent);
+        }
+        Ok(NameLog {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one name and fsyncs it (see the module docs for why the
+    /// sync is unconditional).
+    pub fn append(&mut self, name: &str) -> Result<(), WalError> {
+        crate::check_frame_size(&self.path, name.len() + 4)?;
+        let mut e = Encoder::new();
+        e.put_str(name);
+        self.file
+            .write_all(&frame(&e.into_bytes()))
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ids-wal-namelog-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn names_replay_in_append_order() {
+        let p = tmp("replay");
+        {
+            let (mut log, names) = NameLog::open(&p, 7).unwrap();
+            assert!(names.is_empty());
+            log.append("Jones").unwrap();
+            log.append("").unwrap();
+            log.append("日本語").unwrap();
+        }
+        let (_, names) = NameLog::open(&p, 7).unwrap();
+        assert_eq!(
+            names,
+            vec!["Jones".to_string(), String::new(), "日本語".into()]
+        );
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appends_continue() {
+        let p = tmp("torn");
+        {
+            let (mut log, _) = NameLog::open(&p, 7).unwrap();
+            log.append("alpha").unwrap();
+            log.append("beta").unwrap();
+        }
+        let len = std::fs::metadata(&p).unwrap().len();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..len as usize - 3]).unwrap();
+        let (mut log, names) = NameLog::open(&p, 7).unwrap();
+        assert_eq!(names, vec!["alpha".to_string()]);
+        log.append("gamma").unwrap();
+        let (_, names) = NameLog::open(&p, 7).unwrap();
+        assert_eq!(names, vec!["alpha".to_string(), "gamma".into()]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let p = tmp("fp");
+        {
+            let (mut log, _) = NameLog::open(&p, 7).unwrap();
+            log.append("x").unwrap();
+        }
+        assert!(matches!(
+            NameLog::open(&p, 8),
+            Err(WalError::SchemaMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,413 @@
+//! Typed payloads of the durability files: log records, segment
+//! headers, the snapshot, and the manifest.
+//!
+//! Every `encode` here produces a *payload* — the caller wraps it in a
+//! [`crate::format::frame`].  Every `decode` takes the file path purely
+//! for error context, so corruption reports name the offending file.
+
+use std::path::Path;
+
+use ids_deps::FdSet;
+use ids_relational::codec::{Decoder, Encoder};
+use ids_relational::{DatabaseSchema, DatabaseState, RelationalError, Value};
+
+use crate::format::{FORMAT_VERSION, MANIFEST_MAGIC, SEGMENT_MAGIC, SNAPSHOT_MAGIC};
+use crate::{corrupt, WalError};
+
+/// One logged state change of a single relation.
+///
+/// Only *effective* operations are logged — accepted inserts and
+/// removes of present tuples.  Rejected and duplicate operations change
+/// no state and therefore never reach the log; replaying a log through
+/// the normal probe/commit path must re-accept every record, which is
+/// how recovery doubles as an integrity check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// An accepted insert of a tuple (canonical scheme order).
+    Insert(Vec<Value>),
+    /// A remove of a tuple that was present.
+    Remove(Vec<Value>),
+}
+
+impl WalOp {
+    /// The tuple the operation carries.
+    pub fn tuple(&self) -> &[Value] {
+        match self {
+            WalOp::Insert(t) | WalOp::Remove(t) => t,
+        }
+    }
+}
+
+/// One record of a relation's log: a per-relation sequence number and
+/// the operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Per-relation sequence number; contiguous from the segment
+    /// header's `start_seq`, `1`-based over the relation's lifetime.
+    pub seq: u64,
+    /// The state change.
+    pub op: WalOp,
+}
+
+const KIND_INSERT: u8 = 0;
+const KIND_REMOVE: u8 = 1;
+
+impl WalRecord {
+    /// Encodes the record payload:
+    /// `[seq u64][kind u8][arity u16][values u64 × arity]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.seq);
+        let (kind, tuple) = match &self.op {
+            WalOp::Insert(t) => (KIND_INSERT, t),
+            WalOp::Remove(t) => (KIND_REMOVE, t),
+        };
+        e.put_u8(kind);
+        e.put_u16(tuple.len() as u16);
+        for v in tuple {
+            e.put_u64(v.0);
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a record payload; `path` is error context only.
+    pub fn decode(path: &Path, payload: &[u8]) -> Result<Self, WalError> {
+        let mut d = Decoder::new(payload);
+        let inner = (|| -> Result<WalRecord, RelationalError> {
+            let seq = d.get_u64()?;
+            let kind = d.get_u8()?;
+            let arity = d.get_u16()? as usize;
+            let mut tuple = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                tuple.push(Value(d.get_u64()?));
+            }
+            let op = match kind {
+                KIND_INSERT => WalOp::Insert(tuple),
+                KIND_REMOVE => WalOp::Remove(tuple),
+                _ => return Err(RelationalError::Codec("unknown record kind")),
+            };
+            if !d.is_done() {
+                return Err(RelationalError::Codec("trailing bytes in record"));
+            }
+            Ok(WalRecord { seq, op })
+        })();
+        inner.map_err(|e| corrupt(path, format!("bad log record: {e}")))
+    }
+}
+
+/// The header frame that opens every log segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Fingerprint of the manifest's schema + FDs (see [`fingerprint`]).
+    pub fingerprint: u32,
+    /// Index of the relation this segment logs.
+    pub scheme: u16,
+    /// Checkpoint generation the segment belongs to.
+    pub gen: u64,
+    /// Sequence number of the first record the segment may hold
+    /// (`last durable seq + 1` at creation time).
+    pub start_seq: u64,
+}
+
+impl SegmentHeader {
+    /// Encodes the header payload:
+    /// `[magic "IDSW"][version u16][fingerprint u32][scheme u16][gen u64][start_seq u64]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for b in SEGMENT_MAGIC {
+            e.put_u8(b);
+        }
+        e.put_u16(FORMAT_VERSION);
+        e.put_u32(self.fingerprint);
+        e.put_u16(self.scheme);
+        e.put_u64(self.gen);
+        e.put_u64(self.start_seq);
+        e.into_bytes()
+    }
+
+    /// Decodes a header payload; `path` is error context only.
+    pub fn decode(path: &Path, payload: &[u8]) -> Result<Self, WalError> {
+        let mut d = Decoder::new(payload);
+        check_magic_version(path, &mut d, SEGMENT_MAGIC, "segment")?;
+        let inner = (|| -> Result<SegmentHeader, RelationalError> {
+            let fingerprint = d.get_u32()?;
+            let scheme = d.get_u16()?;
+            let gen = d.get_u64()?;
+            let start_seq = d.get_u64()?;
+            if !d.is_done() {
+                return Err(RelationalError::Codec("trailing bytes in segment header"));
+            }
+            Ok(SegmentHeader {
+                fingerprint,
+                scheme,
+                gen,
+                start_seq,
+            })
+        })();
+        inner.map_err(|e| corrupt(path, format!("bad segment header: {e}")))
+    }
+}
+
+/// The checkpointed state: everything recovery needs besides the log
+/// tails.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Fingerprint of the manifest's schema + FDs.
+    pub fingerprint: u32,
+    /// Highest generation whose segments this snapshot covers; replay
+    /// skips them and pruning deletes them.
+    pub covered_gen: u64,
+    /// Per-relation last sequence number folded into `state`.
+    pub last_seqs: Vec<u64>,
+    /// The checkpointed database state.
+    pub state: DatabaseState,
+}
+
+impl Snapshot {
+    /// Encodes the snapshot payload:
+    /// `[magic "IDSS"][version u16][fingerprint u32][covered_gen u64]`
+    /// `[k u16][last_seqs u64 × k][state]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for b in SNAPSHOT_MAGIC {
+            e.put_u8(b);
+        }
+        e.put_u16(FORMAT_VERSION);
+        e.put_u32(self.fingerprint);
+        e.put_u64(self.covered_gen);
+        e.put_u16(self.last_seqs.len() as u16);
+        for s in &self.last_seqs {
+            e.put_u64(*s);
+        }
+        self.state.encode(&mut e);
+        e.into_bytes()
+    }
+
+    /// Decodes a snapshot payload against its schema.
+    pub fn decode(path: &Path, payload: &[u8], schema: &DatabaseSchema) -> Result<Self, WalError> {
+        let mut d = Decoder::new(payload);
+        check_magic_version(path, &mut d, SNAPSHOT_MAGIC, "snapshot")?;
+        let inner = (|| -> Result<Snapshot, RelationalError> {
+            let fingerprint = d.get_u32()?;
+            let covered_gen = d.get_u64()?;
+            let k = d.get_u16()? as usize;
+            if k != schema.len() {
+                return Err(RelationalError::Codec("snapshot relation count"));
+            }
+            let mut last_seqs = Vec::with_capacity(k);
+            for _ in 0..k {
+                last_seqs.push(d.get_u64()?);
+            }
+            let state = DatabaseState::decode(&mut d, schema)?;
+            if !d.is_done() {
+                return Err(RelationalError::Codec("trailing bytes in snapshot"));
+            }
+            Ok(Snapshot {
+                fingerprint,
+                covered_gen,
+                last_seqs,
+                state,
+            })
+        })();
+        inner.map_err(|e| corrupt(path, format!("bad snapshot: {e}")))
+    }
+}
+
+/// The immutable identity of a durable database: schema, dependencies,
+/// and an opaque application blob (the `ids-api` layer stores its
+/// declaration-order column layouts there).  Written once at creation.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The database schema the logs are written under.
+    pub schema: DatabaseSchema,
+    /// The declared dependencies `F`.
+    pub fds: FdSet,
+    /// Opaque bytes for the embedding application.
+    pub app: Vec<u8>,
+}
+
+impl Manifest {
+    /// Encodes the manifest payload:
+    /// `[magic "IDSM"][version u16][schema][fds][app bytes]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        for b in MANIFEST_MAGIC {
+            e.put_u8(b);
+        }
+        e.put_u16(FORMAT_VERSION);
+        self.schema.encode(&mut e);
+        self.fds.encode(&mut e);
+        e.put_bytes(&self.app);
+        e.into_bytes()
+    }
+
+    /// Decodes a manifest payload; `path` is error context only.
+    pub fn decode(path: &Path, payload: &[u8]) -> Result<Self, WalError> {
+        let mut d = Decoder::new(payload);
+        check_magic_version(path, &mut d, MANIFEST_MAGIC, "manifest")?;
+        let inner = (|| -> Result<Manifest, RelationalError> {
+            let schema = DatabaseSchema::decode(&mut d)?;
+            let fds = FdSet::decode(&mut d)?;
+            let app = d.get_bytes()?;
+            if !d.is_done() {
+                return Err(RelationalError::Codec("trailing bytes in manifest"));
+            }
+            Ok(Manifest { schema, fds, app })
+        })();
+        inner.map_err(|e| corrupt(path, format!("bad manifest: {e}")))
+    }
+
+    /// The fingerprint of this manifest's identity.
+    pub fn fingerprint(&self) -> u32 {
+        fingerprint(&self.schema, &self.fds)
+    }
+}
+
+/// The 32-bit identity every segment, snapshot and pool log carries: a
+/// CRC over the canonically encoded schema and the *sorted* FD list
+/// (so two textually reordered but identical FD sets agree).  Cheap and
+/// collision-tolerant by design — the fingerprint is a fast first gate;
+/// [`WalDir::open`](crate::WalDir::open) compares the decoded manifest
+/// structurally before any replay.
+pub fn fingerprint(schema: &DatabaseSchema, fds: &FdSet) -> u32 {
+    let mut e = Encoder::new();
+    schema.encode(&mut e);
+    let mut sorted: Vec<_> = fds.iter().copied().collect();
+    sorted.sort();
+    e.put_u32(sorted.len() as u32);
+    for fd in sorted {
+        e.put_attr_set(fd.lhs);
+        e.put_attr_set(fd.rhs);
+    }
+    crate::format::crc32(&e.into_bytes())
+}
+
+/// Shared magic + version gate for the typed payload decoders.
+fn check_magic_version(
+    path: &Path,
+    d: &mut Decoder<'_>,
+    magic: [u8; 4],
+    what: &str,
+) -> Result<(), WalError> {
+    let mut found = [0u8; 4];
+    for b in &mut found {
+        *b = d
+            .get_u8()
+            .map_err(|_| corrupt(path, format!("truncated {what} magic")))?;
+    }
+    if found != magic {
+        return Err(corrupt(path, format!("bad {what} magic {found:?}")));
+    }
+    let version = d
+        .get_u16()
+        .map_err(|_| corrupt(path, format!("truncated {what} version")))?;
+    if version != FORMAT_VERSION {
+        return Err(WalError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_relational::Universe;
+
+    fn schema_and_fds() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "S"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        (schema, fds)
+    }
+
+    #[test]
+    fn record_round_trip_and_kind_guard() {
+        let p = Path::new("test.log");
+        for op in [
+            WalOp::Insert(vec![Value(1), Value(2)]),
+            WalOp::Remove(vec![Value(7)]),
+            WalOp::Insert(vec![]),
+        ] {
+            let r = WalRecord { seq: 42, op };
+            let bytes = r.encode();
+            assert_eq!(WalRecord::decode(p, &bytes).unwrap(), r);
+        }
+        let mut bytes = WalRecord {
+            seq: 1,
+            op: WalOp::Insert(vec![]),
+        }
+        .encode();
+        bytes[8] = 9; // unknown kind
+        assert!(matches!(
+            WalRecord::decode(p, &bytes),
+            Err(WalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn header_snapshot_manifest_round_trip() {
+        let p = Path::new("x");
+        let (schema, fds) = schema_and_fds();
+        let h = SegmentHeader {
+            fingerprint: fingerprint(&schema, &fds),
+            scheme: 1,
+            gen: 3,
+            start_seq: 17,
+        };
+        assert_eq!(SegmentHeader::decode(p, &h.encode()).unwrap(), h);
+
+        let mut state = DatabaseState::empty(&schema);
+        state
+            .insert(ids_relational::SchemeId(0), vec![Value(1), Value(2)])
+            .unwrap();
+        let snap = Snapshot {
+            fingerprint: h.fingerprint,
+            covered_gen: 2,
+            last_seqs: vec![5, 0],
+            state,
+        };
+        let back = Snapshot::decode(p, &snap.encode(), &schema).unwrap();
+        assert_eq!(back.covered_gen, 2);
+        assert_eq!(back.last_seqs, vec![5, 0]);
+        assert_eq!(back.state.total_tuples(), 1);
+
+        let m = Manifest {
+            schema: schema.clone(),
+            fds: fds.clone(),
+            app: vec![1, 2, 3],
+        };
+        let back = Manifest::decode(p, &m.encode()).unwrap();
+        assert_eq!(back.schema, schema);
+        assert!(back.fds.same_fds(&fds));
+        assert_eq!(back.app, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_fd_order_but_not_content() {
+        let (schema, _) = schema_and_fds();
+        let a = FdSet::parse(schema.universe(), &["C -> T", "S -> C"]).unwrap();
+        let b = FdSet::parse(schema.universe(), &["S -> C", "C -> T"]).unwrap();
+        let c = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        assert_eq!(fingerprint(&schema, &a), fingerprint(&schema, &b));
+        assert_ne!(fingerprint(&schema, &a), fingerprint(&schema, &c));
+    }
+
+    #[test]
+    fn version_gate_is_typed() {
+        let p = Path::new("v");
+        let (schema, fds) = schema_and_fds();
+        let mut bytes = Manifest {
+            schema,
+            fds,
+            app: Vec::new(),
+        }
+        .encode();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            Manifest::decode(p, &bytes),
+            Err(WalError::UnsupportedVersion { .. })
+        ));
+    }
+}

@@ -9,7 +9,9 @@
 //! outcomes and final states on an independent schema — every
 //! per-relation-order-preserving interleaving is a valid serialization.
 
-use ids_relational::{DatabaseSchema, SchemeId, Value};
+use ids_core::{InsertOutcome, LocalMaintainer, MaintenanceError};
+use ids_deps::FdSet;
+use ids_relational::{DatabaseSchema, DatabaseState, SchemeId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -115,6 +117,41 @@ pub fn interleaved_trace(schema: &DatabaseSchema, params: TraceParams, seed: u64
     out
 }
 
+/// Per-relation effective operations, `(kind, tuple)` in submission
+/// order — the shape of a per-relation write-ahead log's contents.
+pub type EffectiveOps = Vec<Vec<(TraceKind, Vec<Value>)>>;
+
+/// Replays a trace through a fresh sequential [`LocalMaintainer`] and
+/// returns, per relation, the **effective** operations in order — the
+/// accepted inserts and present-tuple removes, i.e. exactly the records
+/// a per-relation write-ahead log of this trace must contain (rejected
+/// and duplicate operations change no state and are never logged).
+///
+/// This is the differential oracle for crash-recovery testing: a store
+/// whose log for relation `i` survives up to record `k` must recover
+/// relation `i` to the replay of `effective[i][..k]` — and because the
+/// schema is independent, replaying any per-relation prefix combination
+/// yields a globally satisfying state (`LSAT = WSAT`).
+pub fn effective_ops_per_relation(
+    schema: &DatabaseSchema,
+    fds: &FdSet,
+    trace: &[TraceOp],
+) -> Result<EffectiveOps, MaintenanceError> {
+    let analysis = ids_core::analyze(schema, fds);
+    let mut m = LocalMaintainer::from_analysis(schema, &analysis, DatabaseState::empty(schema))?;
+    let mut out: EffectiveOps = vec![Vec::new(); schema.len()];
+    for op in trace {
+        let effective = match op.kind {
+            TraceKind::Insert => m.insert(op.scheme, op.tuple.clone())? == InsertOutcome::Accepted,
+            TraceKind::Remove => m.remove(op.scheme, &op.tuple)?,
+        };
+        if effective {
+            out[op.scheme.index()].push((op.kind.clone(), op.tuple.clone()));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +176,60 @@ mod tests {
                 a.iter().filter(|op| op.client == c).count(),
                 params.ops_per_client
             );
+        }
+    }
+
+    #[test]
+    fn effective_ops_replay_to_the_final_state() {
+        // Re-running just the effective subsequences must land on the
+        // same final state as the full trace — per relation, every
+        // insert accepted, every remove present.
+        let inst = example2();
+        let trace = interleaved_trace(&inst.schema, TraceParams::default(), 23);
+        let effective = effective_ops_per_relation(&inst.schema, &inst.fds, &trace).unwrap();
+
+        let analysis = ids_core::analyze(&inst.schema, &inst.fds);
+        let mut full = LocalMaintainer::from_analysis(
+            &inst.schema,
+            &analysis,
+            DatabaseState::empty(&inst.schema),
+        )
+        .unwrap();
+        for op in &trace {
+            match op.kind {
+                TraceKind::Insert => {
+                    full.insert(op.scheme, op.tuple.clone()).unwrap();
+                }
+                TraceKind::Remove => {
+                    full.remove(op.scheme, &op.tuple).unwrap();
+                }
+            }
+        }
+        let mut replayed = LocalMaintainer::from_analysis(
+            &inst.schema,
+            &analysis,
+            DatabaseState::empty(&inst.schema),
+        )
+        .unwrap();
+        for (i, ops) in effective.iter().enumerate() {
+            let id = SchemeId::from_index(i);
+            for (kind, tuple) in ops {
+                match kind {
+                    TraceKind::Insert => {
+                        assert_eq!(
+                            replayed.insert(id, tuple.clone()).unwrap(),
+                            InsertOutcome::Accepted,
+                            "effective inserts must re-accept"
+                        );
+                    }
+                    TraceKind::Remove => {
+                        assert!(replayed.remove(id, tuple).unwrap());
+                    }
+                }
+            }
+        }
+        for (id, rel) in full.state().iter() {
+            assert!(rel.set_eq(replayed.state().relation(id)));
         }
     }
 

@@ -65,8 +65,9 @@
 //! | [`chase`] | `I(p)`, FD/JD rules, WSAT/LSAT, tagged tableaux |
 //! | [`acyclic`] | GYO, join trees, full reducer, consistency |
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
-//! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism) |
-//! | [`api`] | `Schema` builder + typed `Database` over every engine |
+//! | [`wal`] | per-relation write-ahead log + snapshot checkpoints (independence ⇒ no cross-log ordering) |
+//! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism), durable via [`wal`] |
+//! | [`api`] | `Schema` builder + typed `Database` over every engine, durable via `open_at`/`recover` |
 //! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
@@ -76,6 +77,7 @@ pub use ids_core as core;
 pub use ids_deps as deps;
 pub use ids_relational as relational;
 pub use ids_store as store;
+pub use ids_wal as wal;
 pub use ids_workloads as workloads;
 
 /// The common imports for working with the library.
@@ -92,5 +94,8 @@ pub mod prelude {
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId,
         Universe, Value, ValuePool,
     };
-    pub use ids_store::{OpOutcome, Store, StoreConfig, StoreError, StoreOp};
+    pub use ids_store::{
+        DurableConfig, OpOutcome, Store, StoreConfig, StoreError, StoreOp, SyncPolicy,
+    };
+    pub use ids_wal::{WalDir, WalError};
 }

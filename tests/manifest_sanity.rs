@@ -12,11 +12,11 @@
 use independent_schemas::prelude::{
     analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
     ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Database, DatabaseSchema,
-    DatabaseState, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet, IndependenceAnalysis,
-    InsertOutcome, JoinDependency, LocalMaintainer, Maintainer, MaintenanceError,
-    NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard, Satisfaction, Schema,
-    SchemaBuilder, SchemeId, Store, StoreConfig, StoreError, StoreOp, Universe, Value, ValuePool,
-    Verdict, Witness,
+    DatabaseState, DurableConfig, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet,
+    IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
+    MaintenanceError, NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard,
+    Satisfaction, Schema, SchemaBuilder, SchemeId, Store, StoreConfig, StoreError, StoreOp,
+    SyncPolicy, Universe, Value, ValuePool, Verdict, WalDir, WalError, Witness,
 };
 
 // Crate-module paths the test files reach around the prelude for.
@@ -31,7 +31,15 @@ use independent_schemas::{
     },
     core::WitnessKind,
     deps::{closure_with_jd, implies_with_jd, jd_blocks},
-    relational::join_all,
+    relational::{
+        codec::{Decoder, Encoder},
+        join_all,
+    },
+    wal::{
+        fingerprint,
+        format::{crc32, frame, read_frame},
+        Manifest, NameLog, Recovered, SegmentHeader, Snapshot, WalOp, WalRecord, WalWriter,
+    },
     workloads::{
         examples::{example1, registrar},
         families::key_star,
@@ -83,6 +91,30 @@ fn entry_point_signatures_are_stable() {
         DatabaseSchema::get_scheme;
     let _get_relation: fn(&DatabaseState, SchemeId) -> Option<&Relation> =
         DatabaseState::get_relation;
+    // The durability surface: store-level WAL opens + checkpoint, and
+    // the api-level durable constructors.  The path-taking entry points
+    // use `impl AsRef<Path>` (no fn-pointer coercion), so typed
+    // closures pin their shapes instead.
+    let _open_durable = |p: &std::path::Path,
+                         s: &DatabaseSchema,
+                         f: &FdSet|
+     -> Result<Store, StoreError> { Store::open_durable(p, s, f) };
+    let _open_durable_with =
+        |p: &std::path::Path,
+         s: &DatabaseSchema,
+         f: &FdSet,
+         c: DurableConfig|
+         -> Result<Store, StoreError> { Store::open_durable_with(p, s, f, c) };
+    let _checkpoint: fn(&Store) -> Result<(), StoreError> = Store::checkpoint;
+    let _db_open_at = |p: &std::path::Path,
+                       s: Schema,
+                       c: DurableConfig|
+     -> Result<Database, ApiError> { Database::open_at(p, s, c) };
+    let _db_recover = |p: &std::path::Path| -> Result<Database, ApiError> { Database::recover(p) };
+    let _db_checkpoint: fn(&Database) -> Result<(), ApiError> = Database::checkpoint;
+    let _wal_recover: fn(&WalDir) -> Result<Recovered, WalError> = WalDir::recover;
+    let _fingerprint: fn(&DatabaseSchema, &FdSet) -> u32 = fingerprint;
+    let _sync_default: SyncPolicy = SyncPolicy::default();
 }
 
 /// The doctest's Example 2 scenario, reachable through prelude symbols
