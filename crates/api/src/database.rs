@@ -2,15 +2,20 @@
 //! rows out — the interning [`ValuePool`] lives inside.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use ids_chase::ChaseConfig;
 use ids_core::{ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer};
-use ids_relational::{DatabaseState, Relation, RelationalError, SchemeId, Value, ValuePool};
+use ids_relational::{
+    join_all, AttrId, DatabaseState, Predicate, Projection, Relation, RelationalError, SchemeId,
+    Tuple, Value, ValuePool,
+};
 use ids_store::{DurableConfig, OpOutcome, Store, StoreOp};
 use ids_wal::NameLog;
 
 use crate::engine::{Engine, EngineKind};
 use crate::error::Error;
+use crate::query::{Cond, Query, Row, Rows};
 use crate::schema::Schema;
 
 /// The engine a database runs on.  Only the sharded store stays
@@ -346,21 +351,180 @@ impl Database {
 
     /// Reads one relation's rows as strings, columns in declaration
     /// order, rows in insertion order — without a global barrier (see
-    /// the type-level docs for the consistency model).
+    /// the type-level docs for the consistency model).  Routed through
+    /// the query subsystem ([`Database::query`] with no filter), so
+    /// every string-level read shares one execution path.
     pub fn rows(&self, relation: &str) -> Result<Vec<Vec<String>>, Error> {
+        Ok(self.query(relation).run()?.into_string_rows())
+    }
+
+    /// Starts a fluent query against one relation:
+    ///
+    /// ```
+    /// # use ids_api::{eq, Database, EngineKind, Schema};
+    /// # let schema = Schema::builder()
+    /// #     .relation("CT", ["course", "teacher"])
+    /// #     .fd("course -> teacher").build()?;
+    /// # let mut db = Database::open(schema, EngineKind::Local)?;
+    /// # db.insert("CT", ["CS402", "Jones"])?;
+    /// let rows = db.query("CT")
+    ///     .filter("course", eq("CS402"))
+    ///     .select(["teacher"])
+    ///     .run()?;
+    /// assert_eq!(rows.iter().next().unwrap().get("teacher"), Some("Jones"));
+    /// # Ok::<(), ids_api::Error>(())
+    /// ```
+    ///
+    /// Execution is **pushed down**: the filters become a typed
+    /// [`Predicate`] the engine evaluates where the tuples live.  On the
+    /// sharded engine only the owning shard runs it — a filter pinning a
+    /// key column (an enforcement FD's left-hand side) is answered in
+    /// O(1) from the hash index the shard already maintains, and only
+    /// matching tuples cross the channel.  Same barrier-free
+    /// consistency model as [`Database::rows`].
+    pub fn query(&self, relation: impl Into<String>) -> Query<'_> {
+        Query {
+            db: self,
+            relation: relation.into(),
+            filters: Vec::new(),
+            select: None,
+        }
+    }
+
+    /// Executes a built [`Query`]: resolve names once, push the
+    /// predicate down, render only the shipped tuples.
+    pub(crate) fn run_query(
+        &self,
+        relation: &str,
+        filters: &[(String, Cond)],
+        select: Option<Vec<String>>,
+    ) -> Result<Rows, Error> {
         let id = self.schema.scheme_id(relation)?;
         let layout = self.schema.layout(id);
-        let rel = self.engine.as_dyn().read(id)?;
-        Ok(rel
+        let attrs = self.schema.definition.attrs(id);
+        let attr_ids: Vec<AttrId> = attrs.iter().collect();
+        // Declared column name → canonical attribute, via the layout.
+        let attr_of = |column: &str| -> Result<AttrId, Error> {
+            layout
+                .columns
+                .iter()
+                .position(|c| c == column)
+                .map(|j| attr_ids[layout.perm[j]])
+                .ok_or_else(|| Error::UnknownColumn {
+                    relation: relation.to_string(),
+                    column: column.to_string(),
+                })
+        };
+        // Filters → typed predicate.  A value this database never
+        // interned cannot equal any stored value, so the query is
+        // unsatisfiable — but names are still validated first.
+        let mut predicate = Predicate::new();
+        let mut satisfiable = true;
+        for (column, cond) in filters {
+            let attr = attr_of(column)?;
+            let Cond::Eq(value) = cond;
+            match self.pool.get(value) {
+                Some(v) => predicate = predicate.and_eq(attr, v),
+                None => satisfiable = false,
+            }
+        }
+        // Select list → projection (declaration order when omitted).
+        let columns: Vec<String> = match select {
+            Some(cols) => cols,
+            None => layout.columns.clone(),
+        };
+        let mut selected = Vec::with_capacity(columns.len());
+        for c in &columns {
+            selected.push(attr_of(c)?);
+        }
+        let projection = Projection::Columns(selected);
+        let columns: Arc<[String]> = columns.into();
+        let tuples = if satisfiable {
+            self.engine.as_dyn().query(id, &predicate)?
+        } else {
+            Vec::new()
+        };
+        let rows = tuples
             .iter()
-            .map(|t| {
-                layout
-                    .perm
-                    .iter()
-                    .map(|&p| self.pool.render(t[p]))
-                    .collect()
+            .map(|t| Row {
+                columns: columns.clone(),
+                values: projection
+                    .apply(attrs, t)
+                    .into_iter()
+                    .map(|v| self.pool.render(v))
+                    .collect(),
             })
-            .collect())
+            .collect();
+        Ok(Rows::new(columns, rows))
+    }
+
+    /// Typed-level query for callers holding canonical predicates — the
+    /// raw counterpart of [`Database::query`], returning the matching
+    /// tuples exactly as the engine shipped them.
+    pub fn query_raw(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, Error> {
+        self.engine.as_dyn().query(id, predicate)
+    }
+
+    /// The natural join of the named relations, computed from
+    /// **independent barrier-free per-relation reads** — no global
+    /// barrier, no cross-shard coordination.
+    ///
+    /// ## Why this is sound without a barrier
+    ///
+    /// Each read returns its relation at some point of that relation's
+    /// own FIFO.  Because the schema is independent, relations share no
+    /// enforcement state, so the combination of those per-relation cuts
+    /// is a state some valid serialization of the submitted operations
+    /// passes through — and every such state is **globally satisfying**
+    /// (each relation satisfies its cover `Fi`, and `LSAT = WSAT` lifts
+    /// that to the whole schema).  The join you get is therefore always
+    /// the join of a consistent, satisfying database: you can *not*
+    /// observe a locally-plausible-but-globally-contradictory
+    /// combination, a torn single operation, or a row that violates any
+    /// declared dependency.  What you *can* observe is cross-relation
+    /// skew — relation `A` read after a client's insert, relation `B`
+    /// from before it — i.e. the cut may be one no single barrier
+    /// [`Database::snapshot`] took; use the snapshot when you need one
+    /// global moment.
+    ///
+    /// Columns come back named after the joined attributes in canonical
+    /// order; an empty relation list is [`Error::EmptyJoin`].
+    pub fn join<I, S>(&self, relations: I) -> Result<Rows, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut ids = Vec::new();
+        for name in relations {
+            ids.push(self.schema.scheme_id(name.as_ref())?);
+        }
+        let joined = self.join_raw(&ids)?;
+        let u = self.schema.definition.universe();
+        let columns: Arc<[String]> = joined
+            .attrs()
+            .iter()
+            .map(|a| u.name(a).to_string())
+            .collect::<Vec<_>>()
+            .into();
+        let rows = joined
+            .iter()
+            .map(|t| Row {
+                columns: columns.clone(),
+                values: t.iter().map(|&v| self.pool.render(v)).collect(),
+            })
+            .collect();
+        Ok(Rows::new(columns, rows))
+    }
+
+    /// Typed-level natural join over scheme ids — the raw counterpart of
+    /// [`Database::join`], same barrier-free reads and soundness
+    /// argument, returning the joined [`Relation`].
+    pub fn join_raw(&self, ids: &[SchemeId]) -> Result<Relation, Error> {
+        let mut rels = Vec::with_capacity(ids.len());
+        for &id in ids {
+            rels.push(self.engine.as_dyn().read(id)?);
+        }
+        join_all(rels.iter()).ok_or(Error::EmptyJoin)
     }
 
     /// Reads one relation without a global barrier, as raw typed data.
@@ -586,6 +750,134 @@ mod tests {
         );
         assert!(db.remove("CT", ["CS402", "Jones"]).unwrap());
         assert_eq!(db.count("CT").unwrap(), 0);
+    }
+
+    #[test]
+    fn query_builder_filters_selects_and_errors_on_every_engine() {
+        use crate::query::eq;
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            db.insert("CT", ["CS402", "Jones"]).unwrap();
+            db.insert("CT", ["CS500", "Curie"]).unwrap();
+            db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+
+            // Filter on the key column (pushed-down point lookup).
+            let rows = db.query("CT").filter("course", eq("CS402")).run().unwrap();
+            assert_eq!(rows.len(), 1, "{label}");
+            assert_eq!(rows.columns(), ["course", "teacher"], "{label}");
+            assert_eq!(rows.iter().next().unwrap().get("teacher"), Some("Jones"));
+
+            // Select narrows and reorders the output columns.
+            let rows = db
+                .query("CT")
+                .filter("teacher", eq("Curie"))
+                .select(["teacher", "course"])
+                .run()
+                .unwrap();
+            assert_eq!(rows.len(), 1, "{label}");
+            assert_eq!(rows.iter().next().unwrap().values(), ["Curie", "CS500"]);
+
+            // Unfiltered query ≡ rows().
+            assert_eq!(
+                db.query("CT").run().unwrap().into_string_rows(),
+                db.rows("CT").unwrap(),
+                "{label}"
+            );
+
+            // A never-interned value is unsatisfiable, not an error.
+            assert!(db
+                .query("CT")
+                .filter("course", eq("nope"))
+                .run()
+                .unwrap()
+                .is_empty());
+
+            // Unknown names are typed errors before any engine runs.
+            assert!(matches!(
+                db.query("Enrollment").run(),
+                Err(Error::UnknownRelation(_))
+            ));
+            assert!(matches!(
+                db.query("CT").filter("room", eq("R128")).run(),
+                Err(Error::UnknownColumn { relation, column })
+                    if relation == "CT" && column == "room"
+            ));
+            assert!(matches!(
+                db.query("CT").select(["hour"]).run(),
+                Err(Error::UnknownColumn { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn barrier_free_join_matches_the_snapshot_join() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            db.insert("CT", ["CS402", "Jones"]).unwrap();
+            db.insert("CT", ["CS500", "Curie"]).unwrap();
+            db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+            db.insert("CHR", ["CS402", "10am", "R128"]).unwrap();
+
+            let rows = db.join(["CT", "CHR"]).unwrap();
+            assert_eq!(rows.columns(), ["course", "teacher", "hour", "room"]);
+            // CS500 has no CHR row: it joins away; CS402 joins twice.
+            assert_eq!(rows.len(), 2, "{label}");
+            for row in &rows {
+                assert_eq!(row.get("teacher"), Some("Jones"), "{label}");
+                assert_eq!(row.get("room"), Some("R128"), "{label}");
+            }
+            // The barrier-free join equals the join of a snapshot here
+            // (single-threaded: the cut is trivially a global moment) —
+            // both at the typed level and through the rendered surface.
+            let snap = db.snapshot().unwrap();
+            let ct = db.schema().scheme_id("CT").unwrap();
+            let chr = db.schema().scheme_id("CHR").unwrap();
+            let expected = snap.relation(ct).natural_join(snap.relation(chr));
+            assert!(db.join_raw(&[ct, chr]).unwrap().set_eq(&expected));
+            let mut got = rows.into_string_rows();
+            got.sort();
+            let mut rendered: Vec<Vec<String>> = expected
+                .iter()
+                .map(|t| t.iter().map(|&v| db.pool().render(v)).collect())
+                .collect();
+            rendered.sort();
+            assert_eq!(got, rendered, "{label}");
+
+            // Degenerate and error shapes.
+            assert!(matches!(
+                db.join(Vec::<String>::new()),
+                Err(Error::EmptyJoin)
+            ));
+            assert!(matches!(
+                db.join(["CT", "nope"]),
+                Err(Error::UnknownRelation(_))
+            ));
+            // Single-relation join is just that relation.
+            assert_eq!(db.join(["CT"]).unwrap().len(), 2, "{label}");
+        }
+    }
+
+    #[test]
+    fn query_raw_agrees_with_the_string_level_query() {
+        let mut db = Database::open(example2(), EngineKind::Local).unwrap();
+        db.insert("CT", ["CS402", "Jones"]).unwrap();
+        let ct = db.schema().scheme_id("CT").unwrap();
+        let course = db.schema().definition().universe().attr("course").unwrap();
+        let v = db.intern("CS402").unwrap();
+        let tuples = db
+            .query_raw(ct, &ids_relational::Predicate::new().and_eq(course, v))
+            .unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(
+            db.query("CT")
+                .filter("course", crate::eq("CS402"))
+                .run()
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use ids_core::{
     ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
 };
-use ids_relational::{DatabaseState, Relation, SchemeId, Value};
+use ids_relational::{DatabaseState, Predicate, Relation, SchemeId, Tuple, Value};
 use ids_store::{OpOutcome, Store, StoreConfig, StoreOp};
 
 use crate::error::Error;
@@ -44,6 +44,8 @@ pub enum EngineKind {
 ///   the batch across its workers.
 /// * [`read`](Engine::read) — one relation, **without** a global
 ///   barrier.  Freshness per relation, no cross-relation cut.
+/// * [`query`](Engine::query) — a filtered read with the same model:
+///   the predicate travels down, only matching tuples travel back.
 /// * [`snapshot`](Engine::snapshot) — the whole state as one consistent
 ///   (and, on an independent schema, globally satisfying) cut.
 ///
@@ -68,6 +70,24 @@ pub trait Engine: Send {
 
     /// Reads one relation without a global barrier.
     fn read(&self, id: SchemeId) -> Result<Relation, Error>;
+
+    /// Evaluates an equality predicate against one relation, returning
+    /// only the matching tuples — the pushed-down filtered read, same
+    /// barrier-free consistency model as [`Engine::read`].
+    ///
+    /// The default implementation is the honest fallback — read the whole
+    /// relation, filter client-side — so custom engines work unchanged.
+    /// The built-in engines all override it: the sequential engines
+    /// filter their owned state without the intermediate whole-relation
+    /// clone (the local engine answering key point lookups in O(1) from
+    /// its enforcement indexes), and the sharded store pushes the
+    /// predicate to the owning shard so only matching tuples cross the
+    /// channel.
+    fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, Error> {
+        let rel = self.read(id)?;
+        predicate.validate_against(rel.attrs())?;
+        Ok(rel.filter_tuples(predicate))
+    }
 
     /// Number of tuples in one relation — the barrier-free cardinality
     /// probe; no engine ships tuples to answer it.
@@ -130,6 +150,13 @@ macro_rules! impl_engine_for_maintainer {
                     .ok_or_else(|| MaintenanceError::UnknownScheme(id).into())
             }
 
+            fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, Error> {
+                // The engines' inherent query filters the owned state in
+                // place — no whole-relation clone, and the local engine
+                // answers key point lookups from its hash indexes.
+                <$engine>::query(self, id, predicate).map_err(Into::into)
+            }
+
             fn count(&self, id: SchemeId) -> Result<usize, Error> {
                 self.state()
                     .get_relation(id)
@@ -161,6 +188,12 @@ impl Engine for Store {
 
     fn read(&self, id: SchemeId) -> Result<Relation, Error> {
         Store::read(self, id).map_err(Into::into)
+    }
+
+    fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, Error> {
+        // True pushdown: only the owning shard evaluates, only matching
+        // tuples come back over the channel.
+        Store::query(self, id, predicate).map_err(Into::into)
     }
 
     fn count(&self, id: SchemeId) -> Result<usize, Error> {
@@ -259,6 +292,20 @@ mod tests {
                 "{name}"
             );
             assert_eq!(outcomes[2], OpOutcome::Remove(true), "{name}");
+            // The query path agrees with read on current contents:
+            // C is CT's key, so the pin takes each engine's fast path.
+            let u = schema.universe();
+            let c = u.attr("C").unwrap();
+            let hit = engine.query(ct, &Predicate::new().and_eq(c, v(1))).unwrap();
+            assert_eq!(hit.len(), 1, "{name}");
+            assert_eq!(&*hit[0], &[v(1), v(10)], "{name}");
+            assert!(
+                engine
+                    .query(ct, &Predicate::new().and_eq(c, v(9)))
+                    .unwrap()
+                    .is_empty(),
+                "{name}"
+            );
             assert!(engine.remove(ct, &[v(1), v(10)]).unwrap(), "{name}");
             // Both read paths agree on the final (empty) state.
             assert_eq!(engine.read(ct).unwrap().len(), 0, "{name}");

@@ -42,6 +42,30 @@ pub enum Error {
     },
     /// A relation name that is not part of the schema.
     UnknownRelation(String),
+    /// A column name that is not part of the named relation — surfaced by
+    /// the query builder before anything is pushed to an engine.
+    UnknownColumn {
+        /// The relation the query targeted.
+        relation: String,
+        /// The column name that does not belong to it.
+        column: String,
+    },
+    /// [`crate::Database::join`] was called with an empty relation list
+    /// (the natural join has no neutral element over an unknown scheme).
+    EmptyJoin,
+    /// A functional-dependency spec handed to
+    /// [`crate::SchemaBuilder::fd`] did not parse against the declared
+    /// columns.  Carries the spec, the byte span of the offending
+    /// fragment within it, and the reason — typed so callers can point at
+    /// the exact mistake instead of re-parsing an error string.
+    FdParse {
+        /// The spec exactly as given to `fd()`.
+        spec: String,
+        /// `(start, end)` byte range of the offending fragment in `spec`.
+        span: (usize, usize),
+        /// What went wrong with that fragment.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -68,6 +92,15 @@ impl std::fmt::Display for Error {
                 "schema is not independent (refused, with counterexample): {reason:?}"
             ),
             Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            Error::EmptyJoin => write!(f, "join requires at least one relation"),
+            Error::FdParse { spec, span, reason } => write!(
+                f,
+                "invalid functional dependency `{spec}`: {reason} (bytes {}..{})",
+                span.0, span.1
+            ),
         }
     }
 }

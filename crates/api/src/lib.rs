@@ -44,6 +44,13 @@
 //! * [`Database`]: owns the interning `ValuePool`; string values in,
 //!   rendered rows out; `rows`/`read` are barrier-free per-relation
 //!   reads, `snapshot` is the consistent cross-relation barrier.
+//! * [`Query`] + [`Rows`]/[`Row`]: the fluent read side —
+//!   `db.query("CT").filter("course", eq("CS402")).select(["teacher"]).run()`
+//!   pushes a typed predicate down to whatever owns the tuples (on the
+//!   sharded engine: the owning shard, O(1) for key point lookups), and
+//!   [`Database::join`] computes natural joins from independent
+//!   barrier-free reads — sound because `LSAT = WSAT` makes every
+//!   per-relation cut part of a globally satisfying state.
 //! * [`Error`]: the `#[non_exhaustive]` top-level error every layer
 //!   converts into.
 
@@ -52,9 +59,11 @@
 mod database;
 mod engine;
 mod error;
+mod query;
 mod schema;
 
 pub use database::Database;
 pub use engine::{Engine, EngineKind};
 pub use error::Error;
+pub use query::{eq, Cond, Query, Row, Rows};
 pub use schema::{Schema, SchemaBuilder};

@@ -1,0 +1,275 @@
+//! The fluent query surface: [`Query`] builders in, typed [`Rows`] out.
+//!
+//! ```
+//! use ids_api::{eq, Database, EngineKind, Schema};
+//!
+//! let schema = Schema::builder()
+//!     .relation("CT", ["course", "teacher"])
+//!     .relation("CS", ["course", "student"])
+//!     .fd("course -> teacher")
+//!     .build()?;
+//! let mut db = Database::open(schema, EngineKind::Local)?;
+//! db.insert("CT", ["CS402", "Jones"])?;
+//! db.insert("CT", ["CS500", "Curie"])?;
+//!
+//! let rows = db.query("CT").filter("course", eq("CS402")).select(["teacher"]).run()?;
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows.iter().next().unwrap().get("teacher"), Some("Jones"));
+//! # Ok::<(), ids_api::Error>(())
+//! ```
+//!
+//! Execution is pushed down, not emulated: the builder resolves names
+//! once, hands the engine a typed [`ids_relational::Predicate`], and on
+//! the sharded engine only the owning shard evaluates it — a point
+//! lookup on a key column is O(1) against the enforcement hash index,
+//! and only matching tuples ever cross a channel.  See
+//! [`crate::Database::query`] for the consistency model.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Error;
+
+/// A filter condition on one column.  Constructed with [`eq`]; carried
+/// by [`Query::filter`].
+///
+/// Marked `#[non_exhaustive]` so richer conditions (ranges, sets) can be
+/// added without breaking matches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+#[must_use = "a condition does nothing until passed to `Query::filter`"]
+pub enum Cond {
+    /// The column equals the given (string-level) value.
+    Eq(String),
+}
+
+/// The equality condition: `filter("course", eq("CS402"))`.
+pub fn eq(value: impl Into<String>) -> Cond {
+    Cond::Eq(value.into())
+}
+
+/// A fluent single-relation query: built from [`crate::Database::query`],
+/// executed by [`Query::run`].
+///
+/// Name resolution (relation, columns, values) happens once, in `run`,
+/// against the schema's O(1) lookup tables; unknown names are typed
+/// errors ([`Error::UnknownRelation`], [`Error::UnknownColumn`]) before
+/// any engine is consulted.
+#[must_use = "a query does nothing until `.run()`"]
+pub struct Query<'a> {
+    pub(crate) db: &'a crate::Database,
+    pub(crate) relation: String,
+    pub(crate) filters: Vec<(String, Cond)>,
+    pub(crate) select: Option<Vec<String>>,
+}
+
+impl fmt::Debug for Query<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Query")
+            .field("relation", &self.relation)
+            .field("filters", &self.filters)
+            .field("select", &self.select)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Query<'_> {
+    /// Adds a filter on one column; multiple filters conjoin.  Filtering
+    /// one column twice with different values is simply unsatisfiable
+    /// (empty result), never an error.
+    pub fn filter(mut self, column: impl Into<String>, cond: Cond) -> Self {
+        self.filters.push((column.into(), cond));
+        self
+    }
+
+    /// Selects the output columns, in the given order (duplicates
+    /// allowed).  Without a select, every column comes back in
+    /// declaration order.
+    pub fn select<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.select = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Executes the query and returns the matching [`Rows`].
+    pub fn run(self) -> Result<Rows, Error> {
+        self.db
+            .run_query(&self.relation, &self.filters, self.select)
+    }
+}
+
+/// The result of a query or join: named columns plus matching [`Row`]s,
+/// in the relation's insertion order.
+///
+/// Holds exactly the tuples the engine shipped (on the sharded engine:
+/// only the matches — never a whole-relation clone for a filtered
+/// query).  Iterate with [`Rows::iter`] / `IntoIterator`, or flatten to
+/// plain string matrices with [`Rows::into_string_rows`].
+#[derive(Clone, Debug)]
+#[must_use = "query results carry the matching rows"]
+pub struct Rows {
+    pub(crate) columns: Arc<[String]>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl Rows {
+    pub(crate) fn new(columns: Arc<[String]>, rows: Vec<Row>) -> Self {
+        Rows { columns, rows }
+    }
+
+    /// The output column names, in select (or declaration) order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of matching rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Flattens into plain string matrices, row-major — the shape
+    /// [`crate::Database::rows`] returns.
+    pub fn into_string_rows(self) -> Vec<Vec<String>> {
+        self.rows.into_iter().map(|r| r.values).collect()
+    }
+}
+
+impl IntoIterator for Rows {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Rows {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl fmt::Display for Rows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.columns.join(", "))?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One matching row: rendered values addressable by column name or
+/// position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    pub(crate) columns: Arc<[String]>,
+    pub(crate) values: Vec<String>,
+}
+
+impl Row {
+    /// The value of the named column, when it is part of the output.
+    pub fn get(&self, column: &str) -> Option<&str> {
+        self.columns
+            .iter()
+            .position(|c| c == column)
+            .map(|i| self.values[i].as_str())
+    }
+
+    /// The output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rendered values, in output-column order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = str;
+
+    fn index(&self, i: usize) -> &str {
+        &self.values[i]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (c, v)) in self.columns.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Rows {
+        let columns: Arc<[String]> = vec!["course".to_string(), "teacher".to_string()].into();
+        let rows = vec![
+            Row {
+                columns: columns.clone(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+            Row {
+                columns: columns.clone(),
+                values: vec!["CS500".into(), "Curie".into()],
+            },
+        ];
+        Rows::new(columns, rows)
+    }
+
+    #[test]
+    fn rows_expose_columns_values_and_iteration() {
+        let rows = rows();
+        assert_eq!(rows.len(), 2);
+        assert!(!rows.is_empty());
+        assert_eq!(rows.columns(), ["course", "teacher"]);
+        let first = rows.iter().next().unwrap();
+        assert_eq!(first.get("teacher"), Some("Jones"));
+        assert_eq!(first.get("room"), None);
+        assert_eq!(&first[0], "CS402");
+        assert_eq!(first.to_string(), "(course=CS402, teacher=Jones)");
+        let display = rows.to_string();
+        assert!(display.starts_with("[course, teacher]"));
+        assert!(display.contains("(course=CS500, teacher=Curie)"));
+        let collected: Vec<&Row> = (&rows).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(
+            rows.into_string_rows(),
+            vec![
+                vec!["CS402".to_string(), "Jones".to_string()],
+                vec!["CS500".to_string(), "Curie".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn eq_builds_the_equality_condition() {
+        assert_eq!(eq("CS402"), Cond::Eq("CS402".to_string()));
+    }
+}

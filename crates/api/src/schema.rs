@@ -233,9 +233,12 @@ impl SchemaBuilder {
         self
     }
 
-    /// Declares a functional dependency, e.g. `"course -> teacher"` or
-    /// `"course hour -> room"` (column names separated by whitespace or
-    /// commas).  Parsed — and reported — at build time.
+    /// Declares a functional dependency, e.g. `"course -> teacher"`,
+    /// `"course hour -> room"` or `"a, b -> c, d"` (declared column
+    /// names separated by whitespace and/or commas, one `->` between
+    /// the sides).  Parsed — and reported — at build time: a malformed
+    /// spec is a typed [`Error::FdParse`] carrying the byte span of the
+    /// offending fragment, never a panic or a silently-empty side.
     pub fn fd(mut self, spec: impl Into<String>) -> Self {
         self.fds.push(spec.into());
         self
@@ -305,7 +308,7 @@ impl SchemaBuilder {
         let definition = DatabaseSchema::new(universe, schemes)?;
         let mut fds = FdSet::new();
         for spec in &self.fds {
-            fds.insert(Fd::parse(definition.universe(), spec)?);
+            fds.insert(parse_fd_spec(&definition, spec)?);
         }
         let by_name = definition
             .iter()
@@ -321,6 +324,77 @@ impl SchemaBuilder {
             by_name,
         })
     }
+}
+
+/// Tokenizes one side of an FD spec into `(token, byte offset)` pairs,
+/// splitting on whitespace and commas.
+fn tokens_with_offsets(s: &str) -> Vec<(&str, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, ch) in s.char_indices() {
+        if ch.is_whitespace() || ch == ',' {
+            if let Some(st) = start.take() {
+                out.push((&s[st..i], st));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(st) = start {
+        out.push((&s[st..], st));
+    }
+    out
+}
+
+/// Parses one [`SchemaBuilder::fd`] spec against the declared columns.
+///
+/// Deliberately stricter than the paper-level [`Fd::parse`]: every token
+/// must be a *declared column name*, exactly — there is no single-letter
+/// concatenation fallback (`"CT -> H"` meaning `C, T → H`), which for
+/// word-level column names is a silent surprise, not a convenience.
+/// Every failure is a typed [`Error::FdParse`] with the byte span of the
+/// offending fragment inside the spec.
+fn parse_fd_spec(definition: &DatabaseSchema, spec: &str) -> Result<Fd, Error> {
+    let err = |span: (usize, usize), reason: String| Error::FdParse {
+        spec: spec.to_string(),
+        span,
+        reason,
+    };
+    let Some(arrow) = spec.find("->") else {
+        return Err(err((0, spec.len()), "missing the `->` separator".into()));
+    };
+    if let Some(second) = spec[arrow + 2..].find("->") {
+        let at = arrow + 2 + second;
+        return Err(err((at, at + 2), "more than one `->` separator".into()));
+    }
+    let side = |text: &str, base: usize, which: &str| -> Result<AttrSet, Error> {
+        let mut set = AttrSet::new();
+        let mut any = false;
+        for (token, off) in tokens_with_offsets(text) {
+            match definition.universe().attr(token) {
+                Some(a) => {
+                    set.insert(a);
+                    any = true;
+                }
+                None => {
+                    return Err(err(
+                        (base + off, base + off + token.len()),
+                        format!("unknown column `{token}`"),
+                    ))
+                }
+            }
+        }
+        if !any {
+            return Err(err(
+                (base, base + text.len()),
+                format!("the {which} names no columns"),
+            ));
+        }
+        Ok(set)
+    };
+    let lhs = side(&spec[..arrow], 0, "left-hand side")?;
+    let rhs = side(&spec[arrow + 2..], arrow + 2, "right-hand side")?;
+    Ok(Fd::new(lhs, rhs))
 }
 
 #[cfg(test)]
@@ -402,10 +476,7 @@ mod tests {
             .fd("a -> zz")
             .build()
             .unwrap_err();
-        assert!(matches!(
-            err,
-            Error::Relational(RelationalError::UnknownAttribute(_))
-        ));
+        assert!(matches!(err, Error::FdParse { .. }));
         // No relations at all.
         let err = Schema::builder().build().unwrap_err();
         assert!(matches!(
@@ -418,5 +489,83 @@ mod tests {
             schema.scheme_id("nope"),
             Err(Error::UnknownRelation(_))
         ));
+    }
+
+    /// The builder that parses the compound/whitespace forms: one FD
+    /// spec, many spellings, identical parse.
+    fn abcd(spec: &str) -> Result<Schema, Error> {
+        Schema::builder()
+            .relation("R", ["a", "b", "c", "d"])
+            .fd(spec)
+            .build_any()
+    }
+
+    #[test]
+    fn fd_specs_accept_compound_and_whitespace_forms() {
+        let canonical = abcd("a b -> c d").unwrap();
+        for spec in [
+            "a, b -> c, d",
+            "a,b->c,d",
+            "  a \t b  ->c   d ",
+            "a, b ->\tc,d",
+        ] {
+            let schema = abcd(spec).unwrap_or_else(|e| panic!("`{spec}` failed: {e}"));
+            assert!(
+                schema.fds().same_fds(canonical.fds()),
+                "`{spec}` parsed differently"
+            );
+        }
+        let fd = canonical.fds().iter().next().unwrap();
+        assert_eq!(fd.lhs.len(), 2);
+        assert_eq!(fd.rhs.len(), 2);
+    }
+
+    #[test]
+    fn fd_parse_errors_are_typed_with_spans() {
+        // Missing arrow: the whole spec is the span.
+        let err = abcd("a b c").unwrap_err();
+        let Error::FdParse { spec, span, reason } = &err else {
+            panic!("expected FdParse, got {err}");
+        };
+        assert_eq!(spec, "a b c");
+        assert_eq!(*span, (0, 5));
+        assert!(reason.contains("->"), "{reason}");
+
+        // Unknown column: the span points at exactly the bad token.
+        let err = abcd("a, b -> c, zz").unwrap_err();
+        let Error::FdParse { spec, span, reason } = &err else {
+            panic!("expected FdParse, got {err}");
+        };
+        assert_eq!(&spec[span.0..span.1], "zz");
+        assert!(reason.contains("unknown column `zz`"), "{reason}");
+
+        // No single-letter concatenation surprise: "ab" is not "a, b".
+        let err = abcd("ab -> c").unwrap_err();
+        assert!(
+            matches!(&err, Error::FdParse { reason, .. } if reason.contains("`ab`")),
+            "got {err}"
+        );
+
+        // Empty sides are refused, not silently-trivial FDs.
+        for (spec, side) in [("-> c", "left"), ("a , ->", "right"), (" -> ", "left")] {
+            let err = abcd(spec).unwrap_err();
+            assert!(
+                matches!(&err, Error::FdParse { reason, .. } if reason.contains(side)),
+                "`{spec}` gave {err}"
+            );
+        }
+
+        // A second arrow is diagnosed as such, span on the second arrow.
+        let err = abcd("a -> b -> c").unwrap_err();
+        let Error::FdParse { spec, span, reason } = &err else {
+            panic!("expected FdParse, got {err}");
+        };
+        assert_eq!(&spec[span.0..span.1], "->");
+        assert!(span.0 > 2);
+        assert!(reason.contains("more than one"), "{reason}");
+
+        // Display carries spec, reason and span for humans.
+        let msg = abcd("a -> zz").unwrap_err().to_string();
+        assert!(msg.contains("a -> zz") && msg.contains("zz"), "{msg}");
     }
 }

@@ -20,16 +20,21 @@ use ids_workloads::traces::{interleaved_trace, TraceKind, TraceOp, TraceParams};
 use proptest::prelude::*;
 
 /// Rebuilds a typed family instance through the fluent builder: columns
-/// in canonical scheme order, FDs round-tripped through their rendered
-/// form — exactly what a user migrating a schema by hand would write.
+/// in canonical scheme order, FD specs rendered with explicit space
+/// separators — exactly what a user migrating a schema by hand would
+/// write (the builder's parser matches whole column names only, never
+/// `Universe::render`'s single-letter concatenation).
 fn schema_via_builder(inst: &FamilyInstance) -> Schema {
     let u = inst.schema.universe();
+    let names = |set: ids_relational::AttrSet| -> String {
+        set.iter().map(|a| u.name(a)).collect::<Vec<_>>().join(" ")
+    };
     let mut b = Schema::builder();
     for (_, scheme) in inst.schema.iter() {
         b = b.relation(&scheme.name, scheme.attrs.iter().map(|a| u.name(a)));
     }
     for fd in inst.fds.iter() {
-        b = b.fd(fd.render(u));
+        b = b.fd(format!("{} -> {}", names(fd.lhs), names(fd.rhs)));
     }
     b.build().expect("family certified independent")
 }

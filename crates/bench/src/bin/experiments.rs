@@ -8,15 +8,22 @@
 //! cargo run --release -p ids-bench --bin experiments            # all
 //! cargo run --release -p ids-bench --bin experiments -- e1 e3   # subset
 //! cargo run --release -p ids-bench --bin experiments -- --smoke # tiny sizes
+//! cargo run --release -p ids-bench --bin experiments -- --json  # + BENCH_*.json
 //! ```
 //!
 //! `--smoke` shrinks every workload to its smallest size so the whole
 //! suite finishes in well under a second — CI uses it to prove the
 //! experiment code paths run end to end without paying for the full
 //! parameter sweeps.
+//!
+//! `--json` additionally mirrors every section's tables and notes into a
+//! machine-readable `BENCH_<section>.json` in the current directory
+//! (`BENCH_E10.json`, ..), the perf-trajectory file set tooling tracks
+//! across commits.
 
 use std::time::Instant;
 
+use ids_bench::json::JsonTable;
 use ids_bench::{fmt_duration, print_table, time_median};
 use ids_chase::{fd_implied_explicit, ChaseConfig};
 use ids_core::{
@@ -33,11 +40,63 @@ use ids_workloads::families::{double_path, key_chain, key_star, tableau_conflict
 use ids_workloads::generators::{random_embedded_fds, random_schema, SchemaParams};
 use ids_workloads::states::{insert_stream, random_satisfying_state};
 
+/// Collects what a section prints — tables and note lines — so `--json`
+/// can mirror it into `BENCH_<section>.json`.  Without `--json` it only
+/// prints, exactly as before.
+struct Reporter {
+    json_dir: Option<std::path::PathBuf>,
+    tables: Vec<JsonTable>,
+    notes: Vec<String>,
+}
+
+impl Reporter {
+    fn new(json: bool) -> Self {
+        Reporter {
+            json_dir: json.then(|| std::env::current_dir().expect("current directory")),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Prints a table (and captures it when `--json` is on).
+    fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        print_table(title, headers, rows);
+        if self.json_dir.is_some() {
+            self.tables.push(JsonTable {
+                title: title.to_string(),
+                headers: headers.iter().map(|h| h.to_string()).collect(),
+                rows: rows.to_vec(),
+            });
+        }
+    }
+
+    /// Prints a free-form note line under the section's tables.
+    fn note(&mut self, text: String) {
+        println!("{text}");
+        if self.json_dir.is_some() {
+            self.notes.push(text);
+        }
+    }
+
+    /// Ends a section: writes `BENCH_<section>.json` when `--json` is on
+    /// and clears the capture either way.
+    fn flush(&mut self, section: &str) {
+        if let Some(dir) = &self.json_dir {
+            ids_bench::json::write_experiment(dir, section, &self.tables, &self.notes)
+                .unwrap_or_else(|e| panic!("writing BENCH_{section}.json: {e}"));
+        }
+        self.tables.clear();
+        self.notes.clear();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
     let keys: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let want = |k: &str| keys.is_empty() || keys.iter().any(|a| a.eq_ignore_ascii_case(k));
+    let mut rep = Reporter::new(json);
 
     println!("# Independent Database Schemas — experiment suite");
     println!("# (Graham & Yannakakis, PODS 1982 / JCSS 1984)");
@@ -46,40 +105,56 @@ fn main() {
     }
 
     if want("x1") {
-        x1_example1();
+        x1_example1(&mut rep);
+        rep.flush("X1");
     }
     if want("x2") {
-        x2_example2();
+        x2_example2(&mut rep);
+        rep.flush("X2");
     }
     if want("x3") {
-        x3_example3();
+        x3_example3(&mut rep);
+        rep.flush("X3");
     }
     if want("e1") {
-        e1_independence_scaling(smoke);
+        e1_independence_scaling(smoke, &mut rep);
+        rep.flush("E1");
     }
     if want("e2") {
-        e2_maintenance(smoke);
+        e2_maintenance(smoke, &mut rep);
+        rep.flush("E2");
     }
     if want("e3") {
-        e3_np_gadget(smoke);
+        e3_np_gadget(smoke, &mut rep);
+        rep.flush("E3");
     }
     if want("e4") {
-        e4_cover_size(smoke);
+        e4_cover_size(smoke, &mut rep);
+        rep.flush("E4");
     }
     if want("e5") {
-        e5_acyclic_vs_cyclic(smoke);
+        e5_acyclic_vs_cyclic(smoke, &mut rep);
+        rep.flush("E5");
     }
     if want("e6") {
-        e6_ablations(smoke);
+        e6_ablations(smoke, &mut rep);
+        rep.flush("E6");
     }
     if want("e7") {
-        e7_store_throughput(smoke);
+        e7_store_throughput(smoke, &mut rep);
+        rep.flush("E7");
     }
     if want("e8") {
-        e8_read_vs_snapshot(smoke);
+        e8_read_vs_snapshot(smoke, &mut rep);
+        rep.flush("E8");
     }
     if want("e9") {
-        e9_durability(smoke);
+        e9_durability(smoke, &mut rep);
+        rep.flush("E9");
+    }
+    if want("e10") {
+        e10_query_pushdown(smoke, &mut rep);
+        rep.flush("E10");
     }
 }
 
@@ -93,7 +168,7 @@ fn sweep(full: &[usize], smoke: bool) -> Vec<usize> {
 }
 
 /// X1 — Example 1: the CD/CT/TD state is locally fine, globally broken.
-fn x1_example1() {
+fn x1_example1(rep: &mut Reporter) {
     let inst = example1();
     let mut pool = ids_relational::ValuePool::new();
     let p = example1_state(&inst, &mut pool);
@@ -103,7 +178,7 @@ fn x1_example1() {
         .unwrap()
         .is_satisfying();
     let verdict = analyze(&inst.schema, &inst.fds);
-    print_table(
+    rep.table(
         "X1 — Example 1 (CD, CT, TD with C→D, C→T, T→D)",
         &["check", "paper", "measured"],
         &[
@@ -119,7 +194,7 @@ fn x1_example1() {
 }
 
 /// X2 — Example 2 and its SH→R extension.
-fn x2_example2() {
+fn x2_example2(rep: &mut Reporter) {
     let base = example2();
     let ext = example2_extended();
     let a1 = analyze(&base.schema, &base.fds);
@@ -141,7 +216,7 @@ fn x2_example2() {
             ..
         }
     );
-    print_table(
+    rep.table(
         "X2 — Example 2 ({CT, CS, CHR}; C→T, CH→R [+ SH→R])",
         &["instance", "paper", "measured"],
         &[
@@ -165,7 +240,7 @@ fn x2_example2() {
 }
 
 /// X3 — Example 3: rejection at line 4 or line 5 depending on the pick.
-fn x3_example3() {
+fn x3_example3(rep: &mut Reporter) {
     use ids_core::algorithm::{run_loop_with_picker, RejectLine};
     use ids_deps::partition_embedded;
     let inst = example3();
@@ -193,7 +268,7 @@ fn x3_example3() {
         RejectLine::Line4 => "line 4",
         RejectLine::Line5 { .. } => "line 5",
     };
-    print_table(
+    rep.table(
         "X3 — Example 3 (reconstructed; run for R1)",
         &["pick at 3rd iteration", "paper", "measured"],
         &[
@@ -218,7 +293,7 @@ fn x3_example3() {
 }
 
 /// E1 — polynomial scaling of the full decision procedure.
-fn e1_independence_scaling(smoke: bool) {
+fn e1_independence_scaling(smoke: bool, rep: &mut Reporter) {
     let mut rows = Vec::new();
     let mut times = Vec::new();
     let chain_sizes = if smoke {
@@ -283,7 +358,7 @@ fn e1_independence_scaling(smoke: bool) {
             fmt_duration(d),
         ]);
     }
-    print_table(
+    rep.table(
         "E1 — independence decision scaling (claim: polynomial; Corollary §4)",
         &["family", "|U|", "|D|", "|F|", "verdict", "analyze time"],
         &rows,
@@ -292,14 +367,14 @@ fn e1_independence_scaling(smoke: bool) {
         .iter()
         .map(|r| format!("{r:.1}x"))
         .collect();
-    println!(
+    rep.note(format!(
         "key-chain time growth per size doubling: {} (polynomial: bounded ratios)",
         ratios.join(", ")
-    );
+    ));
 }
 
 /// E2 — maintenance throughput: local Fi checks vs whole-state re-chase.
-fn e2_maintenance(smoke: bool) {
+fn e2_maintenance(smoke: bool, rep: &mut Reporter) {
     let inst = registrar();
     let analysis = analyze(&inst.schema, &inst.fds);
     let mut rows = Vec::new();
@@ -356,7 +431,7 @@ fn e2_maintenance(smoke: bool) {
             format!("{:.0}x", chase_per / local_per),
         ]);
     }
-    print_table(
+    rep.table(
         "E2 — maintenance per insert, registrar schema (claim: independent ⇒ local check suffices, §1/§3)",
         &["preloaded tuples", "accepted", "local/insert", "fd-only chase/insert", "full chase/insert", "full/local speedup"],
         &rows,
@@ -364,7 +439,7 @@ fn e2_maintenance(smoke: bool) {
 }
 
 /// E3 — Theorem 1: the general maintenance wall.
-fn e3_np_gadget(smoke: bool) {
+fn e3_np_gadget(smoke: bool, rep: &mut Reporter) {
     // Hub family: D0 = {H·A1, .., H·Ak}, r = m universal tuples sharing H.
     // The projected join has m^k tuples; the brute-force solver and the
     // chase both hit exponential work, while the independent control
@@ -453,7 +528,7 @@ fn e3_np_gadget(smoke: bool) {
             fmt_duration(local_per),
         ]);
     }
-    print_table(
+    rep.table(
         "E3 — Theorem 1 gadget: general maintenance explodes with the join (m=2 rows, k hub components)",
         &[
             "k",
@@ -469,7 +544,7 @@ fn e3_np_gadget(smoke: bool) {
 }
 
 /// E4 — the embedded cover H: existence, extraction cost, |H| ≤ |F|·|U|.
-fn e4_cover_size(smoke: bool) {
+fn e4_cover_size(smoke: bool, rep: &mut Reporter) {
     let mut rows = Vec::new();
     let mut checked = 0usize;
     for seed in 0..if smoke { 20u64 } else { 200 } {
@@ -503,7 +578,7 @@ fn e4_cover_size(smoke: bool) {
             assert!(cover.len() <= fds.len() * schema.universe().len());
         }
     }
-    print_table(
+    rep.table(
         "E4 — embedded cover extraction (claim: |H| ≤ |F|·|U|, §3)",
         &[
             "instance",
@@ -516,11 +591,13 @@ fn e4_cover_size(smoke: bool) {
         ],
         &rows,
     );
-    println!("bound verified on {checked} random cover-embedding instances");
+    rep.note(format!(
+        "bound verified on {checked} random cover-embedding instances"
+    ));
 }
 
 /// E5 — chase cost: acyclic vs cyclic schemas of the same size.
-fn e5_acyclic_vs_cyclic(smoke: bool) {
+fn e5_acyclic_vs_cyclic(smoke: bool, rep: &mut Reporter) {
     let mut rows = Vec::new();
     for k in sweep(&[3, 4, 5], smoke) {
         for tuples in sweep(&[10, 30], smoke) {
@@ -582,7 +659,7 @@ fn e5_acyclic_vs_cyclic(smoke: bool) {
             ]);
         }
     }
-    print_table(
+    rep.table(
         "E5 — chase vs acyclic fast path (claim: acyclic schemes are polynomial, remark after Thm 1)",
         &[
             "k",
@@ -599,7 +676,7 @@ fn e5_acyclic_vs_cyclic(smoke: bool) {
 
 /// E6 — ablations: block closure vs explicit chase; indexed vs scan
 /// maintenance.
-fn e6_ablations(smoke: bool) {
+fn e6_ablations(smoke: bool, rep: &mut Reporter) {
     // (i) [MSY] block closure vs the explicit two-row FD+JD chase.
     let mut rows = Vec::new();
     for n in sweep(&[4, 6, 8, 10, 12], smoke) {
@@ -647,7 +724,7 @@ fn e6_ablations(smoke: bool) {
             agree,
         ]);
     }
-    print_table(
+    rep.table(
         "E6a — FD+JD inference: polynomial block closure vs explicit chase (ring JD)",
         &["|U|", "block closure", "explicit chase", "agree"],
         &rows,
@@ -695,7 +772,7 @@ fn e6_ablations(smoke: bool) {
             ),
         ]);
     }
-    print_table(
+    rep.table(
         "E6b — local maintenance: hash index vs per-insert relation scan",
         &[
             "preloaded tuples",
@@ -719,12 +796,14 @@ fn e6_ablations(smoke: bool) {
             assert!(verify_witness(&e.schema, &e.fds, &w.state, &ChaseConfig::default()).unwrap());
         }
     }
-    println!("\nverdict agreement across the example corpus: {ok}/{total}");
+    rep.note(format!(
+        "\nverdict agreement across the example corpus: {ok}/{total}"
+    ));
 }
 
 /// E7 — concurrent store throughput: shard-per-relation parallelism
 /// (sound by Theorem 3) vs the single-threaded local engine.
-fn e7_store_throughput(smoke: bool) {
+fn e7_store_throughput(smoke: bool, rep: &mut Reporter) {
     use ids_bench::throughput::{available_cpus, sweep, workload_sizes};
     let (relations, preload, _) = workload_sizes(smoke);
     let rows: Vec<Vec<String>> = sweep(smoke)
@@ -740,7 +819,7 @@ fn e7_store_throughput(smoke: bool) {
             ]
         })
         .collect();
-    print_table(
+    rep.table(
         &format!(
             "E7 — store throughput, key-chain({relations}), preload {preload} \
              (claim: independence ⇒ shard-per-relation parallelism, Thm 3)"
@@ -748,16 +827,16 @@ fn e7_store_throughput(smoke: bool) {
         &["engine", "shards", "ops", "time", "throughput", "speedup"],
         &rows,
     );
-    println!(
+    rep.note(format!(
         "host CPUs: {} (shard overlap is capped by this; ≥ 2x at 4 shards \
          expects ≥ 4 CPUs)",
         available_cpus()
-    );
+    ));
 }
 
 /// E8 — per-relation barrier-free read vs full snapshot: the API payoff
 /// of independence (a read touches one shard, a snapshot all of them).
-fn e8_read_vs_snapshot(smoke: bool) {
+fn e8_read_vs_snapshot(smoke: bool, rep: &mut Reporter) {
     use ids_bench::reads::sweep;
     use ids_bench::throughput::available_cpus;
     let rows: Vec<Vec<String>> = sweep(smoke)
@@ -772,7 +851,7 @@ fn e8_read_vs_snapshot(smoke: bool) {
             ]
         })
         .collect();
-    print_table(
+    rep.table(
         "E8 — barrier-free read(R) vs snapshot() barrier, key-chain stores at 4 shards \
          (claim: independence ⇒ sound shard-local reads)",
         &[
@@ -784,18 +863,18 @@ fn e8_read_vs_snapshot(smoke: bool) {
         ],
         &rows,
     );
-    println!(
+    rep.note(format!(
         "host CPUs: {} (the read advantage comes from touching 1/n of the \
          data and 1 shard, so it holds even at 1 CPU)",
         available_cpus()
-    );
+    ));
 }
 
 /// E9 — durability: write-ahead-logged throughput vs in-memory, and
 /// recovery time.  The per-relation log (sound by Theorem 3: every
 /// accepted op is a local decision) is the paper's locality claim as a
 /// durability subsystem.
-fn e9_durability(smoke: bool) {
+fn e9_durability(smoke: bool, rep: &mut Reporter) {
     use ids_bench::durability::sweep;
     use ids_bench::throughput::{available_cpus, workload_sizes};
     let (relations, preload, _) = workload_sizes(smoke);
@@ -812,7 +891,7 @@ fn e9_durability(smoke: bool) {
             ]
         })
         .collect();
-    print_table(
+    rep.table(
         &format!(
             "E9 — durable store overhead, key-chain({relations}), preload {preload} \
              (claim: per-relation WAL ⇒ group-committed logging stays ~2x of memory)"
@@ -820,19 +899,63 @@ fn e9_durability(smoke: bool) {
         &["mode", "ops", "time", "throughput", "overhead vs memory"],
         &table,
     );
-    println!(
+    rep.note(format!(
         "recovery: {} records replayed through probe/commit in {} \
          ({:.2} Mrec/s, {} tuples recovered)",
         recovery.records,
         fmt_duration(recovery.elapsed),
         recovery.records_per_sec / 1e6,
         recovery.tuples
-    );
-    println!(
+    ));
+    rep.note(format!(
         "host CPUs: {} (logging cost is per shard and overlaps like the \
          shards themselves; fsync cadence is the lever, see SyncPolicy)",
         available_cpus()
+    ));
+}
+
+/// E10 — query pushdown: indexed point lookup on the owning shard vs
+/// `read`+client-side filter vs full snapshot.  The read-side payoff of
+/// independence *plus* pushdown: the shard answers key lookups in O(1)
+/// from its enforcement hash index and ships only the matching tuples.
+fn e10_query_pushdown(smoke: bool, rep: &mut Reporter) {
+    use ids_bench::queries::sweep;
+    use ids_bench::throughput::available_cpus;
+    let rows: Vec<Vec<String>> = sweep(smoke)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.relations),
+                format!("{}", r.per_relation),
+                fmt_duration(r.pushed),
+                fmt_duration(r.read_filter),
+                fmt_duration(r.snapshot_filter),
+                format!("{:.0}x", r.speedup),
+                format!("{:.2}", r.shipped_pushed),
+                format!("{}", r.shipped_read as usize),
+            ]
+        })
+        .collect();
+    rep.table(
+        "E10 — pushed-down point query vs read+filter vs snapshot, key-chain stores at 4 shards \
+         (claim: enforcement indexes double as O(1) read indexes; only matches ship)",
+        &[
+            "relations",
+            "tuples/relation",
+            "pushed query",
+            "read+filter",
+            "snapshot+filter",
+            "pushed speedup",
+            "tuples shipped/query",
+            "tuples shipped/read",
+        ],
+        &rows,
     );
+    rep.note(format!(
+        "host CPUs: {} (the pushdown advantage is index-vs-scan plus \
+         shipped-bytes, so it holds even at 1 CPU)",
+        available_cpus()
+    ));
 }
 
 fn yn(b: bool) -> String {

@@ -1,0 +1,147 @@
+//! Minimal JSON emission for `experiments --json` — machine-readable
+//! `BENCH_E*.json` result files for perf-trajectory tracking.
+//!
+//! The vendor set has no serde (this repository builds offline), and the
+//! data is just tables of strings, so a ~60-line writer is the whole
+//! dependency: every experiment section serializes as
+//!
+//! ```json
+//! {
+//!   "experiment": "E10",
+//!   "tables": [{"title": "...", "headers": ["..."], "rows": [["..."]]}],
+//!   "notes": ["host CPUs: 4"]
+//! }
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One printed table, as captured by the experiments reporter.
+#[derive(Clone, Debug)]
+pub struct JsonTable {
+    /// The table title (as printed above it).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, already rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Renders one experiment's JSON document.
+pub fn render_experiment(experiment: &str, tables: &[JsonTable], notes: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", escape(experiment)));
+    out.push_str("  \"tables\": [\n");
+    for (i, t) in tables.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"title\": \"{}\",\n", escape(&t.title)));
+        out.push_str(&format!(
+            "      \"headers\": {},\n",
+            string_array(&t.headers)
+        ));
+        out.push_str("      \"rows\": [\n");
+        for (j, row) in t.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {}{}\n",
+                string_array(row),
+                if j + 1 < t.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < tables.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"notes\": {}\n", string_array(notes)));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_{experiment}.json` into `dir`, returning the path.
+pub fn write_experiment(
+    dir: &Path,
+    experiment: &str,
+    tables: &[JsonTable],
+    notes: &[String],
+) -> io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, render_experiment(experiment, tables, notes))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_json_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        // Non-ASCII passes through (JSON strings are UTF-8).
+        assert_eq!(escape("µs → 1×"), "µs → 1×");
+    }
+
+    #[test]
+    fn rendered_document_has_the_expected_shape() {
+        let tables = vec![JsonTable {
+            title: "T — demo".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec!["1".into(), "2µs".into()],
+                vec!["3".into(), "4µs".into()],
+            ],
+        }];
+        let notes = vec!["host CPUs: 1".to_string()];
+        let doc = render_experiment("E10", &tables, &notes);
+        assert!(doc.contains("\"experiment\": \"E10\""));
+        assert!(doc.contains("\"title\": \"T — demo\""));
+        assert!(doc.contains("[\"1\", \"2µs\"]"));
+        assert!(doc.contains("\"notes\": [\"host CPUs: 1\"]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                doc.chars().filter(|&c| c == open).count(),
+                doc.chars().filter(|&c| c == close).count()
+            );
+        }
+    }
+
+    #[test]
+    fn write_lands_the_file_under_the_bench_name() {
+        let dir = std::env::temp_dir().join(format!("ids-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_experiment(&dir, "E1", &[], &[]).unwrap();
+        assert!(path.ends_with("BENCH_E1.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"experiment\": \"E1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

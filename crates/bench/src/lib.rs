@@ -1,12 +1,16 @@
 //! Shared harness utilities for the experiment suite: wall-clock timing
 //! with warmup and median-of-N, aligned table output matching the
-//! EXPERIMENTS.md format, the E7 store-throughput kernel
-//! ([`throughput`]), the E8 read-vs-snapshot kernel ([`reads`]) and the
-//! E9 durability-overhead + recovery kernel ([`durability`]).
+//! EXPERIMENTS.md format, machine-readable result emission ([`json`]),
+//! the E7 store-throughput kernel ([`throughput`]), the E8
+//! read-vs-snapshot kernel ([`reads`]), the E9 durability-overhead +
+//! recovery kernel ([`durability`]) and the E10 query-pushdown kernel
+//! ([`queries`]).
 
 #![warn(missing_docs)]
 
 pub mod durability;
+pub mod json;
+pub mod queries;
 pub mod reads;
 pub mod throughput;
 

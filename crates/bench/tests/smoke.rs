@@ -19,7 +19,7 @@ fn experiments_smoke_covers_all_sections() {
         String::from_utf8_lossy(&out.stderr)
     );
     for section in [
-        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9",
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -90,6 +90,76 @@ fn durability_smoke_covers_all_sync_policies() {
     assert!(recovery.records > 0, "recovery must replay logged records");
     assert!(recovery.tuples > 0);
     assert!(recovery.records_per_sec > 0.0);
+}
+
+/// The E10 kernel (shared with `experiments e10`) must run end to end
+/// at smoke sizes.  Timing ratios belong to the full-size experiment;
+/// here only structural properties are asserted — including the byte
+/// claim, which is scheduler-independent: a pushed-down point query
+/// ships at most one tuple, a read ships the whole relation.
+#[test]
+fn query_pushdown_smoke_ships_fewer_tuples_than_read() {
+    let rows = ids_bench::queries::sweep(true);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(row.pushed > std::time::Duration::ZERO);
+        assert!(row.read_filter > std::time::Duration::ZERO);
+        assert!(row.snapshot_filter > std::time::Duration::ZERO);
+        assert!(row.shipped_pushed < row.shipped_read);
+        assert!(row.shipped_read >= row.per_relation as f64);
+    }
+}
+
+/// `--json` must land one well-formed `BENCH_<section>.json` per
+/// section, in the invocation directory.
+#[test]
+fn experiments_json_mode_writes_bench_files() {
+    let dir = std::env::temp_dir().join(format!("ids-bench-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--smoke", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        out.status.success(),
+        "experiments --smoke --json failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for section in [
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+    ] {
+        let path = dir.join(format!("BENCH_{section}.json"));
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing BENCH_{section}.json: {e}"));
+        assert!(
+            body.contains(&format!("\"experiment\": \"{section}\"")),
+            "BENCH_{section}.json misnames its experiment:\n{body}"
+        );
+        assert!(body.contains("\"tables\""), "{section}: no tables field");
+        // Cheap well-formedness: balanced braces and brackets.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                body.chars().filter(|&c| c == open).count(),
+                body.chars().filter(|&c| c == close).count(),
+                "BENCH_{section}.json looks torn"
+            );
+        }
+    }
+    // Without --json nothing is written (the flag is the contract).
+    let clean = std::env::temp_dir().join(format!("ids-bench-nojson-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&clean);
+    std::fs::create_dir_all(&clean).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--smoke", "x1"])
+        .current_dir(&clean)
+        .output()
+        .expect("experiments binary runs");
+    assert!(out.status.success());
+    assert!(std::fs::read_dir(&clean).unwrap().next().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean);
 }
 
 #[test]

@@ -15,7 +15,9 @@
 
 use ids_chase::{ChaseConfig, ChaseError};
 use ids_deps::FdSet;
-use ids_relational::{DatabaseSchema, DatabaseState, RelationalError, SchemeId, Value};
+use ids_relational::{
+    DatabaseSchema, DatabaseState, Predicate, RelationalError, SchemeId, Tuple, Value,
+};
 
 use crate::shard::RelationShard;
 
@@ -231,6 +233,18 @@ impl LocalMaintainer {
         shard.remove(self.state.relation_mut(id), tuple)
     }
 
+    /// Evaluates an equality predicate against one relation, returning
+    /// only the matching tuples.  Point lookups on a key FD's left-hand
+    /// side are answered in O(1) from the enforcement hash indexes the
+    /// engine already maintains — see [`RelationShard::scan`].
+    pub fn query(&self, id: SchemeId, pred: &Predicate) -> Result<Vec<Tuple>, MaintenanceError> {
+        let shard = self
+            .shards
+            .get(id.index())
+            .ok_or(MaintenanceError::UnknownScheme(id))?;
+        shard.scan(self.state.relation(id), pred)
+    }
+
     /// The current state.
     pub fn state(&self) -> &DatabaseState {
         &self.state
@@ -287,6 +301,22 @@ pub fn validate_op(
         .into());
     }
     Ok(())
+}
+
+/// Shared linear-filter query for the whole-state engines (which keep no
+/// per-relation indexes): validate the predicate at the boundary, then one
+/// pass over the relation, cloning only the matching tuples.
+fn filter_query(
+    schema: &DatabaseSchema,
+    state: &DatabaseState,
+    id: SchemeId,
+    pred: &Predicate,
+) -> Result<Vec<Tuple>, MaintenanceError> {
+    let scheme = schema
+        .get_scheme(id)
+        .ok_or(MaintenanceError::UnknownScheme(id))?;
+    pred.validate_against(scheme.attrs)?;
+    Ok(state.relation(id).filter_tuples(pred))
 }
 
 /// The general baseline: validate every insert by re-chasing the whole
@@ -352,6 +382,12 @@ impl ChaseMaintainer {
     pub fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
         validate_op(&self.schema, id, tuple)?;
         Ok(self.state.relation_mut(id).remove(tuple))
+    }
+
+    /// Evaluates an equality predicate against one relation (linear scan;
+    /// the baseline keeps no per-relation indexes).
+    pub fn query(&self, id: SchemeId, pred: &Predicate) -> Result<Vec<Tuple>, MaintenanceError> {
+        filter_query(&self.schema, &self.state, id, pred)
     }
 
     /// The schema handle the engine carries.
@@ -594,6 +630,52 @@ mod tests {
     }
 
     #[test]
+    fn query_agrees_across_engines_and_with_the_state() {
+        let (schema, fds) = independent_setup();
+        let analysis = analyze(&schema, &fds);
+        let mut local =
+            LocalMaintainer::from_analysis(&schema, &analysis, DatabaseState::empty(&schema))
+                .unwrap();
+        let mut chase = ChaseMaintainer::new(
+            &schema,
+            &fds,
+            DatabaseState::empty(&schema),
+            ChaseConfig::default(),
+        );
+        let mut fd_only = FdOnlyMaintainer::new(&schema, &fds, DatabaseState::empty(&schema));
+        let ct = schema.scheme_by_name("CT").unwrap();
+        let chr = schema.scheme_by_name("CHR").unwrap();
+        for (id, t) in [
+            (ct, vec![v(1), v(10)]),
+            (ct, vec![v(2), v(20)]),
+            (chr, vec![v(1), v(5), v(6)]),
+        ] {
+            local.insert(id, t.clone()).unwrap();
+            chase.insert(id, t.clone()).unwrap();
+            fd_only.insert(id, t).unwrap();
+        }
+        let c = schema.universe().attr("C").unwrap();
+        for pred in [Predicate::new(), Predicate::new().and_eq(c, v(1))] {
+            let expected = local.state().relation(ct).filter_tuples(&pred);
+            assert_eq!(local.query(ct, &pred).unwrap(), expected, "{pred:?}");
+            assert_eq!(chase.query(ct, &pred).unwrap(), expected, "{pred:?}");
+            assert_eq!(fd_only.query(ct, &pred).unwrap(), expected, "{pred:?}");
+        }
+        // Foreign ids and foreign predicate attributes are typed errors.
+        assert!(matches!(
+            local.query(SchemeId(99), &Predicate::new()),
+            Err(MaintenanceError::UnknownScheme(_))
+        ));
+        let s = schema.universe().attr("S").unwrap();
+        assert!(matches!(
+            chase.query(ct, &Predicate::new().and_eq(s, v(0))),
+            Err(MaintenanceError::Relational(
+                RelationalError::SchemaMismatch(_)
+            ))
+        ));
+    }
+
+    #[test]
     fn invalid_base_state_is_refused() {
         let (schema, fds) = independent_setup();
         let analysis = analyze(&schema, &fds);
@@ -672,6 +754,12 @@ impl FdOnlyMaintainer {
     pub fn remove(&mut self, id: SchemeId, tuple: &[Value]) -> Result<bool, MaintenanceError> {
         validate_op(&self.schema, id, tuple)?;
         Ok(self.state.relation_mut(id).remove(tuple))
+    }
+
+    /// Evaluates an equality predicate against one relation (linear scan;
+    /// this engine keeps no per-relation indexes).
+    pub fn query(&self, id: SchemeId, pred: &Predicate) -> Result<Vec<Tuple>, MaintenanceError> {
+        filter_query(&self.schema, &self.state, id, pred)
     }
 
     /// The schema handle the engine carries.

@@ -22,7 +22,9 @@
 use std::collections::HashMap;
 
 use ids_deps::{Fd, FdSet};
-use ids_relational::{DatabaseSchema, Relation, RelationalError, SchemeId, Value};
+use ids_relational::{
+    DatabaseSchema, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
+};
 
 use crate::maintenance::{InsertOutcome, MaintenanceError};
 
@@ -177,6 +179,58 @@ impl RelationShard {
         Ok(InsertOutcome::Accepted)
     }
 
+    /// Evaluates an equality predicate against `rel`, returning the
+    /// matching tuples in insertion order — the shard-side half of query
+    /// pushdown: only matching tuples ever leave the owner.
+    ///
+    /// When the predicate pins every column of some FD of `Fi` whose
+    /// attributes span the whole scheme — i.e. the FD's left-hand side is
+    /// a *key* of the relation — the lookup is answered in O(1) from the
+    /// hash index the shard already maintains for enforcement: the key's
+    /// index entry stores the right-hand-side image, and key ∪ image *is*
+    /// the unique matching tuple, reconstructed without touching `rel` at
+    /// all.  Every other predicate falls back to one linear pass.
+    ///
+    /// The indexes are maintained by the write path for free, so the
+    /// point-lookup fast path adds zero cost to inserts and removes.
+    pub fn scan(&self, rel: &Relation, pred: &Predicate) -> Result<Vec<Tuple>, MaintenanceError> {
+        let attrs = self.schema.attrs(self.id);
+        pred.validate_against(attrs)?;
+        let pinned = pred.attrs();
+        for (k, fd) in self.enforcement.iter().enumerate() {
+            // Key FD: lhs ∪ rhs covers the scheme (so lhs determines the
+            // whole tuple) and the predicate pins all of lhs.
+            if self.lhs_pos[k].len() + self.rhs_pos[k].len() != attrs.len()
+                || !fd.lhs.is_subset(pinned)
+            {
+                continue;
+            }
+            let key: Vec<Value> = fd
+                .lhs
+                .iter()
+                .map(|a| pred.value_of(a).expect("lhs ⊆ pinned"))
+                .collect();
+            let Some((image, _)) = self.indexes[k].get(&key) else {
+                return Ok(Vec::new());
+            };
+            let mut t = vec![Value::int(0); attrs.len()];
+            for (&p, &v) in self.lhs_pos[k].iter().zip(key.iter()) {
+                t[p] = v;
+            }
+            for (&p, &v) in self.rhs_pos[k].iter().zip(image.iter()) {
+                t[p] = v;
+            }
+            // The remaining conjuncts (pins outside lhs, or contradictory
+            // duplicates) still apply to the reconstructed tuple.
+            return Ok(if pred.matches(attrs, &t) {
+                vec![t.into_boxed_slice()]
+            } else {
+                Vec::new()
+            });
+        }
+        Ok(rel.filter_tuples(pred))
+    }
+
     /// Removes a tuple from `rel`; always satisfaction-preserving under
     /// weak-instance semantics.  Returns `Ok(true)` when the tuple
     /// existed; a tuple of the wrong arity is a typed error
@@ -288,6 +342,59 @@ mod tests {
         assert!(matches!(
             shard.insert(&mut rel, vec![v(1), v(9), v(5)]).unwrap(),
             InsertOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn scan_point_lookup_agrees_with_linear_filter() {
+        // CT with C→T: C is a key, so a predicate pinning C takes the
+        // indexed path; both paths must agree with a plain filter.
+        let (schema, fds) = setup();
+        let id = SchemeId(0);
+        let mut shard = RelationShard::new(&schema, id, fds);
+        let mut rel = Relation::new(schema.attrs(id));
+        for i in 0..50u64 {
+            shard.insert(&mut rel, vec![v(i), v(100 + i)]).unwrap();
+        }
+        let c = schema.universe().attr("C").unwrap();
+        let t = schema.universe().attr("T").unwrap();
+        let attrs = schema.attrs(id);
+        for pred in [
+            Predicate::new(),                                   // full scan
+            Predicate::new().and_eq(c, v(7)),                   // indexed hit
+            Predicate::new().and_eq(c, v(99)),                  // indexed miss
+            Predicate::new().and_eq(t, v(107)),                 // linear (T not a key lhs)
+            Predicate::new().and_eq(c, v(7)).and_eq(t, v(107)), // indexed + extra pin
+            Predicate::new().and_eq(c, v(7)).and_eq(t, v(9)),   // indexed, extra pin fails
+            Predicate::new().and_eq(c, v(7)).and_eq(c, v(8)),   // contradictory pins
+        ] {
+            let got = shard.scan(&rel, &pred).unwrap();
+            let expected = rel.filter_tuples(&pred);
+            assert_eq!(got, expected, "pred {pred:?}");
+        }
+        // Removes keep the index honest: a freed key stops matching.
+        assert!(shard.remove(&mut rel, &[v(7), v(107)]).unwrap());
+        assert!(shard
+            .scan(&rel, &Predicate::new().and_eq(c, v(7)))
+            .unwrap()
+            .is_empty());
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn scan_rejects_foreign_predicate_attributes() {
+        let u = Universe::from_names(["C", "T", "X"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("X", "X")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        let id = SchemeId(0);
+        let shard = RelationShard::new(&schema, id, fds);
+        let rel = Relation::new(schema.attrs(id));
+        let x = schema.universe().attr("X").unwrap();
+        assert!(matches!(
+            shard.scan(&rel, &Predicate::new().and_eq(x, v(1))),
+            Err(MaintenanceError::Relational(
+                RelationalError::SchemaMismatch(_)
+            ))
         ));
     }
 

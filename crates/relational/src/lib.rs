@@ -13,7 +13,9 @@
 //! * [`Relation`] — duplicate-free instances with projection, natural join,
 //!   semijoin and per-instance FD checking;
 //! * [`DatabaseState`] — states `p`, join consistency, dangling tuples;
-//! * [`Value`] / [`ValuePool`] — opaque domain values with optional names.
+//! * [`Value`] / [`ValuePool`] — opaque domain values with optional names;
+//! * [`Predicate`] / [`Projection`] — the query-pushdown primitives higher
+//!   layers ship to whatever owns a relation's tuples.
 //!
 //! Higher layers build dependency theory (`ids-deps`), the chase
 //! (`ids-chase`), acyclicity tooling (`ids-acyclic`) and the independence
@@ -26,6 +28,7 @@ mod attrset;
 pub mod codec;
 pub mod display;
 mod error;
+mod query;
 mod relation;
 mod scheme;
 mod state;
@@ -35,6 +38,7 @@ mod value;
 pub use attr::AttrId;
 pub use attrset::{AttrSet, AttrSetIter, MAX_ATTRS};
 pub use error::RelationalError;
+pub use query::{Predicate, Projection};
 pub use relation::{join_all, Relation, Tuple};
 pub use scheme::{DatabaseSchema, RelationScheme, SchemeId};
 pub use state::DatabaseState;

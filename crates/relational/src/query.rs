@@ -1,0 +1,252 @@
+//! Query pushdown primitives: predicates and projections over one scheme.
+//!
+//! The paper's independence result is usually read as a *write-side*
+//! statement (per-relation enforcement suffices), but it is equally a
+//! *read-side* one: every per-relation read of an accepted state is part
+//! of some globally satisfying state, so filtered reads — and even
+//! multi-relation joins of independent reads — need no barrier.  The
+//! types here are the wire-level representation of such reads: a
+//! [`Predicate`] travels *down* to whatever owns the relation's tuples
+//! (a shard thread, a sequential engine's state) so that only matching
+//! tuples travel back *up*, and a [`Projection`] names the columns the
+//! caller wants of them.
+//!
+//! Both types are deliberately tiny and engine-agnostic: an equality
+//! conjunction plus a column list covers point lookups, filtered scans
+//! and select-lists, while staying cheap to evaluate per tuple and
+//! trivially safe to hand across threads.
+
+use crate::attr::AttrId;
+use crate::attrset::AttrSet;
+use crate::error::RelationalError;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+
+/// A conjunction of equality constraints over one scheme's attributes:
+/// `attr₁ = v₁ ∧ attr₂ = v₂ ∧ …`.  The empty conjunction is *true*
+/// (matches every tuple) — the representation of an unfiltered read.
+///
+/// Built with [`Predicate::new`] + [`Predicate::and_eq`]; evaluated
+/// against tuples in scheme order with [`Predicate::matches`].  Engines
+/// validate a predicate against the target scheme once, at their router
+/// boundary, via [`Predicate::validate_against`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Predicate {
+    conjuncts: Vec<(AttrId, Value)>,
+}
+
+impl Predicate {
+    /// The always-true predicate (no conjuncts).
+    pub fn new() -> Self {
+        Predicate::default()
+    }
+
+    /// Adds the conjunct `attr = value`.  Repeating an attribute with a
+    /// different value makes the predicate unsatisfiable (both conjuncts
+    /// are checked), never a panic.
+    pub fn and_eq(mut self, attr: AttrId, value: Value) -> Self {
+        self.conjuncts.push((attr, value));
+        self
+    }
+
+    /// True when the predicate has no conjuncts (matches everything).
+    pub fn is_true(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The equality conjuncts, in insertion order.
+    pub fn conjuncts(&self) -> &[(AttrId, Value)] {
+        &self.conjuncts
+    }
+
+    /// The set of attributes the predicate constrains.
+    pub fn attrs(&self) -> AttrSet {
+        self.conjuncts.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// The pinned value of `attr`, when the predicate constrains it.
+    /// With contradictory duplicate conjuncts the first wins here;
+    /// [`Predicate::matches`] still checks them all.
+    pub fn value_of(&self, attr: AttrId) -> Option<Value> {
+        self.conjuncts
+            .iter()
+            .find(|&&(a, _)| a == attr)
+            .map(|&(_, v)| v)
+    }
+
+    /// Checks that every constrained attribute belongs to the scheme
+    /// `attrs` — the one validation contract every engine applies at its
+    /// boundary before evaluating (or shipping) the predicate.
+    pub fn validate_against(&self, attrs: AttrSet) -> Result<(), RelationalError> {
+        if self.attrs().is_subset(attrs) {
+            Ok(())
+        } else {
+            Err(RelationalError::SchemaMismatch(
+                "predicate attributes outside the relation scheme",
+            ))
+        }
+    }
+
+    /// Evaluates the predicate against a tuple laid out in the scheme
+    /// order of `attrs` (ascending attribute id).  The predicate must be
+    /// valid against `attrs` (see [`Predicate::validate_against`]).
+    pub fn matches(&self, attrs: AttrSet, tuple: &[Value]) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|&(a, v)| tuple[attrs.rank(a)] == v)
+    }
+}
+
+impl std::iter::FromIterator<(AttrId, Value)> for Predicate {
+    fn from_iter<I: IntoIterator<Item = (AttrId, Value)>>(iter: I) -> Self {
+        Predicate {
+            conjuncts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Which columns of a matching tuple the caller wants back.
+///
+/// Unlike relational projection (`π`, which dedups), a `Projection` is a
+/// *select list*: column order is caller-chosen, duplicates are allowed,
+/// and applying it to a list of rows preserves the row count — the shape
+/// query surfaces need.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Projection {
+    /// Every column, in scheme order.
+    #[default]
+    All,
+    /// The named columns, in the given order (duplicates allowed).
+    Columns(Vec<AttrId>),
+}
+
+impl Projection {
+    /// Checks that every selected column belongs to the scheme `attrs`.
+    pub fn validate_against(&self, attrs: AttrSet) -> Result<(), RelationalError> {
+        match self {
+            Projection::All => Ok(()),
+            Projection::Columns(cols) => {
+                if cols.iter().all(|&a| attrs.contains(a)) {
+                    Ok(())
+                } else {
+                    Err(RelationalError::SchemaMismatch(
+                        "projection columns outside the relation scheme",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Applies the select list to a tuple in the scheme order of `attrs`.
+    pub fn apply(&self, attrs: AttrSet, tuple: &[Value]) -> Vec<Value> {
+        match self {
+            Projection::All => tuple.to_vec(),
+            Projection::Columns(cols) => cols.iter().map(|&a| tuple[attrs.rank(a)]).collect(),
+        }
+    }
+
+    /// Output width against a scheme of the given attributes.
+    pub fn width(&self, attrs: AttrSet) -> usize {
+        match self {
+            Projection::All => attrs.len(),
+            Projection::Columns(cols) => cols.len(),
+        }
+    }
+}
+
+impl Relation {
+    /// The tuples of this instance matching `pred`, cloned in insertion
+    /// order — the client-side evaluation every pushed-down path must
+    /// agree with (differential tests compare against exactly this).
+    pub fn filter_tuples(&self, pred: &Predicate) -> Vec<Tuple> {
+        let attrs = self.attrs();
+        self.iter()
+            .filter(|t| pred.matches(attrs, t))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn v(n: u64) -> Value {
+        Value::int(n)
+    }
+
+    fn setup() -> (Universe, Relation) {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let mut r = Relation::new(u.all());
+        r.insert(vec![v(1), v(10), v(100)]).unwrap();
+        r.insert(vec![v(1), v(11), v(101)]).unwrap();
+        r.insert(vec![v(2), v(10), v(102)]).unwrap();
+        (u, r)
+    }
+
+    #[test]
+    fn empty_predicate_matches_everything() {
+        let (u, r) = setup();
+        let p = Predicate::new();
+        assert!(p.is_true());
+        assert_eq!(r.filter_tuples(&p).len(), 3);
+        assert!(p.validate_against(u.all()).is_ok());
+    }
+
+    #[test]
+    fn conjuncts_narrow_the_result() {
+        let (u, r) = setup();
+        let a = u.attr("A").unwrap();
+        let b = u.attr("B").unwrap();
+        let p = Predicate::new().and_eq(a, v(1));
+        assert_eq!(r.filter_tuples(&p).len(), 2);
+        let p = p.and_eq(b, v(10));
+        let hits = r.filter_tuples(&p);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&*hits[0], &[v(1), v(10), v(100)]);
+        assert_eq!(p.value_of(a), Some(v(1)));
+        assert_eq!(p.value_of(u.attr("C").unwrap()), None);
+        assert_eq!(p.attrs().len(), 2);
+    }
+
+    #[test]
+    fn contradictory_duplicates_are_unsatisfiable_not_panics() {
+        let (u, r) = setup();
+        let a = u.attr("A").unwrap();
+        let p = Predicate::new().and_eq(a, v(1)).and_eq(a, v(2));
+        assert!(r.filter_tuples(&p).is_empty());
+    }
+
+    #[test]
+    fn validation_catches_foreign_attributes() {
+        let (u, _) = setup();
+        let ab = u.parse_set("A B").unwrap();
+        let c = u.attr("C").unwrap();
+        let p = Predicate::new().and_eq(c, v(1));
+        assert!(matches!(
+            p.validate_against(ab),
+            Err(RelationalError::SchemaMismatch(_))
+        ));
+        assert!(matches!(
+            Projection::Columns(vec![c]).validate_against(ab),
+            Err(RelationalError::SchemaMismatch(_))
+        ));
+        assert!(Projection::All.validate_against(ab).is_ok());
+    }
+
+    #[test]
+    fn projection_is_a_select_list_not_relational_pi() {
+        let (u, _) = setup();
+        let a = u.attr("A").unwrap();
+        let c = u.attr("C").unwrap();
+        let all = u.all();
+        let t = [v(1), v(10), v(100)];
+        assert_eq!(Projection::All.apply(all, &t), t.to_vec());
+        // Caller-chosen order and duplicates both survive.
+        let sel = Projection::Columns(vec![c, a, a]);
+        assert_eq!(sel.apply(all, &t), vec![v(100), v(1), v(1)]);
+        assert_eq!(sel.width(all), 3);
+        assert_eq!(Projection::All.width(all), 3);
+    }
+}

@@ -89,7 +89,9 @@ use std::thread::JoinHandle;
 
 use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationShard, Witness};
 use ids_deps::{Fd, FdSet};
-use ids_relational::{DatabaseSchema, DatabaseState, Relation, RelationalError, SchemeId, Value};
+use ids_relational::{
+    DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
+};
 use ids_wal::{WalDir, WalError, WalOp, WalWriter};
 
 pub use ids_wal::SyncPolicy;
@@ -250,6 +252,16 @@ enum Command {
         scheme: SchemeId,
         reply: Sender<usize>,
     },
+    /// Evaluate an equality predicate against one owned relation and
+    /// reply with **only** the matching tuples — the pushed-down query.
+    /// Point lookups on a key FD's lhs are answered from the shard's
+    /// enforcement hash index in O(1); only the owning shard ever sees
+    /// this command.
+    Query {
+        scheme: SchemeId,
+        predicate: Predicate,
+        reply: Sender<Vec<Tuple>>,
+    },
     /// Reply with a clone of every owned relation — the shard's part of a
     /// consistent snapshot barrier.
     Snapshot {
@@ -346,6 +358,20 @@ impl Worker {
                     let si = self.slot_of[scheme.index()]
                         .expect("router sent a count for a foreign scheme");
                     let _ = reply.send(self.slots[si].rel.len());
+                }
+                Command::Query {
+                    scheme,
+                    predicate,
+                    reply,
+                } => {
+                    let si = self.slot_of[scheme.index()]
+                        .expect("router sent a query for a foreign scheme");
+                    let slot = &self.slots[si];
+                    let tuples = slot
+                        .shard
+                        .scan(&slot.rel, &predicate)
+                        .expect("predicate validated by the router");
+                    let _ = reply.send(tuples);
                 }
                 Command::Snapshot { reply } => {
                     let _ = reply.send(self.slots.iter().map(|s| (s.id, s.rel.clone())).collect());
@@ -888,6 +914,36 @@ impl Store {
         reply_rx.recv().map_err(|_| StoreError::Disconnected)
     }
 
+    /// Evaluates an equality predicate against one relation **on its
+    /// owning shard**, shipping back only the matching tuples — the
+    /// pushed-down counterpart of [`Store::read`]`+`client-side filter.
+    ///
+    /// Same barrier-free consistency model as `read` (per-relation FIFO
+    /// freshness, no cross-relation cut), with two additional savings:
+    /// the shard evaluates the predicate where the tuples live (a point
+    /// lookup on a key FD's left-hand side is O(1) against the
+    /// enforcement hash index, see [`RelationShard::scan`]), and only
+    /// matching tuples cross the channel instead of a clone of the whole
+    /// relation.  The predicate is validated against the scheme here, at
+    /// the router boundary, so a foreign attribute is a typed error and
+    /// never a worker panic.
+    pub fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, StoreError> {
+        let scheme = self
+            .schema
+            .get_scheme(id)
+            .ok_or(StoreError::UnknownScheme(id))?;
+        predicate.validate_against(scheme.attrs)?;
+        let (reply_tx, reply_rx) = channel();
+        self.senders[self.assignment[id.index()]]
+            .send(Command::Query {
+                scheme: id,
+                predicate: predicate.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| StoreError::Disconnected)?;
+        reply_rx.recv().map_err(|_| StoreError::Disconnected)
+    }
+
     /// Number of tuples currently in one relation, consulting only the
     /// owning shard — the cardinality probe to [`Store::read`]'s full
     /// read.  No tuples are cloned or shipped; same consistency model as
@@ -1321,6 +1377,54 @@ mod tests {
             assert!(matches!(
                 store.count(SchemeId(99)),
                 Err(StoreError::UnknownScheme(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn pushed_down_query_ships_only_matching_tuples() {
+        let (schema, fds) = independent_setup();
+        for shards in 1..=3 {
+            let store = Store::open_with(
+                &schema,
+                &fds,
+                StoreConfig {
+                    shards,
+                    initial_state: None,
+                },
+            )
+            .unwrap();
+            let ct = schema.scheme_by_name("CT").unwrap();
+            for i in 0..20u64 {
+                store.insert(ct, vec![v(i), v(100 + i)]).unwrap();
+            }
+            let c = schema.universe().attr("C").unwrap();
+            let t = schema.universe().attr("T").unwrap();
+            // Indexed point lookup (C is CT's key), linear filter (on T),
+            // miss, and the unfiltered query — all agree with read().
+            let whole = store.read(ct).unwrap();
+            for pred in [
+                Predicate::new(),
+                Predicate::new().and_eq(c, v(7)),
+                Predicate::new().and_eq(t, v(107)),
+                Predicate::new().and_eq(c, v(999)),
+            ] {
+                let got = store.query(ct, &pred).unwrap();
+                assert_eq!(got, whole.filter_tuples(&pred), "{shards} shards, {pred:?}");
+            }
+            // The matching result is strictly smaller than the full read.
+            let hit = store.query(ct, &Predicate::new().and_eq(c, v(7))).unwrap();
+            assert_eq!(hit.len(), 1);
+            assert!(whole.len() > hit.len());
+            // Foreign ids and foreign predicate attributes: typed errors.
+            assert!(matches!(
+                store.query(SchemeId(99), &Predicate::new()),
+                Err(StoreError::UnknownScheme(_))
+            ));
+            let s = schema.universe().attr("S").unwrap();
+            assert!(matches!(
+                store.query(ct, &Predicate::new().and_eq(s, v(0))),
+                Err(StoreError::Relational(RelationalError::SchemaMismatch(_)))
             ));
         }
     }

@@ -179,6 +179,59 @@ pub struct InsertOp {
     pub tuple: Vec<Value>,
 }
 
+/// One step of a read workload: an equality point probe `attr = value`
+/// against one relation.
+#[derive(Clone, Debug)]
+pub struct LookupOp {
+    /// Target relation.
+    pub scheme: SchemeId,
+    /// The probed attribute.
+    pub attr: AttrId,
+    /// The probed value.
+    pub value: Value,
+}
+
+/// A read-heavy stream of point lookups over a preloaded state:
+/// `hit_percent` of the probes pin a value some stored tuple actually
+/// has (drawn uniformly from the target relation), the rest draw from
+/// the top of the value space and miss.  Probes always target the
+/// *first* attribute of the chosen scheme — for the key families
+/// ([`crate::families::key_chain`], [`crate::families::key_star`]
+/// satellites) that is the key FD's left-hand side, so an engine with
+/// enforcement indexes can answer every hit in O(1).
+pub fn lookup_stream(
+    schema: &DatabaseSchema,
+    state: &DatabaseState,
+    n: usize,
+    hit_percent: u32,
+    seed: u64,
+) -> Vec<LookupOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let scheme = SchemeId::from_index(rng.gen_range(0..schema.len()));
+        let attrs = schema.attrs(scheme);
+        let attr = attrs.iter().next().expect("schemes are nonempty");
+        let rel = state.relation(scheme);
+        let hit = !rel.is_empty() && rng.gen_range(0u32..100) < hit_percent;
+        let value = if hit {
+            let idx = rng.gen_range(0..rel.len());
+            let tuple = rel.iter().nth(idx).expect("idx < len");
+            tuple[attrs.rank(attr)]
+        } else {
+            // The generators above draw values from the bottom of the id
+            // space, so the top misses by construction.
+            Value::int(u64::MAX - rng.gen_range(0u64..1_000_000))
+        };
+        out.push(LookupOp {
+            scheme,
+            attr,
+            value,
+        });
+    }
+    out
+}
+
 /// A stream of random insert operations over a schema: a mix of fresh
 /// tuples and near-duplicates (same left-hand sides with new right-hand
 /// sides, likely violating key FDs).
@@ -252,6 +305,40 @@ mod tests {
             }
         }
         assert!(violations > 0, "expected some global violations");
+    }
+
+    #[test]
+    fn lookup_stream_is_deterministic_and_hits_at_the_requested_rate() {
+        let inst = example2();
+        let state = random_satisfying_state(&inst.schema, &inst.fds, 100, 32, 3);
+        let a = lookup_stream(&inst.schema, &state, 200, 75, 9);
+        let b = lookup_stream(&inst.schema, &state, 200, 75, 9);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.scheme, y.scheme);
+            assert_eq!(x.attr, y.attr);
+            assert_eq!(x.value, y.value);
+        }
+        // Hits really probe stored values; misses really miss.
+        let hits = a
+            .iter()
+            .filter(|op| {
+                let rel = state.relation(op.scheme);
+                let rank = inst.schema.attrs(op.scheme).rank(op.attr);
+                rel.iter().any(|t| t[rank] == op.value)
+            })
+            .count();
+        assert!(
+            (100..=200).contains(&hits),
+            "75% of 200 probes should mostly hit, got {hits}"
+        );
+        // All-miss streams exist too.
+        let misses = lookup_stream(&inst.schema, &state, 50, 0, 1);
+        assert!(misses.iter().all(|op| {
+            let rel = state.relation(op.scheme);
+            let rank = inst.schema.attrs(op.scheme).rank(op.attr);
+            rel.iter().all(|t| t[rank] != op.value)
+        }));
     }
 
     #[test]

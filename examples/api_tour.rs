@@ -67,6 +67,22 @@ fn main() {
     db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
     // rows(): consults only the owning shard, renders in declared order.
     println!("\nCS rows (barrier-free): {:?}", db.rows("CS").unwrap());
+    // query(): the filtered read, pushed down to the owning shard —
+    // a key-column filter is an O(1) index hit, and only matching
+    // tuples ship back (see `query_tour` for the full surface).
+    let jones = db
+        .query("CT")
+        .filter("course", eq("CS402"))
+        .select(["teacher"])
+        .run()
+        .unwrap();
+    println!("teacher of CS402 (pushed-down): {jones}");
+    // join(): a natural join from independent barrier-free reads —
+    // sound because LSAT = WSAT makes every per-relation cut part of a
+    // globally satisfying state.
+    let enrolled = db.join(["CS", "CHR"]).unwrap();
+    println!("CS ⋈ CHR: {} rows", enrolled.len());
+    assert_eq!(enrolled.len(), 2);
     // snapshot(): a consistent, globally satisfying cut of everything.
     let snap = db.snapshot().unwrap();
     println!(

@@ -67,7 +67,7 @@
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
 //! | [`wal`] | per-relation write-ahead log + snapshot checkpoints (independence ⇒ no cross-log ordering) |
 //! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism), durable via [`wal`] |
-//! | [`api`] | `Schema` builder + typed `Database` over every engine, durable via `open_at`/`recover` |
+//! | [`api`] | `Schema` builder + typed `Database` over every engine; fluent queries, typed rows, barrier-free joins; durable via `open_at`/`recover` |
 //! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
@@ -82,7 +82,10 @@ pub use ids_workloads as workloads;
 
 /// The common imports for working with the library.
 pub mod prelude {
-    pub use ids_api::{Database, Engine, EngineKind, Error as ApiError, Schema, SchemaBuilder};
+    pub use ids_api::{
+        eq, Cond, Database, Engine, EngineKind, Error as ApiError, Query, Row, Rows, Schema,
+        SchemaBuilder,
+    };
     pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
     pub use ids_core::{
         analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
@@ -91,8 +94,8 @@ pub mod prelude {
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
     pub use ids_relational::{
-        AttrId, AttrSet, DatabaseSchema, DatabaseState, Relation, RelationScheme, SchemeId,
-        Universe, Value, ValuePool,
+        AttrId, AttrSet, DatabaseSchema, DatabaseState, Predicate, Projection, Relation,
+        RelationScheme, SchemeId, Tuple, Universe, Value, ValuePool,
     };
     pub use ids_store::{
         DurableConfig, OpOutcome, Store, StoreConfig, StoreError, StoreOp, SyncPolicy,

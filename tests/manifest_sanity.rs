@@ -10,13 +10,14 @@
 // name (a glob would hide removals).
 #[allow(unused_imports)]
 use independent_schemas::prelude::{
-    analyze, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
-    ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Database, DatabaseSchema,
-    DatabaseState, DurableConfig, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet,
+    analyze, eq, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
+    ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Cond, Database,
+    DatabaseSchema, DatabaseState, DurableConfig, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet,
     IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
-    MaintenanceError, NotIndependentReason, OpOutcome, Relation, RelationScheme, RelationShard,
-    Satisfaction, Schema, SchemaBuilder, SchemeId, Store, StoreConfig, StoreError, StoreOp,
-    SyncPolicy, Universe, Value, ValuePool, Verdict, WalDir, WalError, Witness,
+    MaintenanceError, NotIndependentReason, OpOutcome, Predicate, Projection, Query, Relation,
+    RelationScheme, RelationShard, Row, Rows, Satisfaction, Schema, SchemaBuilder, SchemeId, Store,
+    StoreConfig, StoreError, StoreOp, SyncPolicy, Tuple, Universe, Value, ValuePool, Verdict,
+    WalDir, WalError, Witness,
 };
 
 // Crate-module paths the test files reach around the prelude for.
@@ -81,6 +82,22 @@ fn entry_point_signatures_are_stable() {
         LocalMaintainer::remove;
     let _read: fn(&Store, SchemeId) -> Result<Relation, StoreError> = Store::read;
     let _count: fn(&Store, SchemeId) -> Result<usize, StoreError> = Store::count;
+    // The query subsystem: predicates push down through every layer.
+    let _scan: fn(&RelationShard, &Relation, &Predicate) -> Result<Vec<Tuple>, MaintenanceError> =
+        RelationShard::scan;
+    let _local_query: fn(
+        &LocalMaintainer,
+        SchemeId,
+        &Predicate,
+    ) -> Result<Vec<Tuple>, MaintenanceError> = LocalMaintainer::query;
+    let _store_query: fn(&Store, SchemeId, &Predicate) -> Result<Vec<Tuple>, StoreError> =
+        Store::query;
+    let _db_query_raw: fn(&Database, SchemeId, &Predicate) -> Result<Vec<Tuple>, ApiError> =
+        Database::query_raw;
+    let _db_join_raw: fn(&Database, &[SchemeId]) -> Result<Relation, ApiError> = Database::join_raw;
+    let _eq = |v: &str| -> Cond { eq(v) };
+    let _pred_matches: fn(&Predicate, AttrSet, &[Value]) -> bool = Predicate::matches;
+    let _proj_apply: fn(&Projection, AttrSet, &[Value]) -> Vec<Value> = Projection::apply;
     let _store_from_analysis: fn(
         &DatabaseSchema,
         &IndependenceAnalysis,
@@ -152,6 +169,17 @@ fn prelude_supports_the_database_quickstart() {
         db.rows("CT").unwrap(),
         vec![vec!["CS402".to_string(), "Jones".to_string()]]
     );
+    // The fluent query + barrier-free join surface, via prelude alone.
+    let rows: Rows = db
+        .query("CT")
+        .filter("course", eq("CS402"))
+        .select(["teacher"])
+        .run()
+        .unwrap();
+    let row: &Row = rows.iter().next().unwrap();
+    assert_eq!(row.get("teacher"), Some("Jones"));
+    db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+    assert_eq!(db.join(["CT", "CHR"]).unwrap().len(), 1);
 
     let err = Schema::builder()
         .relation("CT", ["course", "teacher"])
