@@ -283,38 +283,14 @@ impl Database {
         values: impl IntoIterator<Item = S>,
         intern: bool,
     ) -> Result<(SchemeId, Option<Vec<Value>>), Error> {
-        let id = self.schema.scheme_id(relation)?;
-        let layout = self.schema.layout(id);
-        let arity = layout.columns.len();
-        let mut tuple = vec![Value::int(0); arity];
-        let mut supplied = 0usize;
-        let mut all_known = true;
-        for (j, value) in values.into_iter().enumerate() {
-            if j < arity {
-                let resolved = if intern {
-                    Some(intern_name(
-                        &mut self.pool,
-                        &mut self.pool_log,
-                        value.as_ref(),
-                    )?)
-                } else {
-                    self.pool.get(value.as_ref())
-                };
-                match resolved {
-                    Some(v) => tuple[layout.perm[j]] = v,
-                    None => all_known = false,
-                }
-            }
-            supplied += 1;
-        }
-        if supplied != arity {
-            return Err(RelationalError::ArityMismatch {
-                expected: arity,
-                found: supplied,
-            }
-            .into());
-        }
-        Ok((id, all_known.then_some(tuple)))
+        resolve_row(
+            &self.schema,
+            &mut self.pool,
+            &mut self.pool_log,
+            relation,
+            values,
+            intern,
+        )
     }
 
     /// Inserts a row into a relation, values in the column order the
@@ -399,63 +375,13 @@ impl Database {
         filters: &[(String, Cond)],
         select: Option<Vec<String>>,
     ) -> Result<Rows, Error> {
-        let id = self.schema.scheme_id(relation)?;
-        let layout = self.schema.layout(id);
-        let attrs = self.schema.definition.attrs(id);
-        let attr_ids: Vec<AttrId> = attrs.iter().collect();
-        // Declared column name → canonical attribute, via the layout.
-        let attr_of = |column: &str| -> Result<AttrId, Error> {
-            layout
-                .columns
-                .iter()
-                .position(|c| c == column)
-                .map(|j| attr_ids[layout.perm[j]])
-                .ok_or_else(|| Error::UnknownColumn {
-                    relation: relation.to_string(),
-                    column: column.to_string(),
-                })
-        };
-        // Filters → typed predicate.  A value this database never
-        // interned cannot equal any stored value, so the query is
-        // unsatisfiable — but names are still validated first.
-        let mut predicate = Predicate::new();
-        let mut satisfiable = true;
-        for (column, cond) in filters {
-            let attr = attr_of(column)?;
-            let Cond::Eq(value) = cond;
-            match self.pool.get(value) {
-                Some(v) => predicate = predicate.and_eq(attr, v),
-                None => satisfiable = false,
-            }
-        }
-        // Select list → projection (declaration order when omitted).
-        let columns: Vec<String> = match select {
-            Some(cols) => cols,
-            None => layout.columns.clone(),
-        };
-        let mut selected = Vec::with_capacity(columns.len());
-        for c in &columns {
-            selected.push(attr_of(c)?);
-        }
-        let projection = Projection::Columns(selected);
-        let columns: Arc<[String]> = columns.into();
-        let tuples = if satisfiable {
-            self.engine.as_dyn().query(id, &predicate)?
+        let plan = plan_query(&self.schema, &self.pool, relation, filters, select)?;
+        let tuples = if plan.satisfiable {
+            self.engine.as_dyn().query(plan.id, &plan.predicate)?
         } else {
             Vec::new()
         };
-        let rows = tuples
-            .iter()
-            .map(|t| Row {
-                columns: columns.clone(),
-                values: projection
-                    .apply(attrs, t)
-                    .into_iter()
-                    .map(|v| self.pool.render(v))
-                    .collect(),
-            })
-            .collect();
-        Ok(Rows::new(columns, rows))
+        Ok(render_rows(&self.schema, &self.pool, &plan, &tuples))
     }
 
     /// Typed-level query for callers holding canonical predicates — the
@@ -566,6 +492,162 @@ impl Database {
     pub fn apply_batch(&mut self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
         self.engine.as_dyn_mut().apply_batch(ops)
     }
+
+    /// Converts this database into a [`crate::SharedDatabase`] — the
+    /// `&self` front-end many threads (e.g. a network server's
+    /// connection handlers) share directly.  Only the concurrent sharded
+    /// engine can back it (`&Store` is `Sync`; the sequential engines
+    /// are not), so any other engine is refused with
+    /// [`Error::NotSharded`].
+    pub fn into_shared(self) -> Result<crate::SharedDatabase, Error> {
+        match self.engine {
+            EngineBox::Sharded(store) => Ok(crate::SharedDatabase::assemble(
+                self.schema,
+                store,
+                self.pool,
+                self.pool_log,
+            )),
+            EngineBox::Boxed(_) => Err(Error::NotSharded),
+        }
+    }
+}
+
+/// The name-resolution core shared by [`Database`] and
+/// [`crate::SharedDatabase`]: a relation name plus a declaration-order
+/// value row become `(id, canonical tuple)`.  See
+/// [`Database::resolve`][Database::insert] for the `intern` semantics.
+pub(crate) fn resolve_row<S: AsRef<str>>(
+    schema: &Schema,
+    pool: &mut ValuePool,
+    pool_log: &mut Option<NameLog>,
+    relation: &str,
+    values: impl IntoIterator<Item = S>,
+    intern: bool,
+) -> Result<(SchemeId, Option<Vec<Value>>), Error> {
+    let id = schema.scheme_id(relation)?;
+    let layout = schema.layout(id);
+    let arity = layout.columns.len();
+    let mut tuple = vec![Value::int(0); arity];
+    let mut supplied = 0usize;
+    let mut all_known = true;
+    for (j, value) in values.into_iter().enumerate() {
+        if j < arity {
+            let resolved = if intern {
+                Some(intern_name(pool, pool_log, value.as_ref())?)
+            } else {
+                pool.get(value.as_ref())
+            };
+            match resolved {
+                Some(v) => tuple[layout.perm[j]] = v,
+                None => all_known = false,
+            }
+        }
+        supplied += 1;
+    }
+    if supplied != arity {
+        return Err(RelationalError::ArityMismatch {
+            expected: arity,
+            found: supplied,
+        }
+        .into());
+    }
+    Ok((id, all_known.then_some(tuple)))
+}
+
+/// A compiled string-level query: the pushed-down predicate plus the
+/// projection and output columns for rendering — everything that needs
+/// the pool, computed up front, so the engine round trip itself can run
+/// without holding any name state.
+pub(crate) struct QueryPlan {
+    pub(crate) id: SchemeId,
+    pub(crate) predicate: Predicate,
+    /// False when a filter names a value this database never interned:
+    /// nothing stored can match, so the engine is not consulted at all.
+    pub(crate) satisfiable: bool,
+    pub(crate) projection: Projection,
+    pub(crate) columns: Arc<[String]>,
+}
+
+/// Compiles a string-level query against the schema and pool — the
+/// planning half of [`Database::run_query`], shared with
+/// [`crate::SharedDatabase`].
+pub(crate) fn plan_query(
+    schema: &Schema,
+    pool: &ValuePool,
+    relation: &str,
+    filters: &[(String, Cond)],
+    select: Option<Vec<String>>,
+) -> Result<QueryPlan, Error> {
+    let id = schema.scheme_id(relation)?;
+    let layout = schema.layout(id);
+    let attrs = schema.definition.attrs(id);
+    let attr_ids: Vec<AttrId> = attrs.iter().collect();
+    // Declared column name → canonical attribute, via the layout.
+    let attr_of = |column: &str| -> Result<AttrId, Error> {
+        layout
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .map(|j| attr_ids[layout.perm[j]])
+            .ok_or_else(|| Error::UnknownColumn {
+                relation: relation.to_string(),
+                column: column.to_string(),
+            })
+    };
+    // Filters → typed predicate.  A value this database never
+    // interned cannot equal any stored value, so the query is
+    // unsatisfiable — but names are still validated first.
+    let mut predicate = Predicate::new();
+    let mut satisfiable = true;
+    for (column, cond) in filters {
+        let attr = attr_of(column)?;
+        let Cond::Eq(value) = cond;
+        match pool.get(value) {
+            Some(v) => predicate = predicate.and_eq(attr, v),
+            None => satisfiable = false,
+        }
+    }
+    // Select list → projection (declaration order when omitted).
+    let columns: Vec<String> = match select {
+        Some(cols) => cols,
+        None => layout.columns.clone(),
+    };
+    let mut selected = Vec::with_capacity(columns.len());
+    for c in &columns {
+        selected.push(attr_of(c)?);
+    }
+    Ok(QueryPlan {
+        id,
+        predicate,
+        satisfiable,
+        projection: Projection::Columns(selected),
+        columns: columns.into(),
+    })
+}
+
+/// Renders engine-shipped tuples through a compiled plan — the other
+/// half of [`Database::run_query`], shared with
+/// [`crate::SharedDatabase`].
+pub(crate) fn render_rows(
+    schema: &Schema,
+    pool: &ValuePool,
+    plan: &QueryPlan,
+    tuples: &[Tuple],
+) -> Rows {
+    let attrs = schema.definition.attrs(plan.id);
+    let rows = tuples
+        .iter()
+        .map(|t| Row {
+            columns: plan.columns.clone(),
+            values: plan
+                .projection
+                .apply(attrs, t)
+                .into_iter()
+                .map(|v| pool.render(v))
+                .collect(),
+        })
+        .collect();
+    Rows::new(plan.columns.clone(), rows)
 }
 
 /// Interns a name, writing it through the durable name log first when
@@ -574,7 +656,7 @@ impl Database {
 /// the id to a different string and alias stored tuples.  A free
 /// function (not a method) so callers holding a layout borrow on the
 /// schema can still reach the disjoint pool fields.
-fn intern_name(
+pub(crate) fn intern_name(
     pool: &mut ValuePool,
     pool_log: &mut Option<NameLog>,
     name: &str,

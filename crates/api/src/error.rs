@@ -53,6 +53,10 @@ pub enum Error {
     /// [`crate::Database::join`] was called with an empty relation list
     /// (the natural join has no neutral element over an unknown scheme).
     EmptyJoin,
+    /// [`crate::Database::into_shared`] was called on a database whose
+    /// engine is not the concurrent sharded store — only the store is
+    /// `Sync`, so only it can back a [`crate::SharedDatabase`].
+    NotSharded,
     /// A functional-dependency spec handed to
     /// [`crate::SchemaBuilder::fd`] did not parse against the declared
     /// columns.  Carries the spec, the byte span of the offending
@@ -96,6 +100,10 @@ impl std::fmt::Display for Error {
                 write!(f, "relation `{relation}` has no column `{column}`")
             }
             Error::EmptyJoin => write!(f, "join requires at least one relation"),
+            Error::NotSharded => write!(
+                f,
+                "operation requires the concurrent sharded engine (EngineKind::Sharded or a durable open)"
+            ),
             Error::FdParse { spec, span, reason } => write!(
                 f,
                 "invalid functional dependency `{spec}`: {reason} (bytes {}..{})",

@@ -61,9 +61,11 @@ mod engine;
 mod error;
 mod query;
 mod schema;
+mod shared;
 
 pub use database::Database;
 pub use engine::{Engine, EngineKind};
 pub use error::Error;
 pub use query::{eq, Cond, Query, Row, Rows};
 pub use schema::{Schema, SchemaBuilder};
+pub use shared::SharedDatabase;

@@ -1,0 +1,222 @@
+//! [`SharedDatabase`]: the `&self` front-end a server shares across
+//! connection threads.
+//!
+//! [`crate::Database`]'s string-level writes need `&mut self` because
+//! they intern names into the pool.  That is the right shape for a
+//! single-owner embedded handle, but a network front-end has many
+//! connection threads that all want to speak strings concurrently.
+//! This type restores `&self` everywhere by moving the name state
+//! (pool + durable name log) behind one mutex while the engine — the
+//! concurrent sharded [`Store`], which is already `Sync` — is driven
+//! directly, outside the lock.
+//!
+//! ## Why the lock does not serialize the database
+//!
+//! The mutex guards *name resolution only*: the string→[`ids_relational::Value`]
+//! interning table and the rendering table back.  Every actual
+//! operation — FD probe, commit, WAL append, query evaluation — runs
+//! on the store's shard workers **after the lock is released**, so
+//! Theorem 3's shard-per-relation concurrency is untouched: two
+//! clients writing different relations still proceed with zero shared
+//! enforcement state.  The critical sections are O(row) hash lookups
+//! (plus, on a durable database, the name-log append for a never-seen
+//! string — the fsync that must precede any tuple referencing it).
+
+use std::sync::Mutex;
+
+use ids_core::InsertOutcome;
+use ids_relational::{DatabaseState, ValuePool};
+use ids_store::Store;
+use ids_wal::NameLog;
+
+use crate::database::{plan_query, render_rows, resolve_row};
+use crate::error::Error;
+use crate::query::{Cond, Rows};
+use crate::schema::Schema;
+
+/// The name state guarded by one mutex: the interning pool and, on a
+/// durable database, the log that makes it crash-safe.
+struct Names {
+    pool: ValuePool,
+    log: Option<NameLog>,
+}
+
+/// A thread-shared database: the string-level surface of
+/// [`crate::Database`] with every method on `&self`, backed by the
+/// concurrent sharded [`Store`].
+///
+/// Obtained via [`crate::Database::into_shared`] (sharded and durable
+/// engines only — [`Error::NotSharded`] otherwise).  Wrap it in an
+/// `Arc` and hand clones to as many threads as you like:
+///
+/// ```
+/// use std::sync::Arc;
+/// use ids_api::{Database, EngineKind, Schema};
+/// use ids_store::StoreConfig;
+///
+/// let schema = Schema::builder()
+///     .relation("CT", ["course", "teacher"])
+///     .relation("CS", ["course", "student"])
+///     .fd("course -> teacher")
+///     .build()?;
+/// let db = Database::open(schema, EngineKind::Sharded(StoreConfig::default()))?;
+/// let shared = Arc::new(db.into_shared()?);
+///
+/// let handles: Vec<_> = (0..4)
+///     .map(|i| {
+///         let shared = Arc::clone(&shared);
+///         std::thread::spawn(move || {
+///             shared.insert("CS", [format!("CS{i}"), "Riley".into()]).unwrap();
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(shared.count("CS")?, 4);
+/// # Ok::<(), ids_api::Error>(())
+/// ```
+///
+/// The consistency model is inherited unchanged: [`SharedDatabase::rows`]
+/// / [`SharedDatabase::query`] are barrier-free per-relation reads,
+/// [`SharedDatabase::snapshot`] is the one cross-relation barrier.
+pub struct SharedDatabase {
+    schema: Schema,
+    store: Store,
+    names: Mutex<Names>,
+}
+
+impl SharedDatabase {
+    /// Crate-internal constructor — the public path is
+    /// [`crate::Database::into_shared`].
+    pub(crate) fn assemble(
+        schema: Schema,
+        store: Store,
+        pool: ValuePool,
+        log: Option<NameLog>,
+    ) -> Self {
+        SharedDatabase {
+            schema,
+            store,
+            names: Mutex::new(Names { pool, log }),
+        }
+    }
+
+    /// The schema handle the database serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The underlying concurrent [`Store`] — for typed-level callers
+    /// (batch submission, raw predicates) that bypass the name layer.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Locks the name state; a poisoned mutex means a panic mid-intern
+    /// on another thread, and continuing would risk logging tuples
+    /// whose names were never made durable — so propagate the panic.
+    fn names(&self) -> std::sync::MutexGuard<'_, Names> {
+        self.names
+            .lock()
+            .expect("name-state mutex poisoned: a thread panicked while interning")
+    }
+
+    /// Inserts a row; see [`crate::Database::insert`].  Name interning
+    /// happens under the name lock, the FD probe and commit on the
+    /// owning shard after it is released.
+    pub fn insert<S: AsRef<str>>(
+        &self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<InsertOutcome, Error> {
+        let (id, tuple) = {
+            let names = &mut *self.names();
+            resolve_row(
+                &self.schema,
+                &mut names.pool,
+                &mut names.log,
+                relation,
+                values,
+                true,
+            )?
+        };
+        let tuple = tuple.expect("interning resolves every value");
+        self.store.insert(id, tuple).map_err(Into::into)
+    }
+
+    /// Removes a row; see [`crate::Database::remove`] for the
+    /// string-level semantics (a never-interned value is vacuously
+    /// absent).
+    pub fn remove<S: AsRef<str>>(
+        &self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<bool, Error> {
+        let resolved = {
+            let names = &mut *self.names();
+            resolve_row(
+                &self.schema,
+                &mut names.pool,
+                &mut names.log,
+                relation,
+                values,
+                false,
+            )?
+        };
+        match resolved {
+            (id, Some(tuple)) => self.store.remove(id, tuple).map_err(Into::into),
+            (_, None) => Ok(false),
+        }
+    }
+
+    /// Runs a string-level query: filters become a typed predicate the
+    /// owning shard evaluates, `select` picks output columns (`None` =
+    /// declaration order).  The engine round trip runs between two
+    /// short name-lock sections (plan, then render) — tuples are
+    /// shipped and filtered with no lock held.
+    pub fn query(
+        &self,
+        relation: &str,
+        filters: &[(String, Cond)],
+        select: Option<Vec<String>>,
+    ) -> Result<Rows, Error> {
+        let plan = plan_query(&self.schema, &self.names().pool, relation, filters, select)?;
+        let tuples = if plan.satisfiable {
+            self.store.query(plan.id, &plan.predicate)?
+        } else {
+            Vec::new()
+        };
+        Ok(render_rows(
+            &self.schema,
+            &self.names().pool,
+            &plan,
+            &tuples,
+        ))
+    }
+
+    /// Reads one relation's rows as strings — [`SharedDatabase::query`]
+    /// with no filter; barrier-free.
+    pub fn rows(&self, relation: &str) -> Result<Vec<Vec<String>>, Error> {
+        Ok(self.query(relation, &[], None)?.into_string_rows())
+    }
+
+    /// Number of rows currently in a relation (barrier-free; no lock,
+    /// no tuples shipped).
+    pub fn count(&self, relation: &str) -> Result<usize, Error> {
+        let id = self.schema.scheme_id(relation)?;
+        self.store.count(id).map_err(Into::into)
+    }
+
+    /// A consistent cut of the whole database — the barrier read; see
+    /// [`crate::Database::snapshot`].
+    pub fn snapshot(&self) -> Result<DatabaseState, Error> {
+        self.store.snapshot().map_err(Into::into)
+    }
+
+    /// Checkpoints a durable database; typed
+    /// [`ids_store::StoreError::NotDurable`] on in-memory stores.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        self.store.checkpoint().map_err(Into::into)
+    }
+}

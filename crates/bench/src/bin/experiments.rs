@@ -156,6 +156,10 @@ fn main() {
         e10_query_pushdown(smoke, &mut rep);
         rep.flush("E10");
     }
+    if want("e11") {
+        e11_network_front_end(smoke, &mut rep);
+        rep.flush("E11");
+    }
 }
 
 /// Truncates a size sweep to its first element in `--smoke` mode.
@@ -954,6 +958,72 @@ fn e10_query_pushdown(smoke: bool, rep: &mut Reporter) {
     rep.note(format!(
         "host CPUs: {} (the pushdown advantage is index-vs-scan plus \
          shipped-bytes, so it holds even at 1 CPU)",
+        available_cpus()
+    ));
+}
+
+/// E11 — the TCP front-end: pipelined loopback fleets, then deliberate
+/// overload against bounded per-connection queues.  The structural
+/// claims (every request answered exactly once, sheds typed, sessions
+/// alive afterwards) are asserted inside the kernel itself.
+fn e11_network_front_end(smoke: bool, rep: &mut Reporter) {
+    use ids_bench::net::{overload_sweep, sweep};
+    use ids_bench::throughput::available_cpus;
+    let rows: Vec<Vec<String>> = sweep(smoke)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.clients),
+                format!("{}", r.per_client),
+                format!("{}", r.window),
+                fmt_duration(r.elapsed),
+                format!("{:.0}", r.ops_per_sec),
+            ]
+        })
+        .collect();
+    rep.table(
+        "E11a — pipelined insert throughput over TCP loopback, one session per client, \
+         key-chain relations (claim: the network layer adds plumbing, not coordination — \
+         shards never synchronize across connections)",
+        &[
+            "clients",
+            "inserts/client",
+            "window",
+            "elapsed",
+            "ops/s (fleet)",
+        ],
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = overload_sweep(smoke)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.clients),
+                format!("{}", r.queue_depth),
+                format!("{}", r.clients * r.burst),
+                format!("{}", r.served),
+                format!("{}", r.shed),
+                fmt_duration(r.elapsed),
+            ]
+        })
+        .collect();
+    rep.table(
+        "E11b — deliberate overload: full-scan bursts against bounded per-connection queues \
+         (claim: graceful degradation — excess requests shed with typed Overloaded replies, \
+         accepted work completes, every session answers a ping afterwards)",
+        &[
+            "clients",
+            "queue depth",
+            "requests",
+            "served",
+            "shed (typed)",
+            "elapsed",
+        ],
+        &rows,
+    );
+    rep.note(format!(
+        "host CPUs: {} (absolute ops/s measures the protocol stack at 1 CPU; the \
+         conservation and typed-shed invariants are asserted in the kernel and hold anywhere)",
         available_cpus()
     ));
 }

@@ -92,6 +92,7 @@ pub fn run_store_durable(
             },
             sync,
             app: Vec::new(),
+            ..Default::default()
         },
     )
     .expect("family is independent");

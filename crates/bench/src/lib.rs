@@ -3,13 +3,14 @@
 //! EXPERIMENTS.md format, machine-readable result emission ([`json`]),
 //! the E7 store-throughput kernel ([`throughput`]), the E8
 //! read-vs-snapshot kernel ([`reads`]), the E9 durability-overhead +
-//! recovery kernel ([`durability`]) and the E10 query-pushdown kernel
-//! ([`queries`]).
+//! recovery kernel ([`durability`]), the E10 query-pushdown kernel
+//! ([`queries`]) and the E11 network front-end kernel ([`net`]).
 
 #![warn(missing_docs)]
 
 pub mod durability;
 pub mod json;
+pub mod net;
 pub mod queries;
 pub mod reads;
 pub mod throughput;

@@ -20,6 +20,7 @@ fn experiments_smoke_covers_all_sections() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
+        "E11a", "E11b",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -110,6 +111,30 @@ fn query_pushdown_smoke_ships_fewer_tuples_than_read() {
     }
 }
 
+/// The E11 kernels (shared with `experiments e11`) must run end to end
+/// at smoke sizes.  Wall-clock belongs to the full-size experiment;
+/// here the structural invariants are asserted: the fleet's accepted
+/// inserts all round-trip, and under deliberate overload every request
+/// is answered exactly once — served rows plus typed `Overloaded`
+/// sheds conserve the burst, with at least one of each against a
+/// depth-1 queue.
+#[test]
+fn network_smoke_conserves_requests_under_overload() {
+    let rows = ids_bench::net::sweep(true);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(row.elapsed > std::time::Duration::ZERO);
+        assert!(row.ops_per_sec > 0.0);
+    }
+    let rows = ids_bench::net::overload_sweep(true);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert_eq!(row.served + row.shed, row.clients * row.burst);
+        assert!(row.served > 0, "the worker must complete accepted scans");
+        assert!(row.shed > 0, "a depth-1 queue under a burst must shed");
+    }
+}
+
 /// `--json` must land one well-formed `BENCH_<section>.json` per
 /// section, in the invocation directory.
 #[test]
@@ -128,7 +153,7 @@ fn experiments_json_mode_writes_bench_files() {
         String::from_utf8_lossy(&out.stderr)
     );
     for section in [
-        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
     ] {
         let path = dir.join(format!("BENCH_{section}.json"));
         let body = std::fs::read_to_string(&path)

@@ -1,0 +1,281 @@
+//! # ids-client
+//!
+//! The blocking TCP client for `ids-server`: connect, handshake, then
+//! speak strings — with explicit support for **pipelining**.
+//!
+//! Every convenience method ([`Client::insert`], [`Client::query`],
+//! ...) is one request / one reply.  The lower-level pair
+//! [`Client::send`] / [`Client::recv`] lets a caller put many requests
+//! on the wire before reading any reply; replies are matched by the
+//! request id the server echoes, so they may be consumed in any order
+//! — including typed [`WireError::Overloaded`] replies for requests
+//! the server shed under backpressure, which can overtake queued work.
+//!
+//! ```no_run
+//! use ids_client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! client.insert("CT", ["CS402", "Jones"])?;
+//! let rows = client.query("CT", &[("course", "CS402")], None)?;
+//! assert_eq!(rows.rows, vec![vec!["CS402".to_string(), "Jones".to_string()]]);
+//! # Ok::<(), ids_client::ClientError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ids_server::wire::{
+    decode_reply, encode_request, FrameError, FrameReader, Reply, Request, WireError, WireOutcome,
+    WIRE_VERSION,
+};
+
+/// Everything that can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The server's byte stream was corrupt (bad CRC, oversize frame,
+    /// EOF mid-frame) or a reply payload did not decode.
+    Corrupt(String),
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// The server violated the protocol (e.g. a non-Hello answer to
+    /// the handshake, or a reply kind that does not match the request).
+    Protocol(String),
+    /// The connection closed while a reply was still awaited.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Corrupt(what) => write!(f, "corrupt reply stream: {what}"),
+            Self::Server(e) => write!(f, "server error: {e}"),
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+            Self::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Corrupt(what) => ClientError::Corrupt(what.to_string()),
+        }
+    }
+}
+
+/// Rendered rows from a [`Client::query`]: column names plus one
+/// `Vec<String>` per row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSet {
+    /// Output column names, in the order requested (declaration order
+    /// when no projection was given).
+    pub columns: Vec<String>,
+    /// The rows, aligned with `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A blocking connection to an `ids-server`, already past the Hello
+/// handshake.
+pub struct Client {
+    write_half: TcpStream,
+    frames: FrameReader<TcpStream>,
+    next_id: u64,
+    /// Replies that arrived while awaiting a different id.
+    stash: HashMap<u64, Reply>,
+    catalog: Vec<(String, Vec<String>)>,
+}
+
+impl Client {
+    /// Connects and performs the Hello handshake, returning a session
+    /// that knows the server's relation catalog.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let write_half = TcpStream::connect(addr)?;
+        let read_half = write_half.try_clone()?;
+        let mut client = Client {
+            write_half,
+            frames: FrameReader::new(read_half),
+            next_id: 0,
+            stash: HashMap::new(),
+            catalog: Vec::new(),
+        };
+        let id = client.send(Request::Hello {
+            version: WIRE_VERSION,
+        })?;
+        match client.recv(id)? {
+            Reply::Hello { relations, .. } => client.catalog = relations,
+            Reply::Error(e) => return Err(ClientError::Server(e)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Hello reply, got {other:?}"
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// The relation catalog from the handshake: `(name, declared
+    /// columns)` for every relation the server maintains.
+    pub fn catalog(&self) -> &[(String, Vec<String>)] {
+        &self.catalog
+    }
+
+    /// Puts one request on the wire without waiting, returning its id —
+    /// the pipelining primitive.  Collect ids, then [`Client::recv`]
+    /// each.
+    pub fn send(&mut self, req: Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.write_half.write_all(&encode_request(id, &req))?;
+        Ok(id)
+    }
+
+    /// Blocks until the reply for `id` arrives.  Replies for other
+    /// in-flight ids encountered on the way are stashed and returned
+    /// by their own `recv` calls — out-of-order arrival is fine.
+    pub fn recv(&mut self, id: u64) -> Result<Reply, ClientError> {
+        if let Some(reply) = self.stash.remove(&id) {
+            return Ok(reply);
+        }
+        loop {
+            let payload = self.frames.next_payload()?.ok_or(ClientError::Closed)?;
+            let (got, reply) =
+                decode_reply(&payload).map_err(|(_, e)| ClientError::Corrupt(e.to_string()))?;
+            if got == id {
+                return Ok(reply);
+            }
+            self.stash.insert(got, reply);
+        }
+    }
+
+    /// One request, one reply.
+    fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
+        let id = self.send(req)?;
+        match self.recv(id)? {
+            Reply::Error(e) => Err(ClientError::Server(e)),
+            reply => Ok(reply),
+        }
+    }
+
+    fn protocol_err<T>(got: Reply, wanted: &str) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!(
+            "expected {wanted} reply, got {got:?}"
+        )))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Self::protocol_err(other, "Pong"),
+        }
+    }
+
+    /// Inserts a row; FD violations are outcomes, not errors.
+    pub fn insert<S: Into<String>>(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<WireOutcome, ClientError> {
+        let req = Request::Insert {
+            relation: relation.to_string(),
+            values: values.into_iter().map(Into::into).collect(),
+        };
+        match self.call(req)? {
+            Reply::Insert(outcome) => Ok(outcome),
+            other => Self::protocol_err(other, "Insert"),
+        }
+    }
+
+    /// Removes a row; `Ok(true)` when it was present.
+    pub fn remove<S: Into<String>>(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<bool, ClientError> {
+        let req = Request::Remove {
+            relation: relation.to_string(),
+            values: values.into_iter().map(Into::into).collect(),
+        };
+        match self.call(req)? {
+            Reply::Remove(present) => Ok(present),
+            other => Self::protocol_err(other, "Remove"),
+        }
+    }
+
+    /// Queries one relation with `(column, value)` equality filters
+    /// and an optional projection (`None` = declaration order).
+    pub fn query(
+        &mut self,
+        relation: &str,
+        filters: &[(&str, &str)],
+        select: Option<&[&str]>,
+    ) -> Result<RowSet, ClientError> {
+        let req = Request::Query {
+            relation: relation.to_string(),
+            filters: filters
+                .iter()
+                .map(|(c, v)| (c.to_string(), v.to_string()))
+                .collect(),
+            select: select.map(|cols| cols.iter().map(|c| c.to_string()).collect()),
+        };
+        match self.call(req)? {
+            Reply::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Self::protocol_err(other, "Rows"),
+        }
+    }
+
+    /// All rows of one relation (barrier-free read).
+    pub fn rows(&mut self, relation: &str) -> Result<Vec<Vec<String>>, ClientError> {
+        Ok(self.query(relation, &[], None)?.rows)
+    }
+
+    /// Barrier-free row count of one relation.
+    pub fn count(&mut self, relation: &str) -> Result<u64, ClientError> {
+        match self.call(Request::Count {
+            relation: relation.to_string(),
+        })? {
+            Reply::Count(n) => Ok(n),
+            other => Self::protocol_err(other, "Count"),
+        }
+    }
+
+    /// The cross-relation barrier: per-relation counts from one
+    /// consistent cut.
+    pub fn snapshot(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.call(Request::Snapshot)? {
+            Reply::Snapshot { counts } => Ok(counts),
+            other => Self::protocol_err(other, "Snapshot"),
+        }
+    }
+
+    /// Checkpoints a durable server-side database.
+    pub fn checkpoint(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Checkpoint)? {
+            Reply::Checkpointed => Ok(()),
+            other => Self::protocol_err(other, "Checkpointed"),
+        }
+    }
+}

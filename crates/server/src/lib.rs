@@ -1,0 +1,27 @@
+//! # ids-server
+//!
+//! The network front-end: [`ids_api::SharedDatabase`] served over TCP
+//! with a CRC-framed, pipelined, typed wire protocol — `std::net`
+//! only, no async runtime.
+//!
+//! The paper's Theorem 3 is what makes a *threaded* server the honest
+//! architecture here: an independent schema means each relation is
+//! maintained by its own shard with zero cross-shard coordination, so
+//! all a network layer has to do is keep sockets fed — the database
+//! itself already scales across connections.  Each connection gets a
+//! reader, a worker, and a writer thread; the interesting machinery is
+//! backpressure (bounded job queues shedding with typed
+//! [`wire::WireError::Overloaded`] replies) and the guarantee that a
+//! client dropping mid-batch can never wedge a server thread.
+//!
+//! * [`wire`] — the protocol: framing, message types, total decoding.
+//! * [`Server`] — accept loop + per-connection pipeline.
+//!
+//! The matching blocking client lives in the `ids-client` crate.
+
+#![warn(missing_docs)]
+
+mod server;
+pub mod wire;
+
+pub use server::{Server, ServerConfig};

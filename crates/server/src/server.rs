@@ -1,0 +1,387 @@
+//! The TCP front-end: an accept loop plus three threads per
+//! connection, driving one shared database.
+//!
+//! ## Per-connection pipeline
+//!
+//! ```text
+//! socket ─read→ [reader] ─try_send→ bounded job queue ─recv→ [worker]
+//!                  │                                            │
+//!                  └────── Overloaded / handshake replies ──┐   │
+//!                                                           ▼   ▼
+//!                                   socket ←write─ [writer] ←─ replies
+//! ```
+//!
+//! * The **reader** decodes frames and `try_send`s jobs into a queue
+//!   bounded by [`ServerConfig::queue_depth`].  A full queue **sheds**
+//!   the request with a typed [`WireError::Overloaded`] reply instead
+//!   of queueing without bound or stalling the socket — accepted
+//!   requests still complete, and the accept loop never blocks on a
+//!   slow connection.
+//! * The **worker** executes jobs in order against the
+//!   [`SharedDatabase`]; the store's shard workers provide the actual
+//!   concurrency across connections.
+//! * The **writer** owns the write half.  When a client drops
+//!   mid-batch the writer's `write_all` fails, it shuts the socket
+//!   down (waking a blocked reader) and exits; the closed reply
+//!   channel then unwinds the worker and reader.  No thread is ever
+//!   left blocked on a dead connection — see
+//!   `crates/server/tests/e2e.rs` for the regression test.
+//!
+//! Replies are matched to requests by id, not position: shed
+//! `Overloaded` replies go straight to the writer and can overtake
+//! queued work, which is exactly why the protocol echoes request ids.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ids_api::{eq, Cond, Error, SharedDatabase};
+use ids_core::InsertOutcome;
+use ids_relational::RelationalError;
+use ids_store::StoreError;
+
+use crate::wire::{
+    decode_request, encode_reply, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
+};
+
+/// Live connections: a socket clone (for forced shutdown) plus the
+/// connection thread's handle (for joining).
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Depth of each connection's job queue.  A request arriving while
+    /// the queue holds this many is shed with
+    /// [`WireError::Overloaded`] — backpressure by typed refusal, not
+    /// by unbounded buffering or socket stall.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_depth: 64 }
+    }
+}
+
+/// A running TCP server over one [`SharedDatabase`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use ids_api::{Database, EngineKind, Schema};
+/// use ids_server::Server;
+/// use ids_store::StoreConfig;
+///
+/// let schema = Schema::builder()
+///     .relation("CT", ["course", "teacher"])
+///     .fd("course -> teacher")
+///     .build()?;
+/// let db = Database::open(schema, EngineKind::Sharded(StoreConfig::default()))?;
+/// let server = Server::serve(Arc::new(db.into_shared()?), "127.0.0.1:0")?;
+/// println!("listening on {}", server.local_addr());
+/// # server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections with the default [`ServerConfig`].
+    pub fn serve(shared: Arc<SharedDatabase>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Server::serve_with(shared, addr, ServerConfig::default())
+    }
+
+    /// [`Server::serve`] with explicit tuning.
+    pub fn serve_with(
+        shared: Arc<SharedDatabase>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::default();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let mut conns = conns.lock().expect("connection registry poisoned");
+                    // Finished connections are pruned lazily, so the
+                    // registry stays proportional to live connections.
+                    conns.retain(|(_, handle)| !handle.is_finished());
+                    let registered = stream.try_clone().ok();
+                    let shared = Arc::clone(&shared);
+                    let config = config.clone();
+                    let handle =
+                        std::thread::spawn(move || serve_connection(stream, shared, config));
+                    if let Some(registered) = registered {
+                        conns.push((registered, handle));
+                    }
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address — the one to hand to
+    /// `ids-client`'s `Client::connect` in tests using port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every live connection, and joins all
+    /// server threads.  In-flight requests on closed connections get
+    /// socket errors, exactly as if the client had dropped.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("connection registry poisoned"));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One connection: this thread is the reader; worker and writer are
+/// spawned and joined before it returns.
+fn serve_connection(stream: TcpStream, shared: Arc<SharedDatabase>, config: ServerConfig) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Reply)>();
+    let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Request)>(config.queue_depth.max(1));
+
+    let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
+    let worker = {
+        let shared = Arc::clone(&shared);
+        let reply_tx = reply_tx.clone();
+        std::thread::spawn(move || run_jobs(shared, job_rx, reply_tx))
+    };
+
+    read_requests(&read_half, &shared, &job_tx, &reply_tx);
+
+    // Unwind: closing the job queue drains the worker, and once both
+    // reply senders are gone the writer drains and exits.
+    drop(job_tx);
+    drop(reply_tx);
+    let _ = worker.join();
+    let _ = writer.join();
+    // The accept loop's registry holds a clone of this socket (for
+    // forced shutdown), so dropping our halves is not enough to close
+    // the connection — shut it down explicitly so the peer sees EOF.
+    let _ = read_half.shutdown(Shutdown::Both);
+}
+
+/// The reader loop: frames in, jobs (or direct replies) out.
+fn read_requests(
+    read_half: &TcpStream,
+    shared: &SharedDatabase,
+    job_tx: &SyncSender<(u64, Request)>,
+    reply_tx: &Sender<(u64, Reply)>,
+) {
+    let mut frames = FrameReader::new(read_half);
+    let mut greeted = false;
+    loop {
+        let payload = match frames.next_payload() {
+            Ok(Some(payload)) => payload,
+            // Clean EOF, corruption, or I/O error: drop the
+            // connection.  After a corrupt frame the stream cannot be
+            // trusted to be in sync, so there is nothing to reply to.
+            Ok(None) | Err(_) => return,
+        };
+        match decode_request(&payload) {
+            Ok((id, Request::Hello { version })) => {
+                if version != WIRE_VERSION {
+                    let err = WireError::UnsupportedVersion {
+                        server: WIRE_VERSION,
+                        client: version,
+                    };
+                    let _ = reply_tx.send((id, Reply::Error(err)));
+                    return;
+                }
+                greeted = true;
+                if reply_tx.send((id, hello_reply(shared))).is_err() {
+                    return;
+                }
+            }
+            Ok((id, req)) => {
+                if !greeted {
+                    let _ = reply_tx.send((id, Reply::Error(WireError::HandshakeRequired)));
+                    return;
+                }
+                match job_tx.try_send((id, req)) {
+                    Ok(()) => {}
+                    // Shed: the typed refusal goes straight to the
+                    // writer, overtaking queued work — the reader
+                    // never blocks on a full queue.
+                    Err(TrySendError::Full(_)) => {
+                        if reply_tx
+                            .send((id, Reply::Error(WireError::Overloaded)))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            // The frame was intact, so the stream is still in sync:
+            // answer the malformed payload and keep serving.
+            Err((id, err)) => {
+                if reply_tx.send((id, Reply::Error(err))).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The worker loop: jobs in order, replies by id.
+fn run_jobs(
+    shared: Arc<SharedDatabase>,
+    job_rx: Receiver<(u64, Request)>,
+    reply_tx: Sender<(u64, Reply)>,
+) {
+    while let Ok((id, req)) = job_rx.recv() {
+        if reply_tx.send((id, execute(&shared, req))).is_err() {
+            // Writer gone: the connection is dead, stop executing.
+            return;
+        }
+    }
+}
+
+/// The writer loop: owns the write half; on failure shuts the socket
+/// down so a blocked reader wakes, then drains nothing further.
+fn write_replies(mut stream: TcpStream, reply_rx: Receiver<(u64, Reply)>) {
+    while let Ok((id, reply)) = reply_rx.recv() {
+        if stream.write_all(&encode_reply(id, &reply)).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// The handshake answer: version plus the relation catalog.
+fn hello_reply(shared: &SharedDatabase) -> Reply {
+    let schema = shared.schema();
+    let relations = schema
+        .relation_names()
+        .map(|name| {
+            let columns = schema
+                .columns(name)
+                .expect("catalog names come from the schema itself")
+                .to_vec();
+            (name.to_string(), columns)
+        })
+        .collect();
+    Reply::Hello {
+        version: WIRE_VERSION,
+        relations,
+    }
+}
+
+/// Executes one request against the shared database.  Every failure
+/// becomes a typed [`Reply::Error`]; nothing here panics the worker.
+fn execute(shared: &SharedDatabase, req: Request) -> Reply {
+    match req {
+        // A repeated Hello is answered idempotently.
+        Request::Hello { .. } => hello_reply(shared),
+        Request::Ping => Reply::Pong,
+        Request::Insert { relation, values } => match shared.insert(&relation, values) {
+            Ok(InsertOutcome::Accepted) => Reply::Insert(WireOutcome::Accepted),
+            Ok(InsertOutcome::Duplicate) => Reply::Insert(WireOutcome::Duplicate),
+            Ok(InsertOutcome::Rejected { violated }) => {
+                let universe = shared.schema().definition().universe();
+                Reply::Insert(WireOutcome::Rejected {
+                    violated: violated.map(|fd| fd.render(universe)),
+                })
+            }
+            Err(e) => Reply::Error(wire_error(e)),
+        },
+        Request::Remove { relation, values } => match shared.remove(&relation, values) {
+            Ok(present) => Reply::Remove(present),
+            Err(e) => Reply::Error(wire_error(e)),
+        },
+        Request::Query {
+            relation,
+            filters,
+            select,
+        } => {
+            let filters: Vec<(String, Cond)> =
+                filters.into_iter().map(|(c, v)| (c, eq(v))).collect();
+            match shared.query(&relation, &filters, select) {
+                Ok(rows) => Reply::Rows {
+                    columns: rows.columns().to_vec(),
+                    rows: rows.into_string_rows(),
+                },
+                Err(e) => Reply::Error(wire_error(e)),
+            }
+        }
+        Request::Count { relation } => match shared.count(&relation) {
+            Ok(n) => Reply::Count(n as u64),
+            Err(e) => Reply::Error(wire_error(e)),
+        },
+        Request::Snapshot => match shared.snapshot() {
+            Ok(state) => {
+                let schema = shared.schema();
+                let counts = schema
+                    .relation_names()
+                    .map(|name| {
+                        let id = schema
+                            .scheme_id(name)
+                            .expect("catalog names come from the schema itself");
+                        (name.to_string(), state.relation(id).len() as u64)
+                    })
+                    .collect();
+                Reply::Snapshot { counts }
+            }
+            Err(e) => Reply::Error(wire_error(e)),
+        },
+        Request::Checkpoint => match shared.checkpoint() {
+            Ok(()) => Reply::Checkpointed,
+            Err(e) => Reply::Error(wire_error(e)),
+        },
+    }
+}
+
+/// Flattens the typed API error into its wire mirror.
+fn wire_error(e: Error) -> WireError {
+    match e {
+        Error::UnknownRelation(name) => WireError::UnknownRelation(name),
+        Error::UnknownColumn { relation, column } => WireError::UnknownColumn { relation, column },
+        Error::Relational(RelationalError::ArityMismatch { expected, found }) => {
+            WireError::ArityMismatch {
+                expected: expected as u32,
+                found: found as u32,
+            }
+        }
+        Error::Store(StoreError::ShardPoisoned { reason }) => WireError::ShardPoisoned { reason },
+        Error::Store(StoreError::Disconnected) => WireError::Disconnected,
+        Error::Store(StoreError::NotDurable) => WireError::NotDurable,
+        Error::Wal(e) => WireError::Durability(e.to_string()),
+        other => WireError::Internal(other.to_string()),
+    }
+}

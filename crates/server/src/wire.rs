@@ -1,0 +1,874 @@
+//! The wire protocol: CRC-framed, length-prefixed messages with a
+//! request id, a kind byte, and a codec-encoded body.
+//!
+//! ## Framing
+//!
+//! Every message travels inside the exact frame the write-ahead log
+//! already uses ([`ids_wal::format`]):
+//!
+//! ```text
+//! [len: u32 LE] [crc32(len ‖ payload): u32 LE] [payload]
+//! ```
+//!
+//! bounded by [`MAX_FRAME_PAYLOAD`].  One battle-tested unit of
+//! integrity for disk *and* network: a torn TCP read is
+//! [`FrameOutcome::Torn`] (keep reading), flipped bits are
+//! [`FrameOutcome::CrcMismatch`] (typed error, never a panic), an
+//! absurd length field is [`FrameOutcome::Oversize`] (refused before
+//! any allocation).
+//!
+//! ## Payload
+//!
+//! ```text
+//! [request_id: u64] [kind: u8] [body…]
+//! ```
+//!
+//! encoded with [`ids_relational::codec`] — the same length-prefixed
+//! primitives as every on-disk structure.  Request ids are chosen by
+//! the client and echoed verbatim in the matching reply, which is what
+//! makes pipelining safe: a client may have any number of requests in
+//! flight and match replies by id, in whatever order they arrive
+//! (shed [`WireError::Overloaded`] replies can overtake queued work).
+//!
+//! Decoding is **total**: any byte sequence yields a value or a typed
+//! error, never a panic, and allocation is capped by the decoder's
+//! remaining input, so a hostile length prefix cannot balloon memory.
+
+use ids_relational::codec::{Decoder, Encoder};
+use ids_relational::RelationalError;
+use ids_wal::format::frame;
+pub use ids_wal::format::{read_frame, FrameOutcome, MAX_FRAME_PAYLOAD};
+
+/// Version of the wire protocol; negotiated by the Hello handshake.
+pub const WIRE_VERSION: u16 = 1;
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// The mandatory first message of every session: the client's wire
+    /// version.  Anything else before a Hello is refused with
+    /// [`WireError::HandshakeRequired`].
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u16,
+    },
+    /// Liveness probe; answered with [`Reply::Pong`].
+    Ping,
+    /// String-level insert, values in declared column order.
+    Insert {
+        /// Target relation name.
+        relation: String,
+        /// Values in the column order the relation was declared with.
+        values: Vec<String>,
+    },
+    /// String-level remove; replied with whether the row was present.
+    Remove {
+        /// Target relation name.
+        relation: String,
+        /// Values in declared column order.
+        values: Vec<String>,
+    },
+    /// String-level query: equality filters pushed down to the owning
+    /// shard, optional projection.
+    Query {
+        /// Target relation name.
+        relation: String,
+        /// `(column, value)` equality filters, ANDed.
+        filters: Vec<(String, String)>,
+        /// Output columns; `None` = declaration order.
+        select: Option<Vec<String>>,
+    },
+    /// Barrier-free row count of one relation.
+    Count {
+        /// Target relation name.
+        relation: String,
+    },
+    /// The cross-relation barrier; replied with per-relation counts
+    /// from one consistent cut.
+    Snapshot,
+    /// Checkpoint a durable database (snapshot + log truncation).
+    Checkpoint,
+}
+
+/// A server → client message; `Reply::Error` can answer any request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Handshake accepted: the server's version and the relation
+    /// catalog (name + declared columns, declaration order).
+    Hello {
+        /// The server's [`WIRE_VERSION`].
+        version: u16,
+        /// Every relation: `(name, declared columns)`.
+        relations: Vec<(String, Vec<String>)>,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Insert`].
+    Insert(WireOutcome),
+    /// Answer to [`Request::Remove`]: was the row present?
+    Remove(bool),
+    /// Answer to [`Request::Query`]: rendered rows.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// One `Vec<String>` per row, aligned with `columns`.
+        rows: Vec<Vec<String>>,
+    },
+    /// Answer to [`Request::Count`].
+    Count(u64),
+    /// Answer to [`Request::Snapshot`]: per-relation row counts from
+    /// one globally-consistent barrier cut (bounded, unlike shipping
+    /// every tuple).
+    Snapshot {
+        /// `(relation, rows)` for every relation in the schema.
+        counts: Vec<(String, u64)>,
+    },
+    /// Answer to [`Request::Checkpoint`].
+    Checkpointed,
+    /// Typed failure; the request id says which request it answers.
+    Error(WireError),
+}
+
+/// The FD-maintenance verdict of an insert, rendered for the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The row is compatible; the state was updated.
+    Accepted,
+    /// The row was already present (state unchanged).
+    Duplicate,
+    /// The row would violate a dependency; state unchanged.
+    Rejected {
+        /// The violated FD rendered as text (e.g. `C -> T`), when the
+        /// engine identified a specific one.
+        violated: Option<String>,
+    },
+}
+
+/// Every way the server says "no" — the wire mirror of
+/// [`ids_api::Error`], flattened to owned, renderable data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The named relation is not part of the schema.
+    UnknownRelation(String),
+    /// The named column is not part of the named relation.
+    UnknownColumn {
+        /// The relation the request targeted.
+        relation: String,
+        /// The column that does not belong to it.
+        column: String,
+    },
+    /// A row's value count does not match the relation's arity.
+    ArityMismatch {
+        /// The relation's declared arity.
+        expected: u32,
+        /// The number of values supplied.
+        found: u32,
+    },
+    /// A shard worker hit a durability failure; the first failure's
+    /// reason is preserved and reported verbatim (see
+    /// `ids_store::StoreError::ShardPoisoned`).
+    ShardPoisoned {
+        /// Rendered reason of the first durability failure.
+        reason: String,
+    },
+    /// A shard worker is gone with no recorded reason.
+    Disconnected,
+    /// A rendered durability-layer error (I/O, corruption, schema
+    /// mismatch).
+    Durability(String),
+    /// Checkpoint was requested of a database with no write-ahead log.
+    NotDurable,
+    /// The connection's request queue is full: the request was **shed,
+    /// not executed** — backpressure instead of an unbounded queue.
+    /// Requests accepted before it still complete; retry later.
+    Overloaded,
+    /// The peer's frame was valid but its payload did not decode.
+    Malformed(String),
+    /// Client and server disagree on [`WIRE_VERSION`].
+    UnsupportedVersion {
+        /// The server's version.
+        server: u16,
+        /// The client's claimed version.
+        client: u16,
+    },
+    /// A non-Hello request arrived before the handshake.
+    HandshakeRequired,
+    /// Any other server-side failure, rendered.
+    Internal(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Self::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            Self::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, got {found}")
+            }
+            Self::ShardPoisoned { reason } => {
+                write!(f, "shard poisoned by a durability failure: {reason}")
+            }
+            Self::Disconnected => write!(f, "shard worker disconnected"),
+            Self::Durability(msg) => write!(f, "durability failure: {msg}"),
+            Self::NotDurable => write!(f, "database has no write-ahead log"),
+            Self::Overloaded => write!(f, "server overloaded: request shed, retry later"),
+            Self::Malformed(msg) => write!(f, "malformed message: {msg}"),
+            Self::UnsupportedVersion { server, client } => {
+                write!(f, "wire version mismatch: server {server}, client {client}")
+            }
+            Self::HandshakeRequired => write!(f, "handshake required before any other request"),
+            Self::Internal(msg) => write!(f, "internal server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Kind bytes.  Stable on the wire: append, never renumber.
+
+const REQ_HELLO: u8 = 0;
+const REQ_PING: u8 = 1;
+const REQ_INSERT: u8 = 2;
+const REQ_REMOVE: u8 = 3;
+const REQ_QUERY: u8 = 4;
+const REQ_COUNT: u8 = 5;
+const REQ_SNAPSHOT: u8 = 6;
+const REQ_CHECKPOINT: u8 = 7;
+
+const REP_HELLO: u8 = 0;
+const REP_PONG: u8 = 1;
+const REP_INSERT: u8 = 2;
+const REP_REMOVE: u8 = 3;
+const REP_ROWS: u8 = 4;
+const REP_COUNT: u8 = 5;
+const REP_SNAPSHOT: u8 = 6;
+const REP_CHECKPOINTED: u8 = 7;
+const REP_ERROR: u8 = 8;
+
+const OUT_ACCEPTED: u8 = 0;
+const OUT_DUPLICATE: u8 = 1;
+const OUT_REJECTED: u8 = 2;
+
+const ERR_UNKNOWN_RELATION: u8 = 0;
+const ERR_UNKNOWN_COLUMN: u8 = 1;
+const ERR_ARITY: u8 = 2;
+const ERR_POISONED: u8 = 3;
+const ERR_DISCONNECTED: u8 = 4;
+const ERR_DURABILITY: u8 = 5;
+const ERR_NOT_DURABLE: u8 = 6;
+const ERR_OVERLOADED: u8 = 7;
+const ERR_MALFORMED: u8 = 8;
+const ERR_VERSION: u8 = 9;
+const ERR_HANDSHAKE: u8 = 10;
+const ERR_INTERNAL: u8 = 11;
+
+// ---------------------------------------------------------------------
+// Encoding.
+
+fn put_strs(e: &mut Encoder, items: &[String]) {
+    e.put_u32(items.len() as u32);
+    for s in items {
+        e.put_str(s);
+    }
+}
+
+/// Encodes a request as one ready-to-write CRC frame.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(id);
+    match req {
+        Request::Hello { version } => {
+            e.put_u8(REQ_HELLO);
+            e.put_u16(*version);
+        }
+        Request::Ping => e.put_u8(REQ_PING),
+        Request::Insert { relation, values } => {
+            e.put_u8(REQ_INSERT);
+            e.put_str(relation);
+            put_strs(&mut e, values);
+        }
+        Request::Remove { relation, values } => {
+            e.put_u8(REQ_REMOVE);
+            e.put_str(relation);
+            put_strs(&mut e, values);
+        }
+        Request::Query {
+            relation,
+            filters,
+            select,
+        } => {
+            e.put_u8(REQ_QUERY);
+            e.put_str(relation);
+            e.put_u32(filters.len() as u32);
+            for (column, value) in filters {
+                e.put_str(column);
+                e.put_str(value);
+            }
+            match select {
+                None => e.put_u8(0),
+                Some(cols) => {
+                    e.put_u8(1);
+                    put_strs(&mut e, cols);
+                }
+            }
+        }
+        Request::Count { relation } => {
+            e.put_u8(REQ_COUNT);
+            e.put_str(relation);
+        }
+        Request::Snapshot => e.put_u8(REQ_SNAPSHOT),
+        Request::Checkpoint => e.put_u8(REQ_CHECKPOINT),
+    }
+    frame(&e.into_bytes())
+}
+
+/// Encodes a reply as one ready-to-write CRC frame.
+pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(id);
+    match reply {
+        Reply::Hello { version, relations } => {
+            e.put_u8(REP_HELLO);
+            e.put_u16(*version);
+            e.put_u32(relations.len() as u32);
+            for (name, columns) in relations {
+                e.put_str(name);
+                put_strs(&mut e, columns);
+            }
+        }
+        Reply::Pong => e.put_u8(REP_PONG),
+        Reply::Insert(outcome) => {
+            e.put_u8(REP_INSERT);
+            match outcome {
+                WireOutcome::Accepted => e.put_u8(OUT_ACCEPTED),
+                WireOutcome::Duplicate => e.put_u8(OUT_DUPLICATE),
+                WireOutcome::Rejected { violated } => {
+                    e.put_u8(OUT_REJECTED);
+                    match violated {
+                        None => e.put_u8(0),
+                        Some(fd) => {
+                            e.put_u8(1);
+                            e.put_str(fd);
+                        }
+                    }
+                }
+            }
+        }
+        Reply::Remove(present) => {
+            e.put_u8(REP_REMOVE);
+            e.put_u8(u8::from(*present));
+        }
+        Reply::Rows { columns, rows } => {
+            e.put_u8(REP_ROWS);
+            put_strs(&mut e, columns);
+            e.put_u32(rows.len() as u32);
+            for row in rows {
+                put_strs(&mut e, row);
+            }
+        }
+        Reply::Count(n) => {
+            e.put_u8(REP_COUNT);
+            e.put_u64(*n);
+        }
+        Reply::Snapshot { counts } => {
+            e.put_u8(REP_SNAPSHOT);
+            e.put_u32(counts.len() as u32);
+            for (name, n) in counts {
+                e.put_str(name);
+                e.put_u64(*n);
+            }
+        }
+        Reply::Checkpointed => e.put_u8(REP_CHECKPOINTED),
+        Reply::Error(err) => {
+            e.put_u8(REP_ERROR);
+            match err {
+                WireError::UnknownRelation(name) => {
+                    e.put_u8(ERR_UNKNOWN_RELATION);
+                    e.put_str(name);
+                }
+                WireError::UnknownColumn { relation, column } => {
+                    e.put_u8(ERR_UNKNOWN_COLUMN);
+                    e.put_str(relation);
+                    e.put_str(column);
+                }
+                WireError::ArityMismatch { expected, found } => {
+                    e.put_u8(ERR_ARITY);
+                    e.put_u32(*expected);
+                    e.put_u32(*found);
+                }
+                WireError::ShardPoisoned { reason } => {
+                    e.put_u8(ERR_POISONED);
+                    e.put_str(reason);
+                }
+                WireError::Disconnected => e.put_u8(ERR_DISCONNECTED),
+                WireError::Durability(msg) => {
+                    e.put_u8(ERR_DURABILITY);
+                    e.put_str(msg);
+                }
+                WireError::NotDurable => e.put_u8(ERR_NOT_DURABLE),
+                WireError::Overloaded => e.put_u8(ERR_OVERLOADED),
+                WireError::Malformed(msg) => {
+                    e.put_u8(ERR_MALFORMED);
+                    e.put_str(msg);
+                }
+                WireError::UnsupportedVersion { server, client } => {
+                    e.put_u8(ERR_VERSION);
+                    e.put_u16(*server);
+                    e.put_u16(*client);
+                }
+                WireError::HandshakeRequired => e.put_u8(ERR_HANDSHAKE),
+                WireError::Internal(msg) => {
+                    e.put_u8(ERR_INTERNAL);
+                    e.put_str(msg);
+                }
+            }
+        }
+    }
+    frame(&e.into_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Decoding — total, allocation capped by the decoder's remaining input.
+
+/// `Vec::with_capacity` guard: a hostile count cannot reserve more
+/// entries than bytes actually present.
+fn cap(count: u32, d: &Decoder<'_>) -> usize {
+    (count as usize).min(d.remaining())
+}
+
+fn get_strs(d: &mut Decoder<'_>) -> Result<Vec<String>, RelationalError> {
+    let n = d.get_u32()?;
+    let mut out = Vec::with_capacity(cap(n, d));
+    for _ in 0..n {
+        out.push(d.get_str()?);
+    }
+    Ok(out)
+}
+
+fn malformed(e: RelationalError) -> WireError {
+    WireError::Malformed(e.to_string())
+}
+
+/// Decodes one frame payload into `(request_id, Request)`.
+///
+/// Total: any byte sequence yields `Ok` or a typed
+/// [`WireError::Malformed`] — never a panic, never unbounded
+/// allocation.  When even the request id is unreadable the returned
+/// error carries id 0.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), (u64, WireError)> {
+    let mut d = Decoder::new(payload);
+    let id = d.get_u64().map_err(|e| (0, malformed(e)))?;
+    decode_request_body(&mut d)
+        .map(|req| (id, req))
+        .map_err(|err| (id, err))
+}
+
+fn decode_request_body(d: &mut Decoder<'_>) -> Result<Request, WireError> {
+    let kind = d.get_u8().map_err(malformed)?;
+    let req = match kind {
+        REQ_HELLO => Request::Hello {
+            version: d.get_u16().map_err(malformed)?,
+        },
+        REQ_PING => Request::Ping,
+        REQ_INSERT | REQ_REMOVE => {
+            let relation = d.get_str().map_err(malformed)?;
+            let values = get_strs(d).map_err(malformed)?;
+            if kind == REQ_INSERT {
+                Request::Insert { relation, values }
+            } else {
+                Request::Remove { relation, values }
+            }
+        }
+        REQ_QUERY => {
+            let relation = d.get_str().map_err(malformed)?;
+            let n = d.get_u32().map_err(malformed)?;
+            let mut filters = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                let column = d.get_str().map_err(malformed)?;
+                let value = d.get_str().map_err(malformed)?;
+                filters.push((column, value));
+            }
+            let select = match d.get_u8().map_err(malformed)? {
+                0 => None,
+                1 => Some(get_strs(d).map_err(malformed)?),
+                tag => return Err(WireError::Malformed(format!("bad select tag {tag}"))),
+            };
+            Request::Query {
+                relation,
+                filters,
+                select,
+            }
+        }
+        REQ_COUNT => Request::Count {
+            relation: d.get_str().map_err(malformed)?,
+        },
+        REQ_SNAPSHOT => Request::Snapshot,
+        REQ_CHECKPOINT => Request::Checkpoint,
+        other => return Err(WireError::Malformed(format!("bad request kind {other}"))),
+    };
+    if !d.is_done() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after request",
+            d.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+/// Decodes one frame payload into `(request_id, Reply)`.  Total, like
+/// [`decode_request`].
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), (u64, WireError)> {
+    let mut d = Decoder::new(payload);
+    let id = d.get_u64().map_err(|e| (0, malformed(e)))?;
+    decode_reply_body(&mut d)
+        .map(|rep| (id, rep))
+        .map_err(|err| (id, err))
+}
+
+fn decode_reply_body(d: &mut Decoder<'_>) -> Result<Reply, WireError> {
+    let kind = d.get_u8().map_err(malformed)?;
+    let reply = match kind {
+        REP_HELLO => {
+            let version = d.get_u16().map_err(malformed)?;
+            let n = d.get_u32().map_err(malformed)?;
+            let mut relations = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                let name = d.get_str().map_err(malformed)?;
+                let columns = get_strs(d).map_err(malformed)?;
+                relations.push((name, columns));
+            }
+            Reply::Hello { version, relations }
+        }
+        REP_PONG => Reply::Pong,
+        REP_INSERT => {
+            let outcome = match d.get_u8().map_err(malformed)? {
+                OUT_ACCEPTED => WireOutcome::Accepted,
+                OUT_DUPLICATE => WireOutcome::Duplicate,
+                OUT_REJECTED => WireOutcome::Rejected {
+                    violated: match d.get_u8().map_err(malformed)? {
+                        0 => None,
+                        1 => Some(d.get_str().map_err(malformed)?),
+                        tag => return Err(WireError::Malformed(format!("bad violated tag {tag}"))),
+                    },
+                },
+                tag => return Err(WireError::Malformed(format!("bad outcome tag {tag}"))),
+            };
+            Reply::Insert(outcome)
+        }
+        REP_REMOVE => Reply::Remove(match d.get_u8().map_err(malformed)? {
+            0 => false,
+            1 => true,
+            tag => return Err(WireError::Malformed(format!("bad bool tag {tag}"))),
+        }),
+        REP_ROWS => {
+            let columns = get_strs(d).map_err(malformed)?;
+            let n = d.get_u32().map_err(malformed)?;
+            let mut rows = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                rows.push(get_strs(d).map_err(malformed)?);
+            }
+            Reply::Rows { columns, rows }
+        }
+        REP_COUNT => Reply::Count(d.get_u64().map_err(malformed)?),
+        REP_SNAPSHOT => {
+            let n = d.get_u32().map_err(malformed)?;
+            let mut counts = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                let name = d.get_str().map_err(malformed)?;
+                let count = d.get_u64().map_err(malformed)?;
+                counts.push((name, count));
+            }
+            Reply::Snapshot { counts }
+        }
+        REP_CHECKPOINTED => Reply::Checkpointed,
+        REP_ERROR => Reply::Error(decode_wire_error(d)?),
+        other => return Err(WireError::Malformed(format!("bad reply kind {other}"))),
+    };
+    if !d.is_done() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after reply",
+            d.remaining()
+        )));
+    }
+    Ok(reply)
+}
+
+fn decode_wire_error(d: &mut Decoder<'_>) -> Result<WireError, WireError> {
+    Ok(match d.get_u8().map_err(malformed)? {
+        ERR_UNKNOWN_RELATION => WireError::UnknownRelation(d.get_str().map_err(malformed)?),
+        ERR_UNKNOWN_COLUMN => WireError::UnknownColumn {
+            relation: d.get_str().map_err(malformed)?,
+            column: d.get_str().map_err(malformed)?,
+        },
+        ERR_ARITY => WireError::ArityMismatch {
+            expected: d.get_u32().map_err(malformed)?,
+            found: d.get_u32().map_err(malformed)?,
+        },
+        ERR_POISONED => WireError::ShardPoisoned {
+            reason: d.get_str().map_err(malformed)?,
+        },
+        ERR_DISCONNECTED => WireError::Disconnected,
+        ERR_DURABILITY => WireError::Durability(d.get_str().map_err(malformed)?),
+        ERR_NOT_DURABLE => WireError::NotDurable,
+        ERR_OVERLOADED => WireError::Overloaded,
+        ERR_MALFORMED => WireError::Malformed(d.get_str().map_err(malformed)?),
+        ERR_VERSION => WireError::UnsupportedVersion {
+            server: d.get_u16().map_err(malformed)?,
+            client: d.get_u16().map_err(malformed)?,
+        },
+        ERR_HANDSHAKE => WireError::HandshakeRequired,
+        ERR_INTERNAL => WireError::Internal(d.get_str().map_err(malformed)?),
+        other => return Err(WireError::Malformed(format!("bad error tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Stream framing.
+
+/// Pulls CRC frames off a byte stream — the shared reading loop of the
+/// server's connection reader and the blocking client.
+///
+/// A torn buffer keeps reading; EOF on a frame boundary is a clean
+/// close (`Ok(None)`); EOF mid-frame, a CRC mismatch, or an oversize
+/// length is a typed [`FrameError`].  Corruption is unrecoverable by
+/// design: framing is what keeps a pipelined stream in sync, so after
+/// a bad frame the only safe move is to drop the connection.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes before `start` have been consumed by returned frames.
+    start: usize,
+}
+
+/// Why a [`FrameReader`] stopped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended mid-frame, or a frame failed its checksum or
+    /// declared an oversize length.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "stream i/o error: {e}"),
+            Self::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wraps a readable stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Reads the next complete frame's payload, `Ok(None)` on a clean
+    /// EOF at a frame boundary.
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match read_frame(&self.buf[self.start..]) {
+                FrameOutcome::Complete { payload, rest } => {
+                    let payload = payload.to_vec();
+                    self.start = self.buf.len() - rest.len();
+                    // Reclaim consumed bytes once they dominate the
+                    // buffer, keeping memory proportional to in-flight
+                    // data.
+                    if self.start > 64 * 1024 && self.start * 2 > self.buf.len() {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                    return Ok(Some(payload));
+                }
+                FrameOutcome::CrcMismatch => return Err(FrameError::Corrupt("crc mismatch")),
+                FrameOutcome::Oversize => return Err(FrameError::Corrupt("oversize frame")),
+                FrameOutcome::Torn => {
+                    let n = self.inner.read(&mut chunk).map_err(FrameError::Io)?;
+                    if n == 0 {
+                        return if self.start == self.buf.len() {
+                            Ok(None)
+                        } else {
+                            Err(FrameError::Corrupt("eof mid-frame"))
+                        };
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let framed = encode_request(7, &req);
+        let FrameOutcome::Complete { payload, rest } = read_frame(&framed) else {
+            panic!("encode_request must emit one complete frame");
+        };
+        assert!(rest.is_empty());
+        assert_eq!(decode_request(payload).unwrap(), (7, req));
+    }
+
+    fn roundtrip_reply(reply: Reply) {
+        let framed = encode_reply(9, &reply);
+        let FrameOutcome::Complete { payload, rest } = read_frame(&framed) else {
+            panic!("encode_reply must emit one complete frame");
+        };
+        assert!(rest.is_empty());
+        assert_eq!(decode_reply(payload).unwrap(), (9, reply));
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for req in [
+            Request::Hello {
+                version: WIRE_VERSION,
+            },
+            Request::Ping,
+            Request::Insert {
+                relation: "CT".into(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+            Request::Remove {
+                relation: "CT".into(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+            Request::Query {
+                relation: "CT".into(),
+                filters: vec![("course".into(), "CS402".into())],
+                select: Some(vec!["teacher".into()]),
+            },
+            Request::Query {
+                relation: "CT".into(),
+                filters: vec![],
+                select: None,
+            },
+            Request::Count {
+                relation: "CT".into(),
+            },
+            Request::Snapshot,
+            Request::Checkpoint,
+        ] {
+            roundtrip_request(req);
+        }
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        for reply in [
+            Reply::Hello {
+                version: WIRE_VERSION,
+                relations: vec![("CT".into(), vec!["course".into(), "teacher".into()])],
+            },
+            Reply::Pong,
+            Reply::Insert(WireOutcome::Accepted),
+            Reply::Insert(WireOutcome::Duplicate),
+            Reply::Insert(WireOutcome::Rejected {
+                violated: Some("C -> T".into()),
+            }),
+            Reply::Insert(WireOutcome::Rejected { violated: None }),
+            Reply::Remove(true),
+            Reply::Rows {
+                columns: vec!["course".into()],
+                rows: vec![vec!["CS402".into()], vec!["CS500".into()]],
+            },
+            Reply::Count(42),
+            Reply::Snapshot {
+                counts: vec![("CT".into(), 2), ("CS".into(), 0)],
+            },
+            Reply::Checkpointed,
+            Reply::Error(WireError::UnknownRelation("TD".into())),
+            Reply::Error(WireError::UnknownColumn {
+                relation: "CT".into(),
+                column: "room".into(),
+            }),
+            Reply::Error(WireError::ArityMismatch {
+                expected: 2,
+                found: 3,
+            }),
+            Reply::Error(WireError::ShardPoisoned {
+                reason: "disk gone".into(),
+            }),
+            Reply::Error(WireError::Disconnected),
+            Reply::Error(WireError::Durability("io".into())),
+            Reply::Error(WireError::NotDurable),
+            Reply::Error(WireError::Overloaded),
+            Reply::Error(WireError::Malformed("trailing".into())),
+            Reply::Error(WireError::UnsupportedVersion {
+                server: 1,
+                client: 2,
+            }),
+            Reply::Error(WireError::HandshakeRequired),
+            Reply::Error(WireError::Internal("oops".into())),
+        ] {
+            roundtrip_reply(reply);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_refused() {
+        let framed = encode_request(1, &Request::Ping);
+        let FrameOutcome::Complete { payload, .. } = read_frame(&framed) else {
+            unreachable!()
+        };
+        let mut longer = payload.to_vec();
+        longer.push(0);
+        let (id, err) = decode_request(&longer).unwrap_err();
+        assert_eq!(id, 1);
+        assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let mut bytes = encode_request(1, &Request::Ping);
+        bytes.extend(encode_request(
+            2,
+            &Request::Count {
+                relation: "CT".into(),
+            },
+        ));
+        // Deliver one byte at a time: every read is torn.
+        struct Trickle(Vec<u8>, usize);
+        impl std::io::Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = FrameReader::new(Trickle(bytes, 0));
+        let first = reader.next_payload().unwrap().unwrap();
+        assert_eq!(decode_request(&first).unwrap().0, 1);
+        let second = reader.next_payload().unwrap().unwrap();
+        assert_eq!(decode_request(&second).unwrap().0, 2);
+        assert!(reader.next_payload().unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_corrupt_not_clean() {
+        let bytes = encode_request(1, &Request::Ping);
+        let truncated = &bytes[..bytes.len() - 1];
+        let mut reader = FrameReader::new(truncated);
+        assert!(matches!(
+            reader.next_payload(),
+            Err(FrameError::Corrupt("eof mid-frame"))
+        ));
+    }
+}

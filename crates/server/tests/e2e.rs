@@ -1,0 +1,400 @@
+//! End-to-end tests: real sockets, real threads — the blocking
+//! `ids-client` driving a `Server` over loopback.
+//!
+//! The regression targets called out by this PR are here too: graceful
+//! overload (typed `Overloaded` sheds while accepted work completes)
+//! and the client-drops-mid-batch case that must never leave a server
+//! thread wedged on a dead connection.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use ids_api::{Database, EngineKind, Schema, SharedDatabase};
+use ids_client::{Client, ClientError};
+use ids_server::wire::{
+    decode_reply, encode_request, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
+};
+use ids_server::{Server, ServerConfig};
+use ids_store::{DurableConfig, StoreConfig, SyncPolicy};
+
+fn schema() -> Schema {
+    Schema::builder()
+        .relation("CT", ["course", "teacher"])
+        .relation("CS", ["course", "student"])
+        .fd("course -> teacher")
+        .build()
+        .unwrap()
+}
+
+fn shared() -> Arc<SharedDatabase> {
+    let db = Database::open(schema(), EngineKind::Sharded(StoreConfig::default())).unwrap();
+    Arc::new(db.into_shared().unwrap())
+}
+
+fn serve(shared: Arc<SharedDatabase>) -> Server {
+    Server::serve(shared, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn the_full_surface_roundtrips_over_loopback() {
+    let server = serve(shared());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The handshake carried the catalog.
+    let catalog = client.catalog().to_vec();
+    assert_eq!(catalog.len(), 2);
+    assert!(catalog
+        .iter()
+        .any(|(name, cols)| name == "CT" && cols == &["course", "teacher"]));
+
+    client.ping().unwrap();
+
+    // Writes: accepted, duplicate, FD-rejected (with the violated FD
+    // rendered), and the arity of outcomes vs errors.
+    assert_eq!(
+        client.insert("CT", ["CS402", "Jones"]).unwrap(),
+        WireOutcome::Accepted
+    );
+    assert_eq!(
+        client.insert("CT", ["CS402", "Jones"]).unwrap(),
+        WireOutcome::Duplicate
+    );
+    match client.insert("CT", ["CS402", "Smith"]).unwrap() {
+        WireOutcome::Rejected { violated } => {
+            let fd = violated.expect("the sharded engine knows which FD it enforced");
+            assert!(fd.contains("course"), "rendered FD, got {fd}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    client.insert("CS", ["CS402", "Riley"]).unwrap();
+    client.insert("CS", ["CS402", "Morgan"]).unwrap();
+
+    // Reads: filtered + projected query, full rows, count, snapshot.
+    let rows = client
+        .query("CT", &[("course", "CS402")], Some(&["teacher"]))
+        .unwrap();
+    assert_eq!(rows.columns, vec!["teacher".to_string()]);
+    assert_eq!(rows.rows, vec![vec!["Jones".to_string()]]);
+    assert_eq!(client.rows("CS").unwrap().len(), 2);
+    assert_eq!(client.count("CS").unwrap(), 2);
+    let mut counts = client.snapshot().unwrap();
+    counts.sort();
+    assert_eq!(counts, vec![("CS".to_string(), 2), ("CT".to_string(), 1)]);
+
+    // Remove, observed by a following read (same-connection ordering).
+    assert!(client.remove("CS", ["CS402", "Riley"]).unwrap());
+    assert!(!client.remove("CS", ["CS402", "Riley"]).unwrap());
+    assert_eq!(client.count("CS").unwrap(), 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_cross_the_wire() {
+    let server = serve(shared());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    match client.insert("TD", ["x", "y"]) {
+        Err(ClientError::Server(WireError::UnknownRelation(name))) => assert_eq!(name, "TD"),
+        other => panic!("expected UnknownRelation, got {other:?}"),
+    }
+    match client.insert("CT", ["CS402"]) {
+        Err(ClientError::Server(WireError::ArityMismatch { expected, found })) => {
+            assert_eq!((expected, found), (2, 1));
+        }
+        other => panic!("expected ArityMismatch, got {other:?}"),
+    }
+    match client.query("CT", &[("room", "R12")], None) {
+        Err(ClientError::Server(WireError::UnknownColumn { relation, column })) => {
+            assert_eq!((relation.as_str(), column.as_str()), ("CT", "room"));
+        }
+        other => panic!("expected UnknownColumn, got {other:?}"),
+    }
+    // Checkpoint without a WAL is a typed refusal, not a hangup.
+    match client.checkpoint() {
+        Err(ClientError::Server(WireError::NotDurable)) => {}
+        other => panic!("expected NotDurable, got {other:?}"),
+    }
+    // The connection survived every error.
+    client.ping().unwrap();
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_replies_match_by_id_in_any_order() {
+    let server = serve(shared());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Put a batch on the wire before reading anything.
+    let mut ids = Vec::new();
+    for i in 0..32 {
+        ids.push(
+            client
+                .send(Request::Insert {
+                    relation: "CS".into(),
+                    values: vec![format!("CS{i}"), "Riley".into()],
+                })
+                .unwrap(),
+        );
+    }
+    let count_id = client
+        .send(Request::Count {
+            relation: "CS".into(),
+        })
+        .unwrap();
+
+    // Consume the tail first: the stash matches replies by id.
+    assert!(matches!(client.recv(count_id).unwrap(), Reply::Count(32)));
+    for id in ids.into_iter().rev() {
+        assert!(matches!(
+            client.recv(id).unwrap(),
+            Reply::Insert(WireOutcome::Accepted)
+        ));
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_replies_and_never_stalls() {
+    let db = Database::open(schema(), EngineKind::Sharded(StoreConfig::default())).unwrap();
+    let shared = Arc::new(db.into_shared().unwrap());
+    // Enough rows that every full scan costs real worker time.
+    for i in 0..4000 {
+        shared
+            .insert("CS", [format!("CS{i}"), format!("S{i}")])
+            .unwrap();
+    }
+    let server = Server::serve_with(
+        Arc::clone(&shared),
+        "127.0.0.1:0",
+        ServerConfig { queue_depth: 1 },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Pipeline far more full scans than a depth-1 queue can hold; the
+    // reader decodes in microseconds what the worker serves in
+    // milliseconds, so the queue must fill and shed.
+    const BURST: usize = 200;
+    let mut ids = Vec::new();
+    for _ in 0..BURST {
+        ids.push(
+            client
+                .send(Request::Query {
+                    relation: "CS".into(),
+                    filters: vec![],
+                    select: None,
+                })
+                .unwrap(),
+        );
+    }
+
+    // Every request gets exactly one reply: rows for the accepted,
+    // typed Overloaded for the shed — nothing dropped, nothing stuck.
+    let (mut served, mut shed) = (0usize, 0usize);
+    for id in ids {
+        match client.recv(id).unwrap() {
+            Reply::Rows { rows, .. } => {
+                assert_eq!(rows.len(), 4000);
+                served += 1;
+            }
+            Reply::Error(WireError::Overloaded) => shed += 1,
+            other => panic!("unexpected reply under overload: {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, BURST);
+    assert!(served > 0, "a depth-1 queue still serves accepted work");
+    assert!(
+        shed > 0,
+        "{BURST} pipelined scans against a depth-1 queue must shed"
+    );
+
+    // The connection and the server recovered fully.
+    client.ping().unwrap();
+    assert_eq!(client.count("CS").unwrap(), 4000);
+
+    server.shutdown();
+}
+
+#[test]
+fn client_dropping_mid_batch_never_wedges_the_server() {
+    let server = serve(shared());
+
+    // Again and again: open a session, pipeline a batch, vanish
+    // without reading a single reply.  The writer hits the dead
+    // socket, shuts the connection down, and the whole per-connection
+    // pipeline unwinds — nothing left blocked.
+    for round in 0..20 {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..64 {
+            client
+                .send(Request::Insert {
+                    relation: "CS".into(),
+                    values: vec![format!("CS{round}-{i}"), "Riley".into()],
+                })
+                .unwrap();
+        }
+        drop(client);
+    }
+
+    // The server still accepts and serves new sessions…
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    assert!(client.count("CS").unwrap() > 0);
+    drop(client);
+
+    // …and shutdown joins every connection thread.  A wedged reader,
+    // worker, or writer would hang this join forever (the test harness
+    // timeout is the failure detector).
+    server.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_refused() {
+    let server = serve(shared());
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut write = stream.try_clone().unwrap();
+    let mut frames = FrameReader::new(stream);
+
+    write.write_all(&encode_request(7, &Request::Ping)).unwrap();
+    let payload = frames.next_payload().unwrap().unwrap();
+    assert_eq!(
+        decode_reply(&payload).unwrap(),
+        (7, Reply::Error(WireError::HandshakeRequired))
+    );
+    // The server hangs up after the refusal.
+    assert!(frames.next_payload().unwrap().is_none());
+
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_a_typed_refusal() {
+    let server = serve(shared());
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut write = stream.try_clone().unwrap();
+    let mut frames = FrameReader::new(stream);
+
+    write
+        .write_all(&encode_request(0, &Request::Hello { version: 99 }))
+        .unwrap();
+    let payload = frames.next_payload().unwrap().unwrap();
+    assert_eq!(
+        decode_reply(&payload).unwrap(),
+        (
+            0,
+            Reply::Error(WireError::UnsupportedVersion {
+                server: WIRE_VERSION,
+                client: 99
+            })
+        )
+    );
+    assert!(frames.next_payload().unwrap().is_none());
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payloads_get_typed_replies_and_the_session_survives() {
+    let server = serve(shared());
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut write = stream.try_clone().unwrap();
+    let mut frames = FrameReader::new(stream);
+
+    write
+        .write_all(&encode_request(
+            0,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        ))
+        .unwrap();
+    let payload = frames.next_payload().unwrap().unwrap();
+    assert!(matches!(
+        decode_reply(&payload).unwrap(),
+        (0, Reply::Hello { .. })
+    ));
+
+    // A checksum-valid frame whose payload is garbage: the stream is
+    // still in sync, so the server answers Malformed and keeps going.
+    let mut e = ids_relational::codec::Encoder::new();
+    e.put_u64(5);
+    e.put_u8(250); // no such request kind
+    write
+        .write_all(&ids_wal::format::frame(&e.into_bytes()))
+        .unwrap();
+    let payload = frames.next_payload().unwrap().unwrap();
+    let (id, reply) = decode_reply(&payload).unwrap();
+    assert_eq!(id, 5);
+    assert!(matches!(reply, Reply::Error(WireError::Malformed(_))));
+
+    // Still serving.
+    write.write_all(&encode_request(6, &Request::Ping)).unwrap();
+    let payload = frames.next_payload().unwrap().unwrap();
+    assert_eq!(decode_reply(&payload).unwrap(), (6, Reply::Pong));
+
+    server.shutdown();
+}
+
+#[test]
+fn shard_poison_reasons_cross_the_wire() {
+    let root = std::env::temp_dir().join(format!("ids-server-poison-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let db = Database::open_at(
+        &root,
+        schema(),
+        DurableConfig {
+            sync: SyncPolicy::Always,
+            fail_appends_after: Some(1),
+            ..DurableConfig::default()
+        },
+    )
+    .unwrap();
+    let server = serve(Arc::new(db.into_shared().unwrap()));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.insert("CT", ["CS402", "Jones"]).unwrap();
+    // The second logged append fails: the shard poisons itself, and
+    // the preserved reason — not an opaque disconnect — reaches the
+    // remote client as a typed error.
+    match client.insert("CT", ["CS500", "Curie"]) {
+        Err(ClientError::Server(WireError::ShardPoisoned { reason })) => {
+            assert!(
+                reason.contains("injected append failure"),
+                "reason lost over the wire: {reason}"
+            );
+        }
+        other => panic!("expected ShardPoisoned, got {other:?}"),
+    }
+    // Later requests on the same session report it too.
+    match client.count("CT") {
+        Err(ClientError::Server(WireError::ShardPoisoned { .. })) => {}
+        other => panic!("expected ShardPoisoned on a later op, got {other:?}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn durable_checkpoint_roundtrips() {
+    let root = std::env::temp_dir().join(format!("ids-server-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let db = Database::open_at(&root, schema(), DurableConfig::default()).unwrap();
+    let server = serve(Arc::new(db.into_shared().unwrap()));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.insert("CT", ["CS402", "Jones"]).unwrap();
+    client.checkpoint().unwrap();
+    assert_eq!(client.count("CT").unwrap(), 1);
+
+    server.shutdown();
+
+    // What the server checkpointed, a cold recovery can read.
+    let recovered = Database::recover(&root).unwrap();
+    assert_eq!(recovered.count("CT").unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}

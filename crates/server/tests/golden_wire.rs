@@ -1,0 +1,209 @@
+//! Golden-file tests for the wire protocol: the byte layout of every
+//! message kind is pinned by fixtures checked into the repository, so
+//! an accidental change to the framing, the kind bytes, or the codec
+//! fails loudly instead of silently breaking deployed peers.
+//!
+//! The fixtures live in `tests/fixtures/` and are written by the
+//! `regenerate_fixtures` test below (ignored by default; run it
+//! manually after an *intentional* protocol bump, together with a
+//! `WIRE_VERSION` increment).
+
+use std::path::{Path, PathBuf};
+
+use ids_server::wire::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, FrameOutcome, Reply,
+    Request, WireError, WireOutcome, WIRE_VERSION,
+};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// One of every request kind, ids distinct so the id encoding is
+/// pinned too.
+fn canonical_requests() -> Vec<(u64, Request)> {
+    vec![
+        (
+            0,
+            Request::Hello {
+                version: WIRE_VERSION,
+            },
+        ),
+        (1, Request::Ping),
+        (
+            2,
+            Request::Insert {
+                relation: "CT".into(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+        ),
+        (
+            3,
+            Request::Remove {
+                relation: "CT".into(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+        ),
+        (
+            4,
+            Request::Query {
+                relation: "CT".into(),
+                filters: vec![("course".into(), "CS402".into())],
+                select: Some(vec!["teacher".into()]),
+            },
+        ),
+        (
+            5,
+            Request::Count {
+                relation: "CS".into(),
+            },
+        ),
+        (6, Request::Snapshot),
+        (u64::MAX, Request::Checkpoint),
+    ]
+}
+
+/// One of every reply kind, including one of every error variant.
+fn canonical_replies() -> Vec<(u64, Reply)> {
+    let errors = vec![
+        WireError::UnknownRelation("TD".into()),
+        WireError::UnknownColumn {
+            relation: "CT".into(),
+            column: "room".into(),
+        },
+        WireError::ArityMismatch {
+            expected: 2,
+            found: 3,
+        },
+        WireError::ShardPoisoned {
+            reason: "injected append failure".into(),
+        },
+        WireError::Disconnected,
+        WireError::Durability("io error".into()),
+        WireError::NotDurable,
+        WireError::Overloaded,
+        WireError::Malformed("bad request kind 99".into()),
+        WireError::UnsupportedVersion {
+            server: 1,
+            client: 2,
+        },
+        WireError::HandshakeRequired,
+        WireError::Internal("oops".into()),
+    ];
+    let mut replies = vec![
+        (
+            0,
+            Reply::Hello {
+                version: WIRE_VERSION,
+                relations: vec![
+                    ("CT".into(), vec!["course".into(), "teacher".into()]),
+                    ("CS".into(), vec!["course".into(), "student".into()]),
+                ],
+            },
+        ),
+        (1, Reply::Pong),
+        (2, Reply::Insert(WireOutcome::Accepted)),
+        (3, Reply::Insert(WireOutcome::Duplicate)),
+        (
+            4,
+            Reply::Insert(WireOutcome::Rejected {
+                violated: Some("C -> T".into()),
+            }),
+        ),
+        (5, Reply::Insert(WireOutcome::Rejected { violated: None })),
+        (6, Reply::Remove(true)),
+        (
+            7,
+            Reply::Rows {
+                columns: vec!["course".into(), "teacher".into()],
+                rows: vec![vec!["CS402".into(), "Jones".into()]],
+            },
+        ),
+        (8, Reply::Count(42)),
+        (
+            9,
+            Reply::Snapshot {
+                counts: vec![("CT".into(), 1), ("CS".into(), 0)],
+            },
+        ),
+        (10, Reply::Checkpointed),
+    ];
+    for (i, err) in errors.into_iter().enumerate() {
+        replies.push((11 + i as u64, Reply::Error(err)));
+    }
+    replies
+}
+
+fn build_request_bytes() -> Vec<u8> {
+    canonical_requests()
+        .iter()
+        .flat_map(|(id, req)| encode_request(*id, req))
+        .collect()
+}
+
+fn build_reply_bytes() -> Vec<u8> {
+    canonical_replies()
+        .iter()
+        .flat_map(|(id, reply)| encode_reply(*id, reply))
+        .collect()
+}
+
+#[test]
+fn request_bytes_match_the_fixture() {
+    let fixture = std::fs::read(fixture_dir().join("requests.bin"))
+        .expect("fixture missing: run `cargo test -p ids-server regenerate_fixtures -- --ignored`");
+    assert_eq!(
+        build_request_bytes(),
+        fixture,
+        "request wire layout changed; if intentional, bump WIRE_VERSION and regenerate"
+    );
+}
+
+#[test]
+fn reply_bytes_match_the_fixture() {
+    let fixture = std::fs::read(fixture_dir().join("replies.bin"))
+        .expect("fixture missing: run `cargo test -p ids-server regenerate_fixtures -- --ignored`");
+    assert_eq!(
+        build_reply_bytes(),
+        fixture,
+        "reply wire layout changed; if intentional, bump WIRE_VERSION and regenerate"
+    );
+}
+
+/// The fixtures must also *decode* back to the canonical messages —
+/// this is what a deployed peer of the pinned version would do.
+#[test]
+fn fixtures_decode_to_the_canonical_messages() {
+    let bytes = std::fs::read(fixture_dir().join("requests.bin")).unwrap();
+    let mut rest: &[u8] = &bytes;
+    for (id, req) in canonical_requests() {
+        let FrameOutcome::Complete { payload, rest: r } = read_frame(rest) else {
+            panic!("fixture stream truncated before request {id}");
+        };
+        assert_eq!(decode_request(payload).unwrap(), (id, req));
+        rest = r;
+    }
+    assert!(rest.is_empty());
+
+    let bytes = std::fs::read(fixture_dir().join("replies.bin")).unwrap();
+    let mut rest: &[u8] = &bytes;
+    for (id, reply) in canonical_replies() {
+        let FrameOutcome::Complete { payload, rest: r } = read_frame(rest) else {
+            panic!("fixture stream truncated before reply {id}");
+        };
+        assert_eq!(decode_reply(payload).unwrap(), (id, reply));
+        rest = r;
+    }
+    assert!(rest.is_empty());
+}
+
+/// Writes the fixtures.  Ignored: run manually after an intentional
+/// protocol change, and bump `WIRE_VERSION` in the same commit.
+#[test]
+#[ignore = "regenerates golden fixtures; run only on an intentional protocol bump"]
+fn regenerate_fixtures() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("requests.bin"), build_request_bytes()).unwrap();
+    std::fs::write(dir.join("replies.bin"), build_reply_bytes()).unwrap();
+}

@@ -1,0 +1,117 @@
+//! Adversarial decoding properties: whatever bytes arrive — truncated,
+//! bit-flipped, or pure noise — the wire layer must return a typed
+//! outcome.  Never a panic, and never an allocation beyond the input's
+//! own size (a hostile length prefix must not balloon memory).
+
+use ids_server::wire::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, FrameOutcome, Reply,
+    Request, WireOutcome, WIRE_VERSION,
+};
+
+use proptest::prelude::*;
+
+/// A small pool of well-formed messages to mutate.
+fn seed_frames() -> Vec<Vec<u8>> {
+    vec![
+        encode_request(
+            1,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        ),
+        encode_request(
+            2,
+            &Request::Insert {
+                relation: "CT".into(),
+                values: vec!["CS402".into(), "Jones".into()],
+            },
+        ),
+        encode_request(
+            3,
+            &Request::Query {
+                relation: "CT".into(),
+                filters: vec![("course".into(), "CS402".into())],
+                select: Some(vec!["teacher".into()]),
+            },
+        ),
+        encode_reply(
+            4,
+            &Reply::Rows {
+                columns: vec!["course".into()],
+                rows: vec![vec!["CS402".into()]],
+            },
+        ),
+        encode_reply(
+            5,
+            &Reply::Insert(WireOutcome::Rejected {
+                violated: Some("C -> T".into()),
+            }),
+        ),
+    ]
+}
+
+/// Drives the full receive path on arbitrary bytes: framing first,
+/// then payload decoding.  The only allowed outcomes are typed.
+fn receive(bytes: &[u8]) {
+    match read_frame(bytes) {
+        FrameOutcome::Complete { payload, .. } => {
+            // Both decoders must be total on any checksum-valid payload.
+            let _ = decode_request(payload);
+            let _ = decode_reply(payload);
+        }
+        FrameOutcome::Torn | FrameOutcome::CrcMismatch | FrameOutcome::Oversize => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pure noise never panics the receive path.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        receive(&bytes);
+    }
+
+    /// A valid frame with any prefix truncated is torn or corrupt —
+    /// typed, not a panic.
+    #[test]
+    fn truncations_are_typed(seed in 0usize..5, cut in 0usize..200) {
+        let frame = &seed_frames()[seed];
+        let cut = cut.min(frame.len());
+        receive(&frame[..cut]);
+    }
+
+    /// Any single flipped byte in a valid frame is caught: either the
+    /// CRC refuses the frame, or (if the flip lands so that framing
+    /// still passes — it cannot, for a single flip, but the property
+    /// holds regardless) the payload decodes to a typed outcome.
+    #[test]
+    fn bit_flips_are_typed(seed in 0usize..5, pos in 0usize..200, flip in 1u8..=255) {
+        let mut frame = seed_frames()[seed].clone();
+        let pos = pos % frame.len();
+        frame[pos] ^= flip;
+        receive(&frame);
+        // A flip strictly inside the message leaves length intact, so
+        // the frame is complete — and must then fail its checksum.
+        if pos >= 4 {
+            assert!(
+                !matches!(read_frame(&frame), FrameOutcome::Complete { .. }),
+                "crc must catch a payload flip at byte {pos}"
+            );
+        }
+    }
+
+    /// Checksum-valid payloads with an arbitrary *body* decode totally:
+    /// a syntactically valid frame around hostile contents yields a
+    /// message or a typed Malformed — and allocation stays bounded by
+    /// the payload length even when length prefixes inside lie.
+    #[test]
+    fn hostile_payloads_decode_totally(body in proptest::collection::vec(0u8..=255, 0..128)) {
+        let framed = ids_wal::format::frame(&body);
+        let FrameOutcome::Complete { payload, .. } = read_frame(&framed) else {
+            panic!("frame() must produce a complete frame");
+        };
+        let _ = decode_request(payload);
+        let _ = decode_reply(payload);
+    }
+}

@@ -84,7 +84,7 @@
 
 use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationShard, Witness};
@@ -157,11 +157,18 @@ pub enum StoreError {
     UnknownScheme(SchemeId),
     /// An operation's tuple arity does not match its scheme.
     Relational(RelationalError),
-    /// A shard worker is gone (panicked or already shut down).  On a
-    /// durable store this is also how a WAL I/O failure inside a shard
-    /// surfaces: the shard refuses to acknowledge what it could not log
-    /// and poisons itself instead.
+    /// A shard worker is gone (panicked or already shut down) and left
+    /// no recorded reason behind.
     Disconnected,
+    /// A shard worker hit a durability failure (WAL append, sync or
+    /// rotate), refused to acknowledge what it could not log, and shut
+    /// itself down.  The first failure's reason is preserved in a shared
+    /// poison cell and reported — verbatim — by every later operation,
+    /// instead of being lost to a worker panic on stderr.
+    ShardPoisoned {
+        /// Rendered reason of the first durability failure.
+        reason: String,
+    },
     /// A durability-layer failure (I/O, corruption, or a log written
     /// under a different schema/FD set).
     Wal(WalError),
@@ -184,6 +191,9 @@ impl std::fmt::Display for StoreError {
             Self::UnknownScheme(id) => write!(f, "operation references unknown scheme {id:?}"),
             Self::Relational(e) => write!(f, "{e}"),
             Self::Disconnected => write!(f, "shard worker disconnected"),
+            Self::ShardPoisoned { reason } => {
+                write!(f, "shard poisoned by a durability failure: {reason}")
+            }
             Self::Wal(e) => write!(f, "{e}"),
             Self::NotDurable => write!(f, "store was opened without a write-ahead log"),
         }
@@ -230,6 +240,11 @@ pub struct DurableConfig {
     /// Opaque application bytes stored in the manifest at creation
     /// (the `ids-api` layer keeps its column layouts here).
     pub app: Vec<u8>,
+    /// Fault injection for poisoning tests (not part of the stable API):
+    /// every relation's log writer fails its appends after this many
+    /// successful ones, as if the disk went bad mid-workload.
+    #[doc(hidden)]
+    pub fail_appends_after: Option<u64>,
 }
 
 /// Commands a shard worker processes in FIFO order.
@@ -293,6 +308,10 @@ struct Worker {
     slot_of: Vec<Option<usize>>,
     /// Sync cadence for the slots' logs (irrelevant without logs).
     sync: SyncPolicy,
+    /// Shared with the [`Store`] front-end: the first durability failure
+    /// of *any* shard lands here, and every later caller-side channel
+    /// failure is upgraded to [`StoreError::ShardPoisoned`] with it.
+    poison: Arc<OnceLock<String>>,
 }
 
 impl Worker {
@@ -300,118 +319,146 @@ impl Worker {
         // Scratch: which slots the current Apply touched with logged ops.
         let mut dirty: Vec<usize> = Vec::new();
         while let Ok(cmd) = rx.recv() {
-            match cmd {
-                Command::Apply { ops, reply } => {
-                    let mut out = Vec::with_capacity(ops.len());
-                    dirty.clear();
-                    for (idx, op) in ops {
-                        let si = self.slot_of[op.scheme().index()]
-                            .expect("router sent an op for a foreign scheme");
-                        let slot = &mut self.slots[si];
-                        let outcome = match op {
-                            StoreOp::Insert { tuple, .. } => {
-                                // Clone for the log only when there is
-                                // one: the in-memory fast path stays
-                                // allocation-free per op.
-                                let to_log = slot.wal.is_some().then(|| tuple.clone());
-                                let outcome = slot
-                                    .shard
-                                    .insert(&mut slot.rel, tuple)
-                                    .expect("arity validated by the router");
-                                if outcome == InsertOutcome::Accepted {
-                                    if let Some(t) = to_log {
-                                        slot.log(WalOp::Insert(t), &mut dirty, si);
-                                    }
-                                }
-                                OpOutcome::Insert(outcome)
-                            }
-                            StoreOp::Remove { tuple, .. } => {
-                                let present = slot
-                                    .shard
-                                    .remove(&mut slot.rel, &tuple)
-                                    .expect("arity validated by the router");
-                                if present {
-                                    slot.log(WalOp::Remove(tuple), &mut dirty, si);
-                                }
-                                OpOutcome::Remove(present)
-                            }
-                        };
-                        out.push((idx, outcome));
-                    }
-                    // Group fsync: one pass over the touched logs per
-                    // batch, before anything is acknowledged.
-                    for &si in &dirty {
-                        if let Some(w) = &mut self.slots[si].wal {
-                            w.maybe_sync(self.sync)
-                                .unwrap_or_else(|e| panic!("wal sync failed: {e}"));
-                        }
-                    }
-                    // A client that hung up no longer needs the reply.
-                    let _ = reply.send(out);
-                }
-                Command::Read { scheme, reply } => {
-                    let si = self.slot_of[scheme.index()]
-                        .expect("router sent a read for a foreign scheme");
-                    let _ = reply.send(self.slots[si].rel.clone());
-                }
-                Command::Count { scheme, reply } => {
-                    let si = self.slot_of[scheme.index()]
-                        .expect("router sent a count for a foreign scheme");
-                    let _ = reply.send(self.slots[si].rel.len());
-                }
-                Command::Query {
-                    scheme,
-                    predicate,
-                    reply,
-                } => {
-                    let si = self.slot_of[scheme.index()]
-                        .expect("router sent a query for a foreign scheme");
-                    let slot = &self.slots[si];
-                    let tuples = slot
-                        .shard
-                        .scan(&slot.rel, &predicate)
-                        .expect("predicate validated by the router");
-                    let _ = reply.send(tuples);
-                }
-                Command::Snapshot { reply } => {
-                    let _ = reply.send(self.slots.iter().map(|s| (s.id, s.rel.clone())).collect());
-                }
-                Command::Rotate { new_gen, reply } => {
-                    let mut out = Vec::with_capacity(self.slots.len());
-                    for slot in &mut self.slots {
-                        let wal = slot
-                            .wal
-                            .as_mut()
-                            .expect("rotate sent to a store without logs");
-                        let sealed = wal
-                            .rotate(new_gen)
-                            .unwrap_or_else(|e| panic!("wal rotate failed: {e}"));
-                        out.push((slot.id, slot.rel.clone(), sealed));
-                    }
-                    let _ = reply.send(out);
-                }
+            if self.step(cmd, &mut dirty).is_err() {
+                // A durability failure: the reason is already in the
+                // poison cell (recorded *before* the un-acked reply
+                // sender dropped, so no caller can observe the hangup
+                // without the reason being readable).  Stop serving —
+                // queued and future commands surface `ShardPoisoned`.
+                return self.slots.into_iter().map(|s| (s.id, s.rel)).collect();
             }
         }
         // All senders dropped: shutdown.  Dropping a writer syncs its
         // tail (best effort); hand the relations back.
         self.slots.into_iter().map(|s| (s.id, s.rel)).collect()
     }
+
+    /// Processes one command; `Err` means a WAL failure was recorded in
+    /// the poison cell and the worker must stop **without replying** to
+    /// the failing command (an op that could not be logged is not
+    /// acknowledged).
+    fn step(&mut self, cmd: Command, dirty: &mut Vec<usize>) -> Result<(), WalError> {
+        match cmd {
+            Command::Apply { ops, reply } => {
+                let mut out = Vec::with_capacity(ops.len());
+                dirty.clear();
+                for (idx, op) in ops {
+                    let si = self.slot_of[op.scheme().index()]
+                        .expect("router sent an op for a foreign scheme");
+                    let slot = &mut self.slots[si];
+                    let outcome = match op {
+                        StoreOp::Insert { tuple, .. } => {
+                            // Clone for the log only when there is
+                            // one: the in-memory fast path stays
+                            // allocation-free per op.
+                            let to_log = slot.wal.is_some().then(|| tuple.clone());
+                            let outcome = slot
+                                .shard
+                                .insert(&mut slot.rel, tuple)
+                                .expect("arity validated by the router");
+                            if outcome == InsertOutcome::Accepted {
+                                if let Some(t) = to_log {
+                                    slot.log(WalOp::Insert(t), dirty, si)
+                                        .map_err(|e| record_poison(&self.poison, e))?;
+                                }
+                            }
+                            OpOutcome::Insert(outcome)
+                        }
+                        StoreOp::Remove { tuple, .. } => {
+                            let present = slot
+                                .shard
+                                .remove(&mut slot.rel, &tuple)
+                                .expect("arity validated by the router");
+                            if present {
+                                slot.log(WalOp::Remove(tuple), dirty, si)
+                                    .map_err(|e| record_poison(&self.poison, e))?;
+                            }
+                            OpOutcome::Remove(present)
+                        }
+                    };
+                    out.push((idx, outcome));
+                }
+                // Group fsync: one pass over the touched logs per
+                // batch, before anything is acknowledged.
+                for &si in dirty.iter() {
+                    if let Some(w) = &mut self.slots[si].wal {
+                        w.maybe_sync(self.sync)
+                            .map_err(|e| record_poison(&self.poison, e))?;
+                    }
+                }
+                // A client that hung up no longer needs the reply.
+                let _ = reply.send(out);
+            }
+            Command::Read { scheme, reply } => {
+                let si =
+                    self.slot_of[scheme.index()].expect("router sent a read for a foreign scheme");
+                let _ = reply.send(self.slots[si].rel.clone());
+            }
+            Command::Count { scheme, reply } => {
+                let si =
+                    self.slot_of[scheme.index()].expect("router sent a count for a foreign scheme");
+                let _ = reply.send(self.slots[si].rel.len());
+            }
+            Command::Query {
+                scheme,
+                predicate,
+                reply,
+            } => {
+                let si =
+                    self.slot_of[scheme.index()].expect("router sent a query for a foreign scheme");
+                let slot = &self.slots[si];
+                let tuples = slot
+                    .shard
+                    .scan(&slot.rel, &predicate)
+                    .expect("predicate validated by the router");
+                let _ = reply.send(tuples);
+            }
+            Command::Snapshot { reply } => {
+                let _ = reply.send(self.slots.iter().map(|s| (s.id, s.rel.clone())).collect());
+            }
+            Command::Rotate { new_gen, reply } => {
+                let mut out = Vec::with_capacity(self.slots.len());
+                for slot in &mut self.slots {
+                    let wal = slot
+                        .wal
+                        .as_mut()
+                        .expect("rotate sent to a store without logs");
+                    let sealed = wal
+                        .rotate(new_gen)
+                        .map_err(|e| record_poison(&self.poison, e))?;
+                    out.push((slot.id, slot.rel.clone(), sealed));
+                }
+                let _ = reply.send(out);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Records a durability failure in the shared poison cell (first error
+/// wins) *before* the failing command's reply sender is dropped, so no
+/// caller can observe the hangup without the reason being readable.  A
+/// free function so worker closures borrow only the cell, not the whole
+/// worker.
+fn record_poison(cell: &OnceLock<String>, e: WalError) -> WalError {
+    let _ = cell.set(e.to_string());
+    e
 }
 
 impl Slot {
     /// Appends an effective op to the slot's log (no-op without one)
     /// and marks the slot dirty for the end-of-batch sync pass.
-    fn log(&mut self, op: WalOp, dirty: &mut Vec<usize>, si: usize) {
+    fn log(&mut self, op: WalOp, dirty: &mut Vec<usize>, si: usize) -> Result<(), WalError> {
         if let Some(w) = &mut self.wal {
-            // An op the shard cannot log must not be acknowledged:
-            // poisoning the worker turns the failure into
-            // `StoreError::Disconnected` at every caller.
-            w.append(op)
-                .unwrap_or_else(|e| panic!("wal append failed: {e}"));
+            // An op the shard cannot log must not be acknowledged: the
+            // caller (the worker loop) records the reason in the poison
+            // cell and shuts the shard down without replying.
+            w.append(op)?;
             if !dirty.contains(&si) {
                 dirty.push(si);
             }
         }
+        Ok(())
     }
 }
 
@@ -429,6 +476,10 @@ pub struct Store {
     assignment: Vec<usize>,
     senders: Vec<Sender<Command>>,
     handles: Vec<JoinHandle<Vec<(SchemeId, Relation)>>>,
+    /// Shared with every worker: the first durability failure's reason.
+    /// Set exactly once, read by [`Store::fail`] to upgrade an opaque
+    /// channel hangup into [`StoreError::ShardPoisoned`].
+    poison: Arc<OnceLock<String>>,
     /// Present on durable stores: the directory handle plus the current
     /// segment generation, serialized under a mutex so checkpoints
     /// cannot interleave.
@@ -554,7 +605,12 @@ impl Store {
             );
         }
         let enforcement = extract_enforcement(schema, analysis)?;
-        let DurableConfig { store, sync, app } = config;
+        let DurableConfig {
+            store,
+            sync,
+            app,
+            fail_appends_after,
+        } = config;
         let dir = WalDir::create(path, schema, fds, app)?;
         let (relations, shards) = preload_parts(&dir, schema, &enforcement, store.initial_state)?;
         let last_seqs = vec![0; schema.len()];
@@ -568,6 +624,7 @@ impl Store {
             1,
             store.shards,
             sync,
+            fail_appends_after,
         )
     }
 
@@ -613,6 +670,7 @@ impl Store {
                 next_gen,
                 config.store.shards,
                 config.sync,
+                config.fail_appends_after,
             );
         }
         let last_seqs = recovered.last_seqs();
@@ -628,6 +686,7 @@ impl Store {
             next_gen,
             config.store.shards,
             config.sync,
+            config.fail_appends_after,
         )
     }
 
@@ -644,10 +703,15 @@ impl Store {
         next_gen: u64,
         shard_count: usize,
         sync: SyncPolicy,
+        fail_appends_after: Option<u64>,
     ) -> Result<Self, StoreError> {
         let mut parts = Vec::with_capacity(schema.len());
         for ((id, rel), shard) in schema.ids().zip(relations).zip(shards) {
-            let writer = dir.segment_writer(id.index() as u16, next_gen, last_seqs[id.index()])?;
+            let mut writer =
+                dir.segment_writer(id.index() as u16, next_gen, last_seqs[id.index()])?;
+            if let Some(n) = fail_appends_after {
+                writer.fail_appends_after(n);
+            }
             parts.push(Slot {
                 id,
                 shard,
@@ -690,11 +754,13 @@ impl Store {
         }
         .max(1);
         let assignment: Vec<usize> = (0..schema.len()).map(|i| i % shard_count).collect();
+        let poison: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
         let mut workers: Vec<Worker> = (0..shard_count)
             .map(|_| Worker {
                 slots: Vec::new(),
                 slot_of: vec![None; schema.len()],
                 sync,
+                poison: Arc::clone(&poison),
             })
             .collect();
         for slot in parts {
@@ -720,8 +786,30 @@ impl Store {
             assignment,
             senders,
             handles,
+            poison,
             durability,
         }
+    }
+
+    /// The error behind a failed channel round trip: a poisoned shard
+    /// reports the preserved reason of the first durability failure;
+    /// only a genuinely reasonless hangup stays [`StoreError::Disconnected`].
+    fn fail(&self) -> StoreError {
+        match self.poison.get() {
+            Some(reason) => StoreError::ShardPoisoned {
+                reason: reason.clone(),
+            },
+            None => StoreError::Disconnected,
+        }
+    }
+
+    /// The preserved reason of the first shard durability failure, when
+    /// one has poisoned this store.  Shards that did not fail keep
+    /// serving their relations; every operation that *does* touch the
+    /// poisoned shard (and any store-wide barrier) reports
+    /// [`StoreError::ShardPoisoned`] with this reason.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poison.get().map(String::as_str)
     }
 
     /// The schema handle the store serves.
@@ -764,7 +852,7 @@ impl Store {
     /// skips.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
         let d = self.durability.as_ref().ok_or(StoreError::NotDurable)?;
-        let mut gen = d.gen.lock().map_err(|_| StoreError::Disconnected)?;
+        let mut gen = d.gen.lock().map_err(|_| self.fail())?;
         let old_gen = *gen;
         let new_gen = old_gen + 1;
         let (reply_tx, reply_rx) = channel();
@@ -773,12 +861,12 @@ impl Store {
                 new_gen,
                 reply: reply_tx.clone(),
             })
-            .map_err(|_| StoreError::Disconnected)?;
+            .map_err(|_| self.fail())?;
         }
         drop(reply_tx);
         let mut parts: Vec<Option<(Relation, u64)>> = vec![None; self.schema.len()];
         for _ in 0..self.senders.len() {
-            for (id, rel, sealed) in reply_rx.recv().map_err(|_| StoreError::Disconnected)? {
+            for (id, rel, sealed) in reply_rx.recv().map_err(|_| self.fail())? {
                 parts[id.index()] = Some((rel, sealed));
             }
         }
@@ -825,7 +913,7 @@ impl Store {
         let outcomes = self.apply_batch(vec![StoreOp::Insert { scheme: id, tuple }])?;
         match outcomes.into_iter().next() {
             Some(OpOutcome::Insert(outcome)) => Ok(outcome),
-            _ => Err(StoreError::Disconnected),
+            _ => Err(self.fail()),
         }
     }
 
@@ -835,7 +923,7 @@ impl Store {
         let outcomes = self.apply_batch(vec![StoreOp::Remove { scheme: id, tuple }])?;
         match outcomes.into_iter().next() {
             Some(OpOutcome::Remove(present)) => Ok(present),
-            _ => Err(StoreError::Disconnected),
+            _ => Err(self.fail()),
         }
     }
 
@@ -870,12 +958,12 @@ impl Store {
                     ops,
                     reply: reply_tx.clone(),
                 })
-                .map_err(|_| StoreError::Disconnected)?;
+                .map_err(|_| self.fail())?;
         }
         drop(reply_tx);
         let mut out: Vec<Option<OpOutcome>> = vec![None; total];
         for _ in 0..involved {
-            let part = reply_rx.recv().map_err(|_| StoreError::Disconnected)?;
+            let part = reply_rx.recv().map_err(|_| self.fail())?;
             for (idx, outcome) in part {
                 out[idx as usize] = Some(outcome);
             }
@@ -910,8 +998,8 @@ impl Store {
                 scheme: id,
                 reply: reply_tx,
             })
-            .map_err(|_| StoreError::Disconnected)?;
-        reply_rx.recv().map_err(|_| StoreError::Disconnected)
+            .map_err(|_| self.fail())?;
+        reply_rx.recv().map_err(|_| self.fail())
     }
 
     /// Evaluates an equality predicate against one relation **on its
@@ -940,8 +1028,8 @@ impl Store {
                 predicate: predicate.clone(),
                 reply: reply_tx,
             })
-            .map_err(|_| StoreError::Disconnected)?;
-        reply_rx.recv().map_err(|_| StoreError::Disconnected)
+            .map_err(|_| self.fail())?;
+        reply_rx.recv().map_err(|_| self.fail())
     }
 
     /// Number of tuples currently in one relation, consulting only the
@@ -959,8 +1047,8 @@ impl Store {
                 scheme: id,
                 reply: reply_tx,
             })
-            .map_err(|_| StoreError::Disconnected)?;
-        reply_rx.recv().map_err(|_| StoreError::Disconnected)
+            .map_err(|_| self.fail())?;
+        reply_rx.recv().map_err(|_| self.fail())
     }
 
     /// Takes a consistent snapshot: a barrier across all shards (each
@@ -975,12 +1063,12 @@ impl Store {
             tx.send(Command::Snapshot {
                 reply: reply_tx.clone(),
             })
-            .map_err(|_| StoreError::Disconnected)?;
+            .map_err(|_| self.fail())?;
         }
         drop(reply_tx);
         let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
         for _ in 0..self.senders.len() {
-            for (id, rel) in reply_rx.recv().map_err(|_| StoreError::Disconnected)? {
+            for (id, rel) in reply_rx.recv().map_err(|_| self.fail())? {
                 parts[id.index()] = Some(rel);
             }
         }
@@ -1017,6 +1105,14 @@ impl Store {
                 }
                 Err(_) => lost = true,
             }
+        }
+        if let Some(reason) = self.poison.get() {
+            // A poisoned shard exited without acknowledging everything it
+            // was sent: the final state is not the callers' view, so
+            // shutdown reports the preserved reason instead of a state.
+            return Err(StoreError::ShardPoisoned {
+                reason: reason.clone(),
+            });
         }
         if lost {
             return Err(StoreError::Disconnected);
@@ -1672,6 +1768,7 @@ mod tests {
                     },
                     sync: SyncPolicy::Always,
                     app: Vec::new(),
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -39,6 +39,12 @@ pub struct WalWriter {
     last_seq: u64,
     unsynced: u64,
     appended_in_segment: u64,
+    /// Fault injection (tests only, see [`WalWriter::fail_appends_after`]):
+    /// appends beyond this many total successful ones fail with an
+    /// injected I/O error.
+    fail_after: Option<u64>,
+    /// Total successful appends across rotations, for `fail_after`.
+    appended_total: u64,
 }
 
 impl WalWriter {
@@ -78,7 +84,18 @@ impl WalWriter {
             last_seq,
             unsynced: 0,
             appended_in_segment: 0,
+            fail_after: None,
+            appended_total: 0,
         })
+    }
+
+    /// Fault-injection hook for durability tests: every append after the
+    /// next `appends` successful ones fails with an injected I/O error,
+    /// exactly as if the disk had gone bad mid-workload.  Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn fail_appends_after(&mut self, appends: u64) {
+        self.fail_after = Some(self.appended_total + appends);
     }
 
     /// The relation this writer logs.
@@ -108,6 +125,14 @@ impl WalWriter {
 
     /// Appends one effective operation, returning its sequence number.
     pub fn append(&mut self, op: WalOp) -> Result<u64, WalError> {
+        if let Some(limit) = self.fail_after {
+            if self.appended_total >= limit {
+                return Err(io_err(
+                    &self.path,
+                    std::io::Error::other("injected append failure"),
+                ));
+            }
+        }
         let seq = self.last_seq + 1;
         let record = WalRecord { seq, op };
         let payload = record.encode();
@@ -118,6 +143,7 @@ impl WalWriter {
         self.last_seq = seq;
         self.unsynced += 1;
         self.appended_in_segment += 1;
+        self.appended_total += 1;
         Ok(seq)
     }
 
@@ -148,13 +174,17 @@ impl WalWriter {
     /// sequence number the closed segment ends at.
     pub fn rotate(&mut self, new_gen: u64) -> Result<u64, WalError> {
         self.sync()?;
-        let next = WalWriter::create(
+        let mut next = WalWriter::create(
             &self.wal_dir,
             self.fingerprint,
             self.scheme,
             new_gen,
             self.last_seq,
         )?;
+        // An injected fault budget survives rotation: the counters are
+        // writer-lifetime, not per-segment.
+        next.fail_after = self.fail_after;
+        next.appended_total = self.appended_total;
         let sealed_at = self.last_seq;
         *self = next;
         Ok(sealed_at)

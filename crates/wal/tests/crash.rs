@@ -129,6 +129,7 @@ proptest! {
                     store: StoreConfig { shards, initial_state: None },
                     sync: SyncPolicy::Always,
                     app: Vec::new(),
+                    ..Default::default()
                 },
             ).unwrap();
             let ops = to_store_ops(&trace);
@@ -186,6 +187,7 @@ proptest! {
                 store: StoreConfig { shards, initial_state: None },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),
+                ..Default::default()
             },
         ).unwrap();
         let recovered = store.shutdown().unwrap();
@@ -231,6 +233,7 @@ fn recovery_after_recovery_from_a_torn_tail_keeps_working() {
                 },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),
+                ..Default::default()
             },
         )
         .unwrap()
@@ -341,6 +344,7 @@ fn acknowledged_ops_survive_an_unclean_drop() {
                 },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -67,15 +67,19 @@
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
 //! | [`wal`] | per-relation write-ahead log + snapshot checkpoints (independence ⇒ no cross-log ordering) |
 //! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism), durable via [`wal`] |
-//! | [`api`] | `Schema` builder + typed `Database` over every engine; fluent queries, typed rows, barrier-free joins; durable via `open_at`/`recover` |
+//! | [`api`] | `Schema` builder + typed `Database` over every engine; fluent queries, typed rows, barrier-free joins; durable via `open_at`/`recover`; `SharedDatabase` for many threads |
+//! | [`server`] | TCP front-end: CRC-framed pipelined wire protocol, sessions, typed errors, bounded-queue backpressure |
+//! | [`client`] | blocking client for the wire protocol, with explicit pipelining |
 //! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
 pub use ids_api as api;
 pub use ids_chase as chase;
+pub use ids_client as client;
 pub use ids_core as core;
 pub use ids_deps as deps;
 pub use ids_relational as relational;
+pub use ids_server as server;
 pub use ids_store as store;
 pub use ids_wal as wal;
 pub use ids_workloads as workloads;
@@ -84,9 +88,10 @@ pub use ids_workloads as workloads;
 pub mod prelude {
     pub use ids_api::{
         eq, Cond, Database, Engine, EngineKind, Error as ApiError, Query, Row, Rows, Schema,
-        SchemaBuilder,
+        SchemaBuilder, SharedDatabase,
     };
     pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
+    pub use ids_client::{Client, ClientError, RowSet};
     pub use ids_core::{
         analyze, is_independent, render_analysis, verify_witness, ChaseMaintainer,
         FdOnlyMaintainer, IndependenceAnalysis, InsertOutcome, LocalMaintainer, Maintainer,
@@ -97,6 +102,10 @@ pub mod prelude {
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Predicate, Projection, Relation,
         RelationScheme, SchemeId, Tuple, Universe, Value, ValuePool,
     };
+    pub use ids_server::wire::{
+        FrameError, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
+    };
+    pub use ids_server::{Server, ServerConfig};
     pub use ids_store::{
         DurableConfig, OpOutcome, Store, StoreConfig, StoreError, StoreOp, SyncPolicy,
     };

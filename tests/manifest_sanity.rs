@@ -11,13 +11,14 @@
 #[allow(unused_imports)]
 use independent_schemas::prelude::{
     analyze, eq, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
-    ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Cond, Database,
-    DatabaseSchema, DatabaseState, DurableConfig, Engine, EngineKind, Fd, FdOnlyMaintainer, FdSet,
-    IndependenceAnalysis, InsertOutcome, JoinDependency, LocalMaintainer, Maintainer,
-    MaintenanceError, NotIndependentReason, OpOutcome, Predicate, Projection, Query, Relation,
-    RelationScheme, RelationShard, Row, Rows, Satisfaction, Schema, SchemaBuilder, SchemeId, Store,
-    StoreConfig, StoreError, StoreOp, SyncPolicy, Tuple, Universe, Value, ValuePool, Verdict,
-    WalDir, WalError, Witness,
+    ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Client, ClientError, Cond,
+    Database, DatabaseSchema, DatabaseState, DurableConfig, Engine, EngineKind, Fd,
+    FdOnlyMaintainer, FdSet, FrameError, FrameReader, IndependenceAnalysis, InsertOutcome,
+    JoinDependency, LocalMaintainer, Maintainer, MaintenanceError, NotIndependentReason, OpOutcome,
+    Predicate, Projection, Query, Relation, RelationScheme, RelationShard, Reply, Request, Row,
+    RowSet, Rows, Satisfaction, Schema, SchemaBuilder, SchemeId, Server, ServerConfig,
+    SharedDatabase, Store, StoreConfig, StoreError, StoreOp, SyncPolicy, Tuple, Universe, Value,
+    ValuePool, Verdict, WalDir, WalError, WireError, WireOutcome, Witness, WIRE_VERSION,
 };
 
 // Crate-module paths the test files reach around the prelude for.
@@ -52,6 +53,8 @@ use independent_schemas::{
 
 /// Signature pins for the core entry points: these fail to compile if a
 /// refactor changes arity or types, not just if a name disappears.
+/// Complex types are the point here — each pin spells a signature out.
+#[allow(clippy::type_complexity)]
 #[test]
 fn entry_point_signatures_are_stable() {
     let _analyze: fn(&DatabaseSchema, &FdSet) -> IndependenceAnalysis = analyze;
@@ -132,6 +135,38 @@ fn entry_point_signatures_are_stable() {
     let _wal_recover: fn(&WalDir) -> Result<Recovered, WalError> = WalDir::recover;
     let _fingerprint: fn(&DatabaseSchema, &FdSet) -> u32 = fingerprint;
     let _sync_default: SyncPolicy = SyncPolicy::default();
+    // The network surface: shared front-end, server lifecycle, blocking
+    // client.  Address-taking entry points use `impl ToSocketAddrs` (no
+    // fn-pointer coercion), so typed closures pin their shapes.
+    let _into_shared: fn(Database) -> Result<SharedDatabase, ApiError> = Database::into_shared;
+    let _shared_count: fn(&SharedDatabase, &str) -> Result<usize, ApiError> = SharedDatabase::count;
+    let _shared_snapshot: fn(&SharedDatabase) -> Result<DatabaseState, ApiError> =
+        SharedDatabase::snapshot;
+    let _serve = |s: std::sync::Arc<SharedDatabase>,
+                  a: std::net::SocketAddr|
+     -> std::io::Result<Server> { Server::serve(s, a) };
+    let _serve_with = |s: std::sync::Arc<SharedDatabase>,
+                       a: std::net::SocketAddr,
+                       c: ServerConfig|
+     -> std::io::Result<Server> { Server::serve_with(s, a, c) };
+    let _local_addr: fn(&Server) -> std::net::SocketAddr = Server::local_addr;
+    let _shutdown: fn(Server) = Server::shutdown;
+    let _connect = |a: std::net::SocketAddr| -> Result<Client, ClientError> { Client::connect(a) };
+    let _send: fn(&mut Client, Request) -> Result<u64, ClientError> = Client::send;
+    let _recv: fn(&mut Client, u64) -> Result<Reply, ClientError> = Client::recv;
+    let _catalog: fn(&Client) -> &[(String, Vec<String>)] = Client::catalog;
+    let _client_query: fn(
+        &mut Client,
+        &str,
+        &[(&str, &str)],
+        Option<&[&str]>,
+    ) -> Result<RowSet, ClientError> = Client::query;
+    let _version: u16 = WIRE_VERSION;
+    let _queue_depth: usize = ServerConfig::default().queue_depth;
+    let _overloaded: WireError = WireError::Overloaded;
+    let _accepted: WireOutcome = WireOutcome::Accepted;
+    let _corrupt: FrameError = FrameError::Corrupt("pinned");
+    let _frame_reader: fn(std::io::Empty) -> FrameReader<std::io::Empty> = FrameReader::new;
 }
 
 /// The doctest's Example 2 scenario, reachable through prelude symbols
