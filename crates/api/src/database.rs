@@ -23,21 +23,21 @@ use crate::schema::Schema;
 /// submission; every other engine (built-in or user-supplied) lives
 /// behind the one trait object.
 enum EngineBox {
-    Sharded(Store),
+    Sharded(Box<Store>),
     Boxed(Box<dyn Engine>),
 }
 
 impl EngineBox {
     fn as_dyn(&self) -> &dyn Engine {
         match self {
-            EngineBox::Sharded(e) => e,
+            EngineBox::Sharded(e) => e.as_ref(),
             EngineBox::Boxed(e) => e.as_ref(),
         }
     }
 
     fn as_dyn_mut(&mut self) -> &mut dyn Engine {
         match self {
-            EngineBox::Sharded(e) => e,
+            EngineBox::Sharded(e) => e.as_mut(),
             EngineBox::Boxed(e) => e.as_mut(),
         }
     }
@@ -110,11 +110,11 @@ impl Database {
                 &schema.fds,
                 empty,
             ))),
-            EngineKind::Sharded(config) => EngineBox::Sharded(Store::from_analysis(
+            EngineKind::Sharded(config) => EngineBox::Sharded(Box::new(Store::from_analysis(
                 &schema.definition,
                 &schema.analysis,
                 config,
-            )?),
+            )?)),
         };
         Ok(Database {
             schema,
@@ -200,7 +200,7 @@ impl Database {
         Ok(Database {
             schema,
             pool,
-            engine: EngineBox::Sharded(store),
+            engine: EngineBox::Sharded(Box::new(store)),
             pool_log: Some(pool_log),
         })
     }
@@ -219,6 +219,14 @@ impl Database {
     /// True when this database persists through a write-ahead log.
     pub fn is_durable(&self) -> bool {
         self.pool_log.is_some()
+    }
+
+    /// A typed snapshot of the engine's metric families — see
+    /// [`Store::metrics`].  `None` on the boxed sequential engines,
+    /// which have no instrumented runtime (they exist for differential
+    /// baselines, not production serving).
+    pub fn metrics(&self) -> Option<ids_obs::MetricsSnapshot> {
+        self.store().map(Store::metrics)
     }
 
     /// Opens a database on a caller-supplied [`Engine`] implementation.
@@ -503,7 +511,7 @@ impl Database {
         match self.engine {
             EngineBox::Sharded(store) => Ok(crate::SharedDatabase::assemble(
                 self.schema,
-                store,
+                *store,
                 self.pool,
                 self.pool_log,
             )),

@@ -113,6 +113,13 @@ impl SharedDatabase {
         &self.store
     }
 
+    /// A typed snapshot of the store's metric families, event ring, and
+    /// preserved poison reason — see [`Store::metrics`].  Purely
+    /// read-side: no shard round trip, works even after a poison.
+    pub fn metrics(&self) -> ids_obs::MetricsSnapshot {
+        self.store.metrics()
+    }
+
     /// Locks the name state; a poisoned mutex means a panic mid-intern
     /// on another thread, and continuing would risk logging tuples
     /// whose names were never made durable — so propagate the panic.

@@ -15,6 +15,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// One printed table, as captured by the experiments reporter.
 #[derive(Clone, Debug)]
@@ -80,6 +81,74 @@ pub fn render_experiment(experiment: &str, tables: &[JsonTable], notes: &[String
     out.push_str(&format!("  \"notes\": {}\n", string_array(notes)));
     out.push_str("}\n");
     out
+}
+
+/// Collects what an experiment section prints — tables and note lines —
+/// so `--json` mode can mirror it into `BENCH_<section>.json`.  Without
+/// JSON capture it only prints.
+///
+/// Every flushed document gets a uniform provenance note stamped into
+/// its `notes`: the host CPU count (the ceiling on shard overlap, so a
+/// tracked number is interpretable across machines) and the section's
+/// wall-clock elapsed time (so trajectory tooling can see when a
+/// section's own cost regresses, not just its measured kernels).
+pub struct Reporter {
+    json_dir: Option<PathBuf>,
+    tables: Vec<JsonTable>,
+    notes: Vec<String>,
+    section_started: Instant,
+}
+
+impl Reporter {
+    /// A reporter; with `json` on, sections flush into the current
+    /// directory as `BENCH_<section>.json`.
+    pub fn new(json: bool) -> Self {
+        Reporter {
+            json_dir: json.then(|| std::env::current_dir().expect("current directory")),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            section_started: Instant::now(),
+        }
+    }
+
+    /// Prints a table (and captures it when JSON capture is on).
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        crate::print_table(title, headers, rows);
+        if self.json_dir.is_some() {
+            self.tables.push(JsonTable {
+                title: title.to_string(),
+                headers: headers.iter().map(|h| h.to_string()).collect(),
+                rows: rows.to_vec(),
+            });
+        }
+    }
+
+    /// Prints a free-form note line under the section's tables.
+    pub fn note(&mut self, text: String) {
+        println!("{text}");
+        if self.json_dir.is_some() {
+            self.notes.push(text);
+        }
+    }
+
+    /// Ends a section: writes `BENCH_<section>.json` (when capturing)
+    /// with the provenance stamp appended, then clears the capture and
+    /// restarts the section clock either way.
+    pub fn flush(&mut self, section: &str) {
+        if let Some(dir) = &self.json_dir {
+            let mut notes = self.notes.clone();
+            notes.push(format!(
+                "host CPUs: {}; section elapsed: {}",
+                crate::throughput::available_cpus(),
+                crate::fmt_duration(self.section_started.elapsed()),
+            ));
+            write_experiment(dir, section, &self.tables, &notes)
+                .unwrap_or_else(|e| panic!("writing BENCH_{section}.json: {e}"));
+        }
+        self.tables.clear();
+        self.notes.clear();
+        self.section_started = Instant::now();
+    }
 }
 
 /// Writes `BENCH_{experiment}.json` into `dir`, returning the path.

@@ -4,13 +4,15 @@
 //! the E7 store-throughput kernel ([`throughput`]), the E8
 //! read-vs-snapshot kernel ([`reads`]), the E9 durability-overhead +
 //! recovery kernel ([`durability`]), the E10 query-pushdown kernel
-//! ([`queries`]) and the E11 network front-end kernel ([`net`]).
+//! ([`queries`]), the E11 network front-end kernel ([`net`]) and the
+//! E12 observability-overhead + conservation kernel ([`obs`]).
 
 #![warn(missing_docs)]
 
 pub mod durability;
 pub mod json;
 pub mod net;
+pub mod obs;
 pub mod queries;
 pub mod reads;
 pub mod throughput;

@@ -139,6 +139,11 @@ pub struct OverloadRow {
     pub served: usize,
     /// Queries shed with a typed `Overloaded` reply.
     pub shed: usize,
+    /// The server's own `server.requests.query` counter after the burst
+    /// — executed queries as the *server* tallied them.
+    pub counter_served: u64,
+    /// The server's own `server.shed` counter after the burst.
+    pub counter_shed: u64,
     /// Wall-clock for the whole burst.
     pub elapsed: Duration,
 }
@@ -210,12 +215,22 @@ pub fn overload_burst(
         shed += d;
     }
     let elapsed = start.elapsed();
+    // The server's counters must tell the same story as the clients'
+    // tallies: conservation checked from both ends of the wire.
+    let snap = server.metrics();
+    let counter_served = snap.counter("server.requests.query").unwrap_or(0);
+    let counter_shed = snap.counter("server.shed").unwrap_or(0);
     server.shutdown();
 
     assert_eq!(
         served + shed,
         clients * burst,
         "every request must be answered exactly once"
+    );
+    assert_eq!(
+        (counter_served, counter_shed),
+        (served as u64, shed as u64),
+        "server-side counters must agree with the client tallies"
     );
     OverloadRow {
         clients,
@@ -224,6 +239,8 @@ pub fn overload_burst(
         queue_depth,
         served,
         shed,
+        counter_served,
+        counter_shed,
         elapsed,
     }
 }

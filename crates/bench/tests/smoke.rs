@@ -20,7 +20,7 @@ fn experiments_smoke_covers_all_sections() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
-        "E11a", "E11b",
+        "E11a", "E11b", "E12a", "E12b",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -135,6 +135,24 @@ fn network_smoke_conserves_requests_under_overload() {
     }
 }
 
+/// The E12 conservation kernel (shared with `experiments e12`) must run
+/// end to end at smoke sizes.  The equality between counter totals and
+/// acknowledged outcomes is asserted *inside* the kernel; here the
+/// report's shape is checked.  The on/off overhead measurement is not
+/// run from this (multi-threaded) test binary — it flips the global
+/// recording switch, which would race the other kernels' counter
+/// assertions; it runs in the sequential `experiments` binary instead.
+#[test]
+fn observability_smoke_conserves_acknowledged_outcomes() {
+    let report = ids_bench::obs::conservation_check(true);
+    assert_eq!(report.ops, 200);
+    assert!(report.shards >= 2, "conservation must span shards");
+    assert!(report.accepted > 0);
+    assert!(
+        report.accepted + report.duplicate + report.rejected + report.removed <= report.ops as u64
+    );
+}
+
 /// `--json` must land one well-formed `BENCH_<section>.json` per
 /// section, in the invocation directory.
 #[test]
@@ -153,7 +171,7 @@ fn experiments_json_mode_writes_bench_files() {
         String::from_utf8_lossy(&out.stderr)
     );
     for section in [
-        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
     ] {
         let path = dir.join(format!("BENCH_{section}.json"));
         let body = std::fs::read_to_string(&path)
@@ -163,6 +181,11 @@ fn experiments_json_mode_writes_bench_files() {
             "BENCH_{section}.json misnames its experiment:\n{body}"
         );
         assert!(body.contains("\"tables\""), "{section}: no tables field");
+        // Every document carries the uniform provenance stamp.
+        assert!(
+            body.contains("host CPUs:") && body.contains("section elapsed:"),
+            "BENCH_{section}.json is missing the provenance note:\n{body}"
+        );
         // Cheap well-formedness: balanced braces and brackets.
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(

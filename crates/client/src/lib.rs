@@ -185,11 +185,26 @@ impl Client {
         )))
     }
 
-    /// Liveness probe.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    /// Liveness probe, returning the measured round-trip time: the
+    /// wall-clock span from putting the Ping on the wire to decoding
+    /// its Pong.
+    pub fn ping(&mut self) -> Result<std::time::Duration, ClientError> {
+        let start = std::time::Instant::now();
         match self.call(Request::Ping)? {
-            Reply::Pong => Ok(()),
+            Reply::Pong => Ok(start.elapsed()),
             other => Self::protocol_err(other, "Pong"),
+        }
+    }
+
+    /// Polls the server's observability surface: the database's metric
+    /// families (per-shard op counters, WAL, apply-latency histograms,
+    /// the event ring, any preserved poison reason) merged with the
+    /// connection layer's `server.*` families.  Purely read-side on the
+    /// server — it answers even after a shard has been poisoned.
+    pub fn stats(&mut self) -> Result<ids_obs::MetricsSnapshot, ClientError> {
+        match self.call(Request::Stats)? {
+            Reply::Stats(snapshot) => Ok(snapshot),
+            other => Self::protocol_err(other, "Stats"),
         }
     }
 

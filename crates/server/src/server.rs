@@ -31,21 +31,94 @@
 //! `Overloaded` replies go straight to the writer and can overtake
 //! queued work, which is exactly why the protocol echoes request ids.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use ids_api::{eq, Cond, Error, SharedDatabase};
 use ids_core::InsertOutcome;
+use ids_obs::{Counter, Event, Gauge, MetricsSnapshot, Registry};
 use ids_relational::RelationalError;
 use ids_store::StoreError;
 
 use crate::wire::{
     decode_request, encode_reply, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
 };
+
+/// The connection layer's metric families, interned under `server.*`
+/// names in their own [`Registry`] — merged with the database's
+/// families when a stats poll or [`Server::metrics`] asks.
+struct ServerObs {
+    registry: Registry,
+    /// Next connection id (monotonic per server, never reused).
+    conn_seq: AtomicU64,
+    /// Currently open connections.
+    connections: Arc<Gauge>,
+    /// Requests shed with a typed `Overloaded` reply.
+    shed: Arc<Counter>,
+    /// Intact frames whose payload did not decode.
+    malformed: Arc<Counter>,
+    /// Bytes read from peers, across all connections.
+    bytes_in: Arc<Counter>,
+    /// Bytes written to peers, across all connections.
+    bytes_out: Arc<Counter>,
+}
+
+impl ServerObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        ServerObs {
+            conn_seq: AtomicU64::new(0),
+            connections: registry.gauge("server.connections"),
+            shed: registry.counter("server.shed"),
+            malformed: registry.counter("server.malformed"),
+            bytes_in: registry.counter("server.bytes_in"),
+            bytes_out: registry.counter("server.bytes_out"),
+            registry,
+        }
+    }
+
+    /// The per-kind **executed**-request counter.  Executed means the
+    /// worker ran it: shed and malformed requests are counted by their
+    /// own families, which is what makes `served + shed == sent`
+    /// conservation checkable from counters alone.
+    fn request_counter(&self, req: &Request) -> Arc<Counter> {
+        let kind = match req {
+            Request::Hello { .. } => "hello",
+            Request::Ping => "ping",
+            Request::Insert { .. } => "insert",
+            Request::Remove { .. } => "remove",
+            Request::Query { .. } => "query",
+            Request::Count { .. } => "count",
+            Request::Snapshot => "snapshot",
+            Request::Checkpoint => "checkpoint",
+            Request::Stats => "stats",
+        };
+        self.registry.counter(&format!("server.requests.{kind}"))
+    }
+}
+
+/// A [`Read`] adapter tallying bytes into the server's `bytes_in`
+/// counter and the connection's own total (for the close event).
+struct CountingReader<R> {
+    inner: R,
+    total: Arc<Counter>,
+    conn: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.total.add(n as u64);
+        // The per-connection tally feeds the ConnectionClosed event and
+        // is ungated: one relaxed add per syscall is noise.
+        self.conn.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
 
 /// Live connections: a socket clone (for forced shutdown) plus the
 /// connection thread's handle (for joining).
@@ -90,6 +163,8 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     conns: ConnRegistry,
+    shared: Arc<SharedDatabase>,
+    obs: Arc<ServerObs>,
 }
 
 impl Server {
@@ -109,9 +184,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: ConnRegistry = Arc::default();
+        let obs = Arc::new(ServerObs::new());
         let accept = {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let shared = Arc::clone(&shared);
+            let obs = Arc::clone(&obs);
             std::thread::spawn(move || {
                 for incoming in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -124,9 +202,10 @@ impl Server {
                     conns.retain(|(_, handle)| !handle.is_finished());
                     let registered = stream.try_clone().ok();
                     let shared = Arc::clone(&shared);
+                    let obs = Arc::clone(&obs);
                     let config = config.clone();
                     let handle =
-                        std::thread::spawn(move || serve_connection(stream, shared, config));
+                        std::thread::spawn(move || serve_connection(stream, shared, obs, config));
                     if let Some(registered) = registered {
                         conns.push((registered, handle));
                     }
@@ -138,7 +217,21 @@ impl Server {
             stop,
             accept: Some(accept),
             conns,
+            shared,
+            obs,
         })
+    }
+
+    /// The server's full observability surface: the database's metric
+    /// families (per-shard op counters, WAL, events, poison reason)
+    /// merged with the connection layer's (`server.*` counters, the
+    /// connection gauge, shed/malformed tallies, bytes in/out) — the
+    /// same snapshot a [`crate::wire::Request::Stats`] poll gets over
+    /// the wire.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics();
+        snap.merge(self.obs.registry.snapshot());
+        snap
     }
 
     /// The bound address — the one to hand to
@@ -167,21 +260,46 @@ impl Server {
 
 /// One connection: this thread is the reader; worker and writer are
 /// spawned and joined before it returns.
-fn serve_connection(stream: TcpStream, shared: Arc<SharedDatabase>, config: ServerConfig) {
+fn serve_connection(
+    stream: TcpStream,
+    shared: Arc<SharedDatabase>,
+    obs: Arc<ServerObs>,
+    config: ServerConfig,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let conn_id = obs.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let conn_bytes_in = Arc::new(AtomicU64::new(0));
+    let conn_bytes_out = Arc::new(AtomicU64::new(0));
+    obs.connections.inc();
+    obs.registry.events().record(Event::ConnectionOpened {
+        connection: conn_id,
+    });
     let (reply_tx, reply_rx) = mpsc::channel::<(u64, Reply)>();
     let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Request)>(config.queue_depth.max(1));
 
-    let writer = std::thread::spawn(move || write_replies(stream, reply_rx));
+    let writer = {
+        let bytes_out = Arc::clone(&obs.bytes_out);
+        let conn_bytes_out = Arc::clone(&conn_bytes_out);
+        std::thread::spawn(move || write_replies(stream, reply_rx, bytes_out, conn_bytes_out))
+    };
     let worker = {
         let shared = Arc::clone(&shared);
+        let obs = Arc::clone(&obs);
         let reply_tx = reply_tx.clone();
-        std::thread::spawn(move || run_jobs(shared, job_rx, reply_tx))
+        std::thread::spawn(move || run_jobs(shared, obs, job_rx, reply_tx))
     };
 
-    read_requests(&read_half, &shared, &job_tx, &reply_tx);
+    read_requests(
+        &read_half,
+        &shared,
+        &obs,
+        conn_id,
+        &conn_bytes_in,
+        &job_tx,
+        &reply_tx,
+    );
 
     // Unwind: closing the job queue drains the worker, and once both
     // reply senders are gone the writer drains and exits.
@@ -193,16 +311,29 @@ fn serve_connection(stream: TcpStream, shared: Arc<SharedDatabase>, config: Serv
     // forced shutdown), so dropping our halves is not enough to close
     // the connection — shut it down explicitly so the peer sees EOF.
     let _ = read_half.shutdown(Shutdown::Both);
+    obs.connections.dec();
+    obs.registry.events().record(Event::ConnectionClosed {
+        connection: conn_id,
+        bytes_in: conn_bytes_in.load(Ordering::Relaxed),
+        bytes_out: conn_bytes_out.load(Ordering::Relaxed),
+    });
 }
 
 /// The reader loop: frames in, jobs (or direct replies) out.
 fn read_requests(
     read_half: &TcpStream,
     shared: &SharedDatabase,
+    obs: &ServerObs,
+    conn_id: u64,
+    conn_bytes_in: &Arc<AtomicU64>,
     job_tx: &SyncSender<(u64, Request)>,
     reply_tx: &Sender<(u64, Reply)>,
 ) {
-    let mut frames = FrameReader::new(read_half);
+    let mut frames = FrameReader::new(CountingReader {
+        inner: read_half,
+        total: Arc::clone(&obs.bytes_in),
+        conn: Arc::clone(conn_bytes_in),
+    });
     let mut greeted = false;
     loop {
         let payload = match frames.next_payload() {
@@ -238,6 +369,10 @@ fn read_requests(
                     // writer, overtaking queued work — the reader
                     // never blocks on a full queue.
                     Err(TrySendError::Full(_)) => {
+                        obs.shed.inc();
+                        obs.registry.events().record(Event::OverloadShed {
+                            connection: conn_id,
+                        });
                         if reply_tx
                             .send((id, Reply::Error(WireError::Overloaded)))
                             .is_err()
@@ -251,6 +386,7 @@ fn read_requests(
             // The frame was intact, so the stream is still in sync:
             // answer the malformed payload and keep serving.
             Err((id, err)) => {
+                obs.malformed.inc();
                 if reply_tx.send((id, Reply::Error(err))).is_err() {
                     return;
                 }
@@ -262,11 +398,12 @@ fn read_requests(
 /// The worker loop: jobs in order, replies by id.
 fn run_jobs(
     shared: Arc<SharedDatabase>,
+    obs: Arc<ServerObs>,
     job_rx: Receiver<(u64, Request)>,
     reply_tx: Sender<(u64, Reply)>,
 ) {
     while let Ok((id, req)) = job_rx.recv() {
-        if reply_tx.send((id, execute(&shared, req))).is_err() {
+        if reply_tx.send((id, execute(&shared, &obs, req))).is_err() {
             // Writer gone: the connection is dead, stop executing.
             return;
         }
@@ -275,12 +412,20 @@ fn run_jobs(
 
 /// The writer loop: owns the write half; on failure shuts the socket
 /// down so a blocked reader wakes, then drains nothing further.
-fn write_replies(mut stream: TcpStream, reply_rx: Receiver<(u64, Reply)>) {
+fn write_replies(
+    mut stream: TcpStream,
+    reply_rx: Receiver<(u64, Reply)>,
+    bytes_out: Arc<Counter>,
+    conn_bytes_out: Arc<AtomicU64>,
+) {
     while let Ok((id, reply)) = reply_rx.recv() {
-        if stream.write_all(&encode_reply(id, &reply)).is_err() {
+        let frame = encode_reply(id, &reply);
+        if stream.write_all(&frame).is_err() {
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
+        bytes_out.add(frame.len() as u64);
+        conn_bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -305,7 +450,8 @@ fn hello_reply(shared: &SharedDatabase) -> Reply {
 
 /// Executes one request against the shared database.  Every failure
 /// becomes a typed [`Reply::Error`]; nothing here panics the worker.
-fn execute(shared: &SharedDatabase, req: Request) -> Reply {
+fn execute(shared: &SharedDatabase, obs: &ServerObs, req: Request) -> Reply {
+    obs.request_counter(&req).inc();
     match req {
         // A repeated Hello is answered idempotently.
         Request::Hello { .. } => hello_reply(shared),
@@ -364,6 +510,14 @@ fn execute(shared: &SharedDatabase, req: Request) -> Reply {
             Ok(()) => Reply::Checkpointed,
             Err(e) => Reply::Error(wire_error(e)),
         },
+        // Purely read-side: aggregates the database's families with the
+        // connection layer's and never touches a shard — a stats poll
+        // still answers after a poison.
+        Request::Stats => {
+            let mut snap = shared.metrics();
+            snap.merge(obs.registry.snapshot());
+            Reply::Stats(snap)
+        }
     }
 }
 

@@ -34,6 +34,9 @@
 //! error, never a panic, and allocation is capped by the decoder's
 //! remaining input, so a hostile length prefix cannot balloon memory.
 
+use std::time::Duration;
+
+use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
 use ids_relational::codec::{Decoder, Encoder};
 use ids_relational::RelationalError;
 use ids_wal::format::frame;
@@ -88,6 +91,12 @@ pub enum Request {
     Snapshot,
     /// Checkpoint a durable database (snapshot + log truncation).
     Checkpoint,
+    /// Poll the server's observability surface; answered with
+    /// [`Reply::Stats`] carrying a full [`MetricsSnapshot`] (store +
+    /// WAL + server metric families, the event ring, and the preserved
+    /// poison reason if any).  Purely read-side: polling never mutates
+    /// the database.
+    Stats,
 }
 
 /// A server → client message; `Reply::Error` can answer any request.
@@ -125,6 +134,9 @@ pub enum Reply {
     },
     /// Answer to [`Request::Checkpoint`].
     Checkpointed,
+    /// Answer to [`Request::Stats`]: the server's merged metrics
+    /// snapshot (database + connection-layer families).
+    Stats(MetricsSnapshot),
     /// Typed failure; the request id says which request it answers.
     Error(WireError),
 }
@@ -237,6 +249,7 @@ const REQ_QUERY: u8 = 4;
 const REQ_COUNT: u8 = 5;
 const REQ_SNAPSHOT: u8 = 6;
 const REQ_CHECKPOINT: u8 = 7;
+const REQ_STATS: u8 = 8;
 
 const REP_HELLO: u8 = 0;
 const REP_PONG: u8 = 1;
@@ -247,6 +260,17 @@ const REP_COUNT: u8 = 5;
 const REP_SNAPSHOT: u8 = 6;
 const REP_CHECKPOINTED: u8 = 7;
 const REP_ERROR: u8 = 8;
+const REP_STATS: u8 = 9;
+
+// Structured-event tags inside a REP_STATS body.  Append-only, like
+// the kind bytes.
+const EV_SHARD_POISONED: u8 = 0;
+const EV_CHECKPOINT_STARTED: u8 = 1;
+const EV_CHECKPOINT_COMPLETED: u8 = 2;
+const EV_OVERLOAD_SHED: u8 = 3;
+const EV_RECOVERY_REPLAYED: u8 = 4;
+const EV_CONNECTION_OPENED: u8 = 5;
+const EV_CONNECTION_CLOSED: u8 = 6;
 
 const OUT_ACCEPTED: u8 = 0;
 const OUT_DUPLICATE: u8 = 1;
@@ -321,8 +345,93 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::Snapshot => e.put_u8(REQ_SNAPSHOT),
         Request::Checkpoint => e.put_u8(REQ_CHECKPOINT),
+        Request::Stats => e.put_u8(REQ_STATS),
     }
     frame(&e.into_bytes())
+}
+
+/// Clamps a duration to whole nanoseconds for the wire (saturating —
+/// a ~585-year duration is not worth a wider encoding).
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn put_snapshot(e: &mut Encoder, snap: &MetricsSnapshot) {
+    e.put_u32(snap.counters.len() as u32);
+    for (name, value) in &snap.counters {
+        e.put_str(name);
+        e.put_u64(*value);
+    }
+    e.put_u32(snap.gauges.len() as u32);
+    for (name, value) in &snap.gauges {
+        e.put_str(name);
+        // i64 travels through its two's-complement bits.
+        e.put_u64(*value as u64);
+    }
+    e.put_u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        e.put_str(name);
+        e.put_u64(h.count);
+        e.put_u64(h.sum_ns);
+        e.put_u32(h.buckets.len() as u32);
+        for b in &h.buckets {
+            e.put_u64(*b);
+        }
+    }
+    e.put_u32(snap.events.len() as u32);
+    for record in &snap.events {
+        e.put_u64(record.seq);
+        e.put_u64(duration_ns(record.at));
+        match &record.event {
+            Event::ShardPoisoned { shard, reason } => {
+                e.put_u8(EV_SHARD_POISONED);
+                e.put_u64(*shard);
+                e.put_str(reason);
+            }
+            Event::CheckpointStarted { generation } => {
+                e.put_u8(EV_CHECKPOINT_STARTED);
+                e.put_u64(*generation);
+            }
+            Event::CheckpointCompleted {
+                generation,
+                duration,
+            } => {
+                e.put_u8(EV_CHECKPOINT_COMPLETED);
+                e.put_u64(*generation);
+                e.put_u64(duration_ns(*duration));
+            }
+            Event::OverloadShed { connection } => {
+                e.put_u8(EV_OVERLOAD_SHED);
+                e.put_u64(*connection);
+            }
+            Event::RecoveryReplayed { records, duration } => {
+                e.put_u8(EV_RECOVERY_REPLAYED);
+                e.put_u64(*records);
+                e.put_u64(duration_ns(*duration));
+            }
+            Event::ConnectionOpened { connection } => {
+                e.put_u8(EV_CONNECTION_OPENED);
+                e.put_u64(*connection);
+            }
+            Event::ConnectionClosed {
+                connection,
+                bytes_in,
+                bytes_out,
+            } => {
+                e.put_u8(EV_CONNECTION_CLOSED);
+                e.put_u64(*connection);
+                e.put_u64(*bytes_in);
+                e.put_u64(*bytes_out);
+            }
+        }
+    }
+    match &snap.poisoned {
+        None => e.put_u8(0),
+        Some(reason) => {
+            e.put_u8(1);
+            e.put_str(reason);
+        }
+    }
 }
 
 /// Encodes a reply as one ready-to-write CRC frame.
@@ -382,6 +491,10 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
             }
         }
         Reply::Checkpointed => e.put_u8(REP_CHECKPOINTED),
+        Reply::Stats(snap) => {
+            e.put_u8(REP_STATS);
+            put_snapshot(&mut e, snap);
+        }
         Reply::Error(err) => {
             e.put_u8(REP_ERROR);
             match err {
@@ -507,6 +620,7 @@ fn decode_request_body(d: &mut Decoder<'_>) -> Result<Request, WireError> {
         },
         REQ_SNAPSHOT => Request::Snapshot,
         REQ_CHECKPOINT => Request::Checkpoint,
+        REQ_STATS => Request::Stats,
         other => return Err(WireError::Malformed(format!("bad request kind {other}"))),
     };
     if !d.is_done() {
@@ -584,6 +698,7 @@ fn decode_reply_body(d: &mut Decoder<'_>) -> Result<Reply, WireError> {
             Reply::Snapshot { counts }
         }
         REP_CHECKPOINTED => Reply::Checkpointed,
+        REP_STATS => Reply::Stats(get_snapshot(d)?),
         REP_ERROR => Reply::Error(decode_wire_error(d)?),
         other => return Err(WireError::Malformed(format!("bad reply kind {other}"))),
     };
@@ -594,6 +709,93 @@ fn decode_reply_body(d: &mut Decoder<'_>) -> Result<Reply, WireError> {
         )));
     }
     Ok(reply)
+}
+
+/// Decodes a [`MetricsSnapshot`] — total, like everything else here:
+/// counts are capped by the remaining input, every tag is checked.
+fn get_snapshot(d: &mut Decoder<'_>) -> Result<MetricsSnapshot, WireError> {
+    let n = d.get_u32().map_err(malformed)?;
+    let mut counters = Vec::with_capacity(cap(n, d));
+    for _ in 0..n {
+        let name = d.get_str().map_err(malformed)?;
+        let value = d.get_u64().map_err(malformed)?;
+        counters.push((name, value));
+    }
+    let n = d.get_u32().map_err(malformed)?;
+    let mut gauges = Vec::with_capacity(cap(n, d));
+    for _ in 0..n {
+        let name = d.get_str().map_err(malformed)?;
+        let value = d.get_u64().map_err(malformed)? as i64;
+        gauges.push((name, value));
+    }
+    let n = d.get_u32().map_err(malformed)?;
+    let mut histograms = Vec::with_capacity(cap(n, d));
+    for _ in 0..n {
+        let name = d.get_str().map_err(malformed)?;
+        let count = d.get_u64().map_err(malformed)?;
+        let sum_ns = d.get_u64().map_err(malformed)?;
+        let nb = d.get_u32().map_err(malformed)?;
+        let mut buckets = Vec::with_capacity(cap(nb, d));
+        for _ in 0..nb {
+            buckets.push(d.get_u64().map_err(malformed)?);
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                buckets,
+                count,
+                sum_ns,
+            },
+        ));
+    }
+    let n = d.get_u32().map_err(malformed)?;
+    let mut events = Vec::with_capacity(cap(n, d));
+    for _ in 0..n {
+        let seq = d.get_u64().map_err(malformed)?;
+        let at = Duration::from_nanos(d.get_u64().map_err(malformed)?);
+        let event = match d.get_u8().map_err(malformed)? {
+            EV_SHARD_POISONED => Event::ShardPoisoned {
+                shard: d.get_u64().map_err(malformed)?,
+                reason: d.get_str().map_err(malformed)?,
+            },
+            EV_CHECKPOINT_STARTED => Event::CheckpointStarted {
+                generation: d.get_u64().map_err(malformed)?,
+            },
+            EV_CHECKPOINT_COMPLETED => Event::CheckpointCompleted {
+                generation: d.get_u64().map_err(malformed)?,
+                duration: Duration::from_nanos(d.get_u64().map_err(malformed)?),
+            },
+            EV_OVERLOAD_SHED => Event::OverloadShed {
+                connection: d.get_u64().map_err(malformed)?,
+            },
+            EV_RECOVERY_REPLAYED => Event::RecoveryReplayed {
+                records: d.get_u64().map_err(malformed)?,
+                duration: Duration::from_nanos(d.get_u64().map_err(malformed)?),
+            },
+            EV_CONNECTION_OPENED => Event::ConnectionOpened {
+                connection: d.get_u64().map_err(malformed)?,
+            },
+            EV_CONNECTION_CLOSED => Event::ConnectionClosed {
+                connection: d.get_u64().map_err(malformed)?,
+                bytes_in: d.get_u64().map_err(malformed)?,
+                bytes_out: d.get_u64().map_err(malformed)?,
+            },
+            tag => return Err(WireError::Malformed(format!("bad event tag {tag}"))),
+        };
+        events.push(EventRecord { seq, at, event });
+    }
+    let poisoned = match d.get_u8().map_err(malformed)? {
+        0 => None,
+        1 => Some(d.get_str().map_err(malformed)?),
+        tag => return Err(WireError::Malformed(format!("bad poisoned tag {tag}"))),
+    };
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        events,
+        poisoned,
+    })
 }
 
 fn decode_wire_error(d: &mut Decoder<'_>) -> Result<WireError, WireError> {
@@ -762,8 +964,80 @@ mod tests {
             },
             Request::Snapshot,
             Request::Checkpoint,
+            Request::Stats,
         ] {
             roundtrip_request(req);
+        }
+    }
+
+    /// A representative snapshot exercising every event tag and both
+    /// poisoned states — shared with the golden fixtures.
+    pub(crate) fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("store.shard0.accepted".into(), 41),
+                ("wal.appends".into(), 41),
+            ],
+            gauges: vec![("store.shard0.queue_depth".into(), -1)],
+            histograms: vec![(
+                "store.shard0.apply_ns".into(),
+                HistogramSnapshot {
+                    buckets: vec![0, 2, 5, 1],
+                    count: 8,
+                    sum_ns: 12_345,
+                },
+            )],
+            events: vec![
+                EventRecord {
+                    seq: 0,
+                    at: Duration::from_nanos(100),
+                    event: Event::ConnectionOpened { connection: 1 },
+                },
+                EventRecord {
+                    seq: 1,
+                    at: Duration::from_nanos(200),
+                    event: Event::CheckpointStarted { generation: 2 },
+                },
+                EventRecord {
+                    seq: 2,
+                    at: Duration::from_nanos(300),
+                    event: Event::CheckpointCompleted {
+                        generation: 2,
+                        duration: Duration::from_nanos(90),
+                    },
+                },
+                EventRecord {
+                    seq: 3,
+                    at: Duration::from_nanos(400),
+                    event: Event::OverloadShed { connection: 1 },
+                },
+                EventRecord {
+                    seq: 4,
+                    at: Duration::from_nanos(500),
+                    event: Event::RecoveryReplayed {
+                        records: 7,
+                        duration: Duration::from_nanos(60),
+                    },
+                },
+                EventRecord {
+                    seq: 5,
+                    at: Duration::from_nanos(600),
+                    event: Event::ShardPoisoned {
+                        shard: 0,
+                        reason: "disk gone".into(),
+                    },
+                },
+                EventRecord {
+                    seq: 6,
+                    at: Duration::from_nanos(700),
+                    event: Event::ConnectionClosed {
+                        connection: 1,
+                        bytes_in: 512,
+                        bytes_out: 2048,
+                    },
+                },
+            ],
+            poisoned: Some("disk gone".into()),
         }
     }
 
@@ -791,6 +1065,8 @@ mod tests {
                 counts: vec![("CT".into(), 2), ("CS".into(), 0)],
             },
             Reply::Checkpointed,
+            Reply::Stats(MetricsSnapshot::default()),
+            Reply::Stats(sample_snapshot()),
             Reply::Error(WireError::UnknownRelation("TD".into())),
             Reply::Error(WireError::UnknownColumn {
                 relation: "CT".into(),

@@ -220,6 +220,109 @@ fn overload_sheds_with_typed_replies_and_never_stalls() {
 }
 
 #[test]
+fn metrics_conserve_the_overload_burst_and_count_every_byte() {
+    let db = Database::open(schema(), EngineKind::Sharded(StoreConfig::default())).unwrap();
+    let shared = Arc::new(db.into_shared().unwrap());
+    for i in 0..2000 {
+        shared
+            .insert("CS", [format!("CS{i}"), format!("S{i}")])
+            .unwrap();
+    }
+    let server = Server::serve_with(
+        Arc::clone(&shared),
+        "127.0.0.1:0",
+        ServerConfig { queue_depth: 1 },
+    )
+    .unwrap();
+
+    // Several sessions each pipeline a burst of full scans against a
+    // depth-1 queue; the client tallies its own serves and sheds.
+    const SESSIONS: usize = 3;
+    const BURST: usize = 80;
+    let (mut served, mut shed) = (0u64, 0u64);
+    let mut sessions = Vec::new();
+    for _ in 0..SESSIONS {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let ids: Vec<u64> = (0..BURST)
+            .map(|_| {
+                client
+                    .send(Request::Query {
+                        relation: "CS".into(),
+                        filters: vec![],
+                        select: None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for id in ids {
+            match client.recv(id).unwrap() {
+                Reply::Rows { .. } => served += 1,
+                Reply::Error(WireError::Overloaded) => shed += 1,
+                other => panic!("unexpected reply under overload: {other:?}"),
+            }
+        }
+        sessions.push(client);
+    }
+
+    // Conservation, asserted from the *server's own counters* polled
+    // over the wire: every query in the burst was either executed or
+    // shed — the executed-query counter and the shed counter partition
+    // the burst exactly, and both agree with the client-side tally.
+    let mut stats_client = Client::connect(server.local_addr()).unwrap();
+    let snap = stats_client.stats().unwrap();
+    assert_eq!(snap.counter("server.requests.query"), Some(served));
+    assert_eq!(snap.counter("server.shed"), Some(shed));
+    assert_eq!(served + shed, (SESSIONS * BURST) as u64);
+    assert!(shed > 0, "a depth-1 queue under this burst must shed");
+    // The stats poll arrived on a live connection, so the byte counters
+    // and the connection gauge are already visibly non-trivial.
+    assert!(snap.counter("server.bytes_in").unwrap() > 0);
+    assert!(snap.counter("server.bytes_out").unwrap() > 0);
+    assert_eq!(
+        snap.gauge("server.connections"),
+        Some((SESSIONS + 1) as i64)
+    );
+
+    // Close the burst sessions and wait for their close events: every
+    // session moved real bytes in both directions.
+    drop(sessions);
+    drop(stats_client);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let closes = loop {
+        let closes: Vec<(u64, u64)> = server
+            .metrics()
+            .events
+            .iter()
+            .filter_map(|rec| match rec.event {
+                ids_obs::Event::ConnectionClosed {
+                    bytes_in,
+                    bytes_out,
+                    ..
+                } => Some((bytes_in, bytes_out)),
+                _ => None,
+            })
+            .collect();
+        if closes.len() == SESSIONS + 1 {
+            break closes;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connections did not close: saw {} of {} close events",
+            closes.len(),
+            SESSIONS + 1
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    for (bytes_in, bytes_out) in closes {
+        assert!(bytes_in > 0, "a session that sent requests read no bytes?");
+        assert!(bytes_out > 0, "a session that got replies wrote no bytes?");
+    }
+    assert_eq!(server.metrics().gauge("server.connections"), Some(0));
+
+    server.shutdown();
+}
+
+#[test]
 fn client_dropping_mid_batch_never_wedges_the_server() {
     let server = serve(shared());
 

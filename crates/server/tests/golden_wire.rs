@@ -9,7 +9,9 @@
 //! `WIRE_VERSION` increment).
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
 use ids_server::wire::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, FrameOutcome, Reply,
     Request, WireError, WireOutcome, WIRE_VERSION,
@@ -60,7 +62,64 @@ fn canonical_requests() -> Vec<(u64, Request)> {
         ),
         (6, Request::Snapshot),
         (u64::MAX, Request::Checkpoint),
+        // Appended for wire kind 8 (Stats): new message kinds extend
+        // the fixture, so the pre-Stats bytes stay a strict prefix and
+        // old peers remain byte-compatible.
+        (7, Request::Stats),
     ]
+}
+
+/// A deterministic [`MetricsSnapshot`] exercising every field of the
+/// stats codec: counters, a negative gauge, histogram buckets, one of
+/// every event tag, and a preserved poison reason.
+fn canonical_snapshot() -> MetricsSnapshot {
+    let events = vec![
+        Event::ShardPoisoned {
+            shard: 2,
+            reason: "disk gone".into(),
+        },
+        Event::CheckpointStarted { generation: 3 },
+        Event::CheckpointCompleted {
+            generation: 3,
+            duration: Duration::from_micros(1500),
+        },
+        Event::OverloadShed { connection: 7 },
+        Event::RecoveryReplayed {
+            records: 128,
+            duration: Duration::from_millis(2),
+        },
+        Event::ConnectionOpened { connection: 7 },
+        Event::ConnectionClosed {
+            connection: 7,
+            bytes_in: 4096,
+            bytes_out: 512,
+        },
+    ];
+    MetricsSnapshot {
+        counters: vec![
+            ("store.shard0.accepted".into(), 41),
+            ("wal.fsyncs".into(), 9),
+        ],
+        gauges: vec![("server.connections".into(), -1)],
+        histograms: vec![(
+            "store.shard0.apply_ns".into(),
+            HistogramSnapshot {
+                buckets: vec![0, 2, 5, 1],
+                count: 8,
+                sum_ns: 12_345,
+            },
+        )],
+        events: events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| EventRecord {
+                seq: i as u64,
+                at: Duration::from_nanos(100 * i as u64),
+                event,
+            })
+            .collect(),
+        poisoned: Some("disk gone".into()),
+    }
 }
 
 /// One of every reply kind, including one of every error variant.
@@ -131,6 +190,11 @@ fn canonical_replies() -> Vec<(u64, Reply)> {
     for (i, err) in errors.into_iter().enumerate() {
         replies.push((11 + i as u64, Reply::Error(err)));
     }
+    // Appended for wire kind 9 (Stats): empty and fully-populated
+    // snapshots, after the original replies so those bytes stay a
+    // strict prefix.
+    replies.push((23, Reply::Stats(MetricsSnapshot::default())));
+    replies.push((24, Reply::Stats(canonical_snapshot())));
     replies
 }
 

@@ -47,6 +47,29 @@ fn seed_frames() -> Vec<Vec<u8>> {
                 violated: Some("C -> T".into()),
             }),
         ),
+        // A populated stats reply: mutations of this frame exercise the
+        // snapshot decoder's count caps and event-tag validation.
+        encode_reply(
+            6,
+            &Reply::Stats(ids_obs::MetricsSnapshot {
+                counters: vec![("server.shed".into(), 3)],
+                gauges: vec![("server.connections".into(), 2)],
+                histograms: vec![(
+                    "wal.fsync_ns".into(),
+                    ids_obs::HistogramSnapshot {
+                        buckets: vec![1, 0, 4],
+                        count: 5,
+                        sum_ns: 999,
+                    },
+                )],
+                events: vec![ids_obs::EventRecord {
+                    seq: 0,
+                    at: std::time::Duration::from_nanos(42),
+                    event: ids_obs::Event::OverloadShed { connection: 1 },
+                }],
+                poisoned: None,
+            }),
+        ),
     ]
 }
 
@@ -75,7 +98,7 @@ proptest! {
     /// A valid frame with any prefix truncated is torn or corrupt —
     /// typed, not a panic.
     #[test]
-    fn truncations_are_typed(seed in 0usize..5, cut in 0usize..200) {
+    fn truncations_are_typed(seed in 0usize..6, cut in 0usize..200) {
         let frame = &seed_frames()[seed];
         let cut = cut.min(frame.len());
         receive(&frame[..cut]);
@@ -86,7 +109,7 @@ proptest! {
     /// still passes — it cannot, for a single flip, but the property
     /// holds regardless) the payload decodes to a typed outcome.
     #[test]
-    fn bit_flips_are_typed(seed in 0usize..5, pos in 0usize..200, flip in 1u8..=255) {
+    fn bit_flips_are_typed(seed in 0usize..6, pos in 0usize..200, flip in 1u8..=255) {
         let mut frame = seed_frames()[seed].clone();
         let pos = pos % frame.len();
         frame[pos] ^= flip;

@@ -86,13 +86,15 @@ use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationShard, Witness};
 use ids_deps::{Fd, FdSet};
+use ids_obs::{Counter, Event, EventLog, Gauge, LatencyHistogram, MetricsSnapshot, Registry};
 use ids_relational::{
     DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
 };
-use ids_wal::{WalDir, WalError, WalOp, WalWriter};
+use ids_wal::{WalDir, WalError, WalMetrics, WalOp, WalWriter};
 
 pub use ids_wal::SyncPolicy;
 
@@ -301,8 +303,46 @@ struct Slot {
     wal: Option<WalWriter>,
 }
 
+/// Metric handles of one shard, interned in the store's registry under
+/// `store.shard{i}.*` names.  Per Theorem 3's locality argument, each
+/// shard records only into its **own** family — telemetry never makes
+/// two shards share a cache line, just as enforcement never makes them
+/// share state.
+#[derive(Debug)]
+struct ShardMetrics {
+    /// Inserts committed (`InsertOutcome::Accepted`).
+    accepted: Arc<Counter>,
+    /// Inserts that found the tuple already present.
+    duplicate: Arc<Counter>,
+    /// Inserts refused by the enforcement cover probe.
+    rejected: Arc<Counter>,
+    /// Removes of a present tuple.
+    removed: Arc<Counter>,
+    /// Commands sent to this shard and not yet picked up by its worker.
+    queue_depth: Arc<Gauge>,
+    /// Wall-clock latency of each `Apply` batch (probe + commit + WAL
+    /// append + group fsync), recorded once per batch.
+    apply_ns: Arc<LatencyHistogram>,
+}
+
+impl ShardMetrics {
+    fn new(registry: &Registry, shard: usize) -> Self {
+        let name = |what: &str| format!("store.shard{shard}.{what}");
+        ShardMetrics {
+            accepted: registry.counter(&name("accepted")),
+            duplicate: registry.counter(&name("duplicate")),
+            rejected: registry.counter(&name("rejected")),
+            removed: registry.counter(&name("removed")),
+            queue_depth: registry.gauge(&name("queue_depth")),
+            apply_ns: registry.histogram(&name("apply_ns")),
+        }
+    }
+}
+
 /// The state a worker thread owns: its relations and their shards.
 struct Worker {
+    /// This worker's shard index (for poison events).
+    shard: usize,
     slots: Vec<Slot>,
     /// scheme index → slot index (dense, `None` for foreign schemes).
     slot_of: Vec<Option<usize>>,
@@ -312,6 +352,11 @@ struct Worker {
     /// of *any* shard lands here, and every later caller-side channel
     /// failure is upgraded to [`StoreError::ShardPoisoned`] with it.
     poison: Arc<OnceLock<String>>,
+    /// This shard's metric family (shared with the front-end, which
+    /// increments `queue_depth` on send).
+    metrics: Arc<ShardMetrics>,
+    /// The store-wide event ring (poison events land here).
+    events: Arc<EventLog>,
 }
 
 impl Worker {
@@ -319,6 +364,7 @@ impl Worker {
         // Scratch: which slots the current Apply touched with logged ops.
         let mut dirty: Vec<usize> = Vec::new();
         while let Ok(cmd) = rx.recv() {
+            self.metrics.queue_depth.dec();
             if self.step(cmd, &mut dirty).is_err() {
                 // A durability failure: the reason is already in the
                 // poison cell (recorded *before* the un-acked reply
@@ -340,6 +386,13 @@ impl Worker {
     fn step(&mut self, cmd: Command, dirty: &mut Vec<usize>) -> Result<(), WalError> {
         match cmd {
             Command::Apply { ops, reply } => {
+                // Instrumentation is amortized over the batch: the
+                // per-op tallies are plain locals, flushed with four
+                // relaxed adds (plus one histogram sample) per batch —
+                // the hot loop itself touches no atomics.
+                let start = ids_obs::recording().then(Instant::now);
+                let (mut accepted, mut duplicate, mut rejected, mut removed) =
+                    (0u64, 0u64, 0u64, 0u64);
                 let mut out = Vec::with_capacity(ops.len());
                 dirty.clear();
                 for (idx, op) in ops {
@@ -356,11 +409,17 @@ impl Worker {
                                 .shard
                                 .insert(&mut slot.rel, tuple)
                                 .expect("arity validated by the router");
-                            if outcome == InsertOutcome::Accepted {
-                                if let Some(t) = to_log {
-                                    slot.log(WalOp::Insert(t), dirty, si)
-                                        .map_err(|e| record_poison(&self.poison, e))?;
+                            match outcome {
+                                InsertOutcome::Accepted => {
+                                    accepted += 1;
+                                    if let Some(t) = to_log {
+                                        slot.log(WalOp::Insert(t), dirty, si).map_err(|e| {
+                                            record_poison(&self.poison, &self.events, self.shard, e)
+                                        })?;
+                                    }
                                 }
+                                InsertOutcome::Duplicate => duplicate += 1,
+                                InsertOutcome::Rejected { .. } => rejected += 1,
                             }
                             OpOutcome::Insert(outcome)
                         }
@@ -370,8 +429,10 @@ impl Worker {
                                 .remove(&mut slot.rel, &tuple)
                                 .expect("arity validated by the router");
                             if present {
-                                slot.log(WalOp::Remove(tuple), dirty, si)
-                                    .map_err(|e| record_poison(&self.poison, e))?;
+                                removed += 1;
+                                slot.log(WalOp::Remove(tuple), dirty, si).map_err(|e| {
+                                    record_poison(&self.poison, &self.events, self.shard, e)
+                                })?;
                             }
                             OpOutcome::Remove(present)
                         }
@@ -382,9 +443,18 @@ impl Worker {
                 // batch, before anything is acknowledged.
                 for &si in dirty.iter() {
                     if let Some(w) = &mut self.slots[si].wal {
-                        w.maybe_sync(self.sync)
-                            .map_err(|e| record_poison(&self.poison, e))?;
+                        w.maybe_sync(self.sync).map_err(|e| {
+                            record_poison(&self.poison, &self.events, self.shard, e)
+                        })?;
                     }
+                }
+                let m = &self.metrics;
+                m.accepted.add(accepted);
+                m.duplicate.add(duplicate);
+                m.rejected.add(rejected);
+                m.removed.add(removed);
+                if let Some(start) = start {
+                    m.apply_ns.record(start.elapsed());
                 }
                 // A client that hung up no longer needs the reply.
                 let _ = reply.send(out);
@@ -425,7 +495,7 @@ impl Worker {
                         .expect("rotate sent to a store without logs");
                     let sealed = wal
                         .rotate(new_gen)
-                        .map_err(|e| record_poison(&self.poison, e))?;
+                        .map_err(|e| record_poison(&self.poison, &self.events, self.shard, e))?;
                     out.push((slot.id, slot.rel.clone(), sealed));
                 }
                 let _ = reply.send(out);
@@ -437,11 +507,24 @@ impl Worker {
 
 /// Records a durability failure in the shared poison cell (first error
 /// wins) *before* the failing command's reply sender is dropped, so no
-/// caller can observe the hangup without the reason being readable.  A
-/// free function so worker closures borrow only the cell, not the whole
-/// worker.
-fn record_poison(cell: &OnceLock<String>, e: WalError) -> WalError {
-    let _ = cell.set(e.to_string());
+/// caller can observe the hangup without the reason being readable.  The
+/// first failure is also published as an [`Event::ShardPoisoned`] in the
+/// store's event ring, so a stats poll discovers the reason without
+/// issuing a (failing) operation.  A free function so worker closures
+/// borrow only these fields, not the whole worker.
+fn record_poison(
+    cell: &OnceLock<String>,
+    events: &EventLog,
+    shard: usize,
+    e: WalError,
+) -> WalError {
+    let reason = e.to_string();
+    if cell.set(reason.clone()).is_ok() {
+        events.record(Event::ShardPoisoned {
+            shard: shard as u64,
+            reason,
+        });
+    }
     e
 }
 
@@ -484,6 +567,18 @@ pub struct Store {
     /// segment generation, serialized under a mutex so checkpoints
     /// cannot interleave.
     durability: Option<Durability>,
+    /// The store's observability surface: the registry every layer's
+    /// metric families are interned in, plus the per-shard handles the
+    /// front-end touches (queue-depth gauges).
+    obs: StoreObs,
+}
+
+/// The observability half of a [`Store`].
+#[derive(Debug)]
+struct StoreObs {
+    registry: Arc<Registry>,
+    /// Per-shard metric handles, indexed by shard.
+    shard: Vec<Arc<ShardMetrics>>,
 }
 
 /// The durable half of a [`Store`].
@@ -675,8 +770,13 @@ impl Store {
         }
         let last_seqs = recovered.last_seqs();
         let next_gen = recovered.next_gen;
-        let (relations, shards) = replay_recovered(schema, &enforcement, recovered, dir.root())?;
-        Self::finish_durable(
+        // Replay is a cold path: time it unconditionally so the summary
+        // event carries a real duration even if recording was toggled.
+        let replay_start = Instant::now();
+        let (relations, shards, replayed) =
+            replay_recovered(schema, &enforcement, recovered, dir.root())?;
+        let replay_elapsed = replay_start.elapsed();
+        let store = Self::finish_durable(
             dir,
             schema,
             enforcement,
@@ -687,7 +787,17 @@ impl Store {
             config.store.shards,
             config.sync,
             config.fail_appends_after,
-        )
+        )?;
+        store
+            .obs
+            .registry
+            .counter("wal.recovered_records")
+            .add(replayed);
+        store.obs.registry.events().record(Event::RecoveryReplayed {
+            records: replayed,
+            duration: replay_elapsed,
+        });
+        Ok(store)
     }
 
     /// Shared tail of the durable opens: attach one segment writer per
@@ -738,7 +848,7 @@ impl Store {
     fn spawn(
         schema: &DatabaseSchema,
         enforcement: Vec<FdSet>,
-        parts: Vec<Slot>,
+        mut parts: Vec<Slot>,
         shards: usize,
         sync: SyncPolicy,
         durability: Option<Durability>,
@@ -753,14 +863,38 @@ impl Store {
             shards.min(schema.len())
         }
         .max(1);
+        let registry = Arc::new(Registry::new());
+        if durability.is_some() {
+            // One WAL metric family for the whole store (aggregated
+            // across relations — per-relation fan-out is per-shard
+            // already), attached to every slot's writer and interned
+            // under stable names.
+            let wal_metrics = WalMetrics::new();
+            registry.register_counter("wal.appends", Arc::clone(&wal_metrics.appends));
+            registry.register_counter("wal.append_bytes", Arc::clone(&wal_metrics.append_bytes));
+            registry.register_counter("wal.fsyncs", Arc::clone(&wal_metrics.fsyncs));
+            registry.register_histogram("wal.fsync_ns", Arc::clone(&wal_metrics.fsync_ns));
+            registry.register_counter("wal.rotations", Arc::clone(&wal_metrics.rotations));
+            for slot in &mut parts {
+                if let Some(w) = slot.wal.as_mut() {
+                    w.set_metrics(wal_metrics.clone());
+                }
+            }
+        }
+        let shard_metrics: Vec<Arc<ShardMetrics>> = (0..shard_count)
+            .map(|i| Arc::new(ShardMetrics::new(&registry, i)))
+            .collect();
         let assignment: Vec<usize> = (0..schema.len()).map(|i| i % shard_count).collect();
         let poison: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
         let mut workers: Vec<Worker> = (0..shard_count)
-            .map(|_| Worker {
+            .map(|i| Worker {
+                shard: i,
                 slots: Vec::new(),
                 slot_of: vec![None; schema.len()],
                 sync,
                 poison: Arc::clone(&poison),
+                metrics: Arc::clone(&shard_metrics[i]),
+                events: Arc::clone(registry.events()),
             })
             .collect();
         for slot in parts {
@@ -788,7 +922,22 @@ impl Store {
             handles,
             poison,
             durability,
+            obs: StoreObs {
+                registry,
+                shard: shard_metrics,
+            },
         }
+    }
+
+    /// Routes one command to a shard, keeping its queue-depth gauge in
+    /// step: incremented on send, decremented by the worker on receipt
+    /// (and re-decremented here if the send itself fails).
+    fn send(&self, shard: usize, cmd: Command) -> Result<(), StoreError> {
+        self.obs.shard[shard].queue_depth.inc();
+        self.senders[shard].send(cmd).map_err(|_| {
+            self.obs.shard[shard].queue_depth.dec();
+            self.fail()
+        })
     }
 
     /// The error behind a failed channel round trip: a poisoned shard
@@ -855,13 +1004,19 @@ impl Store {
         let mut gen = d.gen.lock().map_err(|_| self.fail())?;
         let old_gen = *gen;
         let new_gen = old_gen + 1;
+        let start = ids_obs::recording().then(Instant::now);
+        self.obs.registry.events().record(Event::CheckpointStarted {
+            generation: new_gen,
+        });
         let (reply_tx, reply_rx) = channel();
-        for tx in &self.senders {
-            tx.send(Command::Rotate {
-                new_gen,
-                reply: reply_tx.clone(),
-            })
-            .map_err(|_| self.fail())?;
+        for shard in 0..self.senders.len() {
+            self.send(
+                shard,
+                Command::Rotate {
+                    new_gen,
+                    reply: reply_tx.clone(),
+                },
+            )?;
         }
         drop(reply_tx);
         let mut parts: Vec<Option<(Relation, u64)>> = vec![None; self.schema.len()];
@@ -887,7 +1042,34 @@ impl Store {
         let state = DatabaseState::from_relations(&self.schema, relations)?;
         d.dir.write_snapshot(&state, &seqs, old_gen)?;
         d.dir.prune_segments(old_gen)?;
+        let duration = start.map(|t| t.elapsed()).unwrap_or_default();
+        self.obs
+            .registry
+            .histogram("wal.checkpoint_ns")
+            .record(duration);
+        self.obs
+            .registry
+            .events()
+            .record(Event::CheckpointCompleted {
+                generation: new_gen,
+                duration,
+            });
         Ok(())
+    }
+
+    /// A typed snapshot of every metric family the store (and its WAL
+    /// writers) record into, plus the event ring and — satellite of the
+    /// poison-discoverability fix — the preserved first-failure reason
+    /// in [`MetricsSnapshot::poisoned`], readable **without issuing a
+    /// failing operation**.
+    ///
+    /// Purely read-side: no worker round trip, no barrier, works even
+    /// after every shard has shut down.  See the `ids-obs` crate docs
+    /// for the relaxed-ordering read semantics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        snap.poisoned = self.poison.get().cloned();
+        snap
     }
 
     /// Validates an operation's scheme and arity before it is routed, so
@@ -953,12 +1135,13 @@ impl Store {
                 continue;
             }
             involved += 1;
-            self.senders[shard]
-                .send(Command::Apply {
+            self.send(
+                shard,
+                Command::Apply {
                     ops,
                     reply: reply_tx.clone(),
-                })
-                .map_err(|_| self.fail())?;
+                },
+            )?;
         }
         drop(reply_tx);
         let mut out: Vec<Option<OpOutcome>> = vec![None; total];
@@ -993,12 +1176,13 @@ impl Store {
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         let (reply_tx, reply_rx) = channel();
-        self.senders[self.assignment[id.index()]]
-            .send(Command::Read {
+        self.send(
+            self.assignment[id.index()],
+            Command::Read {
                 scheme: id,
                 reply: reply_tx,
-            })
-            .map_err(|_| self.fail())?;
+            },
+        )?;
         reply_rx.recv().map_err(|_| self.fail())
     }
 
@@ -1022,13 +1206,14 @@ impl Store {
             .ok_or(StoreError::UnknownScheme(id))?;
         predicate.validate_against(scheme.attrs)?;
         let (reply_tx, reply_rx) = channel();
-        self.senders[self.assignment[id.index()]]
-            .send(Command::Query {
+        self.send(
+            self.assignment[id.index()],
+            Command::Query {
                 scheme: id,
                 predicate: predicate.clone(),
                 reply: reply_tx,
-            })
-            .map_err(|_| self.fail())?;
+            },
+        )?;
         reply_rx.recv().map_err(|_| self.fail())
     }
 
@@ -1042,12 +1227,13 @@ impl Store {
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         let (reply_tx, reply_rx) = channel();
-        self.senders[self.assignment[id.index()]]
-            .send(Command::Count {
+        self.send(
+            self.assignment[id.index()],
+            Command::Count {
                 scheme: id,
                 reply: reply_tx,
-            })
-            .map_err(|_| self.fail())?;
+            },
+        )?;
         reply_rx.recv().map_err(|_| self.fail())
     }
 
@@ -1059,11 +1245,13 @@ impl Store {
     /// shard enforced its `Fi`, and `LSAT = WSAT` does the rest.
     pub fn snapshot(&self) -> Result<DatabaseState, StoreError> {
         let (reply_tx, reply_rx) = channel();
-        for tx in &self.senders {
-            tx.send(Command::Snapshot {
-                reply: reply_tx.clone(),
-            })
-            .map_err(|_| self.fail())?;
+        for shard in 0..self.senders.len() {
+            self.send(
+                shard,
+                Command::Snapshot {
+                    reply: reply_tx.clone(),
+                },
+            )?;
         }
         drop(reply_tx);
         let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
@@ -1214,16 +1402,18 @@ fn replay_recovered(
     enforcement: &[FdSet],
     recovered: ids_wal::Recovered,
     root: &Path,
-) -> Result<(Vec<Relation>, Vec<RelationShard>), StoreError> {
+) -> Result<(Vec<Relation>, Vec<RelationShard>, u64), StoreError> {
     let base = recovered.base.into_relations();
     let mut relations = Vec::with_capacity(schema.len());
     let mut shards = Vec::with_capacity(schema.len());
+    let mut replayed_total = 0u64;
     for ((id, mut rel), records) in schema.ids().zip(base).zip(recovered.tail) {
         let fi = enforcement[id.index()].clone();
         let mut shard =
             RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
         for record in records {
             let seq = record.seq;
+            replayed_total += 1;
             let replayed = match record.op {
                 WalOp::Insert(t) => {
                     matches!(shard.insert(&mut rel, t), Ok(InsertOutcome::Accepted))
@@ -1243,7 +1433,7 @@ fn replay_recovered(
         relations.push(rel);
         shards.push(shard);
     }
-    Ok((relations, shards))
+    Ok((relations, shards, replayed_total))
 }
 
 // The whole point: clients on many threads share one store.

@@ -157,6 +157,62 @@ proptest! {
     }
 }
 
+/// The observability counters are not a parallel bookkeeping scheme
+/// that can drift: once the workload has quiesced, the per-shard metric
+/// totals must equal the sequential-replay oracle's outcome counts
+/// *exactly* — same differential discipline as the states above, applied
+/// to the telemetry.
+#[test]
+fn metric_counter_totals_match_the_sequential_oracle() {
+    use ids_core::InsertOutcome;
+    let inst = key_chain(4);
+    let trace = interleaved_trace(
+        &inst.schema,
+        TraceParams {
+            clients: 4,
+            ops_per_client: 50,
+            domain: 5,
+            remove_percent: 25,
+        },
+        7,
+    );
+    let (expected_outcomes, _) = sequential_replay(&inst.schema, &inst.fds, &trace);
+    let (mut accepted, mut duplicate, mut rejected, mut removed) = (0u64, 0u64, 0u64, 0u64);
+    for o in &expected_outcomes {
+        match o {
+            OpOutcome::Insert(InsertOutcome::Accepted) => accepted += 1,
+            OpOutcome::Insert(InsertOutcome::Duplicate) => duplicate += 1,
+            OpOutcome::Insert(InsertOutcome::Rejected { .. }) => rejected += 1,
+            OpOutcome::Remove(true) => removed += 1,
+            OpOutcome::Remove(false) => {}
+        }
+    }
+
+    let store = Store::open_with(
+        &inst.schema,
+        &inst.fds,
+        StoreConfig {
+            shards: 3,
+            initial_state: None,
+        },
+    )
+    .unwrap();
+    let got = store.apply_batch(to_store_ops(&trace)).unwrap();
+    assert_eq!(got, expected_outcomes);
+
+    let snap = store.metrics();
+    assert_eq!(snap.counter_sum("accepted"), accepted);
+    assert_eq!(snap.counter_sum("duplicate"), duplicate);
+    assert_eq!(snap.counter_sum("rejected"), rejected);
+    assert_eq!(snap.counter_sum("removed"), removed);
+    // Every command the front-end queued has been drained: the
+    // queue-depth gauges are back to zero.
+    for (name, depth) in &snap.gauges {
+        assert_eq!(*depth, 0, "{name} did not quiesce");
+    }
+    store.shutdown().unwrap();
+}
+
 /// Closing the loop to the paper's semantics: on a small instance the
 /// store, the sequential local engine, and the whole-state re-chase all
 /// agree step for step.

@@ -187,6 +187,42 @@ fn organic_rotate_failure_poisons_the_checkpoint() {
 }
 
 #[test]
+fn a_stats_poll_discovers_the_poison_without_mutating() {
+    let root = unique_root("stats-poll");
+    let (schema, fds) = setup();
+    let store = durable_with_fault(&root, &schema, &fds, 1, Some(0));
+    let ct = schema.scheme_by_name("CT").unwrap();
+    assert!(store.metrics().poisoned.is_none());
+    assert!(matches!(
+        store.insert(ct, vec![v(1), v(10)]),
+        Err(StoreError::ShardPoisoned { .. })
+    ));
+    // `poison_reason()` used to be the only way to the reason, and the
+    // failure itself was only discoverable by issuing a failing op.  The
+    // metrics snapshot is pure read-side: no command is sent, yet it
+    // carries the preserved reason...
+    let snap = store.metrics();
+    let reason = snap
+        .poisoned
+        .as_deref()
+        .expect("poison surfaced in the snapshot");
+    assert!(reason.contains(INJECTED), "reason lost: {reason}");
+    // ...the event ring holds the first failure as a structured event
+    // with the failing shard's index...
+    assert!(
+        snap.events.iter().any(|r| matches!(
+            &r.event,
+            ids_obs::Event::ShardPoisoned { shard: 0, reason } if reason.contains(INJECTED)
+        )),
+        "no ShardPoisoned event in {:?}",
+        snap.events
+    );
+    // ...and the operator-facing text rendering shows it up front.
+    assert!(snap.render().contains(INJECTED));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn in_memory_stores_never_poison() {
     // The poison path is durability-only: an in-memory store has no WAL
     // to fail, and a full workload leaves the cell untouched.

@@ -62,7 +62,7 @@ mod dir;
 pub use dir::{Recovered, WalDir};
 pub use names::NameLog;
 pub use records::{fingerprint, Manifest, SegmentHeader, Snapshot, WalOp, WalRecord};
-pub use writer::WalWriter;
+pub use writer::{WalMetrics, WalWriter};
 
 use std::path::PathBuf;
 

@@ -3,10 +3,42 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ids_obs::{Counter, LatencyHistogram};
 
 use crate::format::frame;
 use crate::records::{SegmentHeader, WalOp, WalRecord};
 use crate::{io_err, SyncPolicy, WalError};
+
+/// Shared metric handles a [`WalWriter`] records into.
+///
+/// The handles are `Arc`s so one family can be attached to many writers
+/// (the store attaches one family per store, aggregated across all
+/// relations) and read concurrently through an
+/// [`ids_obs::Registry`].  Attaching metrics is optional; a writer
+/// without them records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct WalMetrics {
+    /// Records appended across all attached writers.
+    pub appends: Arc<Counter>,
+    /// Bytes written for appended frames (payload + 8-byte frame header).
+    pub append_bytes: Arc<Counter>,
+    /// `fsync` (`sync_data`) calls issued.
+    pub fsyncs: Arc<Counter>,
+    /// Latency of each `fsync` call.
+    pub fsync_ns: Arc<LatencyHistogram>,
+    /// Segment rotations (the per-relation half of checkpoints).
+    pub rotations: Arc<Counter>,
+}
+
+impl WalMetrics {
+    /// A fresh, all-zero metric family.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Builds the canonical segment file name for a relation + generation.
 pub(crate) fn segment_file_name(scheme: u16, gen: u64) -> String {
@@ -45,6 +77,8 @@ pub struct WalWriter {
     fail_after: Option<u64>,
     /// Total successful appends across rotations, for `fail_after`.
     appended_total: u64,
+    /// Optional metric family this writer records into.
+    metrics: Option<WalMetrics>,
 }
 
 impl WalWriter {
@@ -86,7 +120,14 @@ impl WalWriter {
             appended_in_segment: 0,
             fail_after: None,
             appended_total: 0,
+            metrics: None,
         })
+    }
+
+    /// Attaches a metric family: subsequent appends, fsyncs, and
+    /// rotations record into it.  Survives [`WalWriter::rotate`].
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Fault-injection hook for durability tests: every append after the
@@ -144,6 +185,10 @@ impl WalWriter {
         self.unsynced += 1;
         self.appended_in_segment += 1;
         self.appended_total += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.append_bytes.add(payload.len() as u64 + 8);
+        }
         Ok(seq)
     }
 
@@ -164,8 +209,13 @@ impl WalWriter {
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        let start = (self.metrics.is_some() && ids_obs::recording()).then(Instant::now);
         self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         self.unsynced = 0;
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            m.fsyncs.inc();
+            m.fsync_ns.record(start.elapsed());
+        }
         Ok(())
     }
 
@@ -182,9 +232,13 @@ impl WalWriter {
             self.last_seq,
         )?;
         // An injected fault budget survives rotation: the counters are
-        // writer-lifetime, not per-segment.
+        // writer-lifetime, not per-segment.  So does the metric family.
         next.fail_after = self.fail_after;
         next.appended_total = self.appended_total;
+        next.metrics = self.metrics.clone();
+        if let Some(m) = &self.metrics {
+            m.rotations.inc();
+        }
         let sealed_at = self.last_seq;
         *self = next;
         Ok(sealed_at)

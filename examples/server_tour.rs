@@ -136,9 +136,29 @@ fn main() {
             other => panic!("unexpected reply under overload: {other:?}"),
         }
     }
-    client.ping().unwrap();
+    let rtt = client.ping().unwrap();
     println!("overload burst of {burst} scans against a depth-1 queue:");
     println!("  served {served}, shed {shed} (typed Overloaded replies), session alive");
+    println!("  ping round-trip after the burst: {rtt:?}");
+
+    // -- Session 4: the stats poll ------------------------------------
+    // One request pulls the server's whole observability surface over
+    // the wire: the database's per-shard counters merged with the
+    // connection layer's.  Conservation is checkable from counters
+    // alone: every query was either executed or shed.
+    let snap = client.stats().unwrap();
+    let executed = snap.counter("server.requests.query").unwrap_or(0);
+    let shed_counter = snap.counter("server.shed").unwrap_or(0);
+    println!("\nstats poll over the wire:");
+    println!("  server.requests.query = {executed}, server.shed = {shed_counter}");
+    println!(
+        "  bytes in/out = {}/{}, open connections = {}",
+        snap.counter("server.bytes_in").unwrap_or(0),
+        snap.counter("server.bytes_out").unwrap_or(0),
+        snap.gauge("server.connections").unwrap_or(0),
+    );
+    assert_eq!(executed, served as u64);
+    assert_eq!(shed_counter, shed as u64);
 
     server.shutdown();
     println!("\nserver shut down cleanly");

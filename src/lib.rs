@@ -65,6 +65,7 @@
 //! | [`chase`] | `I(p)`, FD/JD rules, WSAT/LSAT, tagged tableaux |
 //! | [`acyclic`] | GYO, join trees, full reducer, consistency |
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
+//! | [`obs`] | zero-cost metrics: relaxed-atomic counters/gauges, log₂ latency histograms, bounded event ring, typed snapshots |
 //! | [`wal`] | per-relation write-ahead log + snapshot checkpoints (independence ⇒ no cross-log ordering) |
 //! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism), durable via [`wal`] |
 //! | [`api`] | `Schema` builder + typed `Database` over every engine; fluent queries, typed rows, barrier-free joins; durable via `open_at`/`recover`; `SharedDatabase` for many threads |
@@ -78,6 +79,7 @@ pub use ids_chase as chase;
 pub use ids_client as client;
 pub use ids_core as core;
 pub use ids_deps as deps;
+pub use ids_obs as obs;
 pub use ids_relational as relational;
 pub use ids_server as server;
 pub use ids_store as store;
@@ -98,6 +100,7 @@ pub mod prelude {
         MaintenanceError, NotIndependentReason, RelationShard, Verdict, Witness,
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
+    pub use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
     pub use ids_relational::{
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Predicate, Projection, Relation,
         RelationScheme, SchemeId, Tuple, Universe, Value, ValuePool,

@@ -12,13 +12,14 @@
 use independent_schemas::prelude::{
     analyze, eq, is_independent, locally_satisfies, render_analysis, satisfies, verify_witness,
     ApiError, AttrId, AttrSet, ChaseConfig, ChaseError, ChaseMaintainer, Client, ClientError, Cond,
-    Database, DatabaseSchema, DatabaseState, DurableConfig, Engine, EngineKind, Fd,
-    FdOnlyMaintainer, FdSet, FrameError, FrameReader, IndependenceAnalysis, InsertOutcome,
-    JoinDependency, LocalMaintainer, Maintainer, MaintenanceError, NotIndependentReason, OpOutcome,
-    Predicate, Projection, Query, Relation, RelationScheme, RelationShard, Reply, Request, Row,
-    RowSet, Rows, Satisfaction, Schema, SchemaBuilder, SchemeId, Server, ServerConfig,
-    SharedDatabase, Store, StoreConfig, StoreError, StoreOp, SyncPolicy, Tuple, Universe, Value,
-    ValuePool, Verdict, WalDir, WalError, WireError, WireOutcome, Witness, WIRE_VERSION,
+    Database, DatabaseSchema, DatabaseState, DurableConfig, Engine, EngineKind, Event, EventRecord,
+    Fd, FdOnlyMaintainer, FdSet, FrameError, FrameReader, HistogramSnapshot, IndependenceAnalysis,
+    InsertOutcome, JoinDependency, LocalMaintainer, Maintainer, MaintenanceError, MetricsSnapshot,
+    NotIndependentReason, OpOutcome, Predicate, Projection, Query, Relation, RelationScheme,
+    RelationShard, Reply, Request, Row, RowSet, Rows, Satisfaction, Schema, SchemaBuilder,
+    SchemeId, Server, ServerConfig, SharedDatabase, Store, StoreConfig, StoreError, StoreOp,
+    SyncPolicy, Tuple, Universe, Value, ValuePool, Verdict, WalDir, WalError, WireError,
+    WireOutcome, Witness, WIRE_VERSION,
 };
 
 // Crate-module paths the test files reach around the prelude for.
@@ -167,6 +168,23 @@ fn entry_point_signatures_are_stable() {
     let _accepted: WireOutcome = WireOutcome::Accepted;
     let _corrupt: FrameError = FrameError::Corrupt("pinned");
     let _frame_reader: fn(std::io::Empty) -> FrameReader<std::io::Empty> = FrameReader::new;
+    // The observability surface: typed snapshots at every layer, the
+    // stats poll over the wire, and the measured ping.
+    let _store_metrics: fn(&Store) -> MetricsSnapshot = Store::metrics;
+    let _shared_metrics: fn(&SharedDatabase) -> MetricsSnapshot = SharedDatabase::metrics;
+    let _db_metrics: fn(&Database) -> Option<MetricsSnapshot> = Database::metrics;
+    let _server_metrics: fn(&Server) -> MetricsSnapshot = Server::metrics;
+    let _ping: fn(&mut Client) -> Result<std::time::Duration, ClientError> = Client::ping;
+    let _stats: fn(&mut Client) -> Result<MetricsSnapshot, ClientError> = Client::stats;
+    let _stats_req: Request = Request::Stats;
+    let _stats_reply: Reply = Reply::Stats(MetricsSnapshot::default());
+    let _counter_sum: fn(&MetricsSnapshot, &str) -> u64 = MetricsSnapshot::counter_sum;
+    let _render: fn(&MetricsSnapshot) -> String = MetricsSnapshot::render;
+    let _merge: fn(&mut MetricsSnapshot, MetricsSnapshot) = MetricsSnapshot::merge;
+    let _quantile: fn(&HistogramSnapshot, f64) -> std::time::Duration = HistogramSnapshot::quantile;
+    let _recording: fn() -> bool = independent_schemas::obs::recording;
+    let _event: Event = Event::OverloadShed { connection: 0 };
+    let _record: fn(&EventRecord) -> &Event = |r| &r.event;
 }
 
 /// The doctest's Example 2 scenario, reachable through prelude symbols
