@@ -57,6 +57,11 @@ pub enum Error {
     /// engine is not the concurrent sharded store — only the store is
     /// `Sync`, so only it can back a [`crate::SharedDatabase`].
     NotSharded,
+    /// A write (insert or remove) was attempted against a read-only
+    /// replica engine.  Replicas apply state only by re-running the
+    /// primary's shipped log records; direct writes would fork the
+    /// replica from the log it follows.
+    ReplicaReadOnly,
     /// A functional-dependency spec handed to
     /// [`crate::SchemaBuilder::fd`] did not parse against the declared
     /// columns.  Carries the spec, the byte span of the offending
@@ -103,6 +108,10 @@ impl std::fmt::Display for Error {
             Error::NotSharded => write!(
                 f,
                 "operation requires the concurrent sharded engine (EngineKind::Sharded or a durable open)"
+            ),
+            Error::ReplicaReadOnly => write!(
+                f,
+                "replica is read-only: writes must go to the primary it follows"
             ),
             Error::FdParse { spec, span, reason } => write!(
                 f,

@@ -191,6 +191,17 @@ impl Schema {
             by_name,
         })
     }
+
+    /// Rebuilds a `Schema` from a durable manifest
+    /// ([`ids_wal::Manifest`]) — the public face of the recovery path,
+    /// for embedders that open the log directory themselves (a
+    /// replication follower bootstrapping from a primary's directory,
+    /// a manifest inspection tool).  Identical to what
+    /// [`crate::Database::recover`] does internally, including the one
+    /// independence analysis.
+    pub fn from_manifest(manifest: &ids_wal::Manifest) -> Result<Schema, Error> {
+        Self::from_recovered(manifest.schema.clone(), manifest.fds.clone(), &manifest.app)
+    }
 }
 
 /// Fluent builder for a [`Schema`]: declare relations by column name,

@@ -4,8 +4,9 @@
 //! the E7 store-throughput kernel ([`throughput`]), the E8
 //! read-vs-snapshot kernel ([`reads`]), the E9 durability-overhead +
 //! recovery kernel ([`durability`]), the E10 query-pushdown kernel
-//! ([`queries`]), the E11 network front-end kernel ([`net`]) and the
-//! E12 observability-overhead + conservation kernel ([`obs`]).
+//! ([`queries`]), the E11 network front-end kernel ([`net`]), the E12
+//! observability-overhead + conservation kernel ([`obs`]) and the E13
+//! read-replica scaling kernel ([`replica`]).
 
 #![warn(missing_docs)]
 
@@ -15,6 +16,7 @@ pub mod net;
 pub mod obs;
 pub mod queries;
 pub mod reads;
+pub mod replica;
 pub mod throughput;
 
 use std::time::{Duration, Instant};

@@ -20,7 +20,7 @@ fn experiments_smoke_covers_all_sections() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
-        "E11a", "E11b", "E12a", "E12b",
+        "E11a", "E11b", "E12a", "E12b", "E13",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -153,6 +153,39 @@ fn observability_smoke_conserves_acknowledged_outcomes() {
     );
 }
 
+/// The E13 kernel (shared with `experiments e13`) must run end to end
+/// at smoke sizes.  The throughput inequality belongs to the full-size
+/// experiment (wall-clock ratios at smoke sizes are scheduler-noise-
+/// prone); here the structural invariants are asserted: every reader
+/// served its reads, the write stream ran, and every follower drained
+/// to caught-up with zero lag once the writes stopped — conservation
+/// (`shipped == applied + pending`) and exact point-read hits are
+/// asserted inside the kernel itself.
+#[test]
+fn replica_scaling_smoke_drains_lag_after_writes_stop() {
+    let rows = ids_bench::replica::sweep(true);
+    assert_eq!(rows.len(), 3, "baseline + 1 + 2 followers");
+    assert_eq!(rows[0].replicas, 0);
+    for row in &rows {
+        assert_eq!(row.readers, row.replicas.max(1));
+        assert!(row.reads > 0, "readers must serve point reads");
+        assert!(row.reads_per_sec > 0.0);
+        assert!(row.writes > 0, "the write stream must actually run");
+        assert!(row.caught_up, "followers must catch up after writes stop");
+        assert_eq!(row.final_lag, 0, "drained lag must be zero");
+        if row.replicas > 0 {
+            assert!(
+                row.caught_up_events >= row.replicas as u64,
+                "every follower logs its caught-up transition"
+            );
+            assert!(
+                !row.absorbed_series.is_empty(),
+                "the read phase must sample the absorption trace"
+            );
+        }
+    }
+}
+
 /// `--json` must land one well-formed `BENCH_<section>.json` per
 /// section, in the invocation directory.
 #[test]
@@ -171,7 +204,8 @@ fn experiments_json_mode_writes_bench_files() {
         String::from_utf8_lossy(&out.stderr)
     );
     for section in [
-        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+        "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+        "E12", "E13",
     ] {
         let path = dir.join(format!("BENCH_{section}.json"));
         let body = std::fs::read_to_string(&path)

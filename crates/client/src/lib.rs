@@ -170,6 +170,18 @@ impl Client {
         }
     }
 
+    /// Blocks until *any* reply arrives (stash first), returning it with
+    /// its id — the replication stream's receive primitive, where Frames
+    /// and barrier Pongs interleave on one connection.
+    fn recv_any(&mut self) -> Result<(u64, Reply), ClientError> {
+        if let Some(id) = self.stash.keys().next().copied() {
+            let reply = self.stash.remove(&id).expect("key just listed");
+            return Ok((id, reply));
+        }
+        let payload = self.frames.next_payload()?.ok_or(ClientError::Closed)?;
+        decode_reply(&payload).map_err(|(_, e)| ClientError::Corrupt(e.to_string()))
+    }
+
     /// One request, one reply.
     fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
         let id = self.send(req)?;
@@ -292,5 +304,119 @@ impl Client {
             Reply::Checkpointed => Ok(()),
             other => Self::protocol_err(other, "Checkpointed"),
         }
+    }
+
+    /// Turns this connection into a **replication stream**: from here on
+    /// the server ships [`FrameBatch`]es of verbatim log-frame payloads
+    /// and nothing else, so the `Client` is consumed.
+    ///
+    /// `cursors[i] = (gen, seq)` is the follower's position in relation
+    /// `i`'s log (one entry per schema relation, `(0, 0)` for "from the
+    /// start of generation 0"); `names` is how many pool names the
+    /// follower has already applied.  The server resumes each stream
+    /// exactly after those positions.
+    pub fn subscribe(
+        mut self,
+        cursors: Vec<(u64, u64)>,
+        names: u64,
+    ) -> Result<Subscription, ClientError> {
+        let id = self.send(Request::Subscribe { cursors, names })?;
+        Ok(Subscription { client: self, id })
+    }
+}
+
+/// One shipped batch from a [`Subscription`]: frame payloads of one
+/// relation's log (or the name pool, when `relation` is
+/// [`ids_server::wire::POOL_STREAM`]), exactly as the primary stored
+/// them on disk.
+///
+/// `tip` is the last durable sequence number (total names for the pool
+/// stream) the primary's shipper had seen when it sent the batch — the
+/// follower's lag is `tip` minus what it has applied.  An **empty**
+/// pool-stream batch is the server's idle heartbeat: every stream was
+/// fully shipped when it was sent, so a follower that has drained the
+/// connection up to it is caught up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameBatch {
+    /// Relation index the frames belong to, or `POOL_STREAM`.
+    pub relation: u16,
+    /// Generation of the segment the frames came from (0 for the pool).
+    pub gen: u64,
+    /// The shipper's last durable sequence number for this stream.
+    pub tip: u64,
+    /// Verbatim on-disk frame payloads, in log order.
+    pub frames: Vec<Vec<u8>>,
+}
+
+/// One message off a replication stream: a shipped [`FrameBatch`], or
+/// the answer to a [`Subscription::ping`] barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A batch of shipped log frames (possibly the idle heartbeat).
+    Frames(FrameBatch),
+    /// The barrier answer to the ping with this request id.  The server
+    /// answers a ping only *after* a full poll round that started after
+    /// the ping arrived, so every record durable before the ping was
+    /// sent has already been delivered as `Frames` ahead of this event.
+    Pong {
+        /// Request id returned by the [`Subscription::ping`] call.
+        id: u64,
+    },
+}
+
+/// The receiving end of a replication stream — see [`Client::subscribe`].
+pub struct Subscription {
+    client: Client,
+    id: u64,
+}
+
+impl Subscription {
+    /// Blocks until the next [`StreamEvent`] arrives.  The server
+    /// heartbeats when idle, so this returns regularly even with no
+    /// write traffic; a typed server error (corrupt primary log, cursor
+    /// behind pruned segments, ...) surfaces as [`ClientError::Server`].
+    pub fn next_event(&mut self) -> Result<StreamEvent, ClientError> {
+        match self.client.recv_any()? {
+            // Frames always echo the subscribe id — anything else is a
+            // stream the server was never asked for.
+            (
+                id,
+                Reply::Frames {
+                    relation,
+                    gen,
+                    tip,
+                    frames,
+                },
+            ) if id == self.id => Ok(StreamEvent::Frames(FrameBatch {
+                relation,
+                gen,
+                tip,
+                frames,
+            })),
+            (id, Reply::Pong) => Ok(StreamEvent::Pong { id }),
+            (_, Reply::Error(e)) => Err(ClientError::Server(e)),
+            (_, other) => Client::protocol_err(other, "Frames or Pong"),
+        }
+    }
+
+    /// Blocks until the next [`FrameBatch`] arrives, discarding any
+    /// barrier answers on the way (use [`Subscription::next_event`] to
+    /// see both).
+    pub fn next_frames(&mut self) -> Result<FrameBatch, ClientError> {
+        loop {
+            if let StreamEvent::Frames(batch) = self.next_event()? {
+                return Ok(batch);
+            }
+        }
+    }
+
+    /// Puts a sync-barrier ping on the stream without waiting, returning
+    /// its request id.  Keep calling [`Subscription::next_event`]
+    /// (applying the `Frames` it yields) until the matching
+    /// [`StreamEvent::Pong`] arrives: at that point the follower holds
+    /// everything that was durable on the primary when the ping was
+    /// sent.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        self.client.send(Request::Ping)
     }
 }

@@ -337,6 +337,22 @@ pub enum Event {
         /// Bytes written to the peer over the connection's lifetime.
         bytes_out: u64,
     },
+    /// A batch of log frames for one relation was shipped to (or
+    /// received by) a replication follower.
+    SegmentShipped {
+        /// Index of the relation the frames belong to.
+        relation: u16,
+        /// Checkpoint generation the frames came from.
+        generation: u64,
+        /// Records in the batch.
+        records: u64,
+    },
+    /// A replication follower observed the primary's tip with nothing
+    /// left to apply — it is (momentarily) fully caught up.
+    ReplicaCaughtUp {
+        /// Records applied since the previous caught-up transition.
+        records: u64,
+    },
 }
 
 impl std::fmt::Display for Event {
@@ -372,6 +388,17 @@ impl std::fmt::Display for Event {
                 f,
                 "connection {connection} closed ({bytes_in}B in, {bytes_out}B out)"
             ),
+            Self::SegmentShipped {
+                relation,
+                generation,
+                records,
+            } => write!(
+                f,
+                "shipped {records} records of relation {relation} (generation {generation})"
+            ),
+            Self::ReplicaCaughtUp { records } => {
+                write!(f, "replica caught up ({records} records applied)")
+            }
         }
     }
 }

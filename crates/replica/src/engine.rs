@@ -1,0 +1,156 @@
+//! The read-only [`Engine`] a replica's [`ids_api::Database`] runs on.
+//!
+//! The engine shares the replica's relation state (relations plus their
+//! enforcement shards) behind one mutex: the apply loop holds it for
+//! the duration of one record's probe/commit, reads hold it for one
+//! clone or scan.  Reads are therefore per-relation-consistent — each
+//! read sees a prefix of that relation's log — with no cross-relation
+//! barrier, exactly the primary's barrier-free read model.
+//!
+//! Writes are refused with the typed
+//! [`ids_api::Error::ReplicaReadOnly`]: a replica's state may change
+//! only by re-applying the primary's shipped records, and a direct
+//! write would fork it from the log it follows.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ids_api::{Engine, Error};
+use ids_core::{InsertOutcome, RelationShard};
+use ids_relational::{
+    DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
+};
+use ids_store::{OpOutcome, StoreOp};
+
+/// The replica's mutable relation state: one relation + enforcement
+/// shard per scheme, in scheme order.
+pub(crate) struct ReplicaState {
+    pub(crate) relations: Vec<Relation>,
+    pub(crate) shards: Vec<RelationShard>,
+}
+
+pub(crate) type SharedState = Arc<Mutex<ReplicaState>>;
+
+/// The replica's [`Engine`]: reads served from the shared applied
+/// state, writes refused with [`Error::ReplicaReadOnly`].
+pub struct ReplicaEngine {
+    schema: DatabaseSchema,
+    state: SharedState,
+}
+
+impl ReplicaEngine {
+    pub(crate) fn new(schema: DatabaseSchema, state: SharedState) -> Self {
+        ReplicaEngine { schema, state }
+    }
+
+    /// Locks the applied state; a poisoned mutex means the apply loop
+    /// panicked mid-record, and serving reads from a half-applied
+    /// state would be a lie — propagate the panic.
+    fn state(&self) -> MutexGuard<'_, ReplicaState> {
+        self.state
+            .lock()
+            .expect("replica state mutex poisoned: the apply loop panicked mid-record")
+    }
+
+    fn check(&self, id: SchemeId) -> Result<usize, Error> {
+        if id.index() < self.schema.len() {
+            Ok(id.index())
+        } else {
+            Err(RelationalError::SchemaMismatch("scheme id").into())
+        }
+    }
+}
+
+impl Engine for ReplicaEngine {
+    fn insert(&mut self, _id: SchemeId, _tuple: Vec<Value>) -> Result<InsertOutcome, Error> {
+        Err(Error::ReplicaReadOnly)
+    }
+
+    fn remove(&mut self, _id: SchemeId, _tuple: &[Value]) -> Result<bool, Error> {
+        Err(Error::ReplicaReadOnly)
+    }
+
+    fn apply_batch(&mut self, _ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, Error> {
+        Err(Error::ReplicaReadOnly)
+    }
+
+    fn read(&self, id: SchemeId) -> Result<Relation, Error> {
+        let i = self.check(id)?;
+        Ok(self.state().relations[i].clone())
+    }
+
+    fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, Error> {
+        let i = self.check(id)?;
+        let state = self.state();
+        // The shard's scan filters in place (using its key index for
+        // point lookups), so only matching tuples are cloned out.
+        state.shards[i]
+            .scan(&state.relations[i], predicate)
+            .map_err(Into::into)
+    }
+
+    fn count(&self, id: SchemeId) -> Result<usize, Error> {
+        let i = self.check(id)?;
+        Ok(self.state().relations[i].len())
+    }
+
+    fn snapshot(&self) -> Result<DatabaseState, Error> {
+        let relations = self.state().relations.clone();
+        DatabaseState::from_relations(&self.schema, relations).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_api::Schema;
+
+    fn engine() -> (ReplicaEngine, SchemeId) {
+        let schema = Schema::builder()
+            .relation("CT", ["course", "teacher"])
+            .fd("course -> teacher")
+            .build()
+            .unwrap();
+        let definition = schema.definition().clone();
+        let enforcement = schema.enforcement().unwrap().to_vec();
+        let relations = DatabaseState::empty(&definition).into_relations();
+        let shards = definition
+            .ids()
+            .zip(&relations)
+            .map(|(id, rel)| {
+                RelationShard::with_relation(&definition, id, enforcement[id.index()].clone(), rel)
+                    .unwrap()
+            })
+            .collect();
+        let id = definition.ids().next().unwrap();
+        let state = Arc::new(Mutex::new(ReplicaState { relations, shards }));
+        (ReplicaEngine::new(definition, state), id)
+    }
+
+    #[test]
+    fn every_write_path_is_typed_read_only() {
+        let (mut engine, id) = engine();
+        assert!(matches!(
+            engine.insert(id, vec![Value(0), Value(1)]),
+            Err(Error::ReplicaReadOnly)
+        ));
+        assert!(matches!(
+            engine.remove(id, &[Value(0), Value(1)]),
+            Err(Error::ReplicaReadOnly)
+        ));
+        // Even an empty batch is refused: batches exist to mutate.
+        assert!(matches!(
+            engine.apply_batch(vec![]),
+            Err(Error::ReplicaReadOnly)
+        ));
+        // And the refusals left the read surface untouched.
+        assert_eq!(engine.count(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_check_the_scheme_id() {
+        let (engine, _) = engine();
+        let bogus = SchemeId::from_index(7);
+        assert!(engine.read(bogus).is_err());
+        assert!(engine.count(bogus).is_err());
+    }
+}

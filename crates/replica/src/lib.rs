@@ -1,0 +1,143 @@
+//! # ids-replica
+//!
+//! Read replicas via **per-relation log shipping**.
+//!
+//! The paper's Theorem 3 is what makes this subsystem almost free: on
+//! an independent schema every accepted operation is a *local* decision
+//! of one relation's enforcement cover `Fi`, and a state that is
+//! locally satisfying is globally satisfying (`LSAT = WSAT`).  The
+//! durable layer therefore keeps one append-only log **per relation**
+//! with no cross-log ordering — and a log with no cross-log ordering
+//! ships.  A follower that replays each relation's log prefix
+//! independently holds, at every instant, a locally-satisfying state;
+//! by the theorem that state is globally satisfying, even though
+//! different relations may be at different points of the primary's
+//! history (cross-relation skew).
+//!
+//! A [`Replica`] bootstraps from the primary's snapshot + durable name
+//! log, then tails the per-relation segment files through the same CRC
+//! framing and [`ids_core::RelationShard`] probe/commit machinery as
+//! crash recovery.  Every shipped record was an accepted, effective
+//! operation on the primary, so it must re-accept on the replica —
+//! anything else is a typed [`ReplicaError::Diverged`], never a silent
+//! patch.  Two transports are provided:
+//!
+//! * **file-tail** ([`Replica::open`]) — primary and follower share a
+//!   directory; the follower polls the segment set read-only,
+//!   following checkpoint generation rotations with recovery's own
+//!   sequence-contiguity rules.
+//! * **wire-stream** ([`Replica::connect`]) — the follower seeds from
+//!   a directory copy (a base backup), then subscribes over TCP; the
+//!   server ships frame payloads *verbatim* from its segment files,
+//!   so replication inherits the on-disk format's golden-fixture byte
+//!   stability.
+//!
+//! The replica exposes the **read surface only** — `read` / `query` /
+//! `rows` / `count` / `join` through [`ids_api::Database`].  Its
+//! engine answers every write with [`ids_api::Error::ReplicaReadOnly`],
+//! and the [`Replica`] handle only ever lends `&Database`, so writes
+//! are unreachable at compile time too.  Per-relation lag (`(gen,
+//! seq)` delta), apply counters, and a staleness gauge are reported
+//! through [`ids_obs`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod replica;
+
+pub use engine::ReplicaEngine;
+pub use replica::{Replica, ReplicaLag, ReplicaProgress};
+
+/// Everything that can go wrong while following a primary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReplicaError {
+    /// The primary's files were unreadable or corrupt (bad CRC on a
+    /// complete frame, a self-contradictory segment chain, I/O).
+    Wal(ids_wal::WalError),
+    /// A bootstrap-time facade error: the manifest's schema failed to
+    /// rebuild or is not independent.
+    Api(ids_api::Error),
+    /// The wire transport failed: socket error, corrupt reply stream,
+    /// or a typed server error.
+    Client(ids_client::ClientError),
+    /// The primary checkpointed and pruned segments this follower had
+    /// not consumed.  Not corruption — the missing records are folded
+    /// into the snapshot — but this `Replica` is spent: re-bootstrap
+    /// from the primary's current snapshot (a fresh [`Replica::open`],
+    /// or a fresh seed copy + [`Replica::connect`]).
+    Behind,
+    /// A shipped record did not re-apply cleanly: replaying it through
+    /// the relation's shard did not re-accept, or its sequence number
+    /// left a gap.  The logs and the replica's state contradict each
+    /// other, so the follower refuses to continue.
+    Diverged {
+        /// Relation index of the offending stream.
+        relation: u16,
+        /// Sequence number of the record that failed to re-apply.
+        seq: u64,
+        /// What exactly went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::Api(e) => write!(f, "{e}"),
+            Self::Client(e) => write!(f, "{e}"),
+            Self::Behind => write!(
+                f,
+                "replica is behind the primary's pruned segments: re-bootstrap from the snapshot"
+            ),
+            Self::Diverged {
+                relation,
+                seq,
+                detail,
+            } => write!(
+                f,
+                "replica diverged from the primary (relation {relation}, seq {seq}): {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wal(e) => Some(e),
+            Self::Api(e) => Some(e),
+            Self::Client(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ids_wal::WalError> for ReplicaError {
+    fn from(e: ids_wal::WalError) -> Self {
+        ReplicaError::Wal(e)
+    }
+}
+
+impl From<ids_api::Error> for ReplicaError {
+    fn from(e: ids_api::Error) -> Self {
+        ReplicaError::Api(e)
+    }
+}
+
+impl From<ids_client::ClientError> for ReplicaError {
+    fn from(e: ids_client::ClientError) -> Self {
+        // The server reports "cursor behind pruned segments" as a typed
+        // durability error on the stream; normalize it to the same
+        // `Behind` the file transport reports, so callers have one
+        // re-bootstrap signal regardless of transport.
+        if let ids_client::ClientError::Server(ids_server::wire::WireError::Durability(msg)) = &e {
+            if msg.contains("behind pruned segments") {
+                return ReplicaError::Behind;
+            }
+        }
+        ReplicaError::Client(e)
+    }
+}

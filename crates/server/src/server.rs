@@ -43,9 +43,11 @@ use ids_core::InsertOutcome;
 use ids_obs::{Counter, Event, Gauge, MetricsSnapshot, Registry};
 use ids_relational::RelationalError;
 use ids_store::StoreError;
+use ids_wal::{Cursor, NameTailer, RelationPoll, RelationTailer, WalDir};
 
 use crate::wire::{
-    decode_request, encode_reply, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
+    decode_request, encode_reply, FrameReader, Reply, Request, WireError, WireOutcome, POOL_STREAM,
+    WIRE_VERSION,
 };
 
 /// The connection layer's metric families, interned under `server.*`
@@ -96,6 +98,7 @@ impl ServerObs {
             Request::Snapshot => "snapshot",
             Request::Checkpoint => "checkpoint",
             Request::Stats => "stats",
+            Request::Subscribe { .. } => "subscribe",
         };
         self.registry.counter(&format!("server.requests.{kind}"))
     }
@@ -403,9 +406,217 @@ fn run_jobs(
     reply_tx: Sender<(u64, Reply)>,
 ) {
     while let Ok((id, req)) = job_rx.recv() {
+        // A subscribe turns this connection into a replication stream:
+        // the worker dedicates itself to shipping frames until the
+        // client disconnects (or the stream hits a typed error, after
+        // which ordinary requests are served again).
+        if let Request::Subscribe { cursors, names } = req {
+            run_subscribe(&shared, &obs, id, cursors, names, &job_rx, &reply_tx);
+            continue;
+        }
         if reply_tx.send((id, execute(&shared, &obs, req))).is_err() {
             // Writer gone: the connection is dead, stop executing.
             return;
+        }
+    }
+}
+
+/// Ships one batch of verbatim frame payloads as a [`Reply::Frames`],
+/// recording the shipment in the event log.  `Err(())` means the writer
+/// is gone — the client disconnected.
+#[allow(clippy::too_many_arguments)]
+fn ship_frames(
+    reply_tx: &Sender<(u64, Reply)>,
+    obs: &ServerObs,
+    id: u64,
+    relation: u16,
+    gen: u64,
+    tip: u64,
+    frames: Vec<Vec<u8>>,
+) -> Result<(), ()> {
+    if frames.is_empty() {
+        return Ok(());
+    }
+    obs.registry.events().record(Event::SegmentShipped {
+        relation,
+        generation: gen,
+        records: frames.len() as u64,
+    });
+    reply_tx
+        .send((
+            id,
+            Reply::Frames {
+                relation,
+                gen,
+                tip,
+                frames,
+            },
+        ))
+        .map_err(|_| ())
+}
+
+/// The replication ship loop behind [`Request::Subscribe`].
+///
+/// Tails the primary's own segment files (and name log) read-only and
+/// forwards every new frame payload **verbatim** — the bytes a follower
+/// applies are the bytes the primary made durable, so replication
+/// inherits the on-disk format's golden-fixture byte stability.  Names
+/// always ship before the records that reference them, mirroring the
+/// primary's fsync order.  Each `Frames` reply carries one generation,
+/// so a poll that crosses a checkpoint rotation is split and the
+/// follower's cursor stays exact.
+///
+/// When a full round finds nothing new, one empty `POOL_STREAM` reply
+/// is sent as a heartbeat: it tells the follower "you have everything I
+/// can see" (frames are ordered in-channel, so an empty round after the
+/// queue drains means caught-up) and doubles as the liveness probe that
+/// ends this loop once the writer thread dies after a disconnect.
+///
+/// A subscribed connection still answers one request: `Ping`.  Pings
+/// are drained *before* a poll round and answered *after* it, so the
+/// `Pong` is a sync barrier — every record durable before the ping was
+/// sent has been shipped by the time the follower sees the answer.
+/// Any other request on a replication stream gets a typed error.
+fn run_subscribe(
+    shared: &SharedDatabase,
+    obs: &ServerObs,
+    id: u64,
+    cursors: Vec<(u64, u64)>,
+    names: u64,
+    job_rx: &Receiver<(u64, Request)>,
+    reply_tx: &Sender<(u64, Reply)>,
+) {
+    obs.registry.counter("server.requests.subscribe").inc();
+    let Some(root) = shared.store().wal_root() else {
+        let _ = reply_tx.send((id, Reply::Error(WireError::NotDurable)));
+        return;
+    };
+    let dir = match WalDir::open(&root) {
+        Ok(dir) => dir,
+        Err(e) => {
+            let _ = reply_tx.send((id, Reply::Error(wire_error(e.into()))));
+            return;
+        }
+    };
+    let relations = shared.schema().relation_names().count();
+    if cursors.len() != relations {
+        let _ = reply_tx.send((
+            id,
+            Reply::Error(WireError::Internal(format!(
+                "subscribe carries {} cursors but the schema has {relations} relations",
+                cursors.len()
+            ))),
+        ));
+        return;
+    }
+    let fingerprint = dir.fingerprint();
+    let mut tailers: Vec<RelationTailer> = cursors
+        .iter()
+        .enumerate()
+        .map(|(i, &(gen, seq))| {
+            RelationTailer::new(dir.root(), fingerprint, i as u16, Cursor { gen, seq })
+        })
+        .collect();
+    let mut name_tailer = NameTailer::new(&dir.pool_log_path(), fingerprint, names);
+    loop {
+        // Drain pings BEFORE this round's polls: a ping in hand means
+        // everything durable before it was sent is visible to the polls
+        // below, so answering after them makes `Pong` a true barrier.
+        let mut pings = Vec::new();
+        loop {
+            match job_rx.try_recv() {
+                Ok((rid, Request::Ping)) => pings.push(rid),
+                Ok((rid, _)) => {
+                    let err = WireError::Internal(
+                        "connection is a replication stream: only ping is served".into(),
+                    );
+                    if reply_tx.send((rid, Reply::Error(err))).is_err() {
+                        return;
+                    }
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+            }
+        }
+        let mut shipped = false;
+        // Names first: the primary fsyncs a name before any record
+        // referencing its value, and the follower needs the same order.
+        match name_tailer.poll() {
+            Ok(new_names) => {
+                if !new_names.is_empty() {
+                    shipped = true;
+                    let frames: Vec<Vec<u8>> = new_names.into_iter().map(|n| n.payload).collect();
+                    let tip = name_tailer.emitted();
+                    if ship_frames(reply_tx, obs, id, POOL_STREAM, 0, tip, frames).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = reply_tx.send((id, Reply::Error(wire_error(e.into()))));
+                return;
+            }
+        }
+        for tailer in &mut tailers {
+            match tailer.poll() {
+                Ok(RelationPoll::Records(records)) if !records.is_empty() => {
+                    shipped = true;
+                    let relation = tailer.scheme();
+                    let tip = tailer.cursor().seq;
+                    let mut batch: Vec<Vec<u8>> = Vec::new();
+                    let mut batch_gen = records[0].gen;
+                    for rec in records {
+                        if rec.gen != batch_gen {
+                            let frames = std::mem::take(&mut batch);
+                            if ship_frames(reply_tx, obs, id, relation, batch_gen, tip, frames)
+                                .is_err()
+                            {
+                                return;
+                            }
+                            batch_gen = rec.gen;
+                        }
+                        batch.push(rec.payload);
+                    }
+                    if ship_frames(reply_tx, obs, id, relation, batch_gen, tip, batch).is_err() {
+                        return;
+                    }
+                }
+                Ok(RelationPoll::Records(_)) => {}
+                Ok(RelationPoll::Behind) => {
+                    let _ = reply_tx.send((
+                        id,
+                        Reply::Error(WireError::Durability(
+                            "subscribe cursor is behind pruned segments: \
+                             re-seed the replica from a newer snapshot"
+                                .into(),
+                        )),
+                    ));
+                    return;
+                }
+                Err(e) => {
+                    let _ = reply_tx.send((id, Reply::Error(wire_error(e.into()))));
+                    return;
+                }
+            }
+        }
+        let idle = !shipped;
+        for rid in pings {
+            if reply_tx.send((rid, Reply::Pong)).is_err() {
+                return;
+            }
+        }
+        if idle {
+            let tip = name_tailer.emitted();
+            let heartbeat = Reply::Frames {
+                relation: POOL_STREAM,
+                gen: 0,
+                tip,
+                frames: Vec::new(),
+            };
+            if reply_tx.send((id, heartbeat)).is_err() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
         }
     }
 }
@@ -518,6 +729,11 @@ fn execute(shared: &SharedDatabase, obs: &ServerObs, req: Request) -> Reply {
             snap.merge(obs.registry.snapshot());
             Reply::Stats(snap)
         }
+        // Intercepted in `run_jobs` (it owns the reply channel for the
+        // stream); reaching this arm would be a dispatch bug.
+        Request::Subscribe { .. } => Reply::Error(WireError::Internal(
+            "subscribe must be handled by the connection worker".into(),
+        )),
     }
 }
 

@@ -97,6 +97,22 @@ pub enum Request {
     /// poison reason if any).  Purely read-side: polling never mutates
     /// the database.
     Stats,
+    /// Turn the connection into a replication stream: the server ships
+    /// every relation's log frames from the given cursors onward, as a
+    /// sequence of [`Reply::Frames`] messages all echoing this
+    /// request's id, until the client disconnects.  Frames are shipped
+    /// *verbatim* from the primary's segment files (same payload
+    /// bytes), so replication inherits the on-disk format's pinned
+    /// byte stability.  Only meaningful against a durable database;
+    /// answered with [`WireError::NotDurable`] otherwise.
+    Subscribe {
+        /// Per-relation resume positions, one `(generation, seq)` pair
+        /// per relation in schema order.
+        cursors: Vec<(u64, u64)>,
+        /// Number of value-pool names the follower already has (its
+        /// resume position in the name log).
+        names: u64,
+    },
 }
 
 /// A server → client message; `Reply::Error` can answer any request.
@@ -137,9 +153,35 @@ pub enum Reply {
     /// Answer to [`Request::Stats`]: the server's merged metrics
     /// snapshot (database + connection-layer families).
     Stats(MetricsSnapshot),
+    /// One batch of a replication stream (see [`Request::Subscribe`]):
+    /// log frames of a single relation, shipped verbatim from the
+    /// primary's segment files.
+    Frames {
+        /// Relation index the frames belong to, or [`POOL_STREAM`] for
+        /// value-pool name-log frames.
+        relation: u16,
+        /// Checkpoint generation the frames came from (0 for the name
+        /// stream, which has no generations).
+        gen: u64,
+        /// The primary's current tip for this stream when the batch
+        /// was cut: the last appended sequence number (or total name
+        /// count for [`POOL_STREAM`]).  `tip` minus the last frame's
+        /// sequence number is the follower's lag.
+        tip: u64,
+        /// Raw frame payloads, exactly as stored on disk —
+        /// [`ids_wal::WalRecord`] payloads, or name-log payloads for
+        /// [`POOL_STREAM`].
+        frames: Vec<Vec<u8>>,
+    },
     /// Typed failure; the request id says which request it answers.
     Error(WireError),
 }
+
+/// The `relation` value of a [`Reply::Frames`] batch that carries
+/// value-pool name-log frames instead of a relation's log records.
+/// Relation indices are `u16` but schemas are far smaller, so the
+/// sentinel cannot collide.
+pub const POOL_STREAM: u16 = u16::MAX;
 
 /// The FD-maintenance verdict of an insert, rendered for the wire.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -250,6 +292,7 @@ const REQ_COUNT: u8 = 5;
 const REQ_SNAPSHOT: u8 = 6;
 const REQ_CHECKPOINT: u8 = 7;
 const REQ_STATS: u8 = 8;
+const REQ_SUBSCRIBE: u8 = 9;
 
 const REP_HELLO: u8 = 0;
 const REP_PONG: u8 = 1;
@@ -261,6 +304,7 @@ const REP_SNAPSHOT: u8 = 6;
 const REP_CHECKPOINTED: u8 = 7;
 const REP_ERROR: u8 = 8;
 const REP_STATS: u8 = 9;
+const REP_FRAMES: u8 = 10;
 
 // Structured-event tags inside a REP_STATS body.  Append-only, like
 // the kind bytes.
@@ -271,6 +315,8 @@ const EV_OVERLOAD_SHED: u8 = 3;
 const EV_RECOVERY_REPLAYED: u8 = 4;
 const EV_CONNECTION_OPENED: u8 = 5;
 const EV_CONNECTION_CLOSED: u8 = 6;
+const EV_SEGMENT_SHIPPED: u8 = 7;
+const EV_REPLICA_CAUGHT_UP: u8 = 8;
 
 const OUT_ACCEPTED: u8 = 0;
 const OUT_DUPLICATE: u8 = 1;
@@ -346,6 +392,15 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Snapshot => e.put_u8(REQ_SNAPSHOT),
         Request::Checkpoint => e.put_u8(REQ_CHECKPOINT),
         Request::Stats => e.put_u8(REQ_STATS),
+        Request::Subscribe { cursors, names } => {
+            e.put_u8(REQ_SUBSCRIBE);
+            e.put_u32(cursors.len() as u32);
+            for (gen, seq) in cursors {
+                e.put_u64(*gen);
+                e.put_u64(*seq);
+            }
+            e.put_u64(*names);
+        }
     }
     frame(&e.into_bytes())
 }
@@ -423,6 +478,20 @@ fn put_snapshot(e: &mut Encoder, snap: &MetricsSnapshot) {
                 e.put_u64(*bytes_in);
                 e.put_u64(*bytes_out);
             }
+            Event::SegmentShipped {
+                relation,
+                generation,
+                records,
+            } => {
+                e.put_u8(EV_SEGMENT_SHIPPED);
+                e.put_u16(*relation);
+                e.put_u64(*generation);
+                e.put_u64(*records);
+            }
+            Event::ReplicaCaughtUp { records } => {
+                e.put_u8(EV_REPLICA_CAUGHT_UP);
+                e.put_u64(*records);
+            }
         }
     }
     match &snap.poisoned {
@@ -494,6 +563,21 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
         Reply::Stats(snap) => {
             e.put_u8(REP_STATS);
             put_snapshot(&mut e, snap);
+        }
+        Reply::Frames {
+            relation,
+            gen,
+            tip,
+            frames,
+        } => {
+            e.put_u8(REP_FRAMES);
+            e.put_u16(*relation);
+            e.put_u64(*gen);
+            e.put_u64(*tip);
+            e.put_u32(frames.len() as u32);
+            for f in frames {
+                e.put_bytes(f);
+            }
         }
         Reply::Error(err) => {
             e.put_u8(REP_ERROR);
@@ -621,6 +705,17 @@ fn decode_request_body(d: &mut Decoder<'_>) -> Result<Request, WireError> {
         REQ_SNAPSHOT => Request::Snapshot,
         REQ_CHECKPOINT => Request::Checkpoint,
         REQ_STATS => Request::Stats,
+        REQ_SUBSCRIBE => {
+            let n = d.get_u32().map_err(malformed)?;
+            let mut cursors = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                let gen = d.get_u64().map_err(malformed)?;
+                let seq = d.get_u64().map_err(malformed)?;
+                cursors.push((gen, seq));
+            }
+            let names = d.get_u64().map_err(malformed)?;
+            Request::Subscribe { cursors, names }
+        }
         other => return Err(WireError::Malformed(format!("bad request kind {other}"))),
     };
     if !d.is_done() {
@@ -699,6 +794,22 @@ fn decode_reply_body(d: &mut Decoder<'_>) -> Result<Reply, WireError> {
         }
         REP_CHECKPOINTED => Reply::Checkpointed,
         REP_STATS => Reply::Stats(get_snapshot(d)?),
+        REP_FRAMES => {
+            let relation = d.get_u16().map_err(malformed)?;
+            let gen = d.get_u64().map_err(malformed)?;
+            let tip = d.get_u64().map_err(malformed)?;
+            let n = d.get_u32().map_err(malformed)?;
+            let mut frames = Vec::with_capacity(cap(n, d));
+            for _ in 0..n {
+                frames.push(d.get_bytes().map_err(malformed)?);
+            }
+            Reply::Frames {
+                relation,
+                gen,
+                tip,
+                frames,
+            }
+        }
         REP_ERROR => Reply::Error(decode_wire_error(d)?),
         other => return Err(WireError::Malformed(format!("bad reply kind {other}"))),
     };
@@ -779,6 +890,14 @@ fn get_snapshot(d: &mut Decoder<'_>) -> Result<MetricsSnapshot, WireError> {
                 connection: d.get_u64().map_err(malformed)?,
                 bytes_in: d.get_u64().map_err(malformed)?,
                 bytes_out: d.get_u64().map_err(malformed)?,
+            },
+            EV_SEGMENT_SHIPPED => Event::SegmentShipped {
+                relation: d.get_u16().map_err(malformed)?,
+                generation: d.get_u64().map_err(malformed)?,
+                records: d.get_u64().map_err(malformed)?,
+            },
+            EV_REPLICA_CAUGHT_UP => Event::ReplicaCaughtUp {
+                records: d.get_u64().map_err(malformed)?,
             },
             tag => return Err(WireError::Malformed(format!("bad event tag {tag}"))),
         };
@@ -965,6 +1084,14 @@ mod tests {
             Request::Snapshot,
             Request::Checkpoint,
             Request::Stats,
+            Request::Subscribe {
+                cursors: vec![(1, 42), (3, 0)],
+                names: 17,
+            },
+            Request::Subscribe {
+                cursors: vec![],
+                names: 0,
+            },
         ] {
             roundtrip_request(req);
         }
@@ -1036,6 +1163,20 @@ mod tests {
                         bytes_out: 2048,
                     },
                 },
+                EventRecord {
+                    seq: 7,
+                    at: Duration::from_nanos(800),
+                    event: Event::SegmentShipped {
+                        relation: 1,
+                        generation: 2,
+                        records: 16,
+                    },
+                },
+                EventRecord {
+                    seq: 8,
+                    at: Duration::from_nanos(900),
+                    event: Event::ReplicaCaughtUp { records: 23 },
+                },
             ],
             poisoned: Some("disk gone".into()),
         }
@@ -1067,6 +1208,18 @@ mod tests {
             Reply::Checkpointed,
             Reply::Stats(MetricsSnapshot::default()),
             Reply::Stats(sample_snapshot()),
+            Reply::Frames {
+                relation: 0,
+                gen: 2,
+                tip: 42,
+                frames: vec![vec![1, 2, 3], vec![]],
+            },
+            Reply::Frames {
+                relation: POOL_STREAM,
+                gen: 0,
+                tip: 3,
+                frames: vec![b"\x05\x00\x00\x00Jones".to_vec()],
+            },
             Reply::Error(WireError::UnknownRelation("TD".into())),
             Reply::Error(WireError::UnknownColumn {
                 relation: "CT".into(),

@@ -14,7 +14,7 @@ use std::time::Duration;
 use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
 use ids_server::wire::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, FrameOutcome, Reply,
-    Request, WireError, WireOutcome, WIRE_VERSION,
+    Request, WireError, WireOutcome, POOL_STREAM, WIRE_VERSION,
 };
 
 fn fixture_dir() -> PathBuf {
@@ -66,7 +66,47 @@ fn canonical_requests() -> Vec<(u64, Request)> {
         // the fixture, so the pre-Stats bytes stay a strict prefix and
         // old peers remain byte-compatible.
         (7, Request::Stats),
+        // Appended for wire kind 9 (Subscribe): same strict-prefix
+        // discipline — the replication kinds extend the protocol
+        // without touching any earlier byte.
+        (
+            8,
+            Request::Subscribe {
+                cursors: vec![(1, 42), (3, 0)],
+                names: 17,
+            },
+        ),
     ]
+}
+
+/// A deterministic snapshot carrying one of each replication event tag
+/// (appended tags 7 and 8).  Kept separate from [`canonical_snapshot`],
+/// which is already pinned inside an existing fixture frame and must
+/// not change.
+fn replica_events_snapshot() -> MetricsSnapshot {
+    let events = vec![
+        Event::SegmentShipped {
+            relation: 1,
+            generation: 2,
+            records: 16,
+        },
+        Event::ReplicaCaughtUp { records: 23 },
+    ];
+    MetricsSnapshot {
+        counters: vec![("replica.r1.applied".into(), 16)],
+        gauges: vec![("replica.lag".into(), 0)],
+        histograms: vec![],
+        events: events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| EventRecord {
+                seq: i as u64,
+                at: Duration::from_nanos(100 * i as u64),
+                event,
+            })
+            .collect(),
+        poisoned: None,
+    }
 }
 
 /// A deterministic [`MetricsSnapshot`] exercising every field of the
@@ -195,6 +235,38 @@ fn canonical_replies() -> Vec<(u64, Reply)> {
     // strict prefix.
     replies.push((23, Reply::Stats(MetricsSnapshot::default())));
     replies.push((24, Reply::Stats(canonical_snapshot())));
+    // Appended for wire kind 10 (Frames) and the replication event tags:
+    // a record batch, a pool-stream batch, an empty heartbeat, and a
+    // stats reply with the two appended event tags — all after the
+    // original replies so those bytes stay a strict prefix.
+    replies.push((
+        25,
+        Reply::Frames {
+            relation: 0,
+            gen: 2,
+            tip: 42,
+            frames: vec![vec![1, 2, 3], vec![]],
+        },
+    ));
+    replies.push((
+        26,
+        Reply::Frames {
+            relation: POOL_STREAM,
+            gen: 0,
+            tip: 3,
+            frames: vec![b"\x05\x00\x00\x00Jones".to_vec()],
+        },
+    ));
+    replies.push((
+        27,
+        Reply::Frames {
+            relation: POOL_STREAM,
+            gen: 0,
+            tip: 17,
+            frames: vec![],
+        },
+    ));
+    replies.push((28, Reply::Stats(replica_events_snapshot())));
     replies
 }
 

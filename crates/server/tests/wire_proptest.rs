@@ -70,6 +70,24 @@ fn seed_frames() -> Vec<Vec<u8>> {
                 poisoned: None,
             }),
         ),
+        // The replication kinds: mutations exercise the cursor-list and
+        // frame-list decoders (nested length prefixes).
+        encode_request(
+            7,
+            &Request::Subscribe {
+                cursors: vec![(1, 42), (3, 0)],
+                names: 17,
+            },
+        ),
+        encode_reply(
+            8,
+            &Reply::Frames {
+                relation: 0,
+                gen: 2,
+                tip: 42,
+                frames: vec![vec![1, 2, 3], vec![]],
+            },
+        ),
     ]
 }
 
@@ -98,7 +116,7 @@ proptest! {
     /// A valid frame with any prefix truncated is torn or corrupt —
     /// typed, not a panic.
     #[test]
-    fn truncations_are_typed(seed in 0usize..6, cut in 0usize..200) {
+    fn truncations_are_typed(seed in 0usize..8, cut in 0usize..200) {
         let frame = &seed_frames()[seed];
         let cut = cut.min(frame.len());
         receive(&frame[..cut]);
@@ -109,7 +127,7 @@ proptest! {
     /// still passes — it cannot, for a single flip, but the property
     /// holds regardless) the payload decodes to a typed outcome.
     #[test]
-    fn bit_flips_are_typed(seed in 0usize..6, pos in 0usize..200, flip in 1u8..=255) {
+    fn bit_flips_are_typed(seed in 0usize..8, pos in 0usize..200, flip in 1u8..=255) {
         let mut frame = seed_frames()[seed].clone();
         let pos = pos % frame.len();
         frame[pos] ^= flip;

@@ -773,7 +773,7 @@ impl Store {
         // Replay is a cold path: time it unconditionally so the summary
         // event carries a real duration even if recording was toggled.
         let replay_start = Instant::now();
-        let (relations, shards, replayed) =
+        let (relations, shards, replayed_per_relation) =
             replay_recovered(schema, &enforcement, recovered, dir.root())?;
         let replay_elapsed = replay_start.elapsed();
         let store = Self::finish_durable(
@@ -788,6 +788,18 @@ impl Store {
             config.sync,
             config.fail_appends_after,
         )?;
+        // Replay progress is a per-relation fact (recovery of an
+        // independent schema is per-relation by construction), so it is
+        // surfaced as a family — replicas reuse the same names for
+        // their apply counts — with the aggregate kept for continuity.
+        let replayed: u64 = replayed_per_relation.iter().sum();
+        for (i, n) in replayed_per_relation.iter().enumerate() {
+            store
+                .obs
+                .registry
+                .counter(&format!("wal.r{i}.recovered_records"))
+                .add(*n);
+        }
         store
             .obs
             .registry
@@ -985,6 +997,12 @@ impl Store {
     /// `ids-api` layer writes it; the store itself never touches it).
     pub fn pool_log_path(&self) -> Option<std::path::PathBuf> {
         self.durability.as_ref().map(|d| d.dir.pool_log_path())
+    }
+
+    /// Root of a durable store's log directory — what a replication
+    /// follower (or the server's subscribe path) tails read-only.
+    pub fn wal_root(&self) -> Option<std::path::PathBuf> {
+        self.durability.as_ref().map(|d| d.dir.root().to_path_buf())
     }
 
     /// Checkpoints a durable store: every shard seals its relations'
@@ -1388,6 +1406,10 @@ fn base_state_error(e: MaintenanceError) -> StoreError {
     }
 }
 
+/// What [`replay_recovered`] rebuilds: each relation's state, its
+/// enforcement shard, and how many tail records it replayed.
+type Replayed = (Vec<Relation>, Vec<RelationShard>, Vec<u64>);
+
 /// Replays a recovery result through the normal probe/commit machinery:
 /// the snapshot base builds each relation's shard (which validates it
 /// against the enforcement cover `Fi`), then the relation's log tail
@@ -1402,18 +1424,18 @@ fn replay_recovered(
     enforcement: &[FdSet],
     recovered: ids_wal::Recovered,
     root: &Path,
-) -> Result<(Vec<Relation>, Vec<RelationShard>, u64), StoreError> {
+) -> Result<Replayed, StoreError> {
     let base = recovered.base.into_relations();
     let mut relations = Vec::with_capacity(schema.len());
     let mut shards = Vec::with_capacity(schema.len());
-    let mut replayed_total = 0u64;
+    let mut replayed_per_relation = vec![0u64; schema.len()];
     for ((id, mut rel), records) in schema.ids().zip(base).zip(recovered.tail) {
         let fi = enforcement[id.index()].clone();
         let mut shard =
             RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
         for record in records {
             let seq = record.seq;
-            replayed_total += 1;
+            replayed_per_relation[id.index()] += 1;
             let replayed = match record.op {
                 WalOp::Insert(t) => {
                     matches!(shard.insert(&mut rel, t), Ok(InsertOutcome::Accepted))
@@ -1433,7 +1455,7 @@ fn replay_recovered(
         relations.push(rel);
         shards.push(shard);
     }
-    Ok((relations, shards, replayed_total))
+    Ok((relations, shards, replayed_per_relation))
 }
 
 // The whole point: clients on many threads share one store.

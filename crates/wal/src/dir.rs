@@ -22,7 +22,7 @@ const SNAPSHOT_FILE: &str = "snapshot.ids";
 /// Name the snapshot is staged under before the atomic rename.
 const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
 /// Subdirectory holding the per-relation log segments.
-const WAL_SUBDIR: &str = "wal";
+pub(crate) const WAL_SUBDIR: &str = "wal";
 /// Name of the optional value-pool log (see [`crate::NameLog`]).
 const POOL_FILE: &str = "pool.log";
 
@@ -161,6 +161,12 @@ impl WalDir {
     /// Where the optional value-pool name log lives.
     pub fn pool_log_path(&self) -> PathBuf {
         self.root.join(POOL_FILE)
+    }
+
+    /// The subdirectory holding the per-relation log segments (what a
+    /// [`crate::RelationTailer`] scans).
+    pub fn segments_dir(&self) -> PathBuf {
+        self.root.join(WAL_SUBDIR)
     }
 
     /// Checks that a caller-supplied schema + FD set is the one the

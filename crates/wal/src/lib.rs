@@ -55,6 +55,7 @@
 pub mod format;
 mod names;
 mod records;
+mod tail;
 mod writer;
 
 mod dir;
@@ -62,7 +63,8 @@ mod dir;
 pub use dir::{Recovered, WalDir};
 pub use names::NameLog;
 pub use records::{fingerprint, Manifest, SegmentHeader, Snapshot, WalOp, WalRecord};
-pub use writer::{WalMetrics, WalWriter};
+pub use tail::{Cursor, NameTailer, RelationPoll, RelationTailer, TailedName, TailedRecord};
+pub use writer::{parse_segment_file_name, segment_file_name, WalMetrics, WalWriter};
 
 use std::path::PathBuf;
 

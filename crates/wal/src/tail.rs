@@ -1,0 +1,720 @@
+//! Read-only, incremental tailing of a live durable directory.
+//!
+//! Recovery ([`crate::WalDir::recover`]) reads the whole log once; a
+//! *replica* needs to keep reading it while the primary appends.  This
+//! module provides that follower view:
+//!
+//! * [`RelationTailer`] — follows one relation's segment chain.  Each
+//!   [`RelationTailer::poll`] returns the records appended since the
+//!   last poll, following generation rotations (checkpoints) using the
+//!   same sequence-contiguity rules as recovery: a tailer only advances
+//!   to the next generation when that segment's header proves the
+//!   current one was fully consumed.
+//! * [`NameTailer`] — follows the value-pool name log
+//!   ([`crate::NameLog`]) without ever writing to it (the owning
+//!   `NameLog` truncates torn tails on open; a follower must not).
+//!
+//! Both tailers are pull-based and crash-consistent by construction:
+//! a torn frame at the tail is "nothing new yet" (retried on the next
+//! poll, when the primary's append may have completed), while a
+//! checksum-valid-but-wrong frame is a typed [`WalError::Corrupt`].
+//! Because the primary only ever *appends* to segments and the pool
+//! log (truncation happens only on the primary's own crash-recovery,
+//! and only of torn bytes no tailer has consumed), a byte offset past
+//! the last complete frame is always a stable resume point.
+//!
+//! A tailer can also discover it is **behind**: the primary checkpointed
+//! and pruned segments the tailer had not consumed yet.  That is not
+//! corruption — the missing records are folded into the snapshot — so
+//! [`RelationTailer::poll`] reports it as [`RelationPoll::Behind`] and
+//! the follower re-bootstraps from the snapshot, which is still a
+//! per-relation prefix of the primary's history.
+
+use std::path::{Path, PathBuf};
+
+use ids_relational::codec::Decoder;
+
+use crate::dir::WAL_SUBDIR;
+use crate::format::{read_frame, FrameOutcome, FORMAT_VERSION, POOL_MAGIC};
+use crate::records::{SegmentHeader, WalRecord};
+use crate::writer::{parse_segment_file_name, segment_file_name};
+use crate::{corrupt, io_err, WalError};
+
+/// A follower's position in one relation's log: the generation being
+/// read and the last applied sequence number.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cursor {
+    /// Checkpoint generation of the segment the cursor points into.
+    pub gen: u64,
+    /// Last applied per-relation sequence number (0 = nothing yet).
+    pub seq: u64,
+}
+
+/// One record a [`RelationTailer`] produced: the decoded record, the
+/// exact frame payload bytes it was decoded from (so a shipper can
+/// forward them verbatim, byte for byte), and the generation of the
+/// segment it came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailedRecord {
+    /// Generation of the segment the record was read from.
+    pub gen: u64,
+    /// The decoded record.
+    pub record: WalRecord,
+    /// The raw frame payload, exactly as stored on disk.
+    pub payload: Vec<u8>,
+}
+
+/// What one [`RelationTailer::poll`] found.
+#[derive(Debug)]
+pub enum RelationPoll {
+    /// Records appended since the previous poll (possibly none).
+    Records(Vec<TailedRecord>),
+    /// The primary pruned segments the tailer had not consumed: the
+    /// follower must re-bootstrap from the snapshot.  The tailer is
+    /// spent after reporting this; discard it.
+    Behind,
+}
+
+/// Follows one relation's segment chain in a live durable directory.
+#[derive(Debug)]
+pub struct RelationTailer {
+    wal_dir: PathBuf,
+    fingerprint: u32,
+    scheme: u16,
+    /// Generation currently being read.
+    gen: u64,
+    /// Last consumed sequence number.
+    last_seq: u64,
+    /// Byte offset of the first unconsumed byte in the current segment
+    /// (always a frame boundary of the consumed prefix).
+    offset: usize,
+    /// Whether the current segment's header frame has been validated.
+    header_done: bool,
+}
+
+impl RelationTailer {
+    /// A tailer for relation `scheme` of the durable directory at
+    /// `root`, resuming from `cursor` (see [`Cursor`]).  Records with
+    /// sequence numbers at or below `cursor.seq` found in the cursor's
+    /// segment are silently skipped, so a cursor taken from a recovery
+    /// pass ([`crate::Recovered::last_seqs`] and `next_gen - 1`) resumes
+    /// exactly after the recovered prefix.
+    pub fn new(root: &Path, fingerprint: u32, scheme: u16, cursor: Cursor) -> Self {
+        RelationTailer {
+            wal_dir: root.join(WAL_SUBDIR),
+            fingerprint,
+            scheme,
+            gen: cursor.gen,
+            last_seq: cursor.seq,
+            offset: 0,
+            header_done: false,
+        }
+    }
+
+    /// The tailer's current position.
+    pub fn cursor(&self) -> Cursor {
+        Cursor {
+            gen: self.gen,
+            seq: self.last_seq,
+        }
+    }
+
+    /// The relation this tailer follows.
+    pub fn scheme(&self) -> u16 {
+        self.scheme
+    }
+
+    /// Reads everything appended since the previous poll.
+    ///
+    /// Returns [`RelationPoll::Records`] (possibly empty — nothing new
+    /// is not an error), [`RelationPoll::Behind`] when the cursor's
+    /// segments were pruned before they were consumed, or a typed
+    /// [`WalError`] on corruption.
+    pub fn poll(&mut self) -> Result<RelationPoll, WalError> {
+        let mut out = Vec::new();
+        loop {
+            let path = self.wal_dir.join(segment_file_name(self.scheme, self.gen));
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // The cursor's segment is gone (pruned) or not yet
+                    // created.  The next generation's header decides.
+                    match self.peek_next_gen()? {
+                        NextGen::None => return Ok(RelationPoll::Records(out)),
+                        NextGen::NotReady => return Ok(RelationPoll::Records(out)),
+                        NextGen::Ready { gen, start_seq } => {
+                            if start_seq > self.last_seq + 1 {
+                                // Records between our cursor and the next
+                                // segment lived in pruned generations.
+                                return Ok(RelationPoll::Behind);
+                            }
+                            self.advance_to(gen);
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => return Err(io_err(&path, e)),
+            };
+            if self.offset > bytes.len() {
+                // Segments are append-only; a shrinking one is not a
+                // crash artifact we know how to resume from.
+                return Err(corrupt(&path, "segment shrank under the tailer"));
+            }
+            let mut rest = &bytes[self.offset..];
+
+            // Header frame (validated once per segment, exactly as in
+            // recovery — except a sequence gap here means "behind", not
+            // corruption: the gap's records were checkpointed away).
+            if !self.header_done {
+                match read_frame(rest) {
+                    FrameOutcome::Complete { payload, rest: r } => {
+                        let header = SegmentHeader::decode(&path, payload)?;
+                        self.check_header(&path, &header)?;
+                        if header.start_seq > self.last_seq + 1 {
+                            return Ok(RelationPoll::Behind);
+                        }
+                        self.offset += 8 + payload.len();
+                        self.header_done = true;
+                        rest = r;
+                    }
+                    // The primary created the file but the header write
+                    // has not landed yet; nothing to read.
+                    FrameOutcome::Torn => return Ok(RelationPoll::Records(out)),
+                    FrameOutcome::CrcMismatch => {
+                        return Err(corrupt(&path, "segment header checksum mismatch"))
+                    }
+                    FrameOutcome::Oversize => {
+                        return Err(corrupt(&path, "segment header length corrupted"))
+                    }
+                }
+            }
+
+            // Record frames until the (possibly torn) tail.
+            loop {
+                match read_frame(rest) {
+                    FrameOutcome::Complete { payload, rest: r } => {
+                        let record = WalRecord::decode(&path, payload)?;
+                        if record.seq <= self.last_seq {
+                            // Catch-up within the cursor's segment:
+                            // already applied, skip.
+                        } else if record.seq != self.last_seq + 1 {
+                            return Err(corrupt(
+                                &path,
+                                format!(
+                                    "sequence gap: record {} after {}",
+                                    record.seq, self.last_seq
+                                ),
+                            ));
+                        } else {
+                            self.last_seq = record.seq;
+                            out.push(TailedRecord {
+                                gen: self.gen,
+                                record,
+                                payload: payload.to_vec(),
+                            });
+                        }
+                        self.offset += 8 + payload.len();
+                        rest = r;
+                    }
+                    FrameOutcome::Torn => break,
+                    FrameOutcome::CrcMismatch => {
+                        return Err(corrupt(&path, "record checksum mismatch"))
+                    }
+                    FrameOutcome::Oversize => {
+                        return Err(corrupt(&path, "record length corrupted"))
+                    }
+                }
+            }
+
+            // End of what is on disk for this segment.  Advance to the
+            // next generation only when its header *proves* the current
+            // segment was fully consumed (start_seq continues our
+            // sequence); otherwise wait — the torn tail here may still
+            // be completed by the primary, and rotation always seals
+            // the old segment before the new file appears.
+            match self.peek_next_gen()? {
+                NextGen::Ready { gen, start_seq } if start_seq <= self.last_seq + 1 => {
+                    self.advance_to(gen);
+                    continue;
+                }
+                _ => return Ok(RelationPoll::Records(out)),
+            }
+        }
+    }
+
+    fn advance_to(&mut self, gen: u64) {
+        self.gen = gen;
+        self.offset = 0;
+        self.header_done = false;
+    }
+
+    fn check_header(&self, path: &Path, header: &SegmentHeader) -> Result<(), WalError> {
+        if header.fingerprint != self.fingerprint {
+            return Err(WalError::SchemaMismatch {
+                detail: "schema/FD set (segment fingerprint)",
+            });
+        }
+        let named = parse_segment_file_name(
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default(),
+        );
+        if named != Some((header.scheme, header.gen)) {
+            return Err(corrupt(path, "segment header disagrees with file name"));
+        }
+        Ok(())
+    }
+
+    /// Looks for the smallest on-disk generation above the current one
+    /// and, if present, validates its header far enough to learn its
+    /// `start_seq`.
+    fn peek_next_gen(&self) -> Result<NextGen, WalError> {
+        let entries = match std::fs::read_dir(&self.wal_dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(NextGen::None),
+            Err(e) => return Err(io_err(&self.wal_dir, e)),
+        };
+        let mut next: Option<u64> = None;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.wal_dir, e))?;
+            let name = entry.file_name();
+            let Some((scheme, gen)) = name.to_str().and_then(parse_segment_file_name) else {
+                continue;
+            };
+            if scheme == self.scheme && gen > self.gen {
+                next = Some(next.map_or(gen, |n| n.min(gen)));
+            }
+        }
+        let Some(gen) = next else {
+            return Ok(NextGen::None);
+        };
+        let path = self.wal_dir.join(segment_file_name(self.scheme, gen));
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            // Pruned between listing and reading; retry next poll.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(NextGen::NotReady),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        match read_frame(&bytes) {
+            FrameOutcome::Complete { payload, .. } => {
+                let header = SegmentHeader::decode(&path, payload)?;
+                self.check_header(&path, &header)?;
+                Ok(NextGen::Ready {
+                    gen,
+                    start_seq: header.start_seq,
+                })
+            }
+            FrameOutcome::Torn => Ok(NextGen::NotReady),
+            FrameOutcome::CrcMismatch => Err(corrupt(&path, "segment header checksum mismatch")),
+            FrameOutcome::Oversize => Err(corrupt(&path, "segment header length corrupted")),
+        }
+    }
+}
+
+/// Outcome of peeking the next on-disk generation.
+enum NextGen {
+    /// No higher generation exists for this relation.
+    None,
+    /// A higher generation exists but its header is not readable yet.
+    NotReady,
+    /// A higher generation with a validated header.
+    Ready {
+        /// The generation found.
+        gen: u64,
+        /// Its header's `start_seq`.
+        start_seq: u64,
+    },
+}
+
+/// One name a [`NameTailer`] produced: the decoded string and the exact
+/// frame payload bytes (for verbatim shipping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailedName {
+    /// The interned name, in pool order.
+    pub name: String,
+    /// The raw frame payload, exactly as stored on disk.
+    pub payload: Vec<u8>,
+}
+
+/// Follows the value-pool name log read-only.
+///
+/// Unlike [`crate::NameLog::open`], a `NameTailer` never truncates the
+/// file — it belongs to the primary.  A torn tail is "nothing new yet";
+/// it is retried on the next poll.
+#[derive(Debug)]
+pub struct NameTailer {
+    path: PathBuf,
+    fingerprint: u32,
+    offset: usize,
+    header_done: bool,
+    /// Names still to suppress because the follower already has them.
+    skip: u64,
+    /// Names emitted so far (after skipping).
+    emitted: u64,
+}
+
+impl NameTailer {
+    /// A tailer for the name log at `path` (see
+    /// [`crate::WalDir::pool_log_path`]), suppressing the first
+    /// `already_applied` names (the follower got those from its own
+    /// pool-log replay at bootstrap).
+    pub fn new(path: &Path, fingerprint: u32, already_applied: u64) -> Self {
+        NameTailer {
+            path: path.to_path_buf(),
+            fingerprint,
+            offset: 0,
+            header_done: false,
+            skip: already_applied,
+            emitted: 0,
+        }
+    }
+
+    /// Total names delivered so far (excluding the skipped prefix).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Reads the names appended since the previous poll, in pool order.
+    /// An absent file means the primary has not attached a pool log
+    /// yet — that is "nothing new", not an error.
+    pub fn poll(&mut self) -> Result<Vec<TailedName>, WalError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&self.path, e)),
+        };
+        if self.offset > bytes.len() {
+            return Err(corrupt(&self.path, "pool log shrank under the tailer"));
+        }
+        let mut rest = &bytes[self.offset..];
+        if !self.header_done {
+            match read_frame(rest) {
+                FrameOutcome::Complete { payload, rest: r } => {
+                    self.check_header(payload)?;
+                    self.offset += 8 + payload.len();
+                    self.header_done = true;
+                    rest = r;
+                }
+                FrameOutcome::Torn => return Ok(Vec::new()),
+                FrameOutcome::CrcMismatch => {
+                    return Err(corrupt(&self.path, "pool header checksum mismatch"))
+                }
+                FrameOutcome::Oversize => {
+                    return Err(corrupt(&self.path, "pool header length corrupted"))
+                }
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            match read_frame(rest) {
+                FrameOutcome::Complete { payload, rest: r } => {
+                    let mut d = Decoder::new(payload);
+                    let name = d
+                        .get_str()
+                        .map_err(|e| corrupt(&self.path, format!("bad pool record: {e}")))?;
+                    if self.skip > 0 {
+                        self.skip -= 1;
+                    } else {
+                        out.push(TailedName {
+                            name,
+                            payload: payload.to_vec(),
+                        });
+                        self.emitted += 1;
+                    }
+                    self.offset += 8 + payload.len();
+                    rest = r;
+                }
+                FrameOutcome::Torn => break,
+                FrameOutcome::CrcMismatch => {
+                    return Err(corrupt(&self.path, "pool record checksum mismatch"))
+                }
+                FrameOutcome::Oversize => {
+                    return Err(corrupt(&self.path, "pool record length corrupted"))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_header(&self, payload: &[u8]) -> Result<(), WalError> {
+        let mut d = Decoder::new(payload);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = d
+                .get_u8()
+                .map_err(|_| corrupt(&self.path, "truncated pool header"))?;
+        }
+        if magic != POOL_MAGIC {
+            return Err(corrupt(&self.path, format!("bad pool magic {magic:?}")));
+        }
+        let version = d
+            .get_u16()
+            .map_err(|_| corrupt(&self.path, "truncated pool version"))?;
+        if version != FORMAT_VERSION {
+            return Err(WalError::UnsupportedVersion {
+                path: self.path.clone(),
+                found: version,
+            });
+        }
+        let found = d
+            .get_u32()
+            .map_err(|_| corrupt(&self.path, "truncated pool fingerprint"))?;
+        if found != self.fingerprint {
+            return Err(WalError::SchemaMismatch {
+                detail: "schema/FD set (pool log fingerprint)",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::frame;
+    use crate::records::WalOp;
+    use crate::{NameLog, WalDir};
+    use ids_deps::FdSet;
+    use ids_relational::{DatabaseSchema, Universe, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ids-wal-tail-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn setup() -> (DatabaseSchema, FdSet) {
+        let u = Universe::from_names(["C", "T", "S"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("CT", "CT"), ("CS", "CS")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["C -> T"]).unwrap();
+        (schema, fds)
+    }
+
+    fn seqs(poll: &RelationPoll) -> Vec<u64> {
+        match poll {
+            RelationPoll::Records(rs) => rs.iter().map(|r| r.record.seq).collect(),
+            RelationPoll::Behind => panic!("unexpectedly behind"),
+        }
+    }
+
+    #[test]
+    fn follows_appends_and_rotation() {
+        let root = tmp("follow");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w = dir.segment_writer(0, 1, 0).unwrap();
+        w.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w.append(WalOp::Insert(vec![Value(2), Value(20)])).unwrap();
+        w.sync().unwrap();
+
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        assert_eq!(seqs(&t.poll().unwrap()), vec![1, 2]);
+        // Nothing new: an empty poll, not an error.
+        assert_eq!(seqs(&t.poll().unwrap()), Vec::<u64>::new());
+
+        // New appends show up incrementally, with verbatim payloads.
+        w.append(WalOp::Remove(vec![Value(1), Value(10)])).unwrap();
+        w.sync().unwrap();
+        let poll = t.poll().unwrap();
+        let RelationPoll::Records(rs) = &poll else {
+            panic!("behind");
+        };
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].gen, 1);
+        assert_eq!(rs[0].payload, rs[0].record.encode());
+
+        // Rotation: the tailer follows into the new generation.
+        w.rotate(2).unwrap();
+        w.append(WalOp::Insert(vec![Value(3), Value(30)])).unwrap();
+        w.sync().unwrap();
+        assert_eq!(seqs(&t.poll().unwrap()), vec![4]);
+        assert_eq!(t.cursor(), Cursor { gen: 2, seq: 4 });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn skips_already_applied_records() {
+        let root = tmp("skip");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w = dir.segment_writer(0, 1, 0).unwrap();
+        for i in 0..3 {
+            w.append(WalOp::Insert(vec![Value(i), Value(i + 10)]))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 2 });
+        assert_eq!(seqs(&t.poll().unwrap()), vec![3]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_waits_then_completes() {
+        let root = tmp("torn");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w = dir.segment_writer(0, 1, 0).unwrap();
+        w.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w.append(WalOp::Insert(vec![Value(2), Value(20)])).unwrap();
+        w.sync().unwrap();
+        let seg = root.join("wal").join(segment_file_name(0, 1));
+        let full = std::fs::read(&seg).unwrap();
+
+        // Mid-append: the second record's frame is cut short.
+        std::fs::write(&seg, &full[..full.len() - 5]).unwrap();
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        assert_eq!(seqs(&t.poll().unwrap()), vec![1]);
+
+        // The append completes; the next poll picks up from the offset.
+        std::fs::write(&seg, &full).unwrap();
+        assert_eq!(seqs(&t.poll().unwrap()), vec![2]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pruned_past_cursor_reports_behind() {
+        let root = tmp("behind");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w = dir.segment_writer(0, 1, 0).unwrap();
+        w.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w.append(WalOp::Insert(vec![Value(2), Value(20)])).unwrap();
+        w.rotate(2).unwrap();
+        let mut state = ids_relational::DatabaseState::empty(&schema);
+        state
+            .insert(ids_relational::SchemeId(0), vec![Value(1), Value(10)])
+            .unwrap();
+        dir.write_snapshot(&state, &[2, 0], 1).unwrap();
+        dir.prune_segments(1).unwrap();
+
+        // A follower still at gen 1, seq 0 lost records 1..=2 to the
+        // prune: re-bootstrap, not corruption.
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        assert!(matches!(t.poll().unwrap(), RelationPoll::Behind));
+
+        // A follower that had consumed everything advances cleanly.
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 2 });
+        assert_eq!(seqs(&t.poll().unwrap()), Vec::<u64>::new());
+        w.append(WalOp::Insert(vec![Value(3), Value(30)])).unwrap();
+        w.sync().unwrap();
+        assert_eq!(seqs(&t.poll().unwrap()), vec![3]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_is_typed_corruption() {
+        let root = tmp("flip");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w = dir.segment_writer(0, 1, 0).unwrap();
+        w.append(WalOp::Insert(vec![Value(1), Value(10)])).unwrap();
+        w.sync().unwrap();
+        let seg = root.join("wal").join(segment_file_name(0, 1));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x80;
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        assert!(matches!(t.poll(), Err(WalError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mid_segment_sequence_gap_is_corrupt() {
+        let root = tmp("gap");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        // Hand-write a segment whose records jump 1 -> 3.
+        let header = SegmentHeader {
+            fingerprint: dir.fingerprint(),
+            scheme: 0,
+            gen: 1,
+            start_seq: 1,
+        };
+        let mut bytes = frame(&header.encode());
+        for seq in [1, 3] {
+            let r = WalRecord {
+                seq,
+                op: WalOp::Insert(vec![Value(seq), Value(seq)]),
+            };
+            bytes.extend_from_slice(&frame(&r.encode()));
+        }
+        std::fs::write(root.join("wal").join(segment_file_name(0, 1)), bytes).unwrap();
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        match t.poll() {
+            Err(WalError::Corrupt { detail, .. }) => assert!(detail.contains("sequence gap")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn name_tailer_follows_without_truncating() {
+        let root = tmp("names");
+        std::fs::create_dir_all(&root).unwrap();
+        let pool = root.join("pool.log");
+        let (mut log, _) = NameLog::open(&pool, 7).unwrap();
+        log.append("alpha").unwrap();
+        log.append("beta").unwrap();
+
+        let mut t = NameTailer::new(&pool, 7, 0);
+        let names: Vec<_> = t.poll().unwrap().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert!(t.poll().unwrap().is_empty());
+
+        log.append("gamma").unwrap();
+        let batch = t.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].name, "gamma");
+        assert_eq!(t.emitted(), 3);
+
+        // A torn tail is "nothing yet" and must NOT be truncated.
+        let full = std::fs::read(&pool).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&frame(b"\x05\x00\x00\x00delta")[..6]);
+        std::fs::write(&pool, &torn).unwrap();
+        assert!(t.poll().unwrap().is_empty());
+        assert_eq!(std::fs::read(&pool).unwrap(), torn);
+
+        // A skip-ahead tailer suppresses the already-applied prefix.
+        std::fs::write(&pool, &full).unwrap();
+        let mut t2 = NameTailer::new(&pool, 7, 2);
+        let names: Vec<_> = t2.poll().unwrap().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, vec!["gamma"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn name_tailer_fingerprint_and_corruption_are_typed() {
+        let root = tmp("namefp");
+        std::fs::create_dir_all(&root).unwrap();
+        let pool = root.join("pool.log");
+        let (mut log, _) = NameLog::open(&pool, 7).unwrap();
+        log.append("x").unwrap();
+        assert!(matches!(
+            NameTailer::new(&pool, 8, 0).poll(),
+            Err(WalError::SchemaMismatch { .. })
+        ));
+        let mut bytes = std::fs::read(&pool).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&pool, &bytes).unwrap();
+        assert!(matches!(
+            NameTailer::new(&pool, 7, 0).poll(),
+            Err(WalError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_files_are_nothing_new() {
+        let root = tmp("missing");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut t = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        assert_eq!(seqs(&t.poll().unwrap()), Vec::<u64>::new());
+        let mut n = NameTailer::new(&dir.pool_log_path(), dir.fingerprint(), 0);
+        assert!(n.poll().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -41,12 +41,12 @@ impl WalMetrics {
 }
 
 /// Builds the canonical segment file name for a relation + generation.
-pub(crate) fn segment_file_name(scheme: u16, gen: u64) -> String {
+pub fn segment_file_name(scheme: u16, gen: u64) -> String {
     format!("r{scheme:05}-g{gen:010}.log")
 }
 
 /// Parses a segment file name back into `(scheme, gen)`.
-pub(crate) fn parse_segment_file_name(name: &str) -> Option<(u16, u64)> {
+pub fn parse_segment_file_name(name: &str) -> Option<(u16, u64)> {
     let rest = name.strip_prefix('r')?.strip_suffix(".log")?;
     let (scheme, gen) = rest.split_once("-g")?;
     Some((scheme.parse().ok()?, gen.parse().ok()?))

@@ -13,5 +13,6 @@
 pub mod examples;
 pub mod families;
 pub mod generators;
+pub mod shapes;
 pub mod states;
 pub mod traces;

@@ -71,6 +71,7 @@
 //! | [`api`] | `Schema` builder + typed `Database` over every engine; fluent queries, typed rows, barrier-free joins; durable via `open_at`/`recover`; `SharedDatabase` for many threads |
 //! | [`server`] | TCP front-end: CRC-framed pipelined wire protocol, sessions, typed errors, bounded-queue backpressure |
 //! | [`client`] | blocking client for the wire protocol, with explicit pipelining |
+//! | [`replica`] | read replicas via per-relation log shipping: file-tail and wire-stream followers, lag-aware reads |
 //! | [`workloads`] | paper examples, families, random generators, concurrent traces |
 
 pub use ids_acyclic as acyclic;
@@ -81,6 +82,7 @@ pub use ids_core as core;
 pub use ids_deps as deps;
 pub use ids_obs as obs;
 pub use ids_relational as relational;
+pub use ids_replica as replica;
 pub use ids_server as server;
 pub use ids_store as store;
 pub use ids_wal as wal;
@@ -105,6 +107,7 @@ pub mod prelude {
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Predicate, Projection, Relation,
         RelationScheme, SchemeId, Tuple, Universe, Value, ValuePool,
     };
+    pub use ids_replica::{Replica, ReplicaError, ReplicaLag, ReplicaProgress};
     pub use ids_server::wire::{
         FrameError, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
     };
