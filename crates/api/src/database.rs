@@ -7,15 +7,15 @@ use std::sync::Arc;
 use ids_chase::ChaseConfig;
 use ids_core::{ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer};
 use ids_relational::{
-    join_all, AttrId, DatabaseState, Predicate, Projection, Relation, RelationalError, SchemeId,
-    Tuple, Value, ValuePool,
+    join_all, AttrId, AttrSet, DatabaseState, Predicate, Projection, Relation, RelationalError,
+    SchemeId, Tuple, Value, ValuePool,
 };
 use ids_store::{DurableConfig, OpOutcome, Store, StoreOp};
 use ids_wal::NameLog;
 
 use crate::engine::{Engine, EngineKind};
 use crate::error::Error;
-use crate::query::{Cond, Query, Row, Rows};
+use crate::query::{Cond, JoinQuery, JoinReport, Query, Row, Rows};
 use crate::schema::Schema;
 
 /// The engine a database runs on.  Only the sharded store stays
@@ -110,11 +110,18 @@ impl Database {
                 &schema.fds,
                 empty,
             ))),
-            EngineKind::Sharded(config) => EngineBox::Sharded(Box::new(Store::from_analysis(
-                &schema.definition,
-                &schema.analysis,
-                config,
-            )?)),
+            EngineKind::Sharded(mut config) => {
+                // Indexes declared on the schema ride along with any the
+                // caller already configured (re-declares are no-ops).
+                config
+                    .ordered_indexes
+                    .extend(schema.ordered_indexes.iter().copied());
+                EngineBox::Sharded(Box::new(Store::from_analysis(
+                    &schema.definition,
+                    &schema.analysis,
+                    config,
+                )?))
+            }
         };
         Ok(Database {
             schema,
@@ -142,12 +149,16 @@ impl Database {
         config: DurableConfig,
     ) -> Result<Self, Error> {
         let path = path.as_ref();
-        let config = DurableConfig {
-            // The manifest app blob carries the declared column order;
-            // it is only consulted at creation.
+        let mut config = DurableConfig {
+            // The manifest app blob carries the declared column order
+            // and index declarations; it is only consulted at creation.
             app: schema.encode_layouts(),
             ..config
         };
+        config
+            .store
+            .ordered_indexes
+            .extend(schema.ordered_indexes.iter().copied());
         let store = Store::open_durable_from_analysis(
             path,
             &schema.definition,
@@ -168,11 +179,17 @@ impl Database {
     }
 
     /// [`Database::recover`] with an explicit store/sync configuration.
-    pub fn recover_with(path: impl AsRef<Path>, config: DurableConfig) -> Result<Self, Error> {
+    pub fn recover_with(path: impl AsRef<Path>, mut config: DurableConfig) -> Result<Self, Error> {
         let dir = ids_wal::WalDir::open(path.as_ref())?;
         let manifest = dir.manifest();
         let schema =
             Schema::from_recovered(manifest.schema.clone(), manifest.fds.clone(), &manifest.app)?;
+        // Index declarations persisted in the manifest are rebuilt after
+        // replay, exactly as at creation.
+        config
+            .store
+            .ordered_indexes
+            .extend(schema.ordered_indexes.iter().copied());
         // The open directory handle is passed straight down, so the
         // manifest is read and decoded exactly once per recover.
         let store = Store::recover_durable_from_analysis(
@@ -372,6 +389,8 @@ impl Database {
             relation: relation.into(),
             filters: Vec::new(),
             select: None,
+            order: None,
+            limit: None,
         }
     }
 
@@ -390,6 +409,20 @@ impl Database {
             Vec::new()
         };
         Ok(render_rows(&self.schema, &self.pool, &plan, &tuples))
+    }
+
+    /// Executes a built [`Query`]'s count: same planning as
+    /// [`Database::run_query`], but only the integer comes back.
+    pub(crate) fn run_count(
+        &self,
+        relation: &str,
+        filters: &[(String, Cond)],
+    ) -> Result<usize, Error> {
+        let plan = plan_query(&self.schema, &self.pool, relation, filters, None)?;
+        if !plan.satisfiable {
+            return Ok(0);
+        }
+        self.engine.as_dyn().count_where(plan.id, &plan.predicate)
     }
 
     /// Typed-level query for callers holding canonical predicates — the
@@ -421,41 +454,128 @@ impl Database {
     /// [`Database::snapshot`] took; use the snapshot when you need one
     /// global moment.
     ///
-    /// Columns come back named after the joined attributes in canonical
-    /// order; an empty relation list is [`Error::EmptyJoin`].
+    /// ## Self-joins: one relation, one cut
+    ///
+    /// A relation listed more than once is read **exactly once** — the
+    /// repeated mention joins that single cut with itself (a no-op for
+    /// the natural join).  Reading a repeated relation once per mention
+    /// would intersect two barrier-free cuts of the *same* FIFO, a
+    /// result corresponding to no cut of that relation's history; the
+    /// per-relation soundness argument above covers only combinations
+    /// of one cut per relation.
+    ///
+    /// ## Execution
+    ///
+    /// Acyclic relation sets (GYO-reducible, which includes every
+    /// pairwise chain and star) run through the Yannakakis-style
+    /// planner: per-relation filters are pushed down, relations ship
+    /// distinct join-*keys* to narrow their join-tree neighbors before
+    /// any tuples move, and the (already-reduced) tuples are assembled
+    /// client-side in tree order.  Cyclic sets fall back to the naive
+    /// fold over one filtered read per distinct relation.  Use
+    /// [`Database::join_query`] to attach per-relation filters and to
+    /// observe the planner's [`crate::JoinReport`].
+    ///
+    /// ## Column order
+    ///
+    /// Output columns follow the order relations were listed (first
+    /// mention, for repeats); within each relation, its **declared**
+    /// column order; a column whose attribute already appeared under an
+    /// earlier relation is skipped.  An empty relation list is
+    /// [`Error::EmptyJoin`].
     pub fn join<I, S>(&self, relations: I) -> Result<Rows, Error>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut ids = Vec::new();
-        for name in relations {
-            ids.push(self.schema.scheme_id(name.as_ref())?);
+        self.join_query(relations).run()
+    }
+
+    /// Starts a fluent multi-relation join: [`Database::join`] plus
+    /// per-relation filters and the planner's execution report.
+    ///
+    /// ```
+    /// # use ids_api::{eq, Database, EngineKind, Schema};
+    /// # let schema = Schema::builder()
+    /// #     .relation("CT", ["course", "teacher"])
+    /// #     .relation("CHR", ["course", "hour", "room"])
+    /// #     .fd("course -> teacher")
+    /// #     .fd("course hour -> room").build()?;
+    /// # let mut db = Database::open(schema, EngineKind::Local)?;
+    /// # db.insert("CT", ["CS402", "Jones"])?;
+    /// # db.insert("CHR", ["CS402", "9am", "R128"])?;
+    /// let rows = db.join_query(["CT", "CHR"])
+    ///     .filter("CT", "teacher", eq("Jones"))
+    ///     .run()?;
+    /// assert_eq!(rows.len(), 1);
+    /// # Ok::<(), ids_api::Error>(())
+    /// ```
+    pub fn join_query<I, S>(&self, relations: I) -> JoinQuery<'_>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        JoinQuery {
+            db: self,
+            relations: relations
+                .into_iter()
+                .map(|s| s.as_ref().to_string())
+                .collect(),
+            filters: Vec::new(),
         }
-        let joined = self.join_raw(&ids)?;
-        let u = self.schema.definition.universe();
-        let columns: Arc<[String]> = joined
-            .attrs()
-            .iter()
-            .map(|a| u.name(a).to_string())
-            .collect::<Vec<_>>()
-            .into();
-        let rows = joined
-            .iter()
-            .map(|t| Row {
-                columns: columns.clone(),
-                values: t.iter().map(|&v| self.pool.render(v)).collect(),
-            })
-            .collect();
-        Ok(Rows::new(columns, rows))
+    }
+
+    /// Executes a built [`JoinQuery`]: compile the per-relation filters,
+    /// run the planner, render under the declared-layout column
+    /// contract.
+    pub(crate) fn run_join(
+        &self,
+        relations: &[String],
+        filters: &[(String, String, Cond)],
+    ) -> Result<(Rows, JoinReport), Error> {
+        let plan = plan_join(&self.schema, &self.pool, relations, filters)?;
+        if !plan.satisfiable {
+            // Some filter names a never-interned value: nothing stored
+            // can match, so no engine is consulted — but the output
+            // columns still follow the contract.
+            let empty = Relation::new(
+                plan.attrs
+                    .iter()
+                    .fold(AttrSet::new(), |acc, a| acc.union(*a)),
+            );
+            return Ok((
+                render_join_rows(&self.schema, &self.pool, &plan.ids, &empty),
+                JoinReport::default(),
+            ));
+        }
+        let (joined, report) = crate::planner::execute_join(
+            self.engine.as_dyn(),
+            &plan.ids,
+            &plan.attrs,
+            &plan.preds,
+        )?;
+        Ok((
+            render_join_rows(&self.schema, &self.pool, &plan.ids, &joined),
+            report,
+        ))
     }
 
     /// Typed-level natural join over scheme ids — the raw counterpart of
-    /// [`Database::join`], same barrier-free reads and soundness
-    /// argument, returning the joined [`Relation`].
+    /// [`Database::join`]: the plain fold over barrier-free reads (no
+    /// planner, no filters), returning the joined [`Relation`].
+    ///
+    /// Repeated ids are deduplicated (first mention wins), so a
+    /// self-join reads its relation **once** — see the self-join
+    /// contract on [`Database::join`].
     pub fn join_raw(&self, ids: &[SchemeId]) -> Result<Relation, Error> {
-        let mut rels = Vec::with_capacity(ids.len());
+        let mut distinct: Vec<SchemeId> = Vec::with_capacity(ids.len());
         for &id in ids {
+            if !distinct.contains(&id) {
+                distinct.push(id);
+            }
+        }
+        let mut rels = Vec::with_capacity(distinct.len());
+        for &id in &distinct {
             rels.push(self.engine.as_dyn().read(id)?);
         }
         join_all(rels.iter()).ok_or(Error::EmptyJoin)
@@ -609,11 +729,7 @@ pub(crate) fn plan_query(
     let mut satisfiable = true;
     for (column, cond) in filters {
         let attr = attr_of(column)?;
-        let Cond::Eq(value) = cond;
-        match pool.get(value) {
-            Some(v) => predicate = predicate.and_eq(attr, v),
-            None => satisfiable = false,
-        }
+        predicate = apply_cond(pool, predicate, attr, cond, &mut satisfiable);
     }
     // Select list → projection (declaration order when omitted).
     let columns: Vec<String> = match select {
@@ -658,6 +774,172 @@ pub(crate) fn render_rows(
     Rows::new(plan.columns.clone(), rows)
 }
 
+/// Compiles one string-level condition onto a typed predicate.
+///
+/// Conditions compare the *rendered* strings, but the engines compare
+/// typed values — so each condition is compiled against the pool.
+/// Equality and membership on a never-interned value are unsatisfiable
+/// (nothing stored can match); inequality on one is vacuously true.
+/// Order conditions ([`Cond::Lt`] .. [`Cond::Range`]) enumerate the
+/// pool once: the interned names satisfying the string comparison *are*
+/// exactly the stored values the condition can admit, and become an
+/// `In` guard the engines (and their ordered indexes) understand.
+fn apply_cond(
+    pool: &ValuePool,
+    predicate: Predicate,
+    attr: AttrId,
+    cond: &Cond,
+    satisfiable: &mut bool,
+) -> Predicate {
+    let mut by_names = |admits: &dyn Fn(&str) -> bool, predicate: Predicate| -> Predicate {
+        let set: Vec<Value> = pool
+            .iter()
+            .filter(|(name, _)| admits(name))
+            .map(|(_, v)| v)
+            .collect();
+        if set.is_empty() {
+            *satisfiable = false;
+            predicate
+        } else {
+            predicate.and_in(attr, set)
+        }
+    };
+    match cond {
+        Cond::Eq(value) => match pool.get(value) {
+            Some(v) => predicate.and_eq(attr, v),
+            None => {
+                *satisfiable = false;
+                predicate
+            }
+        },
+        Cond::Ne(value) => match pool.get(value) {
+            Some(v) => predicate.and_ne(attr, v),
+            // A value never stored differs from every stored value.
+            None => predicate,
+        },
+        Cond::In(values) => {
+            let known: Vec<Value> = values.iter().filter_map(|s| pool.get(s)).collect();
+            if known.is_empty() {
+                *satisfiable = false;
+                predicate
+            } else {
+                predicate.and_in(attr, known)
+            }
+        }
+        Cond::Lt(hi) => by_names(&|n| n < hi.as_str(), predicate),
+        Cond::Le(hi) => by_names(&|n| n <= hi.as_str(), predicate),
+        Cond::Gt(lo) => by_names(&|n| n > lo.as_str(), predicate),
+        Cond::Ge(lo) => by_names(&|n| n >= lo.as_str(), predicate),
+        Cond::Range(lo, hi) => by_names(&|n| lo.as_str() <= n && n <= hi.as_str(), predicate),
+    }
+}
+
+/// A compiled multi-relation join: the deduped relations (first mention
+/// wins — the self-join contract), their attribute sets, and the
+/// pushed-down per-relation predicates, aligned by index.
+pub(crate) struct JoinPlan {
+    pub(crate) ids: Vec<SchemeId>,
+    pub(crate) attrs: Vec<AttrSet>,
+    pub(crate) preds: Vec<Predicate>,
+    /// False when some filter names a value this database never
+    /// interned: the join is empty without consulting any engine.
+    pub(crate) satisfiable: bool,
+}
+
+/// Compiles a string-level join against the schema and pool — the
+/// planning half of [`Database::run_join`], shared with
+/// [`crate::SharedDatabase`].  A filter naming a relation that is not
+/// part of the join is [`Error::UnknownRelation`].
+pub(crate) fn plan_join(
+    schema: &Schema,
+    pool: &ValuePool,
+    relations: &[String],
+    filters: &[(String, String, Cond)],
+) -> Result<JoinPlan, Error> {
+    if relations.is_empty() {
+        return Err(Error::EmptyJoin);
+    }
+    let mut ids: Vec<SchemeId> = Vec::new();
+    for name in relations {
+        let id = schema.scheme_id(name)?;
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    let attrs: Vec<AttrSet> = ids.iter().map(|&id| schema.definition.attrs(id)).collect();
+    let mut preds = vec![Predicate::new(); ids.len()];
+    let mut satisfiable = true;
+    for (relation, column, cond) in filters {
+        let id = schema.scheme_id(relation)?;
+        let slot = ids
+            .iter()
+            .position(|&i| i == id)
+            .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+        let layout = schema.layout(id);
+        let attr_ids: Vec<AttrId> = attrs[slot].iter().collect();
+        let attr = layout
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .map(|j| attr_ids[layout.perm[j]])
+            .ok_or_else(|| Error::UnknownColumn {
+                relation: relation.clone(),
+                column: column.clone(),
+            })?;
+        preds[slot] = apply_cond(
+            pool,
+            std::mem::take(&mut preds[slot]),
+            attr,
+            cond,
+            &mut satisfiable,
+        );
+    }
+    Ok(JoinPlan {
+        ids,
+        attrs,
+        preds,
+        satisfiable,
+    })
+}
+
+/// Renders a joined relation under the declared-layout column contract
+/// of [`Database::join`]: relations in listed (deduped) order, each in
+/// its declared column order, attributes already emitted skipped.
+pub(crate) fn render_join_rows(
+    schema: &Schema,
+    pool: &ValuePool,
+    ids: &[SchemeId],
+    joined: &Relation,
+) -> Rows {
+    let mut seen = AttrSet::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut order: Vec<AttrId> = Vec::new();
+    for &id in ids {
+        let layout = schema.layout(id);
+        let attr_ids: Vec<AttrId> = schema.definition.attrs(id).iter().collect();
+        for (j, col) in layout.columns.iter().enumerate() {
+            let attr = attr_ids[layout.perm[j]];
+            if seen.insert(attr) {
+                names.push(col.clone());
+                order.push(attr);
+            }
+        }
+    }
+    let columns: Arc<[String]> = names.into();
+    let jattrs = joined.attrs();
+    let rows = joined
+        .iter()
+        .map(|t| Row {
+            columns: columns.clone(),
+            values: order
+                .iter()
+                .map(|&a| pool.render(t[jattrs.rank(a)]))
+                .collect(),
+        })
+        .collect();
+    Rows::new(columns, rows)
+}
+
 /// Interns a name, writing it through the durable name log first when
 /// one exists: the name must be stable *before* any operation that
 /// references its value can be logged, otherwise a crash could re-assign
@@ -681,6 +963,7 @@ pub(crate) fn intern_name(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eq;
     use ids_store::StoreConfig;
 
     fn example2() -> Schema {
@@ -946,6 +1229,214 @@ mod tests {
             ));
             // Single-relation join is just that relation.
             assert_eq!(db.join(["CT"]).unwrap().len(), 2, "{label}");
+        }
+    }
+
+    /// The self-join contract: a repeated relation is read once, so the
+    /// join equals that relation (at the string and typed levels), and a
+    /// repeat inside a larger join changes nothing.
+    #[test]
+    fn self_join_reads_one_cut() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            db.insert("CT", ["CS402", "Jones"]).unwrap();
+            db.insert("CT", ["CS500", "Curie"]).unwrap();
+            db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+
+            let rows = db.join(["CT", "CT"]).unwrap();
+            assert_eq!(rows.columns(), ["course", "teacher"], "{label}");
+            let mut got = rows.into_string_rows();
+            got.sort();
+            let mut plain = db.rows("CT").unwrap();
+            plain.sort();
+            assert_eq!(got, plain, "{label}");
+
+            let repeated = db.join(["CT", "CHR", "CT"]).unwrap();
+            let once = db.join(["CT", "CHR"]).unwrap();
+            assert_eq!(repeated.columns(), once.columns(), "{label}");
+            let mut a = repeated.into_string_rows();
+            let mut b = once.into_string_rows();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{label}");
+
+            let ct = db.schema().scheme_id("CT").unwrap();
+            assert!(db
+                .join_raw(&[ct, ct])
+                .unwrap()
+                .set_eq(&db.read("CT").unwrap()));
+        }
+    }
+
+    /// Joined columns follow the *declared* layouts in listed-relation
+    /// order, not the canonical universe order — pinned with a relation
+    /// declared against canonical order.
+    #[test]
+    fn joined_columns_follow_declared_layouts() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            // Universe encounter order: course, teacher, room — so TR's
+            // canonical attribute order is (teacher, room), the reverse
+            // of its declared (room, teacher).
+            let schema = Schema::builder()
+                .relation("CT", ["course", "teacher"])
+                .relation("TR", ["room", "teacher"])
+                .fd("course -> teacher")
+                .build()
+                .unwrap();
+            let mut db = Database::open(schema, kind).unwrap();
+            db.insert("CT", ["CS402", "Jones"]).unwrap();
+            db.insert("TR", ["R128", "Jones"]).unwrap();
+
+            // TR listed first: its declared columns lead; CT contributes
+            // only the attribute not yet emitted.
+            let rows = db.join(["TR", "CT"]).unwrap();
+            assert_eq!(rows.columns(), ["room", "teacher", "course"], "{label}");
+            let row = rows.iter().next().unwrap();
+            assert_eq!(row.get("room"), Some("R128"), "{label}");
+            assert_eq!(row.get("teacher"), Some("Jones"), "{label}");
+            assert_eq!(row.get("course"), Some("CS402"), "{label}");
+            assert_eq!(
+                rows.into_string_rows(),
+                vec![vec![
+                    "R128".to_string(),
+                    "Jones".to_string(),
+                    "CS402".to_string()
+                ]],
+                "{label}"
+            );
+
+            let reversed = db.join(["CT", "TR"]).unwrap();
+            assert_eq!(reversed.columns(), ["course", "teacher", "room"], "{label}");
+        }
+    }
+
+    /// The fluent join: filters push down, the planner runs on acyclic
+    /// sets, and name errors are typed before any engine round trip.
+    #[test]
+    fn join_query_pushes_filters_through_the_planner() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            db.insert("CT", ["CS402", "Jones"]).unwrap();
+            db.insert("CT", ["CS500", "Curie"]).unwrap();
+            db.insert("CHR", ["CS402", "9am", "R128"]).unwrap();
+            db.insert("CHR", ["CS500", "10am", "R200"]).unwrap();
+
+            let (rows, report) = db
+                .join_query(["CT", "CHR"])
+                .filter("CT", "teacher", eq("Jones"))
+                .run_with_report()
+                .unwrap();
+            assert!(report.planned, "{label}: CT/CHR share `course` — acyclic");
+            assert_eq!(rows.len(), 1, "{label}");
+            assert_eq!(rows.iter().next().unwrap().get("room"), Some("R128"));
+
+            // A never-interned filter value: empty rows, correct shape,
+            // no engine consulted.
+            let (rows, report) = db
+                .join_query(["CT", "CHR"])
+                .filter("CT", "teacher", eq("Nobody"))
+                .run_with_report()
+                .unwrap();
+            assert!(rows.is_empty(), "{label}");
+            assert_eq!(rows.columns(), ["course", "teacher", "hour", "room"]);
+            assert_eq!(report, JoinReport::default(), "{label}");
+
+            // Filters validate names first: a relation outside the join
+            // (even one the schema knows) and an unknown column are typed
+            // errors.
+            assert!(matches!(
+                db.join_query(["CT", "CHR"])
+                    .filter("CS", "student", eq("Riley"))
+                    .run(),
+                Err(Error::UnknownRelation(r)) if r == "CS"
+            ));
+            assert!(matches!(
+                db.join_query(["CT", "CHR"])
+                    .filter("CT", "room", eq("R128"))
+                    .run(),
+                Err(Error::UnknownColumn { relation, column })
+                    if relation == "CT" && column == "room"
+            ));
+        }
+    }
+
+    /// Range/inequality/membership conditions compare rendered strings;
+    /// ordering, limits, and aggregates ride on the same compiled plan.
+    #[test]
+    fn conditions_ordering_and_aggregates() {
+        for kind in all_kinds() {
+            let label = format!("{kind:?}");
+            let mut db = Database::open(example2(), kind).unwrap();
+            for (c, t) in [("101", "Ada"), ("205", "Ada"), ("309", "Curie")] {
+                db.insert("CT", [c, t]).unwrap();
+            }
+
+            let courses = |rows: Rows| -> Vec<String> {
+                let mut v: Vec<String> = rows
+                    .iter()
+                    .map(|r| r.get("course").unwrap().to_string())
+                    .collect();
+                v.sort();
+                v
+            };
+            let run = |cond: Cond| courses(db.query("CT").filter("course", cond).run().unwrap());
+
+            assert_eq!(run(crate::ne("205")), ["101", "309"], "{label}");
+            assert_eq!(run(crate::lt("205")), ["101"], "{label}");
+            assert_eq!(run(crate::le("205")), ["101", "205"], "{label}");
+            assert_eq!(run(crate::gt("205")), ["309"], "{label}");
+            assert_eq!(run(crate::ge("205")), ["205", "309"], "{label}");
+            assert_eq!(run(crate::between("102", "309")), ["205", "309"], "{label}");
+            assert_eq!(run(crate::one_of(["101", "309", "999"])), ["101", "309"]);
+            // ne on a never-interned value is vacuously true; a range
+            // admitting no interned name is unsatisfiable.
+            assert_eq!(run(crate::ne("999")).len(), 3, "{label}");
+            assert_eq!(run(crate::between("400", "500")).len(), 0, "{label}");
+            assert_eq!(run(crate::one_of(["998", "999"])).len(), 0, "{label}");
+
+            // Ordering and limit are applied to the rendered output.
+            let top = db
+                .query("CT")
+                .order_by_desc("course")
+                .limit(2)
+                .run()
+                .unwrap()
+                .into_string_rows();
+            assert_eq!(top[0][0], "309", "{label}");
+            assert_eq!(top[1][0], "205", "{label}");
+            assert!(matches!(
+                db.query("CT").order_by("room").run(),
+                Err(Error::UnknownColumn { .. })
+            ));
+
+            // Aggregates: count is pushed down, min/max are
+            // lexicographic, sum parses integers and names the culprit.
+            assert_eq!(
+                db.query("CT").filter("teacher", eq("Ada")).count().unwrap(),
+                2
+            );
+            assert_eq!(
+                db.query("CT").min("course").unwrap().as_deref(),
+                Some("101")
+            );
+            assert_eq!(
+                db.query("CT").max("course").unwrap().as_deref(),
+                Some("309")
+            );
+            assert_eq!(db.query("CT").sum("course").unwrap(), 101 + 205 + 309);
+            assert!(matches!(
+                db.query("CT").sum("teacher"),
+                Err(Error::NonNumeric { column, value })
+                    if column == "teacher" && (value == "Ada" || value == "Curie")
+            ));
+            assert_eq!(
+                db.query("CT").filter("course", eq("nope")).count().unwrap(),
+                0,
+                "{label}: unsatisfiable count is 0 without an engine trip"
+            );
         }
     }
 

@@ -1,9 +1,13 @@
 //! The unified [`Engine`] trait and the [`EngineKind`] selector.
 
+use std::collections::HashSet;
+
 use ids_core::{
     ChaseMaintainer, FdOnlyMaintainer, InsertOutcome, LocalMaintainer, Maintainer, MaintenanceError,
 };
-use ids_relational::{DatabaseState, Predicate, Relation, SchemeId, Tuple, Value};
+use ids_relational::{
+    AttrId, DatabaseState, Predicate, Projection, Relation, SchemeId, Tuple, Value,
+};
 use ids_store::{OpOutcome, Store, StoreConfig, StoreOp};
 
 use crate::error::Error;
@@ -87,6 +91,47 @@ pub trait Engine: Send {
         let rel = self.read(id)?;
         predicate.validate_against(rel.attrs())?;
         Ok(rel.filter_tuples(predicate))
+    }
+
+    /// The *distinct* projection of the matching tuples onto `columns`
+    /// (select-list order), first occurrence first — the semijoin-reducer
+    /// primitive of the join planner: a relation ships only its distinct
+    /// join-key rows, never whole tuples, so a neighbor can be narrowed
+    /// with an `In` set before anything larger crosses a channel.
+    ///
+    /// The default reads the whole relation and projects client-side;
+    /// the sharded store overrides it so the projection and dedup happen
+    /// on the owning shard and only the distinct rows come back.
+    fn distinct(
+        &self,
+        id: SchemeId,
+        predicate: &Predicate,
+        columns: &[AttrId],
+    ) -> Result<Vec<Vec<Value>>, Error> {
+        let rel = self.read(id)?;
+        predicate.validate_against(rel.attrs())?;
+        let projection = Projection::Columns(columns.to_vec());
+        projection.validate_against(rel.attrs())?;
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in rel.iter() {
+            if !predicate.matches(rel.attrs(), t) {
+                continue;
+            }
+            let row = projection.apply(rel.attrs(), t);
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of tuples matching a predicate — the filtered counterpart
+    /// of [`Engine::count`].  The default ships the matches and counts
+    /// client-side; the sharded store overrides it so only the count
+    /// crosses the channel.
+    fn count_where(&self, id: SchemeId, predicate: &Predicate) -> Result<usize, Error> {
+        Ok(self.query(id, predicate)?.len())
     }
 
     /// Number of tuples in one relation — the barrier-free cardinality
@@ -196,6 +241,21 @@ impl Engine for Store {
         Store::query(self, id, predicate).map_err(Into::into)
     }
 
+    fn distinct(
+        &self,
+        id: SchemeId,
+        predicate: &Predicate,
+        columns: &[AttrId],
+    ) -> Result<Vec<Vec<Value>>, Error> {
+        // The owning shard projects and dedups; only distinct join-key
+        // rows cross the channel.
+        Store::distinct(self, id, predicate, columns).map_err(Into::into)
+    }
+
+    fn count_where(&self, id: SchemeId, predicate: &Predicate) -> Result<usize, Error> {
+        Store::count_where(self, id, predicate).map_err(Into::into)
+    }
+
     fn count(&self, id: SchemeId) -> Result<usize, Error> {
         Store::count(self, id).map_err(Into::into)
     }
@@ -302,6 +362,24 @@ mod tests {
             assert!(
                 engine
                     .query(ct, &Predicate::new().and_eq(c, v(9)))
+                    .unwrap()
+                    .is_empty(),
+                "{name}"
+            );
+            // The reducer primitives agree with the query path.
+            assert_eq!(
+                engine.count_where(ct, &Predicate::new()).unwrap(),
+                1,
+                "{name}"
+            );
+            assert_eq!(
+                engine.distinct(ct, &Predicate::new(), &[c]).unwrap(),
+                vec![vec![v(1)]],
+                "{name}"
+            );
+            assert!(
+                engine
+                    .distinct(ct, &Predicate::new().and_eq(c, v(9)), &[c])
                     .unwrap()
                     .is_empty(),
                 "{name}"

@@ -62,6 +62,16 @@ pub enum Error {
     /// primary's shipped log records; direct writes would fork the
     /// replica from the log it follows.
     ReplicaReadOnly,
+    /// A numeric aggregate ([`crate::Query::sum`]) met a stored value
+    /// that does not parse as an integer.  Carries the column and the
+    /// offending rendered value, so the caller can point at the exact
+    /// row-level culprit.
+    NonNumeric {
+        /// The column the aggregate ran over.
+        column: String,
+        /// The stored value that failed to parse.
+        value: String,
+    },
     /// A functional-dependency spec handed to
     /// [`crate::SchemaBuilder::fd`] did not parse against the declared
     /// columns.  Carries the spec, the byte span of the offending
@@ -112,6 +122,10 @@ impl std::fmt::Display for Error {
             Error::ReplicaReadOnly => write!(
                 f,
                 "replica is read-only: writes must go to the primary it follows"
+            ),
+            Error::NonNumeric { column, value } => write!(
+                f,
+                "column `{column}` holds non-numeric value `{value}` — numeric aggregates need integers"
             ),
             Error::FdParse { spec, span, reason } => write!(
                 f,

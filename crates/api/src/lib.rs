@@ -47,10 +47,16 @@
 //! * [`Query`] + [`Rows`]/[`Row`]: the fluent read side —
 //!   `db.query("CT").filter("course", eq("CS402")).select(["teacher"]).run()`
 //!   pushes a typed predicate down to whatever owns the tuples (on the
-//!   sharded engine: the owning shard, O(1) for key point lookups), and
-//!   [`Database::join`] computes natural joins from independent
+//!   sharded engine: the owning shard, O(1) for key point lookups), with
+//!   range/inequality/membership conditions ([`Cond`]), ordering and
+//!   limits, and pushed-down aggregates (`count`/`min`/`max`/`sum`).
+//! * [`Database::join`] + [`JoinQuery`]: natural joins from independent
 //!   barrier-free reads — sound because `LSAT = WSAT` makes every
-//!   per-relation cut part of a globally satisfying state.
+//!   per-relation cut part of a globally satisfying state.  Acyclic
+//!   relation sets run through the Yannakakis-style semijoin planner
+//!   (filters pushed down, join keys shipped before tuples — see
+//!   [`JoinReport`]); a repeated relation is read exactly once, so a
+//!   self-join joins a single cut with itself.
 //! * [`Error`]: the `#[non_exhaustive]` top-level error every layer
 //!   converts into.
 
@@ -59,6 +65,7 @@
 mod database;
 mod engine;
 mod error;
+mod planner;
 mod query;
 mod schema;
 mod shared;
@@ -66,6 +73,8 @@ mod shared;
 pub use database::Database;
 pub use engine::{Engine, EngineKind};
 pub use error::Error;
-pub use query::{eq, Cond, Query, Row, Rows};
+pub use query::{
+    between, eq, ge, gt, le, lt, ne, one_of, Cond, JoinQuery, JoinReport, Query, Row, Rows,
+};
 pub use schema::{Schema, SchemaBuilder};
 pub use shared::SharedDatabase;

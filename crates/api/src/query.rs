@@ -30,22 +30,82 @@ use std::sync::Arc;
 
 use crate::error::Error;
 
-/// A filter condition on one column.  Constructed with [`eq`]; carried
-/// by [`Query::filter`].
+/// A filter condition on one column.  Constructed with [`eq`], [`ne`],
+/// [`lt`], [`le`], [`gt`], [`ge`], [`between`] or [`one_of`]; carried by
+/// [`Query::filter`] and [`JoinQuery::filter`].
 ///
-/// Marked `#[non_exhaustive]` so richer conditions (ranges, sets) can be
-/// added without breaking matches.
+/// The comparison conditions (`Lt`..`Range`) compare **lexicographically
+/// on the rendered strings** — the only total order the string-level
+/// surface can promise.  Workloads that need numeric ranges store
+/// zero-padded fixed-width numerals, under which the two orders agree.
+///
+/// Marked `#[non_exhaustive]` so richer conditions can still be added
+/// without breaking matches.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 #[must_use = "a condition does nothing until passed to `Query::filter`"]
 pub enum Cond {
     /// The column equals the given (string-level) value.
     Eq(String),
+    /// The column differs from the given value.
+    Ne(String),
+    /// The column is lexicographically less than the given value.
+    Lt(String),
+    /// The column is lexicographically at most the given value.
+    Le(String),
+    /// The column is lexicographically greater than the given value.
+    Gt(String),
+    /// The column is lexicographically at least the given value.
+    Ge(String),
+    /// The column lies in the inclusive range `lo ..= hi`
+    /// (lexicographic).  An inverted range matches nothing.
+    Range(String, String),
+    /// The column is one of the listed values.
+    In(Vec<String>),
 }
 
 /// The equality condition: `filter("course", eq("CS402"))`.
 pub fn eq(value: impl Into<String>) -> Cond {
     Cond::Eq(value.into())
+}
+
+/// The inequality condition: `filter("teacher", ne("Jones"))`.
+pub fn ne(value: impl Into<String>) -> Cond {
+    Cond::Ne(value.into())
+}
+
+/// Lexicographic less-than: `filter("hour", lt("10am"))`.
+pub fn lt(value: impl Into<String>) -> Cond {
+    Cond::Lt(value.into())
+}
+
+/// Lexicographic at-most: `filter("hour", le("10am"))`.
+pub fn le(value: impl Into<String>) -> Cond {
+    Cond::Le(value.into())
+}
+
+/// Lexicographic greater-than: `filter("hour", gt("10am"))`.
+pub fn gt(value: impl Into<String>) -> Cond {
+    Cond::Gt(value.into())
+}
+
+/// Lexicographic at-least: `filter("hour", ge("10am"))`.
+pub fn ge(value: impl Into<String>) -> Cond {
+    Cond::Ge(value.into())
+}
+
+/// The inclusive lexicographic range: `filter("course", between("CS100", "CS499"))`.
+pub fn between(lo: impl Into<String>, hi: impl Into<String>) -> Cond {
+    Cond::Range(lo.into(), hi.into())
+}
+
+/// Set membership: `filter("teacher", one_of(["Jones", "Curie"]))`.
+pub fn one_of<I, S>(values: I) -> Cond
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    Cond::In(values.into_iter().map(Into::into).collect())
 }
 
 /// A fluent single-relation query: built from [`crate::Database::query`],
@@ -61,6 +121,8 @@ pub struct Query<'a> {
     pub(crate) relation: String,
     pub(crate) filters: Vec<(String, Cond)>,
     pub(crate) select: Option<Vec<String>>,
+    pub(crate) order: Option<(String, bool)>,
+    pub(crate) limit: Option<usize>,
 }
 
 impl fmt::Debug for Query<'_> {
@@ -69,6 +131,8 @@ impl fmt::Debug for Query<'_> {
             .field("relation", &self.relation)
             .field("filters", &self.filters)
             .field("select", &self.select)
+            .field("order", &self.order)
+            .field("limit", &self.limit)
             .finish_non_exhaustive()
     }
 }
@@ -94,11 +158,175 @@ impl Query<'_> {
         self
     }
 
+    /// Sorts the result ascending by one output column (lexicographic on
+    /// the rendered strings; stable, so insertion order breaks ties).
+    /// The column must be part of the output, else
+    /// [`Error::UnknownColumn`].
+    pub fn order_by(mut self, column: impl Into<String>) -> Self {
+        self.order = Some((column.into(), false));
+        self
+    }
+
+    /// Sorts the result descending by one output column; see
+    /// [`Query::order_by`].
+    pub fn order_by_desc(mut self, column: impl Into<String>) -> Self {
+        self.order = Some((column.into(), true));
+        self
+    }
+
+    /// Keeps at most the first `n` rows (after any ordering).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
     /// Executes the query and returns the matching [`Rows`].
     pub fn run(self) -> Result<Rows, Error> {
-        self.db
-            .run_query(&self.relation, &self.filters, self.select)
+        let mut rows = self
+            .db
+            .run_query(&self.relation, &self.filters, self.select)?;
+        if let Some((column, desc)) = &self.order {
+            let Some(pos) = rows.columns().iter().position(|c| c == column) else {
+                return Err(Error::UnknownColumn {
+                    relation: self.relation,
+                    column: column.clone(),
+                });
+            };
+            rows.rows.sort_by(|a, b| {
+                let ord = a.values[pos].cmp(&b.values[pos]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            rows.rows.truncate(n);
+        }
+        Ok(rows)
     }
+
+    /// Number of matching rows, counted where the tuples live — no row
+    /// is shipped or rendered to answer it (on the sharded engine the
+    /// owning shard counts and only the integer crosses the channel).
+    pub fn count(self) -> Result<usize, Error> {
+        self.db.run_count(&self.relation, &self.filters)
+    }
+
+    /// The lexicographically smallest value of `column` among the
+    /// matches (`None` when nothing matched).  Ships only that column.
+    pub fn min(self, column: impl Into<String>) -> Result<Option<String>, Error> {
+        Ok(self.column_values(column)?.into_iter().min())
+    }
+
+    /// The lexicographically largest value of `column` among the matches
+    /// (`None` when nothing matched).  Ships only that column.
+    pub fn max(self, column: impl Into<String>) -> Result<Option<String>, Error> {
+        Ok(self.column_values(column)?.into_iter().max())
+    }
+
+    /// Sums `column` over the matches, parsing each rendered value as an
+    /// `i64`.  A non-numeric stored value is a typed
+    /// [`Error::NonNumeric`] naming the column and the offending value.
+    pub fn sum(self, column: impl Into<String>) -> Result<i64, Error> {
+        let column = column.into();
+        let mut total = 0i64;
+        for value in self.column_values(column.clone())? {
+            let parsed: i64 = value.parse().map_err(|_| Error::NonNumeric {
+                column: column.clone(),
+                value: value.clone(),
+            })?;
+            total += parsed;
+        }
+        Ok(total)
+    }
+
+    /// Shared tail of the single-column aggregates: run with a one-column
+    /// select (overriding any caller select) and flatten.
+    fn column_values(mut self, column: impl Into<String>) -> Result<Vec<String>, Error> {
+        self.select = Some(vec![column.into()]);
+        let rows = self.run()?;
+        Ok(rows
+            .rows
+            .into_iter()
+            .map(|r| r.values.into_iter().next().expect("one-column select"))
+            .collect())
+    }
+}
+
+/// A fluent multi-relation natural-join query: built from
+/// [`crate::Database::join_query`], executed by [`JoinQuery::run`].
+///
+/// Per-relation filters conjoin and are **pushed down** before the join:
+/// the planner (see [`crate::Database::join`]) narrows every relation
+/// with its own filters — and, on an acyclic relation set, with semijoin
+/// reducers derived from its neighbors — before tuples are shipped and
+/// assembled client-side.
+#[must_use = "a join does nothing until `.run()`"]
+pub struct JoinQuery<'a> {
+    pub(crate) db: &'a crate::Database,
+    pub(crate) relations: Vec<String>,
+    pub(crate) filters: Vec<(String, String, Cond)>,
+}
+
+impl fmt::Debug for JoinQuery<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinQuery")
+            .field("relations", &self.relations)
+            .field("filters", &self.filters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JoinQuery<'_> {
+    /// Adds a filter on one column of one joined relation; multiple
+    /// filters conjoin.  The relation must be part of the join and the
+    /// column part of that relation — typed errors otherwise, before any
+    /// engine is consulted.
+    pub fn filter(
+        mut self,
+        relation: impl Into<String>,
+        column: impl Into<String>,
+        cond: Cond,
+    ) -> Self {
+        self.filters.push((relation.into(), column.into(), cond));
+        self
+    }
+
+    /// Executes the join and returns the matching [`Rows`]; see
+    /// [`crate::Database::join`] for the column-order contract and the
+    /// consistency model.
+    pub fn run(self) -> Result<Rows, Error> {
+        Ok(self.db.run_join(&self.relations, &self.filters)?.0)
+    }
+
+    /// [`JoinQuery::run`] plus the planner's [`JoinReport`] — how the
+    /// join was executed and how much crossed the engine boundary.
+    pub fn run_with_report(self) -> Result<(Rows, JoinReport), Error> {
+        self.db.run_join(&self.relations, &self.filters)
+    }
+}
+
+/// How a join was executed: whether the Yannakakis-style planner ran
+/// (acyclic relation sets) or the naive whole-relation fold did
+/// (cyclic), and how much data crossed the engine boundary either way.
+///
+/// `tuples_shipped` counts full tuples fetched from the engine;
+/// `keys_shipped` counts semijoin-reducer values (distinct join-key rows
+/// shipped up, `In`-set values shipped down).  The planner's win
+/// condition is shipping *keys* instead of *tuples* wherever a filter or
+/// a neighbor makes a relation selective.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinReport {
+    /// True when the acyclic planner executed the join (false: naive
+    /// per-relation fold).
+    pub planned: bool,
+    /// Full tuples fetched from the engine across all relations.
+    pub tuples_shipped: usize,
+    /// Semijoin-reducer values shipped (join-key rows up, `In` values
+    /// down).
+    pub keys_shipped: usize,
 }
 
 /// The result of a query or join: named columns plus matching [`Row`]s,
@@ -271,5 +499,22 @@ mod tests {
     #[test]
     fn eq_builds_the_equality_condition() {
         assert_eq!(eq("CS402"), Cond::Eq("CS402".to_string()));
+    }
+
+    #[test]
+    fn condition_constructors_build_their_variants() {
+        assert_eq!(ne("x"), Cond::Ne("x".to_string()));
+        assert_eq!(lt("x"), Cond::Lt("x".to_string()));
+        assert_eq!(le("x"), Cond::Le("x".to_string()));
+        assert_eq!(gt("x"), Cond::Gt("x".to_string()));
+        assert_eq!(ge("x"), Cond::Ge("x".to_string()));
+        assert_eq!(
+            between("a", "b"),
+            Cond::Range("a".to_string(), "b".to_string())
+        );
+        assert_eq!(
+            one_of(["a", "b"]),
+            Cond::In(vec!["a".to_string(), "b".to_string()])
+        );
     }
 }

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use ids_core::{analyze, IndependenceAnalysis, Verdict, Witness};
 use ids_deps::{Fd, FdSet};
 use ids_relational::{
-    AttrSet, DatabaseSchema, RelationScheme, RelationalError, SchemeId, Universe,
+    AttrId, AttrSet, DatabaseSchema, RelationScheme, RelationalError, SchemeId, Universe,
 };
 
 use crate::error::Error;
@@ -39,6 +39,12 @@ pub struct Schema {
     pub(crate) fds: FdSet,
     pub(crate) analysis: IndependenceAnalysis,
     pub(crate) layouts: Vec<RelationLayout>,
+    /// Ordered secondary indexes declared with [`SchemaBuilder::index`],
+    /// resolved to `(scheme, attribute)` at build time.  Threaded into
+    /// every sharded engine's [`ids_store::StoreConfig`] so range and
+    /// set-membership filters on these columns are answered from a BTree
+    /// instead of a linear scan.
+    pub(crate) ordered_indexes: Vec<(SchemeId, AttrId)>,
     /// name → id, precomputed: every string-level operation resolves its
     /// relation through this map, so the per-op cost is one hash lookup,
     /// not a linear scan of the scheme table.
@@ -109,9 +115,28 @@ impl Schema {
         &self.layouts[id.index()]
     }
 
+    /// The ordered secondary indexes declared with
+    /// [`SchemaBuilder::index`], as `(relation, column)` name pairs in
+    /// declaration order.
+    pub fn indexed_columns(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.ordered_indexes.iter().map(|&(id, attr)| {
+            (
+                self.definition
+                    .get_scheme(id)
+                    .expect("resolved at build")
+                    .name
+                    .as_str(),
+                self.definition.universe().name(attr),
+            )
+        })
+    }
+
     /// Serializes the declaration-order column layouts — the manifest
     /// `app` blob a durable database stores so [`crate::Database::recover`]
-    /// can rebuild the string-level surface exactly as declared.
+    /// can rebuild the string-level surface exactly as declared.  An
+    /// index section (declared ordered secondary indexes, by name) is
+    /// appended after the layouts; old blobs simply end before it, so
+    /// the format stays append-only compatible in both directions.
     pub(crate) fn encode_layouts(&self) -> Vec<u8> {
         let mut e = ids_relational::codec::Encoder::new();
         e.put_u16(self.layouts.len() as u16);
@@ -120,6 +145,17 @@ impl Schema {
             for c in &layout.columns {
                 e.put_str(c);
             }
+        }
+        e.put_u16(self.ordered_indexes.len() as u16);
+        for &(id, attr) in &self.ordered_indexes {
+            e.put_str(
+                &self
+                    .definition
+                    .get_scheme(id)
+                    .expect("resolved at build")
+                    .name,
+            );
+            e.put_str(self.definition.universe().name(attr));
         }
         e.into_bytes()
     }
@@ -134,6 +170,7 @@ impl Schema {
         fds: FdSet,
         app: &[u8],
     ) -> Result<Schema, Error> {
+        let mut ordered_indexes = Vec::new();
         let layouts = if app.is_empty() {
             definition
                 .iter()
@@ -173,8 +210,26 @@ impl Schema {
                 }
                 layouts.push(RelationLayout { columns, perm });
             }
+            // Optional index section: blobs written before ordered
+            // indexes existed simply end here (append-only format).
             if !d.is_done() {
-                return Err(bad().into());
+                let n = d.get_u16()? as usize;
+                for _ in 0..n {
+                    let rel = d.get_str()?;
+                    let col = d.get_str()?;
+                    let (id, scheme) = definition
+                        .iter()
+                        .find(|(_, s)| s.name == rel)
+                        .ok_or_else(bad)?;
+                    let attr = definition.universe().require(&col)?;
+                    if !scheme.attrs.contains(attr) {
+                        return Err(bad().into());
+                    }
+                    ordered_indexes.push((id, attr));
+                }
+                if !d.is_done() {
+                    return Err(bad().into());
+                }
             }
             layouts
         };
@@ -188,6 +243,7 @@ impl Schema {
             fds,
             analysis,
             layouts,
+            ordered_indexes,
             by_name,
         })
     }
@@ -228,6 +284,7 @@ impl Schema {
 pub struct SchemaBuilder {
     relations: Vec<(String, Vec<String>)>,
     fds: Vec<String>,
+    indexes: Vec<(String, String)>,
 }
 
 impl SchemaBuilder {
@@ -252,6 +309,20 @@ impl SchemaBuilder {
     /// offending fragment, never a panic or a silently-empty side.
     pub fn fd(mut self, spec: impl Into<String>) -> Self {
         self.fds.push(spec.into());
+        self
+    }
+
+    /// Declares an **ordered secondary index** on one column of one
+    /// relation.  On the sharded engine the owning shard then maintains
+    /// a BTree over that column, so range, set-membership and
+    /// non-key-equality filters on it are answered from the index
+    /// instead of a linear scan — the write path pays one extra ordered
+    /// insert per accepted tuple.  Sequential engines ignore the
+    /// declaration (they have no scan path to accelerate); durable
+    /// databases persist it in the manifest and rebuild the index on
+    /// recovery.  Unknown names are typed errors at build time.
+    pub fn index(mut self, relation: impl Into<String>, column: impl Into<String>) -> Self {
+        self.indexes.push((relation.into(), column.into()));
         self
     }
 
@@ -321,10 +392,27 @@ impl SchemaBuilder {
         for spec in &self.fds {
             fds.insert(parse_fd_spec(&definition, spec)?);
         }
-        let by_name = definition
+        let by_name: HashMap<String, SchemeId> = definition
             .iter()
             .map(|(id, s)| (s.name.clone(), id))
             .collect();
+        // Resolve declared ordered indexes against the built schemes.
+        let mut ordered_indexes = Vec::with_capacity(self.indexes.len());
+        for (relation, column) in &self.indexes {
+            let id = by_name
+                .get(relation)
+                .copied()
+                .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+            let attr = definition
+                .universe()
+                .attr(column)
+                .filter(|a| definition.attrs(id).contains(*a))
+                .ok_or_else(|| Error::UnknownColumn {
+                    relation: relation.clone(),
+                    column: column.clone(),
+                })?;
+            ordered_indexes.push((id, attr));
+        }
         // The one and only run of the decision procedure for this handle.
         let analysis = analyze(&definition, &fds);
         Ok(Schema {
@@ -332,6 +420,7 @@ impl SchemaBuilder {
             fds,
             analysis,
             layouts,
+            ordered_indexes,
             by_name,
         })
     }
@@ -468,6 +557,45 @@ mod tests {
         let tr = schema.scheme_id("TR").unwrap();
         assert_eq!(schema.layout(tr).perm, vec![1, 0]);
         assert_eq!(schema.columns("TR").unwrap(), ["room", "teacher"]);
+    }
+
+    #[test]
+    fn index_declarations_resolve_and_round_trip_through_the_manifest_blob() {
+        let schema = example2()
+            .index("CHR", "hour")
+            .index("CT", "teacher")
+            .build()
+            .unwrap();
+        assert_eq!(
+            schema.indexed_columns().collect::<Vec<_>>(),
+            [("CHR", "hour"), ("CT", "teacher")]
+        );
+        // Unknown names are typed errors at build time.
+        assert!(matches!(
+            example2().index("nope", "hour").build(),
+            Err(Error::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            example2().index("CT", "room").build(),
+            Err(Error::UnknownColumn { .. })
+        ));
+        // The manifest blob round-trips the declarations.
+        let blob = schema.encode_layouts();
+        let back =
+            Schema::from_recovered(schema.definition.clone(), schema.fds.clone(), &blob).unwrap();
+        assert_eq!(back.ordered_indexes, schema.ordered_indexes);
+        // A pre-index blob (layouts only) still decodes — to no indexes.
+        let old = example2().build().unwrap();
+        let mut short = old.encode_layouts();
+        short.truncate(short.len() - 2); // drop the (empty) index section
+        let back = Schema::from_recovered(old.definition.clone(), old.fds.clone(), &short).unwrap();
+        assert!(back.ordered_indexes.is_empty());
+        // A corrupt index section is a typed error, not a panic.
+        let mut bad = schema.encode_layouts();
+        bad.truncate(bad.len() - 1);
+        assert!(
+            Schema::from_recovered(schema.definition.clone(), schema.fds.clone(), &bad).is_err()
+        );
     }
 
     #[test]

@@ -29,8 +29,9 @@ use ids_relational::{DatabaseState, ValuePool};
 use ids_store::Store;
 use ids_wal::NameLog;
 
-use crate::database::{plan_query, render_rows, resolve_row};
+use crate::database::{plan_join, plan_query, render_join_rows, render_rows, resolve_row};
 use crate::error::Error;
+use crate::planner::execute_join;
 use crate::query::{Cond, Rows};
 use crate::schema::Schema;
 
@@ -199,6 +200,29 @@ impl SharedDatabase {
             &self.names().pool,
             &plan,
             &tuples,
+        ))
+    }
+
+    /// Natural join over named relations — the `&self` counterpart of
+    /// [`crate::Database::join`], same planner, same self-join
+    /// (one-cut) and column-order contracts.  The planner's engine
+    /// round trips all run with no name lock held.
+    pub fn join<I, S>(&self, relations: I) -> Result<Rows, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let relations: Vec<String> = relations
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        let plan = plan_join(&self.schema, &self.names().pool, &relations, &[])?;
+        let (joined, _report) = execute_join(&self.store, &plan.ids, &plan.attrs, &plan.preds)?;
+        Ok(render_join_rows(
+            &self.schema,
+            &self.names().pool,
+            &plan.ids,
+            &joined,
         ))
     }
 

@@ -115,6 +115,7 @@ fn engine_kinds() -> Vec<EngineKind> {
         EngineKind::Sharded(StoreConfig {
             shards: 2,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         }),
         EngineKind::Sharded(StoreConfig::default()),
     ]

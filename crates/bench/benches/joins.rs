@@ -1,0 +1,28 @@
+//! E14 kernel timings: the planned acyclic join (Yannakakis semijoin
+//! reducers in the `ids-api` planner) vs whole-relation reads + a
+//! client-side fold (Criterion precision companion to `experiments
+//! e14`).
+//!
+//! The gap is shipped-tuples and index-vs-scan, not parallelism, so the
+//! numbers are meaningful even on a single-CPU host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ids_bench::joins::{build, fold_baseline, planned_join, JoinBench};
+
+fn bench_joins(c: &mut Criterion) {
+    // Criterion-sized workload: one mid-size configuration.
+    let JoinBench { db, .. } = build(2_000);
+    let k = 20;
+    let mut g = c.benchmark_group("e14_joins");
+
+    g.bench_function("planned_acyclic_join", |b| {
+        b.iter(|| std::hint::black_box(planned_join(&db, k)))
+    });
+    g.bench_function("read_plus_client_fold", |b| {
+        b.iter(|| std::hint::black_box(fold_baseline(&db, k)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

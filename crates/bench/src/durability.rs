@@ -89,6 +89,7 @@ pub fn run_store_durable(
             store: StoreConfig {
                 shards,
                 initial_state: Some(w.base.clone()),
+                ordered_indexes: Vec::new(),
             },
             sync,
             app: Vec::new(),
@@ -192,6 +193,7 @@ mod tests {
             StoreConfig {
                 shards: 2,
                 initial_state: Some(w.base.clone()),
+                ordered_indexes: Vec::new(),
             },
         )
         .unwrap();

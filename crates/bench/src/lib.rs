@@ -5,12 +5,14 @@
 //! read-vs-snapshot kernel ([`reads`]), the E9 durability-overhead +
 //! recovery kernel ([`durability`]), the E10 query-pushdown kernel
 //! ([`queries`]), the E11 network front-end kernel ([`net`]), the E12
-//! observability-overhead + conservation kernel ([`obs`]) and the E13
-//! read-replica scaling kernel ([`replica`]).
+//! observability-overhead + conservation kernel ([`obs`]), the E13
+//! read-replica scaling kernel ([`replica`]) and the E14 planned-join
+//! kernel ([`joins`]).
 
 #![warn(missing_docs)]
 
 pub mod durability;
+pub mod joins;
 pub mod json;
 pub mod net;
 pub mod obs;

@@ -52,6 +52,7 @@ pub fn shared_db(relations: usize, shards: usize) -> Arc<SharedDatabase> {
         EngineKind::Sharded(StoreConfig {
             shards,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         }),
     )
     .expect("independent schema opens sharded");

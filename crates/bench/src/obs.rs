@@ -142,6 +142,7 @@ pub fn conservation_check(smoke: bool) -> ConservationReport {
         StoreConfig {
             shards,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         },
     )
     .expect("key-chain is independent");

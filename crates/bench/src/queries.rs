@@ -64,6 +64,7 @@ pub fn build(relations: usize, per_relation: usize, probes: usize) -> QueryBench
         StoreConfig {
             shards: 4,
             initial_state: Some(state),
+            ordered_indexes: Vec::new(),
         },
     )
     .expect("key-chain is independent");

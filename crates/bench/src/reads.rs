@@ -53,6 +53,7 @@ pub fn read_vs_snapshot(relations: usize, preloaded: usize, reps: usize) -> Read
         StoreConfig {
             shards: 4,
             initial_state: Some(base),
+            ordered_indexes: Vec::new(),
         },
     )
     .expect("key-chain is independent");

@@ -135,6 +135,7 @@ fn open_store(w: &ThroughputWorkload, shards: usize) -> Store {
         StoreConfig {
             shards,
             initial_state: Some(w.base.clone()),
+            ordered_indexes: Vec::new(),
         },
     )
     .expect("family is independent")
@@ -246,6 +247,7 @@ mod tests {
             StoreConfig {
                 shards: 3,
                 initial_state: Some(w.base.clone()),
+                ordered_indexes: Vec::new(),
             },
         )
         .unwrap();

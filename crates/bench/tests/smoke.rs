@@ -20,7 +20,7 @@ fn experiments_smoke_covers_all_sections() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
-        "E11a", "E11b", "E12a", "E12b", "E13",
+        "E11a", "E11b", "E12a", "E12b", "E13", "E14",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -186,6 +186,25 @@ fn replica_scaling_smoke_drains_lag_after_writes_stop() {
     }
 }
 
+/// The E14 kernel (shared with `experiments e14`) must run end to end
+/// at smoke sizes.  Timing ratios belong to the full-size experiment;
+/// here the structural invariants are asserted: the acyclic planner
+/// actually ran, both strategies agree on the answer size (asserted
+/// inside the kernel), and the planner shipped strictly fewer tuples
+/// than the whole-relation fold — the scheduler-independent claim.
+#[test]
+fn planned_join_smoke_ships_fewer_tuples_than_the_fold() {
+    let rows = ids_bench::joins::sweep(true);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(row.planner_ran, "the chain is acyclic: the planner runs");
+        assert!(row.planned > std::time::Duration::ZERO);
+        assert!(row.naive > std::time::Duration::ZERO);
+        assert!(row.shipped_planned < row.shipped_naive);
+        assert_eq!(row.shipped_naive, 3 * row.n, "the fold reads everything");
+    }
+}
+
 /// `--json` must land one well-formed `BENCH_<section>.json` per
 /// section, in the invocation directory.
 #[test]
@@ -205,7 +224,7 @@ fn experiments_json_mode_writes_bench_files() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-        "E12", "E13",
+        "E12", "E13", "E14",
     ] {
         let path = dir.join(format!("BENCH_{section}.json"));
         let body = std::fs::read_to_string(&path)

@@ -279,6 +279,28 @@ impl Client {
         Ok(self.query(relation, &[], None)?.rows)
     }
 
+    /// Natural join over named relations, as rendered rows.
+    ///
+    /// Server-side semantics are those of `ids_api::Database::join`: a
+    /// repeated relation is read exactly once (a self-join joins one
+    /// cut with itself), acyclic relation sets run through the semijoin
+    /// planner, and output columns follow the listed relations'
+    /// declared layouts.  An empty list is the typed
+    /// [`WireError::EmptyJoin`]; an unknown name is
+    /// [`WireError::UnknownRelation`].
+    pub fn join<S: Into<String>>(
+        &mut self,
+        relations: impl IntoIterator<Item = S>,
+    ) -> Result<RowSet, ClientError> {
+        let req = Request::Join {
+            relations: relations.into_iter().map(Into::into).collect(),
+        };
+        match self.call(req)? {
+            Reply::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Self::protocol_err(other, "Rows"),
+        }
+    }
+
     /// Barrier-free row count of one relation.
     pub fn count(&mut self, relation: &str) -> Result<u64, ClientError> {
         match self.call(Request::Count {

@@ -19,17 +19,34 @@
 //! shards) and with a worker-owned `Relation` (concurrent store: each
 //! worker owns its relations outright).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use ids_deps::{Fd, FdSet};
 use ids_relational::{
-    DatabaseSchema, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
+    AttrId, DatabaseSchema, Guard, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
 };
 
 use crate::maintenance::{InsertOutcome, MaintenanceError};
 
 /// Per-FD hash index: lhs projection → (rhs projection, tuple count).
 type FdIndex = HashMap<Vec<Value>, (Vec<Value>, usize)>;
+
+/// An opt-in ordered secondary index on one column: value → the tuples
+/// carrying that value, each stamped with the shard's insertion
+/// sequence number so indexed scans can be returned in exact insertion
+/// order (the order [`Relation::filter_tuples`] produces — differential
+/// tests compare the two paths tuple-for-tuple).
+#[derive(Debug)]
+struct OrderedIndex {
+    /// The indexed attribute.
+    attr: AttrId,
+    /// Its column position (scheme rank), precomputed.
+    pos: usize,
+    /// BTree over the column's values; each bucket holds `(seq, tuple)`
+    /// pairs in insertion order.
+    buckets: BTreeMap<Value, Vec<(u64, Tuple)>>,
+}
 
 /// The per-relation maintenance engine: probes and commits single-tuple
 /// modifications against one scheme's enforcement cover `Fi` in `O(|Fi|)`
@@ -52,6 +69,10 @@ pub struct RelationShard {
     /// Per-op scratch: the (key, value) projections computed by the probe
     /// pass, reused by the commit pass so nothing is projected twice.
     scratch: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Opt-in ordered secondary indexes (see [`OrderedIndex`]).
+    ordered: Vec<OrderedIndex>,
+    /// Monotone insertion sequence stamping ordered-index entries.
+    seq: u64,
 }
 
 impl RelationShard {
@@ -74,6 +95,8 @@ impl RelationShard {
             scratch: Vec::with_capacity(fi.len()),
             enforcement: fi,
             id,
+            ordered: Vec::new(),
+            seq: 0,
         }
     }
 
@@ -112,6 +135,47 @@ impl RelationShard {
     /// The schema handle the shard carries.
     pub fn schema(&self) -> &DatabaseSchema {
         &self.schema
+    }
+
+    /// Declares an ordered (BTree) secondary index on `attr` and builds
+    /// it from the current contents of `rel` (iteration order is
+    /// insertion order, so sequence stamps reproduce it exactly).  From
+    /// then on the index is maintained by the same probe→commit write
+    /// path as the FD hash indexes, and [`RelationShard::scan`] answers
+    /// equality, `In` and range predicates on `attr` from it without a
+    /// linear pass.  A foreign attribute is a typed error; re-declaring
+    /// an indexed column is a no-op.
+    pub fn add_ordered_index(
+        &mut self,
+        attr: AttrId,
+        rel: &Relation,
+    ) -> Result<(), MaintenanceError> {
+        let attrs = self.schema.attrs(self.id);
+        if !attrs.contains(attr) {
+            return Err(RelationalError::SchemaMismatch(
+                "secondary index column outside the relation scheme",
+            )
+            .into());
+        }
+        if self.ordered.iter().any(|ix| ix.attr == attr) {
+            return Ok(());
+        }
+        let pos = attrs.rank(attr);
+        let mut buckets: BTreeMap<Value, Vec<(u64, Tuple)>> = BTreeMap::new();
+        for t in rel.iter() {
+            buckets
+                .entry(t[pos])
+                .or_default()
+                .push((self.seq, t.clone()));
+            self.seq += 1;
+        }
+        self.ordered.push(OrderedIndex { attr, pos, buckets });
+        Ok(())
+    }
+
+    /// The columns carrying an ordered secondary index.
+    pub fn ordered_columns(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.ordered.iter().map(|ix| ix.attr)
     }
 
     /// Records a tuple in every FD index, returning the violated FD when
@@ -168,6 +232,7 @@ impl RelationShard {
         // Commit: the relation first (it can still fail on a mismatched
         // `rel`, and the indexes must never record a tuple the relation
         // refused), then move the parked projections into the indexes.
+        let boxed: Option<Tuple> = (!self.ordered.is_empty()).then(|| tuple.clone().into());
         rel.insert(tuple)?;
         for (k, (key, val)) in self.scratch.drain(..).enumerate() {
             if let Some((_, n)) = self.indexes[k].get_mut(&key) {
@@ -175,6 +240,15 @@ impl RelationShard {
             } else {
                 self.indexes[k].insert(key, (val, 1));
             }
+        }
+        if let Some(t) = boxed {
+            for ix in &mut self.ordered {
+                ix.buckets
+                    .entry(t[ix.pos])
+                    .or_default()
+                    .push((self.seq, t.clone()));
+            }
+            self.seq += 1;
         }
         Ok(InsertOutcome::Accepted)
     }
@@ -196,7 +270,9 @@ impl RelationShard {
     pub fn scan(&self, rel: &Relation, pred: &Predicate) -> Result<Vec<Tuple>, MaintenanceError> {
         let attrs = self.schema.attrs(self.id);
         pred.validate_against(attrs)?;
-        let pinned = pred.attrs();
+        // Only *equality* conjuncts pin a value the hash index can be
+        // probed with — guards constrain without pinning.
+        let pinned: ids_relational::AttrSet = pred.conjuncts().iter().map(|&(a, _)| a).collect();
         for (k, fd) in self.enforcement.iter().enumerate() {
             // Key FD: lhs ∪ rhs covers the scheme (so lhs determines the
             // whole tuple) and the predicate pins all of lhs.
@@ -221,14 +297,72 @@ impl RelationShard {
                 t[p] = v;
             }
             // The remaining conjuncts (pins outside lhs, or contradictory
-            // duplicates) still apply to the reconstructed tuple.
+            // duplicates) and any guards still apply to the reconstructed
+            // tuple.
             return Ok(if pred.matches(attrs, &t) {
                 vec![t.into_boxed_slice()]
             } else {
                 Vec::new()
             });
         }
+        if let Some(hits) = self.scan_ordered(attrs, pred) {
+            return Ok(hits);
+        }
         Ok(rel.filter_tuples(pred))
+    }
+
+    /// The ordered-index scan path: when the predicate constrains an
+    /// indexed column by equality, set membership or a range, collect the
+    /// candidate buckets from the BTree, apply the *full* predicate to
+    /// each candidate, and return survivors sorted by insertion sequence
+    /// — exactly the result (and order) of a linear
+    /// [`Relation::filter_tuples`] pass.  `None` when no index applies.
+    fn scan_ordered(&self, attrs: ids_relational::AttrSet, pred: &Predicate) -> Option<Vec<Tuple>> {
+        use Bound::{Excluded, Included, Unbounded};
+        for ix in &self.ordered {
+            // An equality pin is the most selective handle: one bucket.
+            let candidates: Vec<&(u64, Tuple)> = if let Some(v) = pred.value_of(ix.attr) {
+                ix.buckets.get(&v).into_iter().flatten().collect()
+            } else {
+                // Otherwise the first usable guard on the column decides
+                // the BTree range (Ne excludes almost nothing — no help;
+                // an unconstrained column tries the next index).
+                let Some(guard) = pred
+                    .guards()
+                    .iter()
+                    .find(|(a, g)| *a == ix.attr && !matches!(g, Guard::Ne(_)))
+                else {
+                    continue;
+                };
+                match &guard.1 {
+                    Guard::In(set) => set
+                        .iter()
+                        .filter_map(|v| ix.buckets.get(v))
+                        .flatten()
+                        .collect(),
+                    Guard::Lt(x) => range_candidates(&ix.buckets, (Unbounded, Excluded(*x))),
+                    Guard::Le(x) => range_candidates(&ix.buckets, (Unbounded, Included(*x))),
+                    Guard::Gt(x) => range_candidates(&ix.buckets, (Excluded(*x), Unbounded)),
+                    Guard::Ge(x) => range_candidates(&ix.buckets, (Included(*x), Unbounded)),
+                    Guard::Range(lo, hi) => {
+                        if lo > hi {
+                            Vec::new()
+                        } else {
+                            range_candidates(&ix.buckets, (Included(*lo), Included(*hi)))
+                        }
+                    }
+                    Guard::Ne(_) => unreachable!("filtered above"),
+                }
+            };
+            let mut hits: Vec<(u64, &Tuple)> = candidates
+                .into_iter()
+                .filter(|(_, t)| pred.matches(attrs, t))
+                .map(|(s, t)| (*s, t))
+                .collect();
+            hits.sort_unstable_by_key(|&(s, _)| s);
+            return Some(hits.into_iter().map(|(_, t)| t.clone()).collect());
+        }
+        None
     }
 
     /// Removes a tuple from `rel`; always satisfaction-preserving under
@@ -260,8 +394,26 @@ impl RelationShard {
                 }
             }
         }
+        for ix in &mut self.ordered {
+            if let Some(bucket) = ix.buckets.get_mut(&tuple[ix.pos]) {
+                if let Some(at) = bucket.iter().position(|(_, t)| &**t == tuple) {
+                    bucket.remove(at);
+                }
+                if bucket.is_empty() {
+                    ix.buckets.remove(&tuple[ix.pos]);
+                }
+            }
+        }
         Ok(true)
     }
+}
+
+/// Flattens the `(seq, tuple)` entries of every bucket in a BTree range.
+fn range_candidates(
+    buckets: &BTreeMap<Value, Vec<(u64, Tuple)>>,
+    bounds: (Bound<Value>, Bound<Value>),
+) -> Vec<&(u64, Tuple)> {
+    buckets.range(bounds).flat_map(|(_, b)| b.iter()).collect()
 }
 
 // Compile-time guarantee that shards can move onto worker threads.
@@ -379,6 +531,85 @@ mod tests {
             .unwrap()
             .is_empty());
         assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn guard_only_predicates_never_take_the_key_path_and_never_panic() {
+        // A guard pinning the key column must NOT probe the hash index
+        // (guards don't pin values); it must fall through to a scan and
+        // agree with the linear filter.
+        let (schema, fds) = setup();
+        let id = SchemeId(0);
+        let mut shard = RelationShard::new(&schema, id, fds);
+        let mut rel = Relation::new(schema.attrs(id));
+        for i in 0..20u64 {
+            shard.insert(&mut rel, vec![v(i), v(100 + i)]).unwrap();
+        }
+        let c = schema.universe().attr("C").unwrap();
+        for pred in [
+            Predicate::new().and_ne(c, v(3)),
+            Predicate::new().and_range(c, v(5), v(9)),
+            Predicate::new().and_in(c, vec![v(1), v(4), v(99)]),
+            Predicate::new().and_ge(c, v(15)),
+        ] {
+            assert_eq!(
+                shard.scan(&rel, &pred).unwrap(),
+                rel.filter_tuples(&pred),
+                "pred {pred:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_index_scans_agree_with_linear_filters_under_churn() {
+        // ABC with A→B (A is not a key: lhs ∪ rhs ≠ scheme), ordered
+        // index on C.  Every guard family must match the linear path
+        // exactly — contents AND order — across inserts and removes.
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        let schema = DatabaseSchema::parse(u, &[("ABC", "ABC")]).unwrap();
+        let fds = FdSet::parse(schema.universe(), &["A -> B"]).unwrap();
+        let id = SchemeId(0);
+        let mut shard = RelationShard::new(&schema, id, fds);
+        let mut rel = Relation::new(schema.attrs(id));
+        let a = schema.universe().attr("A").unwrap();
+        let c = schema.universe().attr("C").unwrap();
+        // Pre-populate, then declare the index mid-life: it must absorb
+        // the existing tuples in insertion order.
+        for i in 0..10u64 {
+            shard.insert(&mut rel, vec![v(i), v(i), v(i % 4)]).unwrap();
+        }
+        shard.add_ordered_index(c, &rel).unwrap();
+        assert_eq!(shard.ordered_columns().collect::<Vec<_>>(), vec![c]);
+        // Redeclaring is a no-op, a foreign column a typed error.
+        shard.add_ordered_index(c, &rel).unwrap();
+        assert!(shard
+            .add_ordered_index(ids_relational::AttrId(63), &rel)
+            .is_err());
+        for i in 10..30u64 {
+            shard.insert(&mut rel, vec![v(i), v(i), v(i % 4)]).unwrap();
+        }
+        for i in (0..30u64).step_by(3) {
+            shard.remove(&mut rel, &[v(i), v(i), v(i % 4)]).unwrap();
+        }
+        for pred in [
+            Predicate::new().and_eq(c, v(2)),
+            Predicate::new().and_in(c, vec![v(0), v(3), v(9)]),
+            Predicate::new().and_in(c, Vec::new()),
+            Predicate::new().and_lt(c, v(2)),
+            Predicate::new().and_le(c, v(2)),
+            Predicate::new().and_gt(c, v(1)),
+            Predicate::new().and_ge(c, v(3)),
+            Predicate::new().and_range(c, v(1), v(2)),
+            Predicate::new().and_range(c, v(2), v(1)), // inverted: empty
+            Predicate::new().and_eq(c, v(1)).and_gt(a, v(10)), // index + residual
+            Predicate::new().and_ne(c, v(1)),          // Ne: no index help, linear
+        ] {
+            assert_eq!(
+                shard.scan(&rel, &pred).unwrap(),
+                rel.filter_tuples(&pred),
+                "pred {pred:?}"
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod value;
 pub use attr::AttrId;
 pub use attrset::{AttrSet, AttrSetIter, MAX_ATTRS};
 pub use error::RelationalError;
-pub use query::{Predicate, Projection};
+pub use query::{Guard, Predicate, Projection};
 pub use relation::{join_all, Relation, Tuple};
 pub use scheme::{DatabaseSchema, RelationScheme, SchemeId};
 pub use state::DatabaseState;

@@ -22,17 +22,64 @@ use crate::error::RelationalError;
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
 
-/// A conjunction of equality constraints over one scheme's attributes:
-/// `attr₁ = v₁ ∧ attr₂ = v₂ ∧ …`.  The empty conjunction is *true*
-/// (matches every tuple) — the representation of an unfiltered read.
+/// A non-equality constraint on one attribute, carried alongside the
+/// equality conjuncts of a [`Predicate`].
 ///
-/// Built with [`Predicate::new`] + [`Predicate::and_eq`]; evaluated
-/// against tuples in scheme order with [`Predicate::matches`].  Engines
-/// validate a predicate against the target scheme once, at their router
-/// boundary, via [`Predicate::validate_against`].
+/// Order-based guards (`Lt`/`Le`/`Gt`/`Ge`/`Range`) compare by
+/// [`Value`]'s underlying `u64` order — meaningful for values built with
+/// [`Value::int`], arbitrary (but total and stable) for interned names.
+/// `Range` is inclusive at both ends.  `In` holds a sorted, deduplicated
+/// value set; it *is* a semijoin reducer on the wire: "this attribute's
+/// value appears in a neighbor relation's projected join-key set".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// The attribute's value differs from the given one.
+    Ne(Value),
+    /// The attribute's value is a member of the set (kept sorted and
+    /// deduplicated by [`Predicate::and_in`]).
+    In(Vec<Value>),
+    /// Strictly less than, by `Value`'s numeric order.
+    Lt(Value),
+    /// Less than or equal, by `Value`'s numeric order.
+    Le(Value),
+    /// Strictly greater than, by `Value`'s numeric order.
+    Gt(Value),
+    /// Greater than or equal, by `Value`'s numeric order.
+    Ge(Value),
+    /// Inclusive range `lo ≤ v ≤ hi`, by `Value`'s numeric order.
+    Range(Value, Value),
+}
+
+impl Guard {
+    /// Does a single value satisfy this guard?
+    pub fn admits(&self, v: Value) -> bool {
+        match self {
+            Guard::Ne(x) => v != *x,
+            Guard::In(set) => set.binary_search(&v).is_ok(),
+            Guard::Lt(x) => v < *x,
+            Guard::Le(x) => v <= *x,
+            Guard::Gt(x) => v > *x,
+            Guard::Ge(x) => v >= *x,
+            Guard::Range(lo, hi) => *lo <= v && v <= *hi,
+        }
+    }
+}
+
+/// A conjunction of equality constraints over one scheme's attributes
+/// (`attr₁ = v₁ ∧ attr₂ = v₂ ∧ …`) plus optional non-equality
+/// [`Guard`]s (`≠`, set membership, ranges).  The empty conjunction is
+/// *true* (matches every tuple) — the representation of an unfiltered
+/// read.
+///
+/// Built with [`Predicate::new`] + [`Predicate::and_eq`] and the
+/// `and_*` guard builders; evaluated against tuples in scheme order
+/// with [`Predicate::matches`].  Engines validate a predicate against
+/// the target scheme once, at their router boundary, via
+/// [`Predicate::validate_against`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Predicate {
     conjuncts: Vec<(AttrId, Value)>,
+    guards: Vec<(AttrId, Guard)>,
 }
 
 impl Predicate {
@@ -49,9 +96,57 @@ impl Predicate {
         self
     }
 
-    /// True when the predicate has no conjuncts (matches everything).
+    /// Adds the guard `attr ≠ value`.
+    pub fn and_ne(self, attr: AttrId, value: Value) -> Self {
+        self.and_guard(attr, Guard::Ne(value))
+    }
+
+    /// Adds the guard `attr ∈ values`.  The set is sorted and
+    /// deduplicated here so membership checks are binary searches; an
+    /// empty set makes the predicate unsatisfiable, never a panic.
+    pub fn and_in(self, attr: AttrId, mut values: Vec<Value>) -> Self {
+        values.sort_unstable();
+        values.dedup();
+        self.and_guard(attr, Guard::In(values))
+    }
+
+    /// Adds the guard `attr < value` (numeric `Value` order).
+    pub fn and_lt(self, attr: AttrId, value: Value) -> Self {
+        self.and_guard(attr, Guard::Lt(value))
+    }
+
+    /// Adds the guard `attr ≤ value` (numeric `Value` order).
+    pub fn and_le(self, attr: AttrId, value: Value) -> Self {
+        self.and_guard(attr, Guard::Le(value))
+    }
+
+    /// Adds the guard `attr > value` (numeric `Value` order).
+    pub fn and_gt(self, attr: AttrId, value: Value) -> Self {
+        self.and_guard(attr, Guard::Gt(value))
+    }
+
+    /// Adds the guard `attr ≥ value` (numeric `Value` order).
+    pub fn and_ge(self, attr: AttrId, value: Value) -> Self {
+        self.and_guard(attr, Guard::Ge(value))
+    }
+
+    /// Adds the guard `lo ≤ attr ≤ hi` (inclusive both ends, numeric
+    /// `Value` order).  An empty range (`lo > hi`) is unsatisfiable,
+    /// never a panic.
+    pub fn and_range(self, attr: AttrId, lo: Value, hi: Value) -> Self {
+        self.and_guard(attr, Guard::Range(lo, hi))
+    }
+
+    /// Adds an arbitrary guard on `attr`.
+    pub fn and_guard(mut self, attr: AttrId, guard: Guard) -> Self {
+        self.guards.push((attr, guard));
+        self
+    }
+
+    /// True when the predicate has no conjuncts and no guards (matches
+    /// everything).
     pub fn is_true(&self) -> bool {
-        self.conjuncts.is_empty()
+        self.conjuncts.is_empty() && self.guards.is_empty()
     }
 
     /// The equality conjuncts, in insertion order.
@@ -59,14 +154,25 @@ impl Predicate {
         &self.conjuncts
     }
 
-    /// The set of attributes the predicate constrains.
-    pub fn attrs(&self) -> AttrSet {
-        self.conjuncts.iter().map(|&(a, _)| a).collect()
+    /// The non-equality guards, in insertion order.
+    pub fn guards(&self) -> &[(AttrId, Guard)] {
+        &self.guards
     }
 
-    /// The pinned value of `attr`, when the predicate constrains it.
-    /// With contradictory duplicate conjuncts the first wins here;
-    /// [`Predicate::matches`] still checks them all.
+    /// The set of attributes the predicate constrains (equalities and
+    /// guards alike).
+    pub fn attrs(&self) -> AttrSet {
+        self.conjuncts
+            .iter()
+            .map(|&(a, _)| a)
+            .chain(self.guards.iter().map(|&(a, _)| a))
+            .collect()
+    }
+
+    /// The pinned value of `attr`, when an *equality* conjunct pins it
+    /// (guards never pin a single value).  With contradictory duplicate
+    /// conjuncts the first wins here; [`Predicate::matches`] still
+    /// checks them all.
     pub fn value_of(&self, attr: AttrId) -> Option<Value> {
         self.conjuncts
             .iter()
@@ -94,6 +200,10 @@ impl Predicate {
         self.conjuncts
             .iter()
             .all(|&(a, v)| tuple[attrs.rank(a)] == v)
+            && self
+                .guards
+                .iter()
+                .all(|(a, g)| g.admits(tuple[attrs.rank(*a)]))
     }
 }
 
@@ -101,6 +211,7 @@ impl std::iter::FromIterator<(AttrId, Value)> for Predicate {
     fn from_iter<I: IntoIterator<Item = (AttrId, Value)>>(iter: I) -> Self {
         Predicate {
             conjuncts: iter.into_iter().collect(),
+            guards: Vec::new(),
         }
     }
 }
@@ -233,6 +344,76 @@ mod tests {
             Err(RelationalError::SchemaMismatch(_))
         ));
         assert!(Projection::All.validate_against(ab).is_ok());
+    }
+
+    #[test]
+    fn guards_narrow_like_their_mathematical_definitions() {
+        let (u, r) = setup();
+        let b = u.attr("B").unwrap();
+        let c = u.attr("C").unwrap();
+
+        let ne = Predicate::new().and_ne(b, v(10));
+        assert_eq!(r.filter_tuples(&ne).len(), 1);
+
+        let lt = Predicate::new().and_lt(c, v(102));
+        assert_eq!(lt.guards().len(), 1);
+        assert_eq!(r.filter_tuples(&lt).len(), 2);
+        let le = Predicate::new().and_le(c, v(101));
+        assert_eq!(r.filter_tuples(&le).len(), 2);
+        let gt = Predicate::new().and_gt(c, v(100));
+        assert_eq!(r.filter_tuples(&gt).len(), 2);
+        let ge = Predicate::new().and_ge(c, v(101));
+        assert_eq!(r.filter_tuples(&ge).len(), 2);
+
+        // Range is inclusive at both ends.
+        let range = Predicate::new().and_range(c, v(100), v(101));
+        assert_eq!(r.filter_tuples(&range).len(), 2);
+        // Inverted bounds: unsatisfiable, not a panic.
+        let empty = Predicate::new().and_range(c, v(101), v(100));
+        assert!(r.filter_tuples(&empty).is_empty());
+    }
+
+    #[test]
+    fn in_guard_is_set_membership_sorted_and_deduped() {
+        let (u, r) = setup();
+        let b = u.attr("B").unwrap();
+        // Unsorted input with duplicates; membership still works.
+        let p = Predicate::new().and_in(b, vec![v(11), v(10), v(11)]);
+        assert_eq!(r.filter_tuples(&p).len(), 3);
+        match &p.guards()[0].1 {
+            Guard::In(set) => assert_eq!(set, &vec![v(10), v(11)]),
+            other => panic!("expected In, got {other:?}"),
+        }
+        // The empty set is unsatisfiable, not a panic.
+        let none = Predicate::new().and_in(b, Vec::new());
+        assert!(r.filter_tuples(&none).is_empty());
+    }
+
+    #[test]
+    fn guards_compose_with_equalities_and_count_as_constrained_attrs() {
+        let (u, r) = setup();
+        let a = u.attr("A").unwrap();
+        let b = u.attr("B").unwrap();
+        let p = Predicate::new().and_eq(a, v(1)).and_ne(b, v(11));
+        assert!(!p.is_true());
+        assert_eq!(p.attrs().len(), 2);
+        let hits = r.filter_tuples(&p);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&*hits[0], &[v(1), v(10), v(100)]);
+        // Guards never pin a value (only equalities do).
+        assert_eq!(p.value_of(b), None);
+    }
+
+    #[test]
+    fn guard_validation_catches_foreign_attributes() {
+        let (u, _) = setup();
+        let ab = u.parse_set("A B").unwrap();
+        let c = u.attr("C").unwrap();
+        let p = Predicate::new().and_ge(c, v(5));
+        assert!(matches!(
+            p.validate_against(ab),
+            Err(RelationalError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

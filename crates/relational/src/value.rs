@@ -109,6 +109,18 @@ impl ValuePool {
         Ok(pool)
     }
 
+    /// Iterates the interned names with their values, in interning
+    /// order.  Query planners use this to compile *string-level*
+    /// comparisons (lexicographic ranges, prefix filters) into the
+    /// explicit value sets shards understand: enumerate the pool once
+    /// client-side, ship a compact `In` set down.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), Value(i as u64)))
+    }
+
     /// Renders a value: its interned name when known, otherwise the raw id.
     pub fn render(&self, v: Value) -> String {
         match self.names.get(v.0 as usize) {

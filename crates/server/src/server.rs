@@ -99,6 +99,7 @@ impl ServerObs {
             Request::Checkpoint => "checkpoint",
             Request::Stats => "stats",
             Request::Subscribe { .. } => "subscribe",
+            Request::Join { .. } => "join",
         };
         self.registry.counter(&format!("server.requests.{kind}"))
     }
@@ -697,6 +698,13 @@ fn execute(shared: &SharedDatabase, obs: &ServerObs, req: Request) -> Reply {
                 Err(e) => Reply::Error(wire_error(e)),
             }
         }
+        Request::Join { relations } => match shared.join(&relations) {
+            Ok(rows) => Reply::Rows {
+                columns: rows.columns().to_vec(),
+                rows: rows.into_string_rows(),
+            },
+            Err(e) => Reply::Error(wire_error(e)),
+        },
         Request::Count { relation } => match shared.count(&relation) {
             Ok(n) => Reply::Count(n as u64),
             Err(e) => Reply::Error(wire_error(e)),
@@ -751,6 +759,7 @@ fn wire_error(e: Error) -> WireError {
         Error::Store(StoreError::ShardPoisoned { reason }) => WireError::ShardPoisoned { reason },
         Error::Store(StoreError::Disconnected) => WireError::Disconnected,
         Error::Store(StoreError::NotDurable) => WireError::NotDurable,
+        Error::EmptyJoin => WireError::EmptyJoin,
         Error::Wal(e) => WireError::Durability(e.to_string()),
         other => WireError::Internal(other.to_string()),
     }

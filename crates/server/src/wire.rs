@@ -113,6 +113,17 @@ pub enum Request {
         /// resume position in the name log).
         names: u64,
     },
+    /// Natural join over named relations, answered with
+    /// [`Reply::Rows`].  Server-side this runs
+    /// `ids_api::SharedDatabase::join`: a repeated relation is read
+    /// once (the self-join contract), acyclic sets run through the
+    /// semijoin planner, and columns follow the declared-layout
+    /// contract of `ids_api::Database::join`.  An empty list is
+    /// [`WireError::EmptyJoin`].
+    Join {
+        /// Relation names to join, in output-column order.
+        relations: Vec<String>,
+    },
 }
 
 /// A server → client message; `Reply::Error` can answer any request.
@@ -249,6 +260,9 @@ pub enum WireError {
     HandshakeRequired,
     /// Any other server-side failure, rendered.
     Internal(String),
+    /// [`Request::Join`] carried an empty relation list (the natural
+    /// join has no neutral element over an unknown scheme).
+    EmptyJoin,
 }
 
 impl std::fmt::Display for WireError {
@@ -274,6 +288,7 @@ impl std::fmt::Display for WireError {
             }
             Self::HandshakeRequired => write!(f, "handshake required before any other request"),
             Self::Internal(msg) => write!(f, "internal server error: {msg}"),
+            Self::EmptyJoin => write!(f, "join requires at least one relation"),
         }
     }
 }
@@ -293,6 +308,7 @@ const REQ_SNAPSHOT: u8 = 6;
 const REQ_CHECKPOINT: u8 = 7;
 const REQ_STATS: u8 = 8;
 const REQ_SUBSCRIBE: u8 = 9;
+const REQ_JOIN: u8 = 10;
 
 const REP_HELLO: u8 = 0;
 const REP_PONG: u8 = 1;
@@ -334,6 +350,7 @@ const ERR_MALFORMED: u8 = 8;
 const ERR_VERSION: u8 = 9;
 const ERR_HANDSHAKE: u8 = 10;
 const ERR_INTERNAL: u8 = 11;
+const ERR_EMPTY_JOIN: u8 = 12;
 
 // ---------------------------------------------------------------------
 // Encoding.
@@ -400,6 +417,10 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
                 e.put_u64(*seq);
             }
             e.put_u64(*names);
+        }
+        Request::Join { relations } => {
+            e.put_u8(REQ_JOIN);
+            put_strs(&mut e, relations);
         }
     }
     frame(&e.into_bytes())
@@ -621,6 +642,7 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
                     e.put_u8(ERR_INTERNAL);
                     e.put_str(msg);
                 }
+                WireError::EmptyJoin => e.put_u8(ERR_EMPTY_JOIN),
             }
         }
     }
@@ -716,6 +738,9 @@ fn decode_request_body(d: &mut Decoder<'_>) -> Result<Request, WireError> {
             let names = d.get_u64().map_err(malformed)?;
             Request::Subscribe { cursors, names }
         }
+        REQ_JOIN => Request::Join {
+            relations: get_strs(d).map_err(malformed)?,
+        },
         other => return Err(WireError::Malformed(format!("bad request kind {other}"))),
     };
     if !d.is_done() {
@@ -942,6 +967,7 @@ fn decode_wire_error(d: &mut Decoder<'_>) -> Result<WireError, WireError> {
         },
         ERR_HANDSHAKE => WireError::HandshakeRequired,
         ERR_INTERNAL => WireError::Internal(d.get_str().map_err(malformed)?),
+        ERR_EMPTY_JOIN => WireError::EmptyJoin,
         other => return Err(WireError::Malformed(format!("bad error tag {other}"))),
     })
 }
@@ -1092,6 +1118,10 @@ mod tests {
                 cursors: vec![],
                 names: 0,
             },
+            Request::Join {
+                relations: vec!["CT".into(), "CHR".into()],
+            },
+            Request::Join { relations: vec![] },
         ] {
             roundtrip_request(req);
         }
@@ -1243,6 +1273,7 @@ mod tests {
             }),
             Reply::Error(WireError::HandshakeRequired),
             Reply::Error(WireError::Internal("oops".into())),
+            Reply::Error(WireError::EmptyJoin),
         ] {
             roundtrip_reply(reply);
         }

@@ -123,6 +123,50 @@ fn typed_errors_cross_the_wire() {
 }
 
 #[test]
+fn joins_cross_the_wire_with_typed_errors() {
+    let server = serve(shared());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.insert("CT", ["CS402", "Jones"]).unwrap();
+    client.insert("CS", ["CS402", "Riley"]).unwrap();
+    client.insert("CS", ["CS402", "Morgan"]).unwrap();
+    client.insert("CS", ["CS101", "Riley"]).unwrap(); // no teacher: drops out
+
+    // Columns follow the listed relation order, each relation's columns
+    // in its declared order, duplicates elided.
+    let joined = client.join(["CT", "CS"]).unwrap();
+    assert_eq!(joined.columns, vec!["course", "teacher", "student"]);
+    let mut rows = joined.rows;
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            vec!["CS402".to_string(), "Jones".into(), "Morgan".into()],
+            vec!["CS402".to_string(), "Jones".into(), "Riley".into()],
+        ]
+    );
+
+    // The self-join contract holds over the wire too: listing a
+    // relation twice reads it once, so this is just CS.
+    let twice = client.join(["CS", "CS"]).unwrap();
+    assert_eq!(twice.columns, vec!["course", "student"]);
+    assert_eq!(twice.rows.len(), 3);
+
+    match client.join(Vec::<String>::new()) {
+        Err(ClientError::Server(WireError::EmptyJoin)) => {}
+        other => panic!("expected EmptyJoin, got {other:?}"),
+    }
+    match client.join(["CT", "TD"]) {
+        Err(ClientError::Server(WireError::UnknownRelation(name))) => assert_eq!(name, "TD"),
+        other => panic!("expected UnknownRelation, got {other:?}"),
+    }
+    // The connection survived every error.
+    client.ping().unwrap();
+
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_replies_match_by_id_in_any_order() {
     let server = serve(shared());
     let mut client = Client::connect(server.local_addr()).unwrap();

@@ -76,6 +76,14 @@ fn canonical_requests() -> Vec<(u64, Request)> {
                 names: 17,
             },
         ),
+        // Appended for wire kind 10 (Join): strict-prefix discipline as
+        // above — every earlier fixture byte is untouched.
+        (
+            9,
+            Request::Join {
+                relations: vec!["CT".into(), "CHR".into()],
+            },
+        ),
     ]
 }
 
@@ -267,6 +275,9 @@ fn canonical_replies() -> Vec<(u64, Reply)> {
         },
     ));
     replies.push((28, Reply::Stats(replica_events_snapshot())));
+    // Appended for error tag 12 (EmptyJoin), the typed answer to a
+    // Join with no relations — after everything older, strict prefix.
+    replies.push((29, Reply::Error(WireError::EmptyJoin)));
     replies
 }
 

@@ -92,7 +92,8 @@ use ids_core::{InsertOutcome, MaintenanceError, NotIndependentReason, RelationSh
 use ids_deps::{Fd, FdSet};
 use ids_obs::{Counter, Event, EventLog, Gauge, LatencyHistogram, MetricsSnapshot, Registry};
 use ids_relational::{
-    DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple, Value,
+    AttrId, DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple,
+    Value,
 };
 use ids_wal::{WalDir, WalError, WalMetrics, WalOp, WalWriter};
 
@@ -226,6 +227,12 @@ pub struct StoreConfig {
     pub shards: usize,
     /// Initial state to load; every relation must satisfy its cover.
     pub initial_state: Option<DatabaseState>,
+    /// Ordered (BTree) secondary indexes to build, one `(relation,
+    /// column)` pair each — the shard-side structures behind range, set-
+    /// membership and non-key equality pushdown.  Maintained on the same
+    /// probe→commit write path as the FD hash indexes; a pair naming a
+    /// foreign scheme or column is a typed error at open.
+    pub ordered_indexes: Vec<(SchemeId, AttrId)>,
 }
 
 /// Configuration of [`Store::open_durable_with`].
@@ -278,6 +285,26 @@ enum Command {
         scheme: SchemeId,
         predicate: Predicate,
         reply: Sender<Vec<Tuple>>,
+    },
+    /// Evaluate a predicate against one owned relation and reply with the
+    /// **distinct** projections of the matching tuples onto the given
+    /// columns — the semijoin-reduction probe of the join planner: only
+    /// the deduplicated join-key set ever crosses the channel, never the
+    /// matching tuples themselves.  Only the owning shard ever sees this
+    /// command.
+    Distinct {
+        scheme: SchemeId,
+        predicate: Predicate,
+        columns: Vec<AttrId>,
+        reply: Sender<Vec<Vec<Value>>>,
+    },
+    /// Evaluate a predicate against one owned relation and reply with the
+    /// match count only — the aggregate pushdown behind `count_where`:
+    /// one `usize` crosses the channel, no tuples.
+    CountWhere {
+        scheme: SchemeId,
+        predicate: Predicate,
+        reply: Sender<usize>,
     },
     /// Reply with a clone of every owned relation — the shard's part of a
     /// consistent snapshot barrier.
@@ -483,6 +510,48 @@ impl Worker {
                     .expect("predicate validated by the router");
                 let _ = reply.send(tuples);
             }
+            Command::Distinct {
+                scheme,
+                predicate,
+                columns,
+                reply,
+            } => {
+                let si = self.slot_of[scheme.index()]
+                    .expect("router sent a distinct for a foreign scheme");
+                let slot = &self.slots[si];
+                let attrs = slot.shard.schema().attrs(scheme);
+                let ranks: Vec<usize> = columns.iter().map(|&a| attrs.rank(a)).collect();
+                let matches = slot
+                    .shard
+                    .scan(&slot.rel, &predicate)
+                    .expect("predicate validated by the router");
+                // Dedup preserving first occurrence, so the reply is
+                // deterministic for a given relation history.
+                let mut seen = std::collections::HashSet::new();
+                let mut keys = Vec::new();
+                for t in &matches {
+                    let key: Vec<Value> = ranks.iter().map(|&p| t[p]).collect();
+                    if seen.insert(key.clone()) {
+                        keys.push(key);
+                    }
+                }
+                let _ = reply.send(keys);
+            }
+            Command::CountWhere {
+                scheme,
+                predicate,
+                reply,
+            } => {
+                let si = self.slot_of[scheme.index()]
+                    .expect("router sent a count_where for a foreign scheme");
+                let slot = &self.slots[si];
+                let n = slot
+                    .shard
+                    .scan(&slot.rel, &predicate)
+                    .expect("predicate validated by the router")
+                    .len();
+                let _ = reply.send(n);
+            }
             Command::Snapshot { reply } => {
                 let _ = reply.send(self.slots.iter().map(|s| (s.id, s.rel.clone())).collect());
             }
@@ -633,11 +702,21 @@ impl Store {
         };
 
         // Build each relation's shard (indexing + validating the preload).
+        for &(sid, _) in &config.ordered_indexes {
+            if schema.get_scheme(sid).is_none() {
+                return Err(StoreError::UnknownScheme(sid));
+            }
+        }
         let mut parts = Vec::with_capacity(schema.len());
         for (id, rel) in schema.ids().zip(relations) {
             let fi = enforcement[id.index()].clone();
-            let shard =
+            let mut shard =
                 RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
+            for &(sid, attr) in &config.ordered_indexes {
+                if sid == id {
+                    shard.add_ordered_index(attr, &rel).map_err(index_error)?;
+                }
+            }
             parts.push(Slot {
                 id,
                 shard,
@@ -707,7 +786,13 @@ impl Store {
             fail_appends_after,
         } = config;
         let dir = WalDir::create(path, schema, fds, app)?;
-        let (relations, shards) = preload_parts(&dir, schema, &enforcement, store.initial_state)?;
+        let (relations, shards) = preload_parts(
+            &dir,
+            schema,
+            &enforcement,
+            store.initial_state,
+            &store.ordered_indexes,
+        )?;
         let last_seqs = vec![0; schema.len()];
         Self::finish_durable(
             dir,
@@ -752,7 +837,13 @@ impl Store {
                     RelationalError::SchemaMismatch("initial state for an existing log").into(),
                 );
             }
-            let (relations, shards) = preload_parts(&dir, schema, &enforcement, Some(preload))?;
+            let (relations, shards) = preload_parts(
+                &dir,
+                schema,
+                &enforcement,
+                Some(preload),
+                &config.store.ordered_indexes,
+            )?;
             let last_seqs = vec![0; schema.len()];
             let next_gen = recovered.next_gen;
             return Self::finish_durable(
@@ -773,8 +864,13 @@ impl Store {
         // Replay is a cold path: time it unconditionally so the summary
         // event carries a real duration even if recording was toggled.
         let replay_start = Instant::now();
-        let (relations, shards, replayed_per_relation) =
-            replay_recovered(schema, &enforcement, recovered, dir.root())?;
+        let (relations, shards, replayed_per_relation) = replay_recovered(
+            schema,
+            &enforcement,
+            recovered,
+            dir.root(),
+            &config.store.ordered_indexes,
+        )?;
         let replay_elapsed = replay_start.elapsed();
         let store = Self::finish_durable(
             dir,
@@ -1235,6 +1331,65 @@ impl Store {
         reply_rx.recv().map_err(|_| self.fail())
     }
 
+    /// The **distinct** projections of one relation's matching tuples
+    /// onto `columns`, computed on the owning shard — the semijoin-
+    /// reduction probe of the acyclic join planner.  Only the
+    /// deduplicated key set crosses the channel (first-occurrence
+    /// order), never the matching tuples; same barrier-free consistency
+    /// model as [`Store::query`].  Foreign schemes, predicate attributes
+    /// or projection columns are typed errors at the router boundary.
+    pub fn distinct(
+        &self,
+        id: SchemeId,
+        predicate: &Predicate,
+        columns: &[AttrId],
+    ) -> Result<Vec<Vec<Value>>, StoreError> {
+        let scheme = self
+            .schema
+            .get_scheme(id)
+            .ok_or(StoreError::UnknownScheme(id))?;
+        predicate.validate_against(scheme.attrs)?;
+        if columns.iter().any(|&a| !scheme.attrs.contains(a)) {
+            return Err(RelationalError::SchemaMismatch(
+                "projection columns outside the relation scheme",
+            )
+            .into());
+        }
+        let (reply_tx, reply_rx) = channel();
+        self.send(
+            self.assignment[id.index()],
+            Command::Distinct {
+                scheme: id,
+                predicate: predicate.clone(),
+                columns: columns.to_vec(),
+                reply: reply_tx,
+            },
+        )?;
+        reply_rx.recv().map_err(|_| self.fail())
+    }
+
+    /// Number of tuples of one relation matching a predicate, counted on
+    /// the owning shard — the aggregate pushdown to [`Store::query`]:
+    /// one `usize` crosses the channel, no tuples.  Same consistency
+    /// model and validation boundary as `query`.
+    pub fn count_where(&self, id: SchemeId, predicate: &Predicate) -> Result<usize, StoreError> {
+        let scheme = self
+            .schema
+            .get_scheme(id)
+            .ok_or(StoreError::UnknownScheme(id))?;
+        predicate.validate_against(scheme.attrs)?;
+        let (reply_tx, reply_rx) = channel();
+        self.send(
+            self.assignment[id.index()],
+            Command::CountWhere {
+                scheme: id,
+                predicate: predicate.clone(),
+                reply: reply_tx,
+            },
+        )?;
+        reply_rx.recv().map_err(|_| self.fail())
+    }
+
     /// Number of tuples currently in one relation, consulting only the
     /// owning shard — the cardinality probe to [`Store::read`]'s full
     /// read.  No tuples are cloned or shipped; same consistency model as
@@ -1349,6 +1504,7 @@ fn preload_parts(
     schema: &DatabaseSchema,
     enforcement: &[FdSet],
     initial_state: Option<DatabaseState>,
+    ordered_indexes: &[(SchemeId, AttrId)],
 ) -> Result<(Vec<Relation>, Vec<RelationShard>), StoreError> {
     let relations: Vec<Relation> = match initial_state {
         Some(state) => {
@@ -1364,11 +1520,41 @@ fn preload_parts(
         let fi = enforcement[id.index()].clone();
         shards.push(RelationShard::with_relation(schema, id, fi, rel).map_err(base_state_error)?);
     }
+    apply_ordered_indexes(schema, &mut shards, &relations, ordered_indexes)?;
     if relations.iter().any(|r| !r.is_empty()) {
         let state = DatabaseState::from_relations(schema, relations.clone())?;
         dir.write_snapshot(&state, &vec![0; schema.len()], 0)?;
     }
     Ok((relations, shards))
+}
+
+/// Builds the configured ordered secondary indexes on freshly
+/// constructed shards, each absorbing its relation's current tuples.  A
+/// spec naming a foreign scheme or column is a typed error at open, not
+/// a silently missing index.
+fn apply_ordered_indexes(
+    schema: &DatabaseSchema,
+    shards: &mut [RelationShard],
+    relations: &[Relation],
+    specs: &[(SchemeId, AttrId)],
+) -> Result<(), StoreError> {
+    for &(id, attr) in specs {
+        if schema.get_scheme(id).is_none() {
+            return Err(StoreError::UnknownScheme(id));
+        }
+        shards[id.index()]
+            .add_ordered_index(attr, &relations[id.index()])
+            .map_err(index_error)?;
+    }
+    Ok(())
+}
+
+/// Maps secondary-index declaration failures to typed store errors.
+fn index_error(e: MaintenanceError) -> StoreError {
+    match e {
+        MaintenanceError::Relational(e) => StoreError::Relational(e),
+        other => unreachable!("add_ordered_index cannot fail with {other}"),
+    }
 }
 
 /// Pulls the per-scheme enforcement covers out of an analysis verdict:
@@ -1424,6 +1610,7 @@ fn replay_recovered(
     enforcement: &[FdSet],
     recovered: ids_wal::Recovered,
     root: &Path,
+    ordered_indexes: &[(SchemeId, AttrId)],
 ) -> Result<Replayed, StoreError> {
     let base = recovered.base.into_relations();
     let mut relations = Vec::with_capacity(schema.len());
@@ -1455,6 +1642,9 @@ fn replay_recovered(
         relations.push(rel);
         shards.push(shard);
     }
+    // Indexes are declared only after replay, so they absorb the final
+    // recovered relations in their (replayed) insertion order.
+    apply_ordered_indexes(schema, &mut shards, &relations, ordered_indexes)?;
     Ok((relations, shards, replayed_per_relation))
 }
 
@@ -1539,6 +1729,7 @@ mod tests {
                 StoreConfig {
                     shards,
                     initial_state: None,
+                    ordered_indexes: Vec::new(),
                 },
             )
             .unwrap();
@@ -1656,6 +1847,7 @@ mod tests {
                 StoreConfig {
                     shards,
                     initial_state: None,
+                    ordered_indexes: Vec::new(),
                 },
             )
             .unwrap();
@@ -1699,6 +1891,7 @@ mod tests {
                 StoreConfig {
                     shards,
                     initial_state: None,
+                    ordered_indexes: Vec::new(),
                 },
             )
             .unwrap();
@@ -1735,6 +1928,141 @@ mod tests {
                 Err(StoreError::Relational(RelationalError::SchemaMismatch(_)))
             ));
         }
+    }
+
+    #[test]
+    fn distinct_and_count_where_ship_only_what_they_promise() {
+        let (schema, fds) = independent_setup();
+        for shards in 1..=3 {
+            let store = Store::open_with(
+                &schema,
+                &fds,
+                StoreConfig {
+                    shards,
+                    initial_state: None,
+                    ordered_indexes: Vec::new(),
+                },
+            )
+            .unwrap();
+            let cs = schema.scheme_by_name("CS").unwrap();
+            // Many students per course: distinct courses ≪ tuples.
+            for course in 0..5u64 {
+                for student in 0..10u64 {
+                    store.insert(cs, vec![v(course), v(100 + student)]).unwrap();
+                }
+            }
+            let c = schema.universe().attr("C").unwrap();
+            let s = schema.universe().attr("S").unwrap();
+            let keys = store.distinct(cs, &Predicate::new(), &[c]).unwrap();
+            assert_eq!(keys, (0..5u64).map(|i| vec![v(i)]).collect::<Vec<_>>());
+            // With a predicate, the key set narrows accordingly.
+            let keys = store
+                .distinct(cs, &Predicate::new().and_eq(s, v(103)), &[c])
+                .unwrap();
+            assert_eq!(keys.len(), 5);
+            assert_eq!(
+                store
+                    .count_where(cs, &Predicate::new().and_eq(c, v(2)))
+                    .unwrap(),
+                10
+            );
+            assert_eq!(store.count_where(cs, &Predicate::new()).unwrap(), 50);
+            // Typed errors at the router boundary.
+            let t = schema.universe().attr("T").unwrap();
+            assert!(matches!(
+                store.distinct(cs, &Predicate::new(), &[t]),
+                Err(StoreError::Relational(RelationalError::SchemaMismatch(_)))
+            ));
+            assert!(matches!(
+                store.distinct(SchemeId(99), &Predicate::new(), &[c]),
+                Err(StoreError::UnknownScheme(_))
+            ));
+            assert!(matches!(
+                store.count_where(cs, &Predicate::new().and_eq(t, v(0))),
+                Err(StoreError::Relational(RelationalError::SchemaMismatch(_)))
+            ));
+        }
+    }
+
+    #[test]
+    fn configured_ordered_indexes_serve_ranges_and_survive_recovery() {
+        let (schema, fds) = independent_setup();
+        let cs = schema.scheme_by_name("CS").unwrap();
+        let s = schema.universe().attr("S").unwrap();
+        let specs = vec![(cs, s)];
+        // In-memory: the indexed path must agree with a linear filter.
+        let store = Store::open_with(
+            &schema,
+            &fds,
+            StoreConfig {
+                shards: 2,
+                initial_state: None,
+                ordered_indexes: specs.clone(),
+            },
+        )
+        .unwrap();
+        for i in 0..30u64 {
+            store.insert(cs, vec![v(i % 3), v(i)]).unwrap();
+        }
+        let whole = store.read(cs).unwrap();
+        let pred = Predicate::new().and_range(s, v(10), v(19));
+        assert_eq!(store.query(cs, &pred).unwrap(), whole.filter_tuples(&pred));
+        drop(store);
+
+        // A spec naming a foreign column is refused at open.
+        let x_free = schema.universe().attr("H").unwrap();
+        assert!(Store::open_with(
+            &schema,
+            &fds,
+            StoreConfig {
+                shards: 2,
+                initial_state: None,
+                ordered_indexes: vec![(cs, x_free)],
+            },
+        )
+        .is_err());
+
+        // Durable: the index is rebuilt by recovery and still agrees.
+        let root = tmp_dir("ordered-index");
+        {
+            let store = Store::open_durable_with(
+                &root,
+                &schema,
+                &fds,
+                DurableConfig {
+                    store: StoreConfig {
+                        shards: 2,
+                        initial_state: None,
+                        ordered_indexes: specs.clone(),
+                    },
+                    ..DurableConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..30u64 {
+                store.insert(cs, vec![v(i % 3), v(i)]).unwrap();
+            }
+            store.shutdown().unwrap();
+        }
+        let store = Store::open_durable_with(
+            &root,
+            &schema,
+            &fds,
+            DurableConfig {
+                store: StoreConfig {
+                    shards: 2,
+                    initial_state: None,
+                    ordered_indexes: specs,
+                },
+                ..DurableConfig::default()
+            },
+        )
+        .unwrap();
+        let whole = store.read(cs).unwrap();
+        assert_eq!(store.query(cs, &pred).unwrap(), whole.filter_tuples(&pred));
+        assert_eq!(store.query(cs, &pred).unwrap().len(), 10);
+        store.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
@@ -1782,6 +2110,7 @@ mod tests {
             StoreConfig {
                 shards: 2,
                 initial_state: Some(base.clone()),
+                ordered_indexes: Vec::new(),
             },
         )
         .unwrap();
@@ -1798,6 +2127,7 @@ mod tests {
             StoreConfig {
                 shards: 2,
                 initial_state: Some(base),
+                ordered_indexes: Vec::new(),
             },
         )
         .unwrap_err();
@@ -1822,6 +2152,7 @@ mod tests {
             StoreConfig {
                 shards: 2,
                 initial_state: Some(foreign),
+                ordered_indexes: Vec::new(),
             },
         )
         .unwrap_err();
@@ -1914,6 +2245,7 @@ mod tests {
                 store: StoreConfig {
                     shards: 0,
                     initial_state: Some(DatabaseState::empty(&schema)),
+                    ordered_indexes: Vec::new(),
                 },
                 ..DurableConfig::default()
             },
@@ -1948,6 +2280,7 @@ mod tests {
                     store: StoreConfig {
                         shards: 2,
                         initial_state: Some(base.clone()),
+                        ordered_indexes: Vec::new(),
                     },
                     ..DurableConfig::default()
                 },
@@ -1977,6 +2310,7 @@ mod tests {
                     store: StoreConfig {
                         shards: 2,
                         initial_state: Some(base),
+                        ordered_indexes: Vec::new(),
                     },
                     sync: SyncPolicy::Always,
                     app: Vec::new(),

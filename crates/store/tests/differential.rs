@@ -105,7 +105,7 @@ proptest! {
         let store = Store::open_with(
             &inst.schema,
             &inst.fds,
-            StoreConfig { shards, initial_state: None },
+            StoreConfig { shards, initial_state: None, ordered_indexes: Vec::new() },
         ).unwrap();
         let got = store.apply_batch(to_store_ops(&trace)).unwrap();
         prop_assert_eq!(&got, &expected_outcomes);
@@ -135,7 +135,7 @@ proptest! {
         let store = Store::open_with(
             &schema,
             &fds,
-            StoreConfig { shards, initial_state: None },
+            StoreConfig { shards, initial_state: None, ordered_indexes: Vec::new() },
         ).unwrap();
         let ops = to_store_ops(&trace);
         let mut got = Vec::new();
@@ -194,6 +194,7 @@ fn metric_counter_totals_match_the_sequential_oracle() {
         StoreConfig {
             shards: 3,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         },
     )
     .unwrap();

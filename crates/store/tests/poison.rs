@@ -45,6 +45,7 @@ fn durable_with_fault(
             store: StoreConfig {
                 shards,
                 initial_state: None,
+                ordered_indexes: Vec::new(),
             },
             sync: SyncPolicy::Always,
             app: Vec::new(),

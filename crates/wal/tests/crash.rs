@@ -126,7 +126,7 @@ proptest! {
                 &inst.schema,
                 &inst.fds,
                 DurableConfig {
-                    store: StoreConfig { shards, initial_state: None },
+                    store: StoreConfig { shards, initial_state: None, ordered_indexes: Vec::new() },
                     sync: SyncPolicy::Always,
                     app: Vec::new(),
                     ..Default::default()
@@ -184,7 +184,7 @@ proptest! {
             &inst.schema,
             &inst.fds,
             DurableConfig {
-                store: StoreConfig { shards, initial_state: None },
+                store: StoreConfig { shards, initial_state: None, ordered_indexes: Vec::new() },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),
                 ..Default::default()
@@ -230,6 +230,7 @@ fn recovery_after_recovery_from_a_torn_tail_keeps_working() {
                 store: StoreConfig {
                     shards: 2,
                     initial_state: None,
+                    ordered_indexes: Vec::new(),
                 },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),
@@ -341,6 +342,7 @@ fn acknowledged_ops_survive_an_unclean_drop() {
                 store: StoreConfig {
                     shards: 2,
                     initial_state: None,
+                    ordered_indexes: Vec::new(),
                 },
                 sync: SyncPolicy::Always,
                 app: Vec::new(),

@@ -58,6 +58,7 @@ fn main() {
         EngineKind::Sharded(StoreConfig {
             shards: 3,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         }),
     )
     .unwrap();

@@ -49,6 +49,7 @@ fn main() {
         EngineKind::Sharded(StoreConfig {
             shards: 4,
             initial_state: None,
+            ordered_indexes: Vec::new(),
         }),
     )
     .expect("build() already certified independence");

@@ -91,8 +91,9 @@ pub use ids_workloads as workloads;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use ids_api::{
-        eq, Cond, Database, Engine, EngineKind, Error as ApiError, Query, Row, Rows, Schema,
-        SchemaBuilder, SharedDatabase,
+        between, eq, ge, gt, le, lt, ne, one_of, Cond, Database, Engine, EngineKind,
+        Error as ApiError, JoinQuery, JoinReport, Query, Row, Rows, Schema, SchemaBuilder,
+        SharedDatabase,
     };
     pub use ids_chase::{locally_satisfies, satisfies, ChaseConfig, ChaseError, Satisfaction};
     pub use ids_client::{Client, ClientError, RowSet};
