@@ -16,7 +16,7 @@ use ids_wal::NameLog;
 use crate::engine::{Engine, EngineKind};
 use crate::error::Error;
 use crate::query::{Cond, JoinQuery, JoinReport, Query, Row, Rows};
-use crate::schema::Schema;
+use crate::schema::{Alter, Schema};
 
 /// The engine a database runs on.  Only the sharded store stays
 /// concrete — so [`Database::store`] can hand it out for concurrent
@@ -181,7 +181,10 @@ impl Database {
     /// [`Database::recover`] with an explicit store/sync configuration.
     pub fn recover_with(path: impl AsRef<Path>, mut config: DurableConfig) -> Result<Self, Error> {
         let dir = ids_wal::WalDir::open(path.as_ref())?;
-        let manifest = dir.manifest();
+        // The *latest* generation manifest is the schema the database
+        // runs under after recovery; older entries in the chain only
+        // direct per-era replay inside the store.
+        let manifest = dir.latest_manifest();
         let schema =
             Schema::from_recovered(manifest.schema.clone(), manifest.fds.clone(), &manifest.app)?;
         // Index declarations persisted in the manifest are rebuilt after
@@ -208,7 +211,13 @@ impl Database {
         let pool_path = store
             .pool_log_path()
             .expect("open_durable always yields a durable store");
-        let fingerprint = ids_wal::fingerprint(&schema.definition, &schema.fds);
+        // The name log carries the *directory's* fingerprint — the base
+        // manifest's, fixed for the directory's whole life.  Recomputing
+        // from the current schema would diverge after the first schema
+        // transition bumps the manifest chain.
+        let fingerprint = store
+            .wal_fingerprint()
+            .expect("open_durable always yields a durable store");
         let (pool_log, names) = NameLog::open(&pool_path, fingerprint)?;
         let mut pool = ValuePool::new();
         for name in names {
@@ -238,6 +247,44 @@ impl Database {
         self.pool_log.is_some()
     }
 
+    /// Applies one `ALTER`-class schema transition to a **running**
+    /// durable database, without stopping service on unaffected
+    /// relations.  Returns the new schema generation.
+    ///
+    /// The transition is validated *before* any engine state moves:
+    ///
+    /// 1. The target schema is built and its independence re-decided
+    ///    incrementally ([`Schema::evolved`]).  A dependent target is
+    ///    [`Error::NotIndependent`] with the `LSAT ∖ WSAT` witness; name
+    ///    errors (duplicate relation, unknown FD, an uncoverable drop)
+    ///    are [`Error::Evolve`].
+    /// 2. For [`Alter::AddFd`], existing tuples are backfill-validated
+    ///    through the same probe path recovery uses; a violation is
+    ///    [`ids_store::StoreError::BackfillViolation`] (under
+    ///    [`Error::Store`]) carrying a witness pair of tuples.
+    /// 3. Only then is a generation manifest appended to the log — the
+    ///    durability point — and the live topology switched.
+    ///
+    /// On *any* error the current schema keeps serving, untouched.
+    /// Requires the durable sharded engine: [`Error::NotSharded`] on
+    /// sequential engines, [`ids_store::StoreError::NotDurable`] on an
+    /// in-memory sharded store.
+    pub fn alter(&mut self, op: &Alter) -> Result<u64, Error> {
+        let store = match &self.engine {
+            EngineBox::Sharded(store) => store,
+            EngineBox::Boxed(_) => return Err(Error::NotSharded),
+        };
+        let (next, _stats) = self.schema.evolved(op)?;
+        let generation = store.apply_transition(
+            &next.definition,
+            &next.fds,
+            &next.analysis,
+            next.encode_layouts(),
+        )?;
+        self.schema = next;
+        Ok(generation)
+    }
+
     /// A typed snapshot of the engine's metric families — see
     /// [`Store::metrics`].  `None` on the boxed sequential engines,
     /// which have no instrumented runtime (they exist for differential
@@ -254,6 +301,21 @@ impl Database {
             engine: EngineBox::Boxed(engine),
             pool_log: None,
         }
+    }
+
+    /// Replaces the schema and engine **in place**, keeping the
+    /// interning pool (and name log) exactly as they are.
+    ///
+    /// This is the swap a replication follower performs when it applies
+    /// a streamed schema transition: the pool's insertion order *is* the
+    /// value assignment (value `n` names the `n`-th interned string), so
+    /// rebuilding the handle with [`Database::with_engine`] would sever
+    /// every already-interned value from its name.  The caller owns the
+    /// invariant that `engine` holds state expressed in this pool's
+    /// values.
+    pub fn adopt_engine(&mut self, schema: Schema, engine: Box<dyn Engine>) {
+        self.schema = schema;
+        self.engine = EngineBox::Boxed(engine);
     }
 
     /// The schema handle the database serves.

@@ -2,6 +2,7 @@
 
 use ids_chase::ChaseError;
 use ids_core::{MaintenanceError, NotIndependentReason, Witness};
+use ids_evolve::EvolveError;
 use ids_relational::RelationalError;
 use ids_store::StoreError;
 use ids_wal::WalError;
@@ -72,6 +73,15 @@ pub enum Error {
         /// The stored value that failed to parse.
         value: String,
     },
+    /// A schema transition ([`crate::Database::alter`]) was refused for
+    /// a reason other than independence: duplicate/unknown relation or
+    /// dependency names, or a drop that would leave universe attributes
+    /// covered by no relation.  (A *dependent* target schema surfaces as
+    /// [`Error::NotIndependent`] like every other independence refusal,
+    /// and existing data violating a new FD surfaces as
+    /// [`ids_store::StoreError::BackfillViolation`] under
+    /// [`Error::Store`] with the witness tuples attached.)
+    Evolve(EvolveError),
     /// A functional-dependency spec handed to
     /// [`crate::SchemaBuilder::fd`] did not parse against the declared
     /// columns.  Carries the spec, the byte span of the offending
@@ -127,6 +137,7 @@ impl std::fmt::Display for Error {
                 f,
                 "column `{column}` holds non-numeric value `{value}` — numeric aggregates need integers"
             ),
+            Error::Evolve(e) => write!(f, "{e}"),
             Error::FdParse { spec, span, reason } => write!(
                 f,
                 "invalid functional dependency `{spec}`: {reason} (bytes {}..{})",
@@ -144,6 +155,7 @@ impl std::error::Error for Error {
             Error::Maintenance(e) => Some(e),
             Error::Store(e) => Some(e),
             Error::Wal(e) => Some(e),
+            Error::Evolve(e) => Some(e),
             _ => None,
         }
     }
@@ -187,6 +199,19 @@ impl From<StoreError> for Error {
             // variant no matter which layer surfaced them.
             StoreError::Wal(e) => Error::Wal(e),
             other => Error::Store(other),
+        }
+    }
+}
+
+impl From<EvolveError> for Error {
+    fn from(e: EvolveError) -> Self {
+        match e {
+            // The one cross-cutting refusal keeps its one canonical
+            // variant: a dependent target schema is the same failure as
+            // constructing over a dependent schema in the first place.
+            EvolveError::Dependent { reason, witness } => Error::NotIndependent { reason, witness },
+            EvolveError::Relational(e) => Error::Relational(e),
+            other => Error::Evolve(other),
         }
     }
 }

@@ -59,6 +59,11 @@
 //!   self-join joins a single cut with itself.
 //! * [`Error`]: the `#[non_exhaustive]` top-level error every layer
 //!   converts into.
+//! * [`Alter`] + [`Database::alter`] / [`SharedDatabase::alter`]:
+//!   online schema evolution — add/drop a relation or a dependency on a
+//!   running durable database, independence re-decided incrementally
+//!   (`ids-evolve`), dependent targets and violated new FDs refused
+//!   with typed witnesses while the current schema keeps serving.
 
 #![warn(missing_docs)]
 
@@ -76,5 +81,5 @@ pub use error::Error;
 pub use query::{
     between, eq, ge, gt, le, lt, ne, one_of, Cond, JoinQuery, JoinReport, Query, Row, Rows,
 };
-pub use schema::{Schema, SchemaBuilder};
+pub use schema::{Alter, Schema, SchemaBuilder};
 pub use shared::SharedDatabase;

@@ -26,6 +26,60 @@ pub(crate) struct RelationLayout {
     pub perm: Vec<usize>,
 }
 
+/// One `ALTER`-class schema transition, as accepted by
+/// [`crate::Database::alter`] and [`crate::SharedDatabase::alter`].
+///
+/// Each operation names its target at the string level — relation and
+/// column names, FD specs in the same `"lhs -> rhs"` syntax as
+/// [`SchemaBuilder::fd`] — so the same value round-trips over the wire
+/// protocol unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Alter {
+    /// Add a relation with the given column names (declaration order).
+    /// Columns the universe has not seen are appended to it; existing
+    /// attribute and scheme ids stay stable.
+    AddRelation {
+        /// The new relation's name.
+        name: String,
+        /// Its column names, in declaration order.
+        columns: Vec<String>,
+    },
+    /// Drop a relation (and any ordered indexes declared on it).  Later
+    /// relations renumber down by one; refused if the drop would leave
+    /// universe attributes covered by no relation.
+    DropRelation {
+        /// The relation to drop.
+        name: String,
+    },
+    /// Declare an additional functional dependency.  Existing data is
+    /// backfill-validated; tuples violating the new dependency refuse
+    /// the transition with a witness pair.
+    AddFd {
+        /// The dependency, in [`SchemaBuilder::fd`] syntax.
+        spec: String,
+    },
+    /// Retract a declared functional dependency (verbatim — dropping a
+    /// merely implied FD is refused as a no-op).
+    DropFd {
+        /// The dependency, in [`SchemaBuilder::fd`] syntax.
+        spec: String,
+    },
+}
+
+impl std::fmt::Display for Alter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Alter::AddRelation { name, columns } => {
+                write!(f, "add relation {name}({})", columns.join(", "))
+            }
+            Alter::DropRelation { name } => write!(f, "drop relation {name}"),
+            Alter::AddFd { spec } => write!(f, "add fd {spec}"),
+            Alter::DropFd { spec } => write!(f, "drop fd {spec}"),
+        }
+    }
+}
+
 /// A validated schema handle: the declared relations and dependencies,
 /// with the independence analysis already run — **exactly once**, at
 /// build time.  Every engine opened from this handle reuses the stored
@@ -257,6 +311,99 @@ impl Schema {
     /// independence analysis.
     pub fn from_manifest(manifest: &ids_wal::Manifest) -> Result<Schema, Error> {
         Self::from_recovered(manifest.schema.clone(), manifest.fds.clone(), &manifest.app)
+    }
+
+    /// Builds the **target** schema handle for one [`Alter`] operation —
+    /// the pure, engine-independent half of a transition.  The
+    /// independence verdict is recomputed *incrementally*
+    /// ([`ids_evolve::incremental_analyze`]): per-scheme Loop runs whose
+    /// footprint the transition does not touch are reused from this
+    /// handle's analysis.  A dependent target is refused here, before
+    /// any engine state moves, as [`Error::NotIndependent`] with the
+    /// `LSAT ∖ WSAT` witness.
+    ///
+    /// Returns the new handle and the reuse statistics.  `self` is
+    /// untouched — on any error the current schema keeps serving.
+    pub fn evolved(&self, op: &Alter) -> Result<(Schema, ids_evolve::ReuseStats), Error> {
+        let (definition, fds, layouts, ordered_indexes) = match op {
+            Alter::AddRelation { name, columns } => {
+                let def = ids_evolve::add_relation(&self.definition, name, columns)?;
+                let mut layouts = self.layouts.clone();
+                let id = def.scheme_by_name(name).expect("just added");
+                let attrs = def.attrs(id);
+                layouts.push(RelationLayout {
+                    columns: columns.clone(),
+                    perm: columns
+                        .iter()
+                        .map(|c| attrs.rank(def.universe().attr(c).expect("just added")))
+                        .collect(),
+                });
+                (def, self.fds.clone(), layouts, self.ordered_indexes.clone())
+            }
+            Alter::DropRelation { name } => {
+                let dropped = self
+                    .by_name
+                    .get(name.as_str())
+                    .copied()
+                    .ok_or_else(|| Error::UnknownRelation(name.clone()))?;
+                let def = ids_evolve::drop_relation(&self.definition, name)?;
+                let mut layouts = self.layouts.clone();
+                layouts.remove(dropped.index());
+                // Indexes on the dropped relation go with it; later
+                // schemes renumber down by one (attribute ids are
+                // untouched — the universe is append-only).
+                let ordered_indexes = self
+                    .ordered_indexes
+                    .iter()
+                    .filter(|(id, _)| *id != dropped)
+                    .map(|&(id, attr)| {
+                        if id.index() > dropped.index() {
+                            (SchemeId::from_index(id.index() - 1), attr)
+                        } else {
+                            (id, attr)
+                        }
+                    })
+                    .collect();
+                (def, self.fds.clone(), layouts, ordered_indexes)
+            }
+            Alter::AddFd { spec } => {
+                let fd = parse_fd_spec(&self.definition, spec)?;
+                let fds = ids_evolve::add_fd(&self.fds, fd, self.definition.universe())?;
+                (
+                    self.definition.clone(),
+                    fds,
+                    self.layouts.clone(),
+                    self.ordered_indexes.clone(),
+                )
+            }
+            Alter::DropFd { spec } => {
+                let fd = parse_fd_spec(&self.definition, spec)?;
+                let fds = ids_evolve::drop_fd(&self.fds, fd, self.definition.universe())?;
+                (
+                    self.definition.clone(),
+                    fds,
+                    self.layouts.clone(),
+                    self.ordered_indexes.clone(),
+                )
+            }
+        };
+        let (analysis, stats) =
+            ids_evolve::check_transition(&self.definition, &self.analysis, &definition, &fds)?;
+        let by_name = definition
+            .iter()
+            .map(|(id, s)| (s.name.clone(), id))
+            .collect();
+        Ok((
+            Schema {
+                definition,
+                fds,
+                analysis,
+                layouts,
+                ordered_indexes,
+                by_name,
+            },
+            stats,
+        ))
     }
 }
 

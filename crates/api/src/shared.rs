@@ -22,7 +22,7 @@
 //! (plus, on a durable database, the name-log append for a never-seen
 //! string — the fsync that must precede any tuple referencing it).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 use ids_core::InsertOutcome;
 use ids_relational::{DatabaseState, ValuePool};
@@ -33,7 +33,7 @@ use crate::database::{plan_join, plan_query, render_join_rows, render_rows, reso
 use crate::error::Error;
 use crate::planner::execute_join;
 use crate::query::{Cond, Rows};
-use crate::schema::Schema;
+use crate::schema::{Alter, Schema};
 
 /// The name state guarded by one mutex: the interning pool and, on a
 /// durable database, the log that makes it crash-safe.
@@ -82,9 +82,19 @@ struct Names {
 /// / [`SharedDatabase::query`] are barrier-free per-relation reads,
 /// [`SharedDatabase::snapshot`] is the one cross-relation barrier.
 pub struct SharedDatabase {
-    schema: Schema,
+    /// The current schema handle, swapped atomically by
+    /// [`SharedDatabase::alter`].  Readers clone the `Arc` (one brief
+    /// read lock) and plan against that consistent view; an operation
+    /// racing an alter runs against whichever schema it captured —
+    /// exactly the semantics of it having been submitted before or
+    /// after the transition.
+    schema: RwLock<Arc<Schema>>,
     store: Store,
     names: Mutex<Names>,
+    /// Serializes [`SharedDatabase::alter`] callers end to end (build
+    /// target → backfill → switch), so two concurrent alters cannot
+    /// both derive their target from the same stale schema.
+    alter_lock: Mutex<()>,
 }
 
 impl SharedDatabase {
@@ -97,15 +107,42 @@ impl SharedDatabase {
         log: Option<NameLog>,
     ) -> Self {
         SharedDatabase {
-            schema,
+            schema: RwLock::new(Arc::new(schema)),
             store,
             names: Mutex::new(Names { pool, log }),
+            alter_lock: Mutex::new(()),
         }
     }
 
-    /// The schema handle the database serves.
-    pub fn schema(&self) -> &Schema {
-        &self.schema
+    /// The schema handle the database **currently** serves.  Cheap (one
+    /// read lock, one `Arc` clone); the returned handle is a consistent
+    /// view that stays valid — and stale — across any concurrent
+    /// [`SharedDatabase::alter`].
+    pub fn schema(&self) -> Arc<Schema> {
+        self.schema
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Applies one `ALTER`-class schema transition to the running
+    /// database — the `&self` counterpart of [`crate::Database::alter`]
+    /// (same validation ladder, same typed refusals, same guarantee
+    /// that on any error the current schema keeps serving).  Concurrent
+    /// traffic on unaffected relations keeps flowing throughout;
+    /// concurrent `alter` calls serialize.
+    pub fn alter(&self, op: &Alter) -> Result<u64, Error> {
+        let _serialized = self.alter_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.schema();
+        let (next, _stats) = current.evolved(op)?;
+        let generation = self.store.apply_transition(
+            &next.definition,
+            &next.fds,
+            &next.analysis,
+            next.encode_layouts(),
+        )?;
+        *self.schema.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        Ok(generation)
     }
 
     /// The underlying concurrent [`Store`] — for typed-level callers
@@ -119,6 +156,20 @@ impl SharedDatabase {
     /// read-side: no shard round trip, works even after a poison.
     pub fn metrics(&self) -> ids_obs::MetricsSnapshot {
         self.store.metrics()
+    }
+
+    /// Renders interned tuples back through the live value pool — e.g.
+    /// the violating-pair witness of a refused [`SharedDatabase::alter`]
+    /// backfill, so a front-end can ship the evidence as strings.
+    pub fn render_tuples(&self, tuples: &[ids_relational::Tuple]) -> Vec<String> {
+        let names = self.names();
+        tuples
+            .iter()
+            .map(|t| {
+                let vals: Vec<String> = t.iter().map(|&v| names.pool.render(v)).collect();
+                format!("({})", vals.join(", "))
+            })
+            .collect()
     }
 
     /// Locks the name state; a poisoned mutex means a panic mid-intern
@@ -138,10 +189,11 @@ impl SharedDatabase {
         relation: &str,
         values: impl IntoIterator<Item = S>,
     ) -> Result<InsertOutcome, Error> {
+        let schema = self.schema();
         let (id, tuple) = {
             let names = &mut *self.names();
             resolve_row(
-                &self.schema,
+                &schema,
                 &mut names.pool,
                 &mut names.log,
                 relation,
@@ -161,10 +213,11 @@ impl SharedDatabase {
         relation: &str,
         values: impl IntoIterator<Item = S>,
     ) -> Result<bool, Error> {
+        let schema = self.schema();
         let resolved = {
             let names = &mut *self.names();
             resolve_row(
-                &self.schema,
+                &schema,
                 &mut names.pool,
                 &mut names.log,
                 relation,
@@ -189,18 +242,14 @@ impl SharedDatabase {
         filters: &[(String, Cond)],
         select: Option<Vec<String>>,
     ) -> Result<Rows, Error> {
-        let plan = plan_query(&self.schema, &self.names().pool, relation, filters, select)?;
+        let schema = self.schema();
+        let plan = plan_query(&schema, &self.names().pool, relation, filters, select)?;
         let tuples = if plan.satisfiable {
             self.store.query(plan.id, &plan.predicate)?
         } else {
             Vec::new()
         };
-        Ok(render_rows(
-            &self.schema,
-            &self.names().pool,
-            &plan,
-            &tuples,
-        ))
+        Ok(render_rows(&schema, &self.names().pool, &plan, &tuples))
     }
 
     /// Natural join over named relations — the `&self` counterpart of
@@ -216,10 +265,11 @@ impl SharedDatabase {
             .into_iter()
             .map(|s| s.as_ref().to_string())
             .collect();
-        let plan = plan_join(&self.schema, &self.names().pool, &relations, &[])?;
+        let schema = self.schema();
+        let plan = plan_join(&schema, &self.names().pool, &relations, &[])?;
         let (joined, _report) = execute_join(&self.store, &plan.ids, &plan.attrs, &plan.preds)?;
         Ok(render_join_rows(
-            &self.schema,
+            &schema,
             &self.names().pool,
             &plan.ids,
             &joined,
@@ -235,7 +285,7 @@ impl SharedDatabase {
     /// Number of rows currently in a relation (barrier-free; no lock,
     /// no tuples shipped).
     pub fn count(&self, relation: &str) -> Result<usize, Error> {
-        let id = self.schema.scheme_id(relation)?;
+        let id = self.schema().scheme_id(relation)?;
         self.store.count(id).map_err(Into::into)
     }
 

@@ -6,12 +6,14 @@
 //! recovery kernel ([`durability`]), the E10 query-pushdown kernel
 //! ([`queries`]), the E11 network front-end kernel ([`net`]), the E12
 //! observability-overhead + conservation kernel ([`obs`]), the E13
-//! read-replica scaling kernel ([`replica`]) and the E14 planned-join
-//! kernel ([`joins`]).
+//! read-replica scaling kernel ([`replica`]), the E14 planned-join
+//! kernel ([`joins`]) and the E15 online-schema-evolution kernel
+//! ([`evolve`]).
 
 #![warn(missing_docs)]
 
 pub mod durability;
+pub mod evolve;
 pub mod joins;
 pub mod json;
 pub mod net;

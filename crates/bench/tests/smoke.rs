@@ -20,7 +20,7 @@ fn experiments_smoke_covers_all_sections() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6a", "E6b", "E7", "E8", "E9", "E10",
-        "E11a", "E11b", "E12a", "E12b", "E13", "E14",
+        "E11a", "E11b", "E12a", "E12b", "E13", "E14", "E15",
     ] {
         assert!(
             stdout.contains(&format!("{section} —")),
@@ -205,6 +205,43 @@ fn planned_join_smoke_ships_fewer_tuples_than_the_fold() {
     }
 }
 
+/// The E15 kernel (shared with `experiments e15`) must run end to end
+/// at smoke sizes.  The ≥0.8x throughput ratio belongs to the
+/// full-size experiment (wall-clock ratios at smoke sizes are
+/// scheduler-noise-prone); here the structural invariants are
+/// asserted: both phases landed every hot write, the churn phase
+/// completed whole transition cycles with real backfills, and the
+/// generation advanced — all while the hot relation kept serving
+/// (asserted inside the kernel).
+#[test]
+fn evolve_smoke_churns_transitions_under_load() {
+    let report = ids_bench::evolve::sweep(true);
+    for row in [&report.baseline, &report.churn] {
+        assert!(row.writes > 0, "the hot write stream must run");
+        assert!(row.writes_per_sec > 0.0);
+    }
+    assert_eq!(report.baseline.alters, 0, "the control phase never alters");
+    assert!(
+        report.churn.alters >= 4,
+        "churn must complete at least one full add/drop cycle"
+    );
+    assert_eq!(
+        report.churn.alters % 4,
+        0,
+        "churn leaves the schema where it started"
+    );
+    assert!(
+        report.churn.backfills >= 1,
+        "every add-FD pays a real backfill"
+    );
+    assert!(report.churn.backfill_tuples > 0);
+    assert!(
+        report.churn.final_generation > 1,
+        "accepted transitions advance the WAL generation"
+    );
+    assert!(report.ratio > 0.0);
+}
+
 /// `--json` must land one well-formed `BENCH_<section>.json` per
 /// section, in the invocation directory.
 #[test]
@@ -224,7 +261,7 @@ fn experiments_json_mode_writes_bench_files() {
     );
     for section in [
         "X1", "X2", "X3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-        "E12", "E13", "E14",
+        "E12", "E13", "E14", "E15",
     ] {
         let path = dir.join(format!("BENCH_{section}.json"));
         let body = std::fs::read_to_string(&path)

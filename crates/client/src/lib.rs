@@ -28,8 +28,8 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use ids_server::wire::{
-    decode_reply, encode_request, FrameError, FrameReader, Reply, Request, WireError, WireOutcome,
-    WIRE_VERSION,
+    decode_reply, encode_request, AlterOp, FrameError, FrameReader, Reply, Request, WireError,
+    WireOutcome, WIRE_VERSION,
 };
 
 /// Everything that can go wrong on the client side of the wire.
@@ -328,6 +328,34 @@ impl Client {
         }
     }
 
+    /// Applies one `ALTER`-class schema transition to the running
+    /// server — add/drop a relation or a functional dependency — and
+    /// returns the WAL generation the transition committed at.
+    ///
+    /// The server re-decides independence incrementally before touching
+    /// anything: a dependent target schema, or a new FD the existing
+    /// data violates, is refused with the typed
+    /// [`WireError::AlterRejected`] (under [`ClientError::Server`])
+    /// carrying the machine-checkable witness, and the current schema
+    /// keeps serving.  On success the handshake catalog held by *this*
+    /// client is refreshed via a re-Hello, so [`Client::catalog`] stays
+    /// truthful.
+    pub fn alter(&mut self, op: AlterOp) -> Result<u64, ClientError> {
+        let generation = match self.call(Request::Alter { op })? {
+            Reply::Altered { generation } => generation,
+            other => return Self::protocol_err(other, "Altered"),
+        };
+        // A repeated Hello is answered idempotently with the current
+        // catalog — the cheapest way to keep `catalog()` in sync.
+        match self.call(Request::Hello {
+            version: WIRE_VERSION,
+        })? {
+            Reply::Hello { relations, .. } => self.catalog = relations,
+            other => return Self::protocol_err(other, "Hello"),
+        }
+        Ok(generation)
+    }
+
     /// Turns this connection into a **replication stream**: from here on
     /// the server ships [`FrameBatch`]es of verbatim log-frame payloads
     /// and nothing else, so the `Client` is consumed.
@@ -384,6 +412,18 @@ pub enum StreamEvent {
         /// Request id returned by the [`Subscription::ping`] call.
         id: u64,
     },
+    /// A schema transition committed on the primary: the generation
+    /// manifest, shipped verbatim.  Guaranteed to arrive **before** any
+    /// `Frames` of a generation ≥ its own, so a follower that applies
+    /// it on receipt interprets every subsequent frame under the schema
+    /// it was written against.
+    Manifest {
+        /// The WAL generation the transition committed at.
+        generation: u64,
+        /// The manifest's on-disk payload bytes (decode with
+        /// `ids_wal::Manifest::decode`).
+        payload: Vec<u8>,
+    },
 }
 
 /// The receiving end of a replication stream — see [`Client::subscribe`].
@@ -415,6 +455,16 @@ impl Subscription {
                 tip,
                 frames,
             })),
+            (
+                id,
+                Reply::Manifest {
+                    generation,
+                    payload,
+                },
+            ) if id == self.id => Ok(StreamEvent::Manifest {
+                generation,
+                payload,
+            }),
             (id, Reply::Pong) => Ok(StreamEvent::Pong { id }),
             (_, Reply::Error(e)) => Err(ClientError::Server(e)),
             (_, other) => Client::protocol_err(other, "Frames or Pong"),
@@ -423,7 +473,10 @@ impl Subscription {
 
     /// Blocks until the next [`FrameBatch`] arrives, discarding any
     /// barrier answers on the way (use [`Subscription::next_event`] to
-    /// see both).
+    /// see both).  **Caution:** this also discards
+    /// [`StreamEvent::Manifest`] transitions — a follower of a primary
+    /// that may alter its schema must consume via
+    /// [`Subscription::next_event`] and apply manifests in order.
     pub fn next_frames(&mut self) -> Result<FrameBatch, ClientError> {
         loop {
             if let StreamEvent::Frames(batch) = self.next_event()? {

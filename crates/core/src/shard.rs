@@ -178,6 +178,33 @@ impl RelationShard {
         self.ordered.iter().map(|ix| ix.attr)
     }
 
+    /// Re-aims the shard at scheme `id` of a *new* schema handle without
+    /// touching a single index entry — the O(1) half of an online schema
+    /// transition.  Sound only when the target scheme has exactly the
+    /// attributes this shard was built over: every precomputed column
+    /// position is an attribute *rank* within the scheme, so identical
+    /// attribute sets mean identical ranks.  A transition that changes a
+    /// relation's columns is a drop + add, never a retarget.
+    pub fn retarget(
+        &mut self,
+        schema: &DatabaseSchema,
+        id: SchemeId,
+    ) -> Result<(), MaintenanceError> {
+        let attrs = schema
+            .get_scheme(id)
+            .ok_or(MaintenanceError::UnknownScheme(id))?
+            .attrs;
+        if attrs != self.schema.attrs(self.id) {
+            return Err(RelationalError::SchemaMismatch(
+                "retarget across different attribute sets",
+            )
+            .into());
+        }
+        self.schema = schema.clone();
+        self.id = id;
+        Ok(())
+    }
+
     /// Records a tuple in every FD index, returning the violated FD when
     /// its projections contradict an already-indexed image.
     fn index_tuple(&mut self, tuple: &[Value]) -> Option<Fd> {

@@ -353,6 +353,31 @@ pub enum Event {
         /// Records applied since the previous caught-up transition.
         records: u64,
     },
+    /// An accepted schema transition was made durable and applied: the
+    /// database now serves `generation`'s schema.
+    SchemaAltered {
+        /// The generation the new schema is effective from.
+        generation: u64,
+        /// Relations in the new schema.
+        relations: u64,
+    },
+    /// A schema transition was refused — dependent target schema, FD
+    /// the data violates, or a malformed request — and the current
+    /// schema keeps serving.
+    AlterRejected {
+        /// Rendered reason of the refusal.
+        reason: String,
+    },
+    /// An `add_fd` transition finished re-validating (backfilling) an
+    /// existing relation under its strengthened cover.
+    BackfillCompleted {
+        /// Index of the re-validated relation.
+        relation: u64,
+        /// Tuples re-checked.
+        tuples: u64,
+        /// Wall-clock duration of the re-validation.
+        duration: Duration,
+    },
 }
 
 impl std::fmt::Display for Event {
@@ -399,6 +424,24 @@ impl std::fmt::Display for Event {
             Self::ReplicaCaughtUp { records } => {
                 write!(f, "replica caught up ({records} records applied)")
             }
+            Self::SchemaAltered {
+                generation,
+                relations,
+            } => write!(
+                f,
+                "schema altered (generation {generation}, {relations} relations)"
+            ),
+            Self::AlterRejected { reason } => {
+                write!(f, "schema alter rejected: {reason}")
+            }
+            Self::BackfillCompleted {
+                relation,
+                tuples,
+                duration,
+            } => write!(
+                f,
+                "backfill of relation {relation} completed ({tuples} tuples, {duration:?})"
+            ),
         }
     }
 }

@@ -12,8 +12,11 @@ use ids_client::{Client, StreamEvent, Subscription};
 use ids_core::{InsertOutcome, RelationShard};
 use ids_obs::{Counter, Event, Gauge, MetricsSnapshot, Registry};
 use ids_relational::codec::Decoder;
+use ids_relational::Relation;
 use ids_server::wire::POOL_STREAM;
-use ids_wal::{Cursor, NameTailer, RelationPoll, RelationTailer, WalDir, WalOp, WalRecord};
+use ids_wal::{
+    Cursor, Manifest, NameTailer, RelationPoll, RelationTailer, WalDir, WalOp, WalRecord,
+};
 
 use crate::engine::{ReplicaEngine, ReplicaState, SharedState};
 use crate::ReplicaError;
@@ -32,20 +35,32 @@ enum Shipment {
     Names { names: Vec<String>, tip: u64 },
     /// New records of one relation's log, from one segment generation;
     /// `tip` is the primary's last durable sequence for the relation.
+    /// `relation` is the scheme index **under the manifest governing
+    /// `gen`** — the replica maps it to its current schema through the
+    /// era chain.
     Records {
         relation: u16,
         gen: u64,
         tip: u64,
         records: Vec<WalRecord>,
     },
+    /// A schema transition the primary committed: the generation
+    /// manifest, guaranteed by both transports to arrive before any
+    /// records of a generation ≥ its own.
+    Manifest { gen: u64, manifest: Manifest },
 }
 
 /// How the replica receives the primary's log.
 enum Transport {
     /// Shared directory: poll the segment files read-only.
     File {
+        dir: WalDir,
+        fingerprint: u32,
         tailers: Vec<RelationTailer>,
         names: NameTailer,
+        /// Highest generation-manifest generation already surfaced as a
+        /// [`Shipment::Manifest`]; anything newer on disk ships first.
+        manifest_gen: u64,
     },
     /// TCP subscription: the server tails its own files and ships the
     /// frame payloads verbatim.  `barrier` is the request id of the
@@ -77,9 +92,31 @@ impl Transport {
     /// barrier).
     fn poll(&mut self) -> Result<(Vec<Shipment>, bool), ReplicaError> {
         match self {
-            Transport::File { tailers, names } => {
+            Transport::File {
+                dir,
+                tailers,
+                names,
+                manifest_gen,
+                ..
+            } => {
+                // Transitions first, and *alone*: a new manifest remaps
+                // relation indexes, so the records of this round must
+                // wait until the replica has applied it (and retargeted
+                // these tailers) — they ship on the next poll.  The
+                // tailers' own manifest-boundary guard means records
+                // polled before the manifest was noticed could only be
+                // pre-transition anyway.
+                let fresh = dir.generation_manifests_after(*manifest_gen)?;
+                if !fresh.is_empty() {
+                    *manifest_gen = fresh.last().map(|(g, ..)| *g).expect("non-empty");
+                    let out = fresh
+                        .into_iter()
+                        .map(|(gen, manifest, _)| Shipment::Manifest { gen, manifest })
+                        .collect();
+                    return Ok((out, false));
+                }
                 let mut out = Vec::new();
-                // Names first — the primary fsyncs a name before any
+                // Names next — the primary fsyncs a name before any
                 // record referencing it, and applying in the same
                 // order keeps the deferred-record buffer small.
                 let tailed = names.poll()?;
@@ -92,27 +129,30 @@ impl Transport {
                 for tailer in tailers.iter_mut() {
                     match tailer.poll()? {
                         RelationPoll::Records(recs) if !recs.is_empty() => {
-                            let relation = tailer.scheme();
                             let tip = tailer.cursor().seq;
-                            // A poll can cross a checkpoint rotation:
-                            // split per generation so cursors stay
-                            // exact.
+                            // A poll can cross a checkpoint rotation or
+                            // a transition boundary: split per
+                            // generation (labeling each batch with its
+                            // records' own scheme index) so cursors —
+                            // and era mapping — stay exact.
                             let mut batch = Vec::new();
                             let mut gen = recs[0].gen;
+                            let mut scheme = recs[0].scheme;
                             for rec in recs {
-                                if rec.gen != gen {
+                                if rec.gen != gen || rec.scheme != scheme {
                                     out.push(Shipment::Records {
-                                        relation,
+                                        relation: scheme,
                                         gen,
                                         tip,
                                         records: std::mem::take(&mut batch),
                                     });
                                     gen = rec.gen;
+                                    scheme = rec.scheme;
                                 }
                                 batch.push(rec.record);
                             }
                             out.push(Shipment::Records {
-                                relation,
+                                relation: scheme,
                                 gen,
                                 tip,
                                 records: batch,
@@ -142,6 +182,22 @@ impl Transport {
                             *barrier = None;
                         }
                         return Ok((Vec::new(), acked));
+                    }
+                    StreamEvent::Manifest {
+                        generation,
+                        payload,
+                    } => {
+                        // The server ships the manifest verbatim and
+                        // before any frames of its generation; decode
+                        // and surface it in the same order.
+                        let manifest = Manifest::decode(Path::new("<wire>"), &payload)?;
+                        return Ok((
+                            vec![Shipment::Manifest {
+                                gen: generation,
+                                manifest,
+                            }],
+                            false,
+                        ));
                     }
                     StreamEvent::Frames(batch) => batch,
                 };
@@ -216,6 +272,9 @@ struct Bootstrap {
     cursors: Vec<Cursor>,
     names_applied: u64,
     fingerprint: u32,
+    /// The manifest chain as known at bootstrap: `(first governed
+    /// generation, relation names in scheme order)` per era.
+    eras: Vec<(u64, Vec<String>)>,
 }
 
 /// A read replica following one durable primary — see the crate docs
@@ -244,6 +303,12 @@ pub struct Replica {
     /// not arrived.  Per relation, in log order — the "in-flight" term
     /// of the conservation law `shipped == applied + pending`.
     pending: Vec<VecDeque<(u64, WalRecord)>>,
+    /// The schema-era chain: `(first governed generation, relation
+    /// names in that era's scheme order)`.  Shipped records are labeled
+    /// with their own era's scheme index; this chain maps `(index,
+    /// generation)` → name → index under the **current** (last) era.
+    /// Grows by one entry per applied [`Shipment::Manifest`].
+    eras: Vec<(u64, Vec<String>)>,
     registry: Registry,
     shipped_counters: Vec<Arc<Counter>>,
     applied_counters: Vec<Arc<Counter>>,
@@ -274,9 +339,17 @@ impl Replica {
             .map(|(i, &cursor)| RelationTailer::new(root, boot.fingerprint, i as u16, cursor))
             .collect();
         let names = NameTailer::new(&dir.pool_log_path(), boot.fingerprint, boot.names_applied);
+        let manifest_gen = boot.eras.last().map(|(g, _)| *g).unwrap_or(0);
+        let fingerprint = boot.fingerprint;
         Ok(Replica::assemble(
             boot,
-            Transport::File { tailers, names },
+            Transport::File {
+                dir,
+                fingerprint,
+                tailers,
+                names,
+                manifest_gen,
+            },
             registry,
         ))
     }
@@ -334,6 +407,7 @@ impl Replica {
             names_tip: boot.names_applied,
             pending: vec![VecDeque::new(); n],
             cursors: boot.cursors,
+            eras: boot.eras,
             registry,
             shipped_counters,
             applied_counters,
@@ -387,20 +461,23 @@ impl Replica {
                     // New names may unblock deferred records.
                     applied += self.drain_pending()?;
                 }
+                Shipment::Manifest { gen, manifest } => {
+                    self.apply_manifest(gen, &manifest)?;
+                }
                 Shipment::Records {
                     relation,
                     gen,
                     tip,
                     records,
                 } => {
-                    let i = relation as usize;
-                    if i >= self.cursors.len() {
-                        return Err(ReplicaError::Diverged {
-                            relation,
-                            seq: 0,
-                            detail: "shipped records for a relation outside the schema".into(),
-                        });
-                    }
+                    // Map the record label — the scheme index under the
+                    // manifest governing `gen` — to the current schema.
+                    // `None` means the relation was since dropped:
+                    // stragglers of an old era with nothing under the
+                    // current schema to apply them to.
+                    let Some(i) = self.resolve_relation(relation, gen)? else {
+                        continue;
+                    };
                     self.tips[i] = self.tips[i].max(tip);
                     self.tip_gens[i] = self.tip_gens[i].max(gen);
                     self.shipped_counters[i].add(records.len() as u64);
@@ -409,7 +486,7 @@ impl Replica {
                             self.pending[i].push_back((gen, record));
                             self.pending_gauges[i].inc();
                         } else {
-                            self.apply(relation, gen, record)?;
+                            self.apply(i as u16, gen, record)?;
                             applied += 1;
                         }
                     }
@@ -493,6 +570,204 @@ impl Replica {
     /// log (with its [`Event::ReplicaCaughtUp`] transitions).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// Maps a shipped record label `(scheme index, generation)` —
+    /// scheme indexes are per-manifest — to the relation's index under
+    /// the schema currently applied.  `Ok(None)` means the relation was
+    /// since dropped; an index outside its own era's schema is
+    /// divergence.
+    fn resolve_relation(&self, relation: u16, gen: u64) -> Result<Option<usize>, ReplicaError> {
+        let (_, era_names) = self
+            .eras
+            .iter()
+            .rev()
+            .find(|(g, _)| *g <= gen)
+            .or_else(|| self.eras.first())
+            .expect("era chain always holds the base manifest");
+        let Some(name) = era_names.get(relation as usize) else {
+            return Err(ReplicaError::Diverged {
+                relation,
+                seq: 0,
+                detail: "shipped records for a relation outside the schema of their era".into(),
+            });
+        };
+        let (_, current) = self.eras.last().expect("era chain never empty");
+        Ok(current.iter().position(|n| n == name))
+    }
+
+    /// Applies one schema transition: rebuilds the replica's state,
+    /// engine, and per-relation bookkeeping under the new manifest's
+    /// schema, remapping by relation name — the mirror of the primary's
+    /// [`ids_store::Store::apply_transition`], driven by the shipped
+    /// manifest instead of a live `alter` call.
+    ///
+    /// Survivor relations keep their tuples (re-sharded under the new
+    /// enforcement cover — a shipped transition was accepted on the
+    /// primary, so a cover its data violates is
+    /// [`ReplicaError::Diverged`]); dropped relations are released;
+    /// added relations start empty, with cursors at `(gen, 0)`.
+    fn apply_manifest(&mut self, gen: u64, manifest: &Manifest) -> Result<(), ReplicaError> {
+        let last = self.eras.last().map(|(g, _)| *g).unwrap_or(0);
+        if gen <= last {
+            // A re-shipped transition (reconnect replays): already applied.
+            return Ok(());
+        }
+        let schema = Schema::from_manifest(manifest)?;
+        let enforcement = match &schema.analysis().verdict {
+            ids_core::Verdict::Independent { enforcement } => enforcement.clone(),
+            ids_core::Verdict::NotIndependent { reason, witness } => {
+                // The primary only commits transitions to independent
+                // targets; a dependent shipped manifest is self-contradictory.
+                return Err(ApiError::NotIndependent {
+                    reason: reason.clone(),
+                    witness: Box::new(witness.clone()),
+                }
+                .into());
+            }
+        };
+        let definition = schema.definition().clone();
+        let old_names = self
+            .eras
+            .last()
+            .map(|(_, names)| names.clone())
+            .unwrap_or_default();
+        let new_names: Vec<String> = definition.iter().map(|(_, s)| s.name.clone()).collect();
+        // `new index j → old index` by name (and unchanged attributes —
+        // a same-name relation with different columns is a different
+        // incarnation and starts empty).
+        let remap: Vec<Option<usize>> = definition
+            .iter()
+            .map(|(jid, scheme)| {
+                old_names
+                    .iter()
+                    .position(|n| n == &scheme.name)
+                    .filter(|&i| {
+                        self.db
+                            .schema()
+                            .definition()
+                            .attrs(ids_relational::SchemeId::from_index(i))
+                            == definition.attrs(jid)
+                    })
+            })
+            .collect();
+        // Rebuild the applied state in place (readers keep their handle:
+        // the engine's `Arc` is the same allocation).
+        {
+            let mut state = self
+                .state
+                .lock()
+                .expect("replica state mutex poisoned: a reader panicked");
+            let mut old: Vec<Option<Relation>> = std::mem::take(&mut state.relations)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let mut relations = Vec::with_capacity(new_names.len());
+            let mut shards = Vec::with_capacity(new_names.len());
+            for (jid, scheme) in definition.iter() {
+                let rel = remap[jid.index()]
+                    .and_then(|i| old[i].take())
+                    .unwrap_or_else(|| Relation::new(scheme.attrs));
+                let shard = RelationShard::with_relation(
+                    &definition,
+                    jid,
+                    enforcement[jid.index()].clone(),
+                    &rel,
+                )
+                .map_err(|e| ReplicaError::Diverged {
+                    relation: jid.index() as u16,
+                    seq: 0,
+                    detail: format!("shipped transition does not re-shard cleanly: {e}"),
+                })?;
+                relations.push(rel);
+                shards.push(shard);
+            }
+            state.relations = relations;
+            state.shards = shards;
+        }
+        let engine = ReplicaEngine::new(definition.clone(), Arc::clone(&self.state));
+        self.db.adopt_engine(schema, Box::new(engine));
+        // Remap the per-relation bookkeeping by the same name map.
+        // Added relations: their log starts at the transition, cursor
+        // `(gen, 0)`.  Dropped relations' pending records are released —
+        // the transition supersedes them.
+        let n = new_names.len();
+        self.cursors = remap
+            .iter()
+            .map(|m| m.map(|i| self.cursors[i]).unwrap_or(Cursor { gen, seq: 0 }))
+            .collect();
+        self.tips = remap
+            .iter()
+            .map(|m| m.map(|i| self.tips[i]).unwrap_or(0))
+            .collect();
+        self.tip_gens = remap
+            .iter()
+            .map(|m| m.map(|i| self.tip_gens[i]).unwrap_or(gen))
+            .collect();
+        let mut old_pending: Vec<Option<VecDeque<(u64, WalRecord)>>> =
+            std::mem::take(&mut self.pending)
+                .into_iter()
+                .map(Some)
+                .collect();
+        self.pending = remap
+            .iter()
+            .map(|m| m.and_then(|i| old_pending[i].take()).unwrap_or_default())
+            .collect();
+        // Metric handles are positional (`replica.r{i}.*`): re-fetch for
+        // the new indexes.  A survivor that changed index continues in
+        // its new slot's family, so per-slot histories blend across a
+        // transition; the gauges are corrected to the true values below.
+        self.shipped_counters = (0..n)
+            .map(|i| self.registry.counter(&format!("replica.r{i}.shipped")))
+            .collect();
+        self.applied_counters = (0..n)
+            .map(|i| self.registry.counter(&format!("replica.r{i}.applied")))
+            .collect();
+        self.lag_gauges = (0..n)
+            .map(|i| self.registry.gauge(&format!("replica.r{i}.lag")))
+            .collect();
+        self.pending_gauges = (0..n)
+            .map(|i| self.registry.gauge(&format!("replica.r{i}.pending")))
+            .collect();
+        for (gauge, queue) in self.pending_gauges.iter().zip(&self.pending) {
+            gauge.add(queue.len() as i64 - gauge.get());
+        }
+        self.eras.push((gen, new_names.clone()));
+        // On the file transport, retarget the tailers: survivors follow
+        // their relation to its new scheme index, dropped relations'
+        // tailers fall away, added relations tail from `(gen, 0)`.
+        if let Transport::File {
+            dir,
+            fingerprint,
+            tailers,
+            ..
+        } = &mut self.transport
+        {
+            let mut old: Vec<Option<RelationTailer>> = tailers.drain(..).map(Some).collect();
+            for (j, name) in new_names.iter().enumerate() {
+                let prev = old_names
+                    .iter()
+                    .position(|n| n == name)
+                    .and_then(|i| old.get_mut(i).and_then(Option::take));
+                match prev {
+                    Some(mut t) => {
+                        t.retarget(gen, j as u16);
+                        tailers.push(t);
+                    }
+                    None => tailers.push(RelationTailer::new(
+                        dir.root(),
+                        *fingerprint,
+                        j as u16,
+                        Cursor { gen, seq: 0 },
+                    )),
+                }
+            }
+        }
+        self.registry.events().record(Event::SchemaAltered {
+            generation: gen,
+            relations: n as u64,
+        });
+        Ok(())
     }
 
     /// True when every value the record references is already interned.
@@ -594,7 +869,10 @@ impl Replica {
 fn bootstrap(root: &Path, registry: &Registry) -> Result<Bootstrap, ReplicaError> {
     let dir = WalDir::open(root)?;
     let recovered = dir.recover()?;
-    let schema = Schema::from_manifest(dir.manifest())?;
+    // The *latest* manifest is the schema the replica serves; older
+    // chain entries only direct the per-era replay below — each tail
+    // record replays under the schema its segment was written against.
+    let schema = Schema::from_manifest(dir.latest_manifest())?;
     let Some(enforcement) = schema.enforcement() else {
         // A durable primary can only exist over an independent schema,
         // so a manifest that fails the analysis is self-contradictory.
@@ -607,45 +885,102 @@ fn bootstrap(root: &Path, registry: &Registry) -> Result<Bootstrap, ReplicaError
         return Err(ApiError::NotIndependent { reason, witness }.into());
     };
     let definition = schema.definition();
-    let base = recovered.base.clone().into_relations();
-    let mut relations = Vec::with_capacity(definition.len());
-    let mut shards = Vec::with_capacity(definition.len());
-    for ((id, mut rel), records) in definition.ids().zip(base).zip(&recovered.tail) {
-        let fi = enforcement[id.index()].clone();
-        let mut shard = RelationShard::with_relation(definition, id, fi, &rel)
-            .map_err(|e| ReplicaError::Api(e.into()))?;
-        // The bootstrap replay lands in the same per-relation family
-        // the primary's recovery uses, so one dashboard query covers
-        // both sides of the ship.
-        registry
-            .counter(&format!("wal.r{}.recovered_records", id.index()))
-            .add(records.len() as u64);
-        for record in records {
-            let reapplied = match &record.op {
-                WalOp::Insert(t) => matches!(
-                    shard.insert(&mut rel, t.clone()),
-                    Ok(InsertOutcome::Accepted)
-                ),
-                WalOp::Remove(t) => matches!(shard.remove(&mut rel, t), Ok(true)),
-            };
-            if !reapplied {
-                return Err(ReplicaError::Diverged {
-                    relation: id.index() as u16,
-                    seq: record.seq,
-                    detail: "logged record did not replay cleanly at bootstrap".into(),
-                });
-            }
-        }
-        relations.push(rel);
-        shards.push(shard);
-    }
-    let cursors = recovered
+    let chain = dir.manifests();
+    let last_era = chain.len() - 1;
+    let mut era_enf: Vec<Option<Vec<_>>> = vec![None; chain.len()];
+    let cursors: Vec<Cursor> = recovered
         .last_seqs()
         .into_iter()
         .map(|seq| Cursor {
             gen: recovered.next_gen.saturating_sub(1),
             seq,
         })
+        .collect();
+    let base = recovered.base.into_relations();
+    let mut relations = Vec::with_capacity(definition.len());
+    let mut shards = Vec::with_capacity(definition.len());
+    for ((id, mut rel), records) in definition.ids().zip(base).zip(recovered.tail) {
+        let name = definition.scheme(id).name.clone();
+        // The bootstrap replay lands in the same per-relation family
+        // the primary's recovery uses, so one dashboard query covers
+        // both sides of the ship.
+        registry
+            .counter(&format!("wal.r{}.recovered_records", id.index()))
+            .add(records.len() as u64);
+        // Records are era-tagged: each run replays through a shard
+        // enforcing the cover of the manifest its segment was written
+        // under — exactly the primary's own recovery.
+        let mut cur: Option<(usize, RelationShard)> = None;
+        for (era, record) in records {
+            if cur.as_ref().map(|(e, _)| *e) != Some(era) {
+                let shard = if era == last_era {
+                    RelationShard::with_relation(
+                        definition,
+                        id,
+                        enforcement[id.index()].clone(),
+                        &rel,
+                    )
+                } else {
+                    let m = &chain[era].1;
+                    let eid = m.schema.scheme_by_name(&name).ok_or_else(|| {
+                        ids_wal::WalError::Corrupt {
+                            path: root.to_path_buf(),
+                            detail: format!(
+                                "records of {name:?} map to a generation whose schema lacks it"
+                            ),
+                        }
+                    })?;
+                    if era_enf[era].is_none() {
+                        let analysis = ids_core::analyze(&m.schema, &m.fds);
+                        let enf = match analysis.verdict {
+                            ids_core::Verdict::Independent { enforcement } => enforcement,
+                            ids_core::Verdict::NotIndependent { reason, witness } => {
+                                return Err(ApiError::NotIndependent {
+                                    reason,
+                                    witness: Box::new(witness),
+                                }
+                                .into())
+                            }
+                        };
+                        era_enf[era] = Some(enf);
+                    }
+                    let cover = era_enf[era].as_ref().expect("just filled")[eid.index()].clone();
+                    RelationShard::with_relation(&m.schema, eid, cover, &rel)
+                }
+                .map_err(|e| ReplicaError::Api(e.into()))?;
+                cur = Some((era, shard));
+            }
+            let (_, shard) = cur.as_mut().expect("just installed");
+            let seq = record.seq;
+            let reapplied = match record.op {
+                WalOp::Insert(t) => {
+                    matches!(shard.insert(&mut rel, t), Ok(InsertOutcome::Accepted))
+                }
+                WalOp::Remove(t) => matches!(shard.remove(&mut rel, &t), Ok(true)),
+            };
+            if !reapplied {
+                return Err(ReplicaError::Diverged {
+                    relation: id.index() as u16,
+                    seq,
+                    detail: "logged record did not replay cleanly at bootstrap".into(),
+                });
+            }
+        }
+        // The live shard enforces under the final schema; reuse the
+        // last era's when it already is that.
+        let shard = match cur {
+            Some((era, shard)) if era == last_era => shard,
+            _ => {
+                RelationShard::with_relation(definition, id, enforcement[id.index()].clone(), &rel)
+                    .map_err(|e| ReplicaError::Api(e.into()))?
+            }
+        };
+        relations.push(rel);
+        shards.push(shard);
+    }
+    let eras: Vec<(u64, Vec<String>)> = chain
+        .iter()
+        .map(|(g, m)| (*g, m.schema.iter().map(|(_, s)| s.name.clone()).collect()))
         .collect();
     let state: SharedState = Arc::new(Mutex::new(ReplicaState { relations, shards }));
     let engine = ReplicaEngine::new(definition.clone(), Arc::clone(&state));
@@ -666,5 +1001,6 @@ fn bootstrap(root: &Path, registry: &Registry) -> Result<Bootstrap, ReplicaError
         cursors,
         names_applied,
         fingerprint: dir.fingerprint(),
+        eras,
     })
 }

@@ -1,0 +1,208 @@
+//! Schema transitions crossing the replication boundary: a follower —
+//! file-tail or wire-stream — must apply a streamed `ALTER` and keep
+//! converging, including when its seed predates the transition
+//! entirely.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ids_api::{Alter, Database, Schema};
+use ids_replica::Replica;
+use ids_server::Server;
+use ids_store::DurableConfig;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("ids-replica-evolve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn schema() -> Schema {
+    Schema::builder()
+        .relation("CT", ["course", "teacher"])
+        .relation("CS", ["course", "student"])
+        .fd("course -> teacher")
+        .build()
+        .unwrap()
+}
+
+fn add_sr() -> Alter {
+    Alter::AddRelation {
+        name: "SR".into(),
+        columns: vec!["student".into(), "room".into()],
+    }
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}
+
+fn sorted(mut rows: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    rows.sort();
+    rows
+}
+
+/// Every relation of the primary's *current* schema renders the same
+/// rows on the follower.
+fn assert_converged(names: &[&str], rows_of: impl Fn(&str) -> Vec<Vec<String>>, replica: &Replica) {
+    for relation in names {
+        assert_eq!(
+            sorted(rows_of(relation)),
+            sorted(replica.database().rows(relation).unwrap()),
+            "relation {relation} diverged"
+        );
+    }
+}
+
+/// A file-tail follower sees the generation manifest appear on disk,
+/// applies the transition in place, and keeps tailing both surviving
+/// and brand-new relations — across two transitions.
+#[test]
+fn file_follower_applies_transitions_from_a_live_primary() {
+    let root = tmp_dir("file-alter");
+    let mut db = Database::open_at(&root, schema(), DurableConfig::default()).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
+    db.insert("CS", ["CS402", "Riley"]).unwrap();
+
+    let mut replica = Replica::open(&root).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    // Transition 1: a new relation.  Writes to old and new relations
+    // after it must all arrive.
+    db.alter(&add_sr()).unwrap();
+    db.insert("SR", ["Riley", "R128"]).unwrap();
+    db.insert("CT", ["CS101", "Smith"]).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+    assert_eq!(
+        replica.database().schema().columns("SR").unwrap(),
+        ["student", "room"]
+    );
+    assert_converged(&["CT", "CS", "SR"], |r| db.rows(r).unwrap(), &replica);
+
+    // Transition 2: a new FD.  The follower re-analyzes and enforces
+    // it on its own replay path too.
+    db.alter(&Alter::AddFd {
+        spec: "student -> room".into(),
+    })
+    .unwrap();
+    db.insert("SR", ["Quinn", "R200"]).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+    assert_converged(&["CT", "CS", "SR"], |r| db.rows(r).unwrap(), &replica);
+
+    // The transition is observable: the follower recorded it.
+    let snap = replica.metrics();
+    assert!(
+        snap.events
+            .iter()
+            .any(|r| matches!(&r.event, ids_obs::Event::SchemaAltered { relations: 3, .. })),
+        "follower must record the applied transition"
+    );
+}
+
+/// The acceptance criterion: a *wire-stream* follower of an altering
+/// primary receives the manifest before any post-transition frames,
+/// applies it, and converges on the evolved schema.
+#[test]
+fn wire_follower_applies_a_streamed_transition() {
+    let root = tmp_dir("wire-alter");
+    let seed = tmp_dir("wire-alter-seed");
+    let mut db = Database::open_at(&root, schema(), DurableConfig::default()).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
+    db.insert("CS", ["CS402", "Riley"]).unwrap();
+    copy_dir(&root, &seed);
+
+    let shared = Arc::new(db.into_shared().unwrap());
+    let server = Server::serve(Arc::clone(&shared), "127.0.0.1:0").unwrap();
+    let mut replica = Replica::connect(&seed, server.local_addr()).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    // Alter while the subscription is live, then write on both sides
+    // of the boundary.
+    shared.alter(&add_sr()).unwrap();
+    shared.insert("SR", ["Riley", "R128"]).unwrap();
+    shared.insert("CT", ["CS101", "Smith"]).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    assert_eq!(
+        replica.database().schema().columns("SR").unwrap(),
+        ["student", "room"]
+    );
+    assert_converged(&["CT", "CS", "SR"], |r| shared.rows(r).unwrap(), &replica);
+    let snap = replica.metrics();
+    assert!(
+        snap.events
+            .iter()
+            .any(|r| matches!(&r.event, ids_obs::Event::SchemaAltered { .. })),
+        "streamed transition must be recorded on the follower"
+    );
+    server.shutdown();
+}
+
+/// A follower whose seed predates the transition: its cursors name the
+/// *old* era's relations, so the server must validate them against the
+/// era that governs them and stream the manifest before any new-era
+/// frames.
+#[test]
+fn stale_seed_wire_follower_catches_up_through_a_transition() {
+    let root = tmp_dir("wire-stale");
+    let seed = tmp_dir("wire-stale-seed");
+    let mut db = Database::open_at(&root, schema(), DurableConfig::default()).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
+    copy_dir(&root, &seed);
+
+    // The transition (and post-transition writes) happen before the
+    // follower ever connects.
+    db.alter(&add_sr()).unwrap();
+    db.insert("SR", ["Riley", "R128"]).unwrap();
+    db.insert("CS", ["CS402", "Riley"]).unwrap();
+
+    let shared = Arc::new(db.into_shared().unwrap());
+    let server = Server::serve(Arc::clone(&shared), "127.0.0.1:0").unwrap();
+    let mut replica = Replica::connect(&seed, server.local_addr()).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    assert_eq!(replica.database().schema().relation_names().count(), 3);
+    assert_converged(&["CT", "CS", "SR"], |r| shared.rows(r).unwrap(), &replica);
+    server.shutdown();
+}
+
+/// A drop transition: the follower releases the dropped relation's
+/// state and skips any straggler records for it, without diverging.
+#[test]
+fn file_follower_applies_a_drop_transition() {
+    let root = tmp_dir("file-drop");
+    let mut db = Database::open_at(&root, schema(), DurableConfig::default()).unwrap();
+    db.insert("CT", ["CS402", "Jones"]).unwrap();
+    db.insert("CS", ["CS402", "Riley"]).unwrap();
+
+    let mut replica = Replica::open(&root).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    // Cover `student` elsewhere first, then drop CS.
+    db.alter(&add_sr()).unwrap();
+    db.insert("SR", ["Riley", "R128"]).unwrap();
+    db.alter(&Alter::DropRelation { name: "CS".into() })
+        .unwrap();
+    db.insert("CT", ["CS101", "Smith"]).unwrap();
+    assert!(replica.wait_caught_up(Duration::from_secs(5)).unwrap());
+
+    let names: Vec<String> = replica
+        .database()
+        .schema()
+        .relation_names()
+        .map(String::from)
+        .collect();
+    assert_eq!(names, ["CT", "SR"]);
+    assert_converged(&["CT", "SR"], |r| db.rows(r).unwrap(), &replica);
+    assert!(replica.database().rows("CS").is_err(), "CS is gone");
+}

@@ -38,16 +38,16 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use ids_api::{eq, Cond, Error, SharedDatabase};
+use ids_api::{eq, Alter, Cond, Error, SharedDatabase};
 use ids_core::InsertOutcome;
 use ids_obs::{Counter, Event, Gauge, MetricsSnapshot, Registry};
-use ids_relational::RelationalError;
+use ids_relational::{DatabaseSchema, RelationalError};
 use ids_store::StoreError;
 use ids_wal::{Cursor, NameTailer, RelationPoll, RelationTailer, WalDir};
 
 use crate::wire::{
-    decode_request, encode_reply, FrameReader, Reply, Request, WireError, WireOutcome, POOL_STREAM,
-    WIRE_VERSION,
+    decode_request, encode_reply, AlterOp, FrameReader, Reply, Request, WireError, WireOutcome,
+    POOL_STREAM, WIRE_VERSION,
 };
 
 /// The connection layer's metric families, interned under `server.*`
@@ -100,6 +100,7 @@ impl ServerObs {
             Request::Stats => "stats",
             Request::Subscribe { .. } => "subscribe",
             Request::Join { .. } => "join",
+            Request::Alter { .. } => "alter",
         };
         self.registry.counter(&format!("server.requests.{kind}"))
     }
@@ -467,6 +468,13 @@ fn ship_frames(
 /// so a poll that crosses a checkpoint rotation is split and the
 /// follower's cursor stays exact.
 ///
+/// Schema transitions ship the same way: each generation manifest the
+/// primary commits is forwarded **verbatim** as a [`Reply::Manifest`]
+/// before any frame of that generation (the rename happens-before the
+/// first new-generation segment, and TCP preserves reply order), so
+/// the follower applies the transition under exactly the boundary the
+/// primary crossed, then keeps consuming frames under the new schema.
+///
 /// When a full round finds nothing new, one empty `POOL_STREAM` reply
 /// is sent as a heartbeat: it tells the follower "you have everything I
 /// can see" (frames are ordered in-channel, so an empty round after the
@@ -499,7 +507,28 @@ fn run_subscribe(
             return;
         }
     };
-    let relations = shared.schema().relation_names().count();
+    // The follower's cursor indexes are scheme indexes under the
+    // manifest *governing its position* — the latest one with
+    // generation ≤ its cursors — which may be older than the schema
+    // this server currently serves.  Start the era there; every later
+    // transition is shipped below (manifest before frames), so the
+    // follower catches up through the same boundaries the primary
+    // crossed.
+    let start_gen = cursors.iter().map(|&(gen, _)| gen).max().unwrap_or(0);
+    let disk_manifests = match dir.generation_manifests_after(0) {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = reply_tx.send((id, Reply::Error(wire_error(e.into()))));
+            return;
+        }
+    };
+    let mut era_schema: DatabaseSchema = disk_manifests
+        .iter()
+        .rev()
+        .find(|(g, ..)| *g <= start_gen)
+        .map(|(_, m, _)| m.schema.clone())
+        .unwrap_or_else(|| dir.manifest().schema.clone());
+    let relations = era_schema.len();
     if cursors.len() != relations {
         let _ = reply_tx.send((
             id,
@@ -519,6 +548,11 @@ fn run_subscribe(
         })
         .collect();
     let mut name_tailer = NameTailer::new(&dir.pool_log_path(), fingerprint, names);
+    // Highest manifest generation already shipped (or known to the
+    // follower, whose cursors can only have reached `start_gen` with
+    // every manifest ≤ it applied).  Anything newer found on disk ships
+    // verbatim, and the tailer set is remapped to the new schema.
+    let mut shipped_gen = start_gen;
     loop {
         // Drain pings BEFORE this round's polls: a ping in hand means
         // everything durable before it was sent is visible to the polls
@@ -540,7 +574,66 @@ fn run_subscribe(
             }
         }
         let mut shipped = false;
-        // Names first: the primary fsyncs a name before any record
+        // Manifests first: a schema transition must reach the follower
+        // before any frame written under it.  The primary renames the
+        // manifest into place *before* the first new-generation segment
+        // exists, and TCP delivers replies in order, so shipping the
+        // manifest here — before this round's polls — preserves that
+        // happens-before on the follower.  After shipping, the tailer
+        // set is remapped by relation (name + attributes): survivors
+        // are retargeted to their scheme index under the new schema,
+        // dropped relations fall away, added relations start tailing
+        // at `(gen, 0)` — their logs begin at the transition.
+        match dir.generation_manifests_after(shipped_gen) {
+            Ok(manifests) => {
+                for (g, m, payload) in manifests {
+                    shipped = true;
+                    if reply_tx
+                        .send((
+                            id,
+                            Reply::Manifest {
+                                generation: g,
+                                payload,
+                            },
+                        ))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    let mut old: Vec<Option<RelationTailer>> =
+                        tailers.drain(..).map(Some).collect();
+                    for (jid, scheme) in m.schema.iter() {
+                        let j = jid.index() as u16;
+                        let prev = era_schema
+                            .iter()
+                            .find(|&(iid, s)| {
+                                s.name == scheme.name
+                                    && era_schema.attrs(iid) == m.schema.attrs(jid)
+                            })
+                            .map(|(iid, _)| iid.index());
+                        match prev.and_then(|i| old[i].take()) {
+                            Some(mut t) => {
+                                t.retarget(g, j);
+                                tailers.push(t);
+                            }
+                            None => tailers.push(RelationTailer::new(
+                                dir.root(),
+                                fingerprint,
+                                j,
+                                Cursor { gen: g, seq: 0 },
+                            )),
+                        }
+                    }
+                    era_schema = m.schema;
+                    shipped_gen = g;
+                }
+            }
+            Err(e) => {
+                let _ = reply_tx.send((id, Reply::Error(wire_error(e.into()))));
+                return;
+            }
+        }
+        // Names next: the primary fsyncs a name before any record
         // referencing its value, and the follower needs the same order.
         match name_tailer.poll() {
             Ok(new_names) => {
@@ -562,23 +655,30 @@ fn run_subscribe(
             match tailer.poll() {
                 Ok(RelationPoll::Records(records)) if !records.is_empty() => {
                     shipped = true;
-                    let relation = tailer.scheme();
                     let tip = tailer.cursor().seq;
                     let mut batch: Vec<Vec<u8>> = Vec::new();
                     let mut batch_gen = records[0].gen;
+                    // Per-record scheme, not the tailer's current one: a
+                    // poll that crosses a transition boundary carries
+                    // records under two scheme indexes, and each batch
+                    // must be labeled with the index its frames were
+                    // written under (splits align with gen splits).
+                    let mut batch_scheme = records[0].scheme;
                     for rec in records {
-                        if rec.gen != batch_gen {
+                        if rec.gen != batch_gen || rec.scheme != batch_scheme {
                             let frames = std::mem::take(&mut batch);
-                            if ship_frames(reply_tx, obs, id, relation, batch_gen, tip, frames)
+                            if ship_frames(reply_tx, obs, id, batch_scheme, batch_gen, tip, frames)
                                 .is_err()
                             {
                                 return;
                             }
                             batch_gen = rec.gen;
+                            batch_scheme = rec.scheme;
                         }
                         batch.push(rec.payload);
                     }
-                    if ship_frames(reply_tx, obs, id, relation, batch_gen, tip, batch).is_err() {
+                    if ship_frames(reply_tx, obs, id, batch_scheme, batch_gen, tip, batch).is_err()
+                    {
                         return;
                     }
                 }
@@ -672,7 +772,8 @@ fn execute(shared: &SharedDatabase, obs: &ServerObs, req: Request) -> Reply {
             Ok(InsertOutcome::Accepted) => Reply::Insert(WireOutcome::Accepted),
             Ok(InsertOutcome::Duplicate) => Reply::Insert(WireOutcome::Duplicate),
             Ok(InsertOutcome::Rejected { violated }) => {
-                let universe = shared.schema().definition().universe();
+                let schema = shared.schema();
+                let universe = schema.definition().universe();
                 Reply::Insert(WireOutcome::Rejected {
                     violated: violated.map(|fd| fd.render(universe)),
                 })
@@ -742,6 +843,59 @@ fn execute(shared: &SharedDatabase, obs: &ServerObs, req: Request) -> Reply {
         Request::Subscribe { .. } => Reply::Error(WireError::Internal(
             "subscribe must be handled by the connection worker".into(),
         )),
+        Request::Alter { op } => {
+            let op = match op {
+                AlterOp::AddRelation { name, columns } => Alter::AddRelation { name, columns },
+                AlterOp::DropRelation { name } => Alter::DropRelation { name },
+                AlterOp::AddFd { spec } => Alter::AddFd { spec },
+                AlterOp::DropFd { spec } => Alter::DropFd { spec },
+            };
+            match shared.alter(&op) {
+                Ok(generation) => Reply::Altered { generation },
+                Err(e) => Reply::Error(alter_wire_error(shared, e)),
+            }
+        }
+    }
+}
+
+/// Flattens an alter refusal into the wire's typed rejection, rendering
+/// the machine-checkable evidence — the `LSAT ∖ WSAT` counterexample of
+/// a dependent target, or the violating tuple pair of a refused
+/// backfill — so the refusal travels with its witness.  Failures that
+/// are not alter-specific (poisoned shard, I/O, ..) fall through to the
+/// ordinary [`wire_error`] mapping.
+fn alter_wire_error(shared: &SharedDatabase, e: Error) -> WireError {
+    match e {
+        Error::NotIndependent { reason, witness } => WireError::AlterRejected {
+            reason: format!("target schema is not independent: {reason:?}"),
+            witness: Some(format!("{:?}", witness.kind)),
+        },
+        Error::Store(StoreError::BackfillViolation {
+            scheme,
+            violated,
+            witness,
+        }) => {
+            let schema = shared.schema();
+            let universe = schema.definition().universe();
+            let relation = schema
+                .definition()
+                .get_scheme(scheme)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| format!("{scheme:?}"));
+            let tuples = shared.render_tuples(&witness).join(", ");
+            WireError::AlterRejected {
+                reason: format!(
+                    "existing tuples of {relation} violate {}",
+                    violated.render(universe)
+                ),
+                witness: Some(format!("{relation}: {{{tuples}}}")),
+            }
+        }
+        Error::Evolve(e) => WireError::AlterRejected {
+            reason: e.to_string(),
+            witness: None,
+        },
+        other => wire_error(other),
     }
 }
 

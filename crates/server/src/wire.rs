@@ -124,6 +124,46 @@ pub enum Request {
         /// Relation names to join, in output-column order.
         relations: Vec<String>,
     },
+    /// One `ALTER`-class schema transition against the running
+    /// database (`ids_api::SharedDatabase::alter`).  Accepted
+    /// transitions answer [`Reply::Altered`] with the generation the
+    /// new schema is effective from; refused ones answer a typed
+    /// [`WireError::AlterRejected`] carrying the witness, and the
+    /// current schema keeps serving.
+    Alter {
+        /// The transition to apply.
+        op: AlterOp,
+    },
+}
+
+/// One `ALTER`-class schema transition as it travels in
+/// [`Request::Alter`] — the wire mirror of `ids_api::Alter`, carried
+/// at the string level so clients need no dependency on the api crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlterOp {
+    /// Add a relation with the given column names (declaration order).
+    AddRelation {
+        /// The new relation's name.
+        name: String,
+        /// Its column names, in declaration order.
+        columns: Vec<String>,
+    },
+    /// Drop a relation (and any ordered indexes declared on it).
+    DropRelation {
+        /// The relation to drop.
+        name: String,
+    },
+    /// Declare an additional functional dependency (`"lhs -> rhs"`
+    /// spec syntax); existing data is backfill-validated first.
+    AddFd {
+        /// The dependency spec.
+        spec: String,
+    },
+    /// Retract a declared functional dependency (verbatim).
+    DropFd {
+        /// The dependency spec.
+        spec: String,
+    },
 }
 
 /// A server → client message; `Reply::Error` can answer any request.
@@ -183,6 +223,24 @@ pub enum Reply {
         /// [`ids_wal::WalRecord`] payloads, or name-log payloads for
         /// [`POOL_STREAM`].
         frames: Vec<Vec<u8>>,
+    },
+    /// Answer to an accepted [`Request::Alter`]: the generation the
+    /// new schema is effective from.
+    Altered {
+        /// First generation governed by the new schema.
+        generation: u64,
+    },
+    /// A schema transition crossing a replication stream (see
+    /// [`Request::Subscribe`]): the generation manifest the primary
+    /// committed, shipped **verbatim** (the exact manifest frame
+    /// payload made durable on the primary) and **before** any frames
+    /// of a generation at or past it — TCP ordering makes the follower
+    /// see the transition exactly where the primary's log does.
+    Manifest {
+        /// The generation the manifest is effective from.
+        generation: u64,
+        /// The raw manifest frame payload, exactly as stored on disk.
+        payload: Vec<u8>,
     },
     /// Typed failure; the request id says which request it answers.
     Error(WireError),
@@ -263,6 +321,19 @@ pub enum WireError {
     /// [`Request::Join`] carried an empty relation list (the natural
     /// join has no neutral element over an unknown scheme).
     EmptyJoin,
+    /// A [`Request::Alter`] was refused and the current schema keeps
+    /// serving — dependent target schema, a new FD the existing data
+    /// violates, a malformed operation, or an engine that cannot
+    /// evolve.
+    AlterRejected {
+        /// Rendered reason of the refusal.
+        reason: String,
+        /// The typed witness, rendered: the `LSAT ∖ WSAT` state for a
+        /// dependent target, or the violating tuple pair for a
+        /// backfill failure.  `None` when the refusal has no witness
+        /// (e.g. an unknown relation name).
+        witness: Option<String>,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -289,6 +360,10 @@ impl std::fmt::Display for WireError {
             Self::HandshakeRequired => write!(f, "handshake required before any other request"),
             Self::Internal(msg) => write!(f, "internal server error: {msg}"),
             Self::EmptyJoin => write!(f, "join requires at least one relation"),
+            Self::AlterRejected { reason, witness } => match witness {
+                Some(w) => write!(f, "schema alter rejected: {reason} (witness: {w})"),
+                None => write!(f, "schema alter rejected: {reason}"),
+            },
         }
     }
 }
@@ -309,6 +384,13 @@ const REQ_CHECKPOINT: u8 = 7;
 const REQ_STATS: u8 = 8;
 const REQ_SUBSCRIBE: u8 = 9;
 const REQ_JOIN: u8 = 10;
+const REQ_ALTER: u8 = 11;
+
+// Operation tags inside a REQ_ALTER body.  Append-only.
+const ALTER_ADD_RELATION: u8 = 0;
+const ALTER_DROP_RELATION: u8 = 1;
+const ALTER_ADD_FD: u8 = 2;
+const ALTER_DROP_FD: u8 = 3;
 
 const REP_HELLO: u8 = 0;
 const REP_PONG: u8 = 1;
@@ -321,6 +403,8 @@ const REP_CHECKPOINTED: u8 = 7;
 const REP_ERROR: u8 = 8;
 const REP_STATS: u8 = 9;
 const REP_FRAMES: u8 = 10;
+const REP_ALTERED: u8 = 11;
+const REP_MANIFEST: u8 = 12;
 
 // Structured-event tags inside a REP_STATS body.  Append-only, like
 // the kind bytes.
@@ -333,6 +417,9 @@ const EV_CONNECTION_OPENED: u8 = 5;
 const EV_CONNECTION_CLOSED: u8 = 6;
 const EV_SEGMENT_SHIPPED: u8 = 7;
 const EV_REPLICA_CAUGHT_UP: u8 = 8;
+const EV_SCHEMA_ALTERED: u8 = 9;
+const EV_ALTER_REJECTED: u8 = 10;
+const EV_BACKFILL_COMPLETED: u8 = 11;
 
 const OUT_ACCEPTED: u8 = 0;
 const OUT_DUPLICATE: u8 = 1;
@@ -351,6 +438,7 @@ const ERR_VERSION: u8 = 9;
 const ERR_HANDSHAKE: u8 = 10;
 const ERR_INTERNAL: u8 = 11;
 const ERR_EMPTY_JOIN: u8 = 12;
+const ERR_ALTER_REJECTED: u8 = 13;
 
 // ---------------------------------------------------------------------
 // Encoding.
@@ -421,6 +509,28 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Join { relations } => {
             e.put_u8(REQ_JOIN);
             put_strs(&mut e, relations);
+        }
+        Request::Alter { op } => {
+            e.put_u8(REQ_ALTER);
+            match op {
+                AlterOp::AddRelation { name, columns } => {
+                    e.put_u8(ALTER_ADD_RELATION);
+                    e.put_str(name);
+                    put_strs(&mut e, columns);
+                }
+                AlterOp::DropRelation { name } => {
+                    e.put_u8(ALTER_DROP_RELATION);
+                    e.put_str(name);
+                }
+                AlterOp::AddFd { spec } => {
+                    e.put_u8(ALTER_ADD_FD);
+                    e.put_str(spec);
+                }
+                AlterOp::DropFd { spec } => {
+                    e.put_u8(ALTER_DROP_FD);
+                    e.put_str(spec);
+                }
+            }
         }
     }
     frame(&e.into_bytes())
@@ -513,6 +623,28 @@ fn put_snapshot(e: &mut Encoder, snap: &MetricsSnapshot) {
                 e.put_u8(EV_REPLICA_CAUGHT_UP);
                 e.put_u64(*records);
             }
+            Event::SchemaAltered {
+                generation,
+                relations,
+            } => {
+                e.put_u8(EV_SCHEMA_ALTERED);
+                e.put_u64(*generation);
+                e.put_u64(*relations);
+            }
+            Event::AlterRejected { reason } => {
+                e.put_u8(EV_ALTER_REJECTED);
+                e.put_str(reason);
+            }
+            Event::BackfillCompleted {
+                relation,
+                tuples,
+                duration,
+            } => {
+                e.put_u8(EV_BACKFILL_COMPLETED);
+                e.put_u64(*relation);
+                e.put_u64(*tuples);
+                e.put_u64(duration_ns(*duration));
+            }
         }
     }
     match &snap.poisoned {
@@ -600,6 +732,18 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
                 e.put_bytes(f);
             }
         }
+        Reply::Altered { generation } => {
+            e.put_u8(REP_ALTERED);
+            e.put_u64(*generation);
+        }
+        Reply::Manifest {
+            generation,
+            payload,
+        } => {
+            e.put_u8(REP_MANIFEST);
+            e.put_u64(*generation);
+            e.put_bytes(payload);
+        }
         Reply::Error(err) => {
             e.put_u8(REP_ERROR);
             match err {
@@ -643,6 +787,17 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
                     e.put_str(msg);
                 }
                 WireError::EmptyJoin => e.put_u8(ERR_EMPTY_JOIN),
+                WireError::AlterRejected { reason, witness } => {
+                    e.put_u8(ERR_ALTER_REJECTED);
+                    e.put_str(reason);
+                    match witness {
+                        None => e.put_u8(0),
+                        Some(w) => {
+                            e.put_u8(1);
+                            e.put_str(w);
+                        }
+                    }
+                }
             }
         }
     }
@@ -741,6 +896,25 @@ fn decode_request_body(d: &mut Decoder<'_>) -> Result<Request, WireError> {
         REQ_JOIN => Request::Join {
             relations: get_strs(d).map_err(malformed)?,
         },
+        REQ_ALTER => {
+            let op = match d.get_u8().map_err(malformed)? {
+                ALTER_ADD_RELATION => AlterOp::AddRelation {
+                    name: d.get_str().map_err(malformed)?,
+                    columns: get_strs(d).map_err(malformed)?,
+                },
+                ALTER_DROP_RELATION => AlterOp::DropRelation {
+                    name: d.get_str().map_err(malformed)?,
+                },
+                ALTER_ADD_FD => AlterOp::AddFd {
+                    spec: d.get_str().map_err(malformed)?,
+                },
+                ALTER_DROP_FD => AlterOp::DropFd {
+                    spec: d.get_str().map_err(malformed)?,
+                },
+                tag => return Err(WireError::Malformed(format!("bad alter tag {tag}"))),
+            };
+            Request::Alter { op }
+        }
         other => return Err(WireError::Malformed(format!("bad request kind {other}"))),
     };
     if !d.is_done() {
@@ -835,6 +1009,13 @@ fn decode_reply_body(d: &mut Decoder<'_>) -> Result<Reply, WireError> {
                 frames,
             }
         }
+        REP_ALTERED => Reply::Altered {
+            generation: d.get_u64().map_err(malformed)?,
+        },
+        REP_MANIFEST => Reply::Manifest {
+            generation: d.get_u64().map_err(malformed)?,
+            payload: d.get_bytes().map_err(malformed)?,
+        },
         REP_ERROR => Reply::Error(decode_wire_error(d)?),
         other => return Err(WireError::Malformed(format!("bad reply kind {other}"))),
     };
@@ -924,6 +1105,18 @@ fn get_snapshot(d: &mut Decoder<'_>) -> Result<MetricsSnapshot, WireError> {
             EV_REPLICA_CAUGHT_UP => Event::ReplicaCaughtUp {
                 records: d.get_u64().map_err(malformed)?,
             },
+            EV_SCHEMA_ALTERED => Event::SchemaAltered {
+                generation: d.get_u64().map_err(malformed)?,
+                relations: d.get_u64().map_err(malformed)?,
+            },
+            EV_ALTER_REJECTED => Event::AlterRejected {
+                reason: d.get_str().map_err(malformed)?,
+            },
+            EV_BACKFILL_COMPLETED => Event::BackfillCompleted {
+                relation: d.get_u64().map_err(malformed)?,
+                tuples: d.get_u64().map_err(malformed)?,
+                duration: Duration::from_nanos(d.get_u64().map_err(malformed)?),
+            },
             tag => return Err(WireError::Malformed(format!("bad event tag {tag}"))),
         };
         events.push(EventRecord { seq, at, event });
@@ -968,6 +1161,14 @@ fn decode_wire_error(d: &mut Decoder<'_>) -> Result<WireError, WireError> {
         ERR_HANDSHAKE => WireError::HandshakeRequired,
         ERR_INTERNAL => WireError::Internal(d.get_str().map_err(malformed)?),
         ERR_EMPTY_JOIN => WireError::EmptyJoin,
+        ERR_ALTER_REJECTED => WireError::AlterRejected {
+            reason: d.get_str().map_err(malformed)?,
+            witness: match d.get_u8().map_err(malformed)? {
+                0 => None,
+                1 => Some(d.get_str().map_err(malformed)?),
+                tag => return Err(WireError::Malformed(format!("bad witness tag {tag}"))),
+            },
+        },
         other => return Err(WireError::Malformed(format!("bad error tag {other}"))),
     })
 }
@@ -1122,6 +1323,25 @@ mod tests {
                 relations: vec!["CT".into(), "CHR".into()],
             },
             Request::Join { relations: vec![] },
+            Request::Alter {
+                op: AlterOp::AddRelation {
+                    name: "TD".into(),
+                    columns: vec!["teacher".into(), "dept".into()],
+                },
+            },
+            Request::Alter {
+                op: AlterOp::DropRelation { name: "CS".into() },
+            },
+            Request::Alter {
+                op: AlterOp::AddFd {
+                    spec: "teacher -> dept".into(),
+                },
+            },
+            Request::Alter {
+                op: AlterOp::DropFd {
+                    spec: "teacher -> dept".into(),
+                },
+            },
         ] {
             roundtrip_request(req);
         }
@@ -1207,6 +1427,30 @@ mod tests {
                     at: Duration::from_nanos(900),
                     event: Event::ReplicaCaughtUp { records: 23 },
                 },
+                EventRecord {
+                    seq: 9,
+                    at: Duration::from_nanos(1000),
+                    event: Event::SchemaAltered {
+                        generation: 3,
+                        relations: 4,
+                    },
+                },
+                EventRecord {
+                    seq: 10,
+                    at: Duration::from_nanos(1100),
+                    event: Event::AlterRejected {
+                        reason: "dependent target schema".into(),
+                    },
+                },
+                EventRecord {
+                    seq: 11,
+                    at: Duration::from_nanos(1200),
+                    event: Event::BackfillCompleted {
+                        relation: 1,
+                        tuples: 99,
+                        duration: Duration::from_nanos(70),
+                    },
+                },
             ],
             poisoned: Some("disk gone".into()),
         }
@@ -1274,6 +1518,19 @@ mod tests {
             Reply::Error(WireError::HandshakeRequired),
             Reply::Error(WireError::Internal("oops".into())),
             Reply::Error(WireError::EmptyJoin),
+            Reply::Altered { generation: 4 },
+            Reply::Manifest {
+                generation: 4,
+                payload: vec![7, 7, 7],
+            },
+            Reply::Error(WireError::AlterRejected {
+                reason: "dependent target schema".into(),
+                witness: Some("CT: {(CS402, Jones), (CS402, Smith)}".into()),
+            }),
+            Reply::Error(WireError::AlterRejected {
+                reason: "unknown relation `TD`".into(),
+                witness: None,
+            }),
         ] {
             roundtrip_reply(reply);
         }

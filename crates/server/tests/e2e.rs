@@ -13,7 +13,8 @@ use std::sync::Arc;
 use ids_api::{Database, EngineKind, Schema, SharedDatabase};
 use ids_client::{Client, ClientError};
 use ids_server::wire::{
-    decode_reply, encode_request, FrameReader, Reply, Request, WireError, WireOutcome, WIRE_VERSION,
+    decode_reply, encode_request, AlterOp, FrameReader, Reply, Request, WireError, WireOutcome,
+    WIRE_VERSION,
 };
 use ids_server::{Server, ServerConfig};
 use ids_store::{DurableConfig, StoreConfig, SyncPolicy};
@@ -543,5 +544,85 @@ fn durable_checkpoint_roundtrips() {
     // What the server checkpointed, a cold recovery can read.
     let recovered = Database::recover(&root).unwrap();
     assert_eq!(recovered.count("CT").unwrap(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn alters_cross_the_wire_with_witnessed_refusals() {
+    let root = std::env::temp_dir().join(format!("ids-server-alter-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let example2 = Schema::builder()
+        .relation("CT", ["course", "teacher"])
+        .relation("CS", ["course", "student"])
+        .relation("CHR", ["course", "hour", "room"])
+        .fd("course -> teacher")
+        .fd("course hour -> room")
+        .build()
+        .unwrap();
+    let db = Database::open_at(&root, example2, DurableConfig::default()).unwrap();
+    let server = serve(Arc::new(db.into_shared().unwrap()));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.insert("CT", ["CS402", "Jones"]).unwrap();
+    client.insert("CS", ["CS402", "Riley"]).unwrap();
+    client.insert("CS", ["CS402", "Morgan"]).unwrap();
+
+    // Accepted alter: the reply carries the new generation and the
+    // client's refreshed catalog carries the new relation, which is
+    // immediately writable on the same connection.
+    let gen = client
+        .alter(AlterOp::AddRelation {
+            name: "SR".into(),
+            columns: vec!["student".into(), "room".into()],
+        })
+        .unwrap();
+    assert!(gen >= 1);
+    assert!(client
+        .catalog()
+        .iter()
+        .any(|(name, cols)| name == "SR" && cols == &["student", "room"]));
+    client.insert("SR", ["Riley", "R128"]).unwrap();
+
+    // Dependent target schema: refused with the witness kind, and the
+    // session keeps serving on the unchanged schema.
+    match client.alter(AlterOp::AddFd {
+        spec: "student hour -> room".into(),
+    }) {
+        Err(ClientError::Server(WireError::AlterRejected { reason, witness })) => {
+            assert!(reason.contains("not independent"), "got {reason}");
+            assert!(witness.is_some(), "independence refusal carries a witness");
+        }
+        other => panic!("expected AlterRejected, got {other:?}"),
+    }
+
+    // Backfill violation: the two students of CS402 violate the new
+    // key, and the rendered violating pair crosses the wire.
+    match client.alter(AlterOp::AddFd {
+        spec: "course -> student".into(),
+    }) {
+        Err(ClientError::Server(WireError::AlterRejected { reason, witness })) => {
+            assert!(reason.contains("violate"), "got {reason}");
+            let w = witness.expect("backfill refusal carries the violating pair");
+            assert!(w.contains("Riley") && w.contains("Morgan"), "got {w}");
+        }
+        other => panic!("expected AlterRejected, got {other:?}"),
+    }
+    assert_eq!(client.count("CS").unwrap(), 2);
+
+    // The whole story is observable over the wire: evolve counters and
+    // the three evolution event tags survive the stats codec.
+    let snap = client.stats().unwrap();
+    assert!(snap.counter("evolve.alters").unwrap_or(0) >= 1);
+    assert!(snap.counter("evolve.rejected").unwrap_or(0) >= 1);
+    assert!(snap
+        .events
+        .iter()
+        .any(|r| matches!(r.event, ids_obs::Event::SchemaAltered { .. })));
+    assert!(snap
+        .events
+        .iter()
+        .any(|r| matches!(r.event, ids_obs::Event::AlterRejected { .. })));
+
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }

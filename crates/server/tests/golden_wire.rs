@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
 use ids_server::wire::{
-    decode_reply, decode_request, encode_reply, encode_request, read_frame, FrameOutcome, Reply,
-    Request, WireError, WireOutcome, POOL_STREAM, WIRE_VERSION,
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, AlterOp, FrameOutcome,
+    Reply, Request, WireError, WireOutcome, POOL_STREAM, WIRE_VERSION,
 };
 
 fn fixture_dir() -> PathBuf {
@@ -84,7 +84,75 @@ fn canonical_requests() -> Vec<(u64, Request)> {
                 relations: vec!["CT".into(), "CHR".into()],
             },
         ),
+        // Appended for wire kind 11 (Alter): one of each alter op,
+        // after everything older — strict prefix, `WIRE_VERSION`
+        // unchanged.
+        (
+            10,
+            Request::Alter {
+                op: AlterOp::AddRelation {
+                    name: "SR".into(),
+                    columns: vec!["student".into(), "room".into()],
+                },
+            },
+        ),
+        (
+            11,
+            Request::Alter {
+                op: AlterOp::DropRelation { name: "CS".into() },
+            },
+        ),
+        (
+            12,
+            Request::Alter {
+                op: AlterOp::AddFd {
+                    spec: "student -> room".into(),
+                },
+            },
+        ),
+        (
+            13,
+            Request::Alter {
+                op: AlterOp::DropFd {
+                    spec: "student -> room".into(),
+                },
+            },
+        ),
     ]
+}
+
+/// A deterministic snapshot carrying one of each schema-evolution event
+/// tag (appended tags 9, 10, and 11).
+fn evolve_events_snapshot() -> MetricsSnapshot {
+    let events = vec![
+        Event::SchemaAltered {
+            generation: 4,
+            relations: 3,
+        },
+        Event::AlterRejected {
+            reason: "target schema is not independent".into(),
+        },
+        Event::BackfillCompleted {
+            relation: 2,
+            tuples: 512,
+            duration: Duration::from_micros(750),
+        },
+    ];
+    MetricsSnapshot {
+        counters: vec![("evolve.accepted".into(), 4)],
+        gauges: vec![],
+        histograms: vec![],
+        events: events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| EventRecord {
+                seq: i as u64,
+                at: Duration::from_nanos(100 * i as u64),
+                event,
+            })
+            .collect(),
+        poisoned: None,
+    }
 }
 
 /// A deterministic snapshot carrying one of each replication event tag
@@ -278,6 +346,34 @@ fn canonical_replies() -> Vec<(u64, Reply)> {
     // Appended for error tag 12 (EmptyJoin), the typed answer to a
     // Join with no relations — after everything older, strict prefix.
     replies.push((29, Reply::Error(WireError::EmptyJoin)));
+    // Appended for the schema-evolution kinds: an accepted alter
+    // (kind 11), a streamed generation manifest (kind 12), both shapes
+    // of the AlterRejected error (tag 13), and a stats reply carrying
+    // the three evolve event tags — all after everything older, so the
+    // pre-evolution bytes stay a strict prefix.
+    replies.push((30, Reply::Altered { generation: 4 }));
+    replies.push((
+        31,
+        Reply::Manifest {
+            generation: 4,
+            payload: b"IDSM-manifest-bytes".to_vec(),
+        },
+    ));
+    replies.push((
+        32,
+        Reply::Error(WireError::AlterRejected {
+            reason: "target schema is not independent".into(),
+            witness: Some("TableauConflict".into()),
+        }),
+    ));
+    replies.push((
+        33,
+        Reply::Error(WireError::AlterRejected {
+            reason: "dropping CT leaves the universe uncovered".into(),
+            witness: None,
+        }),
+    ));
+    replies.push((34, Reply::Stats(evolve_events_snapshot())));
     replies
 }
 
@@ -351,6 +447,20 @@ fn fixtures_decode_to_the_canonical_messages() {
 fn regenerate_fixtures() {
     let dir = fixture_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("requests.bin"), build_request_bytes()).unwrap();
-    std::fs::write(dir.join("replies.bin"), build_reply_bytes()).unwrap();
+    // Append-only discipline: within one WIRE_VERSION, the existing
+    // fixture must be a strict prefix of the regenerated bytes — new
+    // kinds extend the stream, they never rewrite deployed layouts.
+    for (file, bytes) in [
+        ("requests.bin", build_request_bytes()),
+        ("replies.bin", build_reply_bytes()),
+    ] {
+        if let Ok(old) = std::fs::read(dir.join(file)) {
+            assert!(
+                bytes.starts_with(&old) || bytes == old,
+                "{file}: regenerated bytes do not extend the committed fixture; \
+                 an existing wire layout changed — bump WIRE_VERSION or fix the codec"
+            );
+        }
+        std::fs::write(dir.join(file), bytes).unwrap();
+    }
 }

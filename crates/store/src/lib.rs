@@ -84,7 +84,7 @@
 
 use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -95,7 +95,7 @@ use ids_relational::{
     AttrId, DatabaseSchema, DatabaseState, Predicate, Relation, RelationalError, SchemeId, Tuple,
     Value,
 };
-use ids_wal::{WalDir, WalError, WalMetrics, WalOp, WalWriter};
+use ids_wal::{Manifest, WalDir, WalError, WalMetrics, WalOp, WalWriter};
 
 pub use ids_wal::SyncPolicy;
 
@@ -175,9 +175,23 @@ pub enum StoreError {
     /// A durability-layer failure (I/O, corruption, or a log written
     /// under a different schema/FD set).
     Wal(WalError),
-    /// [`Store::checkpoint`] was called on a store opened without a
-    /// write-ahead log.
+    /// [`Store::checkpoint`] or [`Store::apply_transition`] was called
+    /// on a store opened without a write-ahead log.
     NotDurable,
+    /// An [`Store::apply_transition`] backfill found existing tuples
+    /// that violate a functional dependency the transition would start
+    /// enforcing.  The current schema keeps serving; nothing durable
+    /// changed.
+    BackfillViolation {
+        /// The relation (under the **current** schema) whose data
+        /// violates the new cover.
+        scheme: SchemeId,
+        /// The violated FD of the would-be enforcement cover.
+        violated: Fd,
+        /// A violating pair of tuples (same LHS projection, different
+        /// RHS), shipped back as the machine-checkable witness.
+        witness: Vec<Tuple>,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -199,6 +213,12 @@ impl std::fmt::Display for StoreError {
             }
             Self::Wal(e) => write!(f, "{e}"),
             Self::NotDurable => write!(f, "store was opened without a write-ahead log"),
+            Self::BackfillViolation {
+                scheme, violated, ..
+            } => write!(
+                f,
+                "existing tuples of {scheme:?} violate {violated:?}; transition refused"
+            ),
         }
     }
 }
@@ -318,6 +338,34 @@ enum Command {
     Rotate {
         new_gen: u64,
         reply: Sender<Vec<(SchemeId, Relation, u64)>>,
+    },
+    /// Re-validate one owned relation under `cover` and, on success,
+    /// install it as the relation's enforcement cover — the **backfill**
+    /// phase of a schema transition.  During an alter the cover is the
+    /// union of the old and new covers, so traffic accepted between the
+    /// backfill and the transition satisfies both schemas; during a
+    /// rollback it is the exact old cover.  On violation nothing is
+    /// installed and the reply carries the violated FD plus a violating
+    /// pair of tuples.  Only the owning shard ever sees this command.
+    Prepare {
+        scheme: SchemeId,
+        cover: FdSet,
+        reply: Sender<Result<u64, (Fd, Vec<Tuple>)>>,
+    },
+    /// Switch this worker onto a new schema generation: dropped slots
+    /// are released (their writers sync on drop), surviving slots are
+    /// retargeted to their new [`SchemeId`] (same attribute set — the
+    /// universe is append-only), rebuilt when their exact enforcement
+    /// cover changed, and their logs rotated onto `new_gen` under the
+    /// new scheme index.  Sent to every pre-existing worker while the
+    /// router holds the topology write lock, so channel FIFO order
+    /// cleanly splits old-schema from new-schema commands.
+    Transition {
+        new_gen: u64,
+        schema: Arc<DatabaseSchema>,
+        enforcement: Arc<Vec<FdSet>>,
+        /// Old scheme index → new id; `None` means dropped.
+        remap: Arc<Vec<Option<SchemeId>>>,
     },
 }
 
@@ -569,9 +617,113 @@ impl Worker {
                 }
                 let _ = reply.send(out);
             }
+            Command::Prepare {
+                scheme,
+                cover,
+                reply,
+            } => {
+                let si = self.slot_of[scheme.index()]
+                    .expect("router sent a prepare for a foreign scheme");
+                let slot = &mut self.slots[si];
+                let schema = slot.shard.schema().clone();
+                match RelationShard::with_relation(&schema, scheme, cover, &slot.rel) {
+                    Ok(mut shard) => {
+                        // The rebuilt shard revalidated the relation
+                        // under the candidate cover; carry the ordered
+                        // secondary indexes over before installing it.
+                        let ordered: Vec<AttrId> = slot.shard.ordered_columns().collect();
+                        for attr in ordered {
+                            shard
+                                .add_ordered_index(attr, &slot.rel)
+                                .expect("an existing ordered index re-adds cleanly");
+                        }
+                        slot.shard = shard;
+                        let _ = reply.send(Ok(slot.rel.len() as u64));
+                    }
+                    Err(MaintenanceError::BaseStateViolation { violated, .. }) => {
+                        let witness = violating_pair(&schema, scheme, &slot.rel, violated);
+                        let _ = reply.send(Err((violated, witness)));
+                    }
+                    Err(e) => unreachable!("with_relation cannot fail with {e}"),
+                }
+            }
+            Command::Transition {
+                new_gen,
+                schema,
+                enforcement,
+                remap,
+            } => {
+                let slots = std::mem::take(&mut self.slots);
+                for mut slot in slots {
+                    let Some(nid) = remap[slot.id.index()] else {
+                        // Dropped relation: releasing the slot drops its
+                        // writer, which syncs the tail.  Its segments
+                        // stay on disk; recovery skips them by name.
+                        continue;
+                    };
+                    slot.shard
+                        .retarget(&schema, nid)
+                        .expect("a surviving relation keeps its attribute set");
+                    if !slot.shard.enforcement().same_fds(&enforcement[nid.index()]) {
+                        let mut shard = RelationShard::with_relation(
+                            &schema,
+                            nid,
+                            enforcement[nid.index()].clone(),
+                            &slot.rel,
+                        )
+                        .expect("the transition cover was union-validated by Prepare");
+                        let ordered: Vec<AttrId> = slot.shard.ordered_columns().collect();
+                        for attr in ordered {
+                            shard
+                                .add_ordered_index(attr, &slot.rel)
+                                .expect("an existing ordered index re-adds cleanly");
+                        }
+                        slot.shard = shard;
+                    }
+                    if let Some(w) = slot.wal.as_mut() {
+                        // Rotate onto the new generation under the new
+                        // scheme index, so every post-transition record
+                        // lands in a segment its era's manifest governs.
+                        w.rotate_as(nid.index() as u16, new_gen).map_err(|e| {
+                            record_poison(&self.poison, &self.events, self.shard, e)
+                        })?;
+                    }
+                    slot.id = nid;
+                    self.slots.push(slot);
+                }
+                self.slot_of = vec![None; schema.len()];
+                for (i, slot) in self.slots.iter().enumerate() {
+                    self.slot_of[slot.id.index()] = Some(i);
+                }
+            }
         }
         Ok(())
     }
+}
+
+/// Finds a pair of tuples witnessing a relation's violation of `fd`:
+/// equal on the FD's left-hand side, different on its right — the
+/// concrete evidence shipped inside [`StoreError::BackfillViolation`].
+fn violating_pair(schema: &DatabaseSchema, id: SchemeId, rel: &Relation, fd: Fd) -> Vec<Tuple> {
+    let attrs = schema.attrs(id);
+    let lhs: Vec<usize> = fd.lhs.iter().map(|a| attrs.rank(a)).collect();
+    let rhs: Vec<usize> = fd.rhs.iter().map(|a| attrs.rank(a)).collect();
+    let mut seen: std::collections::HashMap<Vec<Value>, &Tuple> = std::collections::HashMap::new();
+    for t in rel.iter() {
+        let key: Vec<Value> = lhs.iter().map(|&p| t[p]).collect();
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let prev = *e.get();
+                if rhs.iter().any(|&p| prev[p] != t[p]) {
+                    return vec![prev.clone(), t.clone()];
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(t);
+            }
+        }
+    }
+    Vec::new()
 }
 
 /// Records a durability failure in the shared poison cell (first error
@@ -622,40 +774,62 @@ impl Slot {
 /// concurrently.  See the crate docs for the consistency model.
 #[derive(Debug)]
 pub struct Store {
-    schema: DatabaseSchema,
-    enforcement: Vec<FdSet>,
-    /// scheme index → shard index.
-    assignment: Vec<usize>,
-    senders: Vec<Sender<Command>>,
-    handles: Vec<JoinHandle<Vec<(SchemeId, Relation)>>>,
+    /// The routing state an operation consults: schema, covers, shard
+    /// assignment, command channels, per-shard metric handles.  Behind
+    /// a read-write lock so [`Store::apply_transition`] can swap the
+    /// whole set atomically while normal traffic takes cheap,
+    /// uncontended read guards.
+    topology: RwLock<Topology>,
+    handles: Mutex<Vec<WorkerHandle>>,
     /// Shared with every worker: the first durability failure's reason.
     /// Set exactly once, read by [`Store::fail`] to upgrade an opaque
     /// channel hangup into [`StoreError::ShardPoisoned`].
     poison: Arc<OnceLock<String>>,
     /// Present on durable stores: the directory handle plus the current
-    /// segment generation, serialized under a mutex so checkpoints
-    /// cannot interleave.
+    /// segment generation, serialized under a mutex so checkpoints and
+    /// schema transitions cannot interleave.
     durability: Option<Durability>,
     /// The store's observability surface: the registry every layer's
-    /// metric families are interned in, plus the per-shard handles the
-    /// front-end touches (queue-depth gauges).
+    /// metric families are interned in.
     obs: StoreObs,
+}
+
+/// The hot routing state of a [`Store`], swapped wholesale by a schema
+/// transition.  Everything an operation needs between "caller thread"
+/// and "owning shard's channel" lives here, so one read guard answers
+/// every routing question consistently.
+#[derive(Debug)]
+struct Topology {
+    schema: Arc<DatabaseSchema>,
+    enforcement: Arc<Vec<FdSet>>,
+    /// scheme index → shard index.
+    assignment: Vec<usize>,
+    senders: Vec<Sender<Command>>,
+    /// Per-shard metric handles, indexed by shard (queue-depth gauges
+    /// the front-end touches on send).
+    shard: Vec<Arc<ShardMetrics>>,
 }
 
 /// The observability half of a [`Store`].
 #[derive(Debug)]
 struct StoreObs {
     registry: Arc<Registry>,
-    /// Per-shard metric handles, indexed by shard.
-    shard: Vec<Arc<ShardMetrics>>,
 }
 
 /// The durable half of a [`Store`].
 #[derive(Debug)]
 struct Durability {
     dir: WalDir,
-    /// Generation the live segments are on; advanced by checkpoints.
+    /// Generation the live segments are on; advanced by checkpoints and
+    /// schema transitions, which serialize on this mutex.
     gen: Mutex<u64>,
+    /// Sync cadence, kept so transition-spawned workers inherit it.
+    sync: SyncPolicy,
+    /// Fault injection carried to writers created after open.
+    fail_appends_after: Option<u64>,
+    /// The store-wide WAL metric family, attached to every writer —
+    /// including those created for relations added by a transition.
+    wal_metrics: Option<WalMetrics>,
 }
 
 impl Store {
@@ -865,10 +1039,10 @@ impl Store {
         // event carries a real duration even if recording was toggled.
         let replay_start = Instant::now();
         let (relations, shards, replayed_per_relation) = replay_recovered(
+            &dir,
             schema,
             &enforcement,
             recovered,
-            dir.root(),
             &config.store.ordered_indexes,
         )?;
         let replay_elapsed = replay_start.elapsed();
@@ -940,6 +1114,9 @@ impl Store {
         let durability = Durability {
             dir,
             gen: Mutex::new(next_gen),
+            sync,
+            fail_appends_after,
+            wal_metrics: None,
         };
         Ok(Self::spawn(
             schema,
@@ -959,7 +1136,7 @@ impl Store {
         mut parts: Vec<Slot>,
         shards: usize,
         sync: SyncPolicy,
-        durability: Option<Durability>,
+        mut durability: Option<Durability>,
     ) -> Store {
         let shard_count = if shards == 0 {
             schema.len().min(
@@ -972,7 +1149,7 @@ impl Store {
         }
         .max(1);
         let registry = Arc::new(Registry::new());
-        if durability.is_some() {
+        if let Some(d) = durability.as_mut() {
             // One WAL metric family for the whole store (aggregated
             // across relations — per-relation fan-out is per-shard
             // already), attached to every slot's writer and interned
@@ -988,6 +1165,7 @@ impl Store {
                     w.set_metrics(wal_metrics.clone());
                 }
             }
+            d.wal_metrics = Some(wal_metrics);
         }
         let shard_metrics: Vec<Arc<ShardMetrics>> = (0..shard_count)
             .map(|i| Arc::new(ShardMetrics::new(&registry, i)))
@@ -1023,27 +1201,34 @@ impl Store {
             );
         }
         Store {
-            schema: schema.clone(),
-            enforcement,
-            assignment,
-            senders,
-            handles,
+            topology: RwLock::new(Topology {
+                schema: Arc::new(schema.clone()),
+                enforcement: Arc::new(enforcement),
+                assignment,
+                senders,
+                shard: shard_metrics,
+            }),
+            handles: Mutex::new(handles),
             poison,
             durability,
-            obs: StoreObs {
-                registry,
-                shard: shard_metrics,
-            },
+            obs: StoreObs { registry },
         }
+    }
+
+    /// Takes the topology read guard, treating lock poisoning (a panic
+    /// on another thread mid-swap) as survivable: routing state is
+    /// swapped atomically, so the inner value is always consistent.
+    fn topology(&self) -> RwLockReadGuard<'_, Topology> {
+        self.topology.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Routes one command to a shard, keeping its queue-depth gauge in
     /// step: incremented on send, decremented by the worker on receipt
     /// (and re-decremented here if the send itself fails).
-    fn send(&self, shard: usize, cmd: Command) -> Result<(), StoreError> {
-        self.obs.shard[shard].queue_depth.inc();
-        self.senders[shard].send(cmd).map_err(|_| {
-            self.obs.shard[shard].queue_depth.dec();
+    fn send(&self, topo: &Topology, shard: usize, cmd: Command) -> Result<(), StoreError> {
+        topo.shard[shard].queue_depth.inc();
+        topo.senders[shard].send(cmd).map_err(|_| {
+            topo.shard[shard].queue_depth.dec();
             self.fail()
         })
     }
@@ -1069,19 +1254,22 @@ impl Store {
         self.poison.get().map(String::as_str)
     }
 
-    /// The schema handle the store serves.
-    pub fn schema(&self) -> &DatabaseSchema {
-        &self.schema
+    /// The schema the store currently serves.  A schema transition
+    /// swaps the shared handle; holders of a previous `Arc` keep a
+    /// consistent (if stale) view.
+    pub fn schema(&self) -> Arc<DatabaseSchema> {
+        Arc::clone(&self.topology().schema)
     }
 
-    /// The per-scheme enforcement covers `Fi` the shards probe.
-    pub fn enforcement(&self) -> &[FdSet] {
-        &self.enforcement
+    /// The per-scheme enforcement covers `Fi` the shards probe, aligned
+    /// with the current schema.
+    pub fn enforcement(&self) -> Arc<Vec<FdSet>> {
+        Arc::clone(&self.topology().enforcement)
     }
 
     /// Number of shard worker threads.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.topology().senders.len()
     }
 
     /// True when the store was opened with a write-ahead log.
@@ -1101,6 +1289,23 @@ impl Store {
         self.durability.as_ref().map(|d| d.dir.root().to_path_buf())
     }
 
+    /// The directory's identity fingerprint — the one from the **base**
+    /// manifest, which every segment, snapshot, and the name log carry
+    /// for the directory's whole life (schema transitions append
+    /// generation manifests; they do not re-fingerprint the directory).
+    pub fn wal_fingerprint(&self) -> Option<u32> {
+        self.durability.as_ref().map(|d| d.dir.fingerprint())
+    }
+
+    /// The current schema generation of a durable store: 0 at creation,
+    /// bumped by every checkpoint and every accepted
+    /// [`Store::apply_transition`].
+    pub fn generation(&self) -> Option<u64> {
+        self.durability
+            .as_ref()
+            .map(|d| *d.gen.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
     /// Checkpoints a durable store: every shard seals its relations'
     /// current log segments (fsync'd) and hands back a per-relation cut;
     /// the cut is written as one snapshot (atomically, temp + rename)
@@ -1116,6 +1321,7 @@ impl Store {
     pub fn checkpoint(&self) -> Result<(), StoreError> {
         let d = self.durability.as_ref().ok_or(StoreError::NotDurable)?;
         let mut gen = d.gen.lock().map_err(|_| self.fail())?;
+        let topo = self.topology();
         let old_gen = *gen;
         let new_gen = old_gen + 1;
         let start = ids_obs::recording().then(Instant::now);
@@ -1123,8 +1329,9 @@ impl Store {
             generation: new_gen,
         });
         let (reply_tx, reply_rx) = channel();
-        for shard in 0..self.senders.len() {
+        for shard in 0..topo.senders.len() {
             self.send(
+                &topo,
                 shard,
                 Command::Rotate {
                     new_gen,
@@ -1133,8 +1340,8 @@ impl Store {
             )?;
         }
         drop(reply_tx);
-        let mut parts: Vec<Option<(Relation, u64)>> = vec![None; self.schema.len()];
-        for _ in 0..self.senders.len() {
+        let mut parts: Vec<Option<(Relation, u64)>> = vec![None; topo.schema.len()];
+        for _ in 0..topo.senders.len() {
             for (id, rel, sealed) in reply_rx.recv().map_err(|_| self.fail())? {
                 parts[id.index()] = Some((rel, sealed));
             }
@@ -1153,7 +1360,7 @@ impl Store {
             relations.push(rel);
             seqs.push(sealed);
         }
-        let state = DatabaseState::from_relations(&self.schema, relations)?;
+        let state = DatabaseState::from_relations(&topo.schema, relations)?;
         d.dir.write_snapshot(&state, &seqs, old_gen)?;
         d.dir.prune_segments(old_gen)?;
         let duration = start.map(|t| t.elapsed()).unwrap_or_default();
@@ -1169,6 +1376,271 @@ impl Store {
                 duration,
             });
         Ok(())
+    }
+
+    /// Applies an `ALTER`-class schema transition to the **running**
+    /// store: add/drop a relation, add/drop a functional dependency —
+    /// any change whose target schema the caller has already built.
+    /// Returns the new segment generation on success.
+    ///
+    /// `analysis` must be the independence analysis of `(new_schema,
+    /// new_fds)`; a dependent target is refused with
+    /// [`StoreError::NotIndependent`] (carrying the `LSAT ∖ WSAT`
+    /// witness) and the current schema keeps serving.  `app` becomes the
+    /// new manifest's application bytes (the `ids-api` layer keeps its
+    /// column layouts there).
+    ///
+    /// The transition runs in three phases, serialized with checkpoints
+    /// on the generation mutex:
+    ///
+    /// 1. **Backfill** (topology read lock — traffic keeps flowing):
+    ///    every surviving relation whose new enforcement cover is not
+    ///    implied by its old one revalidates its tuples under the
+    ///    *union* of both covers on its owning shard, and installs the
+    ///    union on success.  A violation rolls the already-prepared
+    ///    shards back to their exact old covers and refuses the
+    ///    transition with [`StoreError::BackfillViolation`] — violated
+    ///    FD plus a violating pair of tuples.  Traffic accepted between
+    ///    backfill and switch satisfies both schemas, which is what
+    ///    makes the crash window sound in both directions.
+    /// 2. **Durability point**: a generation-numbered manifest
+    ///    (`MANIFEST-g{n}`) is staged and renamed into the log
+    ///    directory.  From here the transition *will* be in effect
+    ///    after any crash; until here a crash recovers the old schema.
+    /// 3. **Switch** (topology write lock): workers for added relations
+    ///    spawn, every pre-existing worker receives a
+    ///    [`Command::Transition`] (drop released slots, retarget +
+    ///    rotate surviving ones onto the new generation), and the
+    ///    routing topology is swapped.  Channel FIFO order means every
+    ///    command sent before the swap ran under the old schema and
+    ///    everything after runs under the new — shards that own only
+    ///    untouched relations never stop serving.
+    pub fn apply_transition(
+        &self,
+        new_schema: &DatabaseSchema,
+        new_fds: &FdSet,
+        analysis: &ids_core::IndependenceAnalysis,
+        app: Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        let d = self.durability.as_ref().ok_or(StoreError::NotDurable)?;
+        let new_enforcement = match extract_enforcement(new_schema, analysis) {
+            Ok(e) => e,
+            Err(e) => {
+                self.obs.registry.counter("evolve.rejected").inc();
+                self.obs.registry.events().record(Event::AlterRejected {
+                    reason: e.to_string(),
+                });
+                return Err(e);
+            }
+        };
+        // Serialize with checkpoints and other transitions.
+        let mut gen = d.gen.lock().map_err(|_| self.fail())?;
+        let new_gen = *gen + 1;
+
+        // Phase 1: remap + backfill under a topology *read* lock.
+        let remap = {
+            let topo = self.topology();
+            let mut remap: Vec<Option<SchemeId>> = Vec::with_capacity(topo.schema.len());
+            for id in topo.schema.ids() {
+                let name = &topo.schema.scheme(id).name;
+                let nid = new_schema.scheme_by_name(name);
+                if let Some(nid) = nid {
+                    if new_schema.attrs(nid) != topo.schema.attrs(id) {
+                        return Err(RelationalError::SchemaMismatch(
+                            "a surviving relation changed its attribute set",
+                        )
+                        .into());
+                    }
+                }
+                remap.push(nid);
+            }
+            // Which survivors need a backfill: those whose old cover
+            // does not already imply every FD of the new one.
+            let mut prepared: Vec<(SchemeId, u64)> = Vec::new();
+            let backfill_start = Instant::now();
+            let mut violation: Option<(SchemeId, Fd, Vec<Tuple>)> = None;
+            for (i, nid) in remap.iter().enumerate() {
+                let Some(nid) = nid else { continue };
+                let old_id = SchemeId::from_index(i);
+                let old = &topo.enforcement[i];
+                let new = &new_enforcement[nid.index()];
+                if old.implies_all(new) {
+                    continue;
+                }
+                let mut union = old.clone();
+                for fd in new.iter() {
+                    union.insert(*fd);
+                }
+                let (reply_tx, reply_rx) = channel();
+                self.send(
+                    &topo,
+                    topo.assignment[i],
+                    Command::Prepare {
+                        scheme: old_id,
+                        cover: union,
+                        reply: reply_tx,
+                    },
+                )?;
+                match reply_rx.recv().map_err(|_| self.fail())? {
+                    Ok(tuples) => prepared.push((old_id, tuples)),
+                    Err((violated, witness)) => {
+                        violation = Some((old_id, violated, witness));
+                        break;
+                    }
+                }
+            }
+            if let Some((scheme, violated, witness)) = violation {
+                // Roll the already-prepared shards back to their exact
+                // old covers; the store keeps serving the old schema.
+                for &(old_id, _) in &prepared {
+                    let (reply_tx, reply_rx) = channel();
+                    self.send(
+                        &topo,
+                        topo.assignment[old_id.index()],
+                        Command::Prepare {
+                            scheme: old_id,
+                            cover: topo.enforcement[old_id.index()].clone(),
+                            reply: reply_tx,
+                        },
+                    )?;
+                    reply_rx
+                        .recv()
+                        .map_err(|_| self.fail())?
+                        .expect("the old cover re-validates the data it accepted");
+                }
+                let err = StoreError::BackfillViolation {
+                    scheme,
+                    violated,
+                    witness,
+                };
+                self.obs.registry.counter("evolve.rejected").inc();
+                self.obs.registry.events().record(Event::AlterRejected {
+                    reason: err.to_string(),
+                });
+                return Err(err);
+            }
+            if !prepared.is_empty() {
+                let duration = backfill_start.elapsed();
+                self.obs
+                    .registry
+                    .histogram("evolve.backfill_ns")
+                    .record(duration);
+                for (old_id, tuples) in prepared {
+                    self.obs.registry.events().record(Event::BackfillCompleted {
+                        relation: old_id.index() as u64,
+                        tuples,
+                        duration,
+                    });
+                }
+            }
+            remap
+        };
+
+        // Phase 2: the durability point.  The manifest must be on disk
+        // before any segment of the new generation can exist.
+        d.dir.append_generation_manifest(
+            new_gen,
+            &Manifest {
+                schema: new_schema.clone(),
+                fds: new_fds.clone(),
+                app,
+            },
+        )?;
+
+        // Phase 3: swap the topology and fan the transition out.
+        let mut topo = self.topology.write().unwrap_or_else(|e| e.into_inner());
+        let schema = Arc::new(new_schema.clone());
+        let enforcement = Arc::new(new_enforcement);
+        let remap = Arc::new(remap);
+        let mut assignment = vec![usize::MAX; new_schema.len()];
+        for (i, nid) in remap.iter().enumerate() {
+            if let Some(nid) = nid {
+                assignment[nid.index()] = topo.assignment[i];
+            }
+        }
+        let mut senders = topo.senders.clone();
+        let mut shard_metrics = topo.shard.clone();
+        let mut new_handles = Vec::new();
+        for id in new_schema.ids() {
+            if assignment[id.index()] != usize::MAX {
+                continue;
+            }
+            // An added relation: a fresh shard worker of its own, so no
+            // existing relation's traffic is disturbed.
+            let shard_idx = senders.len();
+            let rel = Relation::new(new_schema.attrs(id));
+            let shard =
+                RelationShard::with_relation(&schema, id, enforcement[id.index()].clone(), &rel)
+                    .map_err(base_state_error)?;
+            let mut writer = d.dir.segment_writer(id.index() as u16, new_gen, 0)?;
+            if let Some(n) = d.fail_appends_after {
+                writer.fail_appends_after(n);
+            }
+            if let Some(m) = &d.wal_metrics {
+                writer.set_metrics(m.clone());
+            }
+            let metrics = Arc::new(ShardMetrics::new(&self.obs.registry, shard_idx));
+            let mut worker = Worker {
+                shard: shard_idx,
+                slots: vec![Slot {
+                    id,
+                    shard,
+                    rel,
+                    wal: Some(writer),
+                }],
+                slot_of: vec![None; new_schema.len()],
+                sync: d.sync,
+                poison: Arc::clone(&self.poison),
+                metrics: Arc::clone(&metrics),
+                events: Arc::clone(self.obs.registry.events()),
+            };
+            worker.slot_of[id.index()] = Some(0);
+            let (tx, rx) = channel();
+            senders.push(tx);
+            shard_metrics.push(metrics);
+            assignment[id.index()] = shard_idx;
+            new_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ids-shard-{shard_idx}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        // Fan out while holding the write lock: every command a shard
+        // received before its Transition ran under the old schema, and
+        // no new-schema command can be sent until the lock drops.
+        for shard in 0..topo.senders.len() {
+            self.send(
+                &topo,
+                shard,
+                Command::Transition {
+                    new_gen,
+                    schema: Arc::clone(&schema),
+                    enforcement: Arc::clone(&enforcement),
+                    remap: Arc::clone(&remap),
+                },
+            )?;
+        }
+        let relations = new_schema.len() as u64;
+        *topo = Topology {
+            schema,
+            enforcement,
+            assignment,
+            senders,
+            shard: shard_metrics,
+        };
+        drop(topo);
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(new_handles);
+        *gen = new_gen;
+        self.obs.registry.counter("evolve.alters").inc();
+        self.obs.registry.events().record(Event::SchemaAltered {
+            generation: new_gen,
+            relations,
+        });
+        Ok(new_gen)
     }
 
     /// A typed snapshot of every metric family the store (and its WAL
@@ -1191,9 +1663,9 @@ impl Store {
     /// boundary rather than an index panic inside a worker.  Delegates to
     /// [`ids_core::validate_op`] — the one validation contract every
     /// engine shares.
-    fn validate(&self, op: &StoreOp) -> Result<(), StoreError> {
+    fn validate(topo: &Topology, op: &StoreOp) -> Result<(), StoreError> {
         let (StoreOp::Insert { scheme, tuple } | StoreOp::Remove { scheme, tuple }) = op;
-        ids_core::validate_op(&self.schema, *scheme, tuple).map_err(|e| match e {
+        ids_core::validate_op(&topo.schema, *scheme, tuple).map_err(|e| match e {
             MaintenanceError::UnknownScheme(id) => StoreError::UnknownScheme(id),
             MaintenanceError::Relational(e) => StoreError::Relational(e),
             other => unreachable!("validate_op cannot fail with {other}"),
@@ -1232,15 +1704,16 @@ impl Store {
     /// within the batch is preserved; FD violations are *outcomes*
     /// ([`InsertOutcome::Rejected`]), not errors.
     pub fn apply_batch(&self, ops: Vec<StoreOp>) -> Result<Vec<OpOutcome>, StoreError> {
+        let topo = self.topology();
         for op in &ops {
-            self.validate(op)?;
+            Self::validate(&topo, op)?;
         }
         let total = ops.len();
-        let mut per_shard: Vec<Vec<(u32, StoreOp)>> = (0..self.senders.len())
-            .map(|_| Vec::with_capacity(total / self.senders.len() + 1))
+        let mut per_shard: Vec<Vec<(u32, StoreOp)>> = (0..topo.senders.len())
+            .map(|_| Vec::with_capacity(total / topo.senders.len() + 1))
             .collect();
         for (idx, op) in ops.into_iter().enumerate() {
-            per_shard[self.assignment[op.scheme().index()]].push((idx as u32, op));
+            per_shard[topo.assignment[op.scheme().index()]].push((idx as u32, op));
         }
         let (reply_tx, reply_rx) = channel();
         let mut involved = 0usize;
@@ -1250,6 +1723,7 @@ impl Store {
             }
             involved += 1;
             self.send(
+                &topo,
                 shard,
                 Command::Apply {
                     ops,
@@ -1285,13 +1759,15 @@ impl Store {
     /// read-your-writes: the owning shard drains every operation submitted
     /// before the read (its command channel is FIFO).
     pub fn read(&self, id: SchemeId) -> Result<Relation, StoreError> {
-        let _ = self
+        let topo = self.topology();
+        let _ = topo
             .schema
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         let (reply_tx, reply_rx) = channel();
         self.send(
-            self.assignment[id.index()],
+            &topo,
+            topo.assignment[id.index()],
             Command::Read {
                 scheme: id,
                 reply: reply_tx,
@@ -1314,14 +1790,16 @@ impl Store {
     /// the router boundary, so a foreign attribute is a typed error and
     /// never a worker panic.
     pub fn query(&self, id: SchemeId, predicate: &Predicate) -> Result<Vec<Tuple>, StoreError> {
-        let scheme = self
+        let topo = self.topology();
+        let scheme = topo
             .schema
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         predicate.validate_against(scheme.attrs)?;
         let (reply_tx, reply_rx) = channel();
         self.send(
-            self.assignment[id.index()],
+            &topo,
+            topo.assignment[id.index()],
             Command::Query {
                 scheme: id,
                 predicate: predicate.clone(),
@@ -1344,7 +1822,8 @@ impl Store {
         predicate: &Predicate,
         columns: &[AttrId],
     ) -> Result<Vec<Vec<Value>>, StoreError> {
-        let scheme = self
+        let topo = self.topology();
+        let scheme = topo
             .schema
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
@@ -1357,7 +1836,8 @@ impl Store {
         }
         let (reply_tx, reply_rx) = channel();
         self.send(
-            self.assignment[id.index()],
+            &topo,
+            topo.assignment[id.index()],
             Command::Distinct {
                 scheme: id,
                 predicate: predicate.clone(),
@@ -1373,14 +1853,16 @@ impl Store {
     /// one `usize` crosses the channel, no tuples.  Same consistency
     /// model and validation boundary as `query`.
     pub fn count_where(&self, id: SchemeId, predicate: &Predicate) -> Result<usize, StoreError> {
-        let scheme = self
+        let topo = self.topology();
+        let scheme = topo
             .schema
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         predicate.validate_against(scheme.attrs)?;
         let (reply_tx, reply_rx) = channel();
         self.send(
-            self.assignment[id.index()],
+            &topo,
+            topo.assignment[id.index()],
             Command::CountWhere {
                 scheme: id,
                 predicate: predicate.clone(),
@@ -1395,13 +1877,15 @@ impl Store {
     /// read.  No tuples are cloned or shipped; same consistency model as
     /// `read` (per-relation FIFO freshness, no cross-relation cut).
     pub fn count(&self, id: SchemeId) -> Result<usize, StoreError> {
-        let _ = self
+        let topo = self.topology();
+        let _ = topo
             .schema
             .get_scheme(id)
             .ok_or(StoreError::UnknownScheme(id))?;
         let (reply_tx, reply_rx) = channel();
         self.send(
-            self.assignment[id.index()],
+            &topo,
+            topo.assignment[id.index()],
             Command::Count {
                 scheme: id,
                 reply: reply_tx,
@@ -1417,9 +1901,11 @@ impl Store {
     /// On an independent schema the snapshot is globally satisfying — each
     /// shard enforced its `Fi`, and `LSAT = WSAT` does the rest.
     pub fn snapshot(&self) -> Result<DatabaseState, StoreError> {
+        let topo = self.topology();
         let (reply_tx, reply_rx) = channel();
-        for shard in 0..self.senders.len() {
+        for shard in 0..topo.senders.len() {
             self.send(
+                &topo,
                 shard,
                 Command::Snapshot {
                     reply: reply_tx.clone(),
@@ -1427,8 +1913,8 @@ impl Store {
             )?;
         }
         drop(reply_tx);
-        let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
-        for _ in 0..self.senders.len() {
+        let mut parts: Vec<Option<Relation>> = vec![None; topo.schema.len()];
+        for _ in 0..topo.senders.len() {
             for (id, rel) in reply_rx.recv().map_err(|_| self.fail())? {
                 parts[id.index()] = Some(rel);
             }
@@ -1437,27 +1923,33 @@ impl Store {
             .into_iter()
             .map(|r| r.expect("every scheme lives on exactly one shard"))
             .collect();
-        DatabaseState::from_relations(&self.schema, relations).map_err(Into::into)
+        DatabaseState::from_relations(&topo.schema, relations).map_err(Into::into)
     }
 
     /// Shuts the store down: closes every command channel, joins the
     /// workers, and hands back the final state.
-    pub fn shutdown(mut self) -> Result<DatabaseState, StoreError> {
+    pub fn shutdown(self) -> Result<DatabaseState, StoreError> {
+        let schema = self.schema();
         let parts = self.shutdown_inner()?;
-        DatabaseState::from_relations(&self.schema, parts).map_err(Into::into)
+        DatabaseState::from_relations(&schema, parts).map_err(Into::into)
     }
 
     /// Drains channels and joins workers; idempotent (a second call — the
     /// `Drop` after an explicit `shutdown()` — is a no-op).  Returns the
     /// final relations in scheme order.
-    fn shutdown_inner(&mut self) -> Result<Vec<Relation>, StoreError> {
-        if self.handles.is_empty() {
+    fn shutdown_inner(&self) -> Result<Vec<Relation>, StoreError> {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        if handles.is_empty() {
             return Ok(Vec::new());
         }
-        self.senders.clear(); // closing the channels stops the workers
-        let mut parts: Vec<Option<Relation>> = vec![None; self.schema.len()];
+        let schema_len = {
+            let mut topo = self.topology.write().unwrap_or_else(|e| e.into_inner());
+            topo.senders.clear(); // closing the channels stops the workers
+            topo.schema.len()
+        };
+        let mut parts: Vec<Option<Relation>> = vec![None; schema_len];
         let mut lost = false;
-        for handle in self.handles.drain(..) {
+        for handle in handles.drain(..) {
             match handle.join() {
                 Ok(slots) => {
                     for (id, rel) in slots {
@@ -1596,6 +2088,11 @@ fn base_state_error(e: MaintenanceError) -> StoreError {
 /// enforcement shard, and how many tail records it replayed.
 type Replayed = (Vec<Relation>, Vec<RelationShard>, Vec<u64>);
 
+/// A shard worker thread; joining one yields the relation states it
+/// owned, keyed by scheme, so a transition can re-seed the new
+/// topology.
+type WorkerHandle = JoinHandle<Vec<(SchemeId, Relation)>>;
+
 /// Replays a recovery result through the normal probe/commit machinery:
 /// the snapshot base builds each relation's shard (which validates it
 /// against the enforcement cover `Fi`), then the relation's log tail
@@ -1605,22 +2102,58 @@ type Replayed = (Vec<Relation>, Vec<RelationShard>, Vec<u64>);
 /// corruption, never silently patched.  One relation never consults
 /// another: recovery of an independent schema is per-relation by
 /// construction.
+///
+/// Each tail record is tagged with the **era** it was written in — the
+/// index of the generation manifest governing its segment — and replays
+/// under that era's schema and enforcement covers, so a record accepted
+/// before an `ALTER` is re-judged by exactly the rules that accepted
+/// it.  Era covers come from re-running the independence analysis on
+/// the era manifest (a cold path, memoized per era); the final era
+/// reuses the caller's already-extracted covers.  With a single-entry
+/// manifest chain this degenerates to plain single-schema replay.
 fn replay_recovered(
+    dir: &WalDir,
     schema: &DatabaseSchema,
     enforcement: &[FdSet],
     recovered: ids_wal::Recovered,
-    root: &Path,
     ordered_indexes: &[(SchemeId, AttrId)],
 ) -> Result<Replayed, StoreError> {
+    let chain = dir.manifests();
+    let last_era = chain.len() - 1;
+    let root = dir.root();
+    let mut era_enf: Vec<Option<Vec<FdSet>>> = vec![None; chain.len()];
     let base = recovered.base.into_relations();
     let mut relations = Vec::with_capacity(schema.len());
     let mut shards = Vec::with_capacity(schema.len());
     let mut replayed_per_relation = vec![0u64; schema.len()];
     for ((id, mut rel), records) in schema.ids().zip(base).zip(recovered.tail) {
-        let fi = enforcement[id.index()].clone();
-        let mut shard =
-            RelationShard::with_relation(schema, id, fi, &rel).map_err(base_state_error)?;
-        for record in records {
+        let name = schema.scheme(id).name.clone();
+        let mut cur: Option<(usize, RelationShard)> = None;
+        for (era, record) in records {
+            if cur.as_ref().map(|(e, _)| *e) != Some(era) {
+                let shard = if era == last_era {
+                    RelationShard::with_relation(schema, id, enforcement[id.index()].clone(), &rel)
+                } else {
+                    let m = &chain[era].1;
+                    let eid = m.schema.scheme_by_name(&name).ok_or_else(|| {
+                        StoreError::Wal(WalError::Corrupt {
+                            path: root.to_path_buf(),
+                            detail: format!(
+                                "records of {name:?} map to a generation whose schema lacks it"
+                            ),
+                        })
+                    })?;
+                    if era_enf[era].is_none() {
+                        let analysis = ids_core::analyze(&m.schema, &m.fds);
+                        era_enf[era] = Some(extract_enforcement(&m.schema, &analysis)?);
+                    }
+                    let cover = era_enf[era].as_ref().expect("just filled")[eid.index()].clone();
+                    RelationShard::with_relation(&m.schema, eid, cover, &rel)
+                }
+                .map_err(base_state_error)?;
+                cur = Some((era, shard));
+            }
+            let (_, shard) = cur.as_mut().expect("just installed");
             let seq = record.seq;
             replayed_per_relation[id.index()] += 1;
             let replayed = match record.op {
@@ -1639,6 +2172,13 @@ fn replay_recovered(
                 .into());
             }
         }
+        // The live shard runs under the final schema and cover; reuse
+        // the last era's shard when it already is that.
+        let shard = match cur {
+            Some((era, shard)) if era == last_era => shard,
+            _ => RelationShard::with_relation(schema, id, enforcement[id.index()].clone(), &rel)
+                .map_err(base_state_error)?,
+        };
         relations.push(rel);
         shards.push(shard);
     }

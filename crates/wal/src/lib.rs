@@ -60,7 +60,7 @@ mod writer;
 
 mod dir;
 
-pub use dir::{Recovered, WalDir};
+pub use dir::{generation_manifest_name, parse_generation_manifest_name, Recovered, WalDir};
 pub use names::NameLog;
 pub use records::{fingerprint, Manifest, SegmentHeader, Snapshot, WalOp, WalRecord};
 pub use tail::{Cursor, NameTailer, RelationPoll, RelationTailer, TailedName, TailedRecord};

@@ -183,6 +183,28 @@ impl Snapshot {
         e.into_bytes()
     }
 
+    /// Reads just the covered generation out of a snapshot payload —
+    /// the field recovery needs *before* it can pick the right schema
+    /// (the manifest governing `covered_gen + 1`) to decode the rest
+    /// under.  Verifies magic, version, and fingerprint on the way.
+    pub fn peek_covered_gen(
+        path: &Path,
+        payload: &[u8],
+        fingerprint: u32,
+    ) -> Result<u64, WalError> {
+        let mut d = Decoder::new(payload);
+        check_magic_version(path, &mut d, SNAPSHOT_MAGIC, "snapshot")?;
+        let inner =
+            (|| -> Result<(u32, u64), RelationalError> { Ok((d.get_u32()?, d.get_u64()?)) })();
+        let (fp, covered) = inner.map_err(|e| corrupt(path, format!("bad snapshot: {e}")))?;
+        if fp != fingerprint {
+            return Err(WalError::SchemaMismatch {
+                detail: "schema/FD set (snapshot fingerprint)",
+            });
+        }
+        Ok(covered)
+    }
+
     /// Decodes a snapshot payload against its schema.
     pub fn decode(path: &Path, payload: &[u8], schema: &DatabaseSchema) -> Result<Self, WalError> {
         let mut d = Decoder::new(payload);

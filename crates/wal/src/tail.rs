@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 
 use ids_relational::codec::Decoder;
 
-use crate::dir::WAL_SUBDIR;
+use crate::dir::{parse_generation_manifest_name, WAL_SUBDIR};
 use crate::format::{read_frame, FrameOutcome, FORMAT_VERSION, POOL_MAGIC};
 use crate::records::{SegmentHeader, WalRecord};
 use crate::writer::{parse_segment_file_name, segment_file_name};
@@ -58,6 +58,12 @@ pub struct Cursor {
 pub struct TailedRecord {
     /// Generation of the segment the record was read from.
     pub gen: u64,
+    /// Scheme index of the segment the record was read from — the
+    /// relation's index *under the manifest governing `gen`*.  Constant
+    /// within one generation; a schema transition that renumbers the
+    /// relation changes it at the generation boundary (see
+    /// [`RelationTailer::retarget`]).
+    pub scheme: u16,
     /// The decoded record.
     pub record: WalRecord,
     /// The raw frame payload, exactly as stored on disk.
@@ -76,11 +82,29 @@ pub enum RelationPoll {
 }
 
 /// Follows one relation's segment chain in a live durable directory.
+///
+/// A tailer follows a *relation*, not a scheme index: a schema
+/// transition ([`crate::WalDir::append_generation_manifest`]) can
+/// renumber surviving relations, after which the same relation's log
+/// continues under a different index.  The managing loop announces each
+/// transition with [`RelationTailer::retarget`]; until a generation
+/// boundary introduced by a manifest has been explained that way, the
+/// tailer **refuses to advance past it** — otherwise it could silently
+/// start consuming a *different* relation's segments that inherited its
+/// old index.
 #[derive(Debug)]
 pub struct RelationTailer {
+    /// The directory root (where generation manifests live).
+    root: PathBuf,
     wal_dir: PathBuf,
     fingerprint: u32,
+    /// Scheme index of the relation in the generation currently read.
     scheme: u16,
+    /// Pending scheme-index changes, sorted by generation: from
+    /// generation `.0` on, this relation's segments carry index `.1`.
+    /// Entries at or below the current generation are folded into
+    /// `scheme` and dropped as the tailer advances.
+    retargets: Vec<(u64, u16)>,
     /// Generation currently being read.
     gen: u64,
     /// Last consumed sequence number.
@@ -98,12 +122,15 @@ impl RelationTailer {
     /// sequence numbers at or below `cursor.seq` found in the cursor's
     /// segment are silently skipped, so a cursor taken from a recovery
     /// pass ([`crate::Recovered::last_seqs`] and `next_gen - 1`) resumes
-    /// exactly after the recovered prefix.
+    /// exactly after the recovered prefix.  `scheme` is the relation's
+    /// index under the manifest governing `cursor.gen`.
     pub fn new(root: &Path, fingerprint: u32, scheme: u16, cursor: Cursor) -> Self {
         RelationTailer {
+            root: root.to_path_buf(),
             wal_dir: root.join(WAL_SUBDIR),
             fingerprint,
             scheme,
+            retargets: Vec::new(),
             gen: cursor.gen,
             last_seq: cursor.seq,
             offset: 0,
@@ -119,9 +146,63 @@ impl RelationTailer {
         }
     }
 
-    /// The relation this tailer follows.
+    /// The relation's scheme index in the generation currently read.
     pub fn scheme(&self) -> u16 {
         self.scheme
+    }
+
+    /// Announces a schema transition: from generation `gen` on, this
+    /// relation's segments are written under scheme index `scheme`.
+    ///
+    /// The managing loop must call this for **every** generation
+    /// manifest it observes — even when the index is unchanged — because
+    /// an unexplained manifest boundary is exactly what makes the tailer
+    /// hold position (see the type-level docs).  Calls are idempotent
+    /// and may arrive out of order; a retarget at or before the current
+    /// generation takes effect immediately.
+    pub fn retarget(&mut self, gen: u64, scheme: u16) {
+        if gen <= self.gen {
+            self.scheme = scheme;
+            return;
+        }
+        match self.retargets.binary_search_by_key(&gen, |(g, _)| *g) {
+            Ok(i) => self.retargets[i].1 = scheme,
+            Err(i) => self.retargets.insert(i, (gen, scheme)),
+        }
+    }
+
+    /// The scheme index this relation's segments carry at `gen`
+    /// (`>= self.gen`), per the announced retargets.
+    fn scheme_at(&self, gen: u64) -> u16 {
+        self.retargets
+            .iter()
+            .rev()
+            .find(|(g, _)| *g <= gen)
+            .map_or(self.scheme, |(_, s)| *s)
+    }
+
+    /// True when a generation manifest with effective generation in
+    /// `(self.gen, upto]` exists on disk that no retarget has explained:
+    /// the primary committed a schema transition the managing loop has
+    /// not told this tailer about yet, so advancing past it could read a
+    /// renumbered *foreign* relation's segments.
+    fn unexplained_boundary(&self, upto: u64) -> Result<bool, WalError> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(io_err(&self.root, e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.root, e))?;
+            let name = entry.file_name();
+            let Some(g) = name.to_str().and_then(parse_generation_manifest_name) else {
+                continue;
+            };
+            if g > self.gen && g <= upto && !self.retargets.iter().any(|&(rg, _)| rg == g) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Reads everything appended since the previous poll.
@@ -209,6 +290,7 @@ impl RelationTailer {
                             self.last_seq = record.seq;
                             out.push(TailedRecord {
                                 gen: self.gen,
+                                scheme: self.scheme,
                                 record,
                                 payload: payload.to_vec(),
                             });
@@ -243,6 +325,8 @@ impl RelationTailer {
     }
 
     fn advance_to(&mut self, gen: u64) {
+        self.scheme = self.scheme_at(gen);
+        self.retargets.retain(|&(g, _)| g > gen);
         self.gen = gen;
         self.offset = 0;
         self.header_done = false;
@@ -266,29 +350,44 @@ impl RelationTailer {
     }
 
     /// Looks for the smallest on-disk generation above the current one
+    /// whose segment carries *this relation's* index for that generation
     /// and, if present, validates its header far enough to learn its
-    /// `start_seq`.
+    /// `start_seq`.  Refuses to look past an unexplained manifest
+    /// boundary: the rename that commits a generation manifest
+    /// happens-before any segment of that generation exists, so a
+    /// candidate segment past an unexplained manifest is never
+    /// mistakenly consumed — the managing loop retargets first, the next
+    /// poll advances.
     fn peek_next_gen(&self) -> Result<NextGen, WalError> {
         let entries = match std::fs::read_dir(&self.wal_dir) {
             Ok(e) => e,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(NextGen::None),
             Err(e) => return Err(io_err(&self.wal_dir, e)),
         };
-        let mut next: Option<u64> = None;
+        let mut next: Option<(u64, u16)> = None;
         for entry in entries {
             let entry = entry.map_err(|e| io_err(&self.wal_dir, e))?;
             let name = entry.file_name();
             let Some((scheme, gen)) = name.to_str().and_then(parse_segment_file_name) else {
                 continue;
             };
-            if scheme == self.scheme && gen > self.gen {
-                next = Some(next.map_or(gen, |n| n.min(gen)));
+            if gen > self.gen
+                && scheme == self.scheme_at(gen)
+                && next.is_none_or(|(n, _)| gen < n)
+            {
+                next = Some((gen, scheme));
             }
         }
-        let Some(gen) = next else {
+        let Some((gen, scheme)) = next else {
+            // No candidate segment — but an unexplained transition may
+            // both renumber this relation and already hold records for
+            // it under the new index; hold position until retargeted.
             return Ok(NextGen::None);
         };
-        let path = self.wal_dir.join(segment_file_name(self.scheme, gen));
+        if self.unexplained_boundary(gen)? {
+            return Ok(NextGen::NotReady);
+        }
+        let path = self.wal_dir.join(segment_file_name(scheme, gen));
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             // Pruned between listing and reading; retry next poll.
@@ -703,6 +802,110 @@ mod tests {
             NameTailer::new(&pool, 7, 0).poll(),
             Err(WalError::Corrupt { .. })
         ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retarget_follows_renumbering_and_guard_blocks_unexplained() {
+        use crate::Manifest;
+        let root = tmp("retarget");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        let mut w_ct = dir.segment_writer(0, 1, 0).unwrap();
+        let mut w_cs = dir.segment_writer(1, 1, 0).unwrap();
+        w_ct.append(WalOp::Insert(vec![Value(1), Value(10)]))
+            .unwrap();
+        w_ct.append(WalOp::Insert(vec![Value(2), Value(11)]))
+            .unwrap();
+        w_cs.append(WalOp::Insert(vec![Value(1), Value(50)]))
+            .unwrap();
+        w_cs.append(WalOp::Insert(vec![Value(2), Value(51)]))
+            .unwrap();
+        w_ct.sync().unwrap();
+        w_cs.sync().unwrap();
+
+        let mut t_ct = RelationTailer::new(&root, dir.fingerprint(), 0, Cursor { gen: 1, seq: 0 });
+        let mut t_cs = RelationTailer::new(&root, dir.fingerprint(), 1, Cursor { gen: 1, seq: 0 });
+        assert_eq!(seqs(&t_ct.poll().unwrap()), vec![1, 2]);
+        assert_eq!(seqs(&t_cs.poll().unwrap()), vec![1, 2]);
+
+        // Transition to gen 2: drop CT; CS is renumbered 1 -> 0,
+        // carrying its sequence counter.  Its new segment starts at
+        // seq 3 — exactly where a naive index-0 (CT) tailer would
+        // expect its own next record.
+        let u = Universe::from_names(["C", "T", "S"]).unwrap();
+        let schema2 = DatabaseSchema::parse(u, &[("CS", "CS"), ("TS", "TS")]).unwrap();
+        let fds2 = FdSet::parse(schema2.universe(), &["C -> T"]).unwrap();
+        dir.append_generation_manifest(
+            2,
+            &Manifest {
+                schema: schema2,
+                fds: fds2,
+                app: Vec::new(),
+            },
+        )
+        .unwrap();
+        drop(w_ct);
+        w_cs.rotate_as(0, 2).unwrap();
+        w_cs.append(WalOp::Insert(vec![Value(3), Value(52)]))
+            .unwrap();
+        w_cs.sync().unwrap();
+
+        // Unexplained boundary: neither tailer advances — above all, the
+        // dropped CT's tailer must NOT mistake CS's renumbered segment
+        // (whose start_seq happens to continue CT's numbering) for its
+        // own log.
+        assert_eq!(seqs(&t_ct.poll().unwrap()), Vec::<u64>::new());
+        assert_eq!(t_ct.cursor(), Cursor { gen: 1, seq: 2 });
+        assert_eq!(seqs(&t_cs.poll().unwrap()), Vec::<u64>::new());
+        assert_eq!(t_cs.cursor(), Cursor { gen: 1, seq: 2 });
+
+        // Retargeted, the survivor follows its log across the rename,
+        // and each record reports the scheme index of its segment.
+        t_cs.retarget(2, 0);
+        let poll = t_cs.poll().unwrap();
+        let RelationPoll::Records(rs) = &poll else {
+            panic!("behind");
+        };
+        assert_eq!(
+            rs.iter()
+                .map(|r| (r.gen, r.scheme, r.record.seq))
+                .collect::<Vec<_>>(),
+            vec![(2, 0, 3)]
+        );
+        assert_eq!(t_cs.scheme(), 0);
+        assert_eq!(t_cs.cursor(), Cursor { gen: 2, seq: 3 });
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generation_manifests_after_scans_disk() {
+        use crate::Manifest;
+        let root = tmp("manifests-after");
+        let (schema, fds) = setup();
+        let dir = WalDir::create(&root, &schema, &fds, Vec::new()).unwrap();
+        assert!(dir.generation_manifests_after(0).unwrap().is_empty());
+        let m = Manifest {
+            schema: schema.clone(),
+            fds: fds.clone(),
+            app: vec![7],
+        };
+        dir.append_generation_manifest(3, &m).unwrap();
+        dir.append_generation_manifest(5, &m).unwrap();
+        // The open-time chain is immutable, but the scan sees both.
+        let found = dir.generation_manifests_after(0).unwrap();
+        assert_eq!(
+            found.iter().map(|(g, _, _)| *g).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        assert_eq!(found[0].1.app, vec![7]);
+        // Payload bytes are the committed frame payload, verbatim.
+        assert_eq!(found[0].2, found[0].1.encode());
+        let found = dir.generation_manifests_after(3).unwrap();
+        assert_eq!(
+            found.iter().map(|(g, _, _)| *g).collect::<Vec<_>>(),
+            vec![5]
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

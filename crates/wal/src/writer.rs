@@ -223,11 +223,23 @@ impl WalWriter {
     /// `new_gen` — the per-relation half of a checkpoint.  Returns the
     /// sequence number the closed segment ends at.
     pub fn rotate(&mut self, new_gen: u64) -> Result<u64, WalError> {
+        let scheme = self.scheme;
+        self.rotate_as(scheme, new_gen)
+    }
+
+    /// [`WalWriter::rotate`], but the fresh segment is opened under a
+    /// (possibly different) scheme index — the per-relation half of a
+    /// schema transition, where a surviving relation may be renumbered.
+    /// The sequence counter continues across the rename: a relation's
+    /// log is one contiguous stream however its index moves, and
+    /// recovery stitches the segments back together *by name* through
+    /// each generation's governing manifest.
+    pub fn rotate_as(&mut self, new_scheme: u16, new_gen: u64) -> Result<u64, WalError> {
         self.sync()?;
         let mut next = WalWriter::create(
             &self.wal_dir,
             self.fingerprint,
-            self.scheme,
+            new_scheme,
             new_gen,
             self.last_seq,
         )?;

@@ -65,6 +65,7 @@
 //! | [`chase`] | `I(p)`, FD/JD rules, WSAT/LSAT, tagged tableaux |
 //! | [`acyclic`] | GYO, join trees, full reducer, consistency |
 //! | [`core`] | the independence test, witnesses, maintenance, Theorem 1 |
+//! | [`evolve`] | `ALTER`-class schema transitions: incremental re-analysis with run reuse, typed dependent-target refusals |
 //! | [`obs`] | zero-cost metrics: relaxed-atomic counters/gauges, log₂ latency histograms, bounded event ring, typed snapshots |
 //! | [`wal`] | per-relation write-ahead log + snapshot checkpoints (independence ⇒ no cross-log ordering) |
 //! | [`store`] | sharded concurrent maintenance store (independence ⇒ parallelism), durable via [`wal`] |
@@ -80,6 +81,7 @@ pub use ids_chase as chase;
 pub use ids_client as client;
 pub use ids_core as core;
 pub use ids_deps as deps;
+pub use ids_evolve as evolve;
 pub use ids_obs as obs;
 pub use ids_relational as relational;
 pub use ids_replica as replica;
@@ -91,7 +93,7 @@ pub use ids_workloads as workloads;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use ids_api::{
-        between, eq, ge, gt, le, lt, ne, one_of, Cond, Database, Engine, EngineKind,
+        between, eq, ge, gt, le, lt, ne, one_of, Alter, Cond, Database, Engine, EngineKind,
         Error as ApiError, JoinQuery, JoinReport, Query, Row, Rows, Schema, SchemaBuilder,
         SharedDatabase,
     };
@@ -103,6 +105,7 @@ pub mod prelude {
         MaintenanceError, NotIndependentReason, RelationShard, Verdict, Witness,
     };
     pub use ids_deps::{Fd, FdSet, JoinDependency};
+    pub use ids_evolve::{check_transition, incremental_analyze, EvolveError, ReuseStats};
     pub use ids_obs::{Event, EventRecord, HistogramSnapshot, MetricsSnapshot};
     pub use ids_relational::{
         AttrId, AttrSet, DatabaseSchema, DatabaseState, Predicate, Projection, Relation,
